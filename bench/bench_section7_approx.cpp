@@ -1,0 +1,91 @@
+// Reproduces Section 7 (Theorem 7.2): the spiking (1+o(1))-approximation
+// for k-hop SSSP — approximation quality against the guarantee, the neuron
+// advantage over the exact polynomial algorithm (n·#scales vs m·log(nU)),
+// and the running-time shape O((k log n + m) log(kU log n)).
+#include <cmath>
+#include <iostream>
+
+#include "core/random.h"
+#include "core/table.h"
+#include "graph/bellman_ford.h"
+#include "graph/generators.h"
+#include "nga/approx.h"
+#include "nga/costs.h"
+
+using namespace sga;
+
+int main() {
+  Rng rng(0x577);
+  std::cout << "=== Theorem 7.2: approximate k-hop SSSP ===\n\n";
+
+  Table t({"n", "m", "k", "U", "eps", "worst ratio", "guarantee 1+eps",
+           "neurons approx", "neurons exact", "advantage"});
+  for (const std::size_t n : {32u, 64u, 128u, 256u}) {
+    const std::size_t m = 6 * n;
+    const std::uint32_t k = static_cast<std::uint32_t>(n / 8);
+    const Weight u_max = 24;
+    const Graph g = make_random_graph(n, m, {1, u_max}, rng);
+    const auto exact = bellman_ford_khop(g, 0, k);
+
+    nga::ApproxKHopOptions opt;
+    opt.source = 0;
+    opt.k = k;
+    const auto approx = nga::approx_khop_sssp(g, opt);
+
+    double worst = 1.0;
+    for (VertexId v = 1; v < n; ++v) {
+      if (!exact.reachable(v) || !approx.reachable(v)) continue;
+      worst = std::max(worst, approx.dist[v] /
+                                  static_cast<double>(exact.dist[v]));
+    }
+    SGA_CHECK(worst <= 1.0 + approx.epsilon + 1e-9,
+              "approximation guarantee violated: " << worst);
+    t.add_row({Table::num(static_cast<std::uint64_t>(n)),
+               Table::num(static_cast<std::uint64_t>(m)),
+               Table::num(static_cast<std::uint64_t>(k)),
+               Table::num(u_max), Table::fixed(approx.epsilon, 3),
+               Table::fixed(worst, 4), Table::fixed(1 + approx.epsilon, 4),
+               Table::num(static_cast<std::uint64_t>(approx.neurons_total)),
+               Table::num(static_cast<std::uint64_t>(approx.neurons_exact)),
+               Table::fixed(static_cast<double>(approx.neurons_exact) /
+                                static_cast<double>(approx.neurons_total),
+                            2)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\n--- epsilon sweep (n = 64, m = 384, k = 8) ---\n";
+  const Graph g = make_random_graph(64, 384, {1, 32}, rng);
+  const auto exact = bellman_ford_khop(g, 0, 8);
+  Table te({"eps", "worst ratio", "scales", "total time", "spikes"});
+  for (const double eps : {0.5, 0.25, 0.1, 0.05, 0.02}) {
+    nga::ApproxKHopOptions opt;
+    opt.source = 0;
+    opt.k = 8;
+    opt.epsilon = eps;
+    const auto a = nga::approx_khop_sssp(g, opt);
+    double worst = 1.0;
+    for (VertexId v = 1; v < 64; ++v) {
+      if (!exact.reachable(v) || !a.reachable(v)) continue;
+      worst = std::max(worst, a.dist[v] / static_cast<double>(exact.dist[v]));
+    }
+    te.add_row({Table::fixed(eps, 2), Table::fixed(worst, 4),
+                Table::num(static_cast<std::uint64_t>(a.num_scales)),
+                Table::num(a.total_time), Table::num(a.total_spikes)});
+  }
+  te.print(std::cout);
+
+  std::cout << "\nPredicted time (Thm 7.2, O(1) movement) for the last row "
+               "family:\n";
+  nga::ProblemParams p;
+  p.n = 64;
+  p.m = 384;
+  p.k = 8;
+  p.U = 32;
+  std::cout << "  (k log n + m) log(kU log n) = "
+            << Table::fixed(nga::nm_approx_khop(p), 0)
+            << " vs exact polynomial m log(nU) = "
+            << Table::fixed(nga::nm_khop_poly(p), 0)
+            << " — within polylog factors, as the paper notes; the win is "
+               "neurons, column 'advantage' above.\n";
+  return 0;
+}

@@ -1,0 +1,186 @@
+// google-benchmark microbenchmarks of the substrate itself: event-driven
+// simulator throughput (deliveries/sec) across workload shapes, circuit
+// evaluation latency, the spiking-SSSP end-to-end rate, and the
+// event-queue ablation called out in DESIGN.md §4 (time-bucketed std::map
+// — what the simulator uses — vs a flat std::priority_queue of single
+// deliveries).
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <queue>
+
+#include "circuits/builder.h"
+#include "circuits/harness.h"
+#include "circuits/max_circuits.h"
+#include "core/random.h"
+#include "graph/dijkstra.h"
+#include "graph/generators.h"
+#include "nga/khop_poly.h"
+#include "nga/sssp_event.h"
+#include "snn/simulator.h"
+
+using namespace sga;
+
+namespace {
+
+void BM_SpikeChain(benchmark::State& state) {
+  // A chain of relays: pure event-propagation throughput.
+  const auto len = static_cast<std::size_t>(state.range(0));
+  snn::Network net;
+  for (std::size_t i = 0; i < len; ++i) net.add_threshold_neuron(1);
+  for (std::size_t i = 0; i + 1 < len; ++i) {
+    net.add_synapse(static_cast<NeuronId>(i), static_cast<NeuronId>(i + 1), 1,
+                    1 + static_cast<Delay>(i % 7));
+  }
+  for (auto _ : state) {
+    snn::Simulator sim(net);
+    sim.inject_spike(0, 0);
+    const auto st = sim.run();
+    benchmark::DoNotOptimize(st.spikes);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+}
+BENCHMARK(BM_SpikeChain)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_DenseFanout(benchmark::State& state) {
+  // One source fanning out to many targets at staggered delays: stresses
+  // bucket churn.
+  const auto fan = static_cast<std::size_t>(state.range(0));
+  snn::Network net;
+  const NeuronId src = net.add_threshold_neuron(1);
+  for (std::size_t i = 0; i < fan; ++i) {
+    const NeuronId t = net.add_threshold_neuron(1);
+    net.add_synapse(src, t, 1, 1 + static_cast<Delay>(i % 97));
+  }
+  for (auto _ : state) {
+    snn::Simulator sim(net);
+    sim.inject_spike(src, 0);
+    benchmark::DoNotOptimize(sim.run().deliveries);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fan));
+}
+BENCHMARK(BM_DenseFanout)->Arg(1 << 10)->Arg(1 << 15);
+
+void BM_SpikingSssp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(0xBEEF01 + n);
+  const Graph g = make_random_graph(n, 8 * n, {1, 32}, rng);
+  for (auto _ : state) {
+    nga::SpikingSsspOptions opt;
+    opt.source = 0;
+    opt.record_parents = false;
+    benchmark::DoNotOptimize(nga::spiking_sssp(g, opt).execution_time);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(8 * n));
+}
+BENCHMARK(BM_SpikingSssp)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_DijkstraReference(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(0xBEEF02 + n);
+  const Graph g = make_random_graph(n, 8 * n, {1, 32}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dijkstra(g, 0).dist.data());
+  }
+}
+BENCHMARK(BM_DijkstraReference)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_MaxCircuitEval(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  snn::Network net;
+  circuits::CircuitBuilder cb(net);
+  const auto c = circuits::build_max_wired_or(cb, d, 8);
+  Rng rng(0xBEEF03);
+  std::vector<std::uint64_t> vals(static_cast<std::size_t>(d));
+  for (auto& v : vals) v = static_cast<std::uint64_t>(rng.uniform_int(0, 255));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuits::eval_max_circuit(net, c, vals));
+  }
+}
+BENCHMARK(BM_MaxCircuitEval)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_KhopPolyGateLevel(benchmark::State& state) {
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(0xBEEF04);
+  const Graph g = make_random_graph(16, 64, {1, 6}, rng);
+  for (auto _ : state) {
+    nga::KHopPolyOptions opt;
+    opt.source = 0;
+    opt.k = k;
+    benchmark::DoNotOptimize(nga::khop_sssp_poly(g, opt).execution_time);
+  }
+}
+BENCHMARK(BM_KhopPolyGateLevel)->Arg(2)->Arg(8);
+
+// --- event-queue ablation (DESIGN.md §4) --------------------------------
+// The same synthetic delivery stream pushed through (a) the simulator's
+// structure — a std::map time bucket holding vectors — and (b) a flat
+// std::priority_queue of individual deliveries.
+
+struct FlatEvent {
+  Time t;
+  std::uint32_t target;
+  bool operator>(const FlatEvent& o) const { return t > o.t; }
+};
+
+void BM_QueueBucketedMap(benchmark::State& state) {
+  const int events = 1 << 16;
+  Rng rng(0xBEEF05);
+  for (auto _ : state) {
+    std::map<Time, std::vector<std::uint32_t>> q;
+    Rng r = rng;
+    std::uint64_t processed = 0;
+    // Seed, then pop-and-reschedule like a running simulation.
+    for (int i = 0; i < 64; ++i) {
+      q[r.uniform_int(1, 64)].push_back(static_cast<std::uint32_t>(i));
+    }
+    while (processed < events && !q.empty()) {
+      auto it = q.begin();
+      const Time t = it->first;
+      auto bucket = std::move(it->second);
+      q.erase(it);
+      for (const auto tgt : bucket) {
+        ++processed;
+        if (processed + q.size() < events) {
+          q[t + r.uniform_int(1, 64)].push_back(tgt);
+        }
+      }
+    }
+    benchmark::DoNotOptimize(processed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          events);
+}
+BENCHMARK(BM_QueueBucketedMap);
+
+void BM_QueueFlatPriority(benchmark::State& state) {
+  const int events = 1 << 16;
+  Rng rng(0xBEEF05);
+  for (auto _ : state) {
+    std::priority_queue<FlatEvent, std::vector<FlatEvent>, std::greater<>> q;
+    Rng r = rng;
+    std::uint64_t processed = 0;
+    for (int i = 0; i < 64; ++i) {
+      q.push({r.uniform_int(1, 64), static_cast<std::uint32_t>(i)});
+    }
+    while (processed < static_cast<std::uint64_t>(events) && !q.empty()) {
+      const FlatEvent e = q.top();
+      q.pop();
+      ++processed;
+      if (processed + q.size() < static_cast<std::uint64_t>(events)) {
+        q.push({e.t + r.uniform_int(1, 64), e.target});
+      }
+    }
+    benchmark::DoNotOptimize(processed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          events);
+}
+BENCHMARK(BM_QueueFlatPriority);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Reproduces the TOP half of Table 1 ("complexities when taking
+// data-movement costs into account"): measured DISTANCE-model movement
+// costs of the conventional algorithms against (a) the conservative lower
+// bounds of Section 6 and (b) the measured/predicted neuromorphic costs
+// with the crossbar embedding. Prints the full eight-row Table 1 rendered
+// from the analysis layer, then the measured m-sweep showing the
+// polynomial-factor gap (the paper's Ω(m^{1/2}/log n) headline).
+#include <iostream>
+
+#include "analysis/advantage.h"
+#include "analysis/fit.h"
+#include "core/random.h"
+#include "core/table.h"
+#include "crossbar/embedding.h"
+#include "distmodel/algos.h"
+#include "distmodel/bounds.h"
+#include "graph/generators.h"
+#include "nga/costs.h"
+#include "nga/sssp_event.h"
+
+using namespace sga;
+
+int main() {
+  std::cout << "=== Table 1 (both halves), rendered from the closed-form "
+               "expressions ===\n\n";
+  nga::ProblemParams p;
+  p.n = 1024;
+  p.m = 8192;
+  p.k = 64;
+  p.U = 16;
+  p.L = 200;
+  p.alpha = 10;
+  p.c = 4;
+  Table t({"problem", "complexity", "data movement?", "conventional",
+           "neuromorphic", "nm better?"});
+  for (const auto& row : analysis::table1_rows(p)) {
+    t.add_row({row.problem, row.complexity,
+               row.with_data_movement ? "counted" : "ignored",
+               Table::sci(row.conventional, 2), Table::sci(row.neuromorphic, 2),
+               row.nm_better ? "yes" : "no"});
+  }
+  t.set_title("Instance: n=1024, m=8192, k=64, U=16, L=200, alpha=10, c=4");
+  t.print(std::cout);
+  std::cout << "Headline factors at this instance: ignoring movement "
+            << Table::fixed(analysis::headline_advantage_nodm(p), 1)
+            << "x (= k/log n); with movement "
+            << Table::fixed(analysis::headline_advantage_dm(p), 1)
+            << "x (= sqrt(m)/log n).\n";
+
+  // --- measured: conventional movement vs neuromorphic-on-crossbar -------
+  std::cout << "\n--- measured m-sweep (pseudopolynomial SSSP row) ---\n";
+  Table ms({"n", "m", "Dijkstra movement (measured)",
+            "lower bound m^1.5/(8sqrt(c))", "crossbar spiking T (measured)",
+            "ratio conv/nm"});
+  std::vector<double> sizes, ratios;
+  Rng rng(0xD1);
+  for (const std::size_t n : {12u, 16u, 24u, 32u, 48u}) {
+    const std::size_t m = 6 * n;
+    const Graph g = make_random_graph(n, m, {1, 4}, rng);
+    const auto conv =
+        distmodel::dijkstra_distance(g, 0, 4, distmodel::RegisterPlacement::kCenter);
+    const auto nm = crossbar::spiking_sssp_on_crossbar(g, 0);
+    const double ratio = static_cast<double>(conv.machine.movement_cost) /
+                         static_cast<double>(nm.execution_time);
+    sizes.push_back(static_cast<double>(m));
+    ratios.push_back(ratio);
+    ms.add_row({Table::num(static_cast<std::uint64_t>(n)),
+                Table::num(static_cast<std::uint64_t>(m)),
+                Table::num(conv.machine.movement_cost),
+                Table::fixed(distmodel::theorem61_bound(m, 4), 0),
+                Table::num(nm.execution_time), Table::fixed(ratio, 2)});
+  }
+  ms.print(std::cout);
+  const auto shape = analysis::check_power_law(sizes, ratios, 0.5, 0.4);
+  std::cout << "Advantage growth vs m: " << analysis::describe(shape)
+            << " — a polynomial-factor gap that widens with m, the paper's "
+               "claim. (Expected exponent depends on how L and n co-scale "
+               "with m in this family; the point is a positive power.)\n";
+
+  std::cout << "\n--- who wins where: the four top-half rows on the render "
+               "instance ---\n";
+  Table w({"row", "condition (constants = 1)", "holds?"});
+  w.add_row({"SSSP poly",
+             "logU<=logn, c<m/log^2 n, alpha<m^1.5/(n logn sqrt c)",
+             analysis::better_sssp_poly_dm(p) ? "yes" : "no"});
+  w.add_row({"k-hop poly", "logU<=logn, c<m^3/(n^2log^2 n), c<k^2 m/log^2 n",
+             analysis::better_khop_poly_dm(p) ? "yes" : "no"});
+  w.add_row({"SSSP pseudo", "L < m^1.5/(n sqrt c)",
+             analysis::better_sssp_pseudo_dm(p) ? "yes" : "no"});
+  w.add_row({"k-hop pseudo", "L < k m^1.5/(n sqrt c log k)",
+             analysis::better_khop_pseudo_dm(p) ? "yes" : "no"});
+  w.print(std::cout);
+  std::cout << "\nNotes: the conventional columns are the Section-6 "
+               "DISTANCE-model costs (measured above, lower-bounded by "
+               "Theorems 6.1/6.2); the neuromorphic column pays the O(n) "
+               "crossbar embedding cost (measured in bench_fig2_crossbar). "
+               "The k-hop neuromorphic entries reuse the measured per-round "
+               "constants of bench_table1_nodm with the embedding factor, "
+               "per Section 4.5.\n";
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Reproduces Table 3 (Appendix A) and the Figure 6/7 aggregation
+// arithmetic: prints the platform survey, then converts measured spike
+// counts of our three neuromorphic algorithms into per-platform energy and
+// compares with the CPU baselines' operation counts.
+#include <iostream>
+
+#include "analysis/platforms.h"
+#include "core/random.h"
+#include "core/table.h"
+#include "graph/bellman_ford.h"
+#include "graph/dijkstra.h"
+#include "graph/generators.h"
+#include "nga/khop_poly.h"
+#include "nga/khop_ttl.h"
+#include "nga/sssp_event.h"
+
+using namespace sga;
+using namespace sga::analysis;
+
+int main() {
+  std::cout << "=== Table 3: current scalable neuromorphic platforms ===\n\n";
+  Table t({"platform", "org", "design", "process", "neurons/core",
+           "cores/chip", "pJ/spike", "power (W)"});
+  for (const auto& p : platforms()) {
+    auto opt_num = [](const std::optional<double>& v) {
+      return v ? Table::fixed(*v, 0) : std::string("-");
+    };
+    t.add_row({p.name, p.organization, p.design,
+               Table::num(static_cast<std::int64_t>(p.process_nm)) + "nm",
+               opt_num(p.neurons_per_core), opt_num(p.cores_per_chip),
+               opt_num(p.pj_per_spike), Table::fixed(p.watts, 2)});
+  }
+  t.print(std::cout);
+
+  // Workload: one mid-size SSSP + one k-hop instance.
+  Rng rng(0x7AB3);
+  const Graph g = make_random_graph(512, 4096, {1, 16}, rng);
+  nga::SpikingSsspOptions sopt;
+  sopt.source = 0;
+  sopt.record_parents = false;
+  const auto sssp = nga::spiking_sssp(g, sopt);
+  const auto dij = dijkstra(g, 0);
+
+  const Graph gk = make_random_graph(32, 128, {1, 6}, rng);
+  nga::KHopTtlOptions topt;
+  topt.source = 0;
+  topt.k = 6;
+  const auto ttl = nga::khop_sssp_ttl(gk, topt);
+  nga::KHopPolyOptions popt;
+  popt.source = 0;
+  popt.k = 6;
+  const auto poly = nga::khop_sssp_poly(gk, popt);
+  const auto bf = bellman_ford_khop(gk, 0, 6);
+
+  std::cout << "\n=== Energy: measured spikes × Table-3 pJ/spike ===\n\n";
+  Table e({"workload", "spikes / ops", "TrueNorth (J)", "Loihi (J)",
+           "SpiNNaker 1 (J)", "CPU est. (J)"});
+  auto row = [&](const std::string& name, std::uint64_t spikes,
+                 std::uint64_t cpu_ops) {
+    e.add_row({name, Table::num(spikes) + " / " + Table::num(cpu_ops),
+               Table::sci(spike_energy_joules(platform_by_name("TrueNorth"),
+                                              spikes),
+                          2),
+               Table::sci(spike_energy_joules(platform_by_name("Loihi"),
+                                              spikes),
+                          2),
+               Table::sci(spike_energy_joules(platform_by_name("SpiNNaker 1"),
+                                              spikes),
+                          2),
+               Table::sci(cpu_energy_joules(cpu_ops), 2)});
+  };
+  row("SSSP (n=512, m=4096)", sssp.sim.spikes, dij.ops.total());
+  row("k-hop TTL (n=32, k=6)", ttl.sim.spikes, bf.ops.total());
+  row("k-hop poly (n=32, k=6)", poly.sim.spikes, bf.ops.total());
+  e.print(std::cout);
+
+  std::cout << "\n=== Figures 6/7: aggregating chips into systems ===\n\n";
+  Table c({"network size (neurons)", "TrueNorth chips", "Loihi chips",
+           "Loihi Nahuku boards (32 chips)"});
+  for (const std::uint64_t neurons :
+       {100000ULL, 1000000ULL, 100000000ULL, 1000000000ULL}) {
+    const auto loihi_chips =
+        chips_required(platform_by_name("Loihi"), neurons);
+    c.add_row({Table::num(neurons),
+               Table::num(chips_required(platform_by_name("TrueNorth"),
+                                         neurons)),
+               Table::num(loihi_chips),
+               Table::num((loihi_chips + 31) / 32)});
+  }
+  c.print(std::cout);
+  std::cout << "\n(The paper: 128K neurons/Loihi chip, ~4M per fully "
+               "populated Nahuku board, 100M-neuron systems available.)\n";
+
+  // What fits on one chip? Invert the Section 4.5 neuron counts.
+  std::cout << "\n=== Per-chip capacity: largest instance per algorithm "
+               "===\n\n";
+  Table cap({"platform", "SSSP pseudo (n = neurons)",
+             "k-hop TTL edges (k=8)", "k-hop poly edges (k=8, U=16)"});
+  for (const auto& p : platforms()) {
+    const auto per_chip = p.neurons_per_chip();
+    if (!per_chip) {
+      continue;
+    }
+    // Measured constants from bench_theorems4: TTL ≈ 7·m·log k neurons,
+    // poly ≈ 12·m·log(kU) neurons; pseudo SSSP = n neurons exactly.
+    const double chip = *per_chip;
+    const double ttl_edges = chip / (7.0 * 3.0);       // log2(8) = 3
+    const double poly_edges = chip / (12.0 * 8.0);     // bits_for(9*16+1) = 8
+    cap.add_row({p.name, Table::num(static_cast<std::uint64_t>(chip)),
+                 Table::num(static_cast<std::uint64_t>(ttl_edges)),
+                 Table::num(static_cast<std::uint64_t>(poly_edges))});
+  }
+  cap.print(std::cout);
+  std::cout << "\n(Using the measured neurons-per-edge constants of "
+               "bench_theorems4; e.g. one Loihi chip holds the full "
+               "gate-level polynomial k-hop machinery for a ~1.4k-edge "
+               "graph, or delay-coded SSSP for a 131k-vertex graph.)\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Writing your own neuromorphic graph algorithm with the Definition-4
+// framework: the paper's example computes A^k x and min-plus shortest
+// paths; here we plug in a different semiring — (max, min) — to compute
+// WIDEST paths (maximum bottleneck capacity) within k hops, and check it
+// against a conventional reference. The same message-passing skeleton, a
+// different pair of edge/node functions: that is the NGA programming model.
+//
+//   ./examples/custom_nga
+#include <algorithm>
+#include <iostream>
+#include <queue>
+
+#include "core/random.h"
+#include "core/table.h"
+#include "graph/generators.h"
+#include "nga/model.h"
+
+using namespace sga;
+
+namespace {
+
+/// Conventional reference: widest path within at most k hops via k rounds
+/// of (max, min) relaxation.
+std::vector<Weight> widest_khop_reference(const Graph& g, VertexId source,
+                                          std::uint32_t k) {
+  std::vector<Weight> width(g.num_vertices(), 0);
+  width[source] = kInfiniteDistance;  // the source has unbounded capacity
+  for (std::uint32_t round = 0; round < k; ++round) {
+    std::vector<Weight> prev = width;
+    for (const auto& e : g.edges()) {
+      if (prev[e.from] == 0) continue;
+      const Weight through = std::min(prev[e.from], e.length);
+      width[e.to] = std::max(width[e.to], through);
+    }
+  }
+  return width;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(505);
+  const Graph g = make_random_graph(14, 50, {1, 20}, rng);
+  const std::uint32_t k = 4;
+  std::cout << "Widest (max bottleneck) paths within " << k << " hops on "
+            << g.summary() << "\n\n";
+
+  // The NGA: messages carry the best bottleneck seen so far. Edges take a
+  // min with their capacity; nodes take a max over incoming messages and
+  // their own best so far (carried as a self-message via the per-round
+  // fold below).
+  std::vector<nga::Message> init(g.num_vertices());
+  init[0] = nga::Message{~0ULL >> 1, true};  // "infinite" capacity
+
+  const nga::EdgeFn edge = [](const Edge& e, const nga::Message& m) {
+    return nga::Message{
+        std::min<std::uint64_t>(m.value, static_cast<std::uint64_t>(e.length)),
+        true};
+  };
+  const nga::NodeFn node = [](VertexId, const std::vector<nga::Message>& in) {
+    nga::Message best;
+    for (const auto& m : in) {
+      if (m.valid && (!best.valid || m.value > best.value)) best = m;
+    }
+    return best;
+  };
+
+  const auto trace = nga::run_nga(g, init, k, edge, node);
+
+  // dist-style fold: widest within ≤ k hops = max over rounds.
+  std::vector<std::uint64_t> widest(g.num_vertices(), 0);
+  for (const auto& round : trace.per_round) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (round[v].valid) {
+        widest[v] = std::max(widest[v], round[v].value);
+      }
+    }
+  }
+
+  const auto ref = widest_khop_reference(g, 0, k);
+  Table t({"vertex", "NGA widest", "reference", "match"});
+  bool all_match = true;
+  for (VertexId v = 1; v < g.num_vertices(); ++v) {
+    const std::uint64_t expect =
+        ref[v] >= kInfiniteDistance ? (~0ULL >> 1)
+                                    : static_cast<std::uint64_t>(ref[v]);
+    const bool ok = widest[v] == expect;
+    all_match &= ok;
+    t.add_row({Table::num(static_cast<std::int64_t>(v)),
+               Table::num(widest[v]), Table::num(expect), ok ? "yes" : "NO"});
+  }
+  t.print(std::cout);
+  std::cout << (all_match ? "\nAll destinations match." : "\nMISMATCH!")
+            << "\nMessages sent: " << trace.messages_sent
+            << " across " << k << " rounds.\n"
+            << "\nSwap the two lambdas and you have a different graph "
+               "algorithm — the Section-5 circuits (max/min, adders) are "
+               "the hardware vocabulary these functions compile to.\n";
+  return all_match ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+// Network-flow demo (the paper's Section-8 future-work direction): compute
+// the maximum throughput of a layered supply pipeline with the
+// neuromorphic-assisted Edmonds–Karp — every augmenting-path search is a
+// spiking BFS on the residual network — and compare against the
+// conventional reference.
+//
+//   ./examples/maxflow_pipeline
+#include <iostream>
+
+#include "core/random.h"
+#include "core/table.h"
+#include "graph/generators.h"
+#include "nga/maxflow.h"
+
+int main() {
+  using namespace sga;
+
+  // A layered "pipeline": source feeds 4 intake stations, goods move
+  // through two processing layers into a sink. Capacities = edge lengths.
+  Rng rng(77);
+  Graph g(11);
+  const VertexId source = 0, sink = 10;
+  for (VertexId intake = 1; intake <= 4; ++intake) {
+    g.add_edge(source, intake, rng.uniform_int(4, 9));
+  }
+  for (VertexId intake = 1; intake <= 4; ++intake) {
+    for (VertexId proc = 5; proc <= 7; ++proc) {
+      if (rng.bernoulli(0.7)) g.add_edge(intake, proc, rng.uniform_int(2, 6));
+    }
+  }
+  for (VertexId proc = 5; proc <= 7; ++proc) {
+    for (VertexId out = 8; out <= 9; ++out) {
+      g.add_edge(proc, out, rng.uniform_int(3, 8));
+    }
+  }
+  g.add_edge(8, sink, 12);
+  g.add_edge(9, sink, 12);
+
+  std::cout << "Pipeline: " << g.summary() << "\n\n";
+
+  nga::MaxFlowOptions opt;
+  opt.source = source;
+  opt.sink = sink;
+  const auto flow = nga::spiking_max_flow(g, opt);
+  const auto ref = nga::reference_max_flow(g, source, sink);
+
+  std::cout << "Maximum throughput: " << flow.value
+            << " units (conventional reference: " << ref << ")\n";
+  std::cout << "Augmenting phases: " << flow.phases << "; spiking searches: "
+            << flow.total_spikes << " spikes, " << flow.total_snn_steps
+            << " SNN steps total\n\n";
+
+  Table t({"edge", "capacity", "flow"});
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (flow.flow[e] == 0) continue;
+    t.add_row({Table::num(static_cast<std::int64_t>(g.edge(e).from)) + " -> " +
+                   Table::num(static_cast<std::int64_t>(g.edge(e).to)),
+               Table::num(g.edge(e).length), Table::num(flow.flow[e])});
+  }
+  t.set_title("Saturating flow assignment (zero-flow edges omitted)");
+  t.print(std::cout);
+
+  std::cout << "\nEach phase's path search is the Section-3 spiking SSSP "
+               "with unit delays on the residual graph — first-spike order "
+               "IS breadth-first order, so the hardware does the search.\n";
+  return 0;
+}

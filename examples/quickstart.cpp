@@ -1,0 +1,56 @@
+// Quickstart: build a small weighted graph, solve single-source shortest
+// paths with the Section-3 spiking algorithm (synapse delay = edge length,
+// first spike = distance), and cross-check against Dijkstra.
+//
+//   ./examples/quickstart
+#include <iostream>
+
+#include "core/table.h"
+#include "graph/dijkstra.h"
+#include "graph/graph.h"
+#include "nga/sssp_event.h"
+
+int main() {
+  using namespace sga;
+
+  // A little road network: 6 intersections, weighted one-way streets.
+  Graph g(6);
+  g.add_edge(0, 1, 7);
+  g.add_edge(0, 2, 2);
+  g.add_edge(2, 1, 3);
+  g.add_edge(1, 3, 4);
+  g.add_edge(2, 3, 9);
+  g.add_edge(3, 4, 1);
+  g.add_edge(2, 4, 12);
+  g.add_edge(4, 5, 2);
+  g.add_edge(1, 5, 20);
+
+  std::cout << "Input: " << g.summary() << "\n\n";
+
+  // Neuromorphic SSSP: one LIF neuron per vertex, delay-coded edges.
+  nga::SpikingSsspOptions opt;
+  opt.source = 0;
+  const auto snn = nga::spiking_sssp(g, opt);
+
+  // Conventional baseline.
+  const auto ref = dijkstra(g, 0);
+
+  Table t({"vertex", "spiking dist", "dijkstra dist", "spiking parent"});
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    t.add_row({Table::num(static_cast<std::int64_t>(v)),
+               snn.reachable(v) ? Table::num(snn.dist[v]) : "inf",
+               ref.reachable(v) ? Table::num(ref.dist[v]) : "inf",
+               snn.parent[v] == kNoVertex
+                   ? "-"
+                   : Table::num(static_cast<std::int64_t>(snn.parent[v]))});
+  }
+  t.set_title("Single-source shortest paths from vertex 0");
+  t.print(std::cout);
+
+  std::cout << "\nSNN execution time T = " << snn.execution_time
+            << " time steps (= the largest finite distance)\n"
+            << "Network: " << snn.neurons << " neurons, " << snn.synapses
+            << " synapses, " << snn.sim.spikes << " spikes total\n"
+            << "(each vertex spikes exactly once — event-driven efficiency)\n";
+  return 0;
+}

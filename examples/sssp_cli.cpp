@@ -1,0 +1,155 @@
+// Command-line front end: read a graph in DIMACS .gr format (or generate a
+// random one), solve with a chosen algorithm, print distances and cost
+// metrics. Demonstrates the I/O module and gives the library a
+// shell-scriptable surface.
+//
+//   ./examples/sssp_cli --algo spiking --source 0 < graph.gr
+//   ./examples/sssp_cli --algo khop-poly --k 4 --random 32 128
+//   ./examples/sssp_cli --algo all --random 16 64 --seed 7
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/random.h"
+#include "core/table.h"
+#include "graph/bellman_ford.h"
+#include "graph/dijkstra.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "nga/khop_poly.h"
+#include "nga/khop_ttl.h"
+#include "nga/sssp_event.h"
+
+using namespace sga;
+
+namespace {
+
+void usage() {
+  std::cout <<
+      R"(usage: sssp_cli [options] [< graph.gr]
+  --algo NAME     spiking | khop-ttl | khop-poly | dijkstra | all  (default: spiking)
+  --source V      source vertex (default 0)
+  --k K           hop budget for the k-hop algorithms (default 4)
+  --random N M    generate a random graph instead of reading DIMACS
+  --seed S        RNG seed for --random (default 1)
+  --max-len U     max edge length for --random (default 10)
+)";
+}
+
+void print_dists(const std::string& name, const std::vector<Weight>& dist) {
+  Table t({"vertex", "distance"});
+  for (VertexId v = 0; v < dist.size(); ++v) {
+    t.add_row({Table::num(static_cast<std::int64_t>(v)),
+               dist[v] >= kInfiniteDistance ? "inf" : Table::num(dist[v])});
+  }
+  t.set_title(name);
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string algo = "spiking";
+  VertexId source = 0;
+  std::uint32_t k = 4;
+  std::size_t rand_n = 0, rand_m = 0;
+  std::uint64_t seed = 1;
+  Weight max_len = 10;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << what << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--algo") {
+      algo = next("--algo");
+    } else if (arg == "--source") {
+      source = static_cast<VertexId>(std::stoul(next("--source")));
+    } else if (arg == "--k") {
+      k = static_cast<std::uint32_t>(std::stoul(next("--k")));
+    } else if (arg == "--random") {
+      rand_n = std::stoul(next("--random"));
+      rand_m = std::stoul(next("--random m"));
+    } else if (arg == "--seed") {
+      seed = std::stoull(next("--seed"));
+    } else if (arg == "--max-len") {
+      max_len = static_cast<Weight>(std::stoll(next("--max-len")));
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      usage();
+      return 2;
+    }
+  }
+
+  Graph g;
+  try {
+    if (rand_n > 0) {
+      Rng rng(seed);
+      g = make_random_graph(rand_n, rand_m, {1, max_len}, rng);
+    } else {
+      g = read_dimacs(std::cin);
+    }
+  } catch (const Error& e) {
+    std::cerr << "failed to load graph: " << e.what() << "\n";
+    return 1;
+  }
+  std::cout << "Loaded " << g.summary() << "\n\n";
+  if (source >= g.num_vertices()) {
+    std::cerr << "source out of range\n";
+    return 2;
+  }
+
+  try {
+    if (algo == "spiking" || algo == "all") {
+      nga::SpikingSsspOptions opt;
+      opt.source = source;
+      const auto r = nga::spiking_sssp(g, opt);
+      print_dists("spiking SSSP (Section 3)", r.dist);
+      std::cout << "T = " << r.execution_time << " steps, " << r.sim.spikes
+                << " spikes, " << r.neurons << " neurons\n\n";
+    }
+    if (algo == "khop-ttl" || algo == "all") {
+      nga::KHopTtlOptions opt;
+      opt.source = source;
+      opt.k = k;
+      const auto r = nga::khop_sssp_ttl(g, opt);
+      print_dists("k-hop TTL (Section 4.1), k=" + std::to_string(k), r.dist);
+      std::cout << "T = " << r.execution_time << " steps, " << r.sim.spikes
+                << " spikes, " << r.neurons << " neurons, scale " << r.scale
+                << "\n\n";
+    }
+    if (algo == "khop-poly" || algo == "all") {
+      nga::KHopPolyOptions opt;
+      opt.source = source;
+      opt.k = k;
+      const auto r = nga::khop_sssp_poly(g, opt);
+      print_dists("k-hop poly (Section 4.2), k=" + std::to_string(k), r.dist);
+      std::cout << "T = " << r.execution_time << " steps (" << k
+                << " rounds of " << r.round_period << "), " << r.sim.spikes
+                << " spikes, " << r.neurons << " neurons\n\n";
+    }
+    if (algo == "dijkstra" || algo == "all") {
+      const auto r = dijkstra(g, source);
+      print_dists("Dijkstra (conventional reference)", r.dist);
+      std::cout << r.ops.total() << " operations\n\n";
+    }
+    if (algo != "spiking" && algo != "khop-ttl" && algo != "khop-poly" &&
+        algo != "dijkstra" && algo != "all") {
+      std::cerr << "unknown algorithm: " << algo << "\n";
+      usage();
+      return 2;
+    }
+  } catch (const Error& e) {
+    std::cerr << "run failed: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+#include "analysis/advantage.h"
+
+#include <cmath>
+
+namespace sga::analysis {
+
+namespace {
+using nga::log2_clamped;
+double d(std::uint64_t v) { return static_cast<double>(v); }
+}  // namespace
+
+bool better_sssp_poly_dm(const ProblemParams& p) {
+  // log U = O(log n), c = o(m/log²n), α = o(m^{3/2}/(n log n √c)).
+  const double logn = log2_clamped(d(p.n));
+  return log2_clamped(d(p.U)) <= logn &&
+         d(p.c) < d(p.m) / (logn * logn) &&
+         d(p.alpha) < std::pow(d(p.m), 1.5) / (d(p.n) * logn * std::sqrt(d(p.c)));
+}
+
+bool better_khop_poly_dm(const ProblemParams& p) {
+  // log U = O(log n), c = o(m³/(n² log²n)), c = o(k²m/log²n).
+  const double logn = log2_clamped(d(p.n));
+  return log2_clamped(d(p.U)) <= logn &&
+         d(p.c) < std::pow(d(p.m), 3.0) / (d(p.n) * d(p.n) * logn * logn) &&
+         d(p.c) < d(p.k) * d(p.k) * d(p.m) / (logn * logn);
+}
+
+bool better_sssp_pseudo_dm(const ProblemParams& p) {
+  // L = o(m^{3/2}/(n√c)).
+  return d(p.L) < std::pow(d(p.m), 1.5) / (d(p.n) * std::sqrt(d(p.c)));
+}
+
+bool better_khop_pseudo_dm(const ProblemParams& p) {
+  // L = o(k·m^{3/2}/(n√c·log k)).
+  return d(p.L) < d(p.k) * std::pow(d(p.m), 1.5) /
+                      (d(p.n) * std::sqrt(d(p.c)) * log2_clamped(d(p.k)));
+}
+
+bool better_sssp_poly_nodm(const ProblemParams&) { return false; }  // "never"
+
+bool better_khop_poly_nodm(const ProblemParams& p) {
+  // log(nU) = o(k).
+  return log2_clamped(d(p.n) * d(p.U)) < d(p.k);
+}
+
+bool better_sssp_pseudo_nodm(const ProblemParams& p) {
+  // m, L = o(n log n) and L = o(m).
+  const double nlogn = d(p.n) * log2_clamped(d(p.n));
+  return d(p.m) < nlogn && d(p.L) < nlogn && d(p.L) < d(p.m);
+}
+
+bool better_khop_pseudo_nodm(const ProblemParams& p) {
+  // L = o(km/log k) and k = ω(1).
+  return d(p.L) < d(p.k) * d(p.m) / log2_clamped(d(p.k)) && p.k > 1;
+}
+
+double headline_advantage_nodm(const ProblemParams& p) {
+  return d(p.k) / log2_clamped(d(p.n));
+}
+
+double headline_advantage_dm(const ProblemParams& p) {
+  return std::sqrt(d(p.m)) / log2_clamped(d(p.n));
+}
+
+std::vector<Table1Row> table1_rows(const ProblemParams& p) {
+  using namespace nga;
+  std::vector<Table1Row> rows;
+
+  // ---- Top half: taking data movement into account --------------------
+  rows.push_back({"SSSP", "polynomial", true, lb_input_read(p),
+                  nm_sssp_poly_embedded(p), better_sssp_poly_dm(p),
+                  "log U = O(log n), c = o(m/log^2 n), "
+                  "alpha = o(m^{3/2}/(n log n sqrt(c)))"});
+  rows.push_back({"k-hop SSSP", "polynomial", true, lb_khop_bellman_ford(p),
+                  nm_khop_poly_embedded(p), better_khop_poly_dm(p),
+                  "log U = O(log n), c = o(m^3/(n^2 log^2 n)), "
+                  "c = o(k^2 m/log^2 n)"});
+  rows.push_back({"SSSP", "pseudopolynomial", true, lb_input_read(p),
+                  nm_sssp_pseudo_embedded(p), better_sssp_pseudo_dm(p),
+                  "L = o(m^{3/2}/(n sqrt(c)))"});
+  rows.push_back({"k-hop SSSP", "pseudopolynomial", true,
+                  lb_khop_bellman_ford(p), nm_khop_pseudo_embedded(p),
+                  better_khop_pseudo_dm(p),
+                  "L = o(k m^{3/2}/(n sqrt(c) log k))"});
+
+  // ---- Bottom half: ignoring data movement ----------------------------
+  rows.push_back({"SSSP", "polynomial", false, conv_sssp(p), nm_sssp_poly(p),
+                  better_sssp_poly_nodm(p), "never"});
+  rows.push_back({"k-hop SSSP", "polynomial", false, conv_khop(p),
+                  nm_khop_poly(p), better_khop_poly_nodm(p),
+                  "log(nU) = o(k)"});
+  rows.push_back({"SSSP", "pseudopolynomial", false, conv_sssp(p),
+                  nm_sssp_pseudo(p), better_sssp_pseudo_nodm(p),
+                  "m, L = o(n log n) and L = o(m)"});
+  rows.push_back({"k-hop SSSP", "pseudopolynomial", false, conv_khop(p),
+                  nm_khop_pseudo(p), better_khop_pseudo_nodm(p),
+                  "L = o(km/log k) & k = omega(1)"});
+  return rows;
+}
+
+}  // namespace sga::analysis

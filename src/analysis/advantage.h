@@ -1,0 +1,46 @@
+// Table 1 as code: the complexity expressions for every row of both halves
+// of the table, and the "neuromorphic is better when" conditions evaluated
+// on concrete problem instances (asymptotic conditions are checked as plain
+// inequalities with all hidden constants set to 1 — benches report where
+// the measured crossover actually falls).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nga/costs.h"
+
+namespace sga::analysis {
+
+using nga::ProblemParams;
+
+struct Table1Row {
+  std::string problem;      ///< "SSSP" / "k-hop SSSP"
+  std::string complexity;   ///< "polynomial" / "pseudopolynomial"
+  bool with_data_movement;  ///< which half of Table 1
+  double conventional;      ///< lower bound (top half) or best-known (bottom)
+  double neuromorphic;      ///< the paper's neuromorphic bound
+  bool nm_better;           ///< the row's "better when" condition, evaluated
+  std::string condition;    ///< the condition, as printed in the paper
+};
+
+/// All eight rows of Table 1 for a concrete instance.
+std::vector<Table1Row> table1_rows(const ProblemParams& p);
+
+// The "neuromorphic is better when" predicates, row by row (constants = 1).
+bool better_sssp_poly_dm(const ProblemParams& p);
+bool better_khop_poly_dm(const ProblemParams& p);
+bool better_sssp_pseudo_dm(const ProblemParams& p);
+bool better_khop_pseudo_dm(const ProblemParams& p);
+bool better_sssp_poly_nodm(const ProblemParams& p);   // "never"
+bool better_khop_poly_nodm(const ProblemParams& p);   // log(nU) = o(k)
+bool better_sssp_pseudo_nodm(const ProblemParams& p);
+bool better_khop_pseudo_nodm(const ProblemParams& p);
+
+/// The paper's headline factors: Ω(k/log n) advantage ignoring data
+/// movement and Ω(m^{1/2}/log n) with it (k-hop polynomial row, U = poly(n),
+/// c = O(1)).
+double headline_advantage_nodm(const ProblemParams& p);
+double headline_advantage_dm(const ProblemParams& p);
+
+}  // namespace sga::analysis

@@ -1,0 +1,38 @@
+#include "analysis/calibrate.h"
+
+#include <cmath>
+
+#include "core/error.h"
+
+namespace sga::analysis {
+
+double CalibratedModel::predict(const nga::ProblemParams& p) const {
+  SGA_REQUIRE(static_cast<bool>(formula), "predict: model not calibrated");
+  return constant * formula(p);
+}
+
+CalibratedModel calibrate(const std::vector<nga::ProblemParams>& instances,
+                          const std::vector<double>& measured,
+                          CostFormula formula) {
+  SGA_REQUIRE(!instances.empty(), "calibrate: no instances");
+  SGA_REQUIRE(instances.size() == measured.size(),
+              "calibrate: size mismatch");
+  double log_sum = 0;
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const double f = formula(instances[i]);
+    SGA_REQUIRE(f > 0 && measured[i] > 0,
+                "calibrate: non-positive cost or formula value at " << i);
+    log_sum += std::log(measured[i] / f);
+  }
+  CalibratedModel m;
+  m.constant = std::exp(log_sum / static_cast<double>(instances.size()));
+  m.formula = std::move(formula);
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const double pred = m.predict(instances[i]);
+    m.max_rel_error = std::max(
+        m.max_rel_error, std::abs(measured[i] - pred) / measured[i]);
+  }
+  return m;
+}
+
+}  // namespace sga::analysis

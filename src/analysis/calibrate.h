@@ -1,0 +1,32 @@
+// Constant calibration: the theorems give cost = Θ(formula(params)); fit
+// the hidden constant from measured small instances and predict larger
+// ones. This is how the benches turn asymptotic claims into checkable
+// numbers, and how a user can size hardware for instances they have not
+// run ("will this graph's k-hop machinery fit on one chip?").
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "nga/costs.h"
+
+namespace sga::analysis {
+
+using CostFormula = std::function<double(const nga::ProblemParams&)>;
+
+struct CalibratedModel {
+  double constant = 0;        ///< fitted C in cost ≈ C·formula(p)
+  double max_rel_error = 0;   ///< worst |measured − C·f| / measured seen
+  CostFormula formula;
+
+  double predict(const nga::ProblemParams& p) const;
+};
+
+/// Fit C as the geometric mean of measured/formula ratios (scale-invariant;
+/// right for Θ-claims where the ratio should be flat). Requires at least
+/// one instance and positive costs/formula values.
+CalibratedModel calibrate(const std::vector<nga::ProblemParams>& instances,
+                          const std::vector<double>& measured,
+                          CostFormula formula);
+
+}  // namespace sga::analysis

@@ -1,0 +1,44 @@
+#include "analysis/fit.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "core/error.h"
+
+namespace sga::analysis {
+
+ScalingCheck check_power_law(const std::vector<double>& sizes,
+                             const std::vector<double>& costs,
+                             double expected, double tolerance) {
+  const LinearFit fit = fit_power_law(sizes, costs);
+  ScalingCheck c;
+  c.fitted_exponent = fit.slope;
+  c.expected_exponent = expected;
+  c.r2 = fit.r2;
+  c.fitted_constant = std::exp(fit.intercept);
+  c.ok = std::abs(fit.slope - expected) <= tolerance;
+  return c;
+}
+
+std::vector<std::size_t> geometric_sizes(std::size_t start, double factor,
+                                         std::size_t count) {
+  SGA_REQUIRE(start >= 1 && factor > 1.0 && count >= 1,
+              "geometric_sizes: bad parameters");
+  std::vector<std::size_t> out;
+  double x = static_cast<double>(start);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(static_cast<std::size_t>(x));
+    x *= factor;
+  }
+  return out;
+}
+
+std::string describe(const ScalingCheck& c) {
+  std::ostringstream os;
+  os.precision(3);
+  os << "e = " << c.fitted_exponent << " (expect " << c.expected_exponent
+     << ", R^2 = " << c.r2 << ") " << (c.ok ? "[OK]" : "[MISMATCH]");
+  return os.str();
+}
+
+}  // namespace sga::analysis

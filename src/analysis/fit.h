@@ -1,0 +1,35 @@
+// Asymptotic-shape checking for benches: collect (size, cost) samples,
+// fit a power law, and compare the exponent against a theorem's prediction.
+// "Reproducing a table" in this repo means: the measured exponent matches
+// the bound's exponent (who wins and by what polynomial factor), not the
+// authors' absolute constants.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/stats.h"
+
+namespace sga::analysis {
+
+struct ScalingCheck {
+  double fitted_exponent = 0;
+  double expected_exponent = 0;
+  double r2 = 0;
+  double fitted_constant = 0;  ///< e^intercept
+  bool ok = false;             ///< |fitted − expected| ≤ tolerance
+};
+
+/// Fit cost ≈ C·size^e and compare e against `expected` (± tolerance).
+ScalingCheck check_power_law(const std::vector<double>& sizes,
+                             const std::vector<double>& costs,
+                             double expected, double tolerance = 0.25);
+
+/// Geometric sweep helper: {start, start·factor, ...} with `count` points.
+std::vector<std::size_t> geometric_sizes(std::size_t start, double factor,
+                                         std::size_t count);
+
+/// Render "e = 1.52 (expect 1.50, R² = 0.999) [OK]".
+std::string describe(const ScalingCheck& check);
+
+}  // namespace sga::analysis

@@ -1,0 +1,50 @@
+// Table 3 (Appendix A) as data: the surveyed neuromorphic platforms and the
+// reference CPU, plus the energy model that converts our simulators' spike
+// counts into per-platform energy estimates (the quantitative content
+// behind the paper's "energy consumption orders of magnitude lower" claim)
+// and the Figure-7 multi-chip aggregation arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sga::analysis {
+
+struct Platform {
+  std::string name;
+  std::string organization;
+  std::string design;            ///< ASIC / ARM / CPU
+  int process_nm = 0;
+  std::optional<double> neurons_per_core;
+  std::optional<double> cores_per_chip;
+  std::optional<double> pj_per_spike;  ///< energy per spike event
+  double watts = 0;                    ///< approximate running power
+  bool is_cpu = false;
+
+  /// Neurons per chip (neurons/core × cores/chip, or the direct figure).
+  std::optional<double> neurons_per_chip() const;
+};
+
+/// The five columns of Table 3: TrueNorth, Loihi, SpiNNaker 1, SpiNNaker 2,
+/// Core i7-9700T.
+const std::vector<Platform>& platforms();
+
+const Platform& platform_by_name(const std::string& name);
+
+/// Energy (joules) for `spikes` spike events on a platform with a
+/// pJ/spike figure.
+double spike_energy_joules(const Platform& p, std::uint64_t spikes);
+
+/// Coarse CPU energy: ops / (ops-per-second) × watts, with a default
+/// 1 op/cycle at the listed clock. Documented as an order-of-magnitude
+/// estimate only.
+double cpu_energy_joules(std::uint64_t ops, double clock_hz = 4.3e9,
+                         double watts = 35.0);
+
+/// Figure 7's aggregation: chips needed to host a network of
+/// `neurons` neurons on the given platform.
+std::uint64_t chips_required(const Platform& p, std::uint64_t neurons);
+
+}  // namespace sga::analysis

@@ -1,0 +1,161 @@
+#include "circuits/adders.h"
+
+#include "core/error.h"
+
+namespace sga::circuits {
+
+namespace {
+
+void check_lambda(int lambda, int max_bits) {
+  SGA_REQUIRE(lambda >= 1 && lambda <= max_bits,
+              "adder: lambda " << lambda << " out of range [1, " << max_bits
+                               << "]");
+}
+
+}  // namespace
+
+AdderCircuit build_ripple_adder(CircuitBuilder& cb, int lambda) {
+  check_lambda(lambda, 62);
+  AdderCircuit c;
+  c.enable = cb.make_input();
+  c.a = cb.make_input_bus(lambda);
+  c.b = cb.make_input_bus(lambda);
+
+  // Stage j: carry-in at level 2j (level 0 = "no carry" for j = 0 — no
+  // neuron needed), threshold gates ge1/ge2/ge3 over {a_j, b_j, carry} at
+  // level 2j+1, sum_j = ge1 - ge2 + ge3 at level 2j+2. ge2 doubles as the
+  // carry into stage j+1.
+  NeuronId carry = kNoNeuron;
+  std::vector<NeuronId> sums;
+  for (int j = 0; j < lambda; ++j) {
+    const int gate_level = 2 * j + 1;
+    const NeuronId ge1 = cb.make_gate(1, gate_level);
+    const NeuronId ge2 = cb.make_gate(2, gate_level);
+    const NeuronId ge3 = cb.make_gate(3, gate_level);
+    for (const NeuronId g : {ge1, ge2, ge3}) {
+      cb.connect(c.a[static_cast<std::size_t>(j)], g, 1);
+      cb.connect(c.b[static_cast<std::size_t>(j)], g, 1);
+      if (carry != kNoNeuron) cb.connect(carry, g, 1);
+    }
+    const NeuronId s = cb.make_gate(1, gate_level + 1);
+    cb.connect(ge1, s, 1);
+    cb.connect(ge2, s, -1);
+    cb.connect(ge3, s, 1);
+    sums.push_back(s);
+    carry = ge2;
+  }
+
+  // Align every sum bit (level 2j+2) and the carry-out (level 2λ-1) to a
+  // common output level via buffers, so one presentation's output is a
+  // single time step.
+  c.depth = 2 * lambda + 2;
+  for (int j = 0; j < lambda; ++j) {
+    c.sum.push_back(cb.buffer(sums[static_cast<std::size_t>(j)], c.depth));
+  }
+  c.carry_out = cb.buffer(carry, c.depth);
+  c.stats = cb.stats();
+  return c;
+}
+
+AdderCircuit build_ramos_adder(CircuitBuilder& cb, int lambda) {
+  check_lambda(lambda, 50);  // weights reach 2^λ
+  AdderCircuit c;
+  c.enable = cb.make_input();
+  c.a = cb.make_input_bus(lambda);
+  c.b = cb.make_input_bus(lambda);
+
+  // Level 1: carry into bit j (j = 1..λ) fires iff
+  //   Σ_{i<j} 2^i (a_i + b_i) ≥ 2^j.
+  // carries[j] = carry INTO bit j; carries[λ] is the carry-out.
+  std::vector<NeuronId> carries(static_cast<std::size_t>(lambda) + 1, kNoNeuron);
+  for (int j = 1; j <= lambda; ++j) {
+    const NeuronId cj =
+        cb.make_gate(static_cast<Voltage>(static_cast<double>(1ULL << j)), 1);
+    for (int i = 0; i < j; ++i) {
+      const double w = static_cast<double>(1ULL << i);
+      cb.connect(c.a[static_cast<std::size_t>(i)], cj, w);
+      cb.connect(c.b[static_cast<std::size_t>(i)], cj, w);
+    }
+    carries[static_cast<std::size_t>(j)] = cj;
+  }
+
+  // Level 2: s_j = a_j + b_j + carry_j - 2·carry_{j+1} ∈ {0, 1}.
+  for (int j = 0; j < lambda; ++j) {
+    const NeuronId s = cb.make_gate(1, 2);
+    cb.connect(c.a[static_cast<std::size_t>(j)], s, 1);
+    cb.connect(c.b[static_cast<std::size_t>(j)], s, 1);
+    if (j >= 1) cb.connect(carries[static_cast<std::size_t>(j)], s, 1);
+    cb.connect(carries[static_cast<std::size_t>(j) + 1], s, -2);
+    c.sum.push_back(s);
+  }
+  c.carry_out = cb.buffer(carries[static_cast<std::size_t>(lambda)], 2);
+  c.depth = 2;
+  c.stats = cb.stats();
+  return c;
+}
+
+AdderCircuit build_lookahead_adder(CircuitBuilder& cb, int lambda) {
+  check_lambda(lambda, 62);
+  AdderCircuit c;
+  c.enable = cb.make_input();
+  c.a = cb.make_input_bus(lambda);
+  c.b = cb.make_input_bus(lambda);
+
+  // Level 1: generate g_i = a_i ∧ b_i and propagate p_i = a_i ∨ b_i.
+  std::vector<NeuronId> g, p;
+  for (int i = 0; i < lambda; ++i) {
+    const NeuronId gi = cb.make_gate(2, 1);
+    cb.connect(c.a[static_cast<std::size_t>(i)], gi, 1);
+    cb.connect(c.b[static_cast<std::size_t>(i)], gi, 1);
+    g.push_back(gi);
+    const NeuronId pi = cb.make_gate(1, 1);
+    cb.connect(c.a[static_cast<std::size_t>(i)], pi, 1);
+    cb.connect(c.b[static_cast<std::size_t>(i)], pi, 1);
+    p.push_back(pi);
+  }
+
+  // Level 2: t_{i,j} = g_i ∧ p_{i+1} ∧ ... ∧ p_{j-1} (carry generated at i
+  // survives to j). O(λ²) neurons — the size of this construction.
+  // Level 3: carry_j = ∨_{i<j} t_{i,j}.
+  std::vector<NeuronId> carries(static_cast<std::size_t>(lambda) + 1, kNoNeuron);
+  for (int j = 1; j <= lambda; ++j) {
+    std::vector<NeuronId> terms;
+    for (int i = 0; i < j; ++i) {
+      const NeuronId t = cb.make_gate(static_cast<Voltage>(j - i), 2);
+      cb.connect(g[static_cast<std::size_t>(i)], t, 1);
+      for (int r = i + 1; r < j; ++r) {
+        cb.connect(p[static_cast<std::size_t>(r)], t, 1);
+      }
+      terms.push_back(t);
+    }
+    carries[static_cast<std::size_t>(j)] = cb.or_gate(terms, 3);
+  }
+
+  // Level 4: s_j = a_j + b_j + carry_j - 2·carry_{j+1}.
+  for (int j = 0; j < lambda; ++j) {
+    const NeuronId s = cb.make_gate(1, 4);
+    cb.connect(c.a[static_cast<std::size_t>(j)], s, 1);
+    cb.connect(c.b[static_cast<std::size_t>(j)], s, 1);
+    if (j >= 1) cb.connect(carries[static_cast<std::size_t>(j)], s, 1);
+    cb.connect(carries[static_cast<std::size_t>(j) + 1], s, -2);
+    c.sum.push_back(s);
+  }
+  c.carry_out = cb.buffer(carries[static_cast<std::size_t>(lambda)], 4);
+  c.depth = 4;
+  c.stats = cb.stats();
+  return c;
+}
+
+AdderCircuit build_adder(CircuitBuilder& cb, int lambda, AdderKind kind) {
+  switch (kind) {
+    case AdderKind::kRipple:
+      return build_ripple_adder(cb, lambda);
+    case AdderKind::kRamosBohorquez:
+      return build_ramos_adder(cb, lambda);
+    case AdderKind::kLookahead:
+      return build_lookahead_adder(cb, lambda);
+  }
+  SGA_CHECK(false, "unreachable adder kind");
+}
+
+}  // namespace sga::circuits

@@ -1,0 +1,40 @@
+// Threshold-gate adders for two λ-bit numbers — Section 5 "Sum Circuits"
+// and Figure 4.
+//
+// Three constructions:
+//   * ripple:    O(λ) neurons, O(λ) depth, weights O(1) — the "chained
+//                constant-depth parity circuits ... for the carry bit"
+//                adder of Section 4.1;
+//   * Ramos–Bohórquez (Fig. 4): O(λ) neurons, depth 2, weights up to 2^λ
+//                (carry_j fires iff the low-order j bits of a+b reach 2^j);
+//   * lookahead: O(λ²) neurons, depth 4, weights ≤ λ — our variant of the
+//                Siu–Roychowdhury–Kailath polynomial-weight construction
+//                (they achieve depth 3 with a more intricate circuit; the
+//                size/weight profile is the same).
+#pragma once
+
+#include <vector>
+
+#include "circuits/builder.h"
+#include "core/types.h"
+
+namespace sga::circuits {
+
+struct AdderCircuit {
+  std::vector<NeuronId> a, b;  ///< λ-bit operands (LSB first)
+  NeuronId enable = kNoNeuron;
+  std::vector<NeuronId> sum;   ///< λ bits, all at level `depth`
+  NeuronId carry_out = kNoNeuron;  ///< also at level `depth`
+  int depth = 0;
+  CircuitStats stats;
+};
+
+enum class AdderKind { kRipple, kRamosBohorquez, kLookahead };
+
+AdderCircuit build_ripple_adder(CircuitBuilder& cb, int lambda);
+AdderCircuit build_ramos_adder(CircuitBuilder& cb, int lambda);
+AdderCircuit build_lookahead_adder(CircuitBuilder& cb, int lambda);
+
+AdderCircuit build_adder(CircuitBuilder& cb, int lambda, AdderKind kind);
+
+}  // namespace sga::circuits

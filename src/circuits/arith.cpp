@@ -1,0 +1,67 @@
+#include "circuits/arith.h"
+
+#include "core/bitops.h"
+#include "core/error.h"
+
+namespace sga::circuits {
+
+AddConstCircuit build_add_constant(CircuitBuilder& cb, int lambda,
+                                   std::uint64_t constant) {
+  SGA_REQUIRE(lambda >= 1 && lambda <= 62, "add_constant: bad lambda " << lambda);
+  SGA_REQUIRE(lambda == 62 || constant < (1ULL << lambda),
+              "add_constant: constant " << constant << " does not fit in "
+                                        << lambda << " bits");
+  AddConstCircuit c;
+  c.enable = cb.make_input();
+  c.a = cb.make_input_bus(lambda);
+
+  // Same ripple scheme as build_ripple_adder, with operand b replaced by
+  // weights from the enable line where the constant has a 1.
+  NeuronId carry = kNoNeuron;
+  std::vector<NeuronId> sums;
+  for (int j = 0; j < lambda; ++j) {
+    const int gate_level = 2 * j + 1;
+    const int cbit = bit_of(constant, j);
+    const NeuronId ge1 = cb.make_gate(1, gate_level);
+    const NeuronId ge2 = cb.make_gate(2, gate_level);
+    const NeuronId ge3 = cb.make_gate(3, gate_level);
+    for (const NeuronId g : {ge1, ge2, ge3}) {
+      cb.connect(c.a[static_cast<std::size_t>(j)], g, 1);
+      if (cbit) cb.connect(c.enable, g, 1);
+      if (carry != kNoNeuron) cb.connect(carry, g, 1);
+    }
+    const NeuronId s = cb.make_gate(1, gate_level + 1);
+    cb.connect(ge1, s, 1);
+    cb.connect(ge2, s, -1);
+    cb.connect(ge3, s, 1);
+    sums.push_back(s);
+    carry = ge2;
+  }
+  c.depth = 2 * lambda + 2;
+  for (int j = 0; j < lambda; ++j) {
+    c.sum.push_back(cb.buffer(sums[static_cast<std::size_t>(j)], c.depth));
+  }
+  c.stats = cb.stats();
+  return c;
+}
+
+AddConstCircuit build_decrement(CircuitBuilder& cb, int lambda) {
+  SGA_REQUIRE(lambda >= 1 && lambda <= 62, "decrement: bad lambda " << lambda);
+  return build_add_constant(cb, lambda, mask_bits(lambda));
+}
+
+std::vector<NeuronId> gate_bus(CircuitBuilder& cb,
+                               const std::vector<NeuronId>& bus,
+                               NeuronId control, int level) {
+  std::vector<NeuronId> out;
+  out.reserve(bus.size());
+  for (const NeuronId b : bus) {
+    const NeuronId g = cb.make_gate(2, level);
+    cb.connect(b, g, 1);
+    cb.connect(control, g, 1);
+    out.push_back(g);
+  }
+  return out;
+}
+
+}  // namespace sga::circuits

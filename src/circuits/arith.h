@@ -1,0 +1,40 @@
+// Derived arithmetic circuits used by the neuromorphic graph algorithms:
+// add-a-hardwired-constant (edge circuits of Section 4.2), subtract-one
+// (the TTL decrement of Section 4.1, implemented as the paper suggests by
+// adding the two's complement of 1), and bus gating (AND every bit of a bus
+// with a control line, used to mask invalid messages).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuits/builder.h"
+#include "core/types.h"
+
+namespace sga::circuits {
+
+struct AddConstCircuit {
+  std::vector<NeuronId> a;  ///< λ-bit input (LSB first)
+  NeuronId enable = kNoNeuron;  ///< supplies the constant's 1-bits
+  std::vector<NeuronId> sum;    ///< λ bits at level `depth` (mod 2^λ)
+  int depth = 0;
+  CircuitStats stats;
+};
+
+/// Ripple circuit computing (a + constant) mod 2^λ. The constant's set bits
+/// are realised as weights from the enable line, which must fire at every
+/// presentation. O(λ) neurons, O(λ) depth.
+AddConstCircuit build_add_constant(CircuitBuilder& cb, int lambda,
+                                   std::uint64_t constant);
+
+/// (a - 1) mod 2^λ: add_constant with 2^λ - 1, i.e. the two's complement of
+/// 1 ("⌈log k⌉ ones"), exactly as Section 4.1 describes.
+AddConstCircuit build_decrement(CircuitBuilder& cb, int lambda);
+
+/// AND every bit of `bus` with `control`; result bits live at `level`
+/// (must exceed the levels of bus bits and control).
+std::vector<NeuronId> gate_bus(CircuitBuilder& cb,
+                               const std::vector<NeuronId>& bus,
+                               NeuronId control, int level);
+
+}  // namespace sga::circuits

@@ -1,0 +1,100 @@
+#include "circuits/builder.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+
+namespace sga::circuits {
+
+CircuitStats& CircuitStats::operator+=(const CircuitStats& o) {
+  neurons += o.neurons;
+  synapses += o.synapses;
+  depth = std::max(depth, o.depth);
+  max_abs_weight = std::max(max_abs_weight, o.max_abs_weight);
+  return *this;
+}
+
+NeuronId CircuitBuilder::make_input() {
+  const NeuronId id = net_.add_neuron(snn::NeuronParams{0, 1, 1.0});
+  level_[id] = 0;
+  ++stats_.neurons;
+  return id;
+}
+
+std::vector<NeuronId> CircuitBuilder::make_input_bus(int bits) {
+  SGA_REQUIRE(bits >= 1, "make_input_bus: need at least one bit");
+  std::vector<NeuronId> bus;
+  bus.reserve(static_cast<std::size_t>(bits));
+  for (int i = 0; i < bits; ++i) bus.push_back(make_input());
+  return bus;
+}
+
+NeuronId CircuitBuilder::make_gate(Voltage threshold, int level) {
+  SGA_REQUIRE(level >= 1, "make_gate: gates live at level >= 1, got " << level);
+  const NeuronId id = net_.add_neuron(snn::NeuronParams{0, threshold, 1.0});
+  level_[id] = level;
+  ++stats_.neurons;
+  stats_.depth = std::max(stats_.depth, level);
+  return id;
+}
+
+void CircuitBuilder::connect(NeuronId from, NeuronId to, SynWeight weight) {
+  const int lf = level_of(from);
+  const int lt = level_of(to);
+  SGA_REQUIRE(lt > lf, "connect: target level " << lt
+                                                << " must exceed source level "
+                                                << lf << " (delays are >= 1)");
+  net_.add_synapse(from, to, weight, lt - lf);
+  ++stats_.synapses;
+  stats_.max_abs_weight = std::max(stats_.max_abs_weight, std::abs(weight));
+}
+
+NeuronId CircuitBuilder::or_gate(const std::vector<NeuronId>& ins, int level) {
+  SGA_REQUIRE(!ins.empty(), "or_gate: no inputs");
+  const NeuronId id = make_gate(1, level);
+  for (const NeuronId in : ins) connect(in, id, 1);
+  return id;
+}
+
+NeuronId CircuitBuilder::and_gate(const std::vector<NeuronId>& ins, int level) {
+  SGA_REQUIRE(!ins.empty(), "and_gate: no inputs");
+  const NeuronId id = make_gate(static_cast<Voltage>(ins.size()), level);
+  for (const NeuronId in : ins) connect(in, id, 1);
+  return id;
+}
+
+NeuronId CircuitBuilder::not_gate(NeuronId in, NeuronId enable, int level) {
+  const NeuronId id = make_gate(1, level);
+  connect(enable, id, 1);
+  connect(in, id, -1);
+  return id;
+}
+
+NeuronId CircuitBuilder::buffer(NeuronId in, int level) {
+  const NeuronId id = make_gate(1, level);
+  connect(in, id, 1);
+  return id;
+}
+
+std::vector<NeuronId> CircuitBuilder::buffer_bus(
+    const std::vector<NeuronId>& ins, int level) {
+  std::vector<NeuronId> out;
+  out.reserve(ins.size());
+  for (const NeuronId in : ins) out.push_back(buffer(in, level));
+  return out;
+}
+
+void CircuitBuilder::register_external(NeuronId id, int level) {
+  SGA_REQUIRE(id < net_.num_neurons(), "register_external: bad neuron " << id);
+  level_[id] = level;
+  stats_.depth = std::max(stats_.depth, level);
+}
+
+int CircuitBuilder::level_of(NeuronId id) const {
+  const auto it = level_.find(id);
+  SGA_REQUIRE(it != level_.end(),
+              "level_of: neuron " << id << " unknown to this builder");
+  return it->second;
+}
+
+}  // namespace sga::circuits

@@ -1,0 +1,87 @@
+// Feed-forward threshold-circuit builder on top of snn::Network.
+//
+// Every gate neuron is assigned a *level*: its firing-time offset relative to
+// the circuit's input neurons. A synapse from level a to level b (> a) gets
+// delay b - a, so if the inputs fire at time t, a level-q gate makes its
+// firing decision at exactly t + q. Consequences:
+//   * every input→output path takes exactly `depth` steps, so all output
+//     bits of one input presentation land on the same time step;
+//   * circuits are fully pipelined: presentations injected at t, t+1, ...
+//     are processed independently (gates use decay τ = 1 — the memoryless
+//     "threshold gate" setting of Definition 2 — so no state leaks between
+//     consecutive presentations, implementing the paper's "neurons that
+//     require all inputs to arrive simultaneously and reset afterward");
+//   * inhibitory edges are guaranteed to arrive on the same step as the
+//     excitation they mask, which is what the Section 5 circuits assume.
+//
+// Gates that need a constant-1 input (NOT, the Eq/S inputs of Figure 5, the
+// hardwired a_{i,λ+1} = 1 of Figure 3) take an `enable` neuron that must
+// fire at each presentation time; in algorithm compositions the message
+// valid line plays this role.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.h"
+#include "snn/network.h"
+
+namespace sga::circuits {
+
+/// Resource accounting for one circuit (the quantities of Table 2).
+struct CircuitStats {
+  std::size_t neurons = 0;
+  std::size_t synapses = 0;
+  int depth = 0;                ///< time steps from input firing to output
+  double max_abs_weight = 0;    ///< largest |synaptic weight| used
+
+  CircuitStats& operator+=(const CircuitStats& o);
+};
+
+class CircuitBuilder {
+ public:
+  explicit CircuitBuilder(snn::Network& net) : net_(net) {}
+
+  snn::Network& net() { return net_; }
+
+  /// Level-0 input relay (threshold 1, τ = 1). Fires when injected or when
+  /// any upstream synapse delivers weight ≥ 1.
+  NeuronId make_input();
+  std::vector<NeuronId> make_input_bus(int bits);
+
+  /// Threshold gate (τ = 1, reset 0) at the given level ≥ 1.
+  NeuronId make_gate(Voltage threshold, int level);
+
+  /// Synapse with delay derived from levels: level_of(to) - level_of(from).
+  void connect(NeuronId from, NeuronId to, SynWeight weight);
+
+  /// OR of `ins` at `level` (must exceed every input's level).
+  NeuronId or_gate(const std::vector<NeuronId>& ins, int level);
+  /// AND of `ins` at `level` (threshold = |ins|).
+  NeuronId and_gate(const std::vector<NeuronId>& ins, int level);
+  /// Fires iff enable ∧ ¬in.
+  NeuronId not_gate(NeuronId in, NeuronId enable, int level);
+  /// Identity relay of `in` at `level`.
+  NeuronId buffer(NeuronId in, int level);
+  /// Buffer a whole bus to a common level.
+  std::vector<NeuronId> buffer_bus(const std::vector<NeuronId>& ins, int level);
+
+  /// Adopt a neuron created outside this builder (e.g. an algorithm-level
+  /// neuron) so it can be wired with level bookkeeping.
+  void register_external(NeuronId id, int level);
+
+  int level_of(NeuronId id) const;
+
+  /// Stats over everything created through this builder. `depth` is the
+  /// highest level assigned so far.
+  const CircuitStats& stats() const { return stats_; }
+
+ private:
+  snn::Network& net_;
+  std::unordered_map<NeuronId, int> level_;
+  CircuitStats stats_;
+};
+
+}  // namespace sga::circuits

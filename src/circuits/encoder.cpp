@@ -1,0 +1,34 @@
+#include "circuits/encoder.h"
+
+#include "core/bitops.h"
+#include "core/error.h"
+
+namespace sga::circuits {
+
+EncoderCircuit build_encoder(CircuitBuilder& cb, int d) {
+  SGA_REQUIRE(d >= 1, "encoder: need at least one line");
+  EncoderCircuit e;
+  e.inputs = cb.make_input_bus(d);
+  const int bits = bits_for(static_cast<std::uint64_t>(d - 1));
+  e.depth = 1;
+  for (int b = 0; b < bits; ++b) {
+    std::vector<NeuronId> lines;
+    for (int i = 0; i < d; ++i) {
+      if (bit_of(static_cast<std::uint64_t>(i), b)) {
+        lines.push_back(e.inputs[static_cast<std::size_t>(i)]);
+      }
+    }
+    if (lines.empty()) {
+      // Bit never set among indices (only for d == 1): a silent gate keeps
+      // the bus width uniform.
+      e.index.push_back(cb.make_gate(1, 1));
+    } else {
+      e.index.push_back(cb.or_gate(lines, 1));
+    }
+  }
+  e.any = cb.or_gate(e.inputs, 1);
+  e.stats = cb.stats();
+  return e;
+}
+
+}  // namespace sga::circuits

@@ -1,0 +1,30 @@
+// One-hot → binary encoder: turns the winner indicators of the Section-5
+// max circuits (Figure 3's a_{i,1} / Figure 5's M_x) into a ⌈log₂ d⌉-bit
+// index — the circuit behind Section 3's "binary encoding of its ID".
+// Pure wiring through OR gates: index bit b fires iff some winner whose
+// index has bit b set fires. With multiple simultaneous winners the output
+// is the OR of their indices (the documented tie behaviour of the ID
+// broadcast scheme); the brute-force max's unique winner gives an exact
+// index.
+#pragma once
+
+#include <vector>
+
+#include "circuits/builder.h"
+#include "core/types.h"
+
+namespace sga::circuits {
+
+struct EncoderCircuit {
+  std::vector<NeuronId> inputs;  ///< d one-hot lines
+  std::vector<NeuronId> index;   ///< ⌈log₂ d⌉ bits (LSB first), level depth
+  NeuronId any = kNoNeuron;      ///< fires iff any input fired
+  int depth = 0;
+  CircuitStats stats;
+};
+
+/// Encoder over d ≥ 1 lines; inputs are fresh level-0 relays (wire the
+/// winner neurons into them, or register_external + connect upstream).
+EncoderCircuit build_encoder(CircuitBuilder& cb, int d);
+
+}  // namespace sga::circuits

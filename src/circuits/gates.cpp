@@ -1,0 +1,56 @@
+#include "circuits/gates.h"
+
+#include "core/error.h"
+
+namespace sga::circuits {
+
+ComparatorCircuit build_comparator(CircuitBuilder& cb, int lambda) {
+  SGA_REQUIRE(lambda >= 1 && lambda <= 50, "comparator: bad lambda " << lambda);
+  ComparatorCircuit c;
+  c.enable = cb.make_input();
+  c.a = cb.make_input_bus(lambda);
+  c.b = cb.make_input_bus(lambda);
+
+  // ge: a - b + 1 ≥ 1  ⇔  a ≥ b.
+  c.ge = cb.make_gate(1, 1);
+  // le (internal): b - a + 1 ≥ 1  ⇔  b ≥ a (the reversed comparison).
+  const NeuronId le = cb.make_gate(1, 1);
+  for (int j = 0; j < lambda; ++j) {
+    const double w = static_cast<double>(1ULL << j);
+    cb.connect(c.a[static_cast<std::size_t>(j)], c.ge, w);
+    cb.connect(c.b[static_cast<std::size_t>(j)], c.ge, -w);
+    cb.connect(c.a[static_cast<std::size_t>(j)], le, -w);
+    cb.connect(c.b[static_cast<std::size_t>(j)], le, w);
+  }
+  cb.connect(c.enable, c.ge, 1);
+  cb.connect(c.enable, le, 1);
+
+  // gt = ¬le (Figure 5A's NOT of the reversed comparison): a > b.
+  c.gt = cb.not_gate(le, c.enable, 2);
+  // eq = ge ∧ ¬gt; buffer ge to level 2 via the delay on the synapse.
+  c.eq = cb.make_gate(1, 3);
+  cb.connect(c.ge, c.eq, 1);
+  cb.connect(c.gt, c.eq, -1);
+
+  c.depth = 3;
+  c.stats = cb.stats();
+  return c;
+}
+
+NeuronId xor_gate(CircuitBuilder& cb, NeuronId x, NeuronId y, int level) {
+  const int inner = level - 1;
+  SGA_REQUIRE(inner > cb.level_of(x) && inner > cb.level_of(y),
+              "xor_gate: level too shallow");
+  const NeuronId ge1 = cb.make_gate(1, inner);
+  const NeuronId ge2 = cb.make_gate(2, inner);
+  cb.connect(x, ge1, 1);
+  cb.connect(y, ge1, 1);
+  cb.connect(x, ge2, 1);
+  cb.connect(y, ge2, 1);
+  const NeuronId out = cb.make_gate(1, level);
+  cb.connect(ge1, out, 1);
+  cb.connect(ge2, out, -1);
+  return out;
+}
+
+}  // namespace sga::circuits

@@ -1,0 +1,32 @@
+// Small composite circuits: the stand-alone pairwise comparator of
+// Figure 5A (≥ / > / = outputs) and a parity (XOR) gate — building blocks
+// reused by tests and by downstream users of the library.
+#pragma once
+
+#include <vector>
+
+#include "circuits/builder.h"
+#include "core/types.h"
+
+namespace sga::circuits {
+
+struct ComparatorCircuit {
+  std::vector<NeuronId> a, b;  ///< λ-bit operands (LSB first)
+  NeuronId enable = kNoNeuron;
+  NeuronId ge = kNoNeuron;  ///< fires iff a ≥ b (level 1)
+  NeuronId gt = kNoNeuron;  ///< fires iff a > b (level 2)
+  NeuronId eq = kNoNeuron;  ///< fires iff a = b (level 3)
+  int depth = 0;
+  CircuitStats stats;
+};
+
+/// Figure 5A: one neuron with weights ±2^j computes a ≥ b; a NOT of the
+/// reversed comparison gives strictness; eq = ge ∧ ¬gt.
+ComparatorCircuit build_comparator(CircuitBuilder& cb, int lambda);
+
+/// XOR of two single bits via the ge1/ge2 trick: fires iff exactly one of
+/// x, y fired. Output at `level` (needs 2 internal levels: level ≥
+/// max(level(x), level(y)) + 2).
+NeuronId xor_gate(CircuitBuilder& cb, NeuronId x, NeuronId y, int level);
+
+}  // namespace sga::circuits

@@ -1,0 +1,131 @@
+#include "circuits/harness.h"
+
+#include "core/error.h"
+#include "snn/probe.h"
+#include "snn/simulator.h"
+
+namespace sga::circuits {
+
+namespace {
+
+void present_values(snn::Simulator& sim, const MaxCircuit& c,
+                    const std::vector<std::uint64_t>& values, Time t) {
+  SGA_REQUIRE(values.size() == c.inputs.size(),
+              "max circuit expects " << c.inputs.size() << " values, got "
+                                     << values.size());
+  sim.inject_spike(c.enable, t);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    snn::inject_binary(sim, c.inputs[i], values[i], t);
+  }
+}
+
+}  // namespace
+
+std::uint64_t eval_max_circuit(const snn::Network& net, const MaxCircuit& c,
+                               const std::vector<std::uint64_t>& values) {
+  snn::Simulator sim(net);
+  present_values(sim, c, values, 0);
+  snn::SimConfig cfg;
+  cfg.max_time = c.depth;
+  sim.run(cfg);
+  return snn::decode_binary_at(sim, c.outputs, c.depth);
+}
+
+std::vector<std::uint64_t> eval_max_circuit_pipelined(
+    const snn::Network& net, const MaxCircuit& c,
+    const std::vector<std::vector<std::uint64_t>>& presentations) {
+  snn::Simulator sim(net);
+  for (std::size_t r = 0; r < presentations.size(); ++r) {
+    present_values(sim, c, presentations[r], static_cast<Time>(r));
+  }
+  snn::SimConfig cfg;
+  cfg.max_time = c.depth + static_cast<Time>(presentations.size());
+  cfg.record_spike_log = true;
+  sim.run(cfg);
+
+  // With back-to-back presentations an output bit can fire several times;
+  // recover each presentation's bit pattern from the spike log.
+  std::vector<std::uint64_t> results(presentations.size(), 0);
+  for (const auto& [t, id] : sim.spike_log()) {
+    for (std::size_t j = 0; j < c.outputs.size(); ++j) {
+      if (id != c.outputs[j]) continue;
+      const Time r = t - c.depth;
+      if (r >= 0 && static_cast<std::size_t>(r) < results.size()) {
+        results[static_cast<std::size_t>(r)] |= 1ULL << j;
+      }
+    }
+  }
+  return results;
+}
+
+std::uint64_t eval_adder_circuit(const snn::Network& net,
+                                 const AdderCircuit& c, std::uint64_t a,
+                                 std::uint64_t b, bool* carry) {
+  snn::Simulator sim(net);
+  sim.inject_spike(c.enable, 0);
+  snn::inject_binary(sim, c.a, a, 0);
+  snn::inject_binary(sim, c.b, b, 0);
+  snn::SimConfig cfg;
+  cfg.max_time = c.depth;
+  sim.run(cfg);
+  if (carry != nullptr) *carry = sim.fired_at(c.carry_out, c.depth);
+  return snn::decode_binary_at(sim, c.sum, c.depth);
+}
+
+std::vector<std::uint64_t> eval_adder_circuit_pipelined(
+    const snn::Network& net, const AdderCircuit& c,
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& presentations) {
+  snn::Simulator sim(net);
+  for (std::size_t r = 0; r < presentations.size(); ++r) {
+    const auto t = static_cast<Time>(r);
+    sim.inject_spike(c.enable, t);
+    snn::inject_binary(sim, c.a, presentations[r].first, t);
+    snn::inject_binary(sim, c.b, presentations[r].second, t);
+  }
+  snn::SimConfig cfg;
+  cfg.max_time = c.depth + static_cast<Time>(presentations.size());
+  cfg.record_spike_log = true;
+  sim.run(cfg);
+
+  std::vector<std::uint64_t> results(presentations.size(), 0);
+  for (const auto& [t, id] : sim.spike_log()) {
+    for (std::size_t j = 0; j < c.sum.size(); ++j) {
+      if (id != c.sum[j]) continue;
+      const Time r = t - c.depth;
+      if (r >= 0 && static_cast<std::size_t>(r) < results.size()) {
+        results[static_cast<std::size_t>(r)] |= 1ULL << j;
+      }
+    }
+  }
+  return results;
+}
+
+std::uint64_t eval_add_const_circuit(const snn::Network& net,
+                                     const AddConstCircuit& c,
+                                     std::uint64_t a) {
+  snn::Simulator sim(net);
+  sim.inject_spike(c.enable, 0);
+  snn::inject_binary(sim, c.a, a, 0);
+  snn::SimConfig cfg;
+  cfg.max_time = c.depth;
+  sim.run(cfg);
+  return snn::decode_binary_at(sim, c.sum, c.depth);
+}
+
+CmpOutputs eval_comparator(const snn::Network& net, const ComparatorCircuit& c,
+                           std::uint64_t a, std::uint64_t b) {
+  snn::Simulator sim(net);
+  sim.inject_spike(c.enable, 0);
+  snn::inject_binary(sim, c.a, a, 0);
+  snn::inject_binary(sim, c.b, b, 0);
+  snn::SimConfig cfg;
+  cfg.max_time = c.depth;
+  sim.run(cfg);
+  CmpOutputs out;
+  out.ge = sim.fired_at(c.ge, 1);
+  out.gt = sim.fired_at(c.gt, 2);
+  out.eq = sim.fired_at(c.eq, 3);
+  return out;
+}
+
+}  // namespace sga::circuits

@@ -1,0 +1,49 @@
+// Evaluation harness: present integer inputs to a built circuit, run the
+// event-driven simulator, and decode the outputs at the circuit's depth.
+// The pipelined variants present one input vector per consecutive time step,
+// exercising the property the NGA compilations rely on: levelled τ=1
+// circuits process back-to-back presentations independently.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuits/adders.h"
+#include "circuits/arith.h"
+#include "circuits/gates.h"
+#include "circuits/max_circuits.h"
+#include "snn/network.h"
+
+namespace sga::circuits {
+
+/// Single presentation at t = 0; returns the λ-bit output.
+std::uint64_t eval_max_circuit(const snn::Network& net, const MaxCircuit& c,
+                               const std::vector<std::uint64_t>& values);
+
+/// One presentation per time step t = 0, 1, ...; returns one output per
+/// presentation (decoded at t + depth).
+std::vector<std::uint64_t> eval_max_circuit_pipelined(
+    const snn::Network& net, const MaxCircuit& c,
+    const std::vector<std::vector<std::uint64_t>>& presentations);
+
+/// a + b; if carry is non-null it receives the carry-out bit.
+std::uint64_t eval_adder_circuit(const snn::Network& net,
+                                 const AdderCircuit& c, std::uint64_t a,
+                                 std::uint64_t b, bool* carry = nullptr);
+
+std::vector<std::uint64_t> eval_adder_circuit_pipelined(
+    const snn::Network& net, const AdderCircuit& c,
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& presentations);
+
+/// (a + constant) mod 2^λ for an AddConstCircuit.
+std::uint64_t eval_add_const_circuit(const snn::Network& net,
+                                     const AddConstCircuit& c,
+                                     std::uint64_t a);
+
+struct CmpOutputs {
+  bool ge = false, gt = false, eq = false;
+};
+CmpOutputs eval_comparator(const snn::Network& net, const ComparatorCircuit& c,
+                           std::uint64_t a, std::uint64_t b);
+
+}  // namespace sga::circuits

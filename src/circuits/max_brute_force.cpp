@@ -1,0 +1,111 @@
+// Brute-force max/min (Theorem 5.2, Figure 5).
+//
+// Level 1: for every pair x < y, neuron C_xy with weights +2^j on the bits
+// of b_x, -2^j on the bits of b_y and +1 from the constant Eq line fires iff
+// b_x - b_y + 1 ≥ 1, i.e. b_x ≥ b_y.
+// Level 2: C_xy for x > y is the NOT of C_yx (constant S line), firing iff
+// b_x > b_y — the strictness implements smallest-index tie-breaking.
+// Level 3: M_x = AND of its d-1 comparisons (threshold d-1) — exactly one
+// M_x fires. Levels 4–5 extract the winning value (same filter/merge scheme
+// as Theorem 5.1's circuit). Depth is constant (5); the paper's "depth 3"
+// counts only the index-computing layers. Size O(d² + dλ), weights up to
+// 2^{λ-1} — the Table 2 trade-off.
+#include "circuits/max_circuits.h"
+
+#include "core/error.h"
+
+namespace sga::circuits {
+
+namespace {
+
+MaxCircuit build_brute_force_impl(CircuitBuilder& cb, int d, int lambda,
+                                  bool compute_min) {
+  SGA_REQUIRE(d >= 1, "brute-force max: need d >= 1 inputs");
+  SGA_REQUIRE(lambda >= 1 && lambda <= 50,
+              "brute-force max: lambda " << lambda
+                                         << " too large for 2^λ weights");
+
+  MaxCircuit c;
+  c.enable = cb.make_input();
+  for (int i = 0; i < d; ++i) c.inputs.push_back(cb.make_input_bus(lambda));
+
+  // ge[x][y] for x < y: fires iff b_x ≥ b_y (≤ for min).
+  std::vector<std::vector<NeuronId>> ge(
+      static_cast<std::size_t>(d),
+      std::vector<NeuronId>(static_cast<std::size_t>(d), kNoNeuron));
+  const double sign = compute_min ? -1.0 : 1.0;
+  for (int x = 0; x < d; ++x) {
+    for (int y = x + 1; y < d; ++y) {
+      const NeuronId cmp = cb.make_gate(1, 1);
+      for (int j = 0; j < lambda; ++j) {
+        const double w = sign * static_cast<double>(1ULL << j);
+        cb.connect(c.inputs[static_cast<std::size_t>(x)][static_cast<std::size_t>(j)],
+                   cmp, w);
+        cb.connect(c.inputs[static_cast<std::size_t>(y)][static_cast<std::size_t>(j)],
+                   cmp, -w);
+      }
+      cb.connect(c.enable, cmp, 1);  // the Eq input: ties favour x < y
+      ge[static_cast<std::size_t>(x)][static_cast<std::size_t>(y)] = cmp;
+    }
+  }
+  // Strict comparisons for x > y as NOTs of the x < y neurons.
+  for (int x = 0; x < d; ++x) {
+    for (int y = 0; y < x; ++y) {
+      ge[static_cast<std::size_t>(x)][static_cast<std::size_t>(y)] = cb.not_gate(
+          ge[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)], c.enable, 2);
+    }
+  }
+
+  // M_x: wins all its d-1 comparisons. For d = 1 the single input wins by
+  // definition (gated on enable so the pipeline timing stays uniform).
+  for (int x = 0; x < d; ++x) {
+    if (d == 1) {
+      c.winners.push_back(cb.buffer(c.enable, 3));
+      continue;
+    }
+    std::vector<NeuronId> row;
+    row.reserve(static_cast<std::size_t>(d - 1));
+    for (int y = 0; y < d; ++y) {
+      if (y != x) {
+        row.push_back(ge[static_cast<std::size_t>(x)][static_cast<std::size_t>(y)]);
+      }
+    }
+    c.winners.push_back(cb.and_gate(row, 3));
+  }
+  c.winner_level = 3;
+
+  // Filter + merge (as in Theorem 5.1's proof: "compute the maximum value
+  // using M_i the same way we used the a_{i1} neurons").
+  std::vector<std::vector<NeuronId>> filtered(static_cast<std::size_t>(d));
+  for (int i = 0; i < d; ++i) {
+    for (int j = 0; j < lambda; ++j) {
+      const NeuronId f = cb.make_gate(2, 4);
+      cb.connect(c.winners[static_cast<std::size_t>(i)], f, 1);
+      cb.connect(c.inputs[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)],
+                 f, 1);
+      filtered[static_cast<std::size_t>(i)].push_back(f);
+    }
+  }
+  for (int j = 0; j < lambda; ++j) {
+    std::vector<NeuronId> column;
+    for (int i = 0; i < d; ++i) {
+      column.push_back(filtered[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]);
+    }
+    c.outputs.push_back(cb.or_gate(column, 5));
+  }
+  c.depth = 5;
+  c.stats = cb.stats();
+  return c;
+}
+
+}  // namespace
+
+MaxCircuit build_max_brute_force(CircuitBuilder& cb, int d, int lambda) {
+  return build_brute_force_impl(cb, d, lambda, /*compute_min=*/false);
+}
+
+MaxCircuit build_min_brute_force(CircuitBuilder& cb, int d, int lambda) {
+  return build_brute_force_impl(cb, d, lambda, /*compute_min=*/true);
+}
+
+}  // namespace sga::circuits

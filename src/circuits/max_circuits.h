@@ -1,0 +1,61 @@
+// Circuits computing the max (or min) of d λ-bit numbers — Section 5.
+//
+// Two constructions, with the trade-offs of Table 2:
+//   * wired-OR (Theorem 5.1, Figure 3):  O(dλ) neurons, O(λ) depth;
+//   * brute force (Theorem 5.2, Figure 5): O(d²+dλ) neurons, O(1) depth,
+//     but synapse weights up to 2^{λ-1}.
+// Both variants also expose per-input "winner" indicator neurons (the a_{i,1}
+// of Figure 3 / M_x of Figure 5), and both have min counterparts.
+//
+// Semantics under partial input: an input number whose bits are all zero is
+// neutral (it can only win if every input is zero, in which case the output
+// is zero). The polynomial-time k-hop algorithm exploits this by encoding
+// distances bitwise-complemented so that MIN becomes MAX with absent
+// messages neutral (DESIGN.md §1).
+#pragma once
+
+#include <vector>
+
+#include "circuits/builder.h"
+#include "core/types.h"
+
+namespace sga::circuits {
+
+struct MaxCircuit {
+  /// d input buses of λ bits each (LSB first).
+  std::vector<std::vector<NeuronId>> inputs;
+  /// Must fire at every presentation time (constant-1 line).
+  NeuronId enable = kNoNeuron;
+  /// λ output bits (LSB first), all firing exactly `depth` steps after the
+  /// inputs.
+  std::vector<NeuronId> outputs;
+  /// winner[i] fires (at winner_level) iff input i attains the max/min.
+  /// For the brute-force circuit ties are broken to the smallest index, so
+  /// exactly one winner fires; the wired-OR circuit marks all tied inputs.
+  std::vector<NeuronId> winners;
+  int winner_level = 0;
+  int depth = 0;
+  CircuitStats stats;
+};
+
+/// Bit-serial "wired-OR" max (Figure 3). d ≥ 1 numbers, λ ≥ 1 bits.
+MaxCircuit build_max_wired_or(CircuitBuilder& cb, int d, int lambda);
+
+/// Wired-OR min: internally complements the bits for the elimination layers,
+/// then outputs the original (minimal) value.
+MaxCircuit build_min_wired_or(CircuitBuilder& cb, int d, int lambda);
+
+/// Brute-force pairwise-comparison max (Figure 5).
+MaxCircuit build_max_brute_force(CircuitBuilder& cb, int d, int lambda);
+
+/// Brute-force min (comparison senses reversed).
+MaxCircuit build_min_brute_force(CircuitBuilder& cb, int d, int lambda);
+
+/// Which max/min construction an algorithm should instantiate (ablation
+/// knob; see DESIGN.md §4).
+enum class MaxKind { kWiredOr, kBruteForce };
+
+MaxCircuit build_max(CircuitBuilder& cb, int d, int lambda, MaxKind kind);
+MaxCircuit build_min(CircuitBuilder& cb, int d, int lambda, MaxKind kind);
+
+}  // namespace sga::circuits

@@ -1,0 +1,133 @@
+// Wired-OR max/min (Theorem 5.1, Figure 3).
+//
+// Processing most-significant bit to least, keep a per-number "active" flag:
+//   V_{i,j} = a_{i,j+1} ∧ b_{i,j}   (number i active and has a 1 at bit j)
+//   OR_j    = ∨_i V_{i,j}           (someone active has a 1 here)
+//   I_{i,j} = OR_j ∧ ¬V_{i,j}       (number i is eliminated at bit j)
+//   a_{i,j} = a_{i,j+1} ∧ ¬I_{i,j}
+// The constant a_{i,λ+1} = 1 of Figure 3A is realised by the enable line.
+// After bit 1, actives all hold the (same) max value; a filter layer
+// (Fig. 3C) copies the value bits of one winner and a merge layer (Fig. 3D)
+// ORs them onto the output bus. Each bit stage spans 4 levels, so
+// depth = 4λ + 2 = O(λ); neuron count is O(dλ) — the Table 2 row.
+#include "circuits/max_circuits.h"
+
+#include "core/error.h"
+
+namespace sga::circuits {
+
+namespace {
+
+/// Shared elimination-network construction. If `complement` is true the
+/// active-flag logic runs on the complemented bits (computing argmin), while
+/// the filter/merge layers always output the original bits of the winner.
+MaxCircuit build_wired_or_impl(CircuitBuilder& cb, int d, int lambda,
+                               bool complement) {
+  SGA_REQUIRE(d >= 1, "wired-or max: need d >= 1 inputs");
+  SGA_REQUIRE(lambda >= 1 && lambda <= 62, "wired-or max: bad lambda " << lambda);
+
+  MaxCircuit c;
+  c.enable = cb.make_input();
+  c.inputs.reserve(static_cast<std::size_t>(d));
+  for (int i = 0; i < d; ++i) c.inputs.push_back(cb.make_input_bus(lambda));
+
+  // Value bits used by the elimination logic. For min, complement them
+  // (u_{i,j} = enable ∧ ¬b_{i,j}) at level 1 and shift all stages one level.
+  const int base = complement ? 1 : 0;
+  std::vector<std::vector<NeuronId>> elim_bits;
+  if (complement) {
+    elim_bits.resize(static_cast<std::size_t>(d));
+    for (int i = 0; i < d; ++i) {
+      for (int j = 0; j < lambda; ++j) {
+        elim_bits[i].push_back(
+            cb.not_gate(c.inputs[i][static_cast<std::size_t>(j)], c.enable, 1));
+      }
+    }
+  } else {
+    elim_bits = c.inputs;
+  }
+
+  // actives[i] = a_{i, j+1}: the enable line plays a_{i, λ+1} = 1.
+  std::vector<NeuronId> actives(static_cast<std::size_t>(d), c.enable);
+  // Bit stages, most significant (λ-1 in 0-based LSB-first indexing) first.
+  // Stage for bit j occupies levels L+1 .. L+4 where L is the actives' level.
+  int level = base;
+  for (int j = lambda - 1; j >= 0; --j) {
+    std::vector<NeuronId> v_gates(static_cast<std::size_t>(d));
+    for (int i = 0; i < d; ++i) {
+      // V_{i,j}: active AND bit set. actives[i] may sit at a lower level
+      // (the enable at level 0 for the first stage); connect() inserts the
+      // right delay.
+      const NeuronId v = cb.make_gate(2, level + 1);
+      cb.connect(actives[static_cast<std::size_t>(i)], v, 1);
+      cb.connect(elim_bits[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)],
+                 v, 1);
+      v_gates[static_cast<std::size_t>(i)] = v;
+    }
+    const NeuronId or_j = cb.or_gate(v_gates, level + 2);
+    std::vector<NeuronId> next_actives(static_cast<std::size_t>(d));
+    for (int i = 0; i < d; ++i) {
+      // I_{i,j} = OR_j ∧ ¬V_{i,j}: the inhibitory edge from V arrives the
+      // same step as the excitation from OR_j (Figure 3B's -1 edge).
+      const NeuronId inhibit = cb.make_gate(1, level + 3);
+      cb.connect(or_j, inhibit, 1);
+      cb.connect(v_gates[static_cast<std::size_t>(i)], inhibit, -1);
+      // a_{i,j} = a_{i,j+1} ∧ ¬I_{i,j}.
+      const NeuronId a = cb.make_gate(1, level + 4);
+      cb.connect(actives[static_cast<std::size_t>(i)], a, 1);
+      cb.connect(inhibit, a, -1);
+      next_actives[static_cast<std::size_t>(i)] = a;
+    }
+    actives = std::move(next_actives);
+    level += 4;
+  }
+
+  c.winners = actives;  // a_{i,1}
+  c.winner_level = level;
+
+  // Filter (Fig. 3C): c_{i,j} = a_{i,1} ∧ b_{i,j}; tied winners carry equal
+  // values, so the merge OR (Fig. 3D) is well defined.
+  std::vector<std::vector<NeuronId>> filtered(static_cast<std::size_t>(d));
+  for (int i = 0; i < d; ++i) {
+    for (int j = 0; j < lambda; ++j) {
+      const NeuronId f = cb.make_gate(2, level + 1);
+      cb.connect(actives[static_cast<std::size_t>(i)], f, 1);
+      cb.connect(c.inputs[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)],
+                 f, 1);
+      filtered[static_cast<std::size_t>(i)].push_back(f);
+    }
+  }
+  for (int j = 0; j < lambda; ++j) {
+    std::vector<NeuronId> column;
+    column.reserve(static_cast<std::size_t>(d));
+    for (int i = 0; i < d; ++i) {
+      column.push_back(filtered[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]);
+    }
+    c.outputs.push_back(cb.or_gate(column, level + 2));
+  }
+  c.depth = level + 2;
+  c.stats = cb.stats();
+  return c;
+}
+
+}  // namespace
+
+MaxCircuit build_max_wired_or(CircuitBuilder& cb, int d, int lambda) {
+  return build_wired_or_impl(cb, d, lambda, /*complement=*/false);
+}
+
+MaxCircuit build_min_wired_or(CircuitBuilder& cb, int d, int lambda) {
+  return build_wired_or_impl(cb, d, lambda, /*complement=*/true);
+}
+
+MaxCircuit build_max(CircuitBuilder& cb, int d, int lambda, MaxKind kind) {
+  return kind == MaxKind::kWiredOr ? build_max_wired_or(cb, d, lambda)
+                                   : build_max_brute_force(cb, d, lambda);
+}
+
+MaxCircuit build_min(CircuitBuilder& cb, int d, int lambda, MaxKind kind) {
+  return kind == MaxKind::kWiredOr ? build_min_wired_or(cb, d, lambda)
+                                   : build_min_brute_force(cb, d, lambda);
+}
+
+}  // namespace sga::circuits

@@ -1,0 +1,159 @@
+#include "circuits/multiplier.h"
+
+#include <algorithm>
+
+#include "core/bitops.h"
+#include "core/error.h"
+
+namespace sga::circuits {
+
+namespace {
+
+/// An operand mid-composition: neuron per bit (kNoNeuron = constant 0),
+/// all firing at the same absolute time offset.
+struct Operand {
+  std::vector<NeuronId> bits;
+  int offset = 0;
+};
+
+/// Feed `op` into an adder's input relay bus (level 0 of the adder's own
+/// frame), making the relays fire at `arrival`.
+void wire_operand(snn::Network& net, const Operand& op,
+                  const std::vector<NeuronId>& relays, int arrival) {
+  SGA_CHECK(arrival > op.offset, "operand arrives before it is produced");
+  for (std::size_t b = 0; b < relays.size(); ++b) {
+    if (b < op.bits.size() && op.bits[b] != kNoNeuron) {
+      net.add_synapse(op.bits[b], relays[b], 1, arrival - op.offset);
+    }
+  }
+}
+
+/// Sum two operands with a fresh W-bit adder; returns the result operand.
+Operand add_operands(CircuitBuilder& cb, const Operand& a, const Operand& b,
+                     int width, AdderKind kind) {
+  const AdderCircuit adder = build_adder(cb, width, kind);
+  const int arrival = std::max(a.offset, b.offset) + 1;
+  wire_operand(cb.net(), a, adder.a, arrival);
+  wire_operand(cb.net(), b, adder.b, arrival);
+  Operand out;
+  out.bits = adder.sum;
+  out.offset = arrival + adder.depth;
+  return out;
+}
+
+}  // namespace
+
+ConstMultiplier build_const_multiplier(CircuitBuilder& cb, int in_bits,
+                                       std::uint64_t constant,
+                                       AdderKind adder) {
+  SGA_REQUIRE(in_bits >= 1 && in_bits <= 32, "const multiplier: bad width");
+  SGA_REQUIRE(constant >= 1, "const multiplier: constant must be >= 1");
+  ConstMultiplier m;
+  m.in_bits = in_bits;
+  m.out_bits = in_bits + bits_for(constant);
+  SGA_REQUIRE(m.out_bits <= 62, "const multiplier: product too wide");
+  m.enable = cb.make_input();
+  m.x = cb.make_input_bus(in_bits);
+
+  // Shift-and-add over the set bits of the constant.
+  Operand acc;
+  bool have_acc = false;
+  for (int s = 0; s < 64; ++s) {
+    if (!((constant >> s) & 1ULL)) continue;
+    // x << s as a virtual operand at offset 0.
+    Operand shifted;
+    shifted.bits.assign(static_cast<std::size_t>(m.out_bits), kNoNeuron);
+    for (int b = 0; b < in_bits; ++b) {
+      shifted.bits[static_cast<std::size_t>(b + s)] =
+          m.x[static_cast<std::size_t>(b)];
+    }
+    shifted.offset = 0;
+    if (!have_acc) {
+      acc = std::move(shifted);
+      have_acc = true;
+    } else {
+      acc = add_operands(cb, acc, shifted, m.out_bits, adder);
+    }
+  }
+  SGA_CHECK(have_acc, "constant had no set bits");
+
+  if (acc.offset == 0) {
+    // Power-of-two constant: materialize the wiring through a relay layer
+    // so the output contract (real neurons at a positive depth) holds.
+    std::vector<NeuronId> relayed;
+    for (std::size_t b = 0; b < acc.bits.size(); ++b) {
+      if (acc.bits[b] == kNoNeuron) {
+        // Constant-zero bit: a relay that never fires.
+        relayed.push_back(cb.make_gate(1, 1));
+      } else {
+        relayed.push_back(cb.buffer(acc.bits[b], 1));
+      }
+    }
+    acc.bits = std::move(relayed);
+    acc.offset = 1;
+  } else {
+    // Replace virtual zero bits (none remain after an adder) — adders
+    // always produce a full-width bus.
+    SGA_CHECK(acc.bits.size() == static_cast<std::size_t>(m.out_bits),
+              "accumulator width drifted");
+  }
+  m.product = acc.bits;
+  m.depth = acc.offset;
+  m.stats = cb.stats();
+  return m;
+}
+
+AdderTree build_adder_tree(CircuitBuilder& cb, int d, int in_bits,
+                           AdderKind adder) {
+  SGA_REQUIRE(d >= 1, "adder tree: need at least one operand");
+  SGA_REQUIRE(in_bits >= 1 && in_bits <= 32, "adder tree: bad width");
+  AdderTree t;
+  t.in_bits = in_bits;
+  t.out_bits = in_bits + ceil_log2(static_cast<std::uint64_t>(d)) +
+               (d == 1 ? 0 : 0);
+  if (d > 1) t.out_bits = in_bits + bits_for(static_cast<std::uint64_t>(d) - 1);
+  SGA_REQUIRE(t.out_bits <= 62, "adder tree: sum too wide");
+  t.enable = cb.make_input();
+
+  std::vector<Operand> operands;
+  for (int i = 0; i < d; ++i) {
+    t.inputs.push_back(cb.make_input_bus(in_bits));
+    Operand op;
+    op.bits = t.inputs.back();
+    op.offset = 0;
+    operands.push_back(std::move(op));
+  }
+
+  // Balanced reduction: pair operands round by round.
+  while (operands.size() > 1) {
+    std::vector<Operand> next;
+    for (std::size_t i = 0; i + 1 < operands.size(); i += 2) {
+      next.push_back(
+          add_operands(cb, operands[i], operands[i + 1], t.out_bits, adder));
+    }
+    if (operands.size() % 2 == 1) next.push_back(operands.back());
+    operands = std::move(next);
+  }
+
+  Operand& result = operands.front();
+  if (result.offset == 0) {
+    // d == 1: buffer through one relay layer.
+    std::vector<NeuronId> relayed;
+    relayed.reserve(static_cast<std::size_t>(t.out_bits));
+    for (int b = 0; b < t.out_bits; ++b) {
+      if (b < in_bits) {
+        relayed.push_back(cb.buffer(result.bits[static_cast<std::size_t>(b)], 1));
+      } else {
+        relayed.push_back(cb.make_gate(1, 1));  // never fires
+      }
+    }
+    result.bits = std::move(relayed);
+    result.offset = 1;
+  }
+  t.sum = result.bits;
+  t.depth = result.offset;
+  t.stats = cb.stats();
+  return t;
+}
+
+}  // namespace sga::circuits

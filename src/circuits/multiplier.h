@@ -1,0 +1,55 @@
+// Constant multiplication and multi-operand addition — the circuits that
+// turn the Section-2.2 matrix-vector NGA ("each edge ij computes
+// m_{ij,r} = A_ij · m_{i,r}, each node j computes Σ_i m_{ij,r}") into an
+// actual spiking network.
+//
+// * build_const_multiplier: y = C·x for a hard-wired constant C, as a
+//   shift-and-add chain over the set bits of C (shifts are free: bit b of x
+//   feeds position b+s of the next adder). O(popcount(C)) adder stages.
+// * build_adder_tree: Σ of d operands as a balanced binary tree of
+//   two-operand adders, ⌈log₂ d⌉ levels deep.
+// Both are levelled feed-forward circuits: fully pipelined, outputs aligned
+// at `depth`.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuits/adders.h"
+#include "circuits/builder.h"
+#include "core/types.h"
+
+namespace sga::circuits {
+
+struct ConstMultiplier {
+  std::vector<NeuronId> x;  ///< input operand (LSB first)
+  NeuronId enable = kNoNeuron;
+  std::vector<NeuronId> product;  ///< out_bits wide, at level `depth`
+  int in_bits = 0;
+  int out_bits = 0;
+  int depth = 0;
+  CircuitStats stats;
+};
+
+/// y = constant · x. `in_bits` is x's width; the product bus is
+/// in_bits + bits_for(constant) wide so it never overflows. constant ≥ 1.
+ConstMultiplier build_const_multiplier(CircuitBuilder& cb, int in_bits,
+                                       std::uint64_t constant,
+                                       AdderKind adder = AdderKind::kRipple);
+
+struct AdderTree {
+  std::vector<std::vector<NeuronId>> inputs;  ///< d operands, in_bits each
+  NeuronId enable = kNoNeuron;
+  std::vector<NeuronId> sum;  ///< in_bits + ⌈log₂ d⌉ wide, at level `depth`
+  int in_bits = 0;
+  int out_bits = 0;
+  int depth = 0;
+  CircuitStats stats;
+};
+
+/// Σ of d ≥ 1 operands of in_bits each. Output width grows by ⌈log₂ d⌉
+/// so the sum is exact.
+AdderTree build_adder_tree(CircuitBuilder& cb, int d, int in_bits,
+                           AdderKind adder = AdderKind::kRipple);
+
+}  // namespace sga::circuits

@@ -1,0 +1,70 @@
+#include "circuits/primitives.h"
+
+#include "core/error.h"
+
+namespace sga::circuits {
+
+DelaySimCircuit build_delay_simulation(snn::Network& net, Delay d) {
+  SGA_REQUIRE(d >= 2, "delay simulation needs d >= 2 (d = 1 is a plain synapse)");
+  DelaySimCircuit c;
+  // Input relay (fires when driven at time t).
+  c.input = net.add_neuron(snn::NeuronParams{0, 1, 0.0});
+  // Generator: fires every step once triggered, via its +1 self-loop.
+  c.generator = net.add_neuron(snn::NeuronParams{0, 1, 0.0});
+  // Counter/output: integrates one +1 per generator spike; threshold d - 1
+  // makes it fire exactly when it has received d - 1 pulses.
+  c.output = net.add_neuron(snn::NeuronParams{0, static_cast<Voltage>(d - 1), 0.0});
+
+  net.add_synapse(c.input, c.generator, 1, 1);
+  net.add_synapse(c.generator, c.generator, 1, 1);  // feedback loop
+  net.add_synapse(c.generator, c.output, 1, 1);
+  // Output stops the generator: -2 cancels the in-flight self-loop spike and
+  // leaves the potential at -1, below threshold for good.
+  net.add_synapse(c.output, c.generator, -2, 1);
+  // The generator's final pulse (in flight when the output fires) must not
+  // re-trigger the output: the self-inhibition outweighs it.
+  net.add_synapse(c.output, c.output, static_cast<SynWeight>(-d), 1);
+  // Input fires at t → generator fires t+1 .. t+d-1 → output accumulates
+  // d-1 pulses at t+2 .. t+d and fires at t+d.  (For d = 2 the single pulse
+  // meets threshold 1 immediately.)
+  c.neurons = 3;
+  return c;
+}
+
+LatchCircuit build_latch(snn::Network& net) {
+  LatchCircuit c;
+  c.set = net.add_neuron(snn::NeuronParams{0, 1, 0.0});
+  c.recall = net.add_neuron(snn::NeuronParams{0, 1, 0.0});
+  c.reset = net.add_neuron(snn::NeuronParams{0, 1, 0.0});
+  c.memory = net.add_neuron(snn::NeuronParams{0, 1, 0.0});
+  // Output is a memoryless AND (τ = 1, threshold 2) of memory and recall, so
+  // repeated memory pulses and unanswered recalls leave no residue.
+  c.output = net.add_neuron(snn::NeuronParams{0, 2, 1.0});
+
+  net.add_synapse(c.set, c.memory, 1, 1);
+  net.add_synapse(c.memory, c.memory, 1, 1);  // the Figure-1(B) self-loop
+  net.add_synapse(c.memory, c.output, 1, 1);
+  net.add_synapse(c.recall, c.output, 1, 1);
+  // Inhibitory reset ("Neuron M can be reset by an inhibitory link from C to
+  // M"): -1 cancels the in-flight self-loop spike, leaving M at 0, ready to
+  // be set again.
+  net.add_synapse(c.reset, c.memory, -1, 1);
+  c.neurons = 5;
+  return c;
+}
+
+std::vector<NeuronId> build_clock_chain(snn::Network& net, Delay period,
+                                        int count) {
+  SGA_REQUIRE(period >= 1, "clock chain: period must be >= 1");
+  SGA_REQUIRE(count >= 1, "clock chain: need at least one tick");
+  std::vector<NeuronId> ticks;
+  ticks.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const NeuronId id = net.add_neuron(snn::NeuronParams{0, 1, 0.0});
+    if (i > 0) net.add_synapse(ticks.back(), id, 1, period);
+    ticks.push_back(id);
+  }
+  return ticks;
+}
+
+}  // namespace sga::circuits

@@ -1,0 +1,52 @@
+// Figure-1 primitives: simulating long synaptic delays with two neurons
+// (for architectures without native programmable delays) and using neurons
+// as memory (a latch), plus a clock chain for round-synchronised designs.
+//
+// Unlike the feed-forward circuits, these are *recurrent*: they use
+// integrator neurons (τ = 0) and self-loops, so they are built directly on
+// snn::Network rather than through the levelled CircuitBuilder.
+#pragma once
+
+#include <vector>
+
+#include "core/types.h"
+#include "snn/network.h"
+
+namespace sga::circuits {
+
+/// Figure 1(A): a two-neuron circuit emulating a synapse of delay d ≥ 2
+/// using only unit delays. When `input` fires at time t, `output` fires at
+/// time t + d and nothing else happens afterwards. One-shot: the circuit
+/// must be re-armed (it self-disables) before reuse, so we expose it as a
+/// single-use primitive, which is how Section 2.2 employs it.
+struct DelaySimCircuit {
+  NeuronId input = kNoNeuron;   ///< drive with one spike
+  NeuronId output = kNoNeuron;  ///< fires d steps after input
+  NeuronId generator = kNoNeuron;  ///< the self-firing pulse neuron
+  std::size_t neurons = 0;
+};
+
+DelaySimCircuit build_delay_simulation(snn::Network& net, Delay d);
+
+/// Figure 1(B): neuron M latches (fires indefinitely via its self-loop) once
+/// `set` fires; `recall` AND M propagate to `output`; `reset` stops M.
+/// Contract: reset must only be asserted while M is latched (the inhibitory
+/// pulse cancels the in-flight self-loop spike).
+struct LatchCircuit {
+  NeuronId set = kNoNeuron;
+  NeuronId recall = kNoNeuron;
+  NeuronId reset = kNoNeuron;
+  NeuronId memory = kNoNeuron;  ///< M: fires every step while latched
+  NeuronId output = kNoNeuron;  ///< fires one step after recall if latched
+  std::size_t neurons = 0;
+};
+
+LatchCircuit build_latch(snn::Network& net);
+
+/// A chain of `count` relay neurons with inter-neuron delay `period`;
+/// injecting a spike into the first at time t makes neuron r fire at
+/// t + r·period. Used to strobe per-round storage banks (Section 4.3).
+std::vector<NeuronId> build_clock_chain(snn::Network& net, Delay period,
+                                        int count);
+
+}  // namespace sga::circuits

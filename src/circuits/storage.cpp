@@ -1,0 +1,70 @@
+#include "circuits/storage.h"
+
+#include "circuits/primitives.h"
+#include "core/error.h"
+
+namespace sga::circuits {
+
+StrobedStore build_strobed_store(snn::Network& net, int bits) {
+  SGA_REQUIRE(bits >= 1 && bits <= 63, "strobed store: bad width " << bits);
+  StrobedStore s;
+  const std::size_t before = net.num_neurons();
+  for (int b = 0; b < bits; ++b) {
+    s.bus.push_back(net.add_neuron(snn::NeuronParams{0, 1, 1.0}));
+  }
+  s.strobe = net.add_neuron(snn::NeuronParams{0, 1, 1.0});
+  for (int b = 0; b < bits; ++b) {
+    // Capture: memoryless AND of bus bit and strobe.
+    const NeuronId cap = net.add_neuron(snn::NeuronParams{0, 2, 1.0});
+    net.add_synapse(s.bus[static_cast<std::size_t>(b)], cap, 1, 1);
+    net.add_synapse(s.strobe, cap, 1, 1);
+    s.capture.push_back(cap);
+    // Latch: integrator with self-loop (Figure 1(B)).
+    const NeuronId latch = net.add_neuron(snn::NeuronParams{0, 1, 0.0});
+    net.add_synapse(cap, latch, 1, 1);
+    net.add_synapse(latch, latch, 1, 1);
+    s.latches.push_back(latch);
+  }
+  s.neurons = net.num_neurons() - before;
+  return s;
+}
+
+RoundStore build_round_store(snn::Network& net, int bits, Delay period,
+                             int rounds) {
+  SGA_REQUIRE(bits >= 1 && bits <= 63, "round store: bad width " << bits);
+  SGA_REQUIRE(rounds >= 1, "round store: need at least one round");
+  SGA_REQUIRE(period >= 1, "round store: bad period " << period);
+  RoundStore s;
+  const std::size_t before = net.num_neurons();
+  for (int b = 0; b < bits; ++b) {
+    s.bus.push_back(net.add_neuron(snn::NeuronParams{0, 1, 1.0}));
+  }
+  s.ticks = build_clock_chain(net, period, rounds);
+  s.clock_start = s.ticks.front();
+  s.latches.resize(static_cast<std::size_t>(rounds));
+  for (int r = 0; r < rounds; ++r) {
+    for (int b = 0; b < bits; ++b) {
+      const NeuronId cap = net.add_neuron(snn::NeuronParams{0, 2, 1.0});
+      net.add_synapse(s.bus[static_cast<std::size_t>(b)], cap, 1, 1);
+      net.add_synapse(s.ticks[static_cast<std::size_t>(r)], cap, 1, 1);
+      const NeuronId latch = net.add_neuron(snn::NeuronParams{0, 1, 0.0});
+      net.add_synapse(cap, latch, 1, 1);
+      net.add_synapse(latch, latch, 1, 1);
+      s.latches[static_cast<std::size_t>(r)].push_back(latch);
+    }
+  }
+  s.neurons = net.num_neurons() - before;
+  return s;
+}
+
+std::uint64_t read_latched(const snn::Simulator& sim,
+                           const std::vector<NeuronId>& latches) {
+  SGA_REQUIRE(latches.size() <= 63, "read_latched: too many bits");
+  std::uint64_t value = 0;
+  for (std::size_t b = 0; b < latches.size(); ++b) {
+    if (sim.first_spike(latches[b]) != kNever) value |= 1ULL << b;
+  }
+  return value;
+}
+
+}  // namespace sga::circuits

@@ -1,0 +1,49 @@
+// In-network storage (Section 4.3): the paper's k-hop algorithms "store
+// additional information at each graph node" at an O(k)-factor neuron cost.
+// These circuits are that memory: a strobed store captures the value on a
+// λ-bit bus at the instant a strobe fires (into Figure-1(B) latches), and a
+// round store replicates it k times, strobed by a clock chain with the
+// round period — one latch bank per round, exactly the "multiplicative
+// factor of O(k) additional neurons".
+#pragma once
+
+#include <vector>
+
+#include "core/types.h"
+#include "snn/network.h"
+#include "snn/simulator.h"
+
+namespace sga::circuits {
+
+/// Captures the bus value present at strobe time. Contract: the bus bits of
+/// one value and the strobe must fire on the SAME time step; the latches
+/// hold the captured bits (firing every step) until externally reset.
+struct StrobedStore {
+  std::vector<NeuronId> bus;      ///< λ input relays (drive externally)
+  NeuronId strobe = kNoNeuron;    ///< capture trigger (input relay)
+  std::vector<NeuronId> capture;  ///< AND gates (fire once per capture)
+  std::vector<NeuronId> latches;  ///< persistent storage (Figure 1(B))
+  std::size_t neurons = 0;
+};
+
+StrobedStore build_strobed_store(snn::Network& net, int bits);
+
+/// k latch banks strobed by an internal clock chain: injecting a spike into
+/// `clock_start` at time t0 makes bank r (0-based) capture the bus value
+/// present at time t0 + r·period.
+struct RoundStore {
+  std::vector<NeuronId> bus;
+  NeuronId clock_start = kNoNeuron;
+  std::vector<NeuronId> ticks;                  ///< tick r fires at t0 + r·period
+  std::vector<std::vector<NeuronId>> latches;   ///< [round][bit]
+  std::size_t neurons = 0;
+};
+
+RoundStore build_round_store(snn::Network& net, int bits, Delay period,
+                             int rounds);
+
+/// Read a bank after the run: bit b set iff the latch ever fired.
+std::uint64_t read_latched(const snn::Simulator& sim,
+                           const std::vector<NeuronId>& latches);
+
+}  // namespace sga::circuits

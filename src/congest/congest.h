@@ -1,0 +1,147 @@
+// The CONGEST model of distributed computing and its correspondences with
+// our neuromorphic models (Section 2.2, "Comparison with distributed
+// computing"):
+//   * a synchronous round executor in which each node sends one B-bit
+//     message per out-edge per round (the bandwidth bound is enforced);
+//   * NGA → CONGEST: any Definition-4 NGA runs in CONGEST with one CONGEST
+//     round per NGA round (edge functions evaluated at the receiver — the
+//     paper's "replace each edge with a path of length two" remark);
+//   * SNN → CONGEST: a discrete-time SNN runs with one neuron per node,
+//     one time step per round, and single-BIT messages; synaptic delays are
+//     handled by receiver-side buffering (the "challenge" the paper notes,
+//     since CONGEST links deliver in exactly one round);
+//   * a CONGEST-native k-round Bellman–Ford with O(log(kU))-bit messages,
+//     the distributed baseline Section 7 builds on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/types.h"
+#include "graph/graph.h"
+#include "nga/model.h"
+#include "snn/network.h"
+
+namespace sga::congest {
+
+/// One directed B-bit message in flight on an edge.
+using Payload = std::optional<std::uint64_t>;
+
+struct RoundStats {
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;       ///< non-empty messages sent
+  std::uint64_t max_bits_used = 0;  ///< widest payload observed
+};
+
+/// Synchronous executor. Each round: every node may place one payload on
+/// each of its out-edges (send phase), then every node processes the
+/// payloads on its in-edges (receive phase). Payloads wider than
+/// `bits_per_message` throw InvalidArgument — the CONGEST bandwidth bound.
+class CongestSim {
+ public:
+  /// send(v, round, out_edge_index_in_v) -> payload for that edge.
+  using SendFn = std::function<Payload(VertexId v, std::uint64_t round,
+                                       std::size_t out_index)>;
+  /// receive(v, round, payload_per_in_edge).
+  using ReceiveFn = std::function<void(VertexId v, std::uint64_t round,
+                                       const std::vector<Payload>& incoming)>;
+
+  CongestSim(const Graph& g, int bits_per_message);
+
+  /// Run `rounds` rounds.
+  RoundStats run(std::uint64_t rounds, const SendFn& send,
+                 const ReceiveFn& receive);
+
+  const Graph& graph() const { return g_; }
+  int bits_per_message() const { return bits_; }
+
+ private:
+  const Graph& g_;
+  int bits_;
+};
+
+/// Execute a Definition-4 NGA inside CONGEST: identical results to
+/// nga::run_nga, one CONGEST round per NGA round, message width = the NGA's
+/// λ. Edge functions are applied by the receiver.
+nga::NgaTrace run_nga_in_congest(const Graph& g,
+                                 const std::vector<nga::Message>& initial,
+                                 std::uint64_t rounds, int lambda,
+                                 const nga::EdgeFn& edge_fn,
+                                 const nga::NodeFn& node_fn,
+                                 RoundStats* stats = nullptr);
+
+/// Simulate a discrete-time SNN in CONGEST: one node per neuron, one round
+/// per time step, 1-bit messages ("Each message is simply a single bit,
+/// indicating whether the neuron fired at time t"). Synapse delays > 1 are
+/// buffered at the receiver. Returns the (time, neuron) spike log, which
+/// must equal the event-driven simulator's.
+struct SnnCongestResult {
+  std::vector<std::pair<Time, NeuronId>> spike_log;
+  RoundStats stats;
+};
+SnnCongestResult simulate_snn_in_congest(
+    const snn::Network& net,
+    const std::vector<std::pair<NeuronId, Time>>& injections, Time horizon);
+
+/// CONGEST-native k-hop Bellman–Ford: k rounds, messages of
+/// bits_for(k·U + 1) bits carrying tentative distances. Returns dist_k.
+struct CongestBellmanFordResult {
+  std::vector<Weight> dist;
+  RoundStats stats;
+};
+CongestBellmanFordResult congest_bellman_ford(const Graph& g, VertexId source,
+                                              std::uint32_t k);
+
+// ---- Delay-CONGEST: the paper's proposed future model ------------------
+// Section 2.2: "This suggests a CONGEST-like model with a notion of
+// programmable delays as a neuromorphic-inspired model for future study."
+// Here it is: every edge has a programmable integer delay d ≥ 1; a message
+// sent on it in round r is delivered in round r + d. Bandwidth is still
+// B bits per edge per round.
+
+class DelayedCongestSim {
+ public:
+  using SendFn = CongestSim::SendFn;
+  using ReceiveFn = CongestSim::ReceiveFn;
+
+  /// Edge delays default to the graph's edge lengths.
+  DelayedCongestSim(const Graph& g, int bits_per_message);
+
+  RoundStats run(std::uint64_t rounds, const SendFn& send,
+                 const ReceiveFn& receive);
+
+ private:
+  const Graph& g_;
+  int bits_;
+};
+
+/// SSSP in delay-CONGEST with 1-BIT messages: the Section-3 spiking
+/// algorithm re-read as a distributed algorithm — each node broadcasts one
+/// bit the round after it is first woken, and the wake-up round IS the
+/// distance. Round complexity L, message complexity m. Demonstrates why
+/// the paper proposes the model: plain CONGEST needs Ω(log nU)-bit messages
+/// or length-many rounds per edge to do this.
+struct DelayedCongestSsspResult {
+  std::vector<Weight> dist;
+  RoundStats stats;
+};
+DelayedCongestSsspResult delayed_congest_sssp(const Graph& g, VertexId source,
+                                              Time horizon);
+
+/// Nanongkai's approximation (Section 7) run in its native habitat: the
+/// per-scale bounded searches execute as delay-CONGEST SSSP (1-bit
+/// messages, deadline (1+2/ε)k rounds), exactly mirroring the spiking
+/// version in nga::approx_khop_sssp. Returns the same d̃_k estimates.
+struct CongestApproxResult {
+  std::vector<double> dist;
+  double epsilon = 0;
+  std::uint32_t num_scales = 0;
+  std::uint64_t total_rounds = 0;
+  std::uint64_t total_messages = 0;
+};
+CongestApproxResult congest_approx_khop(const Graph& g, VertexId source,
+                                        std::uint32_t k, double epsilon = 0);
+
+}  // namespace sga::congest

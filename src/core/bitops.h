@@ -1,0 +1,37 @@
+// Small bit-manipulation helpers shared by the circuit library and the
+// neuromorphic algorithms (message widths λ = ceil(log2 ·) everywhere).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "core/error.h"
+
+namespace sga {
+
+/// Number of bits needed to represent values 0..v, i.e. ceil(log2(v+1)),
+/// with bits_for(0) == 1 (a message always has at least one bit).
+inline int bits_for(std::uint64_t v) {
+  if (v == 0) return 1;
+  return 64 - std::countl_zero(v);
+}
+
+/// ceil(log2(v)) for v >= 1; ceil_log2(1) == 0.
+inline int ceil_log2(std::uint64_t v) {
+  SGA_REQUIRE(v >= 1, "ceil_log2 requires v >= 1");
+  if (v == 1) return 0;
+  return 64 - std::countl_zero(v - 1);
+}
+
+/// Extract bit j (0 = least significant) of v.
+inline int bit_of(std::uint64_t v, int j) {
+  return static_cast<int>((v >> j) & 1ULL);
+}
+
+/// All-ones mask of the low `bits` bits (bits in [1, 63]).
+inline std::uint64_t mask_bits(int bits) {
+  SGA_REQUIRE(bits >= 1 && bits <= 63, "mask_bits: bits out of range");
+  return (1ULL << bits) - 1ULL;
+}
+
+}  // namespace sga

@@ -1,0 +1,69 @@
+// Error handling: a library exception type and always-on assertion macros.
+//
+// Following the C++ Core Guidelines (E.2, I.10) we throw on precondition
+// violations rather than returning error codes; graph/SNN construction errors
+// are programming errors the caller should hear about loudly.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sga {
+
+/// Base exception for all library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an argument or configuration violates a documented
+/// precondition (bad neuron id, non-positive delay, ...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a simulation or algorithm reaches an inconsistent state that
+/// indicates an internal bug.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* kind,
+                                             const char* expr,
+                                             const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  if (std::string(kind) == "SGA_REQUIRE") throw InvalidArgument(os.str());
+  throw InternalError(os.str());
+}
+}  // namespace detail
+
+}  // namespace sga
+
+/// Precondition check: throws sga::InvalidArgument. Always on.
+#define SGA_REQUIRE(expr, msg)                                              \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::ostringstream sga_os_;                                           \
+      sga_os_ << msg; /* NOLINT */                                          \
+      ::sga::detail::throw_check_failure("SGA_REQUIRE", #expr, __FILE__,    \
+                                         __LINE__, sga_os_.str());          \
+    }                                                                       \
+  } while (false)
+
+/// Internal invariant check: throws sga::InternalError. Always on.
+#define SGA_CHECK(expr, msg)                                                \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::ostringstream sga_os_;                                           \
+      sga_os_ << msg; /* NOLINT */                                          \
+      ::sga::detail::throw_check_failure("SGA_CHECK", #expr, __FILE__,      \
+                                         __LINE__, sga_os_.str());          \
+    }                                                                       \
+  } while (false)

@@ -1,0 +1,43 @@
+#include "core/random.h"
+
+namespace sga {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+  // Avoid the (astronomically unlikely) all-zero state, which is a fixed
+  // point of xoshiro.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  SGA_REQUIRE(lo <= hi, "uniform_int: empty range [" << lo << ", " << hi << "]");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>((*this)());
+  }
+  // Rejection sampling for exact uniformity.
+  const std::uint64_t limit = (~0ULL) - (~0ULL) % span;
+  std::uint64_t r;
+  do {
+    r = (*this)();
+  } while (r >= limit);
+  return lo + static_cast<std::int64_t>(r % span);
+}
+
+double Rng::uniform01() {
+  // 53 random mantissa bits → uniform in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace sga

@@ -1,0 +1,97 @@
+#include "core/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+
+namespace sga {
+
+void Summary::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Summary::min() const {
+  SGA_REQUIRE(n_ > 0, "Summary::min on empty summary");
+  return min_;
+}
+
+double Summary::max() const {
+  SGA_REQUIRE(n_ > 0, "Summary::max on empty summary");
+  return max_;
+}
+
+double Summary::mean() const {
+  SGA_REQUIRE(n_ > 0, "Summary::mean on empty summary");
+  return mean_;
+}
+
+double Summary::variance() const {
+  if (n_ < 2) return 0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+LinearFit fit_linear(const std::vector<double>& xs,
+                     const std::vector<double>& ys) {
+  SGA_REQUIRE(xs.size() == ys.size(), "fit_linear: size mismatch");
+  SGA_REQUIRE(xs.size() >= 2, "fit_linear: need at least two points");
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  SGA_REQUIRE(denom != 0, "fit_linear: degenerate x values");
+  LinearFit f;
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double e = ys[i] - (f.intercept + f.slope * xs[i]);
+    ss_res += e * e;
+  }
+  f.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return f;
+}
+
+LinearFit fit_power_law(const std::vector<double>& xs,
+                        const std::vector<double>& ys) {
+  SGA_REQUIRE(xs.size() == ys.size(), "fit_power_law: size mismatch");
+  std::vector<double> lx(xs.size()), ly(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    SGA_REQUIRE(xs[i] > 0 && ys[i] > 0,
+                "fit_power_law: inputs must be positive (got x=" << xs[i]
+                                                                 << ", y="
+                                                                 << ys[i] << ")");
+    lx[i] = std::log(xs[i]);
+    ly[i] = std::log(ys[i]);
+  }
+  return fit_linear(lx, ly);
+}
+
+double median(std::vector<double> v) {
+  SGA_REQUIRE(!v.empty(), "median of empty vector");
+  std::sort(v.begin(), v.end());
+  const std::size_t mid = v.size() / 2;
+  if (v.size() % 2 == 1) return v[mid];
+  return 0.5 * (v[mid - 1] + v[mid]);
+}
+
+}  // namespace sga

@@ -1,0 +1,50 @@
+// Summary statistics and least-squares helpers used by benches and the
+// analysis layer (log-log exponent fits for asymptotic-shape checks).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sga {
+
+/// Running summary (count / min / max / mean / variance) via Welford's
+/// algorithm; numerically stable for long benchmark streams.
+class Summary {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double min_ = 0, max_ = 0, mean_ = 0, m2_ = 0, sum_ = 0;
+};
+
+/// Simple linear least squares fit y ≈ slope * x + intercept.
+struct LinearFit {
+  double slope = 0;
+  double intercept = 0;
+  double r2 = 0;  ///< coefficient of determination
+};
+
+/// Fit y = a + b x by ordinary least squares. Requires xs.size() == ys.size()
+/// and at least two distinct x values.
+LinearFit fit_linear(const std::vector<double>& xs,
+                     const std::vector<double>& ys);
+
+/// Fit y ≈ C * x^e by regressing log y on log x; returns (e, log C) as
+/// (slope, intercept). All inputs must be strictly positive.
+LinearFit fit_power_law(const std::vector<double>& xs,
+                        const std::vector<double>& ys);
+
+/// Median of a vector (copies and sorts). Requires non-empty input.
+double median(std::vector<double> v);
+
+}  // namespace sga

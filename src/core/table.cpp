@@ -1,0 +1,70 @@
+#include "core/table.h"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "core/error.h"
+
+namespace sga {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  SGA_REQUIRE(!header_.empty(), "Table requires at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  SGA_REQUIRE(row.size() == header_.size(),
+              "Table row arity " << row.size() << " != header arity "
+                                 << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto print_sep = [&] {
+    os << '+';
+    for (const auto w : width) {
+      for (std::size_t i = 0; i < w + 2; ++i) os << '-';
+      os << '+';
+    }
+    os << '\n';
+  };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << std::setw(static_cast<int>(width[c])) << row[c] << " |";
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  print_sep();
+  print_row(header_);
+  print_sep();
+  for (const auto& row : rows_) print_row(row);
+  print_sep();
+}
+
+std::string Table::num(std::int64_t v) { return std::to_string(v); }
+std::string Table::num(std::uint64_t v) { return std::to_string(v); }
+
+std::string Table::fixed(double v, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << v;
+  return os.str();
+}
+
+std::string Table::sci(double v, int digits) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(digits) << v;
+  return os.str();
+}
+
+}  // namespace sga

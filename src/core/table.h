@@ -1,0 +1,45 @@
+// ASCII table printer. The paper's "evaluation" is a set of tables; every
+// bench binary regenerates its table through this printer so output is
+// uniform and diffable.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sga {
+
+/// Right-aligned ASCII table with a header row and optional title.
+///
+/// Usage:
+///   Table t({"n", "m", "T (steps)", "Dijkstra ops"});
+///   t.add_row({"64", "512", "1021", "3489"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Add a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Print with column widths computed from contents.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  // Formatting helpers for cells.
+  static std::string num(std::int64_t v);
+  static std::string num(std::uint64_t v);
+  static std::string fixed(double v, int digits = 2);
+  static std::string sci(double v, int digits = 2);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sga

@@ -1,0 +1,26 @@
+// Wall-clock timer for coarse bench reporting (google-benchmark handles the
+// fine-grained timing; this is for one-shot table rows).
+#pragma once
+
+#include <chrono>
+
+namespace sga {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sga

@@ -1,0 +1,57 @@
+// Fundamental type aliases and small strong types shared across the library.
+//
+// The paper works with three distinct "graphs": the input graph G being
+// solved, the SNN connectivity graph (Definition 3), and the crossbar H_n.
+// Keeping separate index types for graph vertices and SNN neurons prevents an
+// entire class of mixups when one is embedded into the other.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace sga {
+
+/// Discrete simulation time (Definition 1: t ∈ N_+). Signed so that
+/// "before the start of time" sentinels are representable.
+using Time = std::int64_t;
+
+/// Synaptic / graph-edge delay or length. Delays are integers ≥ δ (= 1).
+using Delay = std::int64_t;
+
+/// Edge length in the input graph (positive integer).
+using Weight = std::int64_t;
+
+/// Synaptic weight (Definition 1: w_ij ∈ R).
+using SynWeight = double;
+
+/// Voltage (Definition 1: v ∈ R). Every circuit in the paper uses integer
+/// weights and thresholds and decay τ ∈ {0, 1}; integer-valued doubles are
+/// exact below 2^53, so the simulator is bit-exact for all of them while
+/// still supporting the general τ ∈ [0, 1] of Definition 1.
+using Voltage = double;
+
+/// Index of a neuron inside an snn::Network.
+using NeuronId = std::uint32_t;
+
+/// Index of a vertex in an input graph.
+using VertexId = std::uint32_t;
+
+/// Index of an edge in an input graph.
+using EdgeId = std::uint32_t;
+
+inline constexpr NeuronId kNoNeuron = std::numeric_limits<NeuronId>::max();
+inline constexpr VertexId kNoVertex = std::numeric_limits<VertexId>::max();
+inline constexpr EdgeId kNoEdge = std::numeric_limits<EdgeId>::max();
+
+/// "Infinite" distance sentinel for shortest-path outputs.
+inline constexpr Weight kInfiniteDistance =
+    std::numeric_limits<Weight>::max() / 4;
+
+/// Time sentinel meaning "never happened".
+inline constexpr Time kNever = std::numeric_limits<Time>::max() / 4;
+
+/// Minimum programmable synaptic delay δ (Section 2.2). Hardware-specific
+/// constant; the paper (and we) take δ = 1 throughout.
+inline constexpr Delay kMinDelay = 1;
+
+}  // namespace sga

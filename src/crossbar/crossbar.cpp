@@ -1,0 +1,102 @@
+#include "crossbar/crossbar.h"
+
+#include "core/error.h"
+
+namespace sga::crossbar {
+
+Crossbar::Crossbar(std::size_t n) : n_(n) {
+  SGA_REQUIRE(n >= 1, "Crossbar: order must be >= 1");
+  // Enumerate the five fixed edge types (0-based translation of the
+  // 1-based set definitions in Section 4.4).
+  for (std::size_t i = 0; i < n; ++i) {
+    fixed_.push_back({minus(i, i), plus(i, i), EdgeType::kDiagonal});  // (1)
+  }
+  // (3): v⁺_ij → v⁺_i(j+1) for i ≤ j (1-based) → 0-based i ≤ j, j+1 < n.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j + 1 < n; ++j) {
+      fixed_.push_back({plus(i, j), plus(i, j + 1), EdgeType::kRowRight});
+    }
+  }
+  // (4): v⁺_i(j+1) → v⁺_ij for i > j.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j + 1 <= i && j + 1 < n; ++j) {
+      fixed_.push_back({plus(i, j + 1), plus(i, j), EdgeType::kRowLeft});
+    }
+  }
+  // (5): v⁻_ij → v⁻_(i+1)j for i < j.
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i + 1 <= j && i + 1 < n; ++i) {
+      fixed_.push_back({minus(i, j), minus(i + 1, j), EdgeType::kColDown});
+    }
+  }
+  // (6): v⁻_(i+1)j → v⁻_ij for i ≥ j.
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = j; i + 1 < n; ++i) {
+      fixed_.push_back({minus(i + 1, j), minus(i, j), EdgeType::kColUp});
+    }
+  }
+}
+
+void Crossbar::check_ij(std::size_t i, std::size_t j) const {
+  SGA_REQUIRE(i < n_ && j < n_,
+              "crossbar index (" << i << ", " << j << ") out of range for n="
+                                 << n_);
+}
+
+VertexId Crossbar::minus(std::size_t i, std::size_t j) const {
+  check_ij(i, j);
+  return static_cast<VertexId>(i * n_ + j);
+}
+
+VertexId Crossbar::plus(std::size_t i, std::size_t j) const {
+  check_ij(i, j);
+  return static_cast<VertexId>(n_ * n_ + i * n_ + j);
+}
+
+CrossbarMachine::CrossbarMachine(std::size_t n)
+    : xbar_(n), cross_(n * n, 0) {}
+
+void CrossbarMachine::set_cross_delay(std::size_t i, std::size_t j, Delay d) {
+  SGA_REQUIRE(i != j, "Type-2 edges require i != j");
+  SGA_REQUIRE(d >= 1, "Type-2 delay must be >= δ = 1, got " << d);
+  auto& slot = cross_[i * xbar_.order() + j];
+  if (slot == 0) ++active_;
+  slot = d;
+  ++delay_writes_;
+}
+
+void CrossbarMachine::clear_cross_delay(std::size_t i, std::size_t j) {
+  SGA_REQUIRE(i != j, "Type-2 edges require i != j");
+  auto& slot = cross_[i * xbar_.order() + j];
+  if (slot != 0) {
+    --active_;
+    ++delay_writes_;
+  }
+  slot = 0;
+}
+
+std::optional<Delay> CrossbarMachine::cross_delay(std::size_t i,
+                                                  std::size_t j) const {
+  SGA_REQUIRE(i < xbar_.order() && j < xbar_.order(), "slot out of range");
+  const Delay d = cross_[i * xbar_.order() + j];
+  if (d == 0) return std::nullopt;
+  return d;
+}
+
+Graph CrossbarMachine::snapshot() const {
+  Graph g(xbar_.num_vertices());
+  for (const auto& e : xbar_.fixed_edges()) {
+    g.add_edge(e.from, e.to, 1);
+  }
+  const std::size_t n = xbar_.order();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const Delay d = cross_[i * n + j];
+      if (d != 0) g.add_edge(xbar_.plus(i, j), xbar_.minus(i, j), d);
+    }
+  }
+  return g;
+}
+
+}  // namespace sga::crossbar

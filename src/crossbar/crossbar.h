@@ -1,0 +1,99 @@
+// The stacked grid ("crossbar") H_n of Section 4.4 (Figure 2) — the
+// grid-like network topology the paper assumes every neuromorphic
+// architecture reasonably contains — and the mutable machine that embeds
+// input graphs into it by programming Type-2 delays.
+//
+// Vertices: v⁻_ij and v⁺_ij for i, j ∈ [n]. Intuition: the "+" row i routes
+// from the diagonal v⁺_ii outward to any column; crossing edge (Type 2) at
+// (i, j) drops into the "−" column j, which routes back to the diagonal
+// v⁻_jj. Graph vertex i is represented by the diagonal pair
+// (v⁻_ii, v⁺_ii); graph edge i→j corresponds to the Type-2 edge
+// v⁺_ij → v⁻_ij.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/types.h"
+#include "graph/graph.h"
+
+namespace sga::crossbar {
+
+/// The six edge types of the Section 4.4 definition.
+enum class EdgeType : std::uint8_t {
+  kDiagonal = 1,  ///< v⁻_ii → v⁺_ii
+  kCross = 2,     ///< v⁺_ij → v⁻_ij (i ≠ j) — programmable (graph edges)
+  kRowRight = 3,  ///< v⁺_ij → v⁺_i(j+1), i ≤ j
+  kRowLeft = 4,   ///< v⁺_i(j+1) → v⁺_ij, i > j
+  kColDown = 5,   ///< v⁻_ij → v⁻_(i+1)j, i < j
+  kColUp = 6,     ///< v⁻_(i+1)j → v⁻_ij, i ≥ j
+};
+
+/// Static structure of H_n: vertex numbering and the fixed (Type 1,3,4,5,6)
+/// edges, which always have delay δ = 1.
+class Crossbar {
+ public:
+  /// Order n ≥ 1 (H_n has 2n² vertices).
+  explicit Crossbar(std::size_t n);
+
+  std::size_t order() const { return n_; }
+  std::size_t num_vertices() const { return 2 * n_ * n_; }
+
+  /// Vertex ids (i, j are 0-based here; the paper is 1-based).
+  VertexId minus(std::size_t i, std::size_t j) const;
+  VertexId plus(std::size_t i, std::size_t j) const;
+
+  /// The diagonal vertex representing graph vertex v.
+  VertexId graph_vertex(VertexId v) const { return minus(v, v); }
+
+  /// All fixed edges (delay 1), as (from, to, type) triples.
+  struct FixedEdge {
+    VertexId from, to;
+    EdgeType type;
+  };
+  const std::vector<FixedEdge>& fixed_edges() const { return fixed_; }
+
+  /// Number of Type-2 (programmable) slots: n(n-1).
+  std::size_t num_cross_slots() const { return n_ * (n_ - 1); }
+
+ private:
+  void check_ij(std::size_t i, std::size_t j) const;
+
+  std::size_t n_;
+  std::vector<FixedEdge> fixed_;
+};
+
+/// A crossbar with programmable Type-2 delays: the "SNA hardware" that
+/// graphs are embedded into and unembedded from (Section 4.4's multi-graph
+/// protocol). Only Type-2 edges are ever touched, so embedding G costs
+/// O(m) delay writes — which the machine counts.
+class CrossbarMachine {
+ public:
+  explicit CrossbarMachine(std::size_t n);
+
+  const Crossbar& topology() const { return xbar_; }
+
+  /// Program the Type-2 delay for slot (i, j), i ≠ j.
+  void set_cross_delay(std::size_t i, std::size_t j, Delay d);
+  /// Disable (infinite delay).
+  void clear_cross_delay(std::size_t i, std::size_t j);
+  std::optional<Delay> cross_delay(std::size_t i, std::size_t j) const;
+
+  /// Delay writes performed so far (the O(m) embed/unembed cost).
+  std::uint64_t delay_writes() const { return delay_writes_; }
+  /// Currently programmed (finite) Type-2 edges.
+  std::size_t active_cross_edges() const { return active_; }
+
+  /// Materialize the current configuration as a weighted graph (edge length
+  /// = delay) for simulation. Disabled Type-2 edges are omitted.
+  Graph snapshot() const;
+
+ private:
+  Crossbar xbar_;
+  std::vector<Delay> cross_;  // 0 = disabled
+  std::uint64_t delay_writes_ = 0;
+  std::size_t active_ = 0;
+};
+
+}  // namespace sga::crossbar

@@ -1,0 +1,58 @@
+// The Section-4.4 embedding: program an arbitrary n-vertex graph G into the
+// crossbar H_n so that shortest paths are preserved exactly (up to the
+// global length scaling), and run the spiking SSSP of Section 3 on the
+// embedded network to measure the embedding cost (the O(n)-factor blowup
+// discussed in Section 4.5 and Table 1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/types.h"
+#include "crossbar/crossbar.h"
+#include "graph/graph.h"
+#include "nga/sssp_event.h"
+
+namespace sga::crossbar {
+
+struct EmbeddingResult {
+  /// Multiplicative length scaling applied so that every edge length is
+  /// ≥ 2n (making every Type-2 delay ≥ 1). Distances in the host equal
+  /// scale × distances in G.
+  Weight scale = 1;
+  /// Delay writes used (must be O(m): one per graph edge).
+  std::uint64_t delay_writes = 0;
+};
+
+/// Program `machine` (of order ≥ g.num_vertices()) to represent g.
+/// Pre-existing Type-2 programming must be cleared first (see unembed).
+EmbeddingResult embed(CrossbarMachine& machine, const Graph& g);
+
+/// Remove g's edges from the machine (the "unembed" step of the
+/// multi-graph protocol; costs one delay write per edge of g).
+void unembed(CrossbarMachine& machine, const Graph& g);
+
+/// Distances in G recovered by running a conventional SSSP on the embedded
+/// host graph: dist_G(s, v) = dist_H(v⁻_ss, v⁻_vv) / scale. Used as the
+/// structural correctness check of the embedding.
+std::vector<Weight> embedded_distances_conventional(
+    const CrossbarMachine& machine, const EmbeddingResult& emb,
+    std::size_t n_vertices, VertexId source);
+
+struct EmbeddedSsspResult {
+  std::vector<Weight> dist;  ///< distances in G's original lengths
+  Time execution_time = 0;   ///< SNN steps on the crossbar (the O(nL) term)
+  Weight scale = 1;
+  std::size_t neurons = 0;
+  std::size_t synapses = 0;
+  std::uint64_t spikes = 0;
+};
+
+/// Run the Section-3 spiking SSSP on the embedded crossbar network: the
+/// physical realisation whose execution time carries the embedding cost.
+EmbeddedSsspResult spiking_sssp_on_crossbar(const Graph& g, VertexId source,
+                                            std::optional<VertexId> target =
+                                                std::nullopt);
+
+}  // namespace sga::crossbar

@@ -1,0 +1,272 @@
+#include "distmodel/algos.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+
+namespace sga::distmodel {
+
+namespace {
+
+/// Shared CSR layout in lattice memory.
+struct CsrLayout {
+  Addr offsets;  // n + 1 words
+  Addr targets;  // m words
+  Addr lengths;  // m words
+  std::size_t n, m;
+};
+
+CsrLayout load_graph(DistanceMachine& mach, const Graph& g) {
+  CsrLayout l;
+  l.n = g.num_vertices();
+  l.m = g.num_edges();
+  l.offsets = mach.allocate("csr.offsets", l.n + 1);
+  l.targets = mach.allocate("csr.targets", std::max<std::size_t>(1, l.m));
+  l.lengths = mach.allocate("csr.lengths", std::max<std::size_t>(1, l.m));
+  // Loading the graph is setup (the paper treats loading separately); use
+  // cost-free pokes so the measured cost is the algorithm's own movement.
+  std::size_t pos = 0;
+  for (VertexId v = 0; v < l.n; ++v) {
+    mach.poke(l.offsets + v, static_cast<Word>(pos));
+    for (const EdgeId eid : g.out_edges(v)) {
+      mach.poke(l.targets + pos, static_cast<Word>(g.edge(eid).to));
+      mach.poke(l.lengths + pos, static_cast<Word>(g.edge(eid).length));
+      ++pos;
+    }
+  }
+  mach.poke(l.offsets + l.n, static_cast<Word>(pos));
+  return l;
+}
+
+}  // namespace
+
+DistanceRunResult scan_input(std::size_t m_words, std::size_t c,
+                             RegisterPlacement placement) {
+  SGA_REQUIRE(m_words >= 1, "scan_input: empty input");
+  DistanceMachine mach(c, m_words, placement);
+  const Addr base = mach.allocate("input", m_words);
+  for (std::size_t i = 0; i < m_words; ++i) {
+    mach.poke(base + i, static_cast<Word>(i * 2654435761ULL % 1000));
+  }
+  Word checksum = 0;
+  for (std::size_t i = 0; i < m_words; ++i) {
+    checksum += mach.read(base + i);
+    mach.op();
+  }
+  DistanceRunResult r;
+  r.dist = {checksum};
+  r.machine = mach.stats();
+  r.ops = mach.stats().operations;
+  return r;
+}
+
+DistanceRunResult bellman_ford_khop_distance(const Graph& g, VertexId source,
+                                             std::uint32_t k, std::size_t c,
+                                             RegisterPlacement placement) {
+  const std::size_t n = g.num_vertices();
+  const std::size_t m = g.num_edges();
+  SGA_REQUIRE(source < n, "bellman_ford_khop_distance: bad source");
+
+  // Edge-list layout (the Section 6.2 algorithm relaxes all edges each
+  // round): from[], to[], len[], plus dist_prev[] and dist_cur[].
+  DistanceMachine mach(c, 3 * std::max<std::size_t>(1, m) + 2 * n + 4,
+                       placement);
+  const Addr from = mach.allocate("edges.from", std::max<std::size_t>(1, m));
+  const Addr to = mach.allocate("edges.to", std::max<std::size_t>(1, m));
+  const Addr len = mach.allocate("edges.len", std::max<std::size_t>(1, m));
+  const Addr dprev = mach.allocate("dist.prev", n);
+  const Addr dcur = mach.allocate("dist.cur", n);
+  for (EdgeId e = 0; e < m; ++e) {
+    mach.poke(from + e, static_cast<Word>(g.edge(e).from));
+    mach.poke(to + e, static_cast<Word>(g.edge(e).to));
+    mach.poke(len + e, static_cast<Word>(g.edge(e).length));
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    mach.poke(dprev + v, kInfiniteDistance);
+    mach.poke(dcur + v, kInfiniteDistance);
+  }
+  mach.poke(dprev + source, 0);
+  mach.poke(dcur + source, 0);
+
+  for (std::uint32_t round = 1; round <= k; ++round) {
+    // dist_prev <- dist_cur (charged: it is part of the per-round work).
+    for (VertexId v = 0; v < n; ++v) {
+      mach.write(dprev + v, mach.read(dcur + v));
+    }
+    for (EdgeId e = 0; e < m; ++e) {
+      const auto u = static_cast<std::size_t>(mach.read(from + e));
+      const Word du = mach.read(dprev + u);
+      mach.op();
+      if (du >= kInfiniteDistance) continue;
+      const Word w = mach.read(len + e);
+      const auto v = static_cast<std::size_t>(mach.read(to + e));
+      const Word cand = du + w;
+      mach.op();
+      const Word dv = mach.read(dcur + v);
+      mach.op();
+      if (cand < dv) mach.write(dcur + v, cand);
+    }
+  }
+
+  DistanceRunResult r;
+  r.dist.resize(n);
+  for (VertexId v = 0; v < n; ++v) r.dist[v] = mach.peek(dcur + v);
+  r.machine = mach.stats();
+  r.ops = mach.stats().operations;
+  return r;
+}
+
+DistanceRunResult dijkstra_distance(const Graph& g, VertexId source,
+                                    std::size_t c,
+                                    RegisterPlacement placement) {
+  const std::size_t n = g.num_vertices();
+  const std::size_t m = g.num_edges();
+  SGA_REQUIRE(source < n, "dijkstra_distance: bad source");
+
+  // CSR + dist + settled + binary heap of (key, vertex) pairs.
+  const std::size_t heap_cap = m + n + 1;
+  DistanceMachine mach(
+      c, (n + 1) + 2 * std::max<std::size_t>(1, m) + 2 * n + 2 * heap_cap + 8,
+      placement);
+  const CsrLayout csr = load_graph(mach, g);
+  const Addr dist = mach.allocate("dist", n);
+  const Addr settled = mach.allocate("settled", n);
+  const Addr heap_key = mach.allocate("heap.key", heap_cap);
+  const Addr heap_val = mach.allocate("heap.val", heap_cap);
+  for (VertexId v = 0; v < n; ++v) {
+    mach.poke(dist + v, kInfiniteDistance);
+    mach.poke(settled + v, 0);
+  }
+  mach.poke(dist + source, 0);
+
+  std::size_t heap_size = 0;
+  auto heap_push = [&](Word key, Word val) {
+    SGA_CHECK(heap_size < heap_cap, "heap overflow");
+    std::size_t i = heap_size++;
+    mach.write(heap_key + i, key);
+    mach.write(heap_val + i, val);
+    while (i > 0) {
+      const std::size_t p = (i - 1) / 2;
+      const Word ki = mach.read(heap_key + i);
+      const Word kp = mach.read(heap_key + p);
+      mach.op();
+      if (kp <= ki) break;
+      const Word vi = mach.read(heap_val + i);
+      const Word vp = mach.read(heap_val + p);
+      mach.write(heap_key + i, kp);
+      mach.write(heap_val + i, vp);
+      mach.write(heap_key + p, ki);
+      mach.write(heap_val + p, vi);
+      i = p;
+    }
+  };
+  auto heap_pop = [&]() -> std::pair<Word, Word> {
+    SGA_CHECK(heap_size > 0, "heap underflow");
+    const Word top_key = mach.read(heap_key + 0);
+    const Word top_val = mach.read(heap_val + 0);
+    --heap_size;
+    if (heap_size > 0) {
+      mach.write(heap_key + 0, mach.read(heap_key + heap_size));
+      mach.write(heap_val + 0, mach.read(heap_val + heap_size));
+      std::size_t i = 0;
+      while (true) {
+        const std::size_t l = 2 * i + 1, rr = 2 * i + 2;
+        std::size_t smallest = i;
+        Word ks = mach.read(heap_key + smallest);
+        if (l < heap_size) {
+          const Word kl = mach.read(heap_key + l);
+          mach.op();
+          if (kl < ks) {
+            smallest = l;
+            ks = kl;
+          }
+        }
+        if (rr < heap_size) {
+          const Word kr = mach.read(heap_key + rr);
+          mach.op();
+          if (kr < ks) {
+            smallest = rr;
+            ks = kr;
+          }
+        }
+        if (smallest == i) break;
+        const Word ki = mach.read(heap_key + i);
+        const Word vi = mach.read(heap_val + i);
+        const Word vs = mach.read(heap_val + smallest);
+        mach.write(heap_key + i, ks);
+        mach.write(heap_val + i, vs);
+        mach.write(heap_key + smallest, ki);
+        mach.write(heap_val + smallest, vi);
+        i = smallest;
+      }
+    }
+    return {top_key, top_val};
+  };
+
+  heap_push(0, static_cast<Word>(source));
+  while (heap_size > 0) {
+    const auto [d, uw] = heap_pop();
+    const auto u = static_cast<std::size_t>(uw);
+    const Word s = mach.read(settled + u);
+    mach.op();
+    if (s != 0) continue;
+    mach.write(settled + u, 1);
+    const auto begin = static_cast<std::size_t>(mach.read(csr.offsets + u));
+    const auto end = static_cast<std::size_t>(mach.read(csr.offsets + u + 1));
+    for (std::size_t e = begin; e < end; ++e) {
+      const auto v = static_cast<std::size_t>(mach.read(csr.targets + e));
+      const Word w = mach.read(csr.lengths + e);
+      const Word cand = d + w;
+      mach.op();
+      const Word dv = mach.read(dist + v);
+      mach.op();
+      if (cand < dv) {
+        mach.write(dist + v, cand);
+        heap_push(cand, static_cast<Word>(v));
+      }
+    }
+  }
+
+  DistanceRunResult r;
+  r.dist.resize(n);
+  for (VertexId v = 0; v < n; ++v) r.dist[v] = mach.peek(dist + v);
+  r.machine = mach.stats();
+  r.ops = mach.stats().operations;
+  return r;
+}
+
+DistanceRunResult matvec_distance(std::size_t n, std::size_t c,
+                                  RegisterPlacement placement,
+                                  std::uint64_t seed) {
+  SGA_REQUIRE(n >= 1, "matvec_distance: need n >= 1");
+  DistanceMachine mach(c, n * n + 2 * n, placement);
+  const Addr a = mach.allocate("A", n * n);
+  const Addr x = mach.allocate("x", n);
+  const Addr y = mach.allocate("y", n);
+  std::uint64_t state = seed;
+  auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<Word>((state >> 33) % 7);
+  };
+  for (std::size_t i = 0; i < n * n; ++i) mach.poke(a + i, next());
+  for (std::size_t i = 0; i < n; ++i) mach.poke(x + i, next());
+
+  // Row-major inner products: the textbook loop nest.
+  for (std::size_t i = 0; i < n; ++i) {
+    Word acc = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      acc += mach.read(a + i * n + j) * mach.read(x + j);
+      mach.op();
+    }
+    mach.write(y + i, acc);
+  }
+
+  DistanceRunResult r;
+  r.dist.resize(n);
+  for (std::size_t i = 0; i < n; ++i) r.dist[i] = mach.peek(y + i);
+  r.machine = mach.stats();
+  r.ops = mach.stats().operations;
+  return r;
+}
+
+}  // namespace sga::distmodel

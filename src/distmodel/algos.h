@@ -1,0 +1,53 @@
+// Conventional shortest-path algorithms executed on the DISTANCE machine,
+// with every word access going through the register file — the measured
+// counterparts of the Section-6 lower bounds.
+//
+// Memory layout (all in lattice memory): the graph in CSR form (offsets,
+// targets, lengths), the dist/parent arrays, and (for Dijkstra) a binary
+// heap. This is the layout a conventional implementation actually uses, so
+// its measured movement cost is a fair "best conventional algorithm" stand-in.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+#include "distmodel/machine.h"
+#include "graph/graph.h"
+
+namespace sga::distmodel {
+
+struct DistanceRunResult {
+  std::vector<Weight> dist;     ///< algorithm output (for validation)
+  MachineStats machine;         ///< movement cost etc.
+  std::uint64_t ops = 0;        ///< ALU operations (the RAM-model cost)
+};
+
+/// Theorem 6.1's workload: stream the m-word input through the registers
+/// once (returns the checksum in dist[0] so the scan cannot be elided).
+DistanceRunResult scan_input(std::size_t m_words, std::size_t c,
+                             RegisterPlacement placement);
+
+/// k rounds of relaxing every edge (the Section 6.2 algorithm), on the
+/// machine. Movement cost is Θ(k·m^{3/2}/√c) — Theorem 6.2.
+DistanceRunResult bellman_ford_khop_distance(const Graph& g, VertexId source,
+                                             std::uint32_t k, std::size_t c,
+                                             RegisterPlacement placement);
+
+/// Dijkstra with a binary heap, on the machine (the conventional SSSP
+/// baseline of Table 1's data-movement rows).
+DistanceRunResult dijkstra_distance(const Graph& g, VertexId source,
+                                    std::size_t c,
+                                    RegisterPlacement placement);
+
+/// The Section-2.3 motivating example: the standard O(n²)-operation dense
+/// matrix-vector product y = A·x on the machine. Its movement cost is
+/// Θ(n³/√c) (each of the n² matrix words must visit a register), while the
+/// neuromorphic implementation stays Θ(n²) — "the standard O(n²) algorithm
+/// ... becomes O(n³) if data-movement is taken into account, while a
+/// neuromorphic implementation remains an O(n²) algorithm". dist holds y.
+DistanceRunResult matvec_distance(std::size_t n, std::size_t c,
+                                  RegisterPlacement placement,
+                                  std::uint64_t seed = 1);
+
+}  // namespace sga::distmodel

@@ -1,0 +1,33 @@
+#include "distmodel/bounds.h"
+
+#include <cmath>
+
+namespace sga::distmodel {
+
+double theorem61_bound(std::uint64_t m, std::uint64_t c) {
+  const double md = static_cast<double>(m);
+  const double cd = static_cast<double>(c);
+  return std::pow(md, 1.5) / (8.0 * std::sqrt(cd));
+}
+
+double theorem62_bound(std::uint64_t k, std::uint64_t m, std::uint64_t c) {
+  return static_cast<double>(k) * theorem61_bound(m, c);
+}
+
+double bound_3d(std::uint64_t m, std::uint64_t c) {
+  // Same counting argument with a cube of side (m/c)^{1/3}/2: at least m/2
+  // words lie at distance ≥ (m/c)^{1/3}/4.
+  const double md = static_cast<double>(m);
+  const double cd = static_cast<double>(c);
+  return (md / 2.0) * std::cbrt(md / cd) / 4.0;
+}
+
+std::uint64_t exact_scan_floor(const Lattice& lattice) {
+  std::uint64_t total = 0;
+  for (std::size_t a = 0; a < lattice.num_words(); ++a) {
+    total += static_cast<std::uint64_t>(lattice.distance_to_nearest_register(a));
+  }
+  return total;
+}
+
+}  // namespace sga::distmodel

@@ -1,0 +1,29 @@
+// The Section-6 lower bounds, as concrete functions (with the proofs'
+// explicit constants, not just Ω-shapes), plus the exact "sum of distances
+// to the nearest register" quantity the proofs reason about.
+#pragma once
+
+#include <cstdint>
+
+#include "distmodel/lattice.h"
+
+namespace sga::distmodel {
+
+/// Theorem 6.1 with the proof's constant: at least m/2 of the input words
+/// are at distance ≥ √(m/c)/4 from every register, so any algorithm reading
+/// the input moves data at least (m/2)·(√(m/c)/4) = m^{3/2}/(8√c).
+double theorem61_bound(std::uint64_t m, std::uint64_t c);
+
+/// Theorem 6.2: k rounds, each incurring the Theorem 6.1 cost.
+double theorem62_bound(std::uint64_t k, std::uint64_t m, std::uint64_t c);
+
+/// The 3-D analogue mentioned after Theorem 6.1: Ω(m^{4/3}) for c = O(1).
+double bound_3d(std::uint64_t m, std::uint64_t c);
+
+/// The exact optimum the proof's counting argument lower-bounds: the true
+/// Σ_a d(a, nearest register) for this lattice. Any DISTANCE-model
+/// execution that reads every word costs at least this much, and the
+/// Theorem 6.1 formula must sit at or below it.
+std::uint64_t exact_scan_floor(const Lattice& lattice);
+
+}  // namespace sga::distmodel

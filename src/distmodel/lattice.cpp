@@ -1,0 +1,105 @@
+#include "distmodel/lattice.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sga::distmodel {
+
+Lattice::Lattice(std::size_t num_words, std::size_t num_registers,
+                 RegisterPlacement placement)
+    : num_words_(num_words) {
+  SGA_REQUIRE(num_words >= 1, "Lattice: need at least one word");
+  SGA_REQUIRE(num_registers >= 1, "Lattice: need at least one register");
+  side_ = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_words))));
+
+  registers_.reserve(num_registers);
+  const auto s = static_cast<std::int64_t>(side_);
+  switch (placement) {
+    case RegisterPlacement::kCenter: {
+      // A compact block across the grid's middle. Register points may
+      // coincide with data points ("some lattice points are registers",
+      // Definition 5); a coincident word is simply at distance 0.
+      const std::int64_t cx = s / 2;
+      for (std::size_t r = 0; r < num_registers; ++r) {
+        registers_.push_back(Point{
+            cx + static_cast<std::int64_t>(r) - static_cast<std::int64_t>(num_registers) / 2,
+            s / 2});
+      }
+      break;
+    }
+    case RegisterPlacement::kCorner: {
+      for (std::size_t r = 0; r < num_registers; ++r) {
+        registers_.push_back(Point{static_cast<std::int64_t>(r), -1});
+      }
+      break;
+    }
+    case RegisterPlacement::kScattered: {
+      // Spread evenly along the grid's diagonal.
+      for (std::size_t r = 0; r < num_registers; ++r) {
+        const auto pos = static_cast<std::int64_t>(
+            (r * side_) / std::max<std::size_t>(1, num_registers));
+        registers_.push_back(Point{pos, pos});
+      }
+      break;
+    }
+  }
+}
+
+Point Lattice::word_point(std::size_t a) const {
+  SGA_REQUIRE(a < num_words_, "word address " << a << " out of range");
+  return Point{static_cast<std::int64_t>(a % side_),
+               static_cast<std::int64_t>(a / side_)};
+}
+
+std::int64_t Lattice::distance_to_nearest_register(std::size_t a) const {
+  const Point p = word_point(a);
+  std::int64_t best = l1_distance(p, registers_.front());
+  for (const Point& r : registers_) {
+    best = std::min(best, l1_distance(p, r));
+  }
+  return best;
+}
+
+Lattice3::Lattice3(std::size_t num_words, std::size_t num_registers)
+    : num_words_(num_words) {
+  SGA_REQUIRE(num_words >= 1, "Lattice3: need at least one word");
+  SGA_REQUIRE(num_registers >= 1, "Lattice3: need at least one register");
+  side_ = 1;
+  while (side_ * side_ * side_ < num_words) ++side_;
+  // Registers: a compact block at the cube's centre.
+  const auto c = static_cast<std::int64_t>(side_) / 2;
+  for (std::size_t r = 0; r < num_registers; ++r) {
+    registers_.push_back(Point3{
+        c + static_cast<std::int64_t>(r) - static_cast<std::int64_t>(num_registers) / 2,
+        c, c});
+  }
+}
+
+Lattice3::Point3 Lattice3::word_point(std::size_t a) const {
+  SGA_REQUIRE(a < num_words_, "Lattice3: word address out of range");
+  return Point3{static_cast<std::int64_t>(a % side_),
+                static_cast<std::int64_t>((a / side_) % side_),
+                static_cast<std::int64_t>(a / (side_ * side_))};
+}
+
+std::int64_t Lattice3::distance_to_nearest_register(std::size_t a) const {
+  const Point3 p = word_point(a);
+  std::int64_t best = -1;
+  for (const Point3& r : registers_) {
+    const std::int64_t d = std::llabs(p.x - r.x) + std::llabs(p.y - r.y) +
+                           std::llabs(p.z - r.z);
+    if (best < 0 || d < best) best = d;
+  }
+  return best;
+}
+
+std::uint64_t exact_scan_floor_3d(const Lattice3& lattice) {
+  std::uint64_t total = 0;
+  for (std::size_t a = 0; a < lattice.num_words(); ++a) {
+    total += static_cast<std::uint64_t>(lattice.distance_to_nearest_register(a));
+  }
+  return total;
+}
+
+}  // namespace sga::distmodel

@@ -1,0 +1,91 @@
+// The 2-D lattice memory geometry of the DISTANCE model (Definition 5):
+// every word lives at a lattice point, c designated points are registers,
+// and all movement costs are ℓ1 (Manhattan) distances — "data is stored in
+// arrays of memory and is only accessible across rows or columns".
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "core/error.h"
+
+namespace sga::distmodel {
+
+struct Point {
+  std::int64_t x = 0;
+  std::int64_t y = 0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+inline std::int64_t l1_distance(Point a, Point b) {
+  return std::llabs(a.x - b.x) + std::llabs(a.y - b.y);
+}
+
+/// Where the register block sits relative to the data (ablation knob; the
+/// Ω(m^{3/2}/√c) bound of Theorem 6.1 is placement-independent, which the
+/// bench demonstrates empirically).
+enum class RegisterPlacement { kCenter, kCorner, kScattered };
+
+/// Maps word addresses to lattice points. Data words occupy the points of a
+/// near-square grid in row-major order; register points are disjoint from
+/// data points (they displace no data — they sit on an adjacent row for
+/// corner/center placements, or are interleaved for scattered).
+class Lattice {
+ public:
+  Lattice(std::size_t num_words, std::size_t num_registers,
+          RegisterPlacement placement);
+
+  std::size_t num_words() const { return num_words_; }
+  std::size_t num_registers() const { return registers_.size(); }
+
+  /// Lattice point of word address a.
+  Point word_point(std::size_t a) const;
+  /// Lattice point of register r.
+  Point register_point(std::size_t r) const {
+    SGA_REQUIRE(r < registers_.size(), "register index out of range");
+    return registers_[r];
+  }
+
+  /// ℓ1 distance from word a to its nearest register (the quantity the
+  /// Theorem 6.1 argument sums).
+  std::int64_t distance_to_nearest_register(std::size_t a) const;
+
+  /// Side length of the data grid.
+  std::size_t side() const { return side_; }
+
+ private:
+  std::size_t num_words_;
+  std::size_t side_;
+  std::vector<Point> registers_;
+};
+
+/// The three-dimensional variant mentioned after Theorem 6.1 ("we get
+/// non-trivial lower bounds even if we only assume that the data reside in
+/// three dimensions"): words on the points of a near-cubic grid, c register
+/// points, ℓ1 distances.
+class Lattice3 {
+ public:
+  Lattice3(std::size_t num_words, std::size_t num_registers);
+
+  std::size_t num_words() const { return num_words_; }
+  std::size_t side() const { return side_; }
+
+  struct Point3 {
+    std::int64_t x = 0, y = 0, z = 0;
+  };
+  Point3 word_point(std::size_t a) const;
+  std::int64_t distance_to_nearest_register(std::size_t a) const;
+
+ private:
+  std::size_t num_words_;
+  std::size_t side_;
+  std::vector<Point3> registers_;
+};
+
+/// Σ_a d(a, nearest register) on the 3-D lattice — the exact floor any
+/// full input scan must pay; Ω(m^{4/3}/c^{1/3}).
+std::uint64_t exact_scan_floor_3d(const Lattice3& lattice);
+
+}  // namespace sga::distmodel

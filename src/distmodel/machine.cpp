@@ -1,0 +1,86 @@
+#include "distmodel/machine.h"
+
+namespace sga::distmodel {
+
+DistanceMachine::DistanceMachine(std::size_t c, std::size_t num_words,
+                                 RegisterPlacement placement)
+    : c_(c), lattice_(num_words, c, placement), mem_(num_words, 0) {
+  SGA_REQUIRE(c >= 1, "DistanceMachine: need at least one register");
+}
+
+Addr DistanceMachine::allocate(const std::string& name, std::size_t size) {
+  SGA_REQUIRE(size >= 1, "allocate(" << name << "): empty allocation");
+  SGA_REQUIRE(used_ + size <= mem_.size(),
+              "allocate(" << name << "): out of lattice memory (" << used_
+                          << " + " << size << " > " << mem_.size() << ")");
+  const Addr base = used_;
+  used_ += size;
+  return base;
+}
+
+std::size_t DistanceMachine::nearest_register(Addr a) const {
+  const Point p = lattice_.word_point(a);
+  std::size_t best = 0;
+  std::int64_t best_d = l1_distance(p, lattice_.register_point(0));
+  for (std::size_t r = 1; r < c_; ++r) {
+    const std::int64_t d = l1_distance(p, lattice_.register_point(r));
+    if (d < best_d) {
+      best_d = d;
+      best = r;
+    }
+  }
+  return best;
+}
+
+void DistanceMachine::touch(Addr a, bool charge_inbound) {
+  if (const auto it = resident_.find(a); it != resident_.end()) {
+    if (charge_inbound) ++stats_.register_hits;
+    lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+    return;
+  }
+  if (charge_inbound) {
+    // Miss: move the word from its home point to the nearest register.
+    const std::size_t r = nearest_register(a);
+    stats_.movement_cost += static_cast<std::uint64_t>(
+        l1_distance(lattice_.word_point(a), lattice_.register_point(r)));
+  }
+  if (resident_.size() == c_) {
+    const Addr victim = lru_.back();
+    lru_.pop_back();
+    resident_.erase(victim);
+  }
+  lru_.push_front(a);
+  resident_[a] = lru_.begin();
+}
+
+Word DistanceMachine::read(Addr a) {
+  SGA_REQUIRE(a < mem_.size(), "read: address " << a << " out of range");
+  ++stats_.reads;
+  touch(a, /*charge_inbound=*/true);
+  return mem_[a];
+}
+
+void DistanceMachine::write(Addr a, Word v) {
+  SGA_REQUIRE(a < mem_.size(), "write: address " << a << " out of range");
+  ++stats_.writes;
+  // The result travels from the register where it was computed back to its
+  // home point (Definition 5's d(p_r, p_3) term).
+  const std::size_t r = nearest_register(a);
+  stats_.movement_cost += static_cast<std::uint64_t>(
+      l1_distance(lattice_.register_point(r), lattice_.word_point(a)));
+  mem_[a] = v;
+  // The value is also still register-resident; no inbound charge.
+  touch(a, /*charge_inbound=*/false);
+}
+
+Word DistanceMachine::peek(Addr a) const {
+  SGA_REQUIRE(a < mem_.size(), "peek: address out of range");
+  return mem_[a];
+}
+
+void DistanceMachine::poke(Addr a, Word v) {
+  SGA_REQUIRE(a < mem_.size(), "poke: address out of range");
+  mem_[a] = v;
+}
+
+}  // namespace sga::distmodel

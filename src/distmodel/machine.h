@@ -1,0 +1,76 @@
+// The DISTANCE-model machine: c registers over a 2-D lattice memory, with
+// every operand movement charged its ℓ1 distance (Definition 5: the
+// movement cost of an operation computing f(v1, v2) at register p_r and
+// storing at p_3 is d(p1,pr) + d(p2,pr) + d(pr,p3)).
+//
+// The machine is an *upper-bound implementation* of the model: registers
+// act as an LRU cache (a word already register-resident moves for free), so
+// any algorithm's measured cost is a legitimate cost the model permits —
+// and Theorem 6.1/6.2's Ω bounds must (and do) sit below it.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "distmodel/lattice.h"
+
+namespace sga::distmodel {
+
+using Word = std::int64_t;
+using Addr = std::size_t;
+
+struct MachineStats {
+  std::uint64_t movement_cost = 0;  ///< total ℓ1 distance moved
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t register_hits = 0;  ///< operand already register-resident
+  std::uint64_t operations = 0;     ///< ALU ops (for op-count comparisons)
+};
+
+class DistanceMachine {
+ public:
+  /// A machine with `c` registers and `num_words` of lattice memory.
+  DistanceMachine(std::size_t c, std::size_t num_words,
+                  RegisterPlacement placement = RegisterPlacement::kCenter);
+
+  /// Allocate `size` consecutive words; returns the base address. Named for
+  /// debuggability of the memory map.
+  Addr allocate(const std::string& name, std::size_t size);
+
+  /// Read memory[a] through a register (charges movement on miss).
+  Word read(Addr a);
+  /// Write v to memory[a] through a register (charges the write-back
+  /// distance).
+  void write(Addr a, Word v);
+  /// Account one ALU operation on values already in registers.
+  void op() { ++stats_.operations; }
+
+  const MachineStats& stats() const { return stats_; }
+  const Lattice& lattice() const { return lattice_; }
+  std::size_t num_registers() const { return c_; }
+
+  /// Raw (cost-free) access for test setup/verification only.
+  Word peek(Addr a) const;
+  void poke(Addr a, Word v);
+
+ private:
+  std::size_t nearest_register(Addr a) const;
+  /// Make a register-resident (LRU eviction); charges the inbound move on a
+  /// miss when charge_inbound is set (reads do, write-throughs don't).
+  void touch(Addr a, bool charge_inbound);
+
+  std::size_t c_;
+  Lattice lattice_;
+  std::vector<Word> mem_;
+  std::size_t used_ = 0;
+  MachineStats stats_;
+
+  // LRU register file: set of resident addresses.
+  std::list<Addr> lru_;  // front = most recent
+  std::unordered_map<Addr, std::list<Addr>::iterator> resident_;
+};
+
+}  // namespace sga::distmodel

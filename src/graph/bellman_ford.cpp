@@ -1,0 +1,56 @@
+#include "graph/bellman_ford.h"
+
+namespace sga {
+
+KHopResult bellman_ford_khop(const Graph& g, VertexId source, std::uint32_t k) {
+  const std::size_t n = g.num_vertices();
+  SGA_REQUIRE(source < n, "bellman_ford_khop: source out of range");
+
+  KHopResult r;
+  r.dist.assign(n, kInfiniteDistance);
+  r.parent.assign(n, kNoVertex);
+  r.hops.assign(n, 0);
+  r.dist[source] = 0;
+
+  std::vector<Weight> prev = r.dist;
+  for (std::uint32_t round = 1; round <= k; ++round) {
+    prev = r.dist;
+    for (const auto& e : g.edges()) {
+      ++r.ops.edge_relaxations;
+      ++r.ops.comparisons;
+      if (prev[e.from] >= kInfiniteDistance) continue;
+      const Weight nd = prev[e.from] + e.length;
+      if (nd < r.dist[e.to]) {
+        r.dist[e.to] = nd;
+        r.parent[e.to] = e.from;
+        r.hops[e.to] = static_cast<std::uint32_t>(round);
+      }
+    }
+  }
+  return r;
+}
+
+std::vector<std::vector<Weight>> bellman_ford_khop_rounds(const Graph& g,
+                                                          VertexId source,
+                                                          std::uint32_t k) {
+  const std::size_t n = g.num_vertices();
+  SGA_REQUIRE(source < n, "bellman_ford_khop_rounds: source out of range");
+  std::vector<std::vector<Weight>> rounds;
+  rounds.reserve(k + 1);
+  std::vector<Weight> dist(n, kInfiniteDistance);
+  dist[source] = 0;
+  rounds.push_back(dist);
+  for (std::uint32_t round = 1; round <= k; ++round) {
+    const std::vector<Weight>& prev = rounds.back();
+    std::vector<Weight> cur = prev;
+    for (const auto& e : g.edges()) {
+      if (prev[e.from] >= kInfiniteDistance) continue;
+      const Weight nd = prev[e.from] + e.length;
+      if (nd < cur[e.to]) cur[e.to] = nd;
+    }
+    rounds.push_back(std::move(cur));
+  }
+  return rounds;
+}
+
+}  // namespace sga

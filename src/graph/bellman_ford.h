@@ -1,0 +1,39 @@
+// Reference conventional k-hop SSSP: the Bellman–Ford based O(km) algorithm
+// of Section 6.2. dist_i(v) = length of the shortest path from the source to
+// v using at most i edges; the algorithm performs k rounds of relaxing all
+// edges.
+#pragma once
+
+#include <vector>
+
+#include "core/types.h"
+#include "graph/dijkstra.h"  // OpCounts
+#include "graph/graph.h"
+
+namespace sga {
+
+struct KHopResult {
+  /// dist[v] = dist_k(v): shortest path length using at most k edges,
+  /// kInfiniteDistance if no such path.
+  std::vector<Weight> dist;
+  /// parent[v] on the best <=k-hop path (kNoVertex if none/source).
+  std::vector<VertexId> parent;
+  /// hops[v]: number of edges on the found path.
+  std::vector<std::uint32_t> hops;
+  OpCounts ops;
+
+  bool reachable(VertexId v) const { return dist[v] < kInfiniteDistance; }
+};
+
+/// k-hop single-source shortest paths (exactly the Section 6.2 algorithm:
+/// k rounds, each relaxing every edge).
+KHopResult bellman_ford_khop(const Graph& g, VertexId source, std::uint32_t k);
+
+/// All the per-round tables dist_0 .. dist_k (dist[i][v] = dist_i(v)).
+/// Used by tests to validate the gate-level polynomial k-hop SNN round by
+/// round.
+std::vector<std::vector<Weight>> bellman_ford_khop_rounds(const Graph& g,
+                                                          VertexId source,
+                                                          std::uint32_t k);
+
+}  // namespace sga

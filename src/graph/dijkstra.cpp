@@ -1,0 +1,62 @@
+#include "graph/dijkstra.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace sga {
+
+SsspResult dijkstra(const Graph& g, VertexId source) {
+  const std::size_t n = g.num_vertices();
+  SGA_REQUIRE(source < n, "dijkstra: source out of range");
+
+  SsspResult r;
+  r.dist.assign(n, kInfiniteDistance);
+  r.parent.assign(n, kNoVertex);
+  r.hops.assign(n, 0);
+
+  using Item = std::pair<Weight, VertexId>;  // (distance, vertex)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  r.dist[source] = 0;
+  pq.emplace(0, source);
+  ++r.ops.heap_ops;
+
+  std::vector<char> settled(n, 0);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    ++r.ops.heap_ops;
+    if (settled[u]) continue;
+    settled[u] = 1;
+    for (const EdgeId eid : g.out_edges(u)) {
+      const Edge& e = g.edge(eid);
+      ++r.ops.edge_relaxations;
+      ++r.ops.comparisons;
+      const Weight nd = d + e.length;
+      if (nd < r.dist[e.to]) {
+        r.dist[e.to] = nd;
+        r.parent[e.to] = u;
+        r.hops[e.to] = r.hops[u] + 1;
+        pq.emplace(nd, e.to);
+        ++r.ops.heap_ops;
+      }
+    }
+  }
+  return r;
+}
+
+std::uint32_t shortest_path_hops(const SsspResult& r, VertexId target) {
+  SGA_REQUIRE(target < r.dist.size(), "shortest_path_hops: target out of range");
+  SGA_REQUIRE(r.reachable(target), "shortest_path_hops: target unreachable");
+  return r.hops[target];
+}
+
+std::vector<VertexId> extract_path(const SsspResult& r, VertexId target) {
+  SGA_REQUIRE(target < r.dist.size(), "extract_path: target out of range");
+  SGA_REQUIRE(r.reachable(target), "extract_path: target unreachable");
+  std::vector<VertexId> path;
+  for (VertexId v = target; v != kNoVertex; v = r.parent[v]) path.push_back(v);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace sga

@@ -1,0 +1,49 @@
+// Reference conventional SSSP: Dijkstra's algorithm with a binary heap,
+// O(m log n) (the paper quotes O(m + n log n) with a Fibonacci heap; the
+// binary-heap variant is the standard practical baseline and has identical
+// data-movement behaviour for the DISTANCE comparison).
+//
+// The result carries operation counts so benches can report the
+// "ignoring data movement" conventional cost column of Table 1.
+#pragma once
+
+#include <vector>
+
+#include "core/types.h"
+#include "graph/graph.h"
+
+namespace sga {
+
+/// Counters for the conventional-cost columns of Table 1.
+struct OpCounts {
+  std::uint64_t edge_relaxations = 0;  ///< edges scanned / relax attempts
+  std::uint64_t heap_ops = 0;          ///< pushes + pops + decrease-keys
+  std::uint64_t comparisons = 0;       ///< weight comparisons
+  std::uint64_t total() const {
+    return edge_relaxations + heap_ops + comparisons;
+  }
+};
+
+struct SsspResult {
+  std::vector<Weight> dist;      ///< kInfiniteDistance if unreachable
+  std::vector<VertexId> parent;  ///< kNoVertex at source / unreachable
+  std::vector<std::uint32_t> hops;  ///< #edges on the found shortest path
+  OpCounts ops;
+
+  bool reachable(VertexId v) const { return dist[v] < kInfiniteDistance; }
+};
+
+/// Single-source shortest paths from `source`. Requires positive lengths.
+SsspResult dijkstra(const Graph& g, VertexId source);
+
+/// Number of edges α on the shortest source→target path found by Dijkstra
+/// (Section 4.2 uses α to instantiate k-hop SSSP as plain SSSP). Returns 0
+/// if target == source, and kNoVertex-like sentinel via SGA_REQUIRE if
+/// unreachable.
+std::uint32_t shortest_path_hops(const SsspResult& r, VertexId target);
+
+/// Reconstruct the vertex sequence of the shortest path to `target`
+/// (inclusive of both endpoints). Requires target reachable.
+std::vector<VertexId> extract_path(const SsspResult& r, VertexId target);
+
+}  // namespace sga

@@ -1,0 +1,194 @@
+#include "graph/generators.h"
+
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+namespace sga {
+
+namespace {
+
+Weight draw_weight(const WeightRange& w, Rng& rng) {
+  SGA_REQUIRE(w.min_length >= 1, "weights must be positive");
+  SGA_REQUIRE(w.min_length <= w.max_length, "invalid weight range");
+  return rng.uniform_int(w.min_length, w.max_length);
+}
+
+std::uint64_t pair_key(VertexId u, VertexId v) {
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+Graph make_random_graph(std::size_t n, std::size_t m, WeightRange w, Rng& rng,
+                        bool ensure_connected) {
+  SGA_REQUIRE(n >= 1, "make_random_graph: need n >= 1");
+  SGA_REQUIRE(m <= n * (n - 1), "make_random_graph: m too large for simple graph");
+  Graph g(n);
+  std::unordered_set<std::uint64_t> used;
+  used.reserve(m * 2);
+
+  if (ensure_connected && n > 1) {
+    SGA_REQUIRE(m >= n - 1,
+                "make_random_graph: need m >= n-1 to ensure connectivity");
+    // Random out-tree rooted at 0: vertex i attaches under a random earlier
+    // vertex. Guarantees every vertex is reachable from vertex 0.
+    for (VertexId v = 1; v < n; ++v) {
+      const auto parent =
+          static_cast<VertexId>(rng.uniform_int(0, static_cast<std::int64_t>(v) - 1));
+      g.add_edge(parent, v, draw_weight(w, rng));
+      used.insert(pair_key(parent, v));
+    }
+  }
+
+  while (g.num_edges() < m) {
+    const auto u =
+        static_cast<VertexId>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    const auto v =
+        static_cast<VertexId>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    if (u == v) continue;
+    if (!used.insert(pair_key(u, v)).second) continue;
+    g.add_edge(u, v, draw_weight(w, rng));
+  }
+  return g;
+}
+
+Graph make_grid_graph(std::size_t rows, std::size_t cols, WeightRange w,
+                      Rng& rng) {
+  SGA_REQUIRE(rows >= 1 && cols >= 1, "make_grid_graph: empty grid");
+  Graph g(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<VertexId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (cols > 1) g.add_edge(id(r, c), id(r, (c + 1) % cols), draw_weight(w, rng));
+      if (rows > 1) g.add_edge(id(r, c), id((r + 1) % rows, c), draw_weight(w, rng));
+    }
+  }
+  return g;
+}
+
+Graph make_path_graph(std::size_t n, WeightRange w, Rng& rng) {
+  SGA_REQUIRE(n >= 1, "make_path_graph: need n >= 1");
+  Graph g(n);
+  for (VertexId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1, draw_weight(w, rng));
+  return g;
+}
+
+Graph make_cycle_graph(std::size_t n, WeightRange w, Rng& rng) {
+  SGA_REQUIRE(n >= 2, "make_cycle_graph: need n >= 2");
+  Graph g(n);
+  for (VertexId v = 0; v < n; ++v) {
+    g.add_edge(v, static_cast<VertexId>((v + 1) % n), draw_weight(w, rng));
+  }
+  return g;
+}
+
+Graph make_complete_graph(std::size_t n, WeightRange w, Rng& rng) {
+  SGA_REQUIRE(n >= 1, "make_complete_graph: need n >= 1");
+  Graph g(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = 0; v < n; ++v) {
+      if (u != v) g.add_edge(u, v, draw_weight(w, rng));
+    }
+  }
+  return g;
+}
+
+Graph make_layered_dag(std::size_t layers, std::size_t width,
+                       std::size_t fanout, WeightRange w, Rng& rng) {
+  SGA_REQUIRE(layers >= 1 && width >= 1, "make_layered_dag: empty DAG");
+  SGA_REQUIRE(fanout >= 1 && fanout <= width,
+              "make_layered_dag: fanout must be in [1, width]");
+  Graph g(1 + layers * width);
+  auto id = [width](std::size_t layer, std::size_t i) {
+    return static_cast<VertexId>(1 + layer * width + i);
+  };
+  for (std::size_t i = 0; i < width; ++i) {
+    g.add_edge(0, id(0, i), draw_weight(w, rng));
+  }
+  for (std::size_t layer = 0; layer + 1 < layers; ++layer) {
+    for (std::size_t i = 0; i < width; ++i) {
+      // Choose `fanout` distinct targets in the next layer.
+      std::unordered_set<std::size_t> targets;
+      while (targets.size() < fanout) {
+        targets.insert(static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(width) - 1)));
+      }
+      for (const auto t : targets) {
+        g.add_edge(id(layer, i), id(layer + 1, t), draw_weight(w, rng));
+      }
+    }
+  }
+  return g;
+}
+
+Graph make_preferential_attachment(std::size_t n, std::size_t attach,
+                                   WeightRange w, Rng& rng) {
+  SGA_REQUIRE(n >= 2, "make_preferential_attachment: need n >= 2");
+  SGA_REQUIRE(attach >= 1, "make_preferential_attachment: attach >= 1");
+  Graph g(n);
+  // Repeated-endpoint list: classic linear-time preferential attachment.
+  std::vector<VertexId> endpoints;
+  endpoints.push_back(0);
+  for (VertexId v = 1; v < n; ++v) {
+    std::unordered_set<VertexId> chosen;
+    const std::size_t want = std::min<std::size_t>(attach, v);
+    while (chosen.size() < want) {
+      const auto idx = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(endpoints.size()) - 1));
+      chosen.insert(endpoints[idx]);
+    }
+    for (const auto t : chosen) {
+      g.add_edge(v, t, draw_weight(w, rng));
+      g.add_edge(t, v, draw_weight(w, rng));  // reverse edge for reachability
+      endpoints.push_back(t);
+    }
+    endpoints.push_back(v);
+  }
+  return g;
+}
+
+Graph make_geometric_graph(std::size_t n, double radius, Weight scale,
+                           Rng& rng) {
+  SGA_REQUIRE(n >= 2, "make_geometric_graph: need n >= 2");
+  SGA_REQUIRE(radius > 0 && scale >= 1, "make_geometric_graph: bad params");
+  std::vector<std::pair<double, double>> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.emplace_back(rng.uniform01(), rng.uniform01());
+  }
+  auto dist = [&](std::size_t i, std::size_t j) {
+    const double dx = pts[i].first - pts[j].first;
+    const double dy = pts[i].second - pts[j].second;
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  auto length = [&](std::size_t i, std::size_t j) {
+    return std::max<Weight>(
+        1, static_cast<Weight>(std::ceil(static_cast<double>(scale) *
+                                         dist(i, j))));
+  };
+  Graph g(n);
+  std::unordered_set<std::uint64_t> used;
+  auto add_pair = [&](std::size_t i, std::size_t j) {
+    const auto u = static_cast<VertexId>(i);
+    const auto v = static_cast<VertexId>(j);
+    if (used.insert(pair_key(u, v)).second) g.add_edge(u, v, length(i, j));
+    if (used.insert(pair_key(v, u)).second) g.add_edge(v, u, length(i, j));
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (dist(i, j) <= radius) add_pair(i, j);
+    }
+  }
+  // Connectivity backbone: chain each vertex to its predecessor in a random
+  // order (lengths still geometric).
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  rng.shuffle(order);
+  for (std::size_t i = 1; i < n; ++i) add_pair(order[i - 1], order[i]);
+  return g;
+}
+
+}  // namespace sga

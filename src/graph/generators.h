@@ -1,0 +1,70 @@
+// Graph generators for tests, examples, and the benchmark workloads.
+//
+// The paper's bounds are parameterized by n, m, k, U, L and α; these
+// generators let the benches sweep each parameter independently:
+//  * Erdős–Rényi G(n, m) with uniform weights — the generic workload;
+//  * grid graphs — short L relative to m (pseudopoly-friendly regime);
+//  * path/cycle graphs — extremal α and L;
+//  * complete graphs — densest case and the crossbar's worst case;
+//  * layered DAGs — k-hop structure is explicit;
+//  * Barabási–Albert — heavy-tailed degrees stressing per-node circuits.
+#pragma once
+
+#include <cstdint>
+
+#include "core/random.h"
+#include "graph/graph.h"
+
+namespace sga {
+
+/// Weight distribution for generated edges: uniform in [min_length,
+/// max_length].
+struct WeightRange {
+  Weight min_length = 1;
+  Weight max_length = 1;
+};
+
+/// Erdős–Rényi style G(n, m): m distinct directed edges chosen uniformly
+/// (no self-loops, no duplicate (u,v) pairs). If ensure_connected, a random
+/// out-tree from vertex 0 is added first so that vertex 0 reaches everything;
+/// those n-1 edges count toward m. Requires m <= n(n-1) and, when
+/// ensure_connected, m >= n-1.
+Graph make_random_graph(std::size_t n, std::size_t m, WeightRange w, Rng& rng,
+                        bool ensure_connected = true);
+
+/// Directed 2-D torus grid of rows x cols vertices; each vertex has edges to
+/// its right and down neighbours (wrapping), so m = 2 n. Uniform weights.
+Graph make_grid_graph(std::size_t rows, std::size_t cols, WeightRange w,
+                      Rng& rng);
+
+/// Simple directed path 0 -> 1 -> ... -> n-1.
+Graph make_path_graph(std::size_t n, WeightRange w, Rng& rng);
+
+/// Directed cycle over n vertices.
+Graph make_cycle_graph(std::size_t n, WeightRange w, Rng& rng);
+
+/// Complete directed graph K_n (all ordered pairs, no self-loops).
+Graph make_complete_graph(std::size_t n, WeightRange w, Rng& rng);
+
+/// Layered DAG: `layers` layers of `width` vertices; every vertex in layer i
+/// has `fanout` random out-edges into layer i+1. Vertex 0 is a source wired
+/// to all of layer 0. k-hop behaviour is explicit: reaching layer i requires
+/// exactly i+1 hops.
+Graph make_layered_dag(std::size_t layers, std::size_t width,
+                       std::size_t fanout, WeightRange w, Rng& rng);
+
+/// Barabási–Albert preferential attachment (directed: new vertex points to
+/// `attach` existing vertices, plus reverse edges so the graph is strongly
+/// reachable from 0).
+Graph make_preferential_attachment(std::size_t n, std::size_t attach,
+                                   WeightRange w, Rng& rng);
+
+/// Random geometric graph on the unit square: n points, bidirectional edges
+/// between pairs within `radius`, edge length = ⌈scale · euclidean⌉ — a
+/// road-network-like workload where lengths correlate with topology (short
+/// L, small α; the pseudopolynomial algorithms' favourite regime). A random
+/// Hamiltonian-ish chain is added so the graph is connected.
+Graph make_geometric_graph(std::size_t n, double radius, Weight scale,
+                           Rng& rng);
+
+}  // namespace sga

@@ -1,0 +1,103 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sga {
+
+VertexId Graph::add_vertex() {
+  csr_valid_ = false;
+  return static_cast<VertexId>(n_++);
+}
+
+EdgeId Graph::add_edge(VertexId u, VertexId v, Weight length) {
+  SGA_REQUIRE(u < n_, "add_edge: source " << u << " out of range (n=" << n_ << ")");
+  SGA_REQUIRE(v < n_, "add_edge: target " << v << " out of range (n=" << n_ << ")");
+  SGA_REQUIRE(length > 0, "add_edge: edge length must be positive, got " << length);
+  csr_valid_ = false;
+  edges_.push_back(Edge{u, v, length});
+  return static_cast<EdgeId>(edges_.size() - 1);
+}
+
+void Graph::scale_lengths(Weight factor) {
+  SGA_REQUIRE(factor > 0, "scale_lengths: factor must be positive");
+  for (auto& e : edges_) {
+    SGA_CHECK(e.length <= kInfiniteDistance / factor,
+              "scale_lengths: overflow scaling length " << e.length << " by "
+                                                        << factor);
+    e.length *= factor;
+  }
+}
+
+void Graph::ensure_csr() const {
+  if (csr_valid_) return;
+  out_offset_.assign(n_ + 1, 0);
+  in_offset_.assign(n_ + 1, 0);
+  for (const auto& e : edges_) {
+    ++out_offset_[e.from + 1];
+    ++in_offset_[e.to + 1];
+  }
+  for (std::size_t i = 1; i <= n_; ++i) {
+    out_offset_[i] += out_offset_[i - 1];
+    in_offset_[i] += in_offset_[i - 1];
+  }
+  out_list_.assign(edges_.size(), 0);
+  in_list_.assign(edges_.size(), 0);
+  std::vector<std::uint32_t> out_pos(out_offset_.begin(), out_offset_.end() - 1);
+  std::vector<std::uint32_t> in_pos(in_offset_.begin(), in_offset_.end() - 1);
+  for (EdgeId id = 0; id < edges_.size(); ++id) {
+    const auto& e = edges_[id];
+    out_list_[out_pos[e.from]++] = id;
+    in_list_[in_pos[e.to]++] = id;
+  }
+  csr_valid_ = true;
+}
+
+std::span<const EdgeId> Graph::out_edges(VertexId u) const {
+  SGA_REQUIRE(u < n_, "out_edges: vertex " << u << " out of range");
+  ensure_csr();
+  return {out_list_.data() + out_offset_[u],
+          out_list_.data() + out_offset_[u + 1]};
+}
+
+std::span<const EdgeId> Graph::in_edges(VertexId v) const {
+  SGA_REQUIRE(v < n_, "in_edges: vertex " << v << " out of range");
+  ensure_csr();
+  return {in_list_.data() + in_offset_[v], in_list_.data() + in_offset_[v + 1]};
+}
+
+std::size_t Graph::max_degree() const {
+  std::size_t best = 0;
+  for (VertexId v = 0; v < n_; ++v) {
+    best = std::max(best, out_degree(v) + in_degree(v));
+  }
+  return best;
+}
+
+Weight Graph::max_edge_length() const {
+  Weight best = 0;
+  for (const auto& e : edges_) best = std::max(best, e.length);
+  return best;
+}
+
+Weight Graph::min_edge_length() const {
+  if (edges_.empty()) return 0;
+  Weight best = edges_.front().length;
+  for (const auto& e : edges_) best = std::min(best, e.length);
+  return best;
+}
+
+Graph Graph::reversed() const {
+  Graph r(n_);
+  for (const auto& e : edges_) r.add_edge(e.to, e.from, e.length);
+  return r;
+}
+
+std::string Graph::summary() const {
+  std::ostringstream os;
+  os << "Graph(n=" << n_ << ", m=" << edges_.size()
+     << ", U=" << max_edge_length() << ")";
+  return os.str();
+}
+
+}  // namespace sga

@@ -1,0 +1,89 @@
+// Directed weighted input graphs (the "G" the paper's algorithms solve).
+//
+// Edge lengths are positive integers, matching the paper's assumption of
+// positive (integer, after scaling) edge lengths and integer synaptic delays.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+#include "core/types.h"
+
+namespace sga {
+
+/// A directed edge of the input graph.
+struct Edge {
+  VertexId from = kNoVertex;
+  VertexId to = kNoVertex;
+  Weight length = 1;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Directed weighted graph with CSR adjacency (out-edges and in-edges).
+///
+/// The builder interface (add_vertex / add_edge) accumulates edges; CSR
+/// indices are built lazily and invalidated by mutation. All reference
+/// algorithms and all SNN constructions consume this type.
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t num_vertices) : n_(num_vertices) {}
+
+  /// Append a new vertex; returns its id.
+  VertexId add_vertex();
+
+  /// Add a directed edge u -> v with positive length; returns its id.
+  EdgeId add_edge(VertexId u, VertexId v, Weight length);
+
+  std::size_t num_vertices() const { return n_; }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  const Edge& edge(EdgeId e) const {
+    SGA_REQUIRE(e < edges_.size(), "edge id out of range: " << e);
+    return edges_[e];
+  }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Multiply every edge length by `factor` (> 0). Used by the crossbar
+  /// embedding (scale so min length >= 2n) and by circuit-depth scaling.
+  void scale_lengths(Weight factor);
+
+  /// Ids of edges leaving u (CSR; built on demand).
+  std::span<const EdgeId> out_edges(VertexId u) const;
+  /// Ids of edges entering v (CSR; built on demand).
+  std::span<const EdgeId> in_edges(VertexId v) const;
+
+  std::size_t out_degree(VertexId u) const { return out_edges(u).size(); }
+  std::size_t in_degree(VertexId v) const { return in_edges(v).size(); }
+
+  /// Maximum total degree (in + out) over all vertices; 0 for empty graph.
+  std::size_t max_degree() const;
+
+  /// Largest edge length U (Section 4.2); 0 for edgeless graphs.
+  Weight max_edge_length() const;
+  /// Smallest edge length; 0 for edgeless graphs.
+  Weight min_edge_length() const;
+
+  /// A graph with the direction of every edge reversed.
+  Graph reversed() const;
+
+  /// Human-readable one-line summary ("n=.., m=.., U=..").
+  std::string summary() const;
+
+ private:
+  void ensure_csr() const;
+
+  std::size_t n_ = 0;
+  std::vector<Edge> edges_;
+
+  // Lazily built CSR indices.
+  mutable bool csr_valid_ = false;
+  mutable std::vector<std::uint32_t> out_offset_, in_offset_;
+  mutable std::vector<EdgeId> out_list_, in_list_;
+};
+
+}  // namespace sga

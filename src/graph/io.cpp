@@ -1,0 +1,86 @@
+#include "graph/io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "core/error.h"
+
+namespace sga {
+
+void write_dimacs(std::ostream& os, const Graph& g, const std::string& comment) {
+  if (!comment.empty()) os << "c " << comment << '\n';
+  os << "p sp " << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (const auto& e : g.edges()) {
+    os << "a " << (e.from + 1) << ' ' << (e.to + 1) << ' ' << e.length << '\n';
+  }
+}
+
+Graph read_dimacs(std::istream& is) {
+  std::string line;
+  Graph g;
+  bool have_header = false;
+  std::size_t declared_m = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    char tag = 0;
+    ls >> tag;
+    if (tag == 'c') continue;
+    if (tag == 'p') {
+      std::string kind;
+      std::size_t n = 0, m = 0;
+      ls >> kind >> n >> m;
+      SGA_REQUIRE(ls && kind == "sp", "read_dimacs: bad problem line: " << line);
+      SGA_REQUIRE(!have_header, "read_dimacs: duplicate problem line");
+      g = Graph(n);
+      declared_m = m;
+      have_header = true;
+      continue;
+    }
+    if (tag == 'a') {
+      SGA_REQUIRE(have_header, "read_dimacs: arc before problem line");
+      std::size_t u = 0, v = 0;
+      Weight w = 0;
+      ls >> u >> v >> w;
+      SGA_REQUIRE(ls, "read_dimacs: bad arc line: " << line);
+      SGA_REQUIRE(u >= 1 && u <= g.num_vertices() && v >= 1 &&
+                      v <= g.num_vertices(),
+                  "read_dimacs: vertex out of range in: " << line);
+      g.add_edge(static_cast<VertexId>(u - 1), static_cast<VertexId>(v - 1), w);
+      continue;
+    }
+    SGA_REQUIRE(false, "read_dimacs: unrecognized line: " << line);
+  }
+  SGA_REQUIRE(have_header, "read_dimacs: missing problem line");
+  SGA_REQUIRE(g.num_edges() == declared_m,
+              "read_dimacs: header declared " << declared_m << " arcs, found "
+                                              << g.num_edges());
+  return g;
+}
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+  os << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (const auto& e : g.edges()) {
+    os << e.from << ' ' << e.to << ' ' << e.length << '\n';
+  }
+}
+
+Graph read_edge_list(std::istream& is) {
+  std::size_t n = 0, m = 0;
+  is >> n >> m;
+  SGA_REQUIRE(static_cast<bool>(is), "read_edge_list: missing n m header");
+  Graph g(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    std::size_t u = 0, v = 0;
+    Weight w = 0;
+    is >> u >> v >> w;
+    SGA_REQUIRE(static_cast<bool>(is), "read_edge_list: truncated at edge " << i);
+    SGA_REQUIRE(u < n && v < n, "read_edge_list: vertex out of range at edge " << i);
+    g.add_edge(static_cast<VertexId>(u), static_cast<VertexId>(v), w);
+  }
+  return g;
+}
+
+}  // namespace sga

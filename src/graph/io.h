@@ -1,0 +1,26 @@
+// Graph serialization: DIMACS shortest-path format ("p sp n m" header,
+// "a u v w" arc lines, 1-indexed) — the standard interchange format for
+// shortest-path benchmarks — plus a trivial whitespace edge-list format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace sga {
+
+/// Write g in DIMACS .gr format (1-indexed vertices).
+void write_dimacs(std::ostream& os, const Graph& g,
+                  const std::string& comment = "");
+
+/// Parse DIMACS .gr format. Throws InvalidArgument on malformed input.
+Graph read_dimacs(std::istream& is);
+
+/// Write "u v w" lines (0-indexed), one per edge, preceded by "n m".
+void write_edge_list(std::ostream& os, const Graph& g);
+
+/// Parse the edge-list format produced by write_edge_list.
+Graph read_edge_list(std::istream& is);
+
+}  // namespace sga

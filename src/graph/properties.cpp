@@ -1,0 +1,86 @@
+#include "graph/properties.h"
+
+#include <deque>
+#include <limits>
+
+namespace sga {
+
+std::vector<char> reachable_set(const Graph& g, VertexId source) {
+  SGA_REQUIRE(source < g.num_vertices(), "reachable_set: source out of range");
+  std::vector<char> seen(g.num_vertices(), 0);
+  std::deque<VertexId> frontier{source};
+  seen[source] = 1;
+  while (!frontier.empty()) {
+    const VertexId u = frontier.front();
+    frontier.pop_front();
+    for (const EdgeId eid : g.out_edges(u)) {
+      const VertexId v = g.edge(eid).to;
+      if (!seen[v]) {
+        seen[v] = 1;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return seen;
+}
+
+bool all_reachable(const Graph& g, VertexId source) {
+  const auto seen = reachable_set(g, source);
+  for (const char s : seen) {
+    if (!s) return false;
+  }
+  return true;
+}
+
+Weight path_length(const Graph& g, const std::vector<VertexId>& path) {
+  SGA_REQUIRE(!path.empty(), "path_length: empty path");
+  Weight total = 0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    bool found = false;
+    Weight best = std::numeric_limits<Weight>::max();
+    for (const EdgeId eid : g.out_edges(path[i])) {
+      const Edge& e = g.edge(eid);
+      if (e.to == path[i + 1]) {
+        found = true;
+        best = std::min(best, e.length);  // parallel edges: use the shortest
+      }
+    }
+    SGA_REQUIRE(found, "path_length: no edge " << path[i] << " -> "
+                                               << path[i + 1]);
+    total += best;
+  }
+  return total;
+}
+
+bool is_shortest_path_witness(const Graph& g, const std::vector<VertexId>& path,
+                              VertexId from, VertexId to,
+                              Weight expected_length) {
+  if (path.empty() || path.front() != from || path.back() != to) return false;
+  try {
+    return path_length(g, path) == expected_length;
+  } catch (const InvalidArgument&) {
+    return false;
+  }
+}
+
+std::vector<std::uint32_t> bfs_hops(const Graph& g, VertexId source) {
+  SGA_REQUIRE(source < g.num_vertices(), "bfs_hops: source out of range");
+  constexpr auto kUnreached = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> hops(g.num_vertices(), kUnreached);
+  std::deque<VertexId> frontier{source};
+  hops[source] = 0;
+  while (!frontier.empty()) {
+    const VertexId u = frontier.front();
+    frontier.pop_front();
+    for (const EdgeId eid : g.out_edges(u)) {
+      const VertexId v = g.edge(eid).to;
+      if (hops[v] == kUnreached) {
+        hops[v] = hops[u] + 1;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return hops;
+}
+
+}  // namespace sga

@@ -1,0 +1,31 @@
+// Graph property queries used by algorithm preconditions and bench reports:
+// reachability, path validation, and the paper's parameters L, U, α.
+#pragma once
+
+#include <vector>
+
+#include "core/types.h"
+#include "graph/graph.h"
+
+namespace sga {
+
+/// Vertices reachable from `source` (BFS over out-edges).
+std::vector<char> reachable_set(const Graph& g, VertexId source);
+
+/// True if every vertex is reachable from `source`.
+bool all_reachable(const Graph& g, VertexId source);
+
+/// Validate a path: consecutive vertices joined by an edge; returns the total
+/// length. Throws InvalidArgument if the sequence is not a path in g.
+Weight path_length(const Graph& g, const std::vector<VertexId>& path);
+
+/// True iff `path` starts at `from`, ends at `to`, is a valid path, and its
+/// length equals `expected_length`.
+bool is_shortest_path_witness(const Graph& g, const std::vector<VertexId>& path,
+                              VertexId from, VertexId to,
+                              Weight expected_length);
+
+/// BFS hop distances (number of edges, ignoring lengths).
+std::vector<std::uint32_t> bfs_hops(const Graph& g, VertexId source);
+
+}  // namespace sga

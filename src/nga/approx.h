@@ -1,0 +1,57 @@
+// The (1 + o(1))-approximate k-hop SSSP algorithm of Section 7, a spiking
+// adaptation of Nanongkai's CONGEST algorithm.
+//
+// With ε = 1/log n, for each scale i ∈ {0, …, ⌈log(2kU/ε)⌉} the edge
+// lengths are rounded up to ℓ_i(uv) = ⌈2k·ℓ(uv)/(ε·2^i)⌉ and the
+// pseudopolynomial spiking SSSP of Section 3 is run on the rounded graph,
+// terminated early at time ⌈(1+2/ε)·k⌉. The estimate is
+//   d̃_k(v) = min_i { (ε·2^i/2k)·dist^{ℓ_i}(v) : dist^{ℓ_i}(v) ≤ (1+2/ε)k }.
+// Theorem 7.1 gives dist_k(v) ≤ d̃_k(v) ≤ (1+ε)·dist_k(v).
+//
+// The payoff (Theorem 7.2) is the neuron count: n neurons per scale,
+// O(n·log(kU·log n)) total, versus O(m·log(nU)) for the exact polynomial
+// algorithm.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/types.h"
+#include "graph/graph.h"
+
+namespace sga::nga {
+
+struct ApproxKHopOptions {
+  VertexId source = 0;
+  std::uint32_t k = 1;
+  /// ε override for experiments; 0 means the paper's ε = 1/log₂ n.
+  double epsilon = 0.0;
+  /// Build all O(log(kU log n)) scale copies into ONE network (disjoint
+  /// neuron populations, n neurons each — the Theorem 7.2 layout) and run
+  /// them simultaneously in a single simulation, instead of one run per
+  /// scale. Same results; total_time then equals max_scale_time.
+  bool compose_scales = false;
+};
+
+struct ApproxKHopResult {
+  /// d̃_k[v]: the approximation (+∞ where no scale produced a finite value,
+  /// i.e. no ≤k-hop-ish path exists).
+  std::vector<double> dist;
+  double epsilon = 0.0;
+  std::uint32_t num_scales = 0;
+  /// Total SNN time steps across all scale runs (the scales can also run
+  /// concurrently on disjoint neuron populations; we report the sum as the
+  /// sequential cost and the max as the parallel cost).
+  Time total_time = 0;
+  Time max_scale_time = 0;
+  std::size_t neurons_total = 0;   ///< n per scale, summed
+  std::size_t neurons_exact = 0;   ///< what the exact poly algorithm needs
+  std::uint64_t total_spikes = 0;
+
+  bool reachable(VertexId v) const;
+};
+
+ApproxKHopResult approx_khop_sssp(const Graph& g, const ApproxKHopOptions& opt);
+
+}  // namespace sga::nga

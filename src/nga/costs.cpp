@@ -1,0 +1,74 @@
+#include "nga/costs.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sga::nga {
+
+double log2_clamped(double x) { return std::max(1.0, std::log2(x)); }
+
+namespace {
+double d(std::uint64_t v) { return static_cast<double>(v); }
+}  // namespace
+
+double nm_sssp_pseudo(const ProblemParams& p) { return d(p.L) + d(p.m); }
+
+double nm_sssp_pseudo_embedded(const ProblemParams& p) {
+  return d(p.n) * d(p.L) + d(p.m);
+}
+
+double nm_khop_pseudo(const ProblemParams& p) {
+  return (d(p.L) + d(p.m)) * log2_clamped(d(p.k));
+}
+
+double nm_khop_pseudo_embedded(const ProblemParams& p) {
+  return (d(p.n) * d(p.L) + d(p.m)) * log2_clamped(d(p.k));
+}
+
+double nm_khop_poly(const ProblemParams& p) {
+  return d(p.m) * log2_clamped(d(p.n) * d(p.U));
+}
+
+double nm_khop_poly_spiking_only(const ProblemParams& p) {
+  return d(p.k) * log2_clamped(d(p.n) * d(p.U));
+}
+
+double nm_khop_poly_embedded(const ProblemParams& p) {
+  return (d(p.n) * d(p.k) + d(p.m)) * log2_clamped(d(p.n) * d(p.U));
+}
+
+double nm_sssp_poly(const ProblemParams& p) {
+  return d(p.m) * log2_clamped(d(p.n) * d(p.U));
+}
+
+double nm_sssp_poly_embedded(const ProblemParams& p) {
+  return (d(p.n) * d(p.alpha) + d(p.m)) * log2_clamped(d(p.n) * d(p.U));
+}
+
+double nm_approx_khop(const ProblemParams& p) {
+  const double logn = log2_clamped(d(p.n));
+  return (d(p.k) * logn + d(p.m)) *
+         log2_clamped(d(p.k) * d(p.U) * logn);
+}
+
+double nm_approx_khop_embedded(const ProblemParams& p) {
+  const double logn = log2_clamped(d(p.n));
+  return (d(p.k) * d(p.n) * logn + d(p.m)) *
+         log2_clamped(d(p.k) * d(p.U) * logn);
+}
+
+double conv_sssp(const ProblemParams& p) {
+  return d(p.m) + d(p.n) * log2_clamped(d(p.n));
+}
+
+double conv_khop(const ProblemParams& p) { return d(p.k) * d(p.m); }
+
+double lb_input_read(const ProblemParams& p) {
+  return std::pow(d(p.m), 1.5) / std::sqrt(d(p.c));
+}
+
+double lb_khop_bellman_ford(const ProblemParams& p) {
+  return d(p.k) * std::pow(d(p.m), 1.5) / std::sqrt(d(p.c));
+}
+
+}  // namespace sga::nga

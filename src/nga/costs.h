@@ -1,0 +1,68 @@
+// Predicted running-time formulas from the paper's theorems, used by the
+// benches to print "measured vs predicted" columns. Each returns the
+// *asymptotic expression's value* (no hidden constant); the benches fit the
+// constant and check the shape.
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.h"
+
+namespace sga::nga {
+
+/// Parameters every bound is expressed in (Table 1's caption).
+struct ProblemParams {
+  std::uint64_t n = 0;  ///< vertices
+  std::uint64_t m = 0;  ///< edges
+  std::uint64_t k = 0;  ///< hop bound (n-1 for plain SSSP)
+  std::uint64_t U = 1;  ///< max edge length
+  std::uint64_t L = 0;  ///< shortest-path length of interest
+  std::uint64_t alpha = 0;  ///< edges on the shortest path
+  std::uint64_t c = 1;  ///< registers in the DISTANCE model
+};
+
+/// log2(x) clamped below at 1 (so O(log ·) factors never vanish).
+double log2_clamped(double x);
+
+// --- Neuromorphic running times (Theorems 4.1–4.4, 7.2) -----------------
+
+/// Thm 4.1, O(1) data movement: O(L + m).
+double nm_sssp_pseudo(const ProblemParams& p);
+/// Thm 4.1, crossbar: O(nL + m).
+double nm_sssp_pseudo_embedded(const ProblemParams& p);
+
+/// Thm 4.2, O(1) data movement: O((L + m) log k).
+double nm_khop_pseudo(const ProblemParams& p);
+/// Thm 4.2, crossbar: O((nL + m) log k).
+double nm_khop_pseudo_embedded(const ProblemParams& p);
+
+/// Thm 4.3, O(1) data movement: O(m log(nU)) (loading dominates; the
+/// spiking portion alone is O(k log(nU))).
+double nm_khop_poly(const ProblemParams& p);
+double nm_khop_poly_spiking_only(const ProblemParams& p);
+/// Thm 4.3, crossbar: O((nk + m) log(nU)).
+double nm_khop_poly_embedded(const ProblemParams& p);
+
+/// Thm 4.4 (k = α): O(m log(nU)) / O((nα + m) log(nU)).
+double nm_sssp_poly(const ProblemParams& p);
+double nm_sssp_poly_embedded(const ProblemParams& p);
+
+/// Thm 7.2: O((k log n + m) log(kU log n)) / crossbar variant.
+double nm_approx_khop(const ProblemParams& p);
+double nm_approx_khop_embedded(const ProblemParams& p);
+
+// --- Conventional running times (Table 1) -------------------------------
+
+/// Dijkstra: O(m + n log n).
+double conv_sssp(const ProblemParams& p);
+/// Bellman–Ford k-hop: O(km).
+double conv_khop(const ProblemParams& p);
+
+// --- DISTANCE-model lower bounds (Section 6) ----------------------------
+
+/// Thm 6.1: Ω(m^{3/2}/√c) to read the input.
+double lb_input_read(const ProblemParams& p);
+/// Thm 6.2: Ω(k·m^{3/2}/√c) for the k-round relaxation algorithm.
+double lb_khop_bellman_ford(const ProblemParams& p);
+
+}  // namespace sga::nga

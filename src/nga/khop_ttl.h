@@ -1,0 +1,67 @@
+// Gate-level compilation of the pseudopolynomial k-hop SSSP algorithm
+// (Section 4.1).
+//
+// Messages are ⌈log k⌉-bit time-to-live (TTL) values. The source emits
+// TTL = k-1; every arrival of TTL k' at a node certifies a source→node walk
+// of (scaled) length equal to the arrival time using k - k' edges. Each node
+// circuit computes the MAX of the TTLs arriving simultaneously (Section 5
+// circuits), subtracts one (two's-complement add of all-ones), and
+// rebroadcasts iff the max was ≥ 1.
+//
+// Timing: all graph edge lengths are scaled by S so that the node circuit's
+// depth D fits inside the shortest edge (the paper's "scale all graph edges
+// so that the minimum edge length is at least ⌈log k⌉"); the synapse for
+// edge e then gets delay S·ℓ(e) − D, making the node-output→node-output
+// latency along e exactly S·ℓ(e). Because the node circuits are levelled
+// feed-forward τ=1 networks they are fully pipelined, so messages arriving
+// at different times are processed independently — which is exactly the
+// "node can propagate multiple times" behaviour the algorithm needs.
+//
+// Theorem 4.2: O((L+m) log k) time with O(1) data movement; O((nL+m) log k)
+// with the crossbar embedding.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "circuits/max_circuits.h"
+#include "core/types.h"
+#include "graph/graph.h"
+#include "snn/simulator.h"
+
+namespace sga::nga {
+
+struct KHopTtlOptions {
+  VertexId source = 0;
+  std::uint32_t k = 1;  ///< hop budget, ≥ 1
+  /// If set, stop as soon as this vertex receives any message.
+  std::optional<VertexId> target;
+  /// Which Section-5 max circuit to instantiate at nodes (ablation knob).
+  circuits::MaxKind max_kind = circuits::MaxKind::kWiredOr;
+};
+
+struct KHopTtlResult {
+  /// dist[v] = dist_k(v), in ORIGINAL (unscaled) edge lengths.
+  std::vector<Weight> dist;
+  /// hops[v]: edges on the fewest-hop path achieving dist_k(v), decoded
+  /// from the TTL of the first arrival (arrival TTL τ ⇒ k − τ edges used;
+  /// simultaneous arrivals are MAXed, so this is the minimum hop count
+  /// among shortest ≤k-hop paths). 0 at the source and unreached vertices.
+  std::vector<std::uint32_t> hops;
+  Time execution_time = 0;   ///< SNN steps until termination
+  Weight scale = 1;          ///< S: the log-k-ish edge-length scaling factor
+  int node_depth = 0;        ///< D: steps from node input to node output
+  int lambda = 0;            ///< TTL message width ⌈log k⌉
+  std::size_t neurons = 0;
+  std::size_t synapses = 0;
+  snn::SimStats sim;
+
+  bool reachable(VertexId v) const { return dist[v] < kInfiniteDistance; }
+};
+
+/// Run the gate-level k-hop TTL algorithm. Requires at least one edge and a
+/// valid source; self-loops are permitted (a TTL message over a self-loop
+/// just decrements and returns).
+KHopTtlResult khop_sssp_ttl(const Graph& g, const KHopTtlOptions& opt);
+
+}  // namespace sga::nga

@@ -1,0 +1,83 @@
+#include "nga/matvec.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+
+namespace sga::nga {
+
+std::vector<std::uint64_t> matvec_power(const Graph& g,
+                                        const std::vector<std::uint64_t>& x,
+                                        std::uint64_t r) {
+  SGA_REQUIRE(x.size() == g.num_vertices(), "matvec_power: size mismatch");
+  std::vector<Message> init(g.num_vertices());
+  for (std::size_t v = 0; v < x.size(); ++v) {
+    init[v] = Message{x[v], true};
+  }
+  const EdgeFn edge = [](const Edge& e, const Message& in) {
+    return Message{in.value * static_cast<std::uint64_t>(e.length), true};
+  };
+  const NodeFn node = [](VertexId, const std::vector<Message>& incoming) {
+    std::uint64_t sum = 0;
+    for (const Message& m : incoming) {
+      if (m.valid) sum += m.value;
+    }
+    return Message{sum, true};
+  };
+  const NgaTrace trace = run_nga(g, init, r, edge, node);
+  std::vector<std::uint64_t> out(g.num_vertices(), 0);
+  for (std::size_t v = 0; v < out.size(); ++v) {
+    out[v] = trace.per_round.back()[v].value;
+  }
+  return out;
+}
+
+namespace {
+
+NgaTrace run_minplus(const Graph& g, VertexId source, std::uint64_t r) {
+  SGA_REQUIRE(source < g.num_vertices(), "minplus: source out of range");
+  std::vector<Message> init(g.num_vertices());
+  init[source] = Message{0, true};
+  const EdgeFn edge = [](const Edge& e, const Message& in) {
+    return Message{in.value + static_cast<std::uint64_t>(e.length), true};
+  };
+  const NodeFn node = [](VertexId, const std::vector<Message>& incoming) {
+    Message best;  // invalid: "no walk of this length reaches the node"
+    for (const Message& m : incoming) {
+      if (m.valid && (!best.valid || m.value < best.value)) best = m;
+    }
+    return best;
+  };
+  return run_nga(g, init, r, edge, node);
+}
+
+}  // namespace
+
+std::vector<Weight> minplus_power(const Graph& g, VertexId source,
+                                  std::uint64_t r) {
+  const NgaTrace trace = run_minplus(g, source, r);
+  std::vector<Weight> out(g.num_vertices(), kInfiniteDistance);
+  for (std::size_t v = 0; v < out.size(); ++v) {
+    const Message& m = trace.per_round.back()[v];
+    if (m.valid) out[v] = static_cast<Weight>(m.value);
+  }
+  return out;
+}
+
+std::vector<std::vector<Weight>> minplus_rounds(const Graph& g,
+                                                VertexId source,
+                                                std::uint64_t r) {
+  const NgaTrace trace = run_minplus(g, source, r);
+  std::vector<std::vector<Weight>> out;
+  out.reserve(trace.per_round.size());
+  for (const auto& round : trace.per_round) {
+    std::vector<Weight> row(g.num_vertices(), kInfiniteDistance);
+    for (std::size_t v = 0; v < row.size(); ++v) {
+      if (round[v].valid) row[v] = static_cast<Weight>(round[v].value);
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace sga::nga

@@ -1,0 +1,37 @@
+// The Section 2.2 example NGA: computing A^r m_0 by message passing, for
+// the ordinary (+, ×) semiring and the (min, +) tropical semiring — the
+// latter is exactly the k-hop shortest-path recurrence, which is why the
+// paper says its techniques "carry over to the more general matrix-vector
+// multiplication problem".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "nga/model.h"
+
+namespace sga::nga {
+
+/// r rounds of m ← A m where A_ij = length of edge i→j (0 where absent)
+/// and multiplication/addition are ordinary integer ops. Returns the final
+/// message vector (invalid ⇒ the entry is 0). Values must stay below 2^63.
+std::vector<std::uint64_t> matvec_power(const Graph& g,
+                                        const std::vector<std::uint64_t>& x,
+                                        std::uint64_t r);
+
+/// r rounds of the (min, +) recurrence m_{j} ← min_i (m_i + A_ij): after r
+/// rounds starting from m_source = 0 (others invalid/∞), entry v holds the
+/// length of the shortest walk source→v with exactly r edges — the
+/// building block of the polynomial k-hop algorithm. kInfiniteDistance
+/// marks "no walk".
+std::vector<Weight> minplus_power(const Graph& g, VertexId source,
+                                  std::uint64_t r);
+
+/// All rounds 0..r of the (min, +) recurrence, where round t's entry v is
+/// the shortest walk with exactly t edges.
+std::vector<std::vector<Weight>> minplus_rounds(const Graph& g,
+                                                VertexId source,
+                                                std::uint64_t r);
+
+}  // namespace sga::nga

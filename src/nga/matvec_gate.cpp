@@ -1,0 +1,100 @@
+#include "nga/matvec_gate.h"
+
+#include <algorithm>
+
+#include "circuits/builder.h"
+#include "circuits/multiplier.h"
+#include "core/bitops.h"
+#include "core/error.h"
+#include "snn/network.h"
+#include "snn/probe.h"
+
+namespace sga::nga {
+
+GateMatvecResult matvec_gate_level(const Graph& g,
+                                   const std::vector<std::uint64_t>& x,
+                                   int in_bits, circuits::AdderKind adder) {
+  SGA_REQUIRE(x.size() == g.num_vertices(), "matvec_gate_level: size mismatch");
+  SGA_REQUIRE(in_bits >= 1 && in_bits <= 16, "matvec_gate_level: bad width");
+  for (const auto v : x) {
+    SGA_REQUIRE(v < (1ULL << in_bits),
+                "matvec_gate_level: x entry " << v << " exceeds " << in_bits
+                                              << " bits");
+  }
+  SGA_REQUIRE(g.num_edges() >= 1, "matvec_gate_level: graph has no edges");
+
+  snn::Network net;
+  circuits::CircuitBuilder cb(net);
+
+  // Input layer: one bus per vertex.
+  std::vector<std::vector<NeuronId>> xin;
+  xin.reserve(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    xin.push_back(cb.make_input_bus(in_bits));
+  }
+
+  // Edge multipliers: product width uniform at in_bits + bits_for(U).
+  const int prod_bits = in_bits + bits_for(static_cast<std::uint64_t>(
+                                      g.max_edge_length()));
+  std::vector<circuits::ConstMultiplier> mult(g.num_edges());
+  int max_mult_depth = 0;
+  for (EdgeId eid = 0; eid < g.num_edges(); ++eid) {
+    const Edge& e = g.edge(eid);
+    mult[eid] = circuits::build_const_multiplier(
+        cb, in_bits, static_cast<std::uint64_t>(e.length), adder);
+    // Drive the multiplier from the source vertex's input bus (delay 1).
+    for (int b = 0; b < in_bits; ++b) {
+      net.add_synapse(xin[e.from][static_cast<std::size_t>(b)],
+                      mult[eid].x[static_cast<std::size_t>(b)], 1, 1);
+    }
+    max_mult_depth = std::max(max_mult_depth, mult[eid].depth);
+  }
+
+  // Node adder trees over the in-edges' products; all tree inputs must fire
+  // simultaneously, so route each product with a compensating delay.
+  const int tree_input_time = 1 + max_mult_depth + 1;
+  std::vector<circuits::AdderTree> tree(g.num_vertices());
+  Time out_time = 0;
+  std::vector<char> has_tree(g.num_vertices(), 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto in_edges = g.in_edges(v);
+    if (in_edges.empty()) continue;
+    tree[v] = circuits::build_adder_tree(
+        cb, static_cast<int>(in_edges.size()), prod_bits, adder);
+    has_tree[v] = 1;
+    for (std::size_t slot = 0; slot < in_edges.size(); ++slot) {
+      const auto& m = mult[in_edges[slot]];
+      const Delay d =
+          static_cast<Delay>(tree_input_time) - (1 + m.depth);
+      SGA_CHECK(d >= 1, "product arrives too late for the tree");
+      for (std::size_t b = 0; b < m.product.size(); ++b) {
+        // Products are at most prod_bits wide; tree relays cover them.
+        net.add_synapse(m.product[b], tree[v].inputs[slot][b], 1, d);
+      }
+    }
+    out_time = std::max<Time>(out_time, tree_input_time + tree[v].depth);
+  }
+
+  // Run one presentation.
+  snn::Simulator sim(net);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    snn::inject_binary(sim, xin[v], x[v], 0);
+  }
+  snn::SimConfig cfg;
+  cfg.max_time = out_time;
+  GateMatvecResult r;
+  r.sim = sim.run(cfg);
+  r.neurons = net.num_neurons();
+  r.synapses = net.num_synapses();
+  r.execution_time = out_time;
+
+  r.y.assign(g.num_vertices(), 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (!has_tree[v]) continue;
+    r.y[v] = snn::decode_binary_at(sim, tree[v].sum,
+                                   tree_input_time + tree[v].depth);
+  }
+  return r;
+}
+
+}  // namespace sga::nga

@@ -1,0 +1,35 @@
+// Gate-level compilation of ONE round of the Section-2.2 matrix-vector NGA:
+// y = A·x with A_ij = the length of edge i→j, computed by an actual spiking
+// network — a shift-and-add constant multiplier on every edge and an adder
+// tree at every node. This substantiates the paper's closing remark of
+// Section 2.2: "our techniques carry over to the more general matrix-vector
+// multiplication problem".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuits/adders.h"
+#include "core/types.h"
+#include "graph/graph.h"
+#include "snn/simulator.h"
+
+namespace sga::nga {
+
+struct GateMatvecResult {
+  std::vector<std::uint64_t> y;  ///< y_j = Σ_i A_ij · x_i
+  Time execution_time = 0;       ///< when the output buses fire
+  std::size_t neurons = 0;
+  std::size_t synapses = 0;
+  snn::SimStats sim;
+};
+
+/// Compute y = A·x gate-level. x values must fit in `in_bits` (≤ 16).
+/// Entries of x may be zero (their bits simply stay silent).
+GateMatvecResult matvec_gate_level(const Graph& g,
+                                   const std::vector<std::uint64_t>& x,
+                                   int in_bits,
+                                   circuits::AdderKind adder =
+                                       circuits::AdderKind::kRipple);
+
+}  // namespace sga::nga

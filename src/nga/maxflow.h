@@ -1,0 +1,52 @@
+// Neuromorphic-assisted maximum flow — the Section-8 future-work direction
+// ("developing more sophisticated neuromorphic algorithms for other graph
+// problems", with network flow named explicitly, cf. Ali & Kwisthout [5]).
+//
+// Scheme: Edmonds–Karp, with each shortest augmenting path found by the
+// paper's own spiking machinery — the Section-3 network with UNIT delays
+// (so first-spike order is BFS order) over the current residual graph, and
+// predecessors captured either by the gate-level Section-3 flag/latch
+// circuits (path_readout) or by the simulator's cause probe. Augmentation
+// (bottleneck computation and flow update) is local bookkeeping, the "some
+// local computation" of the tidal-flow sketch.
+//
+// This is a hybrid: the search — the part the paper argues neuromorphic
+// hardware accelerates — is spiking; the O(path length) update is
+// conventional. Costs are reported per phase (spikes, SNN steps) so the
+// trade is visible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+#include "graph/graph.h"
+
+namespace sga::nga {
+
+struct MaxFlowOptions {
+  VertexId source = 0;
+  VertexId sink = 0;
+  /// Find predecessors with the gate-level capture-flag circuits of
+  /// nga::spiking_sssp_with_paths (true) or the simulator's cause probe
+  /// (false). Identical results; the gate-level variant costs extra neurons.
+  bool gate_level_paths = false;
+};
+
+struct MaxFlowResult {
+  std::int64_t value = 0;        ///< maximum flow
+  std::uint64_t phases = 0;      ///< augmenting paths found
+  std::uint64_t total_spikes = 0;    ///< across all spiking searches
+  Time total_snn_steps = 0;          ///< Σ execution times of the searches
+  std::vector<std::int64_t> flow;    ///< per input edge (same indexing as g)
+};
+
+/// Max flow from source to sink, capacities = edge lengths of g (≥ 1).
+/// Throws InvalidArgument if source == sink.
+MaxFlowResult spiking_max_flow(const Graph& g, const MaxFlowOptions& opt);
+
+/// Conventional Edmonds–Karp reference (plain BFS), used to validate the
+/// spiking variant.
+std::int64_t reference_max_flow(const Graph& g, VertexId source, VertexId sink);
+
+}  // namespace sga::nga

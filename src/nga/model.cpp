@@ -1,0 +1,48 @@
+#include "nga/model.h"
+
+#include "core/error.h"
+
+namespace sga::nga {
+
+NgaTrace run_nga(const Graph& g, const std::vector<Message>& initial,
+                 std::uint64_t rounds, const EdgeFn& edge_fn,
+                 const NodeFn& node_fn) {
+  SGA_REQUIRE(initial.size() == g.num_vertices(),
+              "run_nga: initial message count " << initial.size()
+                                                << " != vertex count "
+                                                << g.num_vertices());
+  NgaTrace trace;
+  trace.per_round.push_back(initial);
+
+  std::vector<Message> edge_msgs(g.num_edges());
+  for (std::uint64_t r = 1; r <= rounds; ++r) {
+    const std::vector<Message>& prev = trace.per_round.back();
+
+    // Broadcast + edge computation: m_{ij,r-1} = f_edge(e, m_{i,r-1}).
+    for (EdgeId eid = 0; eid < g.num_edges(); ++eid) {
+      const Edge& e = g.edge(eid);
+      const Message& out = prev[e.from];
+      if (out.valid) {
+        edge_msgs[eid] = edge_fn(e, out);
+        ++trace.messages_sent;
+      } else {
+        edge_msgs[eid] = Message{};  // silent edge
+      }
+    }
+
+    // Node computation: m_{j,r} = f_node(j, incoming).
+    std::vector<Message> next(g.num_vertices());
+    std::vector<Message> incoming;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      incoming.clear();
+      for (const EdgeId eid : g.in_edges(v)) {
+        incoming.push_back(edge_msgs[eid]);
+      }
+      next[v] = node_fn(v, incoming);
+    }
+    trace.per_round.push_back(std::move(next));
+  }
+  return trace;
+}
+
+}  // namespace sga::nga

@@ -1,0 +1,66 @@
+// The Neuromorphic Graph Algorithm (NGA) model — Definition 4.
+//
+// An NGA executes on a directed graph in rounds: at the beginning of round r
+// every node broadcasts a λ-bit message across its out-edges; each edge
+// transforms the message in flight; each node combines the incoming
+// messages into its next message. The framework here is the *reference
+// semantics* for the paper's algorithms: the gate-level SNN compilations in
+// khop_ttl / khop_poly are tested against it, and its cost model
+// (R·(T_edge + T_node), Definition 4) is instantiated with the measured
+// depths of the actual circuits.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/types.h"
+#include "graph/graph.h"
+
+namespace sga::nga {
+
+/// A λ-bit message. `valid == false` models "the all-zeros message /
+/// none of the output neurons firing" (Definition 4): nodes that received
+/// nothing broadcast nothing.
+struct Message {
+  std::uint64_t value = 0;
+  bool valid = false;
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+/// Transforms the message traversing edge e (m_{ij,r-1} from m_{i,r-1}).
+using EdgeFn = std::function<Message(const Edge& e, const Message& in)>;
+
+/// Combines the incoming edge messages at node j into m_{j,r}. The span
+/// covers one entry per in-edge of j (invalid entries for silent edges).
+using NodeFn =
+    std::function<Message(VertexId j, const std::vector<Message>& incoming)>;
+
+/// Cost model of Definition 4: an R-round NGA with per-edge SNNs of depth
+/// T_edge and per-node SNNs of depth T_node takes R·(T_edge + T_node) time.
+struct NgaCost {
+  std::uint64_t rounds = 0;
+  Time t_edge = 0;  ///< time steps per edge computation
+  Time t_node = 0;  ///< time steps per node computation
+  std::size_t neurons = 0;
+
+  Time total_time() const {
+    return static_cast<Time>(rounds) * (t_edge + t_node);
+  }
+};
+
+/// Result of executing an NGA at the reference (message) level.
+struct NgaTrace {
+  /// per_round[r][v] = m_{v,r}; per_round[0] is the input assignment.
+  std::vector<std::vector<Message>> per_round;
+  std::uint64_t messages_sent = 0;  ///< valid messages broadcast in total
+};
+
+/// Execute R rounds of an NGA over g. `initial[v]` supplies m_{v,0}.
+NgaTrace run_nga(const Graph& g, const std::vector<Message>& initial,
+                 std::uint64_t rounds, const EdgeFn& edge_fn,
+                 const NodeFn& node_fn);
+
+}  // namespace sga::nga

@@ -1,0 +1,62 @@
+// Gate-level shortest-path CONSTRUCTION for the Section-3 spiking SSSP —
+// the "infer shortest paths rather than just the length" machinery: each
+// node remembers a neighbour that sent its first spike, in-network.
+//
+// Mechanism (all plain LIF, composed with the Section-3 relay network):
+//  * capture flags: one τ=1 threshold-2 neuron per graph edge (u,v) that
+//    fires iff u's spike arrived at v exactly when v first fired (the
+//    capture strobe is v's own relay, delayed one step; since relays are
+//    fire-once, the strobe is unique and no write-lock is needed);
+//  * ID latch banks: ⌈log n⌉ self-loop latch neurons per vertex; a firing
+//    capture flag writes the (hard-wired) binary ID of its edge's source
+//    into the bank, which then holds it indefinitely — the paper's
+//    "sends a binary encoding of its ID ... and latches the ID" (Sec. 3).
+//
+// Ties: if several in-edges deliver simultaneously at v's first-fire time,
+// all their flags fire ("ties are fine" — each is a valid predecessor); the
+// decoded parent takes the lowest-index flagged edge. The latch bank then
+// holds the OR of the tied IDs — the known ambiguity of the broadcast-ID
+// scheme, which is why the flags are the authoritative readout.
+#pragma once
+
+#include <vector>
+
+#include "core/types.h"
+#include "graph/graph.h"
+#include "snn/simulator.h"
+
+namespace sga::nga {
+
+struct SpikingSsspPathResult {
+  std::vector<Weight> dist;
+  /// Parent decoded from the per-edge capture flags (kNoVertex at the
+  /// source / unreached vertices). Always a valid shortest-path
+  /// predecessor: dist[parent[v]] + ℓ(parent[v]→v) == dist[v].
+  std::vector<VertexId> parent;
+  /// The ⌈log n⌉-bit value held by each vertex's ID latch bank at the end
+  /// of the run (meaningful when the winning predecessor was unique).
+  std::vector<std::uint64_t> latched_id;
+  /// Whether each vertex's latch bank was written at all.
+  std::vector<char> latched_valid;
+  Time execution_time = 0;
+  std::size_t neurons = 0;
+  std::size_t synapses = 0;
+  snn::SimStats sim;
+
+  bool reachable(VertexId v) const { return dist[v] < kInfiniteDistance; }
+};
+
+struct SpikingSsspPathOptions {
+  VertexId source = 0;
+  /// Horizon. The latch banks spike every step once written, so the network
+  /// never quiesces on its own; kNever picks the safe default (n−1)·U + 3.
+  Time max_time = kNever;
+  /// Build the ID latch banks (n·⌈log n⌉ extra neurons). The capture flags
+  /// are always built.
+  bool build_id_latches = true;
+};
+
+SpikingSsspPathResult spiking_sssp_with_paths(const Graph& g,
+                                              const SpikingSsspPathOptions& opt);
+
+}  // namespace sga::nga

@@ -1,0 +1,78 @@
+#include "nga/sssp_event.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+
+namespace sga::nga {
+
+snn::Network build_sssp_network(const Graph& g) {
+  snn::Network net;
+  // One relay per vertex: threshold 1, no decay (an arriving unit spike
+  // fires it immediately; inhibition must persist, so τ = 0).
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    net.add_neuron(snn::NeuronParams{0, 1, 0.0});
+  }
+  // Edge synapses: unit weight, delay = edge length.
+  for (const auto& e : g.edges()) {
+    net.add_synapse(e.from, e.to, 1, e.length);
+  }
+  // Fire-once: each relay inhibits itself with a weight exceeding the total
+  // excitation it can ever receive afterwards (each in-neighbour fires at
+  // most once, so in-degree bounds future input). Pure Definition-2 LIF —
+  // no special refractory mechanism needed.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto guard = static_cast<SynWeight>(g.in_degree(v) + 1);
+    net.add_synapse(v, v, -guard, 1);
+  }
+  return net;
+}
+
+SpikingSsspResult spiking_sssp(const Graph& g, const SpikingSsspOptions& opt) {
+  SGA_REQUIRE(opt.source < g.num_vertices(), "spiking_sssp: bad source");
+  SGA_REQUIRE(!opt.target || *opt.target < g.num_vertices(),
+              "spiking_sssp: bad target");
+  SGA_REQUIRE(!opt.target || opt.targets.empty(),
+              "spiking_sssp: use either target or targets, not both");
+  for (const VertexId t : opt.targets) {
+    SGA_REQUIRE(t < g.num_vertices(), "spiking_sssp: bad target " << t);
+  }
+
+  const snn::Network net = build_sssp_network(g);
+  snn::Simulator sim(net);
+  sim.inject_spike(opt.source, 0);
+
+  snn::SimConfig cfg;
+  cfg.max_time = opt.max_time;
+  cfg.record_causes = opt.record_parents;
+  if (opt.target) {
+    cfg.terminal_neurons = {*opt.target};
+  } else if (!opt.targets.empty()) {
+    cfg.terminal_neurons = opt.targets;
+    cfg.terminate_on_all = true;
+  }
+
+  SpikingSsspResult r;
+  r.sim = sim.run(cfg);
+  r.neurons = net.num_neurons();
+  r.synapses = net.num_synapses();
+
+  r.dist.assign(g.num_vertices(), kInfiniteDistance);
+  r.parent.assign(g.num_vertices(), kNoVertex);
+  Time last = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const Time t = sim.first_spike(v);
+    if (t == kNever) continue;
+    r.dist[v] = static_cast<Weight>(t);  // first-spike time IS the distance
+    last = std::max(last, t);
+    if (opt.record_parents && v != opt.source) {
+      r.parent[v] = static_cast<VertexId>(sim.first_spike_cause(v));
+    }
+  }
+  const bool terminal_mode = opt.target.has_value() || !opt.targets.empty();
+  r.execution_time =
+      terminal_mode && r.sim.hit_terminal ? r.sim.execution_time : last;
+  return r;
+}
+
+}  // namespace sga::nga

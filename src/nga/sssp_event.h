@@ -1,0 +1,63 @@
+// The pseudopolynomial spiking SSSP algorithm of Section 3 (Aibara et al.
+// 1991 / Aimone et al. 2019): one relay neuron per graph vertex, synapse
+// delay = edge length; the first spike to reach a vertex arrives exactly at
+// its shortest-path distance, so spike timing plays the role of Dijkstra's
+// priority queue. Each neuron propagates only its first incoming spike
+// (a pure-LIF construction: after firing, a strong self-inhibitory synapse
+// keeps the relay below threshold forever).
+//
+// Theorem 4.1: runs in O(L + m) time with O(1)-time data movement (L = the
+// distance of interest, m = graph loading), and O(nL + m) on the crossbar.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/types.h"
+#include "graph/graph.h"
+#include "snn/network.h"
+#include "snn/simulator.h"
+
+namespace sga::nga {
+
+struct SpikingSsspOptions {
+  VertexId source = 0;
+  /// If set, terminate when this vertex's neuron first spikes (Definition
+  /// 3's terminal neuron); otherwise run until every reachable vertex has
+  /// spiked (all-destinations mode).
+  std::optional<VertexId> target;
+  /// Multi-destination mode (Table 1's caption: "our algorithms can easily
+  /// be generalized to multiple destinations"): terminate once EVERY listed
+  /// vertex has spiked. Mutually exclusive with `target`.
+  std::vector<VertexId> targets;
+  /// Record shortest-path predecessors (Section 3's "remember a neighbor
+  /// that sends the first spike"; we extract it from the simulator's
+  /// first-spike-cause probe).
+  bool record_parents = true;
+  /// Safety horizon; kNever = none (the network quiesces on its own).
+  Time max_time = kNever;
+};
+
+struct SpikingSsspResult {
+  std::vector<Weight> dist;      ///< kInfiniteDistance where unreached
+  std::vector<VertexId> parent;  ///< kNoVertex at source / unreached
+  /// Execution time T (Definition 3): the first spike time of the terminal
+  /// (target mode) or the last first-spike time (all-destinations mode).
+  Time execution_time = 0;
+  snn::SimStats sim;
+  std::size_t neurons = 0;
+  std::size_t synapses = 0;
+
+  bool reachable(VertexId v) const { return dist[v] < kInfiniteDistance; }
+};
+
+/// Build the Section-3 network for g (one relay per vertex, fire-once
+/// inhibition, delay = edge length). Exposed for tests, the crossbar
+/// embedding, and the approximation algorithm (which re-runs it with scaled
+/// lengths and an early deadline). Neuron ids equal vertex ids.
+snn::Network build_sssp_network(const Graph& g);
+
+/// Run the spiking SSSP algorithm.
+SpikingSsspResult spiking_sssp(const Graph& g, const SpikingSsspOptions& opt);
+
+}  // namespace sga::nga

@@ -1,0 +1,106 @@
+#include "snn/io.h"
+
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <string>
+
+#include "core/error.h"
+
+namespace sga::snn {
+
+void write_network(std::ostream& os, const Network& net) {
+  // max_digits10 keeps doubles bit-exact across a round trip.
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "snn 1\n";
+  os << "neurons " << net.num_neurons() << '\n';
+  for (NeuronId i = 0; i < net.num_neurons(); ++i) {
+    const NeuronParams& p = net.params(i);
+    os << "n " << p.v_reset << ' ' << p.v_threshold << ' ' << p.tau << '\n';
+  }
+  os << "synapses " << net.num_synapses() << '\n';
+  for (NeuronId i = 0; i < net.num_neurons(); ++i) {
+    for (const Synapse& s : net.out_synapses(i)) {
+      os << "s " << i << ' ' << s.target << ' ' << s.weight << ' ' << s.delay
+         << '\n';
+    }
+  }
+  const auto names = net.group_names();
+  os << "groups " << names.size() << '\n';
+  for (const auto& name : names) {
+    const auto& ids = net.group(name);
+    os << "g " << name << ' ' << ids.size();
+    for (const NeuronId id : ids) os << ' ' << id;
+    os << '\n';
+  }
+}
+
+namespace {
+
+void expect_token(std::istream& is, const char* want) {
+  std::string tok;
+  is >> tok;
+  SGA_REQUIRE(static_cast<bool>(is) && tok == want,
+              "read_network: expected '" << want << "', got '" << tok << "'");
+}
+
+}  // namespace
+
+Network read_network(std::istream& is) {
+  expect_token(is, "snn");
+  int version = 0;
+  is >> version;
+  SGA_REQUIRE(static_cast<bool>(is) && version == 1,
+              "read_network: unsupported version " << version);
+
+  Network net;
+  expect_token(is, "neurons");
+  std::size_t n = 0;
+  is >> n;
+  SGA_REQUIRE(static_cast<bool>(is), "read_network: missing neuron count");
+  for (std::size_t i = 0; i < n; ++i) {
+    expect_token(is, "n");
+    NeuronParams p;
+    is >> p.v_reset >> p.v_threshold >> p.tau;
+    SGA_REQUIRE(static_cast<bool>(is), "read_network: bad neuron " << i);
+    net.add_neuron(p);
+  }
+
+  expect_token(is, "synapses");
+  std::size_t m = 0;
+  is >> m;
+  SGA_REQUIRE(static_cast<bool>(is), "read_network: missing synapse count");
+  for (std::size_t i = 0; i < m; ++i) {
+    expect_token(is, "s");
+    NeuronId from = 0, to = 0;
+    SynWeight w = 0;
+    Delay d = 0;
+    is >> from >> to >> w >> d;
+    SGA_REQUIRE(static_cast<bool>(is), "read_network: bad synapse " << i);
+    SGA_REQUIRE(from < n && to < n,
+                "read_network: synapse " << i << " endpoint out of range");
+    net.add_synapse(from, to, w, d);
+  }
+
+  expect_token(is, "groups");
+  std::size_t g = 0;
+  is >> g;
+  SGA_REQUIRE(static_cast<bool>(is), "read_network: missing group count");
+  for (std::size_t i = 0; i < g; ++i) {
+    expect_token(is, "g");
+    std::string name;
+    std::size_t k = 0;
+    is >> name >> k;
+    SGA_REQUIRE(static_cast<bool>(is), "read_network: bad group header " << i);
+    std::vector<NeuronId> ids(k);
+    for (auto& id : ids) {
+      is >> id;
+      SGA_REQUIRE(static_cast<bool>(is), "read_network: bad group member");
+    }
+    net.define_group(name, std::move(ids));
+  }
+  return net;
+}
+
+}  // namespace sga::snn

@@ -1,0 +1,28 @@
+// SNN serialization: a stable, human-readable text format for compiled
+// networks (neurons, synapses, named groups), so networks built by the
+// algorithm compilers can be exported to hardware toolchains or re-loaded
+// without re-compiling the graph.
+//
+// Format (whitespace-separated, '#' comments):
+//   snn 1                      header + version
+//   neurons N
+//   n <reset> <threshold> <tau>          × N, in id order
+//   synapses M
+//   s <from> <to> <weight> <delay>       × M
+//   groups G
+//   g <name> <k> <id...>                 × G
+#pragma once
+
+#include <iosfwd>
+
+#include "snn/network.h"
+
+namespace sga::snn {
+
+void write_network(std::ostream& os, const Network& net);
+
+/// Parse the write_network format. Throws InvalidArgument on malformed or
+/// version-mismatched input.
+Network read_network(std::istream& is);
+
+}  // namespace sga::snn

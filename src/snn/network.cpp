@@ -1,0 +1,60 @@
+#include "snn/network.h"
+
+#include <algorithm>
+
+namespace sga::snn {
+
+NeuronId Network::add_neuron(NeuronParams p) {
+  SGA_REQUIRE(p.tau >= 0.0 && p.tau <= 1.0,
+              "decay τ must be in [0, 1], got " << p.tau);
+  params_.push_back(p);
+  out_.emplace_back();
+  return static_cast<NeuronId>(params_.size() - 1);
+}
+
+void Network::add_synapse(NeuronId from, NeuronId to, SynWeight weight,
+                          Delay delay) {
+  SGA_REQUIRE(from < params_.size(), "add_synapse: bad source " << from);
+  SGA_REQUIRE(to < params_.size(), "add_synapse: bad target " << to);
+  SGA_REQUIRE(delay >= kMinDelay,
+              "add_synapse: delay " << delay << " below minimum δ = "
+                                    << kMinDelay);
+  out_[from].push_back(Synapse{to, weight, delay});
+  ++num_synapses_;
+}
+
+SynWeight Network::positive_in_weight(NeuronId id) const {
+  SGA_REQUIRE(id < params_.size(), "positive_in_weight: bad id " << id);
+  SynWeight total = 0;
+  for (const auto& syns : out_) {
+    for (const auto& s : syns) {
+      if (s.target == id && s.weight > 0) total += s.weight;
+    }
+  }
+  return total;
+}
+
+void Network::define_group(const std::string& name, std::vector<NeuronId> ids) {
+  SGA_REQUIRE(!name.empty(), "define_group: empty name");
+  for (const auto id : ids) {
+    SGA_REQUIRE(id < params_.size(),
+                "define_group(" << name << "): bad neuron id " << id);
+  }
+  groups_[name] = std::move(ids);
+}
+
+const std::vector<NeuronId>& Network::group(const std::string& name) const {
+  const auto it = groups_.find(name);
+  SGA_REQUIRE(it != groups_.end(), "unknown group: " << name);
+  return it->second;
+}
+
+std::vector<std::string> Network::group_names() const {
+  std::vector<std::string> names;
+  names.reserve(groups_.size());
+  for (const auto& [name, ids] : groups_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace sga::snn

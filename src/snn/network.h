@@ -1,0 +1,70 @@
+// Spiking neural network structure (Definition 3): a directed, possibly
+// cyclic multigraph of LIF neurons with weighted, delayed synapses, plus
+// named neuron groups used as input/output ports by circuits and algorithms.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/error.h"
+#include "core/types.h"
+#include "snn/neuron.h"
+
+namespace sga::snn {
+
+class Network {
+ public:
+  /// Add a neuron; returns its id. Threshold test is v̂ ≥ v_threshold.
+  NeuronId add_neuron(NeuronParams p = {});
+
+  /// Convenience: neuron with given threshold, reset 0, no decay — the
+  /// default configuration of every circuit in Section 5.
+  NeuronId add_threshold_neuron(Voltage threshold) {
+    return add_neuron(NeuronParams{0, threshold, 0.0});
+  }
+
+  /// Add a synapse from -> to. Delay must be ≥ kMinDelay (δ); zero-delay
+  /// synapses are prohibited (Section 2.2).
+  void add_synapse(NeuronId from, NeuronId to, SynWeight weight,
+                   Delay delay = kMinDelay);
+
+  std::size_t num_neurons() const { return params_.size(); }
+  std::size_t num_synapses() const { return num_synapses_; }
+
+  const NeuronParams& params(NeuronId id) const {
+    SGA_REQUIRE(id < params_.size(), "neuron id out of range: " << id);
+    return params_[id];
+  }
+
+  std::span<const Synapse> out_synapses(NeuronId id) const {
+    SGA_REQUIRE(id < out_.size(), "neuron id out of range: " << id);
+    return out_[id];
+  }
+
+  /// Total in-weight a neuron can receive in one step if every presynaptic
+  /// neuron fires once; used to size inhibitory "fire-once" weights.
+  SynWeight positive_in_weight(NeuronId id) const;
+
+  // ---- Named groups (ports) -------------------------------------------
+  // Circuits and algorithm builders register the neuron vectors that encode
+  // λ-bit messages (Definition 4) under stable names, so tests and probes
+  // can find them.
+
+  void define_group(const std::string& name, std::vector<NeuronId> ids);
+  bool has_group(const std::string& name) const {
+    return groups_.contains(name);
+  }
+  const std::vector<NeuronId>& group(const std::string& name) const;
+  std::vector<std::string> group_names() const;
+
+ private:
+  std::vector<NeuronParams> params_;
+  std::vector<std::vector<Synapse>> out_;
+  std::size_t num_synapses_ = 0;
+  std::unordered_map<std::string, std::vector<NeuronId>> groups_;
+};
+
+}  // namespace sga::snn

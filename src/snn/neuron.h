@@ -1,0 +1,32 @@
+// LIF neuron parameters (Definitions 1–2 of the paper).
+//
+// Dynamics implemented by snn::Simulator, with the two documented
+// conventions from DESIGN.md §1:
+//   v̂(t) = v(t-1) - (v(t-1) - v_reset)·τ + Σ_i f_i(t - d_ij)·w_ij
+//   f(t) = 1  iff  v̂(t) ≥ v_threshold        (fires)
+//   v(t) = v_reset if f(t) else v̂(t)
+// i.e. a spike fired at time s over a synapse with delay d participates in
+// the target's firing decision at time s + d, and the threshold test is ≥.
+#pragma once
+
+#include <string>
+
+#include "core/types.h"
+
+namespace sga::snn {
+
+struct NeuronParams {
+  Voltage v_reset = 0;      ///< r_u in Definition 3
+  Voltage v_threshold = 1;  ///< t_u in Definition 3
+  double tau = 0.0;         ///< decay τ ∈ [0, 1]; 0 = perfect integrator,
+                            ///< 1 = memoryless threshold gate
+};
+
+/// A directed synaptic connection out of some neuron (Definition 1).
+struct Synapse {
+  NeuronId target = kNoNeuron;
+  SynWeight weight = 1;
+  Delay delay = kMinDelay;  ///< integer multiple of δ = 1; must be ≥ 1
+};
+
+}  // namespace sga::snn

@@ -1,0 +1,59 @@
+#include "snn/probe.h"
+
+#include "core/error.h"
+
+namespace sga::snn {
+
+std::uint64_t decode_binary_at(const Simulator& sim,
+                               const std::vector<NeuronId>& bits, Time t) {
+  SGA_REQUIRE(bits.size() <= 63, "decode_binary_at: too many bits");
+  std::uint64_t value = 0;
+  for (std::size_t j = 0; j < bits.size(); ++j) {
+    if (sim.fired_at(bits[j], t)) value |= 1ULL << j;
+  }
+  return value;
+}
+
+std::uint64_t decode_binary_window(const Simulator& sim,
+                                   const std::vector<NeuronId>& bits, Time t0,
+                                   Time t1) {
+  SGA_REQUIRE(bits.size() <= 63, "decode_binary_window: too many bits");
+  SGA_REQUIRE(t0 <= t1, "decode_binary_window: empty window");
+  std::uint64_t value = 0;
+  for (std::size_t j = 0; j < bits.size(); ++j) {
+    const Time f = sim.first_spike(bits[j]);
+    const Time l = sim.last_spike(bits[j]);
+    const bool fired_in_window =
+        (f != kNever && f >= t0 && f <= t1) || (l != kNever && l >= t0 && l <= t1);
+    if (fired_in_window) value |= 1ULL << j;
+  }
+  return value;
+}
+
+void inject_binary(Simulator& sim, const std::vector<NeuronId>& bits,
+                   std::uint64_t value, Time t) {
+  SGA_REQUIRE(bits.size() <= 63, "inject_binary: too many bits");
+  SGA_REQUIRE(bits.size() == 63 || value < (1ULL << bits.size()),
+              "inject_binary: value " << value << " does not fit in "
+                                      << bits.size() << " bits");
+  for (std::size_t j = 0; j < bits.size(); ++j) {
+    if ((value >> j) & 1ULL) sim.inject_spike(bits[j], t);
+  }
+}
+
+std::vector<Time> first_spike_times(const Simulator& sim,
+                                    const std::vector<NeuronId>& ids) {
+  std::vector<Time> out;
+  out.reserve(ids.size());
+  for (const auto id : ids) out.push_back(sim.first_spike(id));
+  return out;
+}
+
+std::uint64_t total_spikes(const Simulator& sim,
+                           const std::vector<NeuronId>& ids) {
+  std::uint64_t total = 0;
+  for (const auto id : ids) total += sim.spike_count(id);
+  return total;
+}
+
+}  // namespace sga::snn

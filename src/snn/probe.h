@@ -1,0 +1,42 @@
+// Read-out helpers: decode the firing state of neuron groups into integers.
+//
+// Definition 3 reads output neurons at the termination time T; circuits
+// encode λ-bit binary numbers across λ output neurons (index 0 = least
+// significant bit). These helpers centralize that decoding.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+#include "snn/simulator.h"
+
+namespace sga::snn {
+
+/// Value encoded by `bits` (LSB first) at exactly time t: bit j contributes
+/// 2^j iff neuron bits[j] fired at t.
+std::uint64_t decode_binary_at(const Simulator& sim,
+                               const std::vector<NeuronId>& bits, Time t);
+
+/// Value encoded by the bits' firing anywhere in [t0, t1]. Requires the
+/// simulation to have been run with record_spike_log = true only when a bit
+/// may fire more than once; here we use first/last spike times, so it works
+/// for bits that fire at most once in the window.
+std::uint64_t decode_binary_window(const Simulator& sim,
+                                   const std::vector<NeuronId>& bits, Time t0,
+                                   Time t1);
+
+/// Encode `value` by injecting spikes into `bits` (LSB first) at time t.
+/// Requires value < 2^bits.size().
+void inject_binary(Simulator& sim, const std::vector<NeuronId>& bits,
+                   std::uint64_t value, Time t);
+
+/// First-spike times of a group (kNever where silent).
+std::vector<Time> first_spike_times(const Simulator& sim,
+                                    const std::vector<NeuronId>& ids);
+
+/// Total spikes across a group.
+std::uint64_t total_spikes(const Simulator& sim,
+                           const std::vector<NeuronId>& ids);
+
+}  // namespace sga::snn

@@ -1,0 +1,187 @@
+#include "snn/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sga::snn {
+
+Simulator::Simulator(const Network& net) : net_(net) {
+  const std::size_t n = net.num_neurons();
+  v_.resize(n);
+  last_update_.assign(n, 0);
+  first_spike_.assign(n, kNever);
+  last_spike_.assign(n, kNever);
+  spike_count_.assign(n, 0);
+  cause_.assign(n, kNoNeuron);
+  accum_.assign(n, 0);
+  accum_cause_.assign(n, kNoNeuron);
+  accum_cause_weight_.assign(n, 0);
+  touched_.assign(n, 0);
+  is_terminal_.assign(n, 0);
+  for (NeuronId i = 0; i < n; ++i) v_[i] = net.params(i).v_reset;
+}
+
+void Simulator::inject_spike(NeuronId id, Time t) {
+  SGA_REQUIRE(id < net_.num_neurons(), "inject_spike: bad neuron " << id);
+  SGA_REQUIRE(t >= 0, "inject_spike: negative time " << t);
+  SGA_REQUIRE(!ran_, "inject_spike after run()");
+  queue_[t].forced.push_back(id);
+}
+
+Voltage Simulator::decayed_potential(NeuronId id, Time t) const {
+  const NeuronParams& p = net_.params(id);
+  const Time dt = t - last_update_[id];
+  SGA_CHECK(dt >= 0, "time went backwards for neuron " << id);
+  if (dt == 0 || p.tau == 0.0) return v_[id];
+  if (p.tau == 1.0) return p.v_reset;
+  return p.v_reset + (v_[id] - p.v_reset) * std::pow(1.0 - p.tau,
+                                                     static_cast<double>(dt));
+}
+
+void Simulator::fire(NeuronId id, Time t) {
+  const NeuronParams& p = net_.params(id);
+  const bool first_fire = first_spike_[id] == kNever;
+  v_[id] = p.v_reset;  // Eq. (3)
+  last_update_[id] = t;
+  ++spike_count_[id];
+  ++stats_.spikes;
+  if (first_fire) first_spike_[id] = t;
+  last_spike_[id] = t;
+  if (record_log_ && (watch_all_ || is_watched_[id])) {
+    spike_log_.emplace_back(t, id);
+  }
+  if (is_terminal_[id] && !terminal_fired_ && first_fire) {
+    --terminals_remaining_;
+    if (terminals_remaining_ == 0) {
+      terminal_fired_ = true;
+      stats_.hit_terminal = true;
+      stats_.execution_time = t;
+    }
+  }
+  for (const Synapse& s : net_.out_synapses(id)) {
+    const Time arrival = t + s.delay;
+    if (arrival > max_time_) continue;  // outside the horizon; drop
+    queue_[arrival].deliveries.push_back(Delivery{s.target, id, s.weight});
+  }
+}
+
+SimStats Simulator::run(const SimConfig& config) {
+  SGA_REQUIRE(!ran_, "Simulator::run is one-shot");
+  ran_ = true;
+  record_causes_ = config.record_causes;
+  record_log_ = config.record_spike_log;
+  max_time_ = config.max_time;
+  std::uint64_t distinct_terminals = 0;
+  for (const NeuronId t : config.terminal_neurons) {
+    SGA_REQUIRE(t < net_.num_neurons(), "bad terminal neuron " << t);
+    if (!is_terminal_[t]) {
+      is_terminal_[t] = 1;
+      ++distinct_terminals;
+    }
+  }
+  terminals_remaining_ =
+      config.terminate_on_all ? distinct_terminals
+                              : std::min<std::uint64_t>(1, distinct_terminals);
+  is_watched_.assign(net_.num_neurons(), 0);
+  watch_all_ = config.watched_neurons.empty();
+  for (const NeuronId w : config.watched_neurons) {
+    SGA_REQUIRE(w < net_.num_neurons(), "bad watched neuron " << w);
+    is_watched_[w] = 1;
+  }
+
+  std::vector<NeuronId> targets;  // touched this bucket, deduplicated
+  while (!queue_.empty()) {
+    const auto it = queue_.begin();
+    const Time t = it->first;
+    if (t > max_time_) {
+      stats_.hit_time_limit = true;
+      break;
+    }
+    // Move the bucket out so that same-time scheduling during fire() (delay
+    // ≥ 1 makes that impossible, but keep the invariant explicit) cannot
+    // invalidate our iteration.
+    Bucket bucket = std::move(it->second);
+    queue_.erase(it);
+    ++stats_.event_times;
+    stats_.end_time = t;
+
+    targets.clear();
+    for (const Delivery& d : bucket.deliveries) {
+      ++stats_.deliveries;
+      if (!touched_[d.target]) {
+        touched_[d.target] = 1;
+        targets.push_back(d.target);
+        accum_[d.target] = 0;
+        accum_cause_[d.target] = kNoNeuron;
+        accum_cause_weight_[d.target] = 0;
+      }
+      accum_[d.target] += d.weight;
+      if (record_causes_ && d.weight > accum_cause_weight_[d.target]) {
+        accum_cause_[d.target] = d.source;
+        accum_cause_weight_[d.target] = d.weight;
+      }
+    }
+
+    // Forced (injected) spikes fire unconditionally; synaptic input arriving
+    // at the same step is consumed by the fire (the neuron resets). A neuron
+    // fires at most once per step (Definition 2), so duplicate injections at
+    // the same time collapse.
+    for (const NeuronId id : bucket.forced) {
+      if (last_spike_[id] == t) continue;
+      fire(id, t);
+      if (touched_[id]) {
+        // Mark as handled so the delivery pass below skips it.
+        accum_[id] = 0;
+        touched_[id] = 2;
+      }
+    }
+
+    for (const NeuronId id : targets) {
+      if (touched_[id] == 2) {  // already force-fired this step
+        touched_[id] = 0;
+        continue;
+      }
+      touched_[id] = 0;
+      const Voltage v_hat = decayed_potential(id, t) + accum_[id];  // Eq. (1)
+      if (v_hat >= net_.params(id).v_threshold) {                   // Eq. (2)
+        if (record_causes_ && first_spike_[id] == kNever) {
+          cause_[id] = accum_cause_[id];
+        }
+        fire(id, t);
+      } else {
+        v_[id] = v_hat;
+        last_update_[id] = t;
+      }
+    }
+
+    if (terminal_fired_) break;
+  }
+  return stats_;
+}
+
+Time Simulator::first_spike(NeuronId id) const {
+  SGA_REQUIRE(id < first_spike_.size(), "first_spike: bad neuron " << id);
+  return first_spike_[id];
+}
+
+Time Simulator::last_spike(NeuronId id) const {
+  SGA_REQUIRE(id < last_spike_.size(), "last_spike: bad neuron " << id);
+  return last_spike_[id];
+}
+
+std::uint32_t Simulator::spike_count(NeuronId id) const {
+  SGA_REQUIRE(id < spike_count_.size(), "spike_count: bad neuron " << id);
+  return spike_count_[id];
+}
+
+NeuronId Simulator::first_spike_cause(NeuronId id) const {
+  SGA_REQUIRE(id < cause_.size(), "first_spike_cause: bad neuron " << id);
+  return cause_[id];
+}
+
+Voltage Simulator::potential(NeuronId id) const {
+  SGA_REQUIRE(id < v_.size(), "potential: bad neuron " << id);
+  return v_[id];
+}
+
+}  // namespace sga::snn

@@ -1,0 +1,127 @@
+// Discrete-time, event-driven LIF simulator.
+//
+// Executes the dynamics of Definition 2 exactly, but only touches time steps
+// at which at least one spike is delivered (leak between events is applied in
+// closed form: v - v_reset decays by (1-τ) per step). This is what makes the
+// pseudopolynomial delay-encoded algorithms practical: a synapse with delay
+// 10^6 costs one queue operation, not 10^6 idle steps. The paper's
+// execution-time metric T (Definition 3: first spike of the terminal neuron)
+// is reported exactly regardless of how many steps were skipped.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/types.h"
+#include "snn/network.h"
+
+namespace sga::snn {
+
+struct SimConfig {
+  /// Inclusive time horizon; events scheduled after it are not processed.
+  Time max_time = kNever;
+  /// Computation terminates when any of these fires (Definition 3's u_t) —
+  /// or, with terminate_on_all, when EVERY one of them has fired at least
+  /// once (the multi-destination readout of Table 1's caption).
+  std::vector<NeuronId> terminal_neurons;
+  bool terminate_on_all = false;
+  /// Record the full (time, neuron) spike log (memory ∝ total spikes).
+  bool record_spike_log = false;
+  /// If non-empty (and record_spike_log is set), only spikes of these
+  /// neurons are logged — the cheap way to trace algorithm-level outputs
+  /// without logging every internal gate.
+  std::vector<NeuronId> watched_neurons;
+  /// Record, for each neuron's FIRST spike, a presynaptic neuron whose spike
+  /// arrived at that step (used for shortest-path predecessor extraction).
+  bool record_causes = false;
+};
+
+struct SimStats {
+  std::uint64_t spikes = 0;            ///< total spike events
+  std::uint64_t deliveries = 0;        ///< synaptic deliveries processed
+  std::uint64_t event_times = 0;       ///< distinct time steps touched
+  Time end_time = 0;                   ///< last processed time step
+  bool hit_terminal = false;           ///< stopped because a terminal fired
+  bool hit_time_limit = false;         ///< stopped at max_time with work left
+  /// Execution time T per Definition 3 (first terminal spike), kNever if no
+  /// terminal fired.
+  Time execution_time = kNever;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(const Network& net);
+
+  /// Induce a spike in `id` at time t ≥ 0 (Definition 3: computation is
+  /// initiated by inducing spikes in input neurons). The neuron fires
+  /// unconditionally at t. Must be called before run().
+  void inject_spike(NeuronId id, Time t);
+
+  /// Run to completion (terminal spike, max_time, or quiescence). One-shot.
+  SimStats run(const SimConfig& config = {});
+
+  // ---- Post-run observability ----------------------------------------
+  /// First spike time of `id`, kNever if it never fired.
+  Time first_spike(NeuronId id) const;
+  const std::vector<Time>& first_spikes() const { return first_spike_; }
+  /// Last spike time, kNever if never fired. fired_at(id, stats.end_time)
+  /// implements Definition 3's read-out of output neurons at time T.
+  Time last_spike(NeuronId id) const;
+  bool fired_at(NeuronId id, Time t) const { return last_spike(id) == t; }
+  std::uint32_t spike_count(NeuronId id) const;
+  /// Presynaptic cause of the first spike (requires record_causes);
+  /// kNoNeuron for injected/uncaused spikes.
+  NeuronId first_spike_cause(NeuronId id) const;
+  /// Full spike log (requires record_spike_log), ordered by time.
+  const std::vector<std::pair<Time, NeuronId>>& spike_log() const {
+    return spike_log_;
+  }
+  /// Membrane potential of `id` as of the last time it was updated.
+  Voltage potential(NeuronId id) const;
+
+ private:
+  struct Delivery {
+    NeuronId target;
+    NeuronId source;
+    SynWeight weight;
+  };
+  struct Bucket {
+    std::vector<Delivery> deliveries;
+    std::vector<NeuronId> forced;
+  };
+
+  void fire(NeuronId id, Time t);
+  Voltage decayed_potential(NeuronId id, Time t) const;
+
+  const Network& net_;
+  std::map<Time, Bucket> queue_;
+  bool ran_ = false;
+
+  // Per-neuron state.
+  std::vector<Voltage> v_;
+  std::vector<Time> last_update_;
+  std::vector<Time> first_spike_;
+  std::vector<Time> last_spike_;
+  std::vector<std::uint32_t> spike_count_;
+  std::vector<NeuronId> cause_;
+
+  // Scratch for per-bucket aggregation (sparse-reset pattern).
+  std::vector<SynWeight> accum_;
+  std::vector<NeuronId> accum_cause_;
+  std::vector<SynWeight> accum_cause_weight_;
+  std::vector<char> touched_;
+
+  std::vector<char> is_terminal_;
+  std::vector<char> is_watched_;
+  bool watch_all_ = false;
+  std::vector<std::pair<Time, NeuronId>> spike_log_;
+  SimStats stats_;
+  bool record_causes_ = false;
+  bool record_log_ = false;
+  Time max_time_ = kNever;
+  std::uint64_t terminals_remaining_ = 0;
+  bool terminal_fired_ = false;
+};
+
+}  // namespace sga::snn

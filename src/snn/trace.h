@@ -1,0 +1,25 @@
+// Spike observability: ASCII raster plots and CSV dumps of spike logs —
+// the debugging surface for circuit and algorithm development.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "snn/simulator.h"
+
+namespace sga::snn {
+
+/// ASCII raster: one row per listed neuron, one column per time step in
+/// [t0, t1]; '|' marks a spike, '.' silence. Labels default to neuron ids.
+/// Requires the simulation to have run with record_spike_log (optionally
+/// restricted to watched neurons covering `ids`).
+void write_spike_raster(std::ostream& os, const Simulator& sim,
+                        const std::vector<NeuronId>& ids, Time t0, Time t1,
+                        const std::vector<std::string>& labels = {});
+
+/// CSV: "time,neuron" rows of the (filtered) spike log.
+void write_spike_csv(std::ostream& os, const Simulator& sim);
+
+}  // namespace sga::snn

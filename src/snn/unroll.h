@@ -1,0 +1,51 @@
+// SNN → threshold-circuit unrolling (the Section-1 observation: "SNNs where
+// spike times are discretized may be simulated, with polynomial overhead,
+// in TC by using layers of a threshold gate circuit to simulate discrete
+// time steps").
+//
+// For a network of memoryless (τ = 1) neurons — i.e. genuine threshold
+// gates — the unrolling is exact and direct: one gate per (neuron, time
+// step), with gate (j, t) receiving weight w_ij from gate (i, t − d_ij).
+// That is n·T gates for horizon T: the polynomial overhead. The "care"
+// the paper mentions for general LIF (τ < 1: membrane state and resets
+// couple a gate's output to its whole firing history) is out of scope
+// here, and the builder rejects such networks.
+#pragma once
+
+#include <vector>
+
+#include "core/types.h"
+#include "snn/network.h"
+#include "snn/simulator.h"
+
+namespace sga::snn {
+
+struct UnrolledCircuit {
+  /// The feed-forward network of (neuron, step) gates.
+  Network circuit;
+  /// gate(j, t) for t in [1, horizon]; layer(t)[j] is the gate's id.
+  /// Layer t fires (when the unrolled circuit is run with the inputs
+  /// injected at time 0 … see below) iff neuron j fires at step t in the
+  /// recurrent network.
+  std::vector<std::vector<NeuronId>> layers;
+  /// Input gates: injection (j, t) is realised by forcing input_of(j, t).
+  /// Same indexing as layers (t from 1; injections at t=0 map to the
+  /// dedicated layer-0 inputs below).
+  std::vector<NeuronId> layer0;  ///< inputs representing spikes at t = 0
+  Time horizon = 0;
+};
+
+/// Unroll `net` (all neurons must have τ = 1 and v_reset = 0) to horizon T.
+/// In the unrolled circuit, the gate for (j, t) sits at simulation time t
+/// (synapse delays are preserved), so running the circuit and the original
+/// network produce identical (time, neuron) spike sets.
+UnrolledCircuit unroll_to_threshold_circuit(const Network& net, Time horizon);
+
+/// Run the unrolled circuit on a set of injections (neuron, time) and
+/// return the recovered spike set of the ORIGINAL network's neurons, as
+/// (time, neuron) pairs sorted ascending.
+std::vector<std::pair<Time, NeuronId>> run_unrolled(
+    const UnrolledCircuit& uc,
+    const std::vector<std::pair<NeuronId, Time>>& injections);
+
+}  // namespace sga::snn

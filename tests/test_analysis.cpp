@@ -1,0 +1,211 @@
+// Tests for the analysis layer: Table-1 predicates and rows, power-law
+// shape checks, and the Table-3 platform database / energy model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/advantage.h"
+#include "analysis/calibrate.h"
+#include "analysis/fit.h"
+#include "analysis/platforms.h"
+#include "core/bitops.h"
+#include "core/error.h"
+#include "core/random.h"
+#include "graph/generators.h"
+#include "nga/khop_poly.h"
+
+namespace sga::analysis {
+namespace {
+
+ProblemParams favourable() {
+  // A regime Table 1 calls neuromorphic-friendly: dense-ish graph, small U,
+  // few registers, short paths, moderate k.
+  ProblemParams p;
+  p.n = 1024;
+  p.m = 32768;
+  p.k = 64;
+  p.U = 8;
+  p.L = 64;
+  p.alpha = 8;
+  p.c = 2;
+  return p;
+}
+
+TEST(Advantage, FavourableRegimeFlagsNeuromorphic) {
+  const auto p = favourable();
+  EXPECT_TRUE(better_khop_poly_nodm(p));   // log(nU) = o(k): 13 < 64
+  EXPECT_TRUE(better_khop_pseudo_nodm(p));
+  EXPECT_TRUE(better_sssp_pseudo_dm(p));
+  EXPECT_TRUE(better_khop_pseudo_dm(p));
+  EXPECT_TRUE(better_khop_poly_dm(p));
+  EXPECT_TRUE(better_sssp_poly_dm(p));
+  EXPECT_FALSE(better_sssp_poly_nodm(p));  // the table's "never"
+}
+
+TEST(Advantage, AdverseRegimeFlagsConventional) {
+  ProblemParams p;
+  p.n = 1024;
+  p.m = 2048;  // sparse
+  p.k = 2;     // tiny hop budget
+  p.U = 1 << 20;  // huge lengths
+  p.L = 1 << 22;  // long paths
+  p.alpha = 900;
+  p.c = 1024;  // many registers
+  EXPECT_FALSE(better_khop_poly_nodm(p));  // log(nU) = 30 > k = 2
+  EXPECT_FALSE(better_sssp_pseudo_nodm(p));
+  EXPECT_FALSE(better_sssp_pseudo_dm(p));
+}
+
+TEST(Advantage, Table1HasAllEightRows) {
+  const auto rows = table1_rows(favourable());
+  ASSERT_EQ(rows.size(), 8u);
+  int with_dm = 0;
+  for (const auto& r : rows) {
+    EXPECT_GT(r.conventional, 0.0);
+    EXPECT_GT(r.neuromorphic, 0.0);
+    with_dm += r.with_data_movement;
+  }
+  EXPECT_EQ(with_dm, 4);
+}
+
+TEST(Advantage, HeadlineFactors) {
+  const auto p = favourable();
+  // Ω(k/log n) ignoring movement; Ω(√m/log n) with movement.
+  EXPECT_DOUBLE_EQ(headline_advantage_nodm(p), 64.0 / 10.0);
+  EXPECT_NEAR(headline_advantage_dm(p), std::sqrt(32768.0) / 10.0, 1e-9);
+}
+
+TEST(Advantage, KHopDataMovementRatioGrowsWithM) {
+  // The top-half k-hop row: lower bound Ω(km^{3/2}) vs neuromorphic
+  // O((nk+m)log(nU)) — the ratio must grow polynomially in m.
+  ProblemParams p = favourable();
+  const auto rows_small = table1_rows(p);
+  p.m *= 16;
+  const auto rows_big = table1_rows(p);
+  const double ratio_small = rows_small[1].conventional / rows_small[1].neuromorphic;
+  const double ratio_big = rows_big[1].conventional / rows_big[1].neuromorphic;
+  EXPECT_GT(ratio_big, ratio_small * 8);
+}
+
+TEST(Fit, GeometricSizes) {
+  const auto sizes = geometric_sizes(16, 2.0, 4);
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{16, 32, 64, 128}));
+  EXPECT_THROW(geometric_sizes(0, 2.0, 3), InvalidArgument);
+}
+
+TEST(Fit, DetectsCorrectAndWrongExponents) {
+  std::vector<double> xs, ys;
+  for (double x = 32; x <= 4096; x *= 2) {
+    xs.push_back(x);
+    ys.push_back(0.7 * x * std::sqrt(x));
+  }
+  EXPECT_TRUE(check_power_law(xs, ys, 1.5).ok);
+  EXPECT_FALSE(check_power_law(xs, ys, 2.0).ok);
+  const auto c = check_power_law(xs, ys, 1.5);
+  EXPECT_NEAR(c.fitted_constant, 0.7, 1e-6);
+  EXPECT_NE(describe(c).find("[OK]"), std::string::npos);
+}
+
+TEST(Platforms, Table3Contents) {
+  const auto& all = platforms();
+  ASSERT_EQ(all.size(), 5u);
+  const auto& truenorth = platform_by_name("TrueNorth");
+  EXPECT_EQ(truenorth.process_nm, 28);
+  EXPECT_DOUBLE_EQ(*truenorth.neurons_per_chip(), 256.0 * 4096.0);
+  const auto& loihi = platform_by_name("Loihi");
+  EXPECT_DOUBLE_EQ(*loihi.neurons_per_chip(), 1024.0 * 128.0);
+  EXPECT_DOUBLE_EQ(*loihi.pj_per_spike, 23.6);
+  const auto& cpu = platform_by_name("Core i7-9700T");
+  EXPECT_TRUE(cpu.is_cpu);
+  EXPECT_FALSE(cpu.neurons_per_chip().has_value());
+  EXPECT_THROW(platform_by_name("Abacus"), InvalidArgument);
+}
+
+TEST(Platforms, EnergyModel) {
+  const auto& loihi = platform_by_name("Loihi");
+  // 10^6 spikes at 23.6 pJ = 23.6 µJ.
+  EXPECT_NEAR(spike_energy_joules(loihi, 1000000), 23.6e-6, 1e-12);
+  // CPU: 4.3e9 ops at 4.3 GHz / 35 W = one second = 35 J.
+  EXPECT_NEAR(cpu_energy_joules(4300000000ULL), 35.0, 1e-9);
+  EXPECT_THROW(spike_energy_joules(platform_by_name("SpiNNaker 2"), 1),
+               InvalidArgument);
+}
+
+TEST(Calibrate, RecoversKnownConstant) {
+  std::vector<ProblemParams> ps;
+  std::vector<double> costs;
+  for (const std::uint64_t k : {2ULL, 4ULL, 8ULL, 16ULL}) {
+    ProblemParams p;
+    p.k = k;
+    p.m = 100;
+    ps.push_back(p);
+    costs.push_back(3.5 * nga::conv_khop(p));  // cost = 3.5·km exactly
+  }
+  const auto model = calibrate(ps, costs, nga::conv_khop);
+  EXPECT_NEAR(model.constant, 3.5, 1e-9);
+  EXPECT_NEAR(model.max_rel_error, 0.0, 1e-9);
+  ProblemParams big;
+  big.k = 64;
+  big.m = 100;
+  EXPECT_NEAR(model.predict(big), 3.5 * 6400, 1e-6);
+}
+
+TEST(Calibrate, PredictsGateLevelKhopFromSmallRuns) {
+  // Calibrate the Theorem 4.3 spiking-time formula on k ∈ {2, 4, 8}, then
+  // predict k = 24 within 10%.
+  Rng rng(0xCAB);
+  const Graph g = make_random_graph(16, 64, {1, 6}, rng);
+  std::vector<ProblemParams> ps;
+  std::vector<double> costs;
+  auto run = [&](std::uint32_t k) {
+    nga::KHopPolyOptions opt;
+    opt.source = 0;
+    opt.k = k;
+    return static_cast<double>(nga::khop_sssp_poly(g, opt).execution_time);
+  };
+  for (const std::uint32_t k : {2u, 4u, 8u}) {
+    ProblemParams p;
+    p.n = 16;
+    p.m = 64;
+    p.k = k;
+    p.U = 6;
+    ps.push_back(p);
+    costs.push_back(run(k));
+  }
+  // The implementation's round period is Θ(λ) with λ = bits_for((k+1)U+1)
+  // (tighter than the paper's log(nU), which assumes k ≤ n); calibrate
+  // against the implementation-exact shape.
+  const auto spiking_formula = [](const ProblemParams& p) {
+    return static_cast<double>(p.k) *
+           static_cast<double>(bits_for((p.k + 1) * p.U + 1));
+  };
+  const auto model = calibrate(ps, costs, spiking_formula);
+  EXPECT_LT(model.max_rel_error, 0.05);  // the shape fits the small runs
+  ProblemParams big;
+  big.n = 16;
+  big.m = 64;
+  big.k = 24;
+  big.U = 6;
+  const double predicted = model.predict(big);
+  const double actual = run(24);
+  EXPECT_NEAR(predicted / actual, 1.0, 0.10);
+}
+
+TEST(Calibrate, RejectsBadInputs) {
+  EXPECT_THROW(calibrate({}, {}, nga::conv_khop), InvalidArgument);
+  ProblemParams p;
+  p.k = 1;
+  p.m = 1;
+  EXPECT_THROW(calibrate({p}, {0.0}, nga::conv_khop), InvalidArgument);
+  EXPECT_THROW(CalibratedModel{}.predict(p), InvalidArgument);
+}
+
+TEST(Platforms, ChipAggregation) {
+  // Figure 6/7: a Loihi chip hosts 128K neurons; 1M neurons ≈ 8 chips.
+  const auto& loihi = platform_by_name("Loihi");
+  EXPECT_EQ(chips_required(loihi, 1000000), 8u);
+  EXPECT_EQ(chips_required(loihi, 1), 1u);
+}
+
+}  // namespace
+}  // namespace sga::analysis

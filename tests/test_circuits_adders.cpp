@@ -1,0 +1,213 @@
+// Property tests for the three adder circuits (Figure 4 and Section 5 "Sum
+// Circuits"), the add-constant / decrement circuits of Sections 4.1–4.2,
+// and bus gating.
+#include <gtest/gtest.h>
+
+#include "circuits/adders.h"
+#include "circuits/arith.h"
+#include "circuits/harness.h"
+#include "core/bitops.h"
+#include "core/random.h"
+#include "snn/probe.h"
+#include "snn/simulator.h"
+
+namespace sga::circuits {
+namespace {
+
+using snn::Network;
+
+struct AdderParam {
+  AdderKind kind;
+  int lambda;
+};
+
+std::string adder_name(const ::testing::TestParamInfo<AdderParam>& info) {
+  std::string s;
+  switch (info.param.kind) {
+    case AdderKind::kRipple: s = "Ripple"; break;
+    case AdderKind::kRamosBohorquez: s = "Ramos"; break;
+    case AdderKind::kLookahead: s = "Lookahead"; break;
+  }
+  return s + "_l" + std::to_string(info.param.lambda);
+}
+
+class AdderSweep : public ::testing::TestWithParam<AdderParam> {};
+
+TEST_P(AdderSweep, MatchesIntegerAdditionOnRandomInputs) {
+  const auto& p = GetParam();
+  Rng rng(0xADD ^ static_cast<std::uint64_t>(p.lambda * 1315423911ULL) ^
+          static_cast<std::uint64_t>(p.kind));
+  for (int trial = 0; trial < 16; ++trial) {
+    Network net;
+    CircuitBuilder cb(net);
+    const AdderCircuit c = build_adder(cb, p.lambda, p.kind);
+    const auto top = static_cast<std::int64_t>(mask_bits(p.lambda));
+    const auto a = static_cast<std::uint64_t>(rng.uniform_int(0, top));
+    const auto b = static_cast<std::uint64_t>(rng.uniform_int(0, top));
+    bool carry = false;
+    const std::uint64_t sum = eval_adder_circuit(net, c, a, b, &carry);
+    EXPECT_EQ(sum, (a + b) & mask_bits(p.lambda)) << a << " + " << b;
+    EXPECT_EQ(carry, ((a + b) >> p.lambda) & 1ULL) << a << " + " << b;
+  }
+}
+
+TEST_P(AdderSweep, ExtremeOperands) {
+  const auto& p = GetParam();
+  const std::uint64_t top = mask_bits(p.lambda);
+  const std::vector<std::pair<std::uint64_t, std::uint64_t>> cases = {
+      {0, 0}, {0, top}, {top, 0}, {top, top}, {1, top}, {top / 2 + 1, top / 2}};
+  for (const auto& [a, b] : cases) {
+    Network net;
+    CircuitBuilder cb(net);
+    const AdderCircuit c = build_adder(cb, p.lambda, p.kind);
+    bool carry = false;
+    EXPECT_EQ(eval_adder_circuit(net, c, a, b, &carry), (a + b) & top)
+        << a << " + " << b;
+    EXPECT_EQ(carry, ((a + b) >> p.lambda) & 1ULL);
+  }
+}
+
+TEST_P(AdderSweep, PipelinedAdditionsAreIndependent) {
+  const auto& p = GetParam();
+  Rng rng(0xF00D + static_cast<std::uint64_t>(p.lambda));
+  Network net;
+  CircuitBuilder cb(net);
+  const AdderCircuit c = build_adder(cb, p.lambda, p.kind);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> rounds;
+  const auto top = static_cast<std::int64_t>(mask_bits(p.lambda));
+  for (int r = 0; r < 6; ++r) {
+    rounds.emplace_back(static_cast<std::uint64_t>(rng.uniform_int(0, top)),
+                        static_cast<std::uint64_t>(rng.uniform_int(0, top)));
+  }
+  const auto results = eval_adder_circuit_pipelined(net, c, rounds);
+  ASSERT_EQ(results.size(), rounds.size());
+  for (std::size_t r = 0; r < rounds.size(); ++r) {
+    EXPECT_EQ(results[r],
+              (rounds[r].first + rounds[r].second) & mask_bits(p.lambda))
+        << "round " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AdderSweep,
+    ::testing::Values(AdderParam{AdderKind::kRipple, 1},
+                      AdderParam{AdderKind::kRipple, 4},
+                      AdderParam{AdderKind::kRipple, 8},
+                      AdderParam{AdderKind::kRipple, 16},
+                      AdderParam{AdderKind::kRamosBohorquez, 1},
+                      AdderParam{AdderKind::kRamosBohorquez, 4},
+                      AdderParam{AdderKind::kRamosBohorquez, 8},
+                      AdderParam{AdderKind::kRamosBohorquez, 16},
+                      AdderParam{AdderKind::kLookahead, 1},
+                      AdderParam{AdderKind::kLookahead, 4},
+                      AdderParam{AdderKind::kLookahead, 8},
+                      AdderParam{AdderKind::kLookahead, 16}),
+    adder_name);
+
+TEST(Adders, ExhaustiveFourBitRipple) {
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 16; ++b) {
+      Network net;
+      CircuitBuilder cb(net);
+      const AdderCircuit c = build_ripple_adder(cb, 4);
+      EXPECT_EQ(eval_adder_circuit(net, c, a, b), (a + b) & 0xF)
+          << a << " + " << b;
+    }
+  }
+}
+
+TEST(Adders, ExhaustiveFourBitRamos) {
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 16; ++b) {
+      Network net;
+      CircuitBuilder cb(net);
+      const AdderCircuit c = build_ramos_adder(cb, 4);
+      EXPECT_EQ(eval_adder_circuit(net, c, a, b), (a + b) & 0xF)
+          << a << " + " << b;
+    }
+  }
+}
+
+TEST(Adders, DepthAndSizeProfiles) {
+  // The Figure-4 trade-off: Ramos–Bohórquez is depth 2 with O(λ) neurons and
+  // exponential weights; ripple is O(λ) depth with unit-ish weights; the
+  // lookahead variant is constant depth with O(λ²) neurons and small weights.
+  Network n1, n2, n3;
+  CircuitBuilder c1(n1), c2(n2), c3(n3);
+  const AdderCircuit ripple = build_ripple_adder(c1, 12);
+  const AdderCircuit ramos = build_ramos_adder(c2, 12);
+  const AdderCircuit look = build_lookahead_adder(c3, 12);
+
+  EXPECT_EQ(ramos.depth, 2);
+  EXPECT_EQ(look.depth, 4);
+  EXPECT_EQ(ripple.depth, 2 * 12 + 2);
+
+  EXPECT_DOUBLE_EQ(ramos.stats.max_abs_weight, 2048.0);  // weights up to 2^{λ-1}
+  EXPECT_LE(ripple.stats.max_abs_weight, 2.0);
+  EXPECT_LE(look.stats.max_abs_weight, 2.0);
+
+  // Sizes: ripple/ramos linear in λ, lookahead quadratic.
+  EXPECT_LT(ramos.stats.neurons, 4 * 12u + 30u);
+  EXPECT_GT(look.stats.neurons, 12u * 12u / 2u);
+}
+
+class AddConstSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AddConstSweep, AddsHardwiredConstantsModuloWidth) {
+  const int lambda = GetParam();
+  Rng rng(0xC057 + static_cast<std::uint64_t>(lambda));
+  const auto top = static_cast<std::int64_t>(mask_bits(lambda));
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto k = static_cast<std::uint64_t>(rng.uniform_int(0, top));
+    const auto a = static_cast<std::uint64_t>(rng.uniform_int(0, top));
+    Network net;
+    CircuitBuilder cb(net);
+    const AddConstCircuit c = build_add_constant(cb, lambda, k);
+    EXPECT_EQ(eval_add_const_circuit(net, c, a), (a + k) & mask_bits(lambda))
+        << a << " + " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, AddConstSweep, ::testing::Values(1, 3, 6, 10));
+
+TEST(Decrement, SubtractsOneExactly) {
+  // The Section 4.1 TTL decrement: x - 1 as x + (2^λ - 1) mod 2^λ.
+  for (std::uint64_t x = 1; x < 32; ++x) {
+    Network net;
+    CircuitBuilder cb(net);
+    const AddConstCircuit c = build_decrement(cb, 5);
+    EXPECT_EQ(eval_add_const_circuit(net, c, x), x - 1);
+  }
+}
+
+TEST(Decrement, ZeroWrapsAround) {
+  Network net;
+  CircuitBuilder cb(net);
+  const AddConstCircuit c = build_decrement(cb, 5);
+  EXPECT_EQ(eval_add_const_circuit(net, c, 0), 31u);  // callers gate on x ≥ 1
+}
+
+TEST(GateBus, MasksBusWithControl) {
+  Network net;
+  CircuitBuilder cb(net);
+  const auto bus = cb.make_input_bus(4);
+  const NeuronId control = cb.make_input();
+  const auto gated = gate_bus(cb, bus, control, 1);
+
+  {
+    snn::Simulator sim(net);
+    snn::inject_binary(sim, bus, 0b1011, 0);
+    sim.inject_spike(control, 0);
+    sim.run();
+    EXPECT_EQ(snn::decode_binary_at(sim, gated, 1), 0b1011u);
+  }
+  {
+    snn::Simulator sim(net);
+    snn::inject_binary(sim, bus, 0b1011, 0);  // control silent
+    sim.run();
+    EXPECT_EQ(snn::decode_binary_at(sim, gated, 1), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace sga::circuits

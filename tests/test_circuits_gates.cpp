@@ -1,0 +1,214 @@
+// Tests for the circuit builder, elementary gates, the comparator of
+// Figure 5A, and the Figure-1 primitives (delay simulation, latch, clock).
+#include <gtest/gtest.h>
+
+#include "circuits/builder.h"
+#include "circuits/gates.h"
+#include "circuits/primitives.h"
+#include "snn/probe.h"
+#include "snn/simulator.h"
+
+namespace sga::circuits {
+namespace {
+
+using snn::Network;
+using snn::SimConfig;
+using snn::Simulator;
+
+TEST(Builder, LevelsBecomeDelays) {
+  Network net;
+  CircuitBuilder cb(net);
+  const NeuronId in = cb.make_input();
+  const NeuronId g = cb.make_gate(1, 4);
+  cb.connect(in, g, 1);
+  ASSERT_EQ(net.out_synapses(in).size(), 1u);
+  EXPECT_EQ(net.out_synapses(in)[0].delay, 4);
+
+  Simulator sim(net);
+  sim.inject_spike(in, 0);
+  sim.run();
+  EXPECT_EQ(sim.first_spike(g), 4);
+}
+
+TEST(Builder, RejectsNonIncreasingLevels) {
+  Network net;
+  CircuitBuilder cb(net);
+  const NeuronId a = cb.make_gate(1, 2);
+  const NeuronId b = cb.make_gate(1, 2);
+  EXPECT_THROW(cb.connect(a, b, 1), InvalidArgument);
+  EXPECT_THROW(cb.make_gate(1, 0), InvalidArgument);
+}
+
+TEST(Builder, TracksStats) {
+  Network net;
+  CircuitBuilder cb(net);
+  const NeuronId in = cb.make_input();
+  const NeuronId g = cb.make_gate(1, 2);
+  cb.connect(in, g, -7);
+  EXPECT_EQ(cb.stats().neurons, 2u);
+  EXPECT_EQ(cb.stats().synapses, 1u);
+  EXPECT_EQ(cb.stats().depth, 2);
+  EXPECT_DOUBLE_EQ(cb.stats().max_abs_weight, 7.0);
+}
+
+struct GateTruthCase {
+  bool x, y;
+};
+
+class GateTruthTable : public ::testing::TestWithParam<GateTruthCase> {};
+
+TEST_P(GateTruthTable, OrAndNotXor) {
+  const auto [x, y] = GetParam();
+  Network net;
+  CircuitBuilder cb(net);
+  const NeuronId enable = cb.make_input();
+  const NeuronId in_x = cb.make_input();
+  const NeuronId in_y = cb.make_input();
+  const NeuronId or_out = cb.or_gate({in_x, in_y}, 1);
+  const NeuronId and_out = cb.and_gate({in_x, in_y}, 1);
+  const NeuronId not_out = cb.not_gate(in_x, enable, 1);
+  const NeuronId xor_out = xor_gate(cb, in_x, in_y, 2);
+
+  Simulator sim(net);
+  sim.inject_spike(enable, 0);
+  if (x) sim.inject_spike(in_x, 0);
+  if (y) sim.inject_spike(in_y, 0);
+  sim.run();
+  EXPECT_EQ(sim.fired_at(or_out, 1), x || y);
+  EXPECT_EQ(sim.fired_at(and_out, 1), x && y);
+  EXPECT_EQ(sim.fired_at(not_out, 1), !x);
+  EXPECT_EQ(sim.fired_at(xor_out, 2), x != y);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInputs, GateTruthTable,
+                         ::testing::Values(GateTruthCase{false, false},
+                                           GateTruthCase{false, true},
+                                           GateTruthCase{true, false},
+                                           GateTruthCase{true, true}));
+
+TEST(Comparator, ExhaustiveSmallWidth) {
+  Network net;
+  CircuitBuilder cb(net);
+  const ComparatorCircuit c = build_comparator(cb, 4);
+  // One fresh network per evaluation: rebuild for each pair.
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 16; ++b) {
+      Network n2;
+      CircuitBuilder cb2(n2);
+      const ComparatorCircuit c2 = build_comparator(cb2, 4);
+      Simulator sim(n2);
+      sim.inject_spike(c2.enable, 0);
+      snn::inject_binary(sim, c2.a, a, 0);
+      snn::inject_binary(sim, c2.b, b, 0);
+      sim.run();
+      EXPECT_EQ(sim.fired_at(c2.ge, 1), a >= b) << a << " vs " << b;
+      EXPECT_EQ(sim.fired_at(c2.gt, 2), a > b) << a << " vs " << b;
+      EXPECT_EQ(sim.fired_at(c2.eq, 3), a == b) << a << " vs " << b;
+    }
+  }
+  EXPECT_EQ(c.depth, 3);
+}
+
+TEST(Comparator, PipelinedComparisonsAreIndependent) {
+  // One physical comparator, a new (a, b) pair every time step: τ=1 gates
+  // must keep presentations from leaking into each other.
+  Network net;
+  CircuitBuilder cb(net);
+  const ComparatorCircuit c = build_comparator(cb, 5);
+  const std::vector<std::pair<std::uint64_t, std::uint64_t>> jobs{
+      {3, 17}, {17, 3}, {9, 9}, {0, 31}, {31, 31}, {1, 0}};
+  Simulator sim(net);
+  for (std::size_t r = 0; r < jobs.size(); ++r) {
+    const auto t = static_cast<Time>(r);
+    sim.inject_spike(c.enable, t);
+    snn::inject_binary(sim, c.a, jobs[r].first, t);
+    snn::inject_binary(sim, c.b, jobs[r].second, t);
+  }
+  SimConfig cfg;
+  cfg.max_time = static_cast<Time>(jobs.size()) + 3;
+  cfg.record_spike_log = true;
+  sim.run(cfg);
+  // Recover each presentation's outputs from the log.
+  std::vector<bool> ge(jobs.size()), gt(jobs.size()), eq(jobs.size());
+  for (const auto& [t, id] : sim.spike_log()) {
+    if (id == c.ge && t >= 1 && static_cast<std::size_t>(t - 1) < jobs.size()) {
+      ge[static_cast<std::size_t>(t - 1)] = true;
+    }
+    if (id == c.gt && t >= 2 && static_cast<std::size_t>(t - 2) < jobs.size()) {
+      gt[static_cast<std::size_t>(t - 2)] = true;
+    }
+    if (id == c.eq && t >= 3 && static_cast<std::size_t>(t - 3) < jobs.size()) {
+      eq[static_cast<std::size_t>(t - 3)] = true;
+    }
+  }
+  for (std::size_t r = 0; r < jobs.size(); ++r) {
+    EXPECT_EQ(ge[r], jobs[r].first >= jobs[r].second) << "job " << r;
+    EXPECT_EQ(gt[r], jobs[r].first > jobs[r].second) << "job " << r;
+    EXPECT_EQ(eq[r], jobs[r].first == jobs[r].second) << "job " << r;
+  }
+}
+
+class DelaySimSweep : public ::testing::TestWithParam<Delay> {};
+
+TEST_P(DelaySimSweep, EmulatesExactDelay) {
+  const Delay d = GetParam();
+  Network net;
+  const DelaySimCircuit c = build_delay_simulation(net, d);
+  Simulator sim(net);
+  sim.inject_spike(c.input, 3);
+  SimConfig cfg;
+  cfg.max_time = 3 + d + 10;
+  sim.run(cfg);
+  EXPECT_EQ(sim.first_spike(c.output), 3 + d);
+  // One-shot: the output fires exactly once and the generator stops.
+  EXPECT_EQ(sim.spike_count(c.output), 1u);
+  EXPECT_LE(sim.last_spike(c.generator), 3 + d);
+}
+
+INSTANTIATE_TEST_SUITE_P(Delays, DelaySimSweep,
+                         ::testing::Values(2, 3, 4, 7, 16, 33, 64));
+
+TEST(DelaySim, RejectsTrivialDelay) {
+  Network net;
+  EXPECT_THROW(build_delay_simulation(net, 1), InvalidArgument);
+}
+
+TEST(Latch, SetRecallResetCycle) {
+  Network net;
+  const LatchCircuit latch = build_latch(net);
+  Simulator sim(net);
+  sim.inject_spike(latch.recall, 2);   // recall before set: no output
+  sim.inject_spike(latch.set, 5);      // latch
+  sim.inject_spike(latch.recall, 10);  // recall while latched: output
+  sim.inject_spike(latch.reset, 15);   // clear
+  sim.inject_spike(latch.recall, 20);  // recall after reset: no output
+  sim.inject_spike(latch.set, 25);     // latch again
+  sim.inject_spike(latch.recall, 30);  // output again
+  SimConfig cfg;
+  cfg.max_time = 40;
+  cfg.record_spike_log = true;
+  sim.run(cfg);
+
+  EXPECT_EQ(sim.first_spike(latch.output), 11);
+  std::vector<Time> output_times;
+  for (const auto& [t, id] : sim.spike_log()) {
+    if (id == latch.output) output_times.push_back(t);
+  }
+  EXPECT_EQ(output_times, (std::vector<Time>{11, 31}));
+  // Memory holds between set and reset, then again after the second set.
+  EXPECT_GT(sim.spike_count(latch.memory), 10u);
+}
+
+TEST(ClockChain, TicksAtMultiplesOfPeriod) {
+  Network net;
+  const auto ticks = build_clock_chain(net, 7, 5);
+  Simulator sim(net);
+  sim.inject_spike(ticks[0], 2);
+  sim.run();
+  for (int r = 0; r < 5; ++r) {
+    EXPECT_EQ(sim.first_spike(ticks[static_cast<std::size_t>(r)]), 2 + 7 * r);
+  }
+}
+
+}  // namespace
+}  // namespace sga::circuits

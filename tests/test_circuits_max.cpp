@@ -1,0 +1,242 @@
+// Property tests for the Section-5 max/min circuits (Theorems 5.1, 5.2):
+// correctness vs std::max/min over random and adversarial inputs, the
+// Table-2 size/depth profiles, winner semantics, pipelining, and the
+// all-zero-neutral behaviour the NGA compilations rely on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "circuits/harness.h"
+#include "circuits/max_circuits.h"
+#include "core/bitops.h"
+#include "core/random.h"
+#include "snn/probe.h"
+#include "snn/simulator.h"
+
+namespace sga::circuits {
+namespace {
+
+using snn::Network;
+using snn::Simulator;
+
+struct MaxParam {
+  MaxKind kind;
+  bool compute_min;
+  int d;
+  int lambda;
+};
+
+std::string param_name(const ::testing::TestParamInfo<MaxParam>& info) {
+  const auto& p = info.param;
+  std::string s = p.kind == MaxKind::kWiredOr ? "WiredOr" : "BruteForce";
+  s += p.compute_min ? "Min" : "Max";
+  s += "_d" + std::to_string(p.d) + "_l" + std::to_string(p.lambda);
+  return s;
+}
+
+class MaxCircuitSweep : public ::testing::TestWithParam<MaxParam> {
+ protected:
+  MaxCircuit build(Network& net) const {
+    CircuitBuilder cb(net);
+    const auto& p = GetParam();
+    return p.compute_min ? build_min(cb, p.d, p.lambda, p.kind)
+                         : build_max(cb, p.d, p.lambda, p.kind);
+  }
+
+  std::uint64_t reference(const std::vector<std::uint64_t>& vals) const {
+    return GetParam().compute_min
+               ? *std::min_element(vals.begin(), vals.end())
+               : *std::max_element(vals.begin(), vals.end());
+  }
+};
+
+TEST_P(MaxCircuitSweep, MatchesReferenceOnRandomInputs) {
+  const auto& p = GetParam();
+  Rng rng(0xC0FFEE ^ (static_cast<std::uint64_t>(p.d) << 8) ^
+          static_cast<std::uint64_t>(p.lambda));
+  for (int trial = 0; trial < 12; ++trial) {
+    Network net;
+    const MaxCircuit c = build(net);
+    std::vector<std::uint64_t> vals(static_cast<std::size_t>(p.d));
+    for (auto& v : vals) {
+      v = static_cast<std::uint64_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(mask_bits(p.lambda))));
+    }
+    EXPECT_EQ(eval_max_circuit(net, c, vals), reference(vals))
+        << "trial " << trial;
+  }
+}
+
+TEST_P(MaxCircuitSweep, HandlesTiesAndExtremes) {
+  const auto& p = GetParam();
+  const std::uint64_t top = mask_bits(p.lambda);
+  const std::vector<std::vector<std::uint64_t>> cases = {
+      std::vector<std::uint64_t>(static_cast<std::size_t>(p.d), 0),
+      std::vector<std::uint64_t>(static_cast<std::size_t>(p.d), top),
+      std::vector<std::uint64_t>(static_cast<std::size_t>(p.d), top / 2),
+  };
+  for (const auto& vals : cases) {
+    Network net;
+    const MaxCircuit c = build(net);
+    EXPECT_EQ(eval_max_circuit(net, c, vals), reference(vals));
+  }
+}
+
+TEST_P(MaxCircuitSweep, PipelinedPresentationsAreIndependent) {
+  const auto& p = GetParam();
+  Rng rng(0xBEEF ^ static_cast<std::uint64_t>(p.d * 131 + p.lambda));
+  Network net;
+  const MaxCircuit c = build(net);
+  std::vector<std::vector<std::uint64_t>> rounds;
+  for (int r = 0; r < 5; ++r) {
+    std::vector<std::uint64_t> vals(static_cast<std::size_t>(p.d));
+    for (auto& v : vals) {
+      v = static_cast<std::uint64_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(mask_bits(p.lambda))));
+    }
+    rounds.push_back(std::move(vals));
+  }
+  const auto results = eval_max_circuit_pipelined(net, c, rounds);
+  ASSERT_EQ(results.size(), rounds.size());
+  for (std::size_t r = 0; r < rounds.size(); ++r) {
+    EXPECT_EQ(results[r], reference(rounds[r])) << "round " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MaxCircuitSweep,
+    ::testing::Values(
+        MaxParam{MaxKind::kWiredOr, false, 1, 3},
+        MaxParam{MaxKind::kWiredOr, false, 2, 1},
+        MaxParam{MaxKind::kWiredOr, false, 2, 4},
+        MaxParam{MaxKind::kWiredOr, false, 5, 6},
+        MaxParam{MaxKind::kWiredOr, false, 9, 8},
+        MaxParam{MaxKind::kWiredOr, true, 2, 4},
+        MaxParam{MaxKind::kWiredOr, true, 5, 6},
+        MaxParam{MaxKind::kWiredOr, true, 9, 8},
+        MaxParam{MaxKind::kBruteForce, false, 1, 3},
+        MaxParam{MaxKind::kBruteForce, false, 2, 1},
+        MaxParam{MaxKind::kBruteForce, false, 2, 4},
+        MaxParam{MaxKind::kBruteForce, false, 5, 6},
+        MaxParam{MaxKind::kBruteForce, false, 9, 8},
+        MaxParam{MaxKind::kBruteForce, true, 2, 4},
+        MaxParam{MaxKind::kBruteForce, true, 5, 6},
+        MaxParam{MaxKind::kBruteForce, true, 9, 8}),
+    param_name);
+
+TEST(MaxWiredOr, ExhaustiveTwoInputsFourBits) {
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 16; ++b) {
+      Network net;
+      CircuitBuilder cb(net);
+      const MaxCircuit c = build_max_wired_or(cb, 2, 4);
+      EXPECT_EQ(eval_max_circuit(net, c, {a, b}), std::max(a, b))
+          << a << " vs " << b;
+    }
+  }
+}
+
+TEST(MaxBruteForce, ExhaustiveTwoInputsFourBits) {
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 16; ++b) {
+      Network net;
+      CircuitBuilder cb(net);
+      const MaxCircuit c = build_max_brute_force(cb, 2, 4);
+      EXPECT_EQ(eval_max_circuit(net, c, {a, b}), std::max(a, b))
+          << a << " vs " << b;
+    }
+  }
+}
+
+TEST(MaxBruteForce, WinnerIsSmallestIndexOnTies) {
+  Network net;
+  CircuitBuilder cb(net);
+  const MaxCircuit c = build_max_brute_force(cb, 4, 4);
+  Simulator sim(net);
+  sim.inject_spike(c.enable, 0);
+  const std::vector<std::uint64_t> vals{3, 9, 9, 1};
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    snn::inject_binary(sim, c.inputs[i], vals[i], 0);
+  }
+  snn::SimConfig cfg;
+  cfg.max_time = c.depth;
+  sim.run(cfg);
+  EXPECT_FALSE(sim.fired_at(c.winners[0], c.winner_level));
+  EXPECT_TRUE(sim.fired_at(c.winners[1], c.winner_level));  // first of the tie
+  EXPECT_FALSE(sim.fired_at(c.winners[2], c.winner_level));
+  EXPECT_FALSE(sim.fired_at(c.winners[3], c.winner_level));
+}
+
+TEST(MaxWiredOr, AllTiedWinnersMarked) {
+  Network net;
+  CircuitBuilder cb(net);
+  const MaxCircuit c = build_max_wired_or(cb, 3, 4);
+  Simulator sim(net);
+  sim.inject_spike(c.enable, 0);
+  const std::vector<std::uint64_t> vals{7, 2, 7};
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    snn::inject_binary(sim, c.inputs[i], vals[i], 0);
+  }
+  snn::SimConfig cfg;
+  cfg.max_time = c.depth;
+  sim.run(cfg);
+  EXPECT_TRUE(sim.fired_at(c.winners[0], c.winner_level));
+  EXPECT_FALSE(sim.fired_at(c.winners[1], c.winner_level));
+  EXPECT_TRUE(sim.fired_at(c.winners[2], c.winner_level));
+}
+
+TEST(MaxCircuits, AllZeroInputsAreNeutralForMax) {
+  // The polynomial k-hop compilation relies on absent (all-zero) messages
+  // never beating a real message in the MAX.
+  for (const MaxKind kind : {MaxKind::kWiredOr, MaxKind::kBruteForce}) {
+    Network net;
+    CircuitBuilder cb(net);
+    const MaxCircuit c = build_max(cb, 3, 5, kind);
+    EXPECT_EQ(eval_max_circuit(net, c, {0, 13, 0}), 13u);
+  }
+}
+
+TEST(MaxCircuits, Table2SizeProfiles) {
+  // Theorem 5.1: O(dλ) neurons, O(λ) depth. Exact counts for our layout:
+  // neurons = 1 + dλ (inputs+enable) + λ(3d + 1) (stages) + dλ (filter)
+  //           + λ (merge).
+  {
+    Network net;
+    CircuitBuilder cb(net);
+    const MaxCircuit c = build_max_wired_or(cb, 8, 6);
+    EXPECT_EQ(c.depth, 4 * 6 + 2);
+    const std::size_t expected =
+        1 + 8 * 6 + 6 * (3 * 8 + 1) + 8 * 6 + 6;
+    EXPECT_EQ(c.stats.neurons, expected);
+    EXPECT_LE(c.stats.max_abs_weight, 1.0);  // small weights
+  }
+  // Theorem 5.2: O(d²) comparisons, constant depth, weights up to 2^{λ-1}.
+  {
+    Network net;
+    CircuitBuilder cb(net);
+    const MaxCircuit c = build_max_brute_force(cb, 8, 6);
+    EXPECT_EQ(c.depth, 5);
+    const std::size_t expected = 1 + 8 * 6 + 8 * 7 + 8 + 8 * 6 + 6;
+    EXPECT_EQ(c.stats.neurons, expected);
+    EXPECT_DOUBLE_EQ(c.stats.max_abs_weight, 32.0);  // 2^{λ-1}
+  }
+}
+
+TEST(MaxCircuits, GrowthIsLinearInDForWiredOrQuadraticForBruteForce) {
+  auto neurons = [](MaxKind kind, int d) {
+    Network net;
+    CircuitBuilder cb(net);
+    return build_max(cb, d, 8, kind).stats.neurons;
+  };
+  // Doubling d roughly doubles wired-OR size but ~quadruples the pairwise
+  // comparison count of the brute-force circuit.
+  const double wo_ratio = static_cast<double>(neurons(MaxKind::kWiredOr, 32)) /
+                          static_cast<double>(neurons(MaxKind::kWiredOr, 16));
+  EXPECT_NEAR(wo_ratio, 2.0, 0.2);
+  const auto bf16 = neurons(MaxKind::kBruteForce, 16);
+  const auto bf32 = neurons(MaxKind::kBruteForce, 32);
+  EXPECT_GT(static_cast<double>(bf32) / static_cast<double>(bf16), 2.8);
+}
+
+}  // namespace
+}  // namespace sga::circuits

@@ -1,0 +1,140 @@
+// Tests for the Section-4.3 storage circuits: strobed capture into latch
+// banks and the clock-driven per-round store.
+#include <gtest/gtest.h>
+
+#include "circuits/storage.h"
+#include "core/random.h"
+#include "snn/probe.h"
+#include "snn/simulator.h"
+
+namespace sga::circuits {
+namespace {
+
+TEST(StrobedStore, CapturesValueAtStrobeTime) {
+  snn::Network net;
+  const StrobedStore s = build_strobed_store(net, 6);
+  snn::Simulator sim(net);
+  snn::inject_binary(sim, s.bus, 0b010110, 4);
+  sim.inject_spike(s.strobe, 4);
+  snn::SimConfig cfg;
+  cfg.max_time = 50;
+  sim.run(cfg);
+  EXPECT_EQ(read_latched(sim, s.latches), 0b010110u);
+  // Latch holds: all set latches keep firing through the horizon.
+  for (std::size_t b = 0; b < 6; ++b) {
+    if ((0b010110u >> b) & 1u) {
+      EXPECT_EQ(sim.last_spike(s.latches[b]), 50);
+    } else {
+      EXPECT_EQ(sim.first_spike(s.latches[b]), kNever);
+    }
+  }
+}
+
+TEST(StrobedStore, IgnoresBusWithoutStrobe) {
+  snn::Network net;
+  const StrobedStore s = build_strobed_store(net, 4);
+  snn::Simulator sim(net);
+  snn::inject_binary(sim, s.bus, 0b1111, 2);  // no strobe
+  snn::SimConfig cfg;
+  cfg.max_time = 20;
+  sim.run(cfg);
+  EXPECT_EQ(read_latched(sim, s.latches), 0u);
+}
+
+TEST(StrobedStore, MisalignedStrobeCapturesNothing) {
+  snn::Network net;
+  const StrobedStore s = build_strobed_store(net, 4);
+  snn::Simulator sim(net);
+  snn::inject_binary(sim, s.bus, 0b1010, 3);
+  sim.inject_spike(s.strobe, 5);  // two steps late: τ=1 gates see nothing
+  snn::SimConfig cfg;
+  cfg.max_time = 20;
+  sim.run(cfg);
+  EXPECT_EQ(read_latched(sim, s.latches), 0u);
+}
+
+TEST(StrobedStore, LaterValuesDoNotOverwrite) {
+  snn::Network net;
+  const StrobedStore s = build_strobed_store(net, 4);
+  snn::Simulator sim(net);
+  snn::inject_binary(sim, s.bus, 0b0001, 2);
+  sim.inject_spike(s.strobe, 2);
+  snn::inject_binary(sim, s.bus, 0b1000, 9);  // no strobe: must not latch
+  snn::SimConfig cfg;
+  cfg.max_time = 30;
+  sim.run(cfg);
+  EXPECT_EQ(read_latched(sim, s.latches), 0b0001u);
+}
+
+TEST(RoundStore, BanksCaptureTheirRounds) {
+  // Bus presents a different value at each round boundary; bank r must hold
+  // round r's value — the Section 4.3 "O(k) extra neurons" memory.
+  snn::Network net;
+  const RoundStore s = build_round_store(net, 5, /*period=*/7, /*rounds=*/4);
+  snn::Simulator sim(net);
+  const std::uint64_t values[4] = {3, 17, 0, 30};
+  sim.inject_spike(s.clock_start, 10);
+  for (int r = 0; r < 4; ++r) {
+    snn::inject_binary(sim, s.bus, values[r], 10 + 7 * r);
+  }
+  snn::SimConfig cfg;
+  cfg.max_time = 60;
+  sim.run(cfg);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(read_latched(sim, s.latches[static_cast<std::size_t>(r)]),
+              values[r])
+        << "round " << r;
+  }
+}
+
+TEST(RoundStore, OffBoundaryBusActivityIsIgnored) {
+  snn::Network net;
+  const RoundStore s = build_round_store(net, 4, 5, 3);
+  snn::Simulator sim(net);
+  sim.inject_spike(s.clock_start, 0);
+  snn::inject_binary(sim, s.bus, 0b1111, 2);  // between ticks
+  snn::inject_binary(sim, s.bus, 0b0101, 5);  // tick 1
+  snn::SimConfig cfg;
+  cfg.max_time = 30;
+  sim.run(cfg);
+  EXPECT_EQ(read_latched(sim, s.latches[0]), 0u);
+  EXPECT_EQ(read_latched(sim, s.latches[1]), 0b0101u);
+  EXPECT_EQ(read_latched(sim, s.latches[2]), 0u);
+}
+
+TEST(RoundStore, NeuronCountIsRoundsTimesWidth) {
+  snn::Network net;
+  const RoundStore s = build_round_store(net, 8, 3, 6);
+  // bus(8) + clock(6) + per round: capture(8) + latch(8).
+  EXPECT_EQ(s.neurons, 8u + 6u + 6u * 16u);
+}
+
+TEST(RoundStore, RandomizedSweep) {
+  Rng rng(0x570);
+  for (int trial = 0; trial < 5; ++trial) {
+    const int bits = static_cast<int>(rng.uniform_int(1, 8));
+    const int rounds = static_cast<int>(rng.uniform_int(1, 5));
+    const Delay period = rng.uniform_int(3, 9);
+    snn::Network net;
+    const RoundStore s = build_round_store(net, bits, period, rounds);
+    snn::Simulator sim(net);
+    sim.inject_spike(s.clock_start, 1);
+    std::vector<std::uint64_t> values;
+    for (int r = 0; r < rounds; ++r) {
+      values.push_back(static_cast<std::uint64_t>(
+          rng.uniform_int(0, (1 << bits) - 1)));
+      snn::inject_binary(sim, s.bus, values.back(), 1 + period * r);
+    }
+    snn::SimConfig cfg;
+    cfg.max_time = 1 + period * rounds + 5;
+    sim.run(cfg);
+    for (int r = 0; r < rounds; ++r) {
+      EXPECT_EQ(read_latched(sim, s.latches[static_cast<std::size_t>(r)]),
+                values[static_cast<std::size_t>(r)])
+          << "trial " << trial << " round " << r;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sga::circuits

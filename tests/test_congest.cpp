@@ -1,0 +1,217 @@
+// Tests for the CONGEST layer (Section 2.2): bandwidth enforcement, the
+// NGA→CONGEST simulation (identical traces, one round per round), the
+// SNN→CONGEST simulation (spike-for-spike equality with the event-driven
+// simulator, 1-bit messages), and the CONGEST-native Bellman–Ford.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "congest/congest.h"
+#include "core/bitops.h"
+#include "core/random.h"
+#include "graph/bellman_ford.h"
+#include "graph/generators.h"
+#include "nga/approx.h"
+#include "nga/matvec.h"
+#include "snn/probe.h"
+#include "snn/simulator.h"
+
+namespace sga::congest {
+namespace {
+
+TEST(CongestSim, EnforcesBandwidth) {
+  Graph g(2);
+  g.add_edge(0, 1, 1);
+  CongestSim sim(g, 4);
+  const auto send_big = [](VertexId, std::uint64_t, std::size_t) -> Payload {
+    return 16;  // needs 5 bits
+  };
+  const auto receive = [](VertexId, std::uint64_t, const std::vector<Payload>&) {};
+  EXPECT_THROW(sim.run(1, send_big, receive), InvalidArgument);
+  const auto send_ok = [](VertexId, std::uint64_t, std::size_t) -> Payload {
+    return 15;
+  };
+  const auto st = sim.run(1, send_ok, receive);
+  EXPECT_EQ(st.messages, 1u);
+  EXPECT_EQ(st.max_bits_used, 4u);
+}
+
+TEST(CongestSim, SilentEdgesCarryNothing) {
+  Graph g(3);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  CongestSim sim(g, 8);
+  std::vector<Payload> seen_at_2;
+  const auto send = [](VertexId v, std::uint64_t, std::size_t) -> Payload {
+    if (v == 0) return 7;
+    return std::nullopt;
+  };
+  const auto receive = [&](VertexId v, std::uint64_t,
+                           const std::vector<Payload>& in) {
+    if (v == 2) seen_at_2 = in;
+  };
+  const auto st = sim.run(1, send, receive);
+  EXPECT_EQ(st.messages, 1u);
+  ASSERT_EQ(seen_at_2.size(), 1u);
+  EXPECT_FALSE(seen_at_2[0].has_value());
+}
+
+TEST(NgaInCongest, MinPlusTraceMatchesDirectExecution) {
+  Rng rng(0xC0);
+  const Graph g = make_random_graph(12, 40, {1, 6}, rng);
+  std::vector<nga::Message> init(12);
+  init[0] = nga::Message{0, true};
+  const auto edge = [](const Edge& e, const nga::Message& m) {
+    return nga::Message{m.value + static_cast<std::uint64_t>(e.length), true};
+  };
+  const auto node = [](VertexId, const std::vector<nga::Message>& in) {
+    nga::Message best;
+    for (const auto& m : in) {
+      if (m.valid && (!best.valid || m.value < best.value)) best = m;
+    }
+    return best;
+  };
+  const auto direct = nga::run_nga(g, init, 5, edge, node);
+  RoundStats st;
+  const auto via_congest = run_nga_in_congest(g, init, 5, 16, edge, node, &st);
+  ASSERT_EQ(via_congest.per_round.size(), direct.per_round.size());
+  for (std::size_t r = 0; r < direct.per_round.size(); ++r) {
+    EXPECT_EQ(via_congest.per_round[r], direct.per_round[r]) << "round " << r;
+  }
+  EXPECT_EQ(st.rounds, 5u);  // constant-factor (here: 1:1) round overhead
+}
+
+class SnnCongestSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SnnCongestSweep, MatchesEventDrivenSimulatorSpikeForSpike) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(0xC17 + seed);
+  // Random mixed network, as in the simulator property tests.
+  snn::Network net;
+  const std::size_t n = 18;
+  for (std::size_t i = 0; i < n; ++i) {
+    snn::NeuronParams p;
+    p.v_threshold = static_cast<Voltage>(rng.uniform_int(1, 3));
+    p.tau = (seed % 2 == 0) ? 0.0 : 1.0;
+    net.add_neuron(p);
+  }
+  for (int s = 0; s < 70; ++s) {
+    net.add_synapse(
+        static_cast<NeuronId>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1)),
+        static_cast<NeuronId>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1)),
+        static_cast<SynWeight>(rng.uniform_int(-1, 2)), rng.uniform_int(1, 6));
+  }
+  const Time horizon = 40;
+  std::vector<std::pair<NeuronId, Time>> injections{{0, 0}, {1, 2}, {2, 0}};
+
+  // Event-driven reference.
+  snn::Simulator sim(net);
+  for (const auto& [id, t] : injections) sim.inject_spike(id, t);
+  snn::SimConfig cfg;
+  cfg.max_time = horizon;
+  cfg.record_spike_log = true;
+  sim.run(cfg);
+  auto expected = sim.spike_log();
+  std::sort(expected.begin(), expected.end());
+
+  // CONGEST simulation.
+  auto got = simulate_snn_in_congest(net, injections, horizon).spike_log;
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expected) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnnCongestSweep, ::testing::Range(0, 10));
+
+TEST(SnnCongest, UsesOneBitMessages) {
+  snn::Network net;
+  const NeuronId a = net.add_threshold_neuron(1);
+  const NeuronId b = net.add_threshold_neuron(1);
+  net.add_synapse(a, b, 1, 4);
+  const auto r = simulate_snn_in_congest(net, {{a, 0}}, 10);
+  EXPECT_EQ(r.stats.max_bits_used, 1u);
+  ASSERT_EQ(r.spike_log.size(), 2u);
+  EXPECT_EQ(r.spike_log[0], (std::pair<Time, NeuronId>{0, a}));
+  EXPECT_EQ(r.spike_log[1], (std::pair<Time, NeuronId>{4, b}));
+}
+
+TEST(CongestBellmanFord, MatchesReferenceAndUsesLogWidthMessages) {
+  Rng rng(0xC2);
+  const Graph g = make_random_graph(20, 70, {1, 9}, rng);
+  for (const std::uint32_t k : {1u, 3u, 7u}) {
+    const auto ref = bellman_ford_khop(g, 0, k);
+    const auto got = congest_bellman_ford(g, 0, k);
+    EXPECT_EQ(got.dist, ref.dist) << "k=" << k;
+    EXPECT_EQ(got.stats.rounds, k);
+    // Message width: O(log kU) bits.
+    EXPECT_LE(got.stats.max_bits_used,
+              static_cast<std::uint64_t>(bits_for(
+                  static_cast<std::uint64_t>(k) *
+                      static_cast<std::uint64_t>(g.max_edge_length()) +
+                  1)));
+  }
+}
+
+TEST(DelayedCongest, SsspWithOneBitMessagesMatchesDijkstra) {
+  // The Section-2.2 "CONGEST-like model with programmable delays": the
+  // Section-3 algorithm becomes a 1-bit distributed algorithm whose round
+  // complexity is the distance L.
+  Rng rng(0xC30);
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Graph g = make_random_graph(18, 60, {1, 8}, rng);
+    const auto ref = dijkstra(g, 0);
+    Weight ecc = 0;
+    for (VertexId v = 0; v < 18; ++v) {
+      if (ref.reachable(v)) ecc = std::max(ecc, ref.dist[v]);
+    }
+    const auto got = delayed_congest_sssp(g, 0, ecc + 2);
+    EXPECT_EQ(got.dist, ref.dist) << "seed " << seed;
+    EXPECT_EQ(got.stats.max_bits_used, 1u);
+    // Message complexity: each node broadcasts once ⇒ ≤ m messages.
+    EXPECT_LE(got.stats.messages, g.num_edges());
+  }
+}
+
+TEST(DelayedCongest, EdgeDelayCostsExactlyItsLength) {
+  Graph g(3);
+  g.add_edge(0, 1, 5);
+  g.add_edge(1, 2, 3);
+  const auto got = delayed_congest_sssp(g, 0, 12);
+  EXPECT_EQ(got.dist[1], 5);
+  EXPECT_EQ(got.dist[2], 8);
+}
+
+TEST(CongestApprox, MatchesSpikingApproximation) {
+  // The Section-7 algorithm run in its native CONGEST habitat must produce
+  // the same estimates as the spiking version (identical scales, rounding,
+  // deadline).
+  Rng rng(0xC40);
+  const Graph g = make_random_graph(20, 70, {1, 18}, rng);
+  nga::ApproxKHopOptions sopt;
+  sopt.source = 0;
+  sopt.k = 5;
+  const auto spiking = nga::approx_khop_sssp(g, sopt);
+  const auto congested = congest_approx_khop(g, 0, 5);
+  EXPECT_EQ(congested.num_scales, spiking.num_scales);
+  EXPECT_DOUBLE_EQ(congested.epsilon, spiking.epsilon);
+  for (VertexId v = 0; v < 20; ++v) {
+    if (spiking.reachable(v)) {
+      EXPECT_NEAR(congested.dist[v], spiking.dist[v], 1e-9) << "v " << v;
+    } else {
+      EXPECT_TRUE(std::isinf(congested.dist[v])) << "v " << v;
+    }
+  }
+  EXPECT_GT(congested.total_messages, 0u);
+}
+
+TEST(DelayedCongest, HorizonTruncates) {
+  Graph g(3);
+  g.add_edge(0, 1, 4);
+  g.add_edge(1, 2, 4);
+  const auto got = delayed_congest_sssp(g, 0, 5);
+  EXPECT_EQ(got.dist[1], 4);
+  EXPECT_EQ(got.dist[2], kInfiniteDistance);  // would need round 9
+}
+
+}  // namespace
+}  // namespace sga::congest

@@ -1,0 +1,169 @@
+// Tests for core utilities: RNG determinism, statistics, power-law fitting,
+// bit helpers, and the table printer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/bitops.h"
+#include "core/error.h"
+#include "core/random.h"
+#include "core/stats.h"
+#include "core/table.h"
+
+namespace sga {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform_int(9, 9), 9);
+}
+
+TEST(Rng, UniformIntRejectsEmptyRange) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform_int(2, 1), InvalidArgument);
+}
+
+TEST(Rng, Uniform01CoversUnitInterval) {
+  Rng rng(11);
+  double lo = 1, hi = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+  }
+  EXPECT_LT(lo, 0.01);
+  EXPECT_GT(hi, 0.99);
+}
+
+TEST(Rng, UniformIntIsRoughlyUniform) {
+  Rng rng(13);
+  int counts[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 40000; ++i) ++counts[rng.uniform_int(0, 3)];
+  for (const int c : counts) {
+    EXPECT_GT(c, 9000);
+    EXPECT_LT(c, 11000);
+  }
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto w = v;
+  rng.shuffle(w);
+  auto sorted = w;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, v);
+}
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Summary, EmptyThrows) {
+  Summary s;
+  EXPECT_THROW(s.mean(), InvalidArgument);
+}
+
+TEST(Fit, ExactLine) {
+  const auto f = fit_linear({1, 2, 3, 4}, {3, 5, 7, 9});
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(Fit, PowerLawRecoversExponent) {
+  std::vector<double> xs, ys;
+  for (double x = 10; x <= 1e4; x *= 2) {
+    xs.push_back(x);
+    ys.push_back(3.5 * std::pow(x, 1.5));
+  }
+  const auto f = fit_power_law(xs, ys);
+  EXPECT_NEAR(f.slope, 1.5, 1e-9);
+  EXPECT_NEAR(std::exp(f.intercept), 3.5, 1e-6);
+}
+
+TEST(Fit, PowerLawRejectsNonPositive) {
+  EXPECT_THROW(fit_power_law({1, 2}, {0, 1}), InvalidArgument);
+}
+
+TEST(Median, OddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+  EXPECT_THROW(median({}), InvalidArgument);
+}
+
+TEST(Bitops, BitsFor) {
+  EXPECT_EQ(bits_for(0), 1);
+  EXPECT_EQ(bits_for(1), 1);
+  EXPECT_EQ(bits_for(2), 2);
+  EXPECT_EQ(bits_for(7), 3);
+  EXPECT_EQ(bits_for(8), 4);
+}
+
+TEST(Bitops, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1025), 11);
+  EXPECT_THROW(ceil_log2(0), InvalidArgument);
+}
+
+TEST(Bitops, BitOfAndMask) {
+  EXPECT_EQ(bit_of(0b1010, 1), 1);
+  EXPECT_EQ(bit_of(0b1010, 2), 0);
+  EXPECT_EQ(mask_bits(4), 0xFULL);
+  EXPECT_THROW(mask_bits(0), InvalidArgument);
+}
+
+TEST(Table, PrintsAlignedRows) {
+  Table t({"a", "bb"});
+  t.set_title("demo");
+  t.add_row({"1", "22"});
+  t.add_row({"333", "4"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("| 333 |"), std::string::npos);
+  EXPECT_THROW(t.add_row({"only one"}), InvalidArgument);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::num(static_cast<std::int64_t>(-5)), "-5");
+  EXPECT_EQ(Table::fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::sci(12345.0, 1).substr(0, 4), "1.2e");
+}
+
+}  // namespace
+}  // namespace sga

@@ -1,0 +1,189 @@
+// Tests for the crossbar H_n (Section 4.4, Figure 2): structure, the
+// delay-assignment embedding's exactness (host shortest paths = scaled G
+// shortest paths, both conventionally and through the spiking algorithm),
+// the O(m)-write embed/unembed protocol, and the O(n) embedding cost.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/random.h"
+#include "crossbar/crossbar.h"
+#include "crossbar/embedding.h"
+#include "graph/dijkstra.h"
+#include "graph/generators.h"
+#include "nga/sssp_event.h"
+
+namespace sga::crossbar {
+namespace {
+
+TEST(Crossbar, H3MatchesPaperCounts) {
+  const Crossbar x(3);
+  EXPECT_EQ(x.num_vertices(), 18u);
+  std::map<EdgeType, int> by_type;
+  for (const auto& e : x.fixed_edges()) ++by_type[e.type];
+  EXPECT_EQ(by_type[EdgeType::kDiagonal], 3);  // (1): one per diagonal
+  // (3): i ≤ j < n-1 (0-based): (0,0),(0,1),(1,1) = 3.
+  EXPECT_EQ(by_type[EdgeType::kRowRight], 3);
+  // (4): j+1 ≤ i: (1,0),(2,0),(2,1) = 3.
+  EXPECT_EQ(by_type[EdgeType::kRowLeft], 3);
+  // (5): i+1 ≤ j: (0,1),(0,2),(1,2) = 3.
+  EXPECT_EQ(by_type[EdgeType::kColDown], 3);
+  // (6): j ≤ i ≤ n-2: (0,0),(1,0),(1,1) = 3.
+  EXPECT_EQ(by_type[EdgeType::kColUp], 3);
+  EXPECT_EQ(x.num_cross_slots(), 6u);
+}
+
+TEST(Crossbar, VertexIdsAreDistinct) {
+  const Crossbar x(4);
+  std::set<VertexId> ids;
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_TRUE(ids.insert(x.minus(i, j)).second);
+      EXPECT_TRUE(ids.insert(x.plus(i, j)).second);
+    }
+  }
+  EXPECT_EQ(ids.size(), 32u);
+  EXPECT_THROW(x.minus(4, 0), InvalidArgument);
+}
+
+TEST(Crossbar, PlusRowRoutesAwayFromDiagonalOnly) {
+  // From v⁺_ii every v⁺_ij is reachable within the row; the minus column j
+  // funnels into v⁻_jj. Verified structurally on the snapshot with no
+  // cross edges: from v⁺_ii you reach exactly row i's plus vertices.
+  CrossbarMachine m(4);
+  const Graph host = m.snapshot();
+  const auto res = dijkstra(host, m.topology().plus(1, 1));
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_LT(res.dist[m.topology().plus(1, j)], kInfiniteDistance);
+  }
+  EXPECT_GE(res.dist[m.topology().plus(0, 0)], kInfiniteDistance);
+  EXPECT_GE(res.dist[m.topology().minus(2, 2)], kInfiniteDistance);
+}
+
+TEST(CrossbarMachine, ProgramAndClearSlots) {
+  CrossbarMachine m(3);
+  EXPECT_EQ(m.active_cross_edges(), 0u);
+  m.set_cross_delay(0, 1, 7);
+  EXPECT_EQ(m.cross_delay(0, 1), std::optional<Delay>(7));
+  EXPECT_EQ(m.active_cross_edges(), 1u);
+  m.set_cross_delay(0, 1, 9);  // overwrite, still one active edge
+  EXPECT_EQ(m.active_cross_edges(), 1u);
+  m.clear_cross_delay(0, 1);
+  EXPECT_EQ(m.cross_delay(0, 1), std::nullopt);
+  EXPECT_EQ(m.active_cross_edges(), 0u);
+  EXPECT_EQ(m.delay_writes(), 3u);
+  EXPECT_THROW(m.set_cross_delay(1, 1, 3), InvalidArgument);
+  EXPECT_THROW(m.set_cross_delay(0, 2, 0), InvalidArgument);
+}
+
+TEST(Embedding, SingleEdgePathHasExactScaledLength) {
+  // The Section 4.4 identity: 1 + |j-i| + (ℓ' - 2|i-j| - 1) + |j-i| = ℓ'.
+  Graph g(5);
+  g.add_edge(1, 4, 3);
+  CrossbarMachine m(5);
+  const auto emb = embed(m, g);
+  const Graph host = m.snapshot();
+  const auto& xb = m.topology();
+  const auto res = dijkstra(host, xb.graph_vertex(1));
+  EXPECT_EQ(res.dist[xb.graph_vertex(4)], emb.scale * 3);
+}
+
+TEST(Embedding, PreservesAllPairsOnRandomGraphs) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    Rng rng(0xE3B + seed);
+    const Graph g = make_random_graph(8, 30, {1, 6}, rng);
+    CrossbarMachine m(8);
+    const auto emb = embed(m, g);
+    const auto ref = dijkstra(g, 0);
+    const auto got = embedded_distances_conventional(m, emb, 8, 0);
+    for (VertexId v = 0; v < 8; ++v) {
+      EXPECT_EQ(got[v], ref.dist[v]) << "seed " << seed << " v " << v;
+    }
+  }
+}
+
+TEST(Embedding, ScaleIsTwoNOverMinLength) {
+  Graph g(6);
+  g.add_edge(0, 1, 4);
+  CrossbarMachine m(6);
+  const auto emb = embed(m, g);
+  EXPECT_EQ(emb.scale, 3);  // ceil(2·6 / 4)
+}
+
+TEST(Embedding, UsesOneDelayWritePerEdge) {
+  Rng rng(0xE3C);
+  const Graph g = make_random_graph(10, 40, {1, 5}, rng);
+  CrossbarMachine m(10);
+  const auto emb = embed(m, g);
+  EXPECT_EQ(emb.delay_writes, 40u);
+}
+
+TEST(Embedding, MultiGraphEmbedUnembedProtocol) {
+  // Section 4.4's sequence: embed G1, unembed, embed G2 — each step O(m_i)
+  // writes, and the second embedding is correct.
+  Rng rng(0xE3D);
+  const Graph g1 = make_random_graph(7, 20, {1, 4}, rng);
+  const Graph g2 = make_random_graph(7, 15, {1, 4}, rng);
+  CrossbarMachine m(7);
+
+  const auto e1 = embed(m, g1);
+  EXPECT_THROW(embed(m, g2), InvalidArgument);  // must unembed first
+  unembed(m, g1);
+  EXPECT_EQ(m.active_cross_edges(), 0u);
+  const auto e2 = embed(m, g2);
+  EXPECT_EQ(m.delay_writes(), 20u + 20u + 15u);
+
+  const auto ref = dijkstra(g2, 0);
+  const auto got = embedded_distances_conventional(m, e2, 7, 0);
+  for (VertexId v = 0; v < 7; ++v) EXPECT_EQ(got[v], ref.dist[v]);
+  (void)e1;
+}
+
+TEST(Embedding, RejectsSelfLoopsAndOversizedGraphs) {
+  Graph loop(2);
+  loop.add_edge(0, 0, 1);
+  CrossbarMachine m(2);
+  EXPECT_THROW(embed(m, loop), InvalidArgument);
+
+  Rng rng(1);
+  const Graph big = make_random_graph(5, 10, {1, 2}, rng);
+  CrossbarMachine small(4);
+  EXPECT_THROW(embed(small, big), InvalidArgument);
+}
+
+TEST(SpikingOnCrossbar, MatchesDirectSpikingSssp) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    Rng rng(0xE40 + seed);
+    const Graph g = make_random_graph(7, 24, {1, 5}, rng);
+    const auto direct = dijkstra(g, 0);
+    const auto emb = spiking_sssp_on_crossbar(g, 0);
+    for (VertexId v = 0; v < 7; ++v) {
+      EXPECT_EQ(emb.dist[v], direct.dist[v]) << "seed " << seed << " v " << v;
+    }
+  }
+}
+
+TEST(SpikingOnCrossbar, EmbeddingCostIsTheScaleFactor) {
+  // Section 4.5: the spiking portion slows down by the O(n) scale factor —
+  // execution time on the crossbar = scale × direct execution time.
+  Rng rng(0xE41);
+  const Graph g = make_random_graph(9, 30, {1, 4}, rng);
+  nga::SpikingSsspOptions direct_opt;
+  direct_opt.source = 0;
+  const auto direct = nga::spiking_sssp(g, direct_opt);
+  const auto emb = spiking_sssp_on_crossbar(g, 0);
+  EXPECT_EQ(emb.execution_time, direct.execution_time * emb.scale);
+  // And the host network is Θ(n²) neurons vs n.
+  EXPECT_EQ(emb.neurons, 2u * 9u * 9u);
+}
+
+TEST(SpikingOnCrossbar, TargetModeTerminatesAtTarget) {
+  Rng rng(0xE42);
+  const Graph g = make_path_graph(6, {2, 3}, rng);
+  const auto ref = dijkstra(g, 0);
+  const auto emb = spiking_sssp_on_crossbar(g, 0, VertexId{4});
+  EXPECT_EQ(emb.dist[4], ref.dist[4]);
+}
+
+}  // namespace
+}  // namespace sga::crossbar

@@ -1,0 +1,169 @@
+// Edge-case and failure-injection tests across the public API: degenerate
+// graphs, parameter-limit rejections, and the documented precondition
+// throws — the behaviours a downstream user hits first when misusing the
+// library.
+#include <gtest/gtest.h>
+
+#include "core/random.h"
+#include "crossbar/embedding.h"
+#include "graph/generators.h"
+#include "nga/approx.h"
+#include "nga/khop_poly.h"
+#include "nga/khop_ttl.h"
+#include "nga/sssp_event.h"
+
+namespace sga {
+namespace {
+
+TEST(EdgeCases, SingleVertexGraphSssp) {
+  Graph g(1);
+  nga::SpikingSsspOptions opt;
+  opt.source = 0;
+  const auto r = nga::spiking_sssp(g, opt);
+  EXPECT_EQ(r.dist[0], 0);
+  EXPECT_EQ(r.execution_time, 0);
+  EXPECT_EQ(r.sim.spikes, 1u);  // just the injected source spike
+}
+
+TEST(EdgeCases, SourceEqualsTargetTerminatesImmediately) {
+  Graph g(3);
+  g.add_edge(0, 1, 2);
+  g.add_edge(1, 2, 2);
+  nga::SpikingSsspOptions opt;
+  opt.source = 0;
+  opt.target = 0;
+  const auto r = nga::spiking_sssp(g, opt);
+  EXPECT_TRUE(r.sim.hit_terminal);
+  EXPECT_EQ(r.execution_time, 0);
+}
+
+TEST(EdgeCases, KHopAlgorithmsRejectEdgelessGraphs) {
+  Graph g(3);
+  nga::KHopTtlOptions topt;
+  topt.source = 0;
+  topt.k = 2;
+  EXPECT_THROW(nga::khop_sssp_ttl(g, topt), InvalidArgument);
+  nga::KHopPolyOptions popt;
+  popt.source = 0;
+  popt.k = 2;
+  EXPECT_THROW(nga::khop_sssp_poly(g, popt), InvalidArgument);
+}
+
+TEST(EdgeCases, KHopRejectsZeroK) {
+  Graph g(2);
+  g.add_edge(0, 1, 1);
+  nga::KHopTtlOptions topt;
+  topt.source = 0;
+  topt.k = 0;
+  EXPECT_THROW(nga::khop_sssp_ttl(g, topt), InvalidArgument);
+  nga::KHopPolyOptions popt;
+  popt.source = 0;
+  popt.k = 0;
+  EXPECT_THROW(nga::khop_sssp_poly(g, popt), InvalidArgument);
+}
+
+TEST(EdgeCases, KHopPolyRejectsOverwideMessages) {
+  // k·U beyond the 40-bit message cap must throw, not overflow.
+  Graph g(2);
+  g.add_edge(0, 1, kInfiniteDistance / 4);
+  nga::KHopPolyOptions opt;
+  opt.source = 0;
+  opt.k = 8;
+  EXPECT_THROW(nga::khop_sssp_poly(g, opt), InvalidArgument);
+}
+
+TEST(EdgeCases, KHopOnTwoVertexGraph) {
+  Graph g(2);
+  g.add_edge(0, 1, 3);
+  nga::KHopTtlOptions topt;
+  topt.source = 0;
+  topt.k = 1;
+  EXPECT_EQ(nga::khop_sssp_ttl(g, topt).dist[1], 3);
+  nga::KHopPolyOptions popt;
+  popt.source = 0;
+  popt.k = 1;
+  EXPECT_EQ(nga::khop_sssp_poly(g, popt).dist[1], 3);
+}
+
+TEST(EdgeCases, KHopSourceWithNoOutEdges) {
+  // The source only receives: every vertex (but the source) unreachable.
+  Graph g(3);
+  g.add_edge(1, 0, 2);
+  g.add_edge(1, 2, 2);
+  nga::KHopPolyOptions opt;
+  opt.source = 0;
+  opt.k = 2;
+  const auto r = nga::khop_sssp_poly(g, opt);
+  EXPECT_EQ(r.dist[0], 0);
+  EXPECT_FALSE(r.reachable(1));
+  EXPECT_FALSE(r.reachable(2));
+}
+
+TEST(EdgeCases, ApproxRejectsDegenerateInputs) {
+  Graph tiny(1);
+  nga::ApproxKHopOptions opt;
+  opt.source = 0;
+  opt.k = 1;
+  EXPECT_THROW(nga::approx_khop_sssp(tiny, opt), InvalidArgument);
+  Graph two(2);
+  two.add_edge(0, 1, 1);
+  opt.k = 0;
+  EXPECT_THROW(nga::approx_khop_sssp(two, opt), InvalidArgument);
+}
+
+TEST(EdgeCases, ApproxOnTwoVertexGraphIsExactEnough) {
+  Graph g(2);
+  g.add_edge(0, 1, 10);
+  nga::ApproxKHopOptions opt;
+  opt.source = 0;
+  opt.k = 1;
+  const auto r = nga::approx_khop_sssp(g, opt);
+  ASSERT_TRUE(r.reachable(1));
+  EXPECT_GE(r.dist[1], 10.0 - 1e-9);
+  EXPECT_LE(r.dist[1], (1.0 + r.epsilon) * 10.0 + 1e-9);
+}
+
+TEST(EdgeCases, CrossbarOrderOneHasNoCrossSlots) {
+  crossbar::CrossbarMachine m(1);
+  EXPECT_EQ(m.topology().num_cross_slots(), 0u);
+  EXPECT_EQ(m.topology().num_vertices(), 2u);
+  const Graph host = m.snapshot();
+  EXPECT_EQ(host.num_edges(), 1u);  // just the diagonal edge
+}
+
+TEST(EdgeCases, EmbeddingSingleEdgeSmallestGraph) {
+  Graph g(2);
+  g.add_edge(0, 1, 1);
+  const auto r = crossbar::spiking_sssp_on_crossbar(g, 0);
+  EXPECT_EQ(r.dist[1], 1);
+  EXPECT_EQ(r.scale, 4);  // ceil(2·2 / 1)
+}
+
+TEST(EdgeCases, ParallelEdgesInKHop) {
+  Graph g(2);
+  g.add_edge(0, 1, 9);
+  g.add_edge(0, 1, 4);
+  nga::KHopPolyOptions opt;
+  opt.source = 0;
+  opt.k = 1;
+  EXPECT_EQ(nga::khop_sssp_poly(g, opt).dist[1], 4);
+  nga::KHopTtlOptions topt;
+  topt.source = 0;
+  topt.k = 1;
+  EXPECT_EQ(nga::khop_sssp_ttl(g, topt).dist[1], 4);
+}
+
+TEST(EdgeCases, LargeKOnShortGraphIsHarmless) {
+  // k far beyond the diameter: same answer as plain SSSP.
+  Rng rng(0xEC);
+  const Graph g = make_path_graph(5, {2, 2}, rng);
+  nga::KHopTtlOptions opt;
+  opt.source = 0;
+  opt.k = 64;
+  const auto r = nga::khop_sssp_ttl(g, opt);
+  EXPECT_EQ(r.dist[4], 8);
+  EXPECT_EQ(r.lambda, 6);  // bits_for(63)
+}
+
+}  // namespace
+}  // namespace sga

@@ -1,0 +1,139 @@
+// Cross-validation fuzzing: on many random instances, every implementation
+// of the same problem must agree — the event-driven spiking SSSP vs
+// Dijkstra vs the crossbar-embedded run; both gate-level k-hop compilations
+// vs Bellman–Ford vs the (min,+) NGA reference; and the approximation
+// guarantee. These are the repo's end-to-end consistency oracle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/random.h"
+#include "crossbar/embedding.h"
+#include "graph/bellman_ford.h"
+#include "graph/dijkstra.h"
+#include "graph/generators.h"
+#include "nga/approx.h"
+#include "nga/khop_poly.h"
+#include "nga/khop_ttl.h"
+#include "nga/matvec.h"
+#include "nga/sssp_event.h"
+
+namespace sga {
+namespace {
+
+Graph random_instance(std::uint64_t seed, std::size_t max_n) {
+  Rng rng(0xF022 + seed * 2654435761ULL);
+  const auto n = static_cast<std::size_t>(rng.uniform_int(4, static_cast<std::int64_t>(max_n)));
+  if (seed % 5 == 4) {
+    // Geometric family: metric-ish weights, bidirectional edges.
+    return make_geometric_graph(n, 0.4, rng.uniform_int(2, 10), rng);
+  }
+  const auto max_m = n * (n - 1);
+  const auto m = static_cast<std::size_t>(
+      rng.uniform_int(static_cast<std::int64_t>(n),
+                      static_cast<std::int64_t>(std::min(max_m, 5 * n))));
+  const Weight u = rng.uniform_int(1, 12);
+  const bool connected = rng.bernoulli(0.7);
+  return make_random_graph(n, m, {1, u}, rng, connected);
+}
+
+class SsspFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SsspFuzz, SpikingEqualsDijkstraEqualsCrossbar) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const Graph g = random_instance(seed, 24);
+  const auto ref = dijkstra(g, 0);
+
+  nga::SpikingSsspOptions opt;
+  opt.source = 0;
+  opt.record_parents = false;
+  const auto spiking = nga::spiking_sssp(g, opt);
+  EXPECT_EQ(spiking.dist, ref.dist) << "seed " << seed;
+
+  if (g.num_edges() > 0) {
+    bool has_self_loop = false;
+    for (const auto& e : g.edges()) has_self_loop |= (e.from == e.to);
+    if (!has_self_loop) {
+      const auto onx = crossbar::spiking_sssp_on_crossbar(g, 0);
+      EXPECT_EQ(onx.dist, ref.dist) << "seed " << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SsspFuzz, ::testing::Range(0, 40));
+
+class KhopFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(KhopFuzz, AllFourKHopImplementationsAgree) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(0xF033 + seed);
+  const Graph g = random_instance(seed, 12);
+  if (g.num_edges() == 0) return;
+  const auto k = static_cast<std::uint32_t>(rng.uniform_int(1, 6));
+
+  const auto bf = bellman_ford_khop(g, 0, k);
+
+  // (min,+) NGA reference: dist_k = min over rounds of exact-hop walks.
+  const auto mp = nga::minplus_rounds(g, 0, k);
+  std::vector<Weight> mp_min(g.num_vertices(), kInfiniteDistance);
+  for (const auto& round : mp) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      mp_min[v] = std::min(mp_min[v], round[v]);
+    }
+  }
+  EXPECT_EQ(mp_min, bf.dist) << "seed " << seed << " k " << k;
+
+  nga::KHopTtlOptions topt;
+  topt.source = 0;
+  topt.k = k;
+  const auto ttl = nga::khop_sssp_ttl(g, topt);
+  EXPECT_EQ(ttl.dist, bf.dist) << "seed " << seed << " k " << k;
+
+  nga::KHopPolyOptions popt;
+  popt.source = 0;
+  popt.k = k;
+  const auto poly = nga::khop_sssp_poly(g, popt);
+  EXPECT_EQ(poly.dist, bf.dist) << "seed " << seed << " k " << k;
+
+  // Per-round tables agree with the reference exactly.
+  for (std::size_t r = 0; r < poly.per_round.size(); ++r) {
+    EXPECT_EQ(poly.per_round[r], mp[r]) << "seed " << seed << " round " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KhopFuzz, ::testing::Range(0, 32));
+
+class ApproxFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ApproxFuzz, GuaranteeAndCompositionHold) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(0xF044 + seed);
+  const Graph g = random_instance(seed, 20);
+  if (g.num_vertices() < 2 || g.num_edges() == 0) return;
+  const auto k = static_cast<std::uint32_t>(rng.uniform_int(1, 6));
+  const auto bf = bellman_ford_khop(g, 0, k);
+  const auto dj = dijkstra(g, 0);
+
+  nga::ApproxKHopOptions opt;
+  opt.source = 0;
+  opt.k = k;
+  opt.compose_scales = (seed % 2 == 1);
+  const auto a = nga::approx_khop_sssp(g, opt);
+  for (VertexId v = 1; v < g.num_vertices(); ++v) {
+    if (bf.reachable(v)) {
+      ASSERT_TRUE(a.reachable(v)) << "seed " << seed << " v " << v;
+      EXPECT_LE(a.dist[v],
+                (1.0 + a.epsilon) * static_cast<double>(bf.dist[v]) + 1e-9)
+          << "seed " << seed << " v " << v;
+    }
+    if (a.reachable(v)) {
+      EXPECT_GE(a.dist[v], static_cast<double>(dj.dist[v]) - 1e-9)
+          << "seed " << seed << " v " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApproxFuzz, ::testing::Range(0, 18));
+
+}  // namespace
+}  // namespace sga

@@ -1,0 +1,260 @@
+// Tests for the graph substrate: structure, CSR adjacency, generators,
+// serialization, reference Dijkstra / k-hop Bellman–Ford, and properties.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/bellman_ford.h"
+#include "graph/dijkstra.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "graph/properties.h"
+
+namespace sga {
+namespace {
+
+Graph diamond() {
+  // 0 -> 1 -> 3 (1 + 1 = 2), 0 -> 2 -> 3 (5 + 5 = 10), 0 -> 3 direct (4).
+  Graph g(4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 3, 1);
+  g.add_edge(0, 2, 5);
+  g.add_edge(2, 3, 5);
+  g.add_edge(0, 3, 4);
+  return g;
+}
+
+TEST(Graph, BasicStructure) {
+  const Graph g = diamond();
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.out_degree(0), 3u);
+  EXPECT_EQ(g.in_degree(3), 3u);
+  EXPECT_EQ(g.max_edge_length(), 5);
+  EXPECT_EQ(g.min_edge_length(), 1);
+  EXPECT_EQ(g.max_degree(), 3u);  // vertex 0 (out 3) or vertex 3 (in 3)
+}
+
+TEST(Graph, RejectsBadEdges) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 5, 1), InvalidArgument);
+  EXPECT_THROW(g.add_edge(0, 1, 0), InvalidArgument);
+  EXPECT_THROW(g.add_edge(0, 1, -3), InvalidArgument);
+}
+
+TEST(Graph, CsrSurvivesMutation) {
+  Graph g(3);
+  g.add_edge(0, 1, 1);
+  EXPECT_EQ(g.out_degree(0), 1u);  // builds CSR
+  g.add_edge(0, 2, 1);             // invalidates
+  EXPECT_EQ(g.out_degree(0), 2u);  // rebuilt
+}
+
+TEST(Graph, ScaleLengths) {
+  Graph g = diamond();
+  g.scale_lengths(7);
+  EXPECT_EQ(g.min_edge_length(), 7);
+  EXPECT_EQ(g.max_edge_length(), 35);
+  EXPECT_THROW(g.scale_lengths(0), InvalidArgument);
+}
+
+TEST(Graph, Reversed) {
+  const Graph g = diamond();
+  const Graph r = g.reversed();
+  EXPECT_EQ(r.num_edges(), g.num_edges());
+  EXPECT_EQ(r.out_degree(3), 3u);
+  EXPECT_EQ(r.in_degree(3), 0u);
+}
+
+TEST(Dijkstra, DiamondDistances) {
+  const auto res = dijkstra(diamond(), 0);
+  EXPECT_EQ(res.dist[0], 0);
+  EXPECT_EQ(res.dist[1], 1);
+  EXPECT_EQ(res.dist[2], 5);
+  EXPECT_EQ(res.dist[3], 2);
+  EXPECT_EQ(res.parent[3], 1u);
+  EXPECT_EQ(shortest_path_hops(res, 3), 2u);
+  const auto path = extract_path(res, 3);
+  EXPECT_EQ(path, (std::vector<VertexId>{0, 1, 3}));
+}
+
+TEST(Dijkstra, UnreachableVertex) {
+  Graph g(3);
+  g.add_edge(0, 1, 2);
+  const auto res = dijkstra(g, 0);
+  EXPECT_FALSE(res.reachable(2));
+  EXPECT_THROW(extract_path(res, 2), InvalidArgument);
+}
+
+TEST(Dijkstra, CountsOperations) {
+  const auto res = dijkstra(diamond(), 0);
+  EXPECT_EQ(res.ops.edge_relaxations, 5u);  // every edge scanned once
+  EXPECT_GT(res.ops.heap_ops, 0u);
+}
+
+TEST(BellmanFordKHop, HopLimitChangesAnswer) {
+  const Graph g = diamond();
+  // 1 hop: only the direct 0->3 edge (length 4).
+  EXPECT_EQ(bellman_ford_khop(g, 0, 1).dist[3], 4);
+  // 2 hops: 0->1->3 (length 2).
+  EXPECT_EQ(bellman_ford_khop(g, 0, 2).dist[3], 2);
+  // 0 hops: unreachable.
+  EXPECT_FALSE(bellman_ford_khop(g, 0, 0).reachable(3));
+}
+
+TEST(BellmanFordKHop, MatchesDijkstraWithEnoughHops) {
+  Rng rng(5);
+  const Graph g = make_random_graph(40, 200, {1, 9}, rng);
+  const auto bf = bellman_ford_khop(g, 0, 39);
+  const auto dj = dijkstra(g, 0);
+  EXPECT_EQ(bf.dist, dj.dist);
+}
+
+TEST(BellmanFordKHop, RoundsTableIsMonotone) {
+  Rng rng(6);
+  const Graph g = make_random_graph(20, 60, {1, 5}, rng);
+  const auto rounds = bellman_ford_khop_rounds(g, 0, 10);
+  ASSERT_EQ(rounds.size(), 11u);
+  for (std::size_t i = 1; i < rounds.size(); ++i) {
+    for (std::size_t v = 0; v < 20; ++v) {
+      EXPECT_LE(rounds[i][v], rounds[i - 1][v]);
+    }
+  }
+  EXPECT_EQ(rounds[10], bellman_ford_khop(g, 0, 10).dist);
+}
+
+TEST(Generators, RandomGraphShape) {
+  Rng rng(1);
+  const Graph g = make_random_graph(30, 120, {1, 10}, rng);
+  EXPECT_EQ(g.num_vertices(), 30u);
+  EXPECT_EQ(g.num_edges(), 120u);
+  EXPECT_TRUE(all_reachable(g, 0));
+  EXPECT_GE(g.min_edge_length(), 1);
+  EXPECT_LE(g.max_edge_length(), 10);
+}
+
+TEST(Generators, RandomGraphHasNoDuplicateEdges) {
+  Rng rng(2);
+  const Graph g = make_random_graph(10, 80, {1, 1}, rng);
+  std::set<std::pair<VertexId, VertexId>> seen;
+  for (const auto& e : g.edges()) {
+    EXPECT_NE(e.from, e.to);
+    EXPECT_TRUE(seen.emplace(e.from, e.to).second);
+  }
+}
+
+TEST(Generators, GridGraphShape) {
+  Rng rng(3);
+  const Graph g = make_grid_graph(4, 5, {1, 1}, rng);
+  EXPECT_EQ(g.num_vertices(), 20u);
+  EXPECT_EQ(g.num_edges(), 40u);  // torus: right + down per vertex
+  EXPECT_TRUE(all_reachable(g, 0));
+}
+
+TEST(Generators, PathCycleComplete) {
+  Rng rng(4);
+  const Graph p = make_path_graph(6, {2, 2}, rng);
+  EXPECT_EQ(p.num_edges(), 5u);
+  EXPECT_EQ(dijkstra(p, 0).dist[5], 10);
+
+  const Graph c = make_cycle_graph(6, {1, 1}, rng);
+  EXPECT_EQ(c.num_edges(), 6u);
+  EXPECT_EQ(dijkstra(c, 0).dist[5], 5);
+
+  const Graph k = make_complete_graph(5, {1, 3}, rng);
+  EXPECT_EQ(k.num_edges(), 20u);
+}
+
+TEST(Generators, LayeredDagHopsMatchLayers) {
+  Rng rng(9);
+  const Graph g = make_layered_dag(4, 3, 2, {1, 1}, rng);
+  const auto hops = bfs_hops(g, 0);
+  for (std::size_t layer = 0; layer < 4; ++layer) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      const auto v = static_cast<VertexId>(1 + layer * 3 + i);
+      if (hops[v] != std::numeric_limits<std::uint32_t>::max()) {
+        EXPECT_EQ(hops[v], layer + 1);
+      }
+    }
+  }
+}
+
+TEST(Generators, PreferentialAttachmentReachable) {
+  Rng rng(10);
+  const Graph g = make_preferential_attachment(50, 2, {1, 4}, rng);
+  EXPECT_EQ(g.num_vertices(), 50u);
+  EXPECT_TRUE(all_reachable(g, 0));
+}
+
+TEST(Generators, GeometricGraphIsConnectedAndMetricish) {
+  Rng rng(11);
+  const Graph g = make_geometric_graph(40, 0.25, 100, rng);
+  EXPECT_EQ(g.num_vertices(), 40u);
+  EXPECT_TRUE(all_reachable(g, 0));
+  // Lengths are ceil(scale · euclidean) on the unit square: bounded by the
+  // diagonal, and neighbours within the radius are short.
+  EXPECT_LE(g.max_edge_length(), static_cast<Weight>(100.0 * 1.5));
+  EXPECT_GE(g.min_edge_length(), 1);
+  // Every (u,v) appears with its reverse, at equal length.
+  std::map<std::pair<VertexId, VertexId>, Weight> len;
+  for (const auto& e : g.edges()) len[{e.from, e.to}] = e.length;
+  for (const auto& e : g.edges()) {
+    const auto it = len.find({e.to, e.from});
+    ASSERT_NE(it, len.end());
+    EXPECT_EQ(it->second, e.length);
+  }
+}
+
+TEST(Generators, GeometricGraphDensityGrowsWithRadius) {
+  Rng a(12), b(12);
+  const Graph sparse = make_geometric_graph(60, 0.1, 10, a);
+  const Graph dense = make_geometric_graph(60, 0.4, 10, b);
+  EXPECT_GT(dense.num_edges(), sparse.num_edges());
+}
+
+TEST(Io, DimacsRoundTrip) {
+  const Graph g = diamond();
+  std::stringstream ss;
+  write_dimacs(ss, g, "diamond test");
+  const Graph h = read_dimacs(ss);
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) EXPECT_EQ(h.edge(e), g.edge(e));
+}
+
+TEST(Io, DimacsRejectsMalformed) {
+  std::stringstream no_header("a 1 2 3\n");
+  EXPECT_THROW(read_dimacs(no_header), InvalidArgument);
+  std::stringstream bad_count("p sp 2 2\na 1 2 3\n");
+  EXPECT_THROW(read_dimacs(bad_count), InvalidArgument);
+  std::stringstream out_of_range("p sp 2 1\na 1 9 3\n");
+  EXPECT_THROW(read_dimacs(out_of_range), InvalidArgument);
+}
+
+TEST(Io, EdgeListRoundTrip) {
+  const Graph g = diamond();
+  std::stringstream ss;
+  write_edge_list(ss, g);
+  const Graph h = read_edge_list(ss);
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) EXPECT_EQ(h.edge(e), g.edge(e));
+}
+
+TEST(Properties, PathValidation) {
+  const Graph g = diamond();
+  EXPECT_EQ(path_length(g, {0, 1, 3}), 2);
+  EXPECT_THROW(path_length(g, {0, 3, 1}), InvalidArgument);
+  EXPECT_TRUE(is_shortest_path_witness(g, {0, 1, 3}, 0, 3, 2));
+  EXPECT_FALSE(is_shortest_path_witness(g, {0, 2, 3}, 0, 3, 2));
+}
+
+TEST(Properties, BfsHops) {
+  const Graph g = diamond();
+  const auto hops = bfs_hops(g, 0);
+  EXPECT_EQ(hops[0], 0u);
+  EXPECT_EQ(hops[3], 1u);  // direct edge
+}
+
+}  // namespace
+}  // namespace sga

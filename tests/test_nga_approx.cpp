@@ -1,0 +1,133 @@
+// Tests for the Section-7 approximation algorithm: the Theorem 7.1/7.2
+// guarantees (dist ≤ d̃_k ≤ (1+ε)·dist_k), the neuron-count advantage over
+// the exact polynomial algorithm, and the cost formulas.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/random.h"
+#include "graph/bellman_ford.h"
+#include "graph/dijkstra.h"
+#include "graph/generators.h"
+#include "nga/approx.h"
+#include "nga/costs.h"
+
+namespace sga::nga {
+namespace {
+
+void expect_guarantee(const Graph& g, std::uint32_t k, std::uint64_t seed) {
+  const auto exact_k = bellman_ford_khop(g, 0, k);
+  const auto exact = dijkstra(g, 0);
+  ApproxKHopOptions opt;
+  opt.source = 0;
+  opt.k = k;
+  const auto got = approx_khop_sssp(g, opt);
+  for (VertexId v = 1; v < g.num_vertices(); ++v) {
+    if (exact_k.reachable(v)) {
+      ASSERT_TRUE(got.reachable(v)) << "seed " << seed << " v " << v;
+      // Upper bound (Theorem 7.1): d̃ ≤ (1+ε)·dist_k. Allow the tiniest
+      // float slack on the comparison itself.
+      EXPECT_LE(got.dist[v], (1.0 + got.epsilon) *
+                                     static_cast<double>(exact_k.dist[v]) +
+                                 1e-9)
+          << "seed " << seed << " v " << v;
+    }
+    if (got.reachable(v)) {
+      // Lower bound: every estimate is the rounded-up length of a real
+      // walk, so it is at least the true (unbounded-hop) distance.
+      ASSERT_TRUE(exact.reachable(v)) << "seed " << seed << " v " << v;
+      EXPECT_GE(got.dist[v], static_cast<double>(exact.dist[v]) - 1e-9)
+          << "seed " << seed << " v " << v;
+    }
+  }
+}
+
+class ApproxSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ApproxSweep, GuaranteeHoldsOnRandomGraphs) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(0xA990 + seed);
+  const Graph g = make_random_graph(24, 90, {1, 20}, rng);
+  expect_guarantee(g, 2 + static_cast<std::uint32_t>(seed % 5), seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApproxSweep, ::testing::Range(0, 8));
+
+TEST(Approx, GuaranteeOnGridAndPath) {
+  Rng rng(0xA1);
+  expect_guarantee(make_grid_graph(5, 5, {1, 30}, rng), 6, 0);
+  expect_guarantee(make_path_graph(12, {1, 50}, rng), 11, 1);
+}
+
+TEST(Approx, UsesFewerNeuronsThanExactOnSparseGraphs) {
+  // Theorem 7.2's point: n·log(kU·log n) vs m·log(nU) neurons.
+  Rng rng(0xA2);
+  const Graph g = make_random_graph(64, 512, {1, 8}, rng);
+  ApproxKHopOptions opt;
+  opt.source = 0;
+  opt.k = 8;
+  const auto got = approx_khop_sssp(g, opt);
+  EXPECT_LT(got.neurons_total, got.neurons_exact);
+}
+
+TEST(Approx, EpsilonDefaultsToInverseLogN) {
+  Rng rng(0xA3);
+  const Graph g = make_random_graph(32, 64, {1, 4}, rng);
+  ApproxKHopOptions opt;
+  opt.source = 0;
+  opt.k = 3;
+  const auto got = approx_khop_sssp(g, opt);
+  EXPECT_NEAR(got.epsilon, 1.0 / std::log2(32.0), 1e-12);
+  EXPECT_EQ(got.num_scales,
+            1 + static_cast<std::uint32_t>(std::ceil(
+                    std::log2(2.0 * 3 * 4 / got.epsilon))));
+}
+
+TEST(Approx, TighterEpsilonImprovesEstimate) {
+  Rng rng(0xA4);
+  const Graph g = make_random_graph(24, 96, {1, 40}, rng);
+  ApproxKHopOptions loose;
+  loose.source = 0;
+  loose.k = 5;
+  loose.epsilon = 0.5;
+  ApproxKHopOptions tight = loose;
+  tight.epsilon = 0.05;
+  const auto a = approx_khop_sssp(g, loose);
+  const auto b = approx_khop_sssp(g, tight);
+  const auto exact_k = bellman_ford_khop(g, 0, 5);
+  double worst_a = 0, worst_b = 0;
+  for (VertexId v = 1; v < 24; ++v) {
+    if (!exact_k.reachable(v)) continue;
+    const double d = static_cast<double>(exact_k.dist[v]);
+    worst_a = std::max(worst_a, a.dist[v] / d);
+    worst_b = std::max(worst_b, b.dist[v] / d);
+  }
+  EXPECT_LE(worst_b, worst_a + 1e-9);
+  EXPECT_LE(worst_b, 1.05 + 1e-9);
+}
+
+TEST(CostFormulas, Table1Relationships) {
+  ProblemParams p;
+  p.n = 1024;
+  p.m = 8192;
+  p.k = 64;
+  p.U = 16;
+  p.L = 100;
+  p.alpha = 10;
+  p.c = 4;
+
+  // k-hop, ignoring data movement: neuromorphic wins iff log(nU) = o(k).
+  EXPECT_LT(nm_khop_poly_spiking_only(p), conv_khop(p));
+  // The DISTANCE lower bound dominates the conventional op count.
+  EXPECT_GT(lb_khop_bellman_ford(p), conv_khop(p));
+  // Lower bounds compose: k-hop bound = k × input-read bound.
+  EXPECT_DOUBLE_EQ(lb_khop_bellman_ford(p),
+                   static_cast<double>(p.k) * lb_input_read(p));
+  // Embedded (crossbar) costs exceed the O(1)-movement costs.
+  EXPECT_GT(nm_sssp_pseudo_embedded(p), nm_sssp_pseudo(p));
+  EXPECT_GT(nm_khop_poly_embedded(p), nm_khop_poly_spiking_only(p));
+  EXPECT_GE(log2_clamped(1.5), 1.0);
+}
+
+}  // namespace
+}  // namespace sga::nga

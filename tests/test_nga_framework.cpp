@@ -1,0 +1,121 @@
+// Tests for the NGA framework (Definition 4) and the Section-2.2 example:
+// message passing computes A^r m_0 in both the ordinary and the (min, +)
+// semiring, and the cost model composes as R·(T_edge + T_node).
+#include <gtest/gtest.h>
+
+#include "core/random.h"
+#include "graph/bellman_ford.h"
+#include "graph/generators.h"
+#include "nga/matvec.h"
+#include "nga/model.h"
+
+namespace sga::nga {
+namespace {
+
+TEST(NgaModel, RunsRequestedRounds) {
+  Graph g(2);
+  g.add_edge(0, 1, 1);
+  std::vector<Message> init(2);
+  init[0] = Message{1, true};
+  const auto trace = run_nga(
+      g, init, 3, [](const Edge&, const Message& m) { return m; },
+      [](VertexId, const std::vector<Message>& in) {
+        return in.empty() ? Message{} : in.front();
+      });
+  EXPECT_EQ(trace.per_round.size(), 4u);
+  EXPECT_TRUE(trace.per_round[1][1].valid);
+  EXPECT_FALSE(trace.per_round[2][1].valid);  // 0 went silent after round 1
+}
+
+TEST(NgaModel, SilentNodesBroadcastNothing) {
+  Graph g(3);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  std::vector<Message> init(3);
+  init[0] = Message{7, true};
+  std::uint64_t edge_calls = 0;
+  const auto trace = run_nga(
+      g, init, 2,
+      [&](const Edge&, const Message& m) {
+        ++edge_calls;
+        return m;
+      },
+      [](VertexId, const std::vector<Message>& in) {
+        for (const auto& m : in) {
+          if (m.valid) return m;
+        }
+        return Message{};
+      });
+  // Round 1: only edge 0->1 carries a message; round 2: only 1->2.
+  EXPECT_EQ(edge_calls, 2u);
+  EXPECT_EQ(trace.messages_sent, 2u);
+  EXPECT_EQ(trace.per_round[2][2].value, 7u);
+}
+
+TEST(NgaModel, RejectsSizeMismatch) {
+  Graph g(2);
+  EXPECT_THROW(run_nga(g, {}, 1, nullptr, nullptr), InvalidArgument);
+}
+
+TEST(NgaCostModel, TotalTimeComposition) {
+  NgaCost cost;
+  cost.rounds = 7;
+  cost.t_edge = 3;
+  cost.t_node = 5;
+  EXPECT_EQ(cost.total_time(), 7 * (3 + 5));
+}
+
+TEST(MatvecPower, MatchesDenseReference) {
+  Rng rng(21);
+  const Graph g = make_random_graph(8, 30, {1, 3}, rng);
+  std::vector<std::uint64_t> x{1, 2, 0, 1, 3, 0, 1, 2};
+
+  // Dense reference: y_j = Σ_i A_ij x_i, iterated r times.
+  auto reference = [&](std::vector<std::uint64_t> v, int r) {
+    for (int round = 0; round < r; ++round) {
+      std::vector<std::uint64_t> next(8, 0);
+      for (const auto& e : g.edges()) {
+        next[e.to] += static_cast<std::uint64_t>(e.length) * v[e.from];
+      }
+      v = next;
+    }
+    return v;
+  };
+  for (const int r : {1, 2, 3}) {
+    EXPECT_EQ(matvec_power(g, x, static_cast<std::uint64_t>(r)),
+              reference(x, r))
+        << "r=" << r;
+  }
+}
+
+TEST(MinplusPower, RoundsMatchBellmanFordExactHopTable) {
+  Rng rng(22);
+  const Graph g = make_random_graph(15, 50, {1, 6}, rng);
+  const auto mp = minplus_rounds(g, 0, 6);
+  ASSERT_EQ(mp.size(), 7u);
+
+  // dist_k(v) = min over rounds r <= k of the exact-r-edge walk length.
+  for (std::uint32_t k = 1; k <= 6; ++k) {
+    const auto bf = bellman_ford_khop(g, 0, k);
+    for (VertexId v = 0; v < 15; ++v) {
+      Weight best = kInfiniteDistance;
+      for (std::uint32_t r = 0; r <= k; ++r) {
+        best = std::min(best, mp[r][v]);
+      }
+      EXPECT_EQ(best, bf.dist[v]) << "k=" << k << " v=" << v;
+    }
+  }
+}
+
+TEST(MinplusPower, ExactHopSemantics) {
+  // Path 0 -> 1 -> 2: round 1 reaches only vertex 1, round 2 only vertex 2.
+  Rng rng(23);
+  const Graph g = make_path_graph(3, {4, 4}, rng);
+  EXPECT_EQ(minplus_power(g, 0, 1),
+            (std::vector<Weight>{kInfiniteDistance, 4, kInfiniteDistance}));
+  EXPECT_EQ(minplus_power(g, 0, 2),
+            (std::vector<Weight>{kInfiniteDistance, kInfiniteDistance, 8}));
+}
+
+}  // namespace
+}  // namespace sga::nga

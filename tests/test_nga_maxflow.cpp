@@ -1,0 +1,148 @@
+// Tests for the neuromorphic-assisted max flow (the Section-8 future-work
+// direction): agreement with the conventional Edmonds–Karp reference,
+// flow-conservation and capacity invariants, both path-capture backends,
+// and classic hand-checkable instances.
+#include <gtest/gtest.h>
+
+#include "core/random.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "nga/maxflow.h"
+
+namespace sga::nga {
+namespace {
+
+void check_flow_invariants(const Graph& g, const MaxFlowResult& r,
+                           VertexId source, VertexId sink) {
+  // Capacity constraints.
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_GE(r.flow[e], 0) << "edge " << e;
+    EXPECT_LE(r.flow[e], g.edge(e).length) << "edge " << e;
+  }
+  // Conservation: net outflow is +value at source, -value at sink, 0 else.
+  std::vector<std::int64_t> net(g.num_vertices(), 0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    net[g.edge(e).from] += r.flow[e];
+    net[g.edge(e).to] -= r.flow[e];
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (v == source) {
+      EXPECT_EQ(net[v], r.value);
+    } else if (v == sink) {
+      EXPECT_EQ(net[v], -r.value);
+    } else {
+      EXPECT_EQ(net[v], 0) << "vertex " << v;
+    }
+  }
+}
+
+TEST(SpikingMaxFlow, TextbookInstance) {
+  // The classic CLRS-style example with known max flow.
+  Graph g(6);
+  g.add_edge(0, 1, 16);
+  g.add_edge(0, 2, 13);
+  g.add_edge(1, 2, 10);
+  g.add_edge(2, 1, 4);
+  g.add_edge(1, 3, 12);
+  g.add_edge(3, 2, 9);
+  g.add_edge(2, 4, 14);
+  g.add_edge(4, 3, 7);
+  g.add_edge(3, 5, 20);
+  g.add_edge(4, 5, 4);
+  MaxFlowOptions opt;
+  opt.source = 0;
+  opt.sink = 5;
+  const auto r = spiking_max_flow(g, opt);
+  EXPECT_EQ(r.value, 23);
+  EXPECT_EQ(reference_max_flow(g, 0, 5), 23);
+  check_flow_invariants(g, r, 0, 5);
+  EXPECT_GT(r.total_spikes, 0u);
+}
+
+TEST(SpikingMaxFlow, DisconnectedSinkHasZeroFlow) {
+  Graph g(4);
+  g.add_edge(0, 1, 5);
+  g.add_edge(2, 3, 5);
+  MaxFlowOptions opt;
+  opt.source = 0;
+  opt.sink = 3;
+  const auto r = spiking_max_flow(g, opt);
+  EXPECT_EQ(r.value, 0);
+  EXPECT_EQ(r.phases, 0u);
+}
+
+TEST(SpikingMaxFlow, SingleEdgeAndParallelEdges) {
+  Graph g(2);
+  g.add_edge(0, 1, 7);
+  g.add_edge(0, 1, 5);
+  MaxFlowOptions opt;
+  opt.source = 0;
+  opt.sink = 1;
+  const auto r = spiking_max_flow(g, opt);
+  EXPECT_EQ(r.value, 12);
+  check_flow_invariants(g, r, 0, 1);
+}
+
+TEST(SpikingMaxFlow, BackEdgeCancellationIsNeeded) {
+  // Flow must reroute through the cancellation of an earlier push: the
+  // standard "cross" instance.
+  Graph g(4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(0, 2, 1);
+  g.add_edge(1, 2, 1);
+  g.add_edge(1, 3, 1);
+  g.add_edge(2, 3, 1);
+  MaxFlowOptions opt;
+  opt.source = 0;
+  opt.sink = 3;
+  const auto r = spiking_max_flow(g, opt);
+  EXPECT_EQ(r.value, 2);
+  check_flow_invariants(g, r, 0, 3);
+}
+
+TEST(SpikingMaxFlow, RejectsEqualEndpoints) {
+  Graph g(2);
+  g.add_edge(0, 1, 1);
+  MaxFlowOptions opt;
+  opt.source = 0;
+  opt.sink = 0;
+  EXPECT_THROW(spiking_max_flow(g, opt), InvalidArgument);
+}
+
+class MaxFlowFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaxFlowFuzz, MatchesReferenceOnRandomGraphs) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(0xF10 + seed);
+  const Graph g = make_random_graph(14, 50, {1, 9}, rng,
+                                    /*ensure_connected=*/seed % 2 == 0);
+  const VertexId sink = 13;
+  MaxFlowOptions opt;
+  opt.source = 0;
+  opt.sink = sink;
+  opt.gate_level_paths = (seed % 3 == 0);
+  const auto r = spiking_max_flow(g, opt);
+  EXPECT_EQ(r.value, reference_max_flow(g, 0, sink)) << "seed " << seed;
+  check_flow_invariants(g, r, 0, sink);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxFlowFuzz, ::testing::Range(0, 12));
+
+TEST(SpikingMaxFlow, GateLevelAndProbePathsAgreeOnValue) {
+  Rng rng(0xF20);
+  const Graph g = make_random_graph(12, 40, {1, 6}, rng);
+  MaxFlowOptions probe;
+  probe.source = 0;
+  probe.sink = 11;
+  MaxFlowOptions gate = probe;
+  gate.gate_level_paths = true;
+  const auto a = spiking_max_flow(g, probe);
+  const auto b = spiking_max_flow(g, gate);
+  EXPECT_EQ(a.value, b.value);
+  // The gate-level searches run the whole graph each phase (no early
+  // terminal), so they cost at least as many spikes.
+  EXPECT_GE(b.total_spikes, a.total_spikes);
+}
+
+}  // namespace
+}  // namespace sga::nga

@@ -1,0 +1,250 @@
+// Tests for gate-level path construction: the Section-3 predecessor capture
+// (flags + ID latch banks) and the Section-4.3 winner-based path extraction
+// of the polynomial k-hop algorithm, plus the composed-scales variant of
+// the Section-7 approximation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/random.h"
+#include "graph/bellman_ford.h"
+#include "graph/dijkstra.h"
+#include "graph/generators.h"
+#include "graph/properties.h"
+#include "nga/approx.h"
+#include "nga/matvec.h"
+#include "nga/khop_poly.h"
+#include "nga/path_readout.h"
+
+namespace sga::nga {
+namespace {
+
+class PathReadoutSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PathReadoutSweep, FlagsGiveValidShortestPathTrees) {
+  Rng rng(0x9A7 + static_cast<std::uint64_t>(GetParam()));
+  const Graph g = make_random_graph(20, 70, {1, 9}, rng);
+  const auto ref = dijkstra(g, 0);
+  SpikingSsspPathOptions opt;
+  opt.source = 0;
+  const auto got = spiking_sssp_with_paths(g, opt);
+
+  for (VertexId v = 0; v < 20; ++v) {
+    EXPECT_EQ(got.dist[v], ref.dist[v]) << "vertex " << v;
+    if (v == 0 || !got.reachable(v)) continue;
+    const VertexId p = got.parent[v];
+    ASSERT_NE(p, kNoVertex);
+    // The captured predecessor lies on a shortest path.
+    Weight best = kInfiniteDistance;
+    for (const EdgeId eid : g.out_edges(p)) {
+      if (g.edge(eid).to == v) best = std::min(best, g.edge(eid).length);
+    }
+    EXPECT_EQ(got.dist[p] + best, got.dist[v]) << "vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PathReadoutSweep, ::testing::Range(0, 8));
+
+TEST(PathReadout, LatchBanksHoldPredecessorIds) {
+  // Unique-weight path graph: no ties, so the broadcast-ID banks must hold
+  // exactly the flag-decoded parent.
+  Rng rng(0x9B0);
+  const Graph g = make_path_graph(9, {3, 3}, rng);
+  SpikingSsspPathOptions opt;
+  opt.source = 0;
+  const auto got = spiking_sssp_with_paths(g, opt);
+  for (VertexId v = 1; v < 9; ++v) {
+    EXPECT_EQ(got.parent[v], v - 1);
+    EXPECT_TRUE(got.latched_valid[v]);
+    EXPECT_EQ(got.latched_id[v], v - 1u) << "vertex " << v;
+  }
+  EXPECT_FALSE(got.latched_valid[0] && got.parent[0] != kNoVertex);
+}
+
+TEST(PathReadout, WorksWithoutIdLatches) {
+  Rng rng(0x9B1);
+  const Graph g = make_random_graph(15, 50, {1, 6}, rng);
+  SpikingSsspPathOptions with, without;
+  with.source = without.source = 0;
+  without.build_id_latches = false;
+  const auto a = spiking_sssp_with_paths(g, with);
+  const auto b = spiking_sssp_with_paths(g, without);
+  EXPECT_EQ(a.dist, b.dist);
+  EXPECT_EQ(a.parent, b.parent);
+  EXPECT_GT(a.neurons, b.neurons);  // the n·⌈log n⌉ latch cost
+}
+
+TEST(PathReadout, UnreachableVerticesHaveNoParent) {
+  Graph g(4);
+  g.add_edge(0, 1, 2);
+  g.add_edge(2, 3, 2);
+  SpikingSsspPathOptions opt;
+  opt.source = 0;
+  const auto got = spiking_sssp_with_paths(g, opt);
+  EXPECT_EQ(got.parent[1], 0u);
+  EXPECT_EQ(got.parent[2], kNoVertex);
+  EXPECT_EQ(got.parent[3], kNoVertex);
+  EXPECT_FALSE(got.latched_valid[3]);
+}
+
+TEST(PathReadout, TiesCaptureSomeValidPredecessor) {
+  // Two equal-length routes into vertex 3: either predecessor is valid.
+  Graph g(4);
+  g.add_edge(0, 1, 2);
+  g.add_edge(0, 2, 2);
+  g.add_edge(1, 3, 2);
+  g.add_edge(2, 3, 2);
+  SpikingSsspPathOptions opt;
+  opt.source = 0;
+  const auto got = spiking_sssp_with_paths(g, opt);
+  EXPECT_EQ(got.dist[3], 4);
+  EXPECT_TRUE(got.parent[3] == 1 || got.parent[3] == 2);
+}
+
+class KhopPathSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(KhopPathSweep, ExtractedPathsAreValidKHopWitnesses) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(0x9C0 + seed);
+  const Graph g = make_random_graph(14, 50, {1, 7}, rng);
+  const std::uint32_t k = 2 + static_cast<std::uint32_t>(seed % 4);
+  KHopPolyOptions opt;
+  opt.source = 0;
+  opt.k = k;
+  const auto got = khop_sssp_poly(g, opt);
+  const auto ref = bellman_ford_khop(g, 0, k);
+
+  for (VertexId v = 1; v < 14; ++v) {
+    if (!got.reachable(v)) continue;
+    const auto path = extract_khop_path(got, 0, v);
+    // Valid path, within the hop budget, of exactly the k-hop distance.
+    EXPECT_LE(path.size() - 1, static_cast<std::size_t>(k)) << "vertex " << v;
+    EXPECT_TRUE(is_shortest_path_witness(g, path, 0, v, ref.dist[v]))
+        << "vertex " << v << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KhopPathSweep, ::testing::Range(0, 8));
+
+TEST(KhopPath, HopConstraintShapesThePath) {
+  // Cheap long route (3 hops) vs expensive direct edge: with k = 1 the path
+  // must be the direct edge; with k = 3 the cheap route.
+  Graph g(4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  g.add_edge(2, 3, 1);
+  g.add_edge(0, 3, 10);
+  {
+    KHopPolyOptions opt;
+    opt.source = 0;
+    opt.k = 1;
+    const auto r = khop_sssp_poly(g, opt);
+    EXPECT_EQ(extract_khop_path(r, 0, 3), (std::vector<VertexId>{0, 3}));
+  }
+  {
+    KHopPolyOptions opt;
+    opt.source = 0;
+    opt.k = 3;
+    const auto r = khop_sssp_poly(g, opt);
+    EXPECT_EQ(extract_khop_path(r, 0, 3),
+              (std::vector<VertexId>{0, 1, 2, 3}));
+  }
+}
+
+TEST(KhopPath, ExtractRejectsUnreachable) {
+  Graph g(3);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  KHopPolyOptions opt;
+  opt.source = 0;
+  opt.k = 1;
+  const auto r = khop_sssp_poly(g, opt);
+  EXPECT_THROW(extract_khop_path(r, 0, 2), InvalidArgument);
+}
+
+TEST(KhopMemory, InNetworkBanksMatchProbeDecodedParents) {
+  // Section 4.3's O(k)-factor storage end to end: the clock-strobed latch
+  // banks must hold the same parents the probe decodes — wherever the
+  // round's winner was unique (tied winners OR their slot bits in-network).
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    Rng rng(0x43A + seed);
+    const Graph g = make_random_graph(10, 30, {1, 7}, rng);
+    KHopPolyOptions opt;
+    opt.source = 0;
+    opt.k = 4;
+    opt.in_network_parent_memory = true;
+    const auto got = khop_sssp_poly(g, opt);
+    ASSERT_EQ(got.memory_parent.size(), got.parent_per_round.size());
+
+    // Identify ties from the reference per-round tables.
+    const auto mp = minplus_rounds(g, 0, opt.k);
+    for (std::size_t r = 1; r < got.parent_per_round.size(); ++r) {
+      for (VertexId v = 0; v < 10; ++v) {
+        if (got.parent_per_round[r][v] == kNoVertex) {
+          EXPECT_EQ(got.memory_parent[r][v], kNoVertex)
+              << "seed " << seed << " r " << r << " v " << v;
+          continue;
+        }
+        int winners = 0;
+        for (const EdgeId eid : g.in_edges(v)) {
+          const Edge& e = g.edge(eid);
+          if (mp[r - 1][e.from] < kInfiniteDistance &&
+              mp[r - 1][e.from] + e.length == mp[r][v]) {
+            ++winners;
+          }
+        }
+        if (winners == 1) {
+          EXPECT_EQ(got.memory_parent[r][v], got.parent_per_round[r][v])
+              << "seed " << seed << " r " << r << " v " << v;
+        }
+      }
+    }
+  }
+}
+
+TEST(KhopMemory, MemoryCostsTheOKFactor) {
+  Rng rng(0x43F);
+  const Graph g = make_random_graph(12, 48, {1, 5}, rng);
+  auto neurons = [&](std::uint32_t k, bool mem) {
+    KHopPolyOptions opt;
+    opt.source = 0;
+    opt.k = k;
+    opt.in_network_parent_memory = mem;
+    return khop_sssp_poly(g, opt).neurons;
+  };
+  // The memory's k-dependent part (banks) grows linearly with k. (The base
+  // network also grows slightly with k — its message width is
+  // bits_for((k+1)U+1) — so compare the memory deltas, not the bases.)
+  const auto base4 = neurons(4, false), base8 = neurons(8, false);
+  const auto mem4 = neurons(4, true) - base4;
+  const auto mem8 = neurons(8, true) - base8;
+  EXPECT_GT(mem8, mem4);
+  EXPECT_NEAR(static_cast<double>(mem8) / static_cast<double>(mem4), 2.0, 0.5);
+}
+
+TEST(ApproxComposed, MatchesSequentialScales) {
+  Rng rng(0x9D0);
+  const Graph g = make_random_graph(24, 90, {1, 15}, rng);
+  ApproxKHopOptions seq;
+  seq.source = 0;
+  seq.k = 5;
+  ApproxKHopOptions par = seq;
+  par.compose_scales = true;
+  const auto a = approx_khop_sssp(g, seq);
+  const auto b = approx_khop_sssp(g, par);
+  ASSERT_EQ(a.dist.size(), b.dist.size());
+  for (VertexId v = 0; v < 24; ++v) {
+    if (a.reachable(v)) {
+      EXPECT_NEAR(a.dist[v], b.dist[v], 1e-9) << "vertex " << v;
+    } else {
+      EXPECT_FALSE(b.reachable(v));
+    }
+  }
+  EXPECT_EQ(a.neurons_total, b.neurons_total);
+  // Composed: one clock for all scales.
+  EXPECT_EQ(b.total_time, b.max_scale_time);
+  EXPECT_LE(b.total_time, a.total_time);
+}
+
+}  // namespace
+}  // namespace sga::nga

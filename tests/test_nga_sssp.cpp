@@ -1,0 +1,224 @@
+// Tests for the pseudopolynomial spiking SSSP algorithm (Section 3):
+// distances and predecessors match Dijkstra on every generator family,
+// execution time equals L, fire-once behaviour, termination modes, and the
+// Theorem 4.1 cost accounting.
+#include <gtest/gtest.h>
+
+#include "core/random.h"
+#include "graph/dijkstra.h"
+#include "graph/generators.h"
+#include "graph/properties.h"
+#include "nga/sssp_event.h"
+#include "snn/simulator.h"
+
+namespace sga::nga {
+namespace {
+
+void expect_matches_dijkstra(const Graph& g, VertexId source) {
+  const auto ref = dijkstra(g, source);
+  SpikingSsspOptions opt;
+  opt.source = source;
+  const auto got = spiking_sssp(g, opt);
+  ASSERT_EQ(got.dist.size(), ref.dist.size());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(got.dist[v], ref.dist[v]) << "vertex " << v;
+  }
+  // Parents: not necessarily identical to Dijkstra's (ties), but must form
+  // shortest paths: dist[parent] + ℓ(parent→v) == dist[v].
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (v == source || !got.reachable(v)) continue;
+    const VertexId p = got.parent[v];
+    ASSERT_NE(p, kNoVertex) << "vertex " << v;
+    Weight best = kInfiniteDistance;
+    for (const EdgeId eid : g.out_edges(p)) {
+      if (g.edge(eid).to == v) best = std::min(best, g.edge(eid).length);
+    }
+    EXPECT_EQ(got.dist[p] + best, got.dist[v]) << "vertex " << v;
+  }
+}
+
+struct GenCase {
+  const char* name;
+  Graph graph;
+};
+
+class SpikingSsspFamilies : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpikingSsspFamilies, MatchesDijkstra) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  switch (GetParam() % 5) {
+    case 0:
+      expect_matches_dijkstra(make_random_graph(40, 160, {1, 12}, rng), 0);
+      break;
+    case 1:
+      expect_matches_dijkstra(make_grid_graph(6, 7, {1, 9}, rng), 0);
+      break;
+    case 2:
+      expect_matches_dijkstra(make_path_graph(30, {1, 20}, rng), 0);
+      break;
+    case 3:
+      expect_matches_dijkstra(make_complete_graph(12, {1, 15}, rng), 0);
+      break;
+    case 4:
+      expect_matches_dijkstra(make_preferential_attachment(30, 2, {1, 8}, rng),
+                              0);
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpikingSsspFamilies, ::testing::Range(0, 15));
+
+TEST(SpikingSssp, ExecutionTimeEqualsEccentricity) {
+  // Theorem 4.1's L: all-destinations mode runs for exactly max_v dist(v).
+  Rng rng(101);
+  const Graph g = make_random_graph(30, 120, {1, 10}, rng);
+  const auto ref = dijkstra(g, 0);
+  Weight ecc = 0;
+  for (VertexId v = 0; v < 30; ++v) {
+    if (ref.reachable(v)) ecc = std::max(ecc, ref.dist[v]);
+  }
+  SpikingSsspOptions opt;
+  opt.source = 0;
+  const auto got = spiking_sssp(g, opt);
+  EXPECT_EQ(got.execution_time, ecc);
+}
+
+TEST(SpikingSssp, TargetModeStopsAtTargetDistance) {
+  Rng rng(102);
+  const Graph g = make_random_graph(30, 120, {1, 10}, rng);
+  const auto ref = dijkstra(g, 0);
+  SpikingSsspOptions opt;
+  opt.source = 0;
+  opt.target = 17;
+  const auto got = spiking_sssp(g, opt);
+  EXPECT_TRUE(got.sim.hit_terminal);
+  EXPECT_EQ(got.execution_time, ref.dist[17]);  // Definition 3's T
+  EXPECT_EQ(got.dist[17], ref.dist[17]);
+}
+
+TEST(SpikingSssp, EachNeuronFiresAtMostOnce) {
+  // The fire-once construction: n spikes total for a connected graph (one
+  // per vertex), despite arbitrarily many arriving spikes.
+  Rng rng(103);
+  const Graph g = make_complete_graph(15, {1, 5}, rng);
+  SpikingSsspOptions opt;
+  opt.source = 0;
+  const auto got = spiking_sssp(g, opt);
+  EXPECT_EQ(got.sim.spikes, 15u);
+}
+
+TEST(SpikingSssp, UnreachableVerticesStaySilent) {
+  Graph g(4);
+  g.add_edge(0, 1, 3);
+  g.add_edge(2, 3, 1);  // island
+  SpikingSsspOptions opt;
+  opt.source = 0;
+  const auto got = spiking_sssp(g, opt);
+  EXPECT_EQ(got.dist[1], 3);
+  EXPECT_FALSE(got.reachable(2));
+  EXPECT_FALSE(got.reachable(3));
+}
+
+TEST(SpikingSssp, ParallelEdgesUseShortest) {
+  Graph g(2);
+  g.add_edge(0, 1, 9);
+  g.add_edge(0, 1, 4);
+  SpikingSsspOptions opt;
+  opt.source = 0;
+  const auto got = spiking_sssp(g, opt);
+  EXPECT_EQ(got.dist[1], 4);
+}
+
+TEST(SpikingSssp, ExtractedPathsAreValidWitnesses) {
+  Rng rng(104);
+  const Graph g = make_random_graph(25, 100, {1, 7}, rng);
+  SpikingSsspOptions opt;
+  opt.source = 0;
+  const auto got = spiking_sssp(g, opt);
+  for (VertexId v = 1; v < 25; ++v) {
+    if (!got.reachable(v)) continue;
+    std::vector<VertexId> path{v};
+    while (path.back() != 0) {
+      path.push_back(got.parent[path.back()]);
+      ASSERT_LE(path.size(), 26u) << "parent cycle at " << v;
+    }
+    std::reverse(path.begin(), path.end());
+    EXPECT_TRUE(is_shortest_path_witness(g, path, 0, v, got.dist[v]))
+        << "vertex " << v;
+  }
+}
+
+TEST(SpikingSssp, NetworkSizeIsLinear) {
+  Rng rng(105);
+  const Graph g = make_random_graph(50, 200, {1, 5}, rng);
+  SpikingSsspOptions opt;
+  opt.source = 0;
+  const auto got = spiking_sssp(g, opt);
+  EXPECT_EQ(got.neurons, 50u);            // one relay per vertex
+  EXPECT_EQ(got.synapses, 200u + 50u);    // edges + fire-once self-loops
+}
+
+TEST(SpikingSssp, CyclesDoNotEchoSpikes) {
+  Rng rng(106);
+  const Graph g = make_cycle_graph(10, {2, 6}, rng);
+  SpikingSsspOptions opt;
+  opt.source = 0;
+  const auto got = spiking_sssp(g, opt);
+  EXPECT_EQ(got.sim.spikes, 10u);  // the ring does not keep circulating
+  const auto ref = dijkstra(g, 0);
+  EXPECT_EQ(got.dist, ref.dist);
+}
+
+TEST(SpikingSssp, MultiDestinationStopsWhenAllTargetsReached) {
+  // Table 1's caption: the algorithms generalize to multiple destinations —
+  // terminate when every listed target has received its spike.
+  Rng rng(108);
+  const Graph g = make_random_graph(30, 120, {1, 10}, rng);
+  const auto ref = dijkstra(g, 0);
+  SpikingSsspOptions opt;
+  opt.source = 0;
+  opt.targets = {5, 11, 23};
+  const auto got = spiking_sssp(g, opt);
+  EXPECT_TRUE(got.sim.hit_terminal);
+  const Weight expected = std::max({ref.dist[5], ref.dist[11], ref.dist[23]});
+  EXPECT_EQ(got.execution_time, expected);
+  for (const VertexId v : {5u, 11u, 23u}) {
+    EXPECT_EQ(got.dist[v], ref.dist[v]);
+  }
+}
+
+TEST(SpikingSssp, TargetAndTargetsAreMutuallyExclusive) {
+  Graph g(3);
+  g.add_edge(0, 1, 1);
+  SpikingSsspOptions opt;
+  opt.source = 0;
+  opt.target = 1;
+  opt.targets = {2};
+  EXPECT_THROW(spiking_sssp(g, opt), InvalidArgument);
+}
+
+TEST(SpikingSssp, UnreachableTargetInSetFallsBackToQuiescence) {
+  Graph g(3);
+  g.add_edge(0, 1, 4);  // vertex 2 is unreachable
+  SpikingSsspOptions opt;
+  opt.source = 0;
+  opt.targets = {1, 2};
+  const auto got = spiking_sssp(g, opt);
+  EXPECT_FALSE(got.sim.hit_terminal);  // never satisfied
+  EXPECT_EQ(got.dist[1], 4);
+  EXPECT_FALSE(got.reachable(2));
+}
+
+TEST(SpikingSssp, MaxTimeTruncatesSearch) {
+  Rng rng(107);
+  const Graph g = make_path_graph(10, {5, 5}, rng);
+  SpikingSsspOptions opt;
+  opt.source = 0;
+  opt.max_time = 12;  // distance to vertex v is 5v
+  const auto got = spiking_sssp(g, opt);
+  EXPECT_EQ(got.dist[2], 10);
+  EXPECT_FALSE(got.reachable(3));  // 15 > 12
+}
+
+}  // namespace
+}  // namespace sga::nga

@@ -1,0 +1,139 @@
+// Scale and robustness: the repro premise is that event-driven SNN
+// simulation of these algorithms is laptop-scale — prove it with larger
+// instances inside the normal test budget — and that the simulator and
+// algorithms stay exact under adversarial parameters (huge delays, big
+// weights, deep recurrence, degenerate horizons).
+#include <gtest/gtest.h>
+
+#include "core/random.h"
+#include "core/timer.h"
+#include "graph/dijkstra.h"
+#include "graph/generators.h"
+#include "nga/sssp_event.h"
+#include "snn/network.h"
+#include "snn/probe.h"
+#include "snn/simulator.h"
+
+namespace sga {
+namespace {
+
+TEST(Scale, SpikingSsspOnFiftyThousandVertices) {
+  Rng rng(0x5CA1E);
+  const Graph g = make_random_graph(50000, 400000, {1, 100}, rng);
+  WallTimer timer;
+  nga::SpikingSsspOptions opt;
+  opt.source = 0;
+  opt.record_parents = false;
+  const auto run = nga::spiking_sssp(g, opt);
+  const double secs = timer.seconds();
+  EXPECT_EQ(run.sim.spikes, 50000u);  // connected: every relay fires once
+  // Spot-check against Dijkstra on a sample of vertices.
+  const auto ref = dijkstra(g, 0);
+  for (VertexId v = 0; v < 50000; v += 4999) {
+    EXPECT_EQ(run.dist[v], ref.dist[v]) << "vertex " << v;
+  }
+  // Laptop-scale: well under the CI budget even on one core.
+  EXPECT_LT(secs, 20.0);
+}
+
+TEST(Scale, DeepRecurrentChainOfSpikes) {
+  // A ring oscillator pushed for 10^5 steps: event count stays linear and
+  // timing exact.
+  snn::Network net;
+  const NeuronId a = net.add_threshold_neuron(1);
+  const NeuronId b = net.add_threshold_neuron(1);
+  net.add_synapse(a, b, 1, 3);
+  net.add_synapse(b, a, 1, 4);
+  snn::Simulator sim(net);
+  sim.inject_spike(a, 0);
+  snn::SimConfig cfg;
+  cfg.max_time = 100000;
+  const auto st = sim.run(cfg);
+  // Period 7: a fires at 0, 7, 14, ...; b at 3, 10, ...
+  EXPECT_EQ(sim.spike_count(a), 100000u / 7 + 1);
+  EXPECT_EQ(st.spikes, sim.spike_count(a) + sim.spike_count(b));
+}
+
+TEST(Robustness, HugeDelaysDoNotOverflow) {
+  snn::Network net;
+  const NeuronId a = net.add_threshold_neuron(1);
+  const NeuronId b = net.add_threshold_neuron(1);
+  const Delay huge = 1LL << 40;
+  net.add_synapse(a, b, 1, huge);
+  snn::Simulator sim(net);
+  sim.inject_spike(a, 0);
+  const auto st = sim.run();
+  EXPECT_EQ(sim.first_spike(b), huge);
+  EXPECT_EQ(st.event_times, 2u);
+}
+
+TEST(Robustness, LargeWeightsStayExact) {
+  // Integer-valued doubles are exact below 2^53: a 2^50 weight against a
+  // 2^50 threshold must fire, 2^50 − 1 must not.
+  snn::Network net;
+  const NeuronId src = net.add_threshold_neuron(1);
+  const Voltage big = static_cast<Voltage>(1ULL << 50);
+  const NeuronId exact = net.add_neuron(snn::NeuronParams{0, big, 0.0});
+  const NeuronId below = net.add_neuron(snn::NeuronParams{0, big, 0.0});
+  net.add_synapse(src, exact, static_cast<SynWeight>(big), 1);
+  net.add_synapse(src, below, static_cast<SynWeight>(big) - 1, 1);
+  snn::Simulator sim(net);
+  sim.inject_spike(src, 0);
+  sim.run();
+  EXPECT_EQ(sim.first_spike(exact), 1);
+  EXPECT_EQ(sim.first_spike(below), kNever);
+}
+
+TEST(Robustness, ZeroHorizonProcessesOnlyTimeZero) {
+  snn::Network net;
+  const NeuronId a = net.add_threshold_neuron(1);
+  const NeuronId b = net.add_threshold_neuron(1);
+  net.add_synapse(a, b, 1, 1);
+  snn::Simulator sim(net);
+  sim.inject_spike(a, 0);
+  snn::SimConfig cfg;
+  cfg.max_time = 0;
+  const auto st = sim.run(cfg);
+  EXPECT_EQ(sim.first_spike(a), 0);
+  EXPECT_EQ(sim.first_spike(b), kNever);
+  EXPECT_EQ(st.spikes, 1u);
+}
+
+TEST(Robustness, MassiveFanInSingleStep) {
+  // 10^4 simultaneous arrivals at one neuron: one aggregation, one spike.
+  snn::Network net;
+  const NeuronId sink = net.add_neuron(
+      snn::NeuronParams{0, static_cast<Voltage>(10000), 0.0});
+  std::vector<NeuronId> sources;
+  for (int i = 0; i < 10000; ++i) {
+    const NeuronId s = net.add_threshold_neuron(1);
+    net.add_synapse(s, sink, 1, 1);
+    sources.push_back(s);
+  }
+  snn::Simulator sim(net);
+  for (const NeuronId s : sources) sim.inject_spike(s, 0);
+  const auto st = sim.run();
+  EXPECT_EQ(sim.first_spike(sink), 1);
+  EXPECT_EQ(st.deliveries, 10000u);
+  EXPECT_EQ(st.event_times, 2u);
+}
+
+TEST(Robustness, InhibitionStormKeepsPotentialFinite) {
+  // Repeated strong inhibition then a late excitation: the potential is
+  // whatever the dynamics say, not clamped or wrapped.
+  snn::Network net;
+  const NeuronId inhib = net.add_threshold_neuron(1);
+  const NeuronId target = net.add_neuron(snn::NeuronParams{0, 1, 0.0});
+  net.add_synapse(inhib, inhib, 1, 1);        // keeps firing
+  net.add_synapse(inhib, target, -1000, 1);   // heavy inhibition each step
+  snn::Simulator sim(net);
+  sim.inject_spike(inhib, 0);
+  snn::SimConfig cfg;
+  cfg.max_time = 100;
+  sim.run(cfg);
+  EXPECT_DOUBLE_EQ(sim.potential(target), -1000.0 * 100.0);
+  EXPECT_EQ(sim.first_spike(target), kNever);
+}
+
+}  // namespace
+}  // namespace sga

@@ -1,0 +1,297 @@
+// Unit tests for the LIF network and event-driven simulator: the dynamics of
+// Definitions 1–3 (decay, threshold, reset, delays, inhibition, termination)
+// and the simulator's observability surface.
+#include <gtest/gtest.h>
+
+#include "snn/network.h"
+#include "snn/probe.h"
+#include "snn/simulator.h"
+
+namespace sga::snn {
+namespace {
+
+TEST(Network, AddNeuronAndSynapse) {
+  Network net;
+  const NeuronId a = net.add_threshold_neuron(1);
+  const NeuronId b = net.add_threshold_neuron(2);
+  net.add_synapse(a, b, 1.5, 3);
+  EXPECT_EQ(net.num_neurons(), 2u);
+  EXPECT_EQ(net.num_synapses(), 1u);
+  EXPECT_EQ(net.params(b).v_threshold, 2);
+  ASSERT_EQ(net.out_synapses(a).size(), 1u);
+  EXPECT_EQ(net.out_synapses(a)[0].target, b);
+  EXPECT_EQ(net.out_synapses(a)[0].delay, 3);
+}
+
+TEST(Network, RejectsZeroDelay) {
+  Network net;
+  const NeuronId a = net.add_threshold_neuron(1);
+  EXPECT_THROW(net.add_synapse(a, a, 1, 0), InvalidArgument);
+}
+
+TEST(Network, RejectsBadDecay) {
+  Network net;
+  EXPECT_THROW(net.add_neuron(NeuronParams{0, 1, 1.5}), InvalidArgument);
+  EXPECT_THROW(net.add_neuron(NeuronParams{0, 1, -0.1}), InvalidArgument);
+}
+
+TEST(Network, PositiveInWeightSizesFireOnceGuards) {
+  // The helper behind fire-once constructions: the total excitatory drive a
+  // neuron can receive if every presynaptic neuron fires once.
+  Network net;
+  const NeuronId a = net.add_threshold_neuron(1);
+  const NeuronId b = net.add_threshold_neuron(1);
+  const NeuronId sink = net.add_threshold_neuron(1);
+  net.add_synapse(a, sink, 2.5, 1);
+  net.add_synapse(b, sink, 1, 3);
+  net.add_synapse(a, sink, -4, 6);  // inhibition does not count
+  net.add_synapse(a, b, 7, 1);      // different target does not count
+  EXPECT_DOUBLE_EQ(net.positive_in_weight(sink), 3.5);
+  EXPECT_DOUBLE_EQ(net.positive_in_weight(a), 0.0);
+
+  // A self-inhibition stronger than that bound makes the neuron fire-once.
+  net.add_synapse(sink, sink, -4, 1);
+  Simulator sim(net);
+  sim.inject_spike(a, 0);
+  sim.inject_spike(b, 0);
+  SimConfig cfg;
+  cfg.max_time = 10;
+  sim.run(cfg);
+  EXPECT_EQ(sim.spike_count(sink), 1u);  // fires at t=1, b's spike at t=3
+                                         // cannot overcome the -4 guard
+}
+
+TEST(Network, Groups) {
+  Network net;
+  const NeuronId a = net.add_threshold_neuron(1);
+  const NeuronId b = net.add_threshold_neuron(1);
+  net.define_group("inputs", {a, b});
+  EXPECT_TRUE(net.has_group("inputs"));
+  EXPECT_EQ(net.group("inputs").size(), 2u);
+  EXPECT_THROW(net.group("nope"), InvalidArgument);
+  EXPECT_THROW(net.define_group("bad", {99}), InvalidArgument);
+}
+
+TEST(Simulator, InjectedSpikeFiresAndPropagates) {
+  Network net;
+  const NeuronId a = net.add_threshold_neuron(1);
+  const NeuronId b = net.add_threshold_neuron(1);
+  net.add_synapse(a, b, 1, 5);
+  Simulator sim(net);
+  sim.inject_spike(a, 0);
+  const SimStats st = sim.run();
+  EXPECT_EQ(sim.first_spike(a), 0);
+  EXPECT_EQ(sim.first_spike(b), 5);  // arrival at s + d fires at s + d
+  EXPECT_EQ(st.spikes, 2u);
+}
+
+TEST(Simulator, SubthresholdInputAccumulatesWithoutDecay) {
+  Network net;
+  const NeuronId src1 = net.add_threshold_neuron(1);
+  const NeuronId src2 = net.add_threshold_neuron(1);
+  const NeuronId sink = net.add_threshold_neuron(2);  // needs 2 units
+  net.add_synapse(src1, sink, 1, 1);
+  net.add_synapse(src2, sink, 1, 4);
+  Simulator sim(net);
+  sim.inject_spike(src1, 0);
+  sim.inject_spike(src2, 0);
+  sim.run();
+  // τ = 0: the unit from src1 (arrives t=1) persists until src2's unit
+  // arrives at t=4 and pushes the potential to threshold.
+  EXPECT_EQ(sim.first_spike(sink), 4);
+}
+
+TEST(Simulator, FullDecayMakesGateMemoryless) {
+  Network net;
+  const NeuronId src1 = net.add_threshold_neuron(1);
+  const NeuronId src2 = net.add_threshold_neuron(1);
+  const NeuronId gate = net.add_neuron(NeuronParams{0, 2, 1.0});  // τ = 1
+  net.add_synapse(src1, gate, 1, 1);
+  net.add_synapse(src2, gate, 1, 4);
+  Simulator sim(net);
+  sim.inject_spike(src1, 0);
+  sim.inject_spike(src2, 0);
+  sim.run();
+  // With τ = 1 the early unit decays away before the late one arrives.
+  EXPECT_EQ(sim.first_spike(gate), kNever);
+}
+
+TEST(Simulator, FractionalDecayFollowsClosedForm) {
+  Network net;
+  const NeuronId src = net.add_threshold_neuron(1);
+  const NeuronId probe = net.add_neuron(NeuronParams{0, 100, 0.5});
+  const NeuronId late = net.add_threshold_neuron(1);
+  net.add_synapse(src, probe, 8, 1);
+  net.add_synapse(late, probe, 0.0, 4);  // zero-weight touch forces an update
+  Simulator sim(net);
+  sim.inject_spike(src, 0);
+  sim.inject_spike(late, 0);
+  sim.run();
+  // v = 8 at t=1; after 3 more steps of τ=0.5 decay: 8 * (1/2)^3 = 1.
+  EXPECT_DOUBLE_EQ(sim.potential(probe), 1.0);
+}
+
+TEST(Simulator, ThresholdTestIsGreaterOrEqual) {
+  Network net;
+  const NeuronId src = net.add_threshold_neuron(1);
+  const NeuronId sink = net.add_threshold_neuron(1);
+  net.add_synapse(src, sink, 1, 1);  // exactly threshold
+  Simulator sim(net);
+  sim.inject_spike(src, 0);
+  sim.run();
+  EXPECT_EQ(sim.first_spike(sink), 1);
+}
+
+TEST(Simulator, ResetVoltageAfterFire) {
+  Network net;
+  const NeuronId src = net.add_threshold_neuron(1);
+  const NeuronId sink = net.add_neuron(NeuronParams{-3, 1, 0.0});
+  net.add_synapse(src, sink, 5, 1);
+  Simulator sim(net);
+  sim.inject_spike(src, 0);
+  sim.run();
+  EXPECT_EQ(sim.first_spike(sink), 1);
+  EXPECT_DOUBLE_EQ(sim.potential(sink), -3.0);  // Eq. (3): reset to v_reset
+}
+
+TEST(Simulator, InhibitionCancelsSameStepExcitation) {
+  Network net;
+  const NeuronId exc = net.add_threshold_neuron(1);
+  const NeuronId inh = net.add_threshold_neuron(1);
+  const NeuronId sink = net.add_threshold_neuron(1);
+  net.add_synapse(exc, sink, 1, 2);
+  net.add_synapse(inh, sink, -1, 2);
+  Simulator sim(net);
+  sim.inject_spike(exc, 0);
+  sim.inject_spike(inh, 0);
+  sim.run();
+  EXPECT_EQ(sim.first_spike(sink), kNever);
+}
+
+TEST(Simulator, SelfLoopLatchFiresIndefinitelyUntilHorizon) {
+  Network net;
+  const NeuronId m = net.add_threshold_neuron(1);
+  net.add_synapse(m, m, 1, 1);
+  Simulator sim(net);
+  sim.inject_spike(m, 0);
+  SimConfig cfg;
+  cfg.max_time = 10;
+  const SimStats st = sim.run(cfg);
+  EXPECT_EQ(sim.spike_count(m), 11u);  // t = 0..10
+  EXPECT_EQ(st.spikes, 11u);
+}
+
+TEST(Simulator, TerminalNeuronStopsComputation) {
+  Network net;
+  const NeuronId a = net.add_threshold_neuron(1);
+  const NeuronId b = net.add_threshold_neuron(1);
+  const NeuronId c = net.add_threshold_neuron(1);
+  net.add_synapse(a, b, 1, 3);
+  net.add_synapse(b, c, 1, 10);
+  Simulator sim(net);
+  sim.inject_spike(a, 0);
+  SimConfig cfg;
+  cfg.terminal_neurons = {b};
+  const SimStats st = sim.run(cfg);
+  EXPECT_TRUE(st.hit_terminal);
+  EXPECT_EQ(st.execution_time, 3);  // Definition 3's T
+  EXPECT_EQ(sim.first_spike(c), kNever);
+}
+
+TEST(Simulator, EventDrivenSkipsIdleTime) {
+  Network net;
+  const NeuronId a = net.add_threshold_neuron(1);
+  const NeuronId b = net.add_threshold_neuron(1);
+  net.add_synapse(a, b, 1, 1000000);
+  Simulator sim(net);
+  sim.inject_spike(a, 0);
+  const SimStats st = sim.run();
+  EXPECT_EQ(sim.first_spike(b), 1000000);
+  EXPECT_EQ(st.event_times, 2u);  // only t = 0 and t = 10^6 touched
+}
+
+TEST(Simulator, RecordsFirstSpikeCause) {
+  Network net;
+  const NeuronId near = net.add_threshold_neuron(1);
+  const NeuronId far = net.add_threshold_neuron(1);
+  const NeuronId sink = net.add_threshold_neuron(1);
+  net.add_synapse(near, sink, 1, 2);
+  net.add_synapse(far, sink, 1, 7);
+  Simulator sim(net);
+  sim.inject_spike(near, 0);
+  sim.inject_spike(far, 0);
+  SimConfig cfg;
+  cfg.record_causes = true;
+  sim.run(cfg);
+  EXPECT_EQ(sim.first_spike(sink), 2);
+  EXPECT_EQ(sim.first_spike_cause(sink), near);
+}
+
+TEST(Simulator, SpikeLogIsOrderedAndComplete) {
+  Network net;
+  const NeuronId a = net.add_threshold_neuron(1);
+  const NeuronId b = net.add_threshold_neuron(1);
+  net.add_synapse(a, b, 1, 2);
+  Simulator sim(net);
+  sim.inject_spike(a, 0);
+  SimConfig cfg;
+  cfg.record_spike_log = true;
+  sim.run(cfg);
+  ASSERT_EQ(sim.spike_log().size(), 2u);
+  EXPECT_EQ(sim.spike_log()[0], (std::pair<Time, NeuronId>{0, a}));
+  EXPECT_EQ(sim.spike_log()[1], (std::pair<Time, NeuronId>{2, b}));
+}
+
+TEST(Simulator, RunIsOneShot) {
+  Network net;
+  net.add_threshold_neuron(1);
+  Simulator sim(net);
+  sim.run();
+  EXPECT_THROW(sim.run(), InvalidArgument);
+}
+
+TEST(Simulator, TimeLimitReported) {
+  Network net;
+  const NeuronId m = net.add_threshold_neuron(1);
+  net.add_synapse(m, m, 1, 1);
+  Simulator sim(net);
+  sim.inject_spike(m, 0);
+  SimConfig cfg;
+  cfg.max_time = 5;
+  const SimStats st = sim.run(cfg);
+  EXPECT_EQ(st.end_time, 5);
+  EXPECT_FALSE(st.hit_terminal);
+}
+
+TEST(Simulator, ForcedAndSynapticSpikeSameStepFiresOnce) {
+  Network net;
+  const NeuronId a = net.add_threshold_neuron(1);
+  const NeuronId b = net.add_threshold_neuron(1);
+  net.add_synapse(a, b, 1, 1);
+  Simulator sim(net);
+  sim.inject_spike(a, 0);
+  sim.inject_spike(b, 1);  // collides with a's delivery at t = 1
+  sim.run();
+  EXPECT_EQ(sim.spike_count(b), 1u);
+}
+
+TEST(Probe, InjectAndDecodeBinary) {
+  Network net;
+  std::vector<NeuronId> bus;
+  for (int i = 0; i < 6; ++i) bus.push_back(net.add_threshold_neuron(1));
+  Simulator sim(net);
+  inject_binary(sim, bus, 0b101101, 0);
+  sim.run();
+  EXPECT_EQ(decode_binary_at(sim, bus, 0), 0b101101u);
+  EXPECT_EQ(decode_binary_window(sim, bus, 0, 5), 0b101101u);
+}
+
+TEST(Probe, InjectBinaryRejectsOverflow) {
+  Network net;
+  std::vector<NeuronId> bus{net.add_threshold_neuron(1)};
+  Simulator sim(net);
+  EXPECT_THROW(inject_binary(sim, bus, 2, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sga::snn

@@ -1,0 +1,136 @@
+// Tests for SNN serialization (round trips, behavioural equivalence of the
+// reloaded network, malformed-input rejection) and the one-hot encoder
+// circuit.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "circuits/encoder.h"
+#include "circuits/max_circuits.h"
+#include "core/random.h"
+#include "graph/generators.h"
+#include "nga/sssp_event.h"
+#include "snn/io.h"
+#include "snn/probe.h"
+#include "snn/simulator.h"
+
+namespace sga::snn {
+namespace {
+
+TEST(SnnIo, RoundTripPreservesStructure) {
+  Network net;
+  const NeuronId a = net.add_neuron(NeuronParams{-1.5, 2, 0.25});
+  const NeuronId b = net.add_neuron(NeuronParams{0, 1, 1.0});
+  net.add_synapse(a, b, 0.75, 3);
+  net.add_synapse(b, a, -2, 1);
+  net.add_synapse(b, b, 1, 7);
+  net.define_group("inputs", {a});
+  net.define_group("outputs", {b, a});
+
+  std::stringstream ss;
+  write_network(ss, net);
+  const Network copy = read_network(ss);
+
+  ASSERT_EQ(copy.num_neurons(), 2u);
+  ASSERT_EQ(copy.num_synapses(), 3u);
+  EXPECT_DOUBLE_EQ(copy.params(a).v_reset, -1.5);
+  EXPECT_DOUBLE_EQ(copy.params(a).tau, 0.25);
+  EXPECT_EQ(copy.params(b).v_threshold, 1);
+  ASSERT_EQ(copy.out_synapses(b).size(), 2u);
+  EXPECT_EQ(copy.out_synapses(b)[1].delay, 7);
+  EXPECT_DOUBLE_EQ(copy.out_synapses(a)[0].weight, 0.75);
+  EXPECT_EQ(copy.group("outputs"), (std::vector<NeuronId>{b, a}));
+}
+
+TEST(SnnIo, ReloadedNetworkBehavesIdentically) {
+  // Serialize a compiled SSSP network, reload it, and get the same
+  // distances out of the reloaded copy.
+  Rng rng(0x10A);
+  const Graph g = make_random_graph(15, 50, {1, 8}, rng);
+  const Network original = nga::build_sssp_network(g);
+  std::stringstream ss;
+  write_network(ss, original);
+  const Network reloaded = read_network(ss);
+
+  auto run = [&](const Network& net) {
+    Simulator sim(net);
+    sim.inject_spike(0, 0);
+    SimConfig cfg;
+    cfg.record_spike_log = true;
+    sim.run(cfg);
+    return sim.spike_log();
+  };
+  EXPECT_EQ(run(original), run(reloaded));
+}
+
+TEST(SnnIo, RejectsMalformedInput) {
+  {
+    std::stringstream ss("nope 1\n");
+    EXPECT_THROW(read_network(ss), InvalidArgument);
+  }
+  {
+    std::stringstream ss("snn 2\n");
+    EXPECT_THROW(read_network(ss), InvalidArgument);
+  }
+  {
+    std::stringstream ss("snn 1\nneurons 1\nn 0 1 0\nsynapses 1\ns 0 5 1 1\n");
+    EXPECT_THROW(read_network(ss), InvalidArgument);  // endpoint out of range
+  }
+  {
+    std::stringstream ss("snn 1\nneurons 1\nn 0 1 0\nsynapses 1\n");
+    EXPECT_THROW(read_network(ss), InvalidArgument);  // truncated
+  }
+}
+
+TEST(Encoder, EncodesSingleHotLines) {
+  for (int d : {1, 2, 5, 8, 11}) {
+    for (int hot = 0; hot < d; ++hot) {
+      Network net;
+      circuits::CircuitBuilder cb(net);
+      const auto e = circuits::build_encoder(cb, d);
+      Simulator sim(net);
+      sim.inject_spike(e.inputs[static_cast<std::size_t>(hot)], 0);
+      SimConfig cfg;
+      cfg.max_time = e.depth;
+      sim.run(cfg);
+      EXPECT_EQ(decode_binary_at(sim, e.index, e.depth),
+                static_cast<std::uint64_t>(hot))
+          << "d=" << d << " hot=" << hot;
+      EXPECT_TRUE(sim.fired_at(e.any, e.depth));
+    }
+  }
+}
+
+TEST(Encoder, SilentInputsGiveSilentOutput) {
+  Network net;
+  circuits::CircuitBuilder cb(net);
+  const auto e = circuits::build_encoder(cb, 6);
+  Simulator sim(net);
+  sim.run();
+  EXPECT_EQ(sim.first_spike(e.any), kNever);
+}
+
+TEST(Encoder, EncodesBruteForceMaxWinnerIndex) {
+  // Compose: brute-force max (unique winner) -> encoder = argmax circuit.
+  Network net;
+  circuits::CircuitBuilder cb(net);
+  const auto mc = circuits::build_max_brute_force(cb, 5, 4);
+  const auto e = circuits::build_encoder(cb, 5);
+  for (int i = 0; i < 5; ++i) {
+    net.add_synapse(mc.winners[static_cast<std::size_t>(i)],
+                    e.inputs[static_cast<std::size_t>(i)], 1, 1);
+  }
+  Simulator sim(net);
+  sim.inject_spike(mc.enable, 0);
+  const std::vector<std::uint64_t> vals{3, 9, 2, 15, 8};
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    inject_binary(sim, mc.inputs[i], vals[i], 0);
+  }
+  SimConfig cfg;
+  cfg.max_time = mc.winner_level + 1 + e.depth;
+  sim.run(cfg);
+  EXPECT_EQ(decode_binary_at(sim, e.index, mc.winner_level + 1 + e.depth), 3u);
+}
+
+}  // namespace
+}  // namespace sga::snn

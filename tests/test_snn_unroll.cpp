@@ -1,0 +1,168 @@
+// Tests for the SNN → threshold-circuit unrolling (the Section-1 "SNNs may
+// be simulated with polynomial overhead in TC" remark) and the spike-trace
+// utilities.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "circuits/builder.h"
+#include "circuits/harness.h"
+#include "circuits/max_circuits.h"
+#include "core/random.h"
+#include "snn/probe.h"
+#include "snn/simulator.h"
+#include "snn/trace.h"
+#include "snn/unroll.h"
+
+namespace sga::snn {
+namespace {
+
+/// Reference: run the recurrent network and collect the sorted spike set.
+std::vector<std::pair<Time, NeuronId>> recurrent_spikes(
+    const Network& net, const std::vector<std::pair<NeuronId, Time>>& inj,
+    Time horizon) {
+  Simulator sim(net);
+  for (const auto& [id, t] : inj) sim.inject_spike(id, t);
+  SimConfig cfg;
+  cfg.max_time = horizon;
+  cfg.record_spike_log = true;
+  sim.run(cfg);
+  auto log = sim.spike_log();
+  std::sort(log.begin(), log.end());
+  return log;
+}
+
+TEST(Unroll, SimpleChainMatches) {
+  Network net;
+  const NeuronId a = net.add_neuron(NeuronParams{0, 1, 1.0});
+  const NeuronId b = net.add_neuron(NeuronParams{0, 1, 1.0});
+  const NeuronId c = net.add_neuron(NeuronParams{0, 2, 1.0});
+  net.add_synapse(a, b, 1, 2);
+  net.add_synapse(a, c, 1, 3);
+  net.add_synapse(b, c, 1, 1);
+  const auto uc = unroll_to_threshold_circuit(net, 6);
+  const std::vector<std::pair<NeuronId, Time>> inj{{a, 0}};
+  EXPECT_EQ(run_unrolled(uc, inj), recurrent_spikes(net, inj, 6));
+  // Polynomial overhead: n·(T+1) gates.
+  EXPECT_EQ(uc.circuit.num_neurons(), 3u * 7u);
+}
+
+TEST(Unroll, RecurrentCycleIsUnrolledCorrectly) {
+  // A self-excitation loop — recurrence is exactly what the unrolling must
+  // linearize into layers.
+  Network net;
+  const NeuronId a = net.add_neuron(NeuronParams{0, 1, 1.0});
+  const NeuronId b = net.add_neuron(NeuronParams{0, 1, 1.0});
+  net.add_synapse(a, b, 1, 1);
+  net.add_synapse(b, a, 1, 2);  // cycle: a fires every 3 steps
+  const auto uc = unroll_to_threshold_circuit(net, 12);
+  const std::vector<std::pair<NeuronId, Time>> inj{{a, 0}};
+  const auto got = run_unrolled(uc, inj);
+  EXPECT_EQ(got, recurrent_spikes(net, inj, 12));
+  // a fires at 0, 3, 6, 9, 12.
+  int a_fires = 0;
+  for (const auto& [t, id] : got) a_fires += (id == a);
+  EXPECT_EQ(a_fires, 5);
+}
+
+class UnrollFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(UnrollFuzz, RandomGateNetworksMatch) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(0x0721 + seed);
+  Network net;
+  const std::size_t n = 12;
+  for (std::size_t i = 0; i < n; ++i) {
+    net.add_neuron(NeuronParams{0, static_cast<Voltage>(rng.uniform_int(1, 2)),
+                                1.0});
+  }
+  for (int s = 0; s < 40; ++s) {
+    net.add_synapse(
+        static_cast<NeuronId>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1)),
+        static_cast<NeuronId>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1)),
+        static_cast<SynWeight>(rng.uniform_int(-1, 2)), rng.uniform_int(1, 4));
+  }
+  std::vector<std::pair<NeuronId, Time>> inj;
+  for (int i = 0; i < 4; ++i) {
+    inj.emplace_back(
+        static_cast<NeuronId>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1)),
+        rng.uniform_int(0, 3));
+  }
+  const Time horizon = 15;
+  const auto uc = unroll_to_threshold_circuit(net, horizon);
+  EXPECT_EQ(run_unrolled(uc, inj), recurrent_spikes(net, inj, horizon))
+      << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnrollFuzz, ::testing::Range(0, 10));
+
+TEST(Unroll, WiredOrMaxCircuitSurvivesUnrolling) {
+  // A full Section-5 circuit is itself a τ=1 network: unroll it and check
+  // the unrolled copy computes the same max.
+  Network net;
+  circuits::CircuitBuilder cb(net);
+  const auto mc = circuits::build_max_wired_or(cb, 3, 4);
+  const auto uc = unroll_to_threshold_circuit(net, mc.depth);
+
+  std::vector<std::pair<NeuronId, Time>> inj{{mc.enable, 0}};
+  const std::vector<std::uint64_t> vals{5, 12, 9};
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    for (int bit = 0; bit < 4; ++bit) {
+      if ((vals[i] >> bit) & 1ULL) {
+        inj.emplace_back(mc.inputs[i][static_cast<std::size_t>(bit)], 0);
+      }
+    }
+  }
+  const auto spikes = run_unrolled(uc, inj);
+  std::uint64_t decoded = 0;
+  for (const auto& [t, id] : spikes) {
+    if (t != mc.depth) continue;
+    for (int bit = 0; bit < 4; ++bit) {
+      if (id == mc.outputs[static_cast<std::size_t>(bit)]) {
+        decoded |= 1ULL << bit;
+      }
+    }
+  }
+  EXPECT_EQ(decoded, 12u);
+}
+
+TEST(Unroll, RejectsIntegratorNeurons) {
+  Network net;
+  net.add_neuron(NeuronParams{0, 1, 0.0});  // τ = 0: stateful
+  EXPECT_THROW(unroll_to_threshold_circuit(net, 5), InvalidArgument);
+}
+
+TEST(Trace, RasterShowsSpikes) {
+  Network net;
+  const NeuronId a = net.add_threshold_neuron(1);
+  const NeuronId b = net.add_threshold_neuron(1);
+  net.add_synapse(a, b, 1, 3);
+  Simulator sim(net);
+  sim.inject_spike(a, 1);
+  SimConfig cfg;
+  cfg.max_time = 6;
+  cfg.record_spike_log = true;
+  sim.run(cfg);
+  std::ostringstream os;
+  write_spike_raster(os, sim, {a, b}, 0, 6, {"src", "dst"});
+  const std::string raster = os.str();
+  EXPECT_NE(raster.find("src .|....."), std::string::npos);
+  EXPECT_NE(raster.find("dst ....|.."), std::string::npos);
+}
+
+TEST(Trace, CsvListsAllSpikes) {
+  Network net;
+  const NeuronId a = net.add_threshold_neuron(1);
+  Simulator sim(net);
+  sim.inject_spike(a, 2);
+  SimConfig cfg;
+  cfg.record_spike_log = true;
+  cfg.max_time = 5;
+  sim.run(cfg);
+  std::ostringstream os;
+  write_spike_csv(os, sim);
+  EXPECT_EQ(os.str(), "time,neuron\n2,0\n");
+}
+
+}  // namespace
+}  // namespace sga::snn
