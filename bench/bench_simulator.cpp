@@ -1,13 +1,11 @@
 // google-benchmark microbenchmarks of the substrate itself: event-driven
 // simulator throughput (deliveries/sec) across workload shapes, circuit
 // evaluation latency, the spiking-SSSP end-to-end rate, and the
-// event-queue ablation called out in DESIGN.md §4 (time-bucketed std::map
-// — what the simulator uses — vs a flat std::priority_queue of single
-// deliveries).
+// event-queue ablation called out in DESIGN.md §4 — the REAL simulator run
+// with QueueKind::kCalendar (ring-bucket calendar queue, the default hot
+// path) vs QueueKind::kMap (the legacy std::map bucket queue), plus the
+// batched multi-source SSSP driver vs 64 fresh single-source runs.
 #include <benchmark/benchmark.h>
-
-#include <map>
-#include <queue>
 
 #include "circuits/builder.h"
 #include "circuits/harness.h"
@@ -16,6 +14,7 @@
 #include "graph/dijkstra.h"
 #include "graph/generators.h"
 #include "nga/khop_poly.h"
+#include "nga/sssp_batch.h"
 #include "nga/sssp_event.h"
 #include "snn/simulator.h"
 
@@ -116,70 +115,100 @@ void BM_KhopPolyGateLevel(benchmark::State& state) {
 BENCHMARK(BM_KhopPolyGateLevel)->Arg(2)->Arg(8);
 
 // --- event-queue ablation (DESIGN.md §4) --------------------------------
-// The same synthetic delivery stream pushed through (a) the simulator's
-// structure — a std::map time bucket holding vectors — and (b) a flat
-// std::priority_queue of individual deliveries.
+// The REAL simulator on a dense-delay recurrent workload, switched between
+// the two QueueKind implementations. Arg = max synapse delay: larger spread
+// means more distinct live time buckets, which is exactly where the
+// std::map's per-event rebalancing loses to the calendar ring's O(1)
+// slotting. items/sec = synaptic deliveries processed per second, so the
+// reported per-item time is ns/event.
 
-struct FlatEvent {
-  Time t;
-  std::uint32_t target;
-  bool operator>(const FlatEvent& o) const { return t > o.t; }
-};
+snn::Network make_dense_delay_net(std::size_t n, std::size_t fan,
+                                  Delay max_delay) {
+  Rng rng(0xBEEF06);
+  snn::Network net;
+  for (std::size_t i = 0; i < n; ++i) net.add_threshold_neuron(1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t f = 0; f < fan; ++f) {
+      net.add_synapse(static_cast<NeuronId>(i),
+                      static_cast<NeuronId>(rng.uniform_int(
+                          0, static_cast<std::int64_t>(n) - 1)),
+                      1, rng.uniform_int(1, max_delay));
+    }
+  }
+  return net;
+}
 
-void BM_QueueBucketedMap(benchmark::State& state) {
-  const int events = 1 << 16;
-  Rng rng(0xBEEF05);
+void run_queue_ablation(benchmark::State& state, snn::QueueKind kind) {
+  const auto max_delay = static_cast<Delay>(state.range(0));
+  const snn::Network net = make_dense_delay_net(512, 8, max_delay);
+  std::uint64_t deliveries = 0;
+  snn::Simulator sim(net, kind);
   for (auto _ : state) {
-    std::map<Time, std::vector<std::uint32_t>> q;
-    Rng r = rng;
-    std::uint64_t processed = 0;
-    // Seed, then pop-and-reschedule like a running simulation.
-    for (int i = 0; i < 64; ++i) {
-      q[r.uniform_int(1, 64)].push_back(static_cast<std::uint32_t>(i));
-    }
-    while (processed < events && !q.empty()) {
-      auto it = q.begin();
-      const Time t = it->first;
-      auto bucket = std::move(it->second);
-      q.erase(it);
-      for (const auto tgt : bucket) {
-        ++processed;
-        if (processed + q.size() < events) {
-          q[t + r.uniform_int(1, 64)].push_back(tgt);
-        }
-      }
-    }
-    benchmark::DoNotOptimize(processed);
+    sim.reset();
+    for (NeuronId i = 0; i < 8; ++i) sim.inject_spike(i, 0);
+    snn::SimConfig cfg;
+    cfg.max_time = 200 + 4 * max_delay;  // keep volume up at large spreads
+    const auto st = sim.run(cfg);
+    deliveries += st.deliveries;
+    benchmark::DoNotOptimize(st.spikes);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(deliveries));
+}
+
+void BM_SimQueueCalendar(benchmark::State& state) {
+  run_queue_ablation(state, snn::QueueKind::kCalendar);
+}
+BENCHMARK(BM_SimQueueCalendar)->Arg(16)->Arg(64)->Arg(512);
+
+void BM_SimQueueMap(benchmark::State& state) {
+  run_queue_ablation(state, snn::QueueKind::kMap);
+}
+BENCHMARK(BM_SimQueueMap)->Arg(16)->Arg(64)->Arg(512);
+
+// --- batched multi-source SSSP vs 64 fresh runs -------------------------
+// The batch driver builds the network once and reuses epoch-reset
+// simulators; the fresh loop pays network construction + simulator
+// allocation per source.
+
+Graph batch_bench_graph() {
+  Rng rng(0xBEEF07);
+  return make_random_graph(256, 2048, {1, 32}, rng);
+}
+
+std::vector<VertexId> batch_bench_sources() {
+  std::vector<VertexId> s(64);
+  for (std::size_t i = 0; i < s.size(); ++i) s[i] = static_cast<VertexId>(i);
+  return s;
+}
+
+void BM_SsspBatch64Sources(benchmark::State& state) {
+  const Graph g = batch_bench_graph();
+  const auto sources = batch_bench_sources();
+  for (auto _ : state) {
+    nga::SsspBatchOptions opt;
+    benchmark::DoNotOptimize(
+        nga::spiking_sssp_batch(g, sources, opt).runs.size());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          events);
+                          static_cast<std::int64_t>(sources.size()));
 }
-BENCHMARK(BM_QueueBucketedMap);
+BENCHMARK(BM_SsspBatch64Sources);
 
-void BM_QueueFlatPriority(benchmark::State& state) {
-  const int events = 1 << 16;
-  Rng rng(0xBEEF05);
+void BM_SsspFresh64Sources(benchmark::State& state) {
+  const Graph g = batch_bench_graph();
+  const auto sources = batch_bench_sources();
   for (auto _ : state) {
-    std::priority_queue<FlatEvent, std::vector<FlatEvent>, std::greater<>> q;
-    Rng r = rng;
-    std::uint64_t processed = 0;
-    for (int i = 0; i < 64; ++i) {
-      q.push({r.uniform_int(1, 64), static_cast<std::uint32_t>(i)});
+    for (const VertexId s : sources) {
+      nga::SpikingSsspOptions opt;
+      opt.source = s;
+      opt.record_parents = false;
+      benchmark::DoNotOptimize(nga::spiking_sssp(g, opt).execution_time);
     }
-    while (processed < static_cast<std::uint64_t>(events) && !q.empty()) {
-      const FlatEvent e = q.top();
-      q.pop();
-      ++processed;
-      if (processed + q.size() < static_cast<std::uint64_t>(events)) {
-        q.push({e.t + r.uniform_int(1, 64), e.target});
-      }
-    }
-    benchmark::DoNotOptimize(processed);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          events);
+                          static_cast<std::int64_t>(sources.size()));
 }
-BENCHMARK(BM_QueueFlatPriority);
+BENCHMARK(BM_SsspFresh64Sources);
 
 }  // namespace
 

@@ -158,7 +158,7 @@ KHopPolyResult khop_sssp_poly(const Graph& g, const KHopPolyOptions& opt) {
   }
 
   // Launch: the source broadcasts distance 0 (complement = all ones).
-  snn::Simulator sim(net);
+  snn::Simulator sim(net, opt.queue);
   snn::inject_binary(sim, nodes[opt.source].max.outputs, kComplementMask, 0);
   sim.inject_spike(nodes[opt.source].out_valid, 0);
   for (const auto& pm : memory) {

@@ -1,7 +1,6 @@
 #include "nga/khop_ttl.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "circuits/arith.h"
 #include "circuits/builder.h"
@@ -138,7 +137,7 @@ KHopTtlResult khop_sssp_ttl(const Graph& g, const KHopTtlOptions& opt) {
   }
 
   // Launch: the source's node output emits TTL k-1 at time 0.
-  snn::Simulator sim(net);
+  snn::Simulator sim(net, opt.queue);
   snn::inject_binary(sim, circuits_by_vertex[opt.source].out_bits, opt.k - 1,
                      0);
   sim.inject_spike(circuits_by_vertex[opt.source].out_valid, 0);
@@ -183,29 +182,19 @@ KHopTtlResult khop_sssp_ttl(const Graph& g, const KHopTtlOptions& opt) {
     last = std::max(last, t);
     first_output_time[v] = t + circuits_by_vertex[v].max.depth;
   }
-  // Decode the first presentation's TTL per vertex from the watched log.
-  {
-    std::unordered_map<NeuronId, std::pair<VertexId, int>> bit_index;
-    for (VertexId v = 0; v < g.num_vertices(); ++v) {
-      for (int j = 0; j < r.lambda; ++j) {
-        bit_index[circuits_by_vertex[v].max.outputs[static_cast<std::size_t>(j)]] =
-            {v, j};
-      }
-    }
-    std::vector<std::uint64_t> ttl(g.num_vertices(), 0);
-    for (const auto& [t, id] : sim.spike_log()) {
-      const auto it = bit_index.find(id);
-      if (it == bit_index.end()) continue;
-      const auto [v, bit] = it->second;
-      if (t == first_output_time[v]) ttl[v] |= 1ULL << bit;
-    }
-    for (VertexId v = 0; v < g.num_vertices(); ++v) {
-      if (v == opt.source || r.dist[v] >= kInfiniteDistance) continue;
-      // Arrival TTL τ ⇒ the path used k − τ edges. In target mode the run
-      // may stop before the target's max outputs appear; leave hops 0 then.
-      if (first_output_time[v] <= r.sim.end_time) {
-        r.hops[v] = opt.k - static_cast<std::uint32_t>(ttl[v]);
-      }
+  // Decode the first presentation's TTL per vertex: the watched max-output
+  // bits firing at exactly first_output_time[v]. decode_binary_window's
+  // point window resolves multi-firing bits from the spike log (the bits
+  // fire once per arrival, and vertices can receive many arrivals).
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (v == opt.source || r.dist[v] >= kInfiniteDistance) continue;
+    // Arrival TTL τ ⇒ the path used k − τ edges. In target mode the run
+    // may stop before the target's max outputs appear; leave hops 0 then.
+    if (first_output_time[v] <= r.sim.end_time) {
+      const std::uint64_t ttl = snn::decode_binary_window(
+          sim, circuits_by_vertex[v].max.outputs, first_output_time[v],
+          first_output_time[v]);
+      r.hops[v] = opt.k - static_cast<std::uint32_t>(ttl);
     }
   }
   r.execution_time =

@@ -38,6 +38,8 @@ struct KHopTtlOptions {
   std::optional<VertexId> target;
   /// Which Section-5 max circuit to instantiate at nodes (ablation knob).
   circuits::MaxKind max_kind = circuits::MaxKind::kWiredOr;
+  /// Event-queue implementation for the simulator (DESIGN.md §4 knob).
+  snn::QueueKind queue = snn::QueueKind::kCalendar;
 };
 
 struct KHopTtlResult {

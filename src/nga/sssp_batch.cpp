@@ -1,0 +1,85 @@
+#include "nga/sssp_batch.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+#include "core/error.h"
+#include "nga/sssp_event.h"
+
+namespace sga::nga {
+
+SsspBatchResult spiking_sssp_batch(const Graph& g,
+                                   const std::vector<VertexId>& sources,
+                                   const SsspBatchOptions& opt) {
+  for (const VertexId s : sources) {
+    SGA_REQUIRE(s < g.num_vertices(), "spiking_sssp_batch: bad source " << s);
+  }
+
+  const snn::Network net = build_sssp_network(g);
+  SsspBatchResult out;
+  out.runs.resize(sources.size());
+  out.neurons = net.num_neurons();
+  out.synapses = net.num_synapses();
+  if (sources.empty()) {
+    out.threads_used = 0;
+    return out;
+  }
+
+  unsigned workers = opt.num_threads;
+  if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+  workers = std::min<unsigned>(
+      workers, static_cast<unsigned>(std::min<std::size_t>(
+                   sources.size(), std::numeric_limits<unsigned>::max())));
+  out.threads_used = workers;
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  const auto work = [&]() {
+    // One simulator per worker, reset()-reused across sources: the network
+    // build and the O(n) state vectors are paid once per worker, every
+    // subsequent source costs O(its events).
+    snn::Simulator sim(net, opt.queue);
+    bool fresh = true;
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= sources.size()) break;
+      try {
+        if (!fresh) sim.reset();
+        fresh = false;
+        const VertexId s = sources[i];
+        sim.inject_spike(s, 0);
+        snn::SimConfig cfg;
+        cfg.max_time = opt.max_time;
+        cfg.record_causes = opt.record_parents;
+        SsspSourceRun& r = out.runs[i];
+        r.source = s;
+        r.sim = sim.run(cfg);
+        r.execution_time = read_sssp_solution(sim, g, s, opt.record_parents,
+                                              r.dist, r.parent);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;  // a failed worker stops pulling work; others finish
+      }
+    }
+  };
+
+  if (workers == 1) {
+    work();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) pool.emplace_back(work);
+    for (std::thread& th : pool) th.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return out;
+}
+
+}  // namespace sga::nga

@@ -39,7 +39,7 @@ SpikingSsspResult spiking_sssp(const Graph& g, const SpikingSsspOptions& opt) {
   }
 
   const snn::Network net = build_sssp_network(g);
-  snn::Simulator sim(net);
+  snn::Simulator sim(net, opt.queue);
   sim.inject_spike(opt.source, 0);
 
   snn::SimConfig cfg;
@@ -57,22 +57,32 @@ SpikingSsspResult spiking_sssp(const Graph& g, const SpikingSsspOptions& opt) {
   r.neurons = net.num_neurons();
   r.synapses = net.num_synapses();
 
-  r.dist.assign(g.num_vertices(), kInfiniteDistance);
-  r.parent.assign(g.num_vertices(), kNoVertex);
-  Time last = 0;
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
-    const Time t = sim.first_spike(v);
-    if (t == kNever) continue;
-    r.dist[v] = static_cast<Weight>(t);  // first-spike time IS the distance
-    last = std::max(last, t);
-    if (opt.record_parents && v != opt.source) {
-      r.parent[v] = static_cast<VertexId>(sim.first_spike_cause(v));
-    }
-  }
+  const Time last =
+      read_sssp_solution(sim, g, opt.source, opt.record_parents, r.dist,
+                         r.parent);
   const bool terminal_mode = opt.target.has_value() || !opt.targets.empty();
   r.execution_time =
       terminal_mode && r.sim.hit_terminal ? r.sim.execution_time : last;
   return r;
+}
+
+Time read_sssp_solution(const snn::Simulator& sim, const Graph& g,
+                        VertexId source, bool record_parents,
+                        std::vector<Weight>& dist,
+                        std::vector<VertexId>& parent) {
+  dist.assign(g.num_vertices(), kInfiniteDistance);
+  parent.assign(g.num_vertices(), kNoVertex);
+  Time last = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const Time t = sim.first_spike(v);
+    if (t == kNever) continue;
+    dist[v] = static_cast<Weight>(t);  // first-spike time IS the distance
+    last = std::max(last, t);
+    if (record_parents && v != source) {
+      parent[v] = static_cast<VertexId>(sim.first_spike_cause(v));
+    }
+  }
+  return last;
 }
 
 }  // namespace sga::nga

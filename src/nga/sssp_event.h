@@ -36,6 +36,8 @@ struct SpikingSsspOptions {
   bool record_parents = true;
   /// Safety horizon; kNever = none (the network quiesces on its own).
   Time max_time = kNever;
+  /// Event-queue implementation (DESIGN.md §4 ablation knob).
+  snn::QueueKind queue = snn::QueueKind::kCalendar;
 };
 
 struct SpikingSsspResult {
@@ -59,5 +61,15 @@ snn::Network build_sssp_network(const Graph& g);
 
 /// Run the spiking SSSP algorithm.
 SpikingSsspResult spiking_sssp(const Graph& g, const SpikingSsspOptions& opt);
+
+/// Read distances (first-spike time IS the distance) and optionally
+/// shortest-path parents out of a simulator that ran a build_sssp_network
+/// instance. Shared by spiking_sssp and the batched multi-source driver
+/// (sssp_batch.h). Returns the latest first-spike time among reached
+/// vertices (the all-destinations execution time).
+Time read_sssp_solution(const snn::Simulator& sim, const Graph& g,
+                        VertexId source, bool record_parents,
+                        std::vector<Weight>& dist,
+                        std::vector<VertexId>& parent);
 
 }  // namespace sga::nga

@@ -21,6 +21,7 @@ void Network::add_synapse(NeuronId from, NeuronId to, SynWeight weight,
                                     << kMinDelay);
   out_[from].push_back(Synapse{to, weight, delay});
   ++num_synapses_;
+  max_delay_ = std::max(max_delay_, delay);
 }
 
 SynWeight Network::positive_in_weight(NeuronId id) const {

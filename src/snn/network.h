@@ -34,6 +34,10 @@ class Network {
   std::size_t num_neurons() const { return params_.size(); }
   std::size_t num_synapses() const { return num_synapses_; }
 
+  /// Largest synapse delay in the network (0 when there are no synapses).
+  /// The simulator sizes its calendar-queue ring window from this.
+  Delay max_delay() const { return max_delay_; }
+
   const NeuronParams& params(NeuronId id) const {
     SGA_REQUIRE(id < params_.size(), "neuron id out of range: " << id);
     return params_[id];
@@ -64,6 +68,7 @@ class Network {
   std::vector<NeuronParams> params_;
   std::vector<std::vector<Synapse>> out_;
   std::size_t num_synapses_ = 0;
+  Delay max_delay_ = 0;
   std::unordered_map<std::string, std::vector<NeuronId>> groups_;
 };
 

@@ -21,11 +21,10 @@ std::uint64_t decode_binary_window(const Simulator& sim,
   SGA_REQUIRE(t0 <= t1, "decode_binary_window: empty window");
   std::uint64_t value = 0;
   for (std::size_t j = 0; j < bits.size(); ++j) {
-    const Time f = sim.first_spike(bits[j]);
-    const Time l = sim.last_spike(bits[j]);
-    const bool fired_in_window =
-        (f != kNever && f >= t0 && f <= t1) || (l != kNever && l >= t0 && l <= t1);
-    if (fired_in_window) value |= 1ULL << j;
+    // fired_in falls back to the spike log when first/last spike times are
+    // inconclusive (first before t0 AND last after t1 — a bit that fired
+    // around the window may still have fired inside it).
+    if (sim.fired_in(bits[j], t0, t1)) value |= 1ULL << j;
   }
   return value;
 }
@@ -33,7 +32,11 @@ std::uint64_t decode_binary_window(const Simulator& sim,
 void inject_binary(Simulator& sim, const std::vector<NeuronId>& bits,
                    std::uint64_t value, Time t) {
   SGA_REQUIRE(bits.size() <= 63, "inject_binary: too many bits");
-  SGA_REQUIRE(bits.size() == 63 || value < (1ULL << bits.size()),
+  // Shift-safe range check: bits.size() ≤ 63 keeps the shift defined, and
+  // the quotient form covers the full 63-bit boundary (1ULL << 63 would
+  // have been accepted — and bit 63 silently dropped — by the old
+  // `size == 63 || value < (1ULL << size)` test).
+  SGA_REQUIRE(bits.size() >= 64 || (value >> bits.size()) == 0,
               "inject_binary: value " << value << " does not fit in "
                                       << bits.size() << " bits");
   for (std::size_t j = 0; j < bits.size(); ++j) {

@@ -18,10 +18,10 @@ namespace sga::snn {
 std::uint64_t decode_binary_at(const Simulator& sim,
                                const std::vector<NeuronId>& bits, Time t);
 
-/// Value encoded by the bits' firing anywhere in [t0, t1]. Requires the
-/// simulation to have been run with record_spike_log = true only when a bit
-/// may fire more than once; here we use first/last spike times, so it works
-/// for bits that fire at most once in the window.
+/// Value encoded by the bits' firing anywhere in [t0, t1]. First/last spike
+/// times decide most bits; a bit that fired both before t0 and after t1 is
+/// resolved from the spike log (requires record_spike_log with the bit
+/// watched — Simulator::fired_in throws otherwise instead of guessing).
 std::uint64_t decode_binary_window(const Simulator& sim,
                                    const std::vector<NeuronId>& bits, Time t0,
                                    Time t1);

@@ -1,11 +1,26 @@
 #include "snn/simulator.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 namespace sga::snn {
 
-Simulator::Simulator(const Network& net) : net_(net) {
+namespace {
+
+/// Calendar ring size: a power of two covering the largest synapse delay,
+/// clamped to [64, 2^16] slots. Below the clamp every fired event lands in
+/// the ring; above it, oversized delays spill (counted in SimStats).
+std::size_t ring_size_for(Delay max_delay) {
+  const auto want = static_cast<std::uint64_t>(max_delay) + 1;
+  return static_cast<std::size_t>(
+      std::bit_ceil(std::clamp<std::uint64_t>(want, 64, 1u << 16)));
+}
+
+}  // namespace
+
+Simulator::Simulator(const Network& net, QueueKind queue)
+    : net_(net), queue_kind_(queue) {
   const std::size_t n = net.num_neurons();
   v_.resize(n);
   last_update_.assign(n, 0);
@@ -13,19 +28,102 @@ Simulator::Simulator(const Network& net) : net_(net) {
   last_spike_.assign(n, kNever);
   spike_count_.assign(n, 0);
   cause_.assign(n, kNoNeuron);
+  state_stamp_.assign(n, 0);
   accum_.assign(n, 0);
   accum_cause_.assign(n, kNoNeuron);
   accum_cause_weight_.assign(n, 0);
   touched_.assign(n, 0);
   is_terminal_.assign(n, 0);
+  is_watched_.assign(n, 0);
   for (NeuronId i = 0; i < n; ++i) v_[i] = net.params(i).v_reset;
+  if (queue_kind_ == QueueKind::kCalendar) {
+    const std::size_t w = ring_size_for(net.max_delay());
+    ring_.resize(w);
+    ring_occupied_.assign(w / 64, 0);
+    ring_mask_ = static_cast<Time>(w - 1);
+    stats_.ring_buckets = static_cast<std::uint32_t>(w);
+  }
 }
 
 void Simulator::inject_spike(NeuronId id, Time t) {
   SGA_REQUIRE(id < net_.num_neurons(), "inject_spike: bad neuron " << id);
   SGA_REQUIRE(t >= 0, "inject_spike: negative time " << t);
-  SGA_REQUIRE(!ran_, "inject_spike after run()");
-  queue_[t].forced.push_back(id);
+  SGA_REQUIRE(t <= kNever, "inject_spike: time " << t << " beyond kNever");
+  SGA_REQUIRE(!ran_, "inject_spike after run() (call reset() first)");
+  bucket_for(t).forced.push_back(id);
+}
+
+Simulator::Bucket& Simulator::bucket_for(Time t) {
+  ++pending_events_;
+  if (pending_events_ > stats_.peak_queue_events) {
+    stats_.peak_queue_events = pending_events_;
+  }
+  if (queue_kind_ == QueueKind::kCalendar) {
+    // Strict upper bound: a slot equal to the one currently being drained
+    // (t ≡ cursor_ mod W would need t = cursor_ + W) can never be hit, so
+    // draining a bucket in place is safe.
+    if (t - cursor_ < static_cast<Time>(ring_.size())) {
+      const auto slot = static_cast<std::size_t>(t & ring_mask_);
+      ring_occupied_[slot >> 6] |= 1ULL << (slot & 63);
+      ++ring_events_;
+      return ring_[slot];
+    }
+    ++stats_.overflow_spills;
+  }
+  return spill_[t];
+}
+
+void Simulator::migrate_spill() {
+  const auto w = static_cast<Time>(ring_.size());
+  while (!spill_.empty()) {
+    const auto it = spill_.begin();
+    if (it->first - cursor_ >= w) break;
+    const auto slot = static_cast<std::size_t>(it->first & ring_mask_);
+    Bucket& dst = ring_[slot];
+    ring_occupied_[slot >> 6] |= 1ULL << (slot & 63);
+    ring_events_ += it->second.size();
+    if (dst.empty()) {
+      dst = std::move(it->second);
+    } else {
+      // Same residue inside one window ⇒ same time: merge.
+      dst.deliveries.insert(dst.deliveries.end(),
+                            it->second.deliveries.begin(),
+                            it->second.deliveries.end());
+      dst.forced.insert(dst.forced.end(), it->second.forced.begin(),
+                        it->second.forced.end());
+    }
+    spill_.erase(it);
+  }
+}
+
+bool Simulator::next_pending_time(Time* t) {
+  if (queue_kind_ == QueueKind::kMap) {
+    if (spill_.empty()) return false;
+    *t = spill_.begin()->first;
+    return true;
+  }
+  migrate_spill();
+  if (ring_events_ == 0) {
+    if (spill_.empty()) return false;
+    cursor_ = spill_.begin()->first - 1;  // slide the window to the next event
+    migrate_spill();
+  }
+  // Circular occupancy-bitmap scan from cursor_ + 1; slot order equals time
+  // order inside the window, so the first set bit is the earliest event.
+  const auto start = static_cast<std::size_t>((cursor_ + 1) & ring_mask_);
+  const std::size_t word_mask = ring_occupied_.size() - 1;  // W/64 is pow2
+  std::size_t w = start >> 6;
+  std::uint64_t word = ring_occupied_[w] & (~0ULL << (start & 63));
+  while (word == 0) {
+    w = (w + 1) & word_mask;
+    word = ring_occupied_[w];
+  }
+  const std::size_t slot =
+      (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+  const std::size_t offset = (slot - start) & static_cast<std::size_t>(ring_mask_);
+  stats_.empty_bucket_scans += offset;
+  *t = cursor_ + 1 + static_cast<Time>(offset);
+  return true;
 }
 
 Voltage Simulator::decayed_potential(NeuronId id, Time t) const {
@@ -41,6 +139,7 @@ Voltage Simulator::decayed_potential(NeuronId id, Time t) const {
 void Simulator::fire(NeuronId id, Time t) {
   const NeuronParams& p = net_.params(id);
   const bool first_fire = first_spike_[id] == kNever;
+  touch_state(id);
   v_[id] = p.v_reset;  // Eq. (3)
   last_update_[id] = t;
   ++spike_count_[id];
@@ -59,14 +158,22 @@ void Simulator::fire(NeuronId id, Time t) {
     }
   }
   for (const Synapse& s : net_.out_synapses(id)) {
-    const Time arrival = t + s.delay;
-    if (arrival > max_time_) continue;  // outside the horizon; drop
-    queue_[arrival].deliveries.push_back(Delivery{s.target, id, s.weight});
+    // Horizon check in subtraction form: t ≤ max_time_ always holds here,
+    // so max_time_ - t cannot overflow, while t + s.delay could (kNever
+    // horizon × pseudopolynomial delay). Dropping work past the horizon
+    // reports hit_time_limit, consistently with the pop-side check that
+    // catches post-horizon injected spikes.
+    if (s.delay > max_time_ - t) {
+      stats_.hit_time_limit = true;
+      continue;
+    }
+    bucket_for(t + s.delay).deliveries.push_back(
+        Delivery{s.target, id, s.weight});
   }
 }
 
 SimStats Simulator::run(const SimConfig& config) {
-  SGA_REQUIRE(!ran_, "Simulator::run is one-shot");
+  SGA_REQUIRE(!ran_, "Simulator::run is one-shot (call reset() to reuse)");
   ran_ = true;
   record_causes_ = config.record_causes;
   record_log_ = config.record_spike_log;
@@ -76,37 +183,52 @@ SimStats Simulator::run(const SimConfig& config) {
     SGA_REQUIRE(t < net_.num_neurons(), "bad terminal neuron " << t);
     if (!is_terminal_[t]) {
       is_terminal_[t] = 1;
+      active_terminals_.push_back(t);
       ++distinct_terminals;
     }
   }
   terminals_remaining_ =
       config.terminate_on_all ? distinct_terminals
                               : std::min<std::uint64_t>(1, distinct_terminals);
-  is_watched_.assign(net_.num_neurons(), 0);
   watch_all_ = config.watched_neurons.empty();
   for (const NeuronId w : config.watched_neurons) {
     SGA_REQUIRE(w < net_.num_neurons(), "bad watched neuron " << w);
-    is_watched_[w] = 1;
+    if (!is_watched_[w]) {
+      is_watched_[w] = 1;
+      active_watched_.push_back(w);
+    }
   }
 
-  std::vector<NeuronId> targets;  // touched this bucket, deduplicated
-  while (!queue_.empty()) {
-    const auto it = queue_.begin();
-    const Time t = it->first;
+  std::vector<NeuronId>& targets = targets_scratch_;  // deduplicated, per step
+  while (true) {
+    Time t = 0;
+    if (!next_pending_time(&t)) break;
     if (t > max_time_) {
       stats_.hit_time_limit = true;
       break;
     }
-    // Move the bucket out so that same-time scheduling during fire() (delay
-    // ≥ 1 makes that impossible, but keep the invariant explicit) cannot
-    // invalidate our iteration.
-    Bucket bucket = std::move(it->second);
-    queue_.erase(it);
+    // Drain the bucket in place: with delay ≥ 1 and the ring's strict
+    // window bound, nothing scheduled during fire() can land back in the
+    // bucket being iterated (map nodes are reference-stable anyway).
+    Bucket* bucket = nullptr;
+    auto map_it = spill_.end();
+    if (queue_kind_ == QueueKind::kCalendar) {
+      cursor_ = t;
+      bucket = &ring_[static_cast<std::size_t>(t & ring_mask_)];
+      ring_events_ -= bucket->size();
+    } else {
+      map_it = spill_.begin();
+      bucket = &map_it->second;
+    }
+    pending_events_ -= bucket->size();
+    if (bucket->size() > stats_.max_bucket_occupancy) {
+      stats_.max_bucket_occupancy = bucket->size();
+    }
     ++stats_.event_times;
     stats_.end_time = t;
 
     targets.clear();
-    for (const Delivery& d : bucket.deliveries) {
+    for (const Delivery& d : bucket->deliveries) {
       ++stats_.deliveries;
       if (!touched_[d.target]) {
         touched_[d.target] = 1;
@@ -126,7 +248,7 @@ SimStats Simulator::run(const SimConfig& config) {
     // at the same step is consumed by the fire (the neuron resets). A neuron
     // fires at most once per step (Definition 2), so duplicate injections at
     // the same time collapse.
-    for (const NeuronId id : bucket.forced) {
+    for (const NeuronId id : bucket->forced) {
       if (last_spike_[id] == t) continue;
       fire(id, t);
       if (touched_[id]) {
@@ -149,14 +271,72 @@ SimStats Simulator::run(const SimConfig& config) {
         }
         fire(id, t);
       } else {
+        touch_state(id);
         v_[id] = v_hat;
         last_update_[id] = t;
       }
     }
 
+    // Release the drained bucket (keeping its capacity for reuse).
+    bucket->clear();
+    if (queue_kind_ == QueueKind::kCalendar) {
+      const auto slot = static_cast<std::size_t>(t & ring_mask_);
+      ring_occupied_[slot >> 6] &= ~(1ULL << (slot & 63));
+    } else {
+      spill_.erase(map_it);
+    }
+
     if (terminal_fired_) break;
   }
   return stats_;
+}
+
+void Simulator::reset() {
+  // Per-neuron state: restore only the entries the previous cycle dirtied.
+  for (const NeuronId id : dirty_) {
+    v_[id] = net_.params(id).v_reset;
+    last_update_[id] = 0;
+    first_spike_[id] = kNever;
+    last_spike_[id] = kNever;
+    spike_count_[id] = 0;
+    cause_[id] = kNoNeuron;
+  }
+  dirty_.clear();
+  ++epoch_;
+  for (const NeuronId t : active_terminals_) is_terminal_[t] = 0;
+  active_terminals_.clear();
+  for (const NeuronId w : active_watched_) is_watched_[w] = 0;
+  active_watched_.clear();
+  watch_all_ = false;
+  // Queue: drained buckets are already empty; sweep the occupancy bitmap
+  // only when a terminal/horizon stop left events behind.
+  if (ring_events_ > 0) {
+    for (std::size_t w = 0; w < ring_occupied_.size(); ++w) {
+      std::uint64_t word = ring_occupied_[w];
+      while (word != 0) {
+        const auto slot = (w << 6) + static_cast<std::size_t>(
+                                         std::countr_zero(word));
+        word &= word - 1;
+        ring_[slot].clear();
+      }
+      ring_occupied_[w] = 0;
+    }
+    ring_events_ = 0;
+  }
+  spill_.clear();
+  pending_events_ = 0;
+  cursor_ = -1;
+  spike_log_.clear();
+  stats_ = SimStats{};
+  stats_.ring_buckets = queue_kind_ == QueueKind::kCalendar
+                            ? static_cast<std::uint32_t>(ring_.size())
+                            : 0;
+  record_causes_ = false;
+  record_log_ = false;
+  max_time_ = kNever;
+  terminals_remaining_ = 0;
+  terminal_fired_ = false;
+  ran_ = false;
 }
 
 Time Simulator::first_spike(NeuronId id) const {
@@ -167,6 +347,32 @@ Time Simulator::first_spike(NeuronId id) const {
 Time Simulator::last_spike(NeuronId id) const {
   SGA_REQUIRE(id < last_spike_.size(), "last_spike: bad neuron " << id);
   return last_spike_[id];
+}
+
+bool Simulator::fired_in(NeuronId id, Time t0, Time t1) const {
+  SGA_REQUIRE(id < first_spike_.size(), "fired_in: bad neuron " << id);
+  SGA_REQUIRE(t0 <= t1, "fired_in: empty window [" << t0 << ", " << t1 << "]");
+  const Time f = first_spike_[id];
+  if (f == kNever || f > t1) return false;
+  if (f >= t0) return true;
+  const Time l = last_spike_[id];
+  if (l < t0) return false;
+  if (l <= t1) return true;
+  // The neuron fired both before t0 and after t1; only the spike log can
+  // tell whether it also fired inside the window.
+  SGA_REQUIRE(logged(id),
+              "fired_in: neuron " << id << " fired before t0=" << t0
+                                  << " and after t1=" << t1
+                                  << "; deciding the window needs "
+                                     "record_spike_log with this neuron "
+                                     "watched");
+  const auto it = std::lower_bound(
+      spike_log_.begin(), spike_log_.end(), t0,
+      [](const std::pair<Time, NeuronId>& e, Time t) { return e.first < t; });
+  for (auto i = it; i != spike_log_.end() && i->first <= t1; ++i) {
+    if (i->second == id) return true;
+  }
+  return false;
 }
 
 std::uint32_t Simulator::spike_count(NeuronId id) const {

@@ -7,6 +7,24 @@
 // 10^6 costs one queue operation, not 10^6 idle steps. The paper's
 // execution-time metric T (Definition 3: first spike of the terminal neuron)
 // is reported exactly regardless of how many steps were skipped.
+//
+// Event queue (ARCHITECTURE.md §1): the hot path runs on a calendar queue —
+// a dense ring of buckets over a sliding time window sized to the network's
+// maximum synapse delay (clamped to [64, 2^16] slots, power of two). Any
+// event landing inside the window is an O(1) array insert; the next event
+// time is found with a per-slot occupancy bitmap (one countr_zero per 64
+// slots). Events beyond the window — far-future injections, or synapse
+// delays larger than the clamped ring — spill into a sorted std::map and
+// migrate into the ring as the window slides past them. The legacy
+// std::map<Time, Bucket> queue is retained behind QueueKind::kMap as the
+// agreement oracle for tests and the bench ablation.
+//
+// Reuse: reset() rewinds the simulator for another run over the same
+// network in O(processed events), not O(neurons) — per-neuron state is
+// epoch-stamped into a dirty list as it is first touched and only those
+// entries are restored. spiking_sssp_batch builds on this: one reusable
+// Simulator per worker amortizes both the network build and the state
+// (re)initialization across a multi-source sweep.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +35,12 @@
 #include "snn/network.h"
 
 namespace sga::snn {
+
+/// Pending-event queue implementation (DESIGN.md §4 ablation knob).
+enum class QueueKind : std::uint8_t {
+  kCalendar,  ///< ring-bucket calendar queue + sorted overflow spill (default)
+  kMap,       ///< legacy std::map<Time, Bucket>; kept as the agreement oracle
+};
 
 struct SimConfig {
   /// Inclusive time horizon; events scheduled after it are not processed.
@@ -43,23 +67,50 @@ struct SimStats {
   std::uint64_t event_times = 0;       ///< distinct time steps touched
   Time end_time = 0;                   ///< last processed time step
   bool hit_terminal = false;           ///< stopped because a terminal fired
-  bool hit_time_limit = false;         ///< stopped at max_time with work left
+  bool hit_time_limit = false;         ///< work was left beyond max_time
   /// Execution time T per Definition 3 (first terminal spike), kNever if no
   /// terminal fired.
   Time execution_time = kNever;
+
+  // ---- Queue-level counters (surfaced by bench_simulator) --------------
+  /// Maximum number of pending events at any moment (identical across
+  /// queue kinds: it is a property of the event stream, not the queue).
+  std::uint64_t peak_queue_events = 0;
+  /// Largest single-time-step bucket drained.
+  std::uint64_t max_bucket_occupancy = 0;
+  /// Events that missed the calendar ring's window and went to the sorted
+  /// overflow spill (always 0 for QueueKind::kMap).
+  std::uint64_t overflow_spills = 0;
+  /// Empty ring slots skipped while seeking the next event time (calendar
+  /// only; measures how sparse the workload is relative to the window).
+  std::uint64_t empty_bucket_scans = 0;
+  /// Calendar ring size in buckets (0 for QueueKind::kMap).
+  std::uint32_t ring_buckets = 0;
 };
 
 class Simulator {
  public:
-  explicit Simulator(const Network& net);
+  explicit Simulator(const Network& net,
+                     QueueKind queue = QueueKind::kCalendar);
 
   /// Induce a spike in `id` at time t ≥ 0 (Definition 3: computation is
   /// initiated by inducing spikes in input neurons). The neuron fires
   /// unconditionally at t. Must be called before run().
   void inject_spike(NeuronId id, Time t);
 
-  /// Run to completion (terminal spike, max_time, or quiescence). One-shot.
+  /// Run to completion (terminal spike, max_time, or quiescence). One-shot
+  /// per cycle; call reset() to rewind and run again on the same network.
   SimStats run(const SimConfig& config = {});
+
+  /// Rewind to the just-constructed state in O(events processed): only the
+  /// per-neuron entries dirtied by the previous run are restored (epoch-
+  /// stamped dirty list), queue buckets keep their capacity, and the spike
+  /// log is cleared. After reset() the usual inject_spike()/run() cycle
+  /// applies. Repeated runs over the same Network therefore cost
+  /// O(events), not O(neurons) per run.
+  void reset();
+
+  QueueKind queue_kind() const { return queue_kind_; }
 
   // ---- Post-run observability ----------------------------------------
   /// First spike time of `id`, kNever if it never fired.
@@ -69,6 +120,12 @@ class Simulator {
   /// implements Definition 3's read-out of output neurons at time T.
   Time last_spike(NeuronId id) const;
   bool fired_at(NeuronId id, Time t) const { return last_spike(id) == t; }
+  /// Whether `id` fired anywhere in [t0, t1]. Resolved from first/last
+  /// spike times when they are conclusive; when the neuron fired both
+  /// before t0 and after t1, the recorded spike log is consulted (requires
+  /// record_spike_log with `id` watched — throws otherwise, rather than
+  /// silently guessing).
+  bool fired_in(NeuronId id, Time t0, Time t1) const;
   std::uint32_t spike_count(NeuronId id) const;
   /// Presynaptic cause of the first spike (requires record_causes);
   /// kNoNeuron for injected/uncaused spikes.
@@ -76,6 +133,10 @@ class Simulator {
   /// Full spike log (requires record_spike_log), ordered by time.
   const std::vector<std::pair<Time, NeuronId>>& spike_log() const {
     return spike_log_;
+  }
+  /// True when the previous run() recorded `id`'s spikes in the log.
+  bool logged(NeuronId id) const {
+    return record_log_ && (watch_all_ || is_watched_[id]);
   }
   /// Membrane potential of `id` as of the last time it was updated.
   Voltage potential(NeuronId id) const;
@@ -89,14 +150,50 @@ class Simulator {
   struct Bucket {
     std::vector<Delivery> deliveries;
     std::vector<NeuronId> forced;
+
+    bool empty() const { return deliveries.empty() && forced.empty(); }
+    std::size_t size() const { return deliveries.size() + forced.size(); }
+    void clear() {  // keeps capacity — buckets are recycled across resets
+      deliveries.clear();
+      forced.clear();
+    }
   };
 
   void fire(NeuronId id, Time t);
   Voltage decayed_potential(NeuronId id, Time t) const;
 
+  /// Mark `id`'s per-neuron state dirty for the O(events) reset().
+  void touch_state(NeuronId id) {
+    if (state_stamp_[id] != epoch_) {
+      state_stamp_[id] = epoch_;
+      dirty_.push_back(id);
+    }
+  }
+
+  /// Queue ops — each branches once on queue_kind_.
+  Bucket& bucket_for(Time t);
+  /// Earliest pending event time into *t; false when the queue is empty.
+  bool next_pending_time(Time* t);
+  /// Move far-future spill entries whose time now falls inside the ring
+  /// window into the ring.
+  void migrate_spill();
+
   const Network& net_;
-  std::map<Time, Bucket> queue_;
+  const QueueKind queue_kind_;
   bool ran_ = false;
+
+  // Calendar ring: ring_.size() is a power of two; slot = time & ring_mask_.
+  // Invariant: every ring event's time lies in (cursor_, cursor_ + W), W =
+  // ring size, so residues are collision-free and the slot being drained
+  // can never receive new events mid-iteration (delay ≥ 1 plus the strict
+  // upper bound). Events at or beyond cursor_ + W live in spill_.
+  std::vector<Bucket> ring_;
+  std::vector<std::uint64_t> ring_occupied_;  ///< 1 bit per slot
+  Time ring_mask_ = 0;
+  Time cursor_ = -1;                  ///< last processed (or jumped-to) time
+  std::uint64_t ring_events_ = 0;     ///< events currently in the ring
+  std::map<Time, Bucket> spill_;      ///< overflow; the whole queue for kMap
+  std::uint64_t pending_events_ = 0;  ///< ring + spill, for the peak stat
 
   // Per-neuron state.
   std::vector<Voltage> v_;
@@ -106,14 +203,23 @@ class Simulator {
   std::vector<std::uint32_t> spike_count_;
   std::vector<NeuronId> cause_;
 
+  // O(events) reset support: neurons whose state diverged from the
+  // just-constructed baseline this epoch.
+  std::vector<NeuronId> dirty_;
+  std::vector<std::uint64_t> state_stamp_;
+  std::uint64_t epoch_ = 1;
+
   // Scratch for per-bucket aggregation (sparse-reset pattern).
   std::vector<SynWeight> accum_;
   std::vector<NeuronId> accum_cause_;
   std::vector<SynWeight> accum_cause_weight_;
   std::vector<char> touched_;
+  std::vector<NeuronId> targets_scratch_;
 
   std::vector<char> is_terminal_;
   std::vector<char> is_watched_;
+  std::vector<NeuronId> active_terminals_;  ///< set flags, for cheap reset
+  std::vector<NeuronId> active_watched_;
   bool watch_all_ = false;
   std::vector<std::pair<Time, NeuronId>> spike_log_;
   SimStats stats_;

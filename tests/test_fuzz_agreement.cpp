@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <tuple>
 
 #include "core/random.h"
 #include "crossbar/embedding.h"
@@ -16,7 +17,10 @@
 #include "nga/khop_poly.h"
 #include "nga/khop_ttl.h"
 #include "nga/matvec.h"
+#include "nga/sssp_batch.h"
 #include "nga/sssp_event.h"
+#include "snn/network.h"
+#include "snn/simulator.h"
 
 namespace sga {
 namespace {
@@ -134,6 +138,121 @@ TEST_P(ApproxFuzz, GuaranteeAndCompositionHold) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ApproxFuzz, ::testing::Range(0, 18));
+
+/// Random mixed SNN for the queue-agreement fuzz: integrators and gates,
+/// inhibition, self-loops, and delays spanning the calendar ring window.
+snn::Network random_snn(std::uint64_t seed) {
+  Rng rng(0xCA1E + seed * 0x9E3779B97F4A7C15ULL);
+  snn::Network net;
+  const auto n = static_cast<std::size_t>(rng.uniform_int(5, 40));
+  for (std::size_t i = 0; i < n; ++i) {
+    snn::NeuronParams p;
+    p.v_threshold = static_cast<Voltage>(rng.uniform_int(1, 3));
+    p.v_reset = static_cast<Voltage>(rng.uniform_int(-1, 0));
+    const int mode = static_cast<int>(rng.uniform_int(0, 2));
+    p.tau = mode == 0 ? 0.0 : (mode == 1 ? 1.0 : 0.5);
+    net.add_neuron(p);
+  }
+  const auto syn = static_cast<std::size_t>(
+      rng.uniform_int(static_cast<std::int64_t>(n),
+                      static_cast<std::int64_t>(5 * n)));
+  for (std::size_t s = 0; s < syn; ++s) {
+    const auto a = static_cast<NeuronId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    const auto b = static_cast<NeuronId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    const auto w = static_cast<SynWeight>(rng.uniform_int(-2, 3));
+    // Occasionally exceed the 64-slot minimum ring window so events take
+    // the overflow-spill path.
+    const Delay d = rng.bernoulli(0.1) ? rng.uniform_int(64, 300)
+                                       : rng.uniform_int(1, 9);
+    net.add_synapse(a, b, w, d);
+  }
+  return net;
+}
+
+class QueueFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(QueueFuzz, CalendarAndMapQueuesProduceIdenticalRuns) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const snn::Network net = random_snn(seed);
+
+  auto drive = [&](snn::QueueKind kind) {
+    snn::Simulator sim(net, kind);
+    Rng rng(0xD41E + seed);
+    for (int i = 0; i < 6; ++i) {
+      sim.inject_spike(
+          static_cast<NeuronId>(rng.uniform_int(
+              0, static_cast<std::int64_t>(net.num_neurons()) - 1)),
+          rng.uniform_int(0, 200));
+    }
+    // A far-future injection: exercises the ring going empty mid-run
+    // (cursor jump) and, in the calendar, the spill-and-migrate path.
+    sim.inject_spike(0, 450);
+    snn::SimConfig cfg;
+    cfg.max_time = 500;
+    cfg.record_spike_log = true;
+    const snn::SimStats stats = sim.run(cfg);
+    return std::tuple(stats, sim.spike_log(), sim.first_spikes());
+  };
+
+  const auto [cs, clog, cfirst] = drive(snn::QueueKind::kCalendar);
+  const auto [ms, mlog, mfirst] = drive(snn::QueueKind::kMap);
+  EXPECT_EQ(clog, mlog) << "seed " << seed;
+  EXPECT_EQ(cfirst, mfirst) << "seed " << seed;
+  EXPECT_EQ(cs.spikes, ms.spikes) << "seed " << seed;
+  EXPECT_EQ(cs.deliveries, ms.deliveries) << "seed " << seed;
+  EXPECT_EQ(cs.event_times, ms.event_times) << "seed " << seed;
+  EXPECT_EQ(cs.end_time, ms.end_time) << "seed " << seed;
+  EXPECT_EQ(cs.execution_time, ms.execution_time) << "seed " << seed;
+  EXPECT_EQ(cs.hit_time_limit, ms.hit_time_limit) << "seed " << seed;
+  EXPECT_EQ(cs.peak_queue_events, ms.peak_queue_events) << "seed " << seed;
+  EXPECT_EQ(cs.max_bucket_occupancy, ms.max_bucket_occupancy)
+      << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueueFuzz, ::testing::Range(0, 30));
+
+class BatchFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchFuzz, BatchDriverMatchesSingleSourceRuns) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(0xBA7C + seed);
+  const Graph g = random_instance(seed, 18);
+
+  std::vector<VertexId> sources;
+  const auto want = static_cast<std::size_t>(rng.uniform_int(1, 5));
+  while (sources.size() < want) {
+    sources.push_back(static_cast<VertexId>(rng.uniform_int(
+        0, static_cast<std::int64_t>(g.num_vertices()) - 1)));
+  }
+
+  nga::SsspBatchOptions bopt;
+  bopt.record_parents = true;
+  bopt.num_threads = static_cast<std::size_t>(rng.uniform_int(1, 3));
+  const auto batch = nga::spiking_sssp_batch(g, sources, bopt);
+  ASSERT_EQ(batch.runs.size(), sources.size());
+
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    nga::SpikingSsspOptions sopt;
+    sopt.source = sources[i];
+    sopt.record_parents = true;
+    const auto single = nga::spiking_sssp(g, sopt);
+    const auto& run = batch.runs[i];
+    EXPECT_EQ(run.source, sources[i]);
+    EXPECT_EQ(run.dist, single.dist) << "seed " << seed << " source " << i;
+    EXPECT_EQ(run.parent, single.parent)
+        << "seed " << seed << " source " << i;
+    EXPECT_EQ(run.execution_time, single.execution_time)
+        << "seed " << seed << " source " << i;
+    EXPECT_EQ(run.dist, dijkstra(g, sources[i]).dist)
+        << "seed " << seed << " source " << i;
+  }
+  EXPECT_GE(batch.threads_used, 1u);
+  EXPECT_GT(batch.neurons, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchFuzz, ::testing::Range(0, 16));
 
 }  // namespace
 }  // namespace sga

@@ -42,9 +42,9 @@ struct RunOutput {
   std::vector<Time> firsts;
 };
 
-RunOutput run_once(const Network& net, std::uint64_t seed, Time horizon) {
+RunOutput run_with(Simulator& sim, const Network& net, std::uint64_t seed,
+                   Time horizon) {
   Rng rng(seed ^ 0x5EED);
-  Simulator sim(net);
   for (int i = 0; i < 5; ++i) {
     sim.inject_spike(
         static_cast<NeuronId>(rng.uniform_int(
@@ -59,6 +59,29 @@ RunOutput run_once(const Network& net, std::uint64_t seed, Time horizon) {
   out.log = sim.spike_log();
   out.firsts = sim.first_spikes();
   return out;
+}
+
+RunOutput run_once(const Network& net, std::uint64_t seed, Time horizon) {
+  Simulator sim(net);
+  return run_with(sim, net, seed, horizon);
+}
+
+void expect_same_run(const RunOutput& a, const RunOutput& b,
+                     const char* what) {
+  EXPECT_EQ(a.log, b.log) << what;
+  EXPECT_EQ(a.firsts, b.firsts) << what;
+  EXPECT_EQ(a.stats.spikes, b.stats.spikes) << what;
+  EXPECT_EQ(a.stats.deliveries, b.stats.deliveries) << what;
+  EXPECT_EQ(a.stats.event_times, b.stats.event_times) << what;
+  EXPECT_EQ(a.stats.end_time, b.stats.end_time) << what;
+  EXPECT_EQ(a.stats.execution_time, b.stats.execution_time) << what;
+  EXPECT_EQ(a.stats.hit_terminal, b.stats.hit_terminal) << what;
+  EXPECT_EQ(a.stats.hit_time_limit, b.stats.hit_time_limit) << what;
+  // Queue-load counters are a property of the event stream, not of the
+  // queue implementation, so they must survive reset()/reuse too.
+  EXPECT_EQ(a.stats.peak_queue_events, b.stats.peak_queue_events) << what;
+  EXPECT_EQ(a.stats.max_bucket_occupancy, b.stats.max_bucket_occupancy)
+      << what;
 }
 
 class SimProperties : public ::testing::TestWithParam<int> {};
@@ -116,7 +139,81 @@ TEST_P(SimProperties, LongerHorizonIsAPrefixExtension) {
   }
 }
 
+TEST_P(SimProperties, ResetReusedSimulatorMatchesFresh) {
+  // Two reset()+run() cycles on one simulator — with DIFFERENT injections
+  // and horizons — must be indistinguishable from two fresh simulators.
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const Network net = random_network(seed, 30, 120);
+  const auto fresh_a = run_once(net, seed, 200);
+  const auto fresh_b = run_once(net, seed + 101, 150);
+
+  Simulator sim(net);
+  const auto reused_a = run_with(sim, net, seed, 200);
+  sim.reset();
+  const auto reused_b = run_with(sim, net, seed + 101, 150);
+  expect_same_run(fresh_a, reused_a, "first cycle");
+  expect_same_run(fresh_b, reused_b, "second cycle after reset()");
+
+  // And a third cycle replaying the first injections round-trips exactly.
+  sim.reset();
+  const auto reused_a2 = run_with(sim, net, seed, 200);
+  expect_same_run(fresh_a, reused_a2, "third cycle after reset()");
+}
+
+TEST_P(SimProperties, MapQueueSimulatorSupportsResetToo) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const Network net = random_network(seed, 25, 100);
+  const auto fresh = run_once(net, seed, 120);
+  Simulator sim(net, QueueKind::kMap);
+  run_with(sim, net, seed + 7, 60);
+  sim.reset();
+  const auto reused = run_with(sim, net, seed, 120);
+  expect_same_run(fresh, reused, "map-queue reset()");
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, SimProperties, ::testing::Range(0, 10));
+
+TEST(SimInvariants, QueueCountersAreReported) {
+  Network net;
+  const NeuronId a = net.add_threshold_neuron(1);
+  const NeuronId b = net.add_threshold_neuron(1);
+  net.add_synapse(a, b, 1, 3);
+
+  Simulator cal(net);
+  cal.inject_spike(a, 0);
+  const SimStats cs = cal.run();
+  EXPECT_GE(cs.ring_buckets, 64u);  // minimum ring size
+  EXPECT_EQ(cs.ring_buckets & (cs.ring_buckets - 1), 0u);  // power of two
+  EXPECT_GE(cs.peak_queue_events, 1u);
+  EXPECT_GE(cs.max_bucket_occupancy, 1u);
+  EXPECT_EQ(cs.overflow_spills, 0u);  // delay 3 fits the 64-slot window
+
+  Simulator map(net, QueueKind::kMap);
+  EXPECT_EQ(map.queue_kind(), QueueKind::kMap);
+  map.inject_spike(a, 0);
+  const SimStats ms = map.run();
+  EXPECT_EQ(ms.ring_buckets, 0u);  // no ring in the legacy queue
+  EXPECT_EQ(ms.spikes, cs.spikes);
+  EXPECT_EQ(ms.peak_queue_events, cs.peak_queue_events);
+}
+
+TEST(SimInvariants, FarFutureEventsSpillAndMigrate) {
+  // An injection far beyond the ring window must spill to the overflow map,
+  // then migrate back into the ring as the window slides — and the run must
+  // still process it correctly.
+  Network net;
+  const NeuronId a = net.add_threshold_neuron(1);
+  const NeuronId b = net.add_threshold_neuron(1);
+  net.add_synapse(a, b, 1, 2);
+  Simulator sim(net);
+  sim.inject_spike(a, 0);
+  sim.inject_spike(a, 1'000'000);  // >> ring window (64 slots)
+  const SimStats st = sim.run();
+  EXPECT_GE(st.overflow_spills, 1u);
+  EXPECT_EQ(sim.spike_count(a), 2u);
+  EXPECT_EQ(sim.spike_count(b), 2u);
+  EXPECT_EQ(st.end_time, 1'000'002);
+}
 
 TEST(SimInvariants, ExcitationOnlyNetworkSpikesMonotonically) {
   // With only positive weights and no decay, adding an extra input spike

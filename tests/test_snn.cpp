@@ -3,6 +3,8 @@
 // and the simulator's observability surface.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "snn/network.h"
 #include "snn/probe.h"
 #include "snn/simulator.h"
@@ -291,6 +293,102 @@ TEST(Probe, InjectBinaryRejectsOverflow) {
   std::vector<NeuronId> bus{net.add_threshold_neuron(1)};
   Simulator sim(net);
   EXPECT_THROW(inject_binary(sim, bus, 2, 0), InvalidArgument);
+}
+
+TEST(Probe, WindowDecodeSeesMidWindowSpike) {
+  // Regression: a bit spiking at 0, 5, and 10 fired inside [4, 6], but the
+  // old first/last-spike-only decode reported it silent (first < t0 and
+  // last > t1). The fix resolves such bits from the spike log.
+  Network net;
+  const NeuronId inside = net.add_threshold_neuron(1);
+  const NeuronId outside = net.add_threshold_neuron(1);
+  Simulator sim(net);
+  for (const Time t : {0, 5, 10}) sim.inject_spike(inside, t);
+  for (const Time t : {0, 10}) sim.inject_spike(outside, t);
+  SimConfig cfg;
+  cfg.record_spike_log = true;
+  sim.run(cfg);
+  const std::vector<NeuronId> bus{inside, outside};
+  EXPECT_EQ(decode_binary_window(sim, bus, 4, 6), 0b01u);
+  EXPECT_EQ(decode_binary_window(sim, bus, 0, 10), 0b11u);
+  EXPECT_EQ(decode_binary_window(sim, bus, 6, 9), 0b00u);
+  EXPECT_TRUE(sim.fired_in(inside, 5, 5));
+  EXPECT_FALSE(sim.fired_in(inside, 4, 4));
+}
+
+TEST(Probe, WindowDecodeAmbiguousWithoutLogThrows) {
+  // Without a spike log the mid-window question is undecidable; the decoder
+  // must say so instead of guessing.
+  Network net;
+  const NeuronId n = net.add_threshold_neuron(1);
+  Simulator sim(net);
+  for (const Time t : {0, 5, 10}) sim.inject_spike(n, t);
+  sim.run();
+  const std::vector<NeuronId> bus{n};
+  EXPECT_THROW(decode_binary_window(sim, bus, 4, 6), InvalidArgument);
+  // Conclusive windows still work without the log.
+  EXPECT_EQ(decode_binary_window(sim, bus, 0, 3), 1u);
+  EXPECT_EQ(decode_binary_window(sim, bus, 11, 12), 0u);
+}
+
+TEST(Probe, InjectBinaryValidates63BitBoundary) {
+  // Regression: at bits.size() == 63 the old check skipped range validation
+  // entirely, silently dropping bit 63 of oversized values.
+  Network net;
+  std::vector<NeuronId> bus;
+  for (int i = 0; i < 63; ++i) bus.push_back(net.add_threshold_neuron(1));
+  Simulator sim(net);
+  EXPECT_THROW(inject_binary(sim, bus, 1ULL << 63, 0), InvalidArgument);
+  const std::uint64_t max63 = (1ULL << 63) - 1;  // largest representable
+  inject_binary(sim, bus, max63, 0);
+  sim.run();
+  EXPECT_EQ(decode_binary_at(sim, bus, 0), max63);
+}
+
+TEST(Simulator, PseudopolynomialDelayPastHorizonIsDroppedNotOverflowed) {
+  // Regression: with the kNever horizon, t + delay could overflow Time
+  // (signed UB) for pseudopolynomial delays. The subtraction-form guard
+  // drops the event and reports hit_time_limit instead.
+  Network net;
+  const NeuronId a = net.add_threshold_neuron(1);
+  const NeuronId b = net.add_threshold_neuron(1);
+  const NeuronId c = net.add_threshold_neuron(1);
+  net.add_synapse(a, b, 1, kNever / 2);
+  net.add_synapse(b, c, 1, std::numeric_limits<Delay>::max() - 10);
+  Simulator sim(net);
+  sim.inject_spike(a, 0);
+  const SimStats st = sim.run();  // default horizon: max_time = kNever
+  EXPECT_EQ(sim.first_spike(b), kNever / 2);
+  EXPECT_EQ(sim.spike_count(c), 0u);  // dropped, not wrapped around
+  EXPECT_TRUE(st.hit_time_limit);
+  EXPECT_EQ(st.end_time, kNever / 2);
+}
+
+TEST(Simulator, BothBeyondHorizonDropPathsReportTimeLimit) {
+  // Consistency: work pruned at fire() time and injected spikes past the
+  // horizon both surface as hit_time_limit.
+  {
+    Network net;
+    const NeuronId a = net.add_threshold_neuron(1);
+    const NeuronId b = net.add_threshold_neuron(1);
+    net.add_synapse(a, b, 1, 10);
+    Simulator sim(net);
+    sim.inject_spike(a, 0);
+    SimConfig cfg;
+    cfg.max_time = 5;
+    EXPECT_TRUE(sim.run(cfg).hit_time_limit);
+    EXPECT_EQ(sim.spike_count(b), 0u);
+  }
+  {
+    Network net;
+    const NeuronId a = net.add_threshold_neuron(1);
+    Simulator sim(net);
+    sim.inject_spike(a, 10);
+    SimConfig cfg;
+    cfg.max_time = 5;
+    EXPECT_TRUE(sim.run(cfg).hit_time_limit);
+    EXPECT_EQ(sim.spike_count(a), 0u);
+  }
 }
 
 }  // namespace
