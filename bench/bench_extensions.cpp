@@ -87,7 +87,7 @@ int main() {
           1, r3.uniform_int(1, 4));
     }
     WallTimer t;
-    const auto uc = snn::unroll_to_threshold_circuit(net, horizon);
+    const auto uc = snn::unroll_to_threshold_circuit(net.compile(), horizon);
     const bool exact =
         uc.circuit.num_neurons() == n * (static_cast<std::size_t>(horizon) + 1);
     ur.add_row({Table::num(static_cast<std::uint64_t>(n)),

@@ -16,6 +16,7 @@
 #include "nga/khop_poly.h"
 #include "nga/sssp_batch.h"
 #include "nga/sssp_event.h"
+#include "snn/reference_sim.h"
 #include "snn/simulator.h"
 
 using namespace sga;
@@ -92,11 +93,12 @@ void BM_MaxCircuitEval(benchmark::State& state) {
   snn::Network net;
   circuits::CircuitBuilder cb(net);
   const auto c = circuits::build_max_wired_or(cb, d, 8);
+  const snn::CompiledNetwork compiled = cb.freeze();  // pay validation once
   Rng rng(0xBEEF03);
   std::vector<std::uint64_t> vals(static_cast<std::size_t>(d));
   for (auto& v : vals) v = static_cast<std::uint64_t>(rng.uniform_int(0, 255));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(circuits::eval_max_circuit(net, c, vals));
+    benchmark::DoNotOptimize(circuits::eval_max_circuit(compiled, c, vals));
   }
 }
 BENCHMARK(BM_MaxCircuitEval)->Arg(4)->Arg(16)->Arg(64);
@@ -164,6 +166,67 @@ void BM_SimQueueMap(benchmark::State& state) {
   run_queue_ablation(state, snn::QueueKind::kMap);
 }
 BENCHMARK(BM_SimQueueMap)->Arg(16)->Arg(64)->Arg(512);
+
+// --- synapse-layout ablation (nested vectors vs CSR) --------------------
+// The same dense-delay recurrent workload, three execution models, all
+// constructing a fresh simulator per iteration so setup costs are charged
+// equally:
+//   NestedVector — ReferenceSimulator: per-neuron std::vector<Synapse>
+//                  chased on every fired neuron, std::map bucket queue
+//                  (the pre-compile() execution model);
+//   CsrMap       — compiled CSR/SoA network, same std::map queue: isolates
+//                  what the flat synapse layout alone buys;
+//   CsrCalendar  — compiled network on the calendar queue: the production
+//                  hot path end to end.
+// items/sec = synaptic deliveries, so per-item time is ns/delivery.
+
+void run_layout_ablation_reference(benchmark::State& state) {
+  const auto max_delay = static_cast<Delay>(state.range(0));
+  const snn::Network net = make_dense_delay_net(512, 8, max_delay);
+  std::uint64_t deliveries = 0;
+  for (auto _ : state) {
+    snn::ReferenceSimulator sim(net);  // one-shot: rebuilt per iteration
+    for (NeuronId i = 0; i < 8; ++i) sim.inject_spike(i, 0);
+    snn::SimConfig cfg;
+    cfg.max_time = 200 + 4 * max_delay;
+    const auto st = sim.run(cfg);
+    deliveries += st.deliveries;
+    benchmark::DoNotOptimize(st.spikes);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(deliveries));
+}
+
+void run_layout_ablation_csr(benchmark::State& state, snn::QueueKind kind) {
+  const auto max_delay = static_cast<Delay>(state.range(0));
+  const snn::CompiledNetwork net =
+      make_dense_delay_net(512, 8, max_delay).compile();
+  std::uint64_t deliveries = 0;
+  for (auto _ : state) {
+    snn::Simulator sim(net, kind);
+    for (NeuronId i = 0; i < 8; ++i) sim.inject_spike(i, 0);
+    snn::SimConfig cfg;
+    cfg.max_time = 200 + 4 * max_delay;
+    const auto st = sim.run(cfg);
+    deliveries += st.deliveries;
+    benchmark::DoNotOptimize(st.spikes);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(deliveries));
+}
+
+void BM_SimLayoutNestedVector(benchmark::State& state) {
+  run_layout_ablation_reference(state);
+}
+BENCHMARK(BM_SimLayoutNestedVector)->Arg(16)->Arg(64)->Arg(512);
+
+void BM_SimLayoutCsrMap(benchmark::State& state) {
+  run_layout_ablation_csr(state, snn::QueueKind::kMap);
+}
+BENCHMARK(BM_SimLayoutCsrMap)->Arg(16)->Arg(64)->Arg(512);
+
+void BM_SimLayoutCsrCalendar(benchmark::State& state) {
+  run_layout_ablation_csr(state, snn::QueueKind::kCalendar);
+}
+BENCHMARK(BM_SimLayoutCsrCalendar)->Arg(16)->Arg(64)->Arg(512);
 
 // --- batched multi-source SSSP vs 64 fresh runs -------------------------
 // The batch driver builds the network once and reuses epoch-reset

@@ -44,7 +44,7 @@ int main() {
   for (VertexId v = 0; v < 16; ++v) {
     if (dj.reachable(v)) ecc = std::max(ecc, dj.dist[v]);
   }
-  const auto snn_sim = congest::simulate_snn_in_congest(net, {{0, 0}}, ecc);
+  const auto snn_sim = congest::simulate_snn_in_congest(net.compile(), {{0, 0}}, ecc);
   std::cout << "SNN-in-CONGEST: " << snn_sim.stats.rounds
             << " rounds (one per time step), " << snn_sim.stats.messages
             << " single-bit messages, " << snn_sim.spike_log.size()

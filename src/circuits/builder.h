@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/types.h"
+#include "snn/compiled_network.h"
 #include "snn/network.h"
 
 namespace sga::circuits {
@@ -45,6 +46,12 @@ class CircuitBuilder {
   explicit CircuitBuilder(snn::Network& net) : net_(net) {}
 
   snn::Network& net() { return net_; }
+
+  /// Freeze the underlying network for simulation: run the compile-time
+  /// validation pass and pack the CSR form the Simulator consumes. Further
+  /// building through this builder is still allowed — it affects only
+  /// networks frozen later, never this snapshot.
+  snn::CompiledNetwork freeze() const { return net_.compile(); }
 
   /// Level-0 input relay (threshold 1, τ = 1). Fires when injected or when
   /// any upstream synapse delivers weight ≥ 1.

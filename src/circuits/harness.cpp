@@ -21,7 +21,8 @@ void present_values(snn::Simulator& sim, const MaxCircuit& c,
 
 }  // namespace
 
-std::uint64_t eval_max_circuit(const snn::Network& net, const MaxCircuit& c,
+std::uint64_t eval_max_circuit(const snn::CompiledNetwork& net,
+                               const MaxCircuit& c,
                                const std::vector<std::uint64_t>& values) {
   snn::Simulator sim(net);
   present_values(sim, c, values, 0);
@@ -32,7 +33,7 @@ std::uint64_t eval_max_circuit(const snn::Network& net, const MaxCircuit& c,
 }
 
 std::vector<std::uint64_t> eval_max_circuit_pipelined(
-    const snn::Network& net, const MaxCircuit& c,
+    const snn::CompiledNetwork& net, const MaxCircuit& c,
     const std::vector<std::vector<std::uint64_t>>& presentations) {
   snn::Simulator sim(net);
   for (std::size_t r = 0; r < presentations.size(); ++r) {
@@ -58,7 +59,7 @@ std::vector<std::uint64_t> eval_max_circuit_pipelined(
   return results;
 }
 
-std::uint64_t eval_adder_circuit(const snn::Network& net,
+std::uint64_t eval_adder_circuit(const snn::CompiledNetwork& net,
                                  const AdderCircuit& c, std::uint64_t a,
                                  std::uint64_t b, bool* carry) {
   snn::Simulator sim(net);
@@ -73,7 +74,7 @@ std::uint64_t eval_adder_circuit(const snn::Network& net,
 }
 
 std::vector<std::uint64_t> eval_adder_circuit_pipelined(
-    const snn::Network& net, const AdderCircuit& c,
+    const snn::CompiledNetwork& net, const AdderCircuit& c,
     const std::vector<std::pair<std::uint64_t, std::uint64_t>>& presentations) {
   snn::Simulator sim(net);
   for (std::size_t r = 0; r < presentations.size(); ++r) {
@@ -100,7 +101,7 @@ std::vector<std::uint64_t> eval_adder_circuit_pipelined(
   return results;
 }
 
-std::uint64_t eval_add_const_circuit(const snn::Network& net,
+std::uint64_t eval_add_const_circuit(const snn::CompiledNetwork& net,
                                      const AddConstCircuit& c,
                                      std::uint64_t a) {
   snn::Simulator sim(net);
@@ -112,8 +113,9 @@ std::uint64_t eval_add_const_circuit(const snn::Network& net,
   return snn::decode_binary_at(sim, c.sum, c.depth);
 }
 
-CmpOutputs eval_comparator(const snn::Network& net, const ComparatorCircuit& c,
-                           std::uint64_t a, std::uint64_t b) {
+CmpOutputs eval_comparator(const snn::CompiledNetwork& net,
+                           const ComparatorCircuit& c, std::uint64_t a,
+                           std::uint64_t b) {
   snn::Simulator sim(net);
   sim.inject_spike(c.enable, 0);
   snn::inject_binary(sim, c.a, a, 0);
@@ -126,6 +128,42 @@ CmpOutputs eval_comparator(const snn::Network& net, const ComparatorCircuit& c,
   out.gt = sim.fired_at(c.gt, 2);
   out.eq = sim.fired_at(c.eq, 3);
   return out;
+}
+
+// ---- Convenience overloads: freeze on the spot ------------------------
+
+std::uint64_t eval_max_circuit(const snn::Network& net, const MaxCircuit& c,
+                               const std::vector<std::uint64_t>& values) {
+  return eval_max_circuit(net.compile(), c, values);
+}
+
+std::vector<std::uint64_t> eval_max_circuit_pipelined(
+    const snn::Network& net, const MaxCircuit& c,
+    const std::vector<std::vector<std::uint64_t>>& presentations) {
+  return eval_max_circuit_pipelined(net.compile(), c, presentations);
+}
+
+std::uint64_t eval_adder_circuit(const snn::Network& net,
+                                 const AdderCircuit& c, std::uint64_t a,
+                                 std::uint64_t b, bool* carry) {
+  return eval_adder_circuit(net.compile(), c, a, b, carry);
+}
+
+std::vector<std::uint64_t> eval_adder_circuit_pipelined(
+    const snn::Network& net, const AdderCircuit& c,
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& presentations) {
+  return eval_adder_circuit_pipelined(net.compile(), c, presentations);
+}
+
+std::uint64_t eval_add_const_circuit(const snn::Network& net,
+                                     const AddConstCircuit& c,
+                                     std::uint64_t a) {
+  return eval_add_const_circuit(net.compile(), c, a);
+}
+
+CmpOutputs eval_comparator(const snn::Network& net, const ComparatorCircuit& c,
+                           std::uint64_t a, std::uint64_t b) {
+  return eval_comparator(net.compile(), c, a, b);
 }
 
 }  // namespace sga::circuits

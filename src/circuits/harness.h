@@ -12,30 +12,51 @@
 #include "circuits/arith.h"
 #include "circuits/gates.h"
 #include "circuits/max_circuits.h"
+#include "snn/compiled_network.h"
 #include "snn/network.h"
 
 namespace sga::circuits {
 
+// The primary overloads take a frozen CompiledNetwork so repeated
+// evaluations of one circuit (parameter sweeps, pipelined benchmarks) pay
+// the freeze/validation cost once. Each has a `const Network&` convenience
+// overload that compiles on the spot — fine for one-shot use in tests.
+
 /// Single presentation at t = 0; returns the λ-bit output.
+std::uint64_t eval_max_circuit(const snn::CompiledNetwork& net,
+                               const MaxCircuit& c,
+                               const std::vector<std::uint64_t>& values);
 std::uint64_t eval_max_circuit(const snn::Network& net, const MaxCircuit& c,
                                const std::vector<std::uint64_t>& values);
 
 /// One presentation per time step t = 0, 1, ...; returns one output per
 /// presentation (decoded at t + depth).
 std::vector<std::uint64_t> eval_max_circuit_pipelined(
+    const snn::CompiledNetwork& net, const MaxCircuit& c,
+    const std::vector<std::vector<std::uint64_t>>& presentations);
+std::vector<std::uint64_t> eval_max_circuit_pipelined(
     const snn::Network& net, const MaxCircuit& c,
     const std::vector<std::vector<std::uint64_t>>& presentations);
 
 /// a + b; if carry is non-null it receives the carry-out bit.
+std::uint64_t eval_adder_circuit(const snn::CompiledNetwork& net,
+                                 const AdderCircuit& c, std::uint64_t a,
+                                 std::uint64_t b, bool* carry = nullptr);
 std::uint64_t eval_adder_circuit(const snn::Network& net,
                                  const AdderCircuit& c, std::uint64_t a,
                                  std::uint64_t b, bool* carry = nullptr);
 
 std::vector<std::uint64_t> eval_adder_circuit_pipelined(
+    const snn::CompiledNetwork& net, const AdderCircuit& c,
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& presentations);
+std::vector<std::uint64_t> eval_adder_circuit_pipelined(
     const snn::Network& net, const AdderCircuit& c,
     const std::vector<std::pair<std::uint64_t, std::uint64_t>>& presentations);
 
 /// (a + constant) mod 2^λ for an AddConstCircuit.
+std::uint64_t eval_add_const_circuit(const snn::CompiledNetwork& net,
+                                     const AddConstCircuit& c,
+                                     std::uint64_t a);
 std::uint64_t eval_add_const_circuit(const snn::Network& net,
                                      const AddConstCircuit& c,
                                      std::uint64_t a);
@@ -43,6 +64,9 @@ std::uint64_t eval_add_const_circuit(const snn::Network& net,
 struct CmpOutputs {
   bool ge = false, gt = false, eq = false;
 };
+CmpOutputs eval_comparator(const snn::CompiledNetwork& net,
+                           const ComparatorCircuit& c, std::uint64_t a,
+                           std::uint64_t b);
 CmpOutputs eval_comparator(const snn::Network& net, const ComparatorCircuit& c,
                            std::uint64_t a, std::uint64_t b);
 

@@ -104,7 +104,7 @@ nga::NgaTrace run_nga_in_congest(const Graph& g,
 }
 
 SnnCongestResult simulate_snn_in_congest(
-    const snn::Network& net,
+    const snn::CompiledNetwork& net,
     const std::vector<std::pair<NeuronId, Time>>& injections, Time horizon) {
   SGA_REQUIRE(horizon >= 0, "simulate_snn_in_congest: bad horizon");
 
@@ -116,9 +116,9 @@ SnnCongestResult simulate_snn_in_congest(
   };
   std::vector<SynRef> syn_of_edge;
   for (NeuronId u = 0; u < net.num_neurons(); ++u) {
-    for (const auto& s : net.out_synapses(u)) {
-      g.add_edge(u, s.target, 1);
-      syn_of_edge.push_back({s.weight, s.delay});
+    for (std::size_t k = net.out_begin(u); k < net.out_end(u); ++k) {
+      g.add_edge(u, net.syn_target(k), 1);
+      syn_of_edge.push_back({net.syn_weight(k), net.syn_delay(k)});
     }
   }
 

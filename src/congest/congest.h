@@ -22,7 +22,7 @@
 #include "core/types.h"
 #include "graph/graph.h"
 #include "nga/model.h"
-#include "snn/network.h"
+#include "snn/compiled_network.h"
 
 namespace sga::congest {
 
@@ -75,14 +75,16 @@ nga::NgaTrace run_nga_in_congest(const Graph& g,
 /// Simulate a discrete-time SNN in CONGEST: one node per neuron, one round
 /// per time step, 1-bit messages ("Each message is simply a single bit,
 /// indicating whether the neuron fired at time t"). Synapse delays > 1 are
-/// buffered at the receiver. Returns the (time, neuron) spike log, which
-/// must equal the event-driven simulator's.
+/// buffered at the receiver. Takes the frozen network (freeze first:
+/// net.compile()) so the synapse walk and the invariants match what the
+/// event-driven simulator executes. Returns the (time, neuron) spike log,
+/// which must equal that simulator's.
 struct SnnCongestResult {
   std::vector<std::pair<Time, NeuronId>> spike_log;
   RoundStats stats;
 };
 SnnCongestResult simulate_snn_in_congest(
-    const snn::Network& net,
+    const snn::CompiledNetwork& net,
     const std::vector<std::pair<NeuronId, Time>>& injections, Time horizon);
 
 /// CONGEST-native k-hop Bellman–Ford: k rounds, messages of

@@ -103,7 +103,8 @@ ApproxKHopResult approx_khop_sssp(const Graph& g,
         net.add_synapse(base + v, base + v, -guard, 1);
       }
     }
-    snn::Simulator sim(net);
+    const snn::CompiledNetwork compiled = net.compile();
+    snn::Simulator sim(compiled);
     for (std::uint32_t i = 0; i <= max_i; ++i) {
       sim.inject_spike(i * nv + opt.source, 0);
     }

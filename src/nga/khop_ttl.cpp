@@ -136,8 +136,10 @@ KHopTtlResult khop_sssp_ttl(const Graph& g, const KHopTtlOptions& opt) {
     }
   }
 
-  // Launch: the source's node output emits TTL k-1 at time 0.
-  snn::Simulator sim(net, opt.queue);
+  // Freeze the compiled fabric, then launch: the source's node output
+  // emits TTL k-1 at time 0.
+  const snn::CompiledNetwork compiled = net.compile();
+  snn::Simulator sim(compiled, opt.queue);
   snn::inject_binary(sim, circuits_by_vertex[opt.source].out_bits, opt.k - 1,
                      0);
   sim.inject_spike(circuits_by_vertex[opt.source].out_valid, 0);

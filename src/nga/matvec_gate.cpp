@@ -75,8 +75,9 @@ GateMatvecResult matvec_gate_level(const Graph& g,
     out_time = std::max<Time>(out_time, tree_input_time + tree[v].depth);
   }
 
-  // Run one presentation.
-  snn::Simulator sim(net);
+  // Freeze, then run one presentation.
+  const snn::CompiledNetwork compiled = net.compile();
+  snn::Simulator sim(compiled);
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     snn::inject_binary(sim, xin[v], x[v], 0);
   }

@@ -50,7 +50,8 @@ SpikingSsspPathResult spiking_sssp_with_paths(
     }
   }
 
-  snn::Simulator sim(net);
+  const snn::CompiledNetwork compiled = net.compile();
+  snn::Simulator sim(compiled);
   sim.inject_spike(opt.source, 0);
   snn::SimConfig cfg;
   cfg.max_time = opt.max_time != kNever

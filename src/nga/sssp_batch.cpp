@@ -19,7 +19,9 @@ SsspBatchResult spiking_sssp_batch(const Graph& g,
     SGA_REQUIRE(s < g.num_vertices(), "spiking_sssp_batch: bad source " << s);
   }
 
-  const snn::Network net = build_sssp_network(g);
+  // Build and freeze ONCE; the immutable compiled form is then shared
+  // read-only by every worker's simulator.
+  const snn::CompiledNetwork net = build_sssp_network(g).compile();
   SsspBatchResult out;
   out.runs.resize(sources.size());
   out.neurons = net.num_neurons();

@@ -38,7 +38,8 @@ SpikingSsspResult spiking_sssp(const Graph& g, const SpikingSsspOptions& opt) {
     SGA_REQUIRE(t < g.num_vertices(), "spiking_sssp: bad target " << t);
   }
 
-  const snn::Network net = build_sssp_network(g);
+  // build → freeze → simulate: mutation ends here.
+  const snn::CompiledNetwork net = build_sssp_network(g).compile();
   snn::Simulator sim(net, opt.queue);
   sim.inject_spike(opt.source, 0);
 

@@ -1,0 +1,95 @@
+#include "snn/compiled_network.h"
+
+#include <algorithm>
+
+#include "snn/network.h"
+
+namespace sga::snn {
+
+CompiledNetwork::CompiledNetwork(const Network& net) {
+  const std::size_t n = net.num_neurons();
+  v_reset_.resize(n);
+  v_threshold_.resize(n);
+  tau_.resize(n);
+  for (NeuronId i = 0; i < n; ++i) {
+    const NeuronParams& p = net.params(i);
+    SGA_REQUIRE(p.tau >= 0.0 && p.tau <= 1.0,
+                "compile: neuron " << i << " has decay τ = " << p.tau
+                                   << " outside [0, 1]");
+    v_reset_[i] = p.v_reset;
+    v_threshold_[i] = p.v_threshold;
+    tau_[i] = p.tau;
+  }
+
+  // CSR pack in source-id order, preserving per-source insertion order.
+  offsets_.resize(n + 1);
+  offsets_[0] = 0;
+  for (NeuronId i = 0; i < n; ++i) {
+    offsets_[i + 1] = offsets_[i] + net.out_synapses(i).size();
+  }
+  const std::size_t m = offsets_[n];
+  targets_.resize(m);
+  weights_.resize(m);
+  delays_.resize(m);
+  pos_in_weight_.assign(n, 0);
+
+  Delay max_delay = 0;
+  std::size_t k = 0;
+  for (NeuronId i = 0; i < n; ++i) {
+    for (const Synapse& s : net.out_synapses(i)) {
+      SGA_REQUIRE(s.target < n, "compile: synapse "
+                                    << k << " (from neuron " << i
+                                    << ") targets out-of-range neuron "
+                                    << s.target);
+      SGA_REQUIRE(s.delay >= kMinDelay,
+                  "compile: synapse " << k << " (from neuron " << i
+                                      << ") has delay " << s.delay
+                                      << " below minimum δ = " << kMinDelay);
+      targets_[k] = s.target;
+      weights_[k] = s.weight;
+      delays_[k] = s.delay;
+      if (s.weight > 0) pos_in_weight_[s.target] += s.weight;
+      max_delay = std::max(max_delay, s.delay);
+      ++k;
+    }
+  }
+  max_delay_ = max_delay;
+
+  // The builder maintains these incrementally; the packed arrays are the
+  // ground truth. A mismatch means builder state was corrupted.
+  SGA_CHECK(m == net.num_synapses(),
+            "compile: packed " << m << " synapses but the builder counted "
+                               << net.num_synapses());
+  SGA_CHECK(max_delay_ == net.max_delay(),
+            "compile: packed max delay " << max_delay_
+                                         << " != builder max delay "
+                                         << net.max_delay());
+
+  for (const std::string& name : net.group_names()) {
+    const std::vector<NeuronId>& ids = net.group(name);
+    for (const NeuronId id : ids) {
+      SGA_REQUIRE(id < n, "compile: group '" << name
+                                             << "' contains out-of-range "
+                                                "neuron id "
+                                             << id);
+    }
+    groups_.emplace(name, ids);
+  }
+}
+
+const std::vector<NeuronId>& CompiledNetwork::group(
+    const std::string& name) const {
+  const auto it = groups_.find(name);
+  SGA_REQUIRE(it != groups_.end(), "unknown group: " << name);
+  return it->second;
+}
+
+std::vector<std::string> CompiledNetwork::group_names() const {
+  std::vector<std::string> names;
+  names.reserve(groups_.size());
+  for (const auto& [name, ids] : groups_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace sga::snn

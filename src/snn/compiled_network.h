@@ -1,0 +1,145 @@
+// Immutable, simulation-ready form of an snn::Network.
+//
+// The two-phase pipeline (ARCHITECTURE.md §1.3) separates construction from
+// execution: builders (circuits::CircuitBuilder, the nga compilers, io)
+// mutate a Network, then freeze it once with Network::compile(). The frozen
+// CompiledNetwork stores
+//   * neuron parameters as structure-of-arrays (v_reset / v_threshold / τ),
+//   * out-synapses CSR-packed: one offsets array (n+1 entries) plus flat,
+//     contiguous targets / weights / delays arrays in source-id order —
+//     the fan-out of a fired neuron is one contiguous slice, no per-neuron
+//     heap pointer to chase,
+//   * per-neuron aggregates computed once at freeze time (the positive
+//     in-weight table that previously cost a full-graph scan per query).
+// compile() also runs the validation pass that used to be scattered across
+// accessors or skipped entirely: every delay ≥ δ, every target in range,
+// every τ ∈ [0, 1], every group member a real neuron, and the builder's
+// max_delay / num_synapses counters consistent with the packed arrays.
+//
+// CompiledNetwork is deep-value (a handful of vectors): copy to snapshot,
+// move for ownership transfer. It is immutable after construction, so one
+// instance can back any number of Simulators across threads.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/error.h"
+#include "core/types.h"
+#include "snn/neuron.h"
+
+namespace sga::snn {
+
+class Network;
+
+class CompiledNetwork {
+ public:
+  /// Freeze `net`. Equivalent to net.compile(); see that method for the
+  /// validation contract.
+  explicit CompiledNetwork(const Network& net);
+
+  std::size_t num_neurons() const { return v_reset_.size(); }
+  std::size_t num_synapses() const { return targets_.size(); }
+
+  /// Largest synapse delay (0 when there are no synapses); the simulator
+  /// sizes its calendar-queue ring window from this.
+  Delay max_delay() const { return max_delay_; }
+
+  // ---- Neuron parameters (SoA; unchecked hot-path accessors) -----------
+  Voltage v_reset(NeuronId id) const { return v_reset_[id]; }
+  Voltage v_threshold(NeuronId id) const { return v_threshold_[id]; }
+  double tau(NeuronId id) const { return tau_[id]; }
+
+  /// Checked, reconstructing accessor for construction-side consumers.
+  NeuronParams params(NeuronId id) const {
+    SGA_REQUIRE(id < num_neurons(), "neuron id out of range: " << id);
+    return NeuronParams{v_reset_[id], v_threshold_[id], tau_[id]};
+  }
+
+  // ---- CSR out-synapses (unchecked hot-path accessors) -----------------
+  // The out-synapses of neuron `id` are the index range
+  // [out_begin(id), out_end(id)) into the flat arrays, in insertion order.
+  std::size_t out_begin(NeuronId id) const { return offsets_[id]; }
+  std::size_t out_end(NeuronId id) const { return offsets_[id + 1]; }
+  std::size_t out_degree(NeuronId id) const {
+    return offsets_[id + 1] - offsets_[id];
+  }
+  NeuronId syn_target(std::size_t k) const { return targets_[k]; }
+  SynWeight syn_weight(std::size_t k) const { return weights_[k]; }
+  Delay syn_delay(std::size_t k) const { return delays_[k]; }
+
+  /// Range view over a neuron's out-synapses yielding Synapse values, for
+  /// construction-side consumers (io, unroll, congest) that want the old
+  /// nested-vector iteration idiom without the nested vectors.
+  class OutSynapseIter {
+   public:
+    OutSynapseIter(const CompiledNetwork* net, std::size_t k)
+        : net_(net), k_(k) {}
+    Synapse operator*() const {
+      return Synapse{net_->targets_[k_], net_->weights_[k_], net_->delays_[k_]};
+    }
+    OutSynapseIter& operator++() {
+      ++k_;
+      return *this;
+    }
+    bool operator!=(const OutSynapseIter& o) const { return k_ != o.k_; }
+    bool operator==(const OutSynapseIter& o) const { return k_ == o.k_; }
+
+   private:
+    const CompiledNetwork* net_;
+    std::size_t k_;
+  };
+  class OutSynapseRange {
+   public:
+    OutSynapseRange(const CompiledNetwork* net, std::size_t b, std::size_t e)
+        : net_(net), begin_(b), end_(e) {}
+    OutSynapseIter begin() const { return {net_, begin_}; }
+    OutSynapseIter end() const { return {net_, end_}; }
+    std::size_t size() const { return end_ - begin_; }
+    Synapse operator[](std::size_t i) const {
+      return *OutSynapseIter{net_, begin_ + i};
+    }
+
+   private:
+    const CompiledNetwork* net_;
+    std::size_t begin_;
+    std::size_t end_;
+  };
+  OutSynapseRange out_synapses(NeuronId id) const {
+    SGA_REQUIRE(id < num_neurons(), "neuron id out of range: " << id);
+    return {this, offsets_[id], offsets_[id + 1]};
+  }
+
+  // ---- Freeze-time aggregates ------------------------------------------
+  /// Total positive in-weight of `id` (Section 3's fire-once sizing bound).
+  /// O(1): tabulated once at freeze time.
+  SynWeight positive_in_weight(NeuronId id) const {
+    SGA_REQUIRE(id < num_neurons(), "positive_in_weight: bad id " << id);
+    return pos_in_weight_[id];
+  }
+
+  // ---- Named groups (ports), carried over from the builder -------------
+  bool has_group(const std::string& name) const {
+    return groups_.contains(name);
+  }
+  const std::vector<NeuronId>& group(const std::string& name) const;
+  std::vector<std::string> group_names() const;
+
+ private:
+  std::vector<Voltage> v_reset_;
+  std::vector<Voltage> v_threshold_;
+  std::vector<double> tau_;
+
+  std::vector<std::size_t> offsets_;  ///< n+1 entries; CSR row pointers
+  std::vector<NeuronId> targets_;
+  std::vector<SynWeight> weights_;
+  std::vector<Delay> delays_;
+
+  std::vector<SynWeight> pos_in_weight_;
+  Delay max_delay_ = 0;
+  std::unordered_map<std::string, std::vector<NeuronId>> groups_;
+};
+
+}  // namespace sga::snn

@@ -10,14 +10,14 @@
 
 namespace sga::snn {
 
-void write_network(std::ostream& os, const Network& net) {
+void write_network(std::ostream& os, const CompiledNetwork& net) {
   // max_digits10 keeps doubles bit-exact across a round trip.
   os << std::setprecision(std::numeric_limits<double>::max_digits10);
   os << "snn 1\n";
   os << "neurons " << net.num_neurons() << '\n';
   for (NeuronId i = 0; i < net.num_neurons(); ++i) {
-    const NeuronParams& p = net.params(i);
-    os << "n " << p.v_reset << ' ' << p.v_threshold << ' ' << p.tau << '\n';
+    os << "n " << net.v_reset(i) << ' ' << net.v_threshold(i) << ' '
+       << net.tau(i) << '\n';
   }
   os << "synapses " << net.num_synapses() << '\n';
   for (NeuronId i = 0; i < net.num_neurons(); ++i) {
@@ -34,6 +34,10 @@ void write_network(std::ostream& os, const Network& net) {
     for (const NeuronId id : ids) os << ' ' << id;
     os << '\n';
   }
+}
+
+void write_network(std::ostream& os, const Network& net) {
+  write_network(os, net.compile());
 }
 
 namespace {
@@ -101,6 +105,10 @@ Network read_network(std::istream& is) {
     net.define_group(name, std::move(ids));
   }
   return net;
+}
+
+CompiledNetwork read_compiled_network(std::istream& is) {
+  return read_network(is).compile();
 }
 
 }  // namespace sga::snn

@@ -15,14 +15,28 @@
 
 #include <iosfwd>
 
+#include "snn/compiled_network.h"
 #include "snn/network.h"
 
 namespace sga::snn {
 
+/// Serialize a frozen network. The compiled form is the canonical source:
+/// it has already passed the freeze validator, so what is written is a
+/// checked network, in CSR (source-id) order.
+void write_network(std::ostream& os, const CompiledNetwork& net);
+
+/// Convenience: freeze (validating) and write in one step.
 void write_network(std::ostream& os, const Network& net);
 
-/// Parse the write_network format. Throws InvalidArgument on malformed or
-/// version-mismatched input.
+/// Parse the write_network format into a mutable builder (callers may wire
+/// further structure before freezing). Throws InvalidArgument on malformed
+/// or version-mismatched input — neuron parameters, synapse endpoints,
+/// delays, and group members are validated as they are added, so a bad or
+/// truncated file never yields a half-built network.
 Network read_network(std::istream& is);
+
+/// Parse and freeze: the full round-trip counterpart of
+/// write_network(os, compiled).
+CompiledNetwork read_compiled_network(std::istream& is);
 
 }  // namespace sga::snn

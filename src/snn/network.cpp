@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "snn/compiled_network.h"
+
 namespace sga::snn {
 
 NeuronId Network::add_neuron(NeuronParams p) {
@@ -9,6 +11,7 @@ NeuronId Network::add_neuron(NeuronParams p) {
               "decay τ must be in [0, 1], got " << p.tau);
   params_.push_back(p);
   out_.emplace_back();
+  pos_in_weight_.push_back(0);
   return static_cast<NeuronId>(params_.size() - 1);
 }
 
@@ -22,18 +25,10 @@ void Network::add_synapse(NeuronId from, NeuronId to, SynWeight weight,
   out_[from].push_back(Synapse{to, weight, delay});
   ++num_synapses_;
   max_delay_ = std::max(max_delay_, delay);
+  if (weight > 0) pos_in_weight_[to] += weight;
 }
 
-SynWeight Network::positive_in_weight(NeuronId id) const {
-  SGA_REQUIRE(id < params_.size(), "positive_in_weight: bad id " << id);
-  SynWeight total = 0;
-  for (const auto& syns : out_) {
-    for (const auto& s : syns) {
-      if (s.target == id && s.weight > 0) total += s.weight;
-    }
-  }
-  return total;
-}
+CompiledNetwork Network::compile() const { return CompiledNetwork(*this); }
 
 void Network::define_group(const std::string& name, std::vector<NeuronId> ids) {
   SGA_REQUIRE(!name.empty(), "define_group: empty name");

@@ -1,6 +1,13 @@
 // Spiking neural network structure (Definition 3): a directed, possibly
 // cyclic multigraph of LIF neurons with weighted, delayed synapses, plus
 // named neuron groups used as input/output ports by circuits and algorithms.
+//
+// Network is the MUTABLE BUILDER half of the two-phase pipeline
+// (ARCHITECTURE.md §1.3): circuits and algorithm compilers grow it with
+// add_neuron / add_synapse / define_group, then freeze it once with
+// compile(), which validates the construction and packs it into the
+// immutable, CSR-laid-out snn::CompiledNetwork the simulator runs on.
+// Mutation ends at that freeze point.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +21,8 @@
 #include "snn/neuron.h"
 
 namespace sga::snn {
+
+class CompiledNetwork;
 
 class Network {
  public:
@@ -43,6 +52,9 @@ class Network {
     return params_[id];
   }
 
+  /// Builder-side introspection of a neuron's out-synapses (insertion
+  /// order). Construction-time only: the simulator runs on the flat CSR
+  /// arrays of a CompiledNetwork, never on these nested vectors.
   std::span<const Synapse> out_synapses(NeuronId id) const {
     SGA_REQUIRE(id < out_.size(), "neuron id out of range: " << id);
     return out_[id];
@@ -50,7 +62,18 @@ class Network {
 
   /// Total in-weight a neuron can receive in one step if every presynaptic
   /// neuron fires once; used to size inhibitory "fire-once" weights.
-  SynWeight positive_in_weight(NeuronId id) const;
+  /// O(1): maintained incrementally by add_synapse.
+  SynWeight positive_in_weight(NeuronId id) const {
+    SGA_REQUIRE(id < pos_in_weight_.size(),
+                "positive_in_weight: bad id " << id);
+    return pos_in_weight_[id];
+  }
+
+  /// Freeze: validate the construction (delay ≥ δ, in-range targets, group
+  /// ids valid, τ ∈ [0, 1], counter consistency) and pack it into the
+  /// immutable CSR form the simulator consumes. The Network remains usable
+  /// afterwards — compile again after further mutation for a new snapshot.
+  CompiledNetwork compile() const;
 
   // ---- Named groups (ports) -------------------------------------------
   // Circuits and algorithm builders register the neuron vectors that encode
@@ -67,6 +90,7 @@ class Network {
  private:
   std::vector<NeuronParams> params_;
   std::vector<std::vector<Synapse>> out_;
+  std::vector<SynWeight> pos_in_weight_;  ///< incremental Σ positive in-weight
   std::size_t num_synapses_ = 0;
   Delay max_delay_ = 0;
   std::unordered_map<std::string, std::vector<NeuronId>> groups_;

@@ -1,0 +1,152 @@
+#include "snn/reference_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+
+namespace sga::snn {
+
+ReferenceSimulator::ReferenceSimulator(const Network& net) : net_(net) {
+  const std::size_t n = net.num_neurons();
+  v_.resize(n);
+  last_update_.assign(n, 0);
+  first_spike_.assign(n, kNever);
+  last_spike_.assign(n, kNever);
+  accum_.assign(n, 0);
+  touched_.assign(n, 0);
+  is_terminal_.assign(n, 0);
+  is_watched_.assign(n, 0);
+  for (NeuronId i = 0; i < n; ++i) v_[i] = net.params(i).v_reset;
+}
+
+void ReferenceSimulator::inject_spike(NeuronId id, Time t) {
+  SGA_REQUIRE(id < net_.num_neurons(), "inject_spike: bad neuron " << id);
+  SGA_REQUIRE(t >= 0, "inject_spike: negative time " << t);
+  SGA_REQUIRE(!ran_, "ReferenceSimulator is one-shot");
+  queue_[t].forced.push_back(id);
+}
+
+Voltage ReferenceSimulator::decayed_potential(NeuronId id, Time t) const {
+  const NeuronParams& p = net_.params(id);
+  const Time dt = t - last_update_[id];
+  SGA_CHECK(dt >= 0, "time went backwards for neuron " << id);
+  if (dt == 0 || p.tau == 0.0) return v_[id];
+  if (p.tau == 1.0) return p.v_reset;
+  return p.v_reset + (v_[id] - p.v_reset) * std::pow(1.0 - p.tau,
+                                                     static_cast<double>(dt));
+}
+
+void ReferenceSimulator::fire(NeuronId id, Time t) {
+  const bool first_fire = first_spike_[id] == kNever;
+  v_[id] = net_.params(id).v_reset;
+  last_update_[id] = t;
+  ++stats_.spikes;
+  if (first_fire) first_spike_[id] = t;
+  last_spike_[id] = t;
+  if (record_log_ && (watch_all_ || is_watched_[id])) {
+    spike_log_.emplace_back(t, id);
+  }
+  if (is_terminal_[id] && !terminal_fired_ && first_fire) {
+    --terminals_remaining_;
+    if (terminals_remaining_ == 0) {
+      terminal_fired_ = true;
+      stats_.hit_terminal = true;
+      stats_.execution_time = t;
+    }
+  }
+  // Nested-vector fan-out: one heap-allocated vector per neuron.
+  for (const Synapse& s : net_.out_synapses(id)) {
+    if (s.delay > max_time_ - t) {
+      stats_.hit_time_limit = true;
+      continue;
+    }
+    queue_[t + s.delay].deliveries.push_back(Delivery{s.target, s.weight});
+  }
+}
+
+SimStats ReferenceSimulator::run(const SimConfig& config) {
+  SGA_REQUIRE(!ran_, "ReferenceSimulator::run is one-shot");
+  SGA_REQUIRE(!config.record_causes,
+              "ReferenceSimulator does not implement cause recording");
+  ran_ = true;
+  record_log_ = config.record_spike_log;
+  max_time_ = config.max_time;
+  std::uint64_t distinct_terminals = 0;
+  for (const NeuronId t : config.terminal_neurons) {
+    SGA_REQUIRE(t < net_.num_neurons(), "bad terminal neuron " << t);
+    if (!is_terminal_[t]) {
+      is_terminal_[t] = 1;
+      ++distinct_terminals;
+    }
+  }
+  terminals_remaining_ =
+      config.terminate_on_all ? distinct_terminals
+                              : std::min<std::uint64_t>(1, distinct_terminals);
+  watch_all_ = config.watched_neurons.empty();
+  for (const NeuronId w : config.watched_neurons) {
+    SGA_REQUIRE(w < net_.num_neurons(), "bad watched neuron " << w);
+    is_watched_[w] = 1;
+  }
+
+  std::vector<NeuronId>& targets = targets_scratch_;
+  while (!queue_.empty()) {
+    const auto it = queue_.begin();
+    const Time t = it->first;
+    if (t > max_time_) {
+      stats_.hit_time_limit = true;
+      break;
+    }
+    // Map nodes are reference-stable, and every delay is ≥ 1, so draining
+    // this bucket in place is safe.
+    Bucket& bucket = it->second;
+    ++stats_.event_times;
+    stats_.end_time = t;
+
+    targets.clear();
+    for (const Delivery& d : bucket.deliveries) {
+      ++stats_.deliveries;
+      if (!touched_[d.target]) {
+        touched_[d.target] = 1;
+        targets.push_back(d.target);
+        accum_[d.target] = 0;
+      }
+      accum_[d.target] += d.weight;
+    }
+
+    for (const NeuronId id : bucket.forced) {
+      if (last_spike_[id] == t) continue;
+      fire(id, t);
+      if (touched_[id]) {
+        accum_[id] = 0;
+        touched_[id] = 2;
+      }
+    }
+
+    for (const NeuronId id : targets) {
+      if (touched_[id] == 2) {
+        touched_[id] = 0;
+        continue;
+      }
+      touched_[id] = 0;
+      const Voltage v_hat = decayed_potential(id, t) + accum_[id];
+      if (v_hat >= net_.params(id).v_threshold) {
+        fire(id, t);
+      } else {
+        v_[id] = v_hat;
+        last_update_[id] = t;
+      }
+    }
+
+    queue_.erase(it);
+    if (terminal_fired_) break;
+  }
+  return stats_;
+}
+
+Time ReferenceSimulator::first_spike(NeuronId id) const {
+  SGA_REQUIRE(id < first_spike_.size(), "first_spike: bad neuron " << id);
+  return first_spike_[id];
+}
+
+}  // namespace sga::snn

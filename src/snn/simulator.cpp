@@ -19,9 +19,18 @@ std::size_t ring_size_for(Delay max_delay) {
 
 }  // namespace
 
+Simulator::Simulator(const CompiledNetwork& net, QueueKind queue)
+    : net_(&net), queue_kind_(queue) {
+  init_state();
+}
+
 Simulator::Simulator(const Network& net, QueueKind queue)
-    : net_(net), queue_kind_(queue) {
-  const std::size_t n = net.num_neurons();
+    : owned_(net.compile()), net_(&*owned_), queue_kind_(queue) {
+  init_state();
+}
+
+void Simulator::init_state() {
+  const std::size_t n = net_->num_neurons();
   v_.resize(n);
   last_update_.assign(n, 0);
   first_spike_.assign(n, kNever);
@@ -35,9 +44,9 @@ Simulator::Simulator(const Network& net, QueueKind queue)
   touched_.assign(n, 0);
   is_terminal_.assign(n, 0);
   is_watched_.assign(n, 0);
-  for (NeuronId i = 0; i < n; ++i) v_[i] = net.params(i).v_reset;
+  for (NeuronId i = 0; i < n; ++i) v_[i] = net_->v_reset(i);
   if (queue_kind_ == QueueKind::kCalendar) {
-    const std::size_t w = ring_size_for(net.max_delay());
+    const std::size_t w = ring_size_for(net_->max_delay());
     ring_.resize(w);
     ring_occupied_.assign(w / 64, 0);
     ring_mask_ = static_cast<Time>(w - 1);
@@ -46,7 +55,7 @@ Simulator::Simulator(const Network& net, QueueKind queue)
 }
 
 void Simulator::inject_spike(NeuronId id, Time t) {
-  SGA_REQUIRE(id < net_.num_neurons(), "inject_spike: bad neuron " << id);
+  SGA_REQUIRE(id < net_->num_neurons(), "inject_spike: bad neuron " << id);
   SGA_REQUIRE(t >= 0, "inject_spike: negative time " << t);
   SGA_REQUIRE(t <= kNever, "inject_spike: time " << t << " beyond kNever");
   SGA_REQUIRE(!ran_, "inject_spike after run() (call reset() first)");
@@ -127,20 +136,19 @@ bool Simulator::next_pending_time(Time* t) {
 }
 
 Voltage Simulator::decayed_potential(NeuronId id, Time t) const {
-  const NeuronParams& p = net_.params(id);
+  const double tau = net_->tau(id);
   const Time dt = t - last_update_[id];
   SGA_CHECK(dt >= 0, "time went backwards for neuron " << id);
-  if (dt == 0 || p.tau == 0.0) return v_[id];
-  if (p.tau == 1.0) return p.v_reset;
-  return p.v_reset + (v_[id] - p.v_reset) * std::pow(1.0 - p.tau,
-                                                     static_cast<double>(dt));
+  if (dt == 0 || tau == 0.0) return v_[id];
+  const Voltage vr = net_->v_reset(id);
+  if (tau == 1.0) return vr;
+  return vr + (v_[id] - vr) * std::pow(1.0 - tau, static_cast<double>(dt));
 }
 
 void Simulator::fire(NeuronId id, Time t) {
-  const NeuronParams& p = net_.params(id);
   const bool first_fire = first_spike_[id] == kNever;
   touch_state(id);
-  v_[id] = p.v_reset;  // Eq. (3)
+  v_[id] = net_->v_reset(id);  // Eq. (3)
   last_update_[id] = t;
   ++spike_count_[id];
   ++stats_.spikes;
@@ -157,18 +165,23 @@ void Simulator::fire(NeuronId id, Time t) {
       stats_.execution_time = t;
     }
   }
-  for (const Synapse& s : net_.out_synapses(id)) {
+  // CSR fan-out: the fired neuron's synapses are one contiguous slice of
+  // the flat delay/target/weight arrays.
+  const std::size_t kb = net_->out_begin(id);
+  const std::size_t ke = net_->out_end(id);
+  for (std::size_t k = kb; k < ke; ++k) {
     // Horizon check in subtraction form: t ≤ max_time_ always holds here,
-    // so max_time_ - t cannot overflow, while t + s.delay could (kNever
+    // so max_time_ - t cannot overflow, while t + delay could (kNever
     // horizon × pseudopolynomial delay). Dropping work past the horizon
     // reports hit_time_limit, consistently with the pop-side check that
     // catches post-horizon injected spikes.
-    if (s.delay > max_time_ - t) {
+    const Delay d = net_->syn_delay(k);
+    if (d > max_time_ - t) {
       stats_.hit_time_limit = true;
       continue;
     }
-    bucket_for(t + s.delay).deliveries.push_back(
-        Delivery{s.target, id, s.weight});
+    bucket_for(t + d).deliveries.push_back(
+        Delivery{net_->syn_target(k), id, net_->syn_weight(k)});
   }
 }
 
@@ -180,7 +193,7 @@ SimStats Simulator::run(const SimConfig& config) {
   max_time_ = config.max_time;
   std::uint64_t distinct_terminals = 0;
   for (const NeuronId t : config.terminal_neurons) {
-    SGA_REQUIRE(t < net_.num_neurons(), "bad terminal neuron " << t);
+    SGA_REQUIRE(t < net_->num_neurons(), "bad terminal neuron " << t);
     if (!is_terminal_[t]) {
       is_terminal_[t] = 1;
       active_terminals_.push_back(t);
@@ -192,7 +205,7 @@ SimStats Simulator::run(const SimConfig& config) {
                               : std::min<std::uint64_t>(1, distinct_terminals);
   watch_all_ = config.watched_neurons.empty();
   for (const NeuronId w : config.watched_neurons) {
-    SGA_REQUIRE(w < net_.num_neurons(), "bad watched neuron " << w);
+    SGA_REQUIRE(w < net_->num_neurons(), "bad watched neuron " << w);
     if (!is_watched_[w]) {
       is_watched_[w] = 1;
       active_watched_.push_back(w);
@@ -265,7 +278,7 @@ SimStats Simulator::run(const SimConfig& config) {
       }
       touched_[id] = 0;
       const Voltage v_hat = decayed_potential(id, t) + accum_[id];  // Eq. (1)
-      if (v_hat >= net_.params(id).v_threshold) {                   // Eq. (2)
+      if (v_hat >= net_->v_threshold(id)) {                         // Eq. (2)
         if (record_causes_ && first_spike_[id] == kNever) {
           cause_[id] = accum_cause_[id];
         }
@@ -294,7 +307,7 @@ SimStats Simulator::run(const SimConfig& config) {
 void Simulator::reset() {
   // Per-neuron state: restore only the entries the previous cycle dirtied.
   for (const NeuronId id : dirty_) {
-    v_[id] = net_.params(id).v_reset;
+    v_[id] = net_->v_reset(id);
     last_update_[id] = 0;
     first_spike_[id] = kNever;
     last_spike_[id] = kNever;

@@ -25,13 +25,22 @@
 // entries are restored. spiking_sssp_batch builds on this: one reusable
 // Simulator per worker amortizes both the network build and the state
 // (re)initialization across a multi-source sweep.
+//
+// Input (ARCHITECTURE.md §1.3): the simulator runs exclusively against a
+// frozen snn::CompiledNetwork — flat CSR synapse arrays and SoA neuron
+// parameters, validated once at Network::compile() time. The fan-out of a
+// fired neuron is a contiguous slice of three flat arrays; no per-neuron
+// nested vector is chased on the hot path. An immutable CompiledNetwork can
+// back many Simulators concurrently (one per worker in the batch driver).
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "core/types.h"
+#include "snn/compiled_network.h"
 #include "snn/network.h"
 
 namespace sga::snn {
@@ -90,8 +99,21 @@ struct SimStats {
 
 class Simulator {
  public:
+  /// Run against a frozen network. The simulator BORROWS `net`; the caller
+  /// keeps it alive for the simulator's lifetime. This is the form the
+  /// algorithm compilers and the batch driver use — one CompiledNetwork,
+  /// many (possibly concurrent) simulators.
+  explicit Simulator(const CompiledNetwork& net,
+                     QueueKind queue = QueueKind::kCalendar);
+
+  /// Convenience for one-shot runs (tests, examples): compiles `net` and
+  /// owns the frozen copy. Equivalent to compiling first and keeping the
+  /// CompiledNetwork next to the simulator.
   explicit Simulator(const Network& net,
                      QueueKind queue = QueueKind::kCalendar);
+
+  /// The frozen network this simulator executes.
+  const CompiledNetwork& network() const { return *net_; }
 
   /// Induce a spike in `id` at time t ≥ 0 (Definition 3: computation is
   /// initiated by inducing spikes in input neurons). The neuron fires
@@ -178,7 +200,10 @@ class Simulator {
   /// window into the ring.
   void migrate_spill();
 
-  const Network& net_;
+  void init_state();
+
+  std::optional<CompiledNetwork> owned_;  ///< set by the Network constructor
+  const CompiledNetwork* net_;
   const QueueKind queue_kind_;
   bool ran_ = false;
 

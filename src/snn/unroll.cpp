@@ -6,11 +6,12 @@
 
 namespace sga::snn {
 
-UnrolledCircuit unroll_to_threshold_circuit(const Network& net, Time horizon) {
+UnrolledCircuit unroll_to_threshold_circuit(const CompiledNetwork& net,
+                                            Time horizon) {
   SGA_REQUIRE(horizon >= 1, "unroll: horizon must be >= 1");
   const std::size_t n = net.num_neurons();
   for (NeuronId i = 0; i < n; ++i) {
-    const NeuronParams& p = net.params(i);
+    const NeuronParams p = net.params(i);
     SGA_REQUIRE(p.tau == 1.0 && p.v_reset == 0,
                 "unroll: neuron " << i
                                   << " is not a pure threshold gate (τ=1, "
@@ -55,7 +56,8 @@ UnrolledCircuit unroll_to_threshold_circuit(const Network& net, Time horizon) {
 std::vector<std::pair<Time, NeuronId>> run_unrolled(
     const UnrolledCircuit& uc,
     const std::vector<std::pair<NeuronId, Time>>& injections) {
-  Simulator sim(uc.circuit);
+  const CompiledNetwork compiled = uc.circuit.compile();
+  Simulator sim(compiled);
   for (const auto& [id, t] : injections) {
     SGA_REQUIRE(id < uc.layer0.size(), "run_unrolled: bad injection neuron");
     SGA_REQUIRE(t >= 0 && t <= uc.horizon, "run_unrolled: bad injection time");

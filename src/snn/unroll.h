@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/types.h"
+#include "snn/compiled_network.h"
 #include "snn/network.h"
 #include "snn/simulator.h"
 
@@ -35,11 +36,13 @@ struct UnrolledCircuit {
   Time horizon = 0;
 };
 
-/// Unroll `net` (all neurons must have τ = 1 and v_reset = 0) to horizon T.
-/// In the unrolled circuit, the gate for (j, t) sits at simulation time t
-/// (synapse delays are preserved), so running the circuit and the original
-/// network produce identical (time, neuron) spike sets.
-UnrolledCircuit unroll_to_threshold_circuit(const Network& net, Time horizon);
+/// Unroll a frozen `net` (all neurons must have τ = 1 and v_reset = 0) to
+/// horizon T. In the unrolled circuit, the gate for (j, t) sits at
+/// simulation time t (synapse delays are preserved), so running the circuit
+/// and the original network produce identical (time, neuron) spike sets.
+/// The produced `circuit` is itself a builder; run_unrolled freezes it.
+UnrolledCircuit unroll_to_threshold_circuit(const CompiledNetwork& net,
+                                            Time horizon);
 
 /// Run the unrolled circuit on a set of injections (neuron, time) and
 /// return the recovered spike set of the ORIGINAL network's neurons, as

@@ -116,7 +116,7 @@ TEST_P(SnnCongestSweep, MatchesEventDrivenSimulatorSpikeForSpike) {
   std::sort(expected.begin(), expected.end());
 
   // CONGEST simulation.
-  auto got = simulate_snn_in_congest(net, injections, horizon).spike_log;
+  auto got = simulate_snn_in_congest(net.compile(), injections, horizon).spike_log;
   std::sort(got.begin(), got.end());
   EXPECT_EQ(got, expected) << "seed " << seed;
 }
@@ -128,7 +128,7 @@ TEST(SnnCongest, UsesOneBitMessages) {
   const NeuronId a = net.add_threshold_neuron(1);
   const NeuronId b = net.add_threshold_neuron(1);
   net.add_synapse(a, b, 1, 4);
-  const auto r = simulate_snn_in_congest(net, {{a, 0}}, 10);
+  const auto r = simulate_snn_in_congest(net.compile(), {{a, 0}}, 10);
   EXPECT_EQ(r.stats.max_bits_used, 1u);
   ASSERT_EQ(r.spike_log.size(), 2u);
   EXPECT_EQ(r.spike_log[0], (std::pair<Time, NeuronId>{0, a}));

@@ -74,6 +74,97 @@ TEST(Network, Groups) {
   EXPECT_THROW(net.define_group("bad", {99}), InvalidArgument);
 }
 
+TEST(CompiledNetwork, PacksCsrInSourceOrder) {
+  // CSR packing groups each neuron's synapses contiguously, preserving the
+  // per-source insertion order even when sources were interleaved.
+  Network net;
+  const NeuronId a = net.add_threshold_neuron(1);
+  const NeuronId b = net.add_threshold_neuron(2);
+  const NeuronId c = net.add_neuron(NeuronParams{-1, 3, 0.5});
+  net.add_synapse(b, a, 1, 2);
+  net.add_synapse(a, b, 2, 3);
+  net.add_synapse(b, c, -1, 5);
+  net.add_synapse(a, c, 4, 1);
+
+  const CompiledNetwork cn = net.compile();
+  EXPECT_EQ(cn.num_neurons(), 3u);
+  EXPECT_EQ(cn.num_synapses(), 4u);
+  EXPECT_EQ(cn.max_delay(), 5);
+
+  // Row extents: a has 2, b has 2, c has 0.
+  EXPECT_EQ(cn.out_begin(a), 0u);
+  EXPECT_EQ(cn.out_end(a), 2u);
+  EXPECT_EQ(cn.out_degree(b), 2u);
+  EXPECT_EQ(cn.out_degree(c), 0u);
+
+  // a's row in insertion order: a→b (w2 d3) then a→c (w4 d1).
+  EXPECT_EQ(cn.syn_target(cn.out_begin(a)), b);
+  EXPECT_EQ(cn.syn_delay(cn.out_begin(a)), 3);
+  EXPECT_EQ(cn.syn_target(cn.out_begin(a) + 1), c);
+  EXPECT_DOUBLE_EQ(cn.syn_weight(cn.out_begin(a) + 1), 4);
+
+  // The range view yields the same synapses.
+  const auto row = cn.out_synapses(b);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0].target, a);
+  EXPECT_EQ(row[1].target, c);
+  EXPECT_EQ(row[1].delay, 5);
+
+  // SoA params match the builder's AoS view.
+  EXPECT_DOUBLE_EQ(cn.v_reset(c), -1);
+  EXPECT_DOUBLE_EQ(cn.v_threshold(c), 3);
+  EXPECT_DOUBLE_EQ(cn.tau(c), 0.5);
+  EXPECT_DOUBLE_EQ(cn.params(c).tau, net.params(c).tau);
+}
+
+TEST(CompiledNetwork, PositiveInWeightIsMaintainedIncrementally) {
+  // The builder keeps the positive in-weight table up to date on every
+  // add_synapse (no O(m) rescan), and compile() carries it over verbatim.
+  Network net;
+  const NeuronId a = net.add_threshold_neuron(1);
+  const NeuronId sink = net.add_threshold_neuron(1);
+  EXPECT_DOUBLE_EQ(net.positive_in_weight(sink), 0.0);
+  net.add_synapse(a, sink, 2.5, 1);
+  EXPECT_DOUBLE_EQ(net.positive_in_weight(sink), 2.5);
+  net.add_synapse(a, sink, -4, 1);  // inhibition does not count
+  EXPECT_DOUBLE_EQ(net.positive_in_weight(sink), 2.5);
+  net.add_synapse(sink, sink, 1, 1);  // self-excitation does
+  EXPECT_DOUBLE_EQ(net.positive_in_weight(sink), 3.5);
+
+  const CompiledNetwork cn = net.compile();
+  EXPECT_DOUBLE_EQ(cn.positive_in_weight(sink), 3.5);
+  EXPECT_DOUBLE_EQ(cn.positive_in_weight(a), 0.0);
+}
+
+TEST(CompiledNetwork, CarriesGroupsOver) {
+  Network net;
+  const NeuronId a = net.add_threshold_neuron(1);
+  const NeuronId b = net.add_threshold_neuron(1);
+  net.define_group("inputs", {a, b});
+  net.define_group("outputs", {b});
+
+  const CompiledNetwork cn = net.compile();
+  EXPECT_TRUE(cn.has_group("inputs"));
+  EXPECT_FALSE(cn.has_group("nope"));
+  EXPECT_EQ(cn.group("inputs"), (std::vector<NeuronId>{a, b}));
+  EXPECT_EQ(cn.group_names(), (std::vector<std::string>{"inputs", "outputs"}));
+  EXPECT_THROW(cn.group("nope"), InvalidArgument);
+}
+
+TEST(CompiledNetwork, FreezeIsASnapshot) {
+  // Mutating the builder after compile() must not affect the frozen copy.
+  Network net;
+  const NeuronId a = net.add_threshold_neuron(1);
+  const CompiledNetwork before = net.compile();
+  const NeuronId b = net.add_threshold_neuron(1);
+  net.add_synapse(a, b, 1, 4);
+  EXPECT_EQ(before.num_neurons(), 1u);
+  EXPECT_EQ(before.num_synapses(), 0u);
+  const CompiledNetwork after = net.compile();
+  EXPECT_EQ(after.num_neurons(), 2u);
+  EXPECT_EQ(after.max_delay(), 4);
+}
+
 TEST(Simulator, InjectedSpikeFiresAndPropagates) {
   Network net;
   const NeuronId a = net.add_threshold_neuron(1);

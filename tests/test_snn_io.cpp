@@ -63,6 +63,45 @@ TEST(SnnIo, ReloadedNetworkBehavesIdentically) {
   EXPECT_EQ(run(original), run(reloaded));
 }
 
+TEST(SnnIo, CompiledFormRoundTrips) {
+  // write(compiled) → read_compiled_network must reproduce the exact CSR
+  // image: same packing, same aggregates, same behaviour.
+  Rng rng(0x10B);
+  const Graph g = make_random_graph(12, 40, {1, 6}, rng);
+  const CompiledNetwork original = nga::build_sssp_network(g).compile();
+
+  std::stringstream ss;
+  write_network(ss, original);
+  const CompiledNetwork reloaded = read_compiled_network(ss);
+
+  ASSERT_EQ(reloaded.num_neurons(), original.num_neurons());
+  ASSERT_EQ(reloaded.num_synapses(), original.num_synapses());
+  EXPECT_EQ(reloaded.max_delay(), original.max_delay());
+  for (NeuronId i = 0; i < original.num_neurons(); ++i) {
+    EXPECT_EQ(reloaded.out_begin(i), original.out_begin(i)) << "neuron " << i;
+    EXPECT_DOUBLE_EQ(reloaded.positive_in_weight(i),
+                     original.positive_in_weight(i))
+        << "neuron " << i;
+  }
+  for (std::size_t k = 0; k < original.num_synapses(); ++k) {
+    EXPECT_EQ(reloaded.syn_target(k), original.syn_target(k)) << "syn " << k;
+    EXPECT_DOUBLE_EQ(reloaded.syn_weight(k), original.syn_weight(k))
+        << "syn " << k;
+    EXPECT_EQ(reloaded.syn_delay(k), original.syn_delay(k)) << "syn " << k;
+  }
+  EXPECT_EQ(reloaded.group_names(), original.group_names());
+
+  auto run = [](const CompiledNetwork& net) {
+    Simulator sim(net);
+    sim.inject_spike(0, 0);
+    SimConfig cfg;
+    cfg.record_spike_log = true;
+    sim.run(cfg);
+    return sim.spike_log();
+  };
+  EXPECT_EQ(run(original), run(reloaded));
+}
+
 TEST(SnnIo, RejectsMalformedInput) {
   {
     std::stringstream ss("nope 1\n");
@@ -79,6 +118,23 @@ TEST(SnnIo, RejectsMalformedInput) {
   {
     std::stringstream ss("snn 1\nneurons 1\nn 0 1 0\nsynapses 1\n");
     EXPECT_THROW(read_network(ss), InvalidArgument);  // truncated
+  }
+  {
+    // Synapse line cut off mid-record: "s 0" with no target/weight/delay.
+    std::stringstream ss("snn 1\nneurons 1\nn 0 1 0\nsynapses 1\ns 0\n");
+    EXPECT_THROW(read_compiled_network(ss), InvalidArgument);
+  }
+  {
+    // Delay below the minimum synaptic delay δ = 1.
+    std::stringstream ss(
+        "snn 1\nneurons 2\nn 0 1 0\nn 0 1 0\nsynapses 1\ns 0 1 1 0\n");
+    EXPECT_THROW(read_compiled_network(ss), InvalidArgument);
+  }
+  {
+    // Group member id out of range (only neuron 0 exists).
+    std::stringstream ss(
+        "snn 1\nneurons 1\nn 0 1 0\nsynapses 0\ngroups 1\ng out 1 5\n");
+    EXPECT_THROW(read_compiled_network(ss), InvalidArgument);
   }
 }
 

@@ -40,7 +40,7 @@ TEST(Unroll, SimpleChainMatches) {
   net.add_synapse(a, b, 1, 2);
   net.add_synapse(a, c, 1, 3);
   net.add_synapse(b, c, 1, 1);
-  const auto uc = unroll_to_threshold_circuit(net, 6);
+  const auto uc = unroll_to_threshold_circuit(net.compile(), 6);
   const std::vector<std::pair<NeuronId, Time>> inj{{a, 0}};
   EXPECT_EQ(run_unrolled(uc, inj), recurrent_spikes(net, inj, 6));
   // Polynomial overhead: n·(T+1) gates.
@@ -55,7 +55,7 @@ TEST(Unroll, RecurrentCycleIsUnrolledCorrectly) {
   const NeuronId b = net.add_neuron(NeuronParams{0, 1, 1.0});
   net.add_synapse(a, b, 1, 1);
   net.add_synapse(b, a, 1, 2);  // cycle: a fires every 3 steps
-  const auto uc = unroll_to_threshold_circuit(net, 12);
+  const auto uc = unroll_to_threshold_circuit(net.compile(), 12);
   const std::vector<std::pair<NeuronId, Time>> inj{{a, 0}};
   const auto got = run_unrolled(uc, inj);
   EXPECT_EQ(got, recurrent_spikes(net, inj, 12));
@@ -89,7 +89,7 @@ TEST_P(UnrollFuzz, RandomGateNetworksMatch) {
         rng.uniform_int(0, 3));
   }
   const Time horizon = 15;
-  const auto uc = unroll_to_threshold_circuit(net, horizon);
+  const auto uc = unroll_to_threshold_circuit(net.compile(), horizon);
   EXPECT_EQ(run_unrolled(uc, inj), recurrent_spikes(net, inj, horizon))
       << "seed " << seed;
 }
@@ -102,7 +102,7 @@ TEST(Unroll, WiredOrMaxCircuitSurvivesUnrolling) {
   Network net;
   circuits::CircuitBuilder cb(net);
   const auto mc = circuits::build_max_wired_or(cb, 3, 4);
-  const auto uc = unroll_to_threshold_circuit(net, mc.depth);
+  const auto uc = unroll_to_threshold_circuit(net.compile(), mc.depth);
 
   std::vector<std::pair<NeuronId, Time>> inj{{mc.enable, 0}};
   const std::vector<std::uint64_t> vals{5, 12, 9};
@@ -129,7 +129,7 @@ TEST(Unroll, WiredOrMaxCircuitSurvivesUnrolling) {
 TEST(Unroll, RejectsIntegratorNeurons) {
   Network net;
   net.add_neuron(NeuronParams{0, 1, 0.0});  // τ = 0: stateful
-  EXPECT_THROW(unroll_to_threshold_circuit(net, 5), InvalidArgument);
+  EXPECT_THROW(unroll_to_threshold_circuit(net.compile(), 5), InvalidArgument);
 }
 
 TEST(Trace, RasterShowsSpikes) {
