@@ -14,12 +14,14 @@
 #include "graph/generators.h"
 #include "nga/khop_poly.h"
 #include "nga/khop_ttl.h"
+#include "obs/report.h"
 
 using namespace sga;
 
 namespace {
 
-void run_family(const char* name, const Graph& g, std::uint32_t k) {
+void run_family(obs::BenchReport& report, const char* name, const Graph& g,
+                std::uint32_t k) {
   const auto ref = bellman_ford_khop(g, 0, k);
   std::cout << "--- " << name << ": " << g.summary() << ", k = " << k
             << " ---\n";
@@ -37,6 +39,12 @@ void run_family(const char* name, const Graph& g, std::uint32_t k) {
       opt.max_kind = kind;
       const auto r = nga::khop_sssp_ttl(g, opt);
       SGA_CHECK(r.dist == ref.dist, "TTL ablation result mismatch");
+      report.record(std::string(name) + "/ttl/" + kname)
+          .T(r.execution_time)
+          .spikes(r.sim.spikes)
+          .events(r.sim.event_times)
+          .wall_ns(static_cast<std::uint64_t>(w.seconds() * 1e9))
+          .set("neurons", static_cast<std::uint64_t>(r.neurons));
       t.add_row({"TTL (4.1)", kname,
                  Table::num(static_cast<std::uint64_t>(r.neurons)),
                  Table::num(static_cast<std::int64_t>(r.node_depth)),
@@ -51,12 +59,19 @@ void run_family(const char* name, const Graph& g, std::uint32_t k) {
       opt.max_kind = kind;
       const auto r = nga::khop_sssp_poly(g, opt);
       SGA_CHECK(r.dist == ref.dist, "poly ablation result mismatch");
+      report.record(std::string(name) + "/poly/" + kname)
+          .T(r.execution_time)
+          .spikes(r.sim.spikes)
+          .events(r.sim.event_times)
+          .wall_ns(static_cast<std::uint64_t>(w.seconds() * 1e9))
+          .set("neurons", static_cast<std::uint64_t>(r.neurons));
       t.add_row({"poly (4.2)", kname,
                  Table::num(static_cast<std::uint64_t>(r.neurons)), "-",
                  Table::num(r.round_period), Table::num(r.execution_time),
                  Table::num(r.sim.spikes), Table::fixed(w.millis(), 1)});
     }
   }
+  report.add_table(name, t);
   t.print(std::cout);
   std::cout << '\n';
 }
@@ -64,13 +79,17 @@ void run_family(const char* name, const Graph& g, std::uint32_t k) {
 }  // namespace
 
 int main() {
+  obs::BenchReport report("ablation_circuits");
   std::cout << "=== Ablation: Section-5 max-circuit choice inside the k-hop "
                "algorithms ===\n\n";
   Rng rng(0xAB1A);
-  run_family("sparse random", make_random_graph(24, 72, {1, 6}, rng), 5);
-  run_family("dense random", make_random_graph(16, 160, {1, 6}, rng), 5);
-  run_family("complete (max degree)", make_complete_graph(10, {1, 5}, rng), 4);
-  run_family("path (degree 1)", make_path_graph(16, {1, 6}, rng), 8);
+  run_family(report, "sparse random", make_random_graph(24, 72, {1, 6}, rng),
+             5);
+  run_family(report, "dense random", make_random_graph(16, 160, {1, 6}, rng),
+             5);
+  run_family(report, "complete (max degree)",
+             make_complete_graph(10, {1, 5}, rng), 4);
+  run_family(report, "path (degree 1)", make_path_graph(16, {1, 6}, rng), 8);
 
   std::cout
       << "Reading: brute force wins execution time (constant-depth nodes → "

@@ -1,0 +1,171 @@
+// Compare two BENCH_*.json trajectories (schema sga-bench-v1) and report
+// regressions — the C++ replacement for the usual bench_diff.py so the
+// perf gate needs nothing but the repo's own toolchain.
+//
+//   bench_compare --validate FILE.json
+//       Schema-check one file (CI runs this on every emitted artifact).
+//   bench_compare BASELINE.json CURRENT.json [--threshold FRAC] [--fail]
+//       Join records by name and compare:
+//         * wall-clock keys (`wall_ns`, any `*_ns`): flagged as REGRESSION
+//           when current > baseline * (1 + threshold); threshold defaults
+//           to 0.10 (wall time is noisy — tune per CI runner).
+//         * semantic keys (T, spikes, events, everything else numeric):
+//           these are deterministic observables, so ANY change is flagged
+//           as DRIFT — a semantics change that must be explainable by the
+//           commit under test.
+//       Exit code is 0 in the default report-only mode; --fail promotes
+//       regressions/drift to exit 1 for a blocking gate.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+#include "core/table.h"
+#include "obs/json.h"
+#include "obs/report.h"
+
+namespace {
+
+using sga::Table;
+using sga::obs::Json;
+
+Json load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw sga::InvalidArgument("bench_compare: cannot open " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Json::parse(buf.str());
+}
+
+bool is_wall_clock_key(const std::string& key) {
+  return key.size() >= 3 && key.compare(key.size() - 3, 3, "_ns") == 0;
+}
+
+const Json* find_record(const Json& doc, const std::string& name) {
+  for (const Json& r : doc.find("records")->elements()) {
+    const Json* n = r.find("name");
+    if (n != nullptr && n->is_string() && n->as_string() == name) return &r;
+  }
+  return nullptr;
+}
+
+int usage() {
+  std::cerr << "usage: bench_compare --validate FILE.json\n"
+               "       bench_compare BASELINE.json CURRENT.json"
+               " [--threshold FRAC] [--fail]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  std::vector<std::string> files;
+  double threshold = 0.10;
+  bool fail_on_regress = false;
+  bool validate_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--validate") == 0) {
+      validate_only = true;
+    } else if (std::strcmp(argv[i], "--fail") == 0) {
+      fail_on_regress = true;
+    } else if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+      threshold = std::stod(argv[++i]);
+    } else if (argv[i][0] == '-') {
+      return usage();
+    } else {
+      files.emplace_back(argv[i]);
+    }
+  }
+
+  if (validate_only) {
+    if (files.empty()) return usage();
+    bool ok = true;
+    for (const std::string& f : files) {
+      const std::string err = sga::obs::validate_bench_json(load(f));
+      if (err.empty()) {
+        std::cout << f << ": valid sga-bench-v1\n";
+      } else {
+        std::cout << f << ": INVALID — " << err << "\n";
+        ok = false;
+      }
+    }
+    return ok ? 0 : 1;
+  }
+
+  if (files.size() != 2) return usage();
+  const Json base = load(files[0]);
+  const Json cur = load(files[1]);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const std::string err =
+        sga::obs::validate_bench_json(i == 0 ? base : cur);
+    if (!err.empty()) {
+      std::cerr << files[i] << ": INVALID — " << err << "\n";
+      return 1;
+    }
+  }
+
+  std::cout << "baseline: " << files[0] << " (git "
+            << base.find("git_sha")->as_string() << ", "
+            << base.find("build_type")->as_string() << ")\n"
+            << "current:  " << files[1] << " (git "
+            << cur.find("git_sha")->as_string() << ", "
+            << cur.find("build_type")->as_string() << ")\n\n";
+
+  Table t({"record", "key", "baseline", "current", "change", "verdict"});
+  std::size_t regressions = 0, drifts = 0, compared = 0, missing = 0;
+  for (const Json& rec : base.find("records")->elements()) {
+    const std::string name = rec.find("name")->as_string();
+    const Json* other = find_record(cur, name);
+    if (other == nullptr) {
+      t.add_row({name, "-", "-", "-", "-", "MISSING in current"});
+      ++missing;
+      continue;
+    }
+    for (const auto& [key, value] : rec.members()) {
+      if (key == "name" || !value.is_number()) continue;
+      const Json* cv = other->find(key);
+      if (cv == nullptr || !cv->is_number()) {
+        t.add_row({name, key, Table::fixed(value.as_double(), 0), "-", "-",
+                   "MISSING in current"});
+        ++missing;
+        continue;
+      }
+      ++compared;
+      const double b = value.as_double();
+      const double c = cv->as_double();
+      const double rel = b != 0.0 ? (c - b) / b : (c != 0.0 ? 1.0 : 0.0);
+      std::string verdict = "ok";
+      if (is_wall_clock_key(key)) {
+        if (rel > threshold) {
+          verdict = "REGRESSION";
+          ++regressions;
+        } else if (rel < -threshold) {
+          verdict = "improved";
+        }
+      } else if (b != c) {
+        verdict = "DRIFT";
+        ++drifts;
+      }
+      t.add_row({name, key, Table::fixed(b, 0), Table::fixed(c, 0),
+                 Table::fixed(100.0 * rel, 1) + "%", verdict});
+    }
+  }
+  t.set_title("bench_compare: threshold " +
+              Table::fixed(100.0 * threshold, 0) + "% on *_ns keys");
+  t.print(std::cout);
+  std::cout << compared << " values compared: " << regressions
+            << " wall-clock regression(s), " << drifts
+            << " semantic drift(s), " << missing << " missing\n";
+  if (fail_on_regress && (regressions > 0 || drifts > 0 || missing > 0)) {
+    return 1;
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "bench_compare: " << e.what() << "\n";
+  return 1;
+}

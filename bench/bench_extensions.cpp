@@ -7,6 +7,7 @@
 
 #include "core/random.h"
 #include "core/table.h"
+#include "obs/report.h"
 #include "core/timer.h"
 #include "graph/generators.h"
 #include "nga/matvec.h"
@@ -18,6 +19,7 @@
 using namespace sga;
 
 int main() {
+  obs::BenchReport report("extensions");
   std::cout << "=== Extension 1: spiking max flow (Section 8 direction) "
                "===\n\n";
   Table mf({"n", "m", "max flow", "phases", "spikes (all searches)",
@@ -39,6 +41,7 @@ int main() {
                 Table::fixed(t.millis(), 1)});
   }
   mf.print(std::cout);
+  report.add_table("mf", mf);
   std::cout << "Each search spikes every reached vertex once; SNN steps per "
                "phase equal the residual BFS depth — the search is the part "
                "the fabric parallelises.\n";
@@ -63,6 +66,7 @@ int main() {
                 Table::num(got.execution_time), Table::num(got.sim.spikes)});
   }
   mv.print(std::cout);
+  report.add_table("mv", mv);
   std::cout << "One constant multiplier per edge, one adder tree per node; "
                "constant execution time in n (the depth depends only on "
                "operand widths and max in-degree) — the Section 2.2 NGA made "
@@ -96,6 +100,7 @@ int main() {
                 exact ? "yes" : "NO", Table::fixed(t.millis(), 2)});
   }
   ur.print(std::cout);
+  report.add_table("ur", ur);
   std::cout << "Polynomial overhead, exactly n·(T+1) gates: the Section-1 "
                "claim that discretized SNNs live inside TC.\n";
   return 0;

@@ -7,6 +7,7 @@
 
 #include "circuits/primitives.h"
 #include "core/table.h"
+#include "obs/report.h"
 #include "snn/probe.h"
 #include "snn/simulator.h"
 
@@ -14,6 +15,7 @@ using namespace sga;
 using namespace sga::circuits;
 
 int main() {
+  obs::BenchReport report("fig1_primitives");
   std::cout << "=== Figure 1(A): simulating synaptic delays with neurons "
                "===\n\n";
   Table t({"target delay d", "neurons", "spikes used", "measured delay",
@@ -34,6 +36,7 @@ int main() {
                Table::num(st.spikes), Table::num(measured), "2"});
   }
   t.print(std::cout);
+  report.add_table("t", t);
   std::cout << "\nThe emulation burns Θ(d) spikes — why Section 2.2 assumes "
                "native programmable delays and treats this circuit as the "
                "fallback for hardware without them.\n";
@@ -67,6 +70,7 @@ int main() {
   lt.add_row({"recall after reset", "700",
               outputs.size() == 2 ? "silent" : "BUG"});
   lt.print(std::cout);
+  report.add_table("lt", lt);
   std::cout << "\nLatch: " << latch.neurons
             << " neurons; holds the bit for 490 steps via the self-loop "
                "(total spikes incl. the holding loop: "

@@ -7,6 +7,7 @@
 #include "analysis/fit.h"
 #include "core/random.h"
 #include "core/table.h"
+#include "obs/report.h"
 #include "crossbar/embedding.h"
 #include "graph/dijkstra.h"
 #include "graph/generators.h"
@@ -15,6 +16,7 @@
 using namespace sga;
 
 int main() {
+  obs::BenchReport report("fig2_crossbar");
   Rng rng(0xF162);
   std::cout << "=== Figure 2 / Section 4.4: SSSP on the crossbar H_n ===\n\n";
 
@@ -49,6 +51,7 @@ int main() {
                Table::num(static_cast<std::uint64_t>(m))});
   }
   t.print(std::cout);
+  report.add_table("t", t);
 
   const auto shape = analysis::check_power_law(ns, blowups, 1.0);
   std::cout << "\nBlowup vs n (expect the O(n) embedding cost): "

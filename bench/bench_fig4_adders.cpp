@@ -12,6 +12,7 @@
 #include "core/bitops.h"
 #include "core/random.h"
 #include "core/table.h"
+#include "obs/report.h"
 #include "core/timer.h"
 #include "snn/probe.h"
 #include "snn/simulator.h"
@@ -31,6 +32,7 @@ const char* adder_name(AdderKind k) {
 }  // namespace
 
 int main() {
+  obs::BenchReport report("fig4_adders");
   Rng rng(0xF16);
   std::cout << "=== Figure 4: threshold-gate adders for two λ-bit numbers "
                "===\n\n";
@@ -62,6 +64,7 @@ int main() {
     }
   }
   t.print(std::cout);
+  report.add_table("t", t);
 
   std::cout << "\n--- asymptotic shapes ---\n";
   auto shape = [](AdderKind kind, double expect) {

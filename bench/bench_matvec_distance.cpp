@@ -10,6 +10,7 @@
 #include "analysis/fit.h"
 #include "core/random.h"
 #include "core/table.h"
+#include "obs/report.h"
 #include "distmodel/algos.h"
 #include "graph/generators.h"
 #include "nga/matvec.h"
@@ -18,6 +19,7 @@
 using namespace sga;
 
 int main() {
+  obs::BenchReport report("matvec_distance");
   std::cout << "=== Section 2.3: dense matrix-vector product, conventional "
                "vs neuromorphic ===\n\n";
   Table t({"n", "RAM ops (n^2)", "DISTANCE movement (measured)",
@@ -58,6 +60,7 @@ int main() {
                Table::num(trace.messages_sent)});
   }
   t.print(std::cout);
+  report.add_table("t", t);
 
   std::cout << "\nConventional movement vs n: "
             << analysis::describe(analysis::check_power_law(ns, moves, 3.0, 0.2))

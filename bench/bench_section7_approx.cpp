@@ -7,6 +7,7 @@
 
 #include "core/random.h"
 #include "core/table.h"
+#include "obs/report.h"
 #include "graph/bellman_ford.h"
 #include "graph/generators.h"
 #include "nga/approx.h"
@@ -15,6 +16,7 @@
 using namespace sga;
 
 int main() {
+  obs::BenchReport report("section7_approx");
   Rng rng(0x577);
   std::cout << "=== Theorem 7.2: approximate k-hop SSSP ===\n\n";
 
@@ -52,6 +54,7 @@ int main() {
                             2)});
   }
   t.print(std::cout);
+  report.add_table("t", t);
 
   std::cout << "\n--- epsilon sweep (n = 64, m = 384, k = 8) ---\n";
   const Graph g = make_random_graph(64, 384, {1, 32}, rng);
@@ -73,6 +76,7 @@ int main() {
                 Table::num(a.total_time), Table::num(a.total_spikes)});
   }
   te.print(std::cout);
+  report.add_table("te", te);
 
   std::cout << "\nPredicted time (Thm 7.2, O(1) movement) for the last row "
                "family:\n";

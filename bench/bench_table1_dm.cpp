@@ -11,6 +11,7 @@
 #include "analysis/fit.h"
 #include "core/random.h"
 #include "core/table.h"
+#include "obs/report.h"
 #include "crossbar/embedding.h"
 #include "distmodel/algos.h"
 #include "distmodel/bounds.h"
@@ -21,6 +22,7 @@
 using namespace sga;
 
 int main() {
+  obs::BenchReport report("table1_dm");
   std::cout << "=== Table 1 (both halves), rendered from the closed-form "
                "expressions ===\n\n";
   nga::ProblemParams p;
@@ -37,10 +39,11 @@ int main() {
     t.add_row({row.problem, row.complexity,
                row.with_data_movement ? "counted" : "ignored",
                Table::sci(row.conventional, 2), Table::sci(row.neuromorphic, 2),
-               row.nm_better ? "yes" : "no"});
+               Table::yesno(row.nm_better)});
   }
   t.set_title("Instance: n=1024, m=8192, k=64, U=16, L=200, alpha=10, c=4");
   t.print(std::cout);
+  report.add_table("t", t);
   std::cout << "Headline factors at this instance: ignoring movement "
             << Table::fixed(analysis::headline_advantage_nodm(p), 1)
             << "x (= k/log n); with movement "
@@ -71,6 +74,7 @@ int main() {
                 Table::num(nm.execution_time), Table::fixed(ratio, 2)});
   }
   ms.print(std::cout);
+  report.add_table("ms", ms);
   const auto shape = analysis::check_power_law(sizes, ratios, 0.5, 0.4);
   std::cout << "Advantage growth vs m: " << analysis::describe(shape)
             << " — a polynomial-factor gap that widens with m, the paper's "
@@ -82,14 +86,15 @@ int main() {
   Table w({"row", "condition (constants = 1)", "holds?"});
   w.add_row({"SSSP poly",
              "logU<=logn, c<m/log^2 n, alpha<m^1.5/(n logn sqrt c)",
-             analysis::better_sssp_poly_dm(p) ? "yes" : "no"});
+             Table::yesno(analysis::better_sssp_poly_dm(p))});
   w.add_row({"k-hop poly", "logU<=logn, c<m^3/(n^2log^2 n), c<k^2 m/log^2 n",
-             analysis::better_khop_poly_dm(p) ? "yes" : "no"});
+             Table::yesno(analysis::better_khop_poly_dm(p))});
   w.add_row({"SSSP pseudo", "L < m^1.5/(n sqrt c)",
-             analysis::better_sssp_pseudo_dm(p) ? "yes" : "no"});
+             Table::yesno(analysis::better_sssp_pseudo_dm(p))});
   w.add_row({"k-hop pseudo", "L < k m^1.5/(n sqrt c log k)",
-             analysis::better_khop_pseudo_dm(p) ? "yes" : "no"});
+             Table::yesno(analysis::better_khop_pseudo_dm(p))});
   w.print(std::cout);
+  report.add_table("w", w);
   std::cout << "\nNotes: the conventional columns are the Section-6 "
                "DISTANCE-model costs (measured above, lower-bounded by "
                "Theorems 6.1/6.2); the neuromorphic column pays the O(n) "

@@ -12,6 +12,7 @@
 #include "core/bitops.h"
 #include "core/random.h"
 #include "core/table.h"
+#include "obs/report.h"
 #include "graph/bellman_ford.h"
 #include "graph/dijkstra.h"
 #include "graph/generators.h"
@@ -23,6 +24,7 @@
 using namespace sga;
 
 int main() {
+  obs::BenchReport report("table1_nodm");
   Rng rng(0x7AB1);
   std::cout
       << "=== Table 1 (bottom half): ignoring data-movement costs ===\n\n";
@@ -87,6 +89,7 @@ int main() {
   t.set_title("Instance: n=64, m=384, U=8, k=16, target=63 (alpha=" +
               std::to_string(alpha) + ")");
   t.print(std::cout);
+  report.add_table("t", t);
   std::cout << "(Neuromorphic T is the spiking portion; the paper's bounds "
                "add the O(m)-time network loading, identical for all rows.)\n";
 
@@ -108,13 +111,19 @@ int main() {
                       static_cast<double>(bfk.ops.total());
     nga::ProblemParams pp = params;
     pp.k = kk;
+    report.record("khop_poly/k=" + std::to_string(kk))
+        .T(nk.execution_time)
+        .spikes(nk.sim.spikes)
+        .events(nk.sim.event_times)
+        .set("bf_ops", bfk.ops.total());
     ks.add_row({Table::num(static_cast<std::uint64_t>(kk)),
                 Table::num(bfk.ops.total()), Table::num(nk.execution_time),
-                wins ? "yes" : "no",
+                Table::yesno(wins),
                 analysis::better_khop_poly_nodm(pp) ? "predicts yes"
                                                     : "predicts no"});
   }
   ks.print(std::cout);
+  report.add_table("ks", ks);
   std::cout << "The spiking time grows as k·x (x = round period = Θ(log nU) "
                "steps) while the conventional cost grows as k·m — the "
                "Ω(k/log n)-style gap of the paper's headline.\n";
@@ -135,15 +144,19 @@ int main() {
     nga::ProblemParams pu = params;
     pu.U = static_cast<std::uint64_t>(uu);
     pu.L = static_cast<std::uint64_t>(nu.execution_time);
+    report.record("sssp_pseudo/U=" + std::to_string(uu))
+        .T(nu.execution_time)
+        .spikes(nu.sim.spikes)
+        .events(nu.sim.event_times)
+        .set("dijkstra_ops", du.ops.total());
     ls.add_row({Table::num(uu), Table::num(nu.execution_time),
                 Table::num(du.ops.total()),
-                static_cast<double>(nu.execution_time) <
-                        static_cast<double>(du.ops.total())
-                    ? "yes"
-                    : "no",
-                analysis::better_sssp_pseudo_nodm(pu) ? "yes" : "no"});
+                Table::yesno(static_cast<double>(nu.execution_time) <
+                             static_cast<double>(du.ops.total())),
+                Table::yesno(analysis::better_sssp_pseudo_nodm(pu))});
   }
   ls.print(std::cout);
+  report.add_table("ls", ls);
   std::cout << "Pseudopolynomial spiking time IS the path length L: cheap "
                "for small edge lengths, useless for huge ones — exactly the "
                "Table 1 condition L = o(n log n), L = o(m).\n";

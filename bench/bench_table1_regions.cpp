@@ -9,6 +9,7 @@
 #include "analysis/advantage.h"
 #include "core/random.h"
 #include "core/table.h"
+#include "obs/report.h"
 #include "graph/bellman_ford.h"
 #include "graph/generators.h"
 #include "nga/costs.h"
@@ -39,6 +40,7 @@ void print_map(const char* title, const char* row_label, const char* col_label,
 }  // namespace
 
 int main() {
+  obs::BenchReport report("table1_regions");
   std::cout << "=== Table 1 crossover regions (complexity expressions, "
                "constants = 1) ===\n\n";
 
@@ -117,6 +119,7 @@ int main() {
                Table::num(bf.ops.total()), measured ? "N" : "c"});
   }
   t.print(std::cout);
+  report.add_table("t", t);
   std::cout << "\nThe measured winner flips along the same diagonal the "
                "asymptotic condition log(nU) = o(k) draws (constants shift "
                "the exact boundary in the SNN's favour at these sizes).\n";

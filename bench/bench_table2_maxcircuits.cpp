@@ -12,6 +12,7 @@
 #include "core/bitops.h"
 #include "core/random.h"
 #include "core/table.h"
+#include "obs/report.h"
 #include "core/timer.h"
 #include "snn/simulator.h"
 
@@ -48,6 +49,7 @@ Probe probe(MaxKind kind, int d, int lambda, Rng& rng) {
 }  // namespace
 
 int main() {
+  obs::BenchReport report("table2_maxcircuits");
   Rng rng(0x7AB2);
   std::cout << "=== Table 2: neuromorphic circuits for max of d λ-bit numbers "
                "===\n\n";
@@ -68,6 +70,7 @@ int main() {
     }
   }
   t.print(std::cout);
+  report.add_table("t", t);
 
   // Shape checks against the Table 2 bounds.
   std::cout << "\n--- asymptotic shapes ---\n";

@@ -7,6 +7,7 @@
 #include "analysis/platforms.h"
 #include "core/random.h"
 #include "core/table.h"
+#include "obs/report.h"
 #include "graph/bellman_ford.h"
 #include "graph/dijkstra.h"
 #include "graph/generators.h"
@@ -18,19 +19,18 @@ using namespace sga;
 using namespace sga::analysis;
 
 int main() {
+  obs::BenchReport report("table3_energy");
   std::cout << "=== Table 3: current scalable neuromorphic platforms ===\n\n";
   Table t({"platform", "org", "design", "process", "neurons/core",
            "cores/chip", "pJ/spike", "power (W)"});
   for (const auto& p : platforms()) {
-    auto opt_num = [](const std::optional<double>& v) {
-      return v ? Table::fixed(*v, 0) : std::string("-");
-    };
     t.add_row({p.name, p.organization, p.design,
                Table::num(static_cast<std::int64_t>(p.process_nm)) + "nm",
-               opt_num(p.neurons_per_core), opt_num(p.cores_per_chip),
-               opt_num(p.pj_per_spike), Table::fixed(p.watts, 2)});
+               Table::opt(p.neurons_per_core), Table::opt(p.cores_per_chip),
+               Table::opt(p.pj_per_spike), Table::fixed(p.watts, 2)});
   }
   t.print(std::cout);
+  report.add_table("t", t);
 
   // Workload: one mid-size SSSP + one k-hop instance.
   Rng rng(0x7AB3);
@@ -73,6 +73,7 @@ int main() {
   row("k-hop TTL (n=32, k=6)", ttl.sim.spikes, bf.ops.total());
   row("k-hop poly (n=32, k=6)", poly.sim.spikes, bf.ops.total());
   e.print(std::cout);
+  report.add_table("e", e);
 
   std::cout << "\n=== Figures 6/7: aggregating chips into systems ===\n\n";
   Table c({"network size (neurons)", "TrueNorth chips", "Loihi chips",
@@ -88,6 +89,7 @@ int main() {
                Table::num((loihi_chips + 31) / 32)});
   }
   c.print(std::cout);
+  report.add_table("c", c);
   std::cout << "\n(The paper: 128K neurons/Loihi chip, ~4M per fully "
                "populated Nahuku board, 100M-neuron systems available.)\n";
 
@@ -111,6 +113,7 @@ int main() {
                  Table::num(static_cast<std::uint64_t>(poly_edges))});
   }
   cap.print(std::cout);
+  report.add_table("cap", cap);
   std::cout << "\n(Using the measured neurons-per-edge constants of "
                "bench_theorems4; e.g. one Loihi chip holds the full "
                "gate-level polynomial k-hop machinery for a ~1.4k-edge "

@@ -9,6 +9,7 @@
 #include "analysis/fit.h"
 #include "core/random.h"
 #include "core/table.h"
+#include "obs/report.h"
 #include "distmodel/algos.h"
 #include "distmodel/bounds.h"
 #include "graph/generators.h"
@@ -17,6 +18,7 @@ using namespace sga;
 using namespace sga::distmodel;
 
 int main() {
+  obs::BenchReport report("theorem6_lowerbounds");
   std::cout << "=== Theorem 6.1: movement cost of reading an m-word input "
                "===\n\n";
   Table t1({"m", "c", "measured movement", "bound m^1.5/(8*sqrt(c))",
@@ -41,6 +43,7 @@ int main() {
     }
   }
   t1.print(std::cout);
+  report.add_table("t1", t1);
   std::cout << "Shape in m (expect 3/2): "
             << analysis::describe(analysis::check_power_law(ms, costs, 1.5, 0.1))
             << "\n";
@@ -61,6 +64,7 @@ int main() {
                              2)});
   }
   tp.print(std::cout);
+  report.add_table("tp", tp);
   std::cout << "The bound holds for every placement (the Theorem 6.1 "
                "counting argument never assumes where the registers sit).\n";
 
@@ -84,6 +88,7 @@ int main() {
                 Table::num(run.ops)});
   }
   t2.print(std::cout);
+  report.add_table("t2", t2);
   // Marginal (per extra round) growth is linear in k.
   const double inc1 = kcosts[3] - kcosts[2];
   const double inc2 = kcosts[4] - kcosts[3];
@@ -108,6 +113,7 @@ int main() {
                              2)});
   }
   t3.print(std::cout);
+  report.add_table("t3", t3);
   std::cout << "Dijkstra shape in m (expect >= 3/2): "
             << analysis::describe(analysis::check_power_law(dm, dc, 1.5, 0.35))
             << "\n";
@@ -126,6 +132,7 @@ int main() {
                 Table::num(exact_scan_floor(lat2))});
   }
   t4.print(std::cout);
+  report.add_table("t4", t4);
   std::cout << "3-D floor shape in m (expect 4/3): "
             << analysis::describe(
                    analysis::check_power_law(m3, f3, 4.0 / 3.0, 0.05))

@@ -9,6 +9,7 @@
 #include "core/bitops.h"
 #include "core/random.h"
 #include "core/table.h"
+#include "obs/report.h"
 #include "graph/dijkstra.h"
 #include "graph/generators.h"
 #include "nga/khop_poly.h"
@@ -18,6 +19,7 @@
 using namespace sga;
 
 int main() {
+  obs::BenchReport report("theorems4");
   Rng rng(0x444);
 
   std::cout << "=== Theorem 4.1: pseudopolynomial SSSP runs in O(L + m) "
@@ -42,6 +44,7 @@ int main() {
                 run.execution_time == ecc ? "yes" : "NO"});
   }
   t1.print(std::cout);
+  report.add_table("t1", t1);
   std::cout << "T vs L: "
             << analysis::describe(analysis::check_power_law(l_vals, t_vals, 1.0, 0.02))
             << " — the spiking portion is exactly L.\n";
@@ -73,6 +76,7 @@ int main() {
                              3)});
   }
   t2.print(std::cout);
+  report.add_table("t2", t2);
   std::cout << "T tracks S·L with S = Θ(node depth) = Θ(log k) — the log k "
                "factor of Theorem 4.2. (T/(S·L) < 1 because the last node "
                "circuit needn't finish for the readout relay to fire.)\n";
@@ -97,6 +101,7 @@ int main() {
                 run.execution_time == 4 * run.round_period ? "yes" : "NO"});
   }
   t3.print(std::cout);
+  report.add_table("t3", t3);
   std::cout << "Round period vs lambda: "
             << analysis::describe(
                    analysis::check_power_law(lambdas, periods, 1.0, 0.15))
@@ -131,6 +136,7 @@ int main() {
     }
   }
   t4.print(std::cout);
+  report.add_table("t4", t4);
   std::cout << "The neurons-per-(edge × message-bit) column is flat: neuron "
                "counts are Θ(m·λ), matching Theorems 4.2 / 4.3.\n";
   return 0;

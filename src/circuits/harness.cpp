@@ -1,6 +1,7 @@
 #include "circuits/harness.h"
 
 #include "core/error.h"
+#include "obs/metrics.h"
 #include "snn/probe.h"
 #include "snn/simulator.h"
 
@@ -24,6 +25,8 @@ void present_values(snn::Simulator& sim, const MaxCircuit& c,
 std::uint64_t eval_max_circuit(const snn::CompiledNetwork& net,
                                const MaxCircuit& c,
                                const std::vector<std::uint64_t>& values) {
+  const obs::ScopedTimer eval_timer(obs::thread_metrics(), "circuits.eval_ns");
+  if (obs::MetricsRegistry* m = obs::thread_metrics()) m->add("circuits.evals");
   snn::Simulator sim(net);
   present_values(sim, c, values, 0);
   snn::SimConfig cfg;
@@ -35,6 +38,8 @@ std::uint64_t eval_max_circuit(const snn::CompiledNetwork& net,
 std::vector<std::uint64_t> eval_max_circuit_pipelined(
     const snn::CompiledNetwork& net, const MaxCircuit& c,
     const std::vector<std::vector<std::uint64_t>>& presentations) {
+  const obs::ScopedTimer eval_timer(obs::thread_metrics(), "circuits.eval_ns");
+  if (obs::MetricsRegistry* m = obs::thread_metrics()) m->add("circuits.evals");
   snn::Simulator sim(net);
   for (std::size_t r = 0; r < presentations.size(); ++r) {
     present_values(sim, c, presentations[r], static_cast<Time>(r));
@@ -62,6 +67,8 @@ std::vector<std::uint64_t> eval_max_circuit_pipelined(
 std::uint64_t eval_adder_circuit(const snn::CompiledNetwork& net,
                                  const AdderCircuit& c, std::uint64_t a,
                                  std::uint64_t b, bool* carry) {
+  const obs::ScopedTimer eval_timer(obs::thread_metrics(), "circuits.eval_ns");
+  if (obs::MetricsRegistry* m = obs::thread_metrics()) m->add("circuits.evals");
   snn::Simulator sim(net);
   sim.inject_spike(c.enable, 0);
   snn::inject_binary(sim, c.a, a, 0);
@@ -76,6 +83,8 @@ std::uint64_t eval_adder_circuit(const snn::CompiledNetwork& net,
 std::vector<std::uint64_t> eval_adder_circuit_pipelined(
     const snn::CompiledNetwork& net, const AdderCircuit& c,
     const std::vector<std::pair<std::uint64_t, std::uint64_t>>& presentations) {
+  const obs::ScopedTimer eval_timer(obs::thread_metrics(), "circuits.eval_ns");
+  if (obs::MetricsRegistry* m = obs::thread_metrics()) m->add("circuits.evals");
   snn::Simulator sim(net);
   for (std::size_t r = 0; r < presentations.size(); ++r) {
     const auto t = static_cast<Time>(r);
@@ -104,6 +113,8 @@ std::vector<std::uint64_t> eval_adder_circuit_pipelined(
 std::uint64_t eval_add_const_circuit(const snn::CompiledNetwork& net,
                                      const AddConstCircuit& c,
                                      std::uint64_t a) {
+  const obs::ScopedTimer eval_timer(obs::thread_metrics(), "circuits.eval_ns");
+  if (obs::MetricsRegistry* m = obs::thread_metrics()) m->add("circuits.evals");
   snn::Simulator sim(net);
   sim.inject_spike(c.enable, 0);
   snn::inject_binary(sim, c.a, a, 0);
@@ -116,6 +127,8 @@ std::uint64_t eval_add_const_circuit(const snn::CompiledNetwork& net,
 CmpOutputs eval_comparator(const snn::CompiledNetwork& net,
                            const ComparatorCircuit& c, std::uint64_t a,
                            std::uint64_t b) {
+  const obs::ScopedTimer eval_timer(obs::thread_metrics(), "circuits.eval_ns");
+  if (obs::MetricsRegistry* m = obs::thread_metrics()) m->add("circuits.evals");
   snn::Simulator sim(net);
   sim.inject_spike(c.enable, 0);
   snn::inject_binary(sim, c.a, a, 0);

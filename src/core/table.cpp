@@ -67,4 +67,10 @@ std::string Table::sci(double v, int digits) {
   return os.str();
 }
 
+std::string Table::yesno(bool v) { return v ? "yes" : "no"; }
+
+std::string Table::opt(const std::optional<double>& v, int digits) {
+  return v ? fixed(*v, digits) : std::string("-");
+}
+
 }  // namespace sga

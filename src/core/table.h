@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -30,11 +31,21 @@ class Table {
 
   std::size_t rows() const { return rows_.size(); }
 
+  // Structured access — obs::BenchReport::add_table mirrors printed tables
+  // into BENCH_*.json through these.
+  const std::string& title() const { return title_; }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& cells() const { return rows_; }
+
   // Formatting helpers for cells.
   static std::string num(std::int64_t v);
   static std::string num(std::uint64_t v);
   static std::string fixed(double v, int digits = 2);
   static std::string sci(double v, int digits = 2);
+  /// "yes" / "no" — the benches' predicate-column convention.
+  static std::string yesno(bool v);
+  /// fixed(v) or "-" for absent optionals (sparse survey columns).
+  static std::string opt(const std::optional<double>& v, int digits = 0);
 
  private:
   std::string title_;

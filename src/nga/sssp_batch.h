@@ -17,6 +17,7 @@
 
 #include "core/types.h"
 #include "graph/graph.h"
+#include "obs/metrics.h"
 #include "snn/simulator.h"
 
 namespace sga::nga {
@@ -32,6 +33,12 @@ struct SsspBatchOptions {
   unsigned num_threads = 0;
   /// Event-queue implementation for the per-worker simulators.
   snn::QueueKind queue = snn::QueueKind::kCalendar;
+  /// Optional metrics sink. Each worker thread accumulates into its OWN
+  /// registry (installed as that thread's obs::thread_metrics(), so the
+  /// per-worker simulator's `sim.*` counters land there too); the workers'
+  /// registries are merged into this one after join — aggregation with no
+  /// cross-thread contention. Untouched when nullptr.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// One source's solution, same semantics as SpikingSsspResult in

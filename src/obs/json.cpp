@@ -1,0 +1,376 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "core/error.h"
+
+namespace sga::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double v) {
+  SGA_REQUIRE(std::isfinite(v), "Json: non-finite double " << v);
+  char buf[32];
+  // %.17g round-trips every double; trim to the shortest representation
+  // that still parses back equal would be nicer but is not worth the code.
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+  // Keep doubles visually distinct from ints so the parser (and humans)
+  // preserve the kind.
+  if (out.find_first_of(".eE", out.size() - std::char_traits<char>::length(buf)) ==
+      std::string::npos) {
+    out += ".0";
+  }
+}
+
+}  // namespace
+
+bool Json::as_bool() const {
+  SGA_REQUIRE(kind_ == Kind::kBool, "Json: not a bool");
+  return bool_;
+}
+
+double Json::as_double() const {
+  switch (kind_) {
+    case Kind::kInt: return static_cast<double>(int_);
+    case Kind::kUint: return static_cast<double>(uint_);
+    case Kind::kDouble: return double_;
+    default: SGA_REQUIRE(false, "Json: not a number"); return 0.0;
+  }
+}
+
+std::int64_t Json::as_int() const {
+  switch (kind_) {
+    case Kind::kInt: return int_;
+    case Kind::kUint:
+      SGA_REQUIRE(uint_ <= static_cast<std::uint64_t>(
+                               std::numeric_limits<std::int64_t>::max()),
+                  "Json: uint " << uint_ << " does not fit int64");
+      return static_cast<std::int64_t>(uint_);
+    default: SGA_REQUIRE(false, "Json: not an integer"); return 0;
+  }
+}
+
+std::uint64_t Json::as_uint() const {
+  switch (kind_) {
+    case Kind::kUint: return uint_;
+    case Kind::kInt:
+      SGA_REQUIRE(int_ >= 0, "Json: negative int " << int_ << " as uint");
+      return static_cast<std::uint64_t>(int_);
+    default: SGA_REQUIRE(false, "Json: not an integer"); return 0;
+  }
+}
+
+const std::string& Json::as_string() const {
+  SGA_REQUIRE(kind_ == Kind::kString, "Json: not a string");
+  return str_;
+}
+
+Json& Json::set(const std::string& key, Json value) {
+  SGA_REQUIRE(kind_ == Kind::kObject, "Json::set on non-object");
+  for (auto& [k, v] : obj_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  obj_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  SGA_REQUIRE(kind_ == Kind::kArray, "Json::push on non-array");
+  arr_.push_back(std::move(value));
+  return *this;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::members() const {
+  SGA_REQUIRE(kind_ == Kind::kObject, "Json::members on non-object");
+  return obj_;
+}
+
+const std::vector<Json>& Json::elements() const {
+  SGA_REQUIRE(kind_ == Kind::kArray, "Json::elements on non-array");
+  return arr_;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kInt: out += std::to_string(int_); break;
+    case Kind::kUint: out += std::to_string(uint_); break;
+    case Kind::kDouble: append_double(out, double_); break;
+    case Kind::kString: append_escaped(out, str_); break;
+    case Kind::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline(depth + 1);
+        arr_[i].dump_to(out, indent, depth + 1);
+      }
+      if (!arr_.empty()) newline(depth);
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      out += '{';
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline(depth + 1);
+        append_escaped(out, obj_[i].first);
+        out += indent > 0 ? ": " : ":";
+        obj_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (!obj_.empty()) newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  if (indent > 0) out += '\n';
+  return out;
+}
+
+// ---- parser -------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json parse_document() {
+    Json j = parse_value();
+    skip_ws();
+    SGA_REQUIRE(pos_ == text_.size(),
+                "Json::parse: trailing garbage at offset " << pos_);
+    return j;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw InvalidArgument("Json::parse: " + what + " at offset " +
+                          std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t len = std::char_traits<char>::length(lit);
+    if (text_.compare(pos_, len, lit) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  Json parse_value() {
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        fail("bad literal");
+      case 'n':
+        if (consume_literal("null")) return Json();
+        fail("bad literal");
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json j = Json::object();
+    if (peek() == '}') {
+      ++pos_;
+      return j;
+    }
+    while (true) {
+      if (peek() != '"') fail("expected object key");
+      std::string key = parse_string();
+      expect(':');
+      j.set(key, parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return j;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json j = Json::array();
+    if (peek() == ']') {
+      ++pos_;
+      return j;
+    }
+    while (true) {
+      j.push(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return j;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          // Only the control-character escapes our writer emits (< 0x20).
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          const auto res = std::from_chars(text_.data() + pos_,
+                                           text_.data() + pos_ + 4, code, 16);
+          if (res.ec != std::errc() || res.ptr != text_.data() + pos_ + 4) {
+            fail("bad \\u escape");
+          }
+          if (code > 0x7F) fail("non-ASCII \\u escape unsupported");
+          out += static_cast<char>(code);
+          pos_ += 4;
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("expected a value");
+    const char* b = text_.data() + start;
+    const char* e = text_.data() + pos_;
+    if (!is_double) {
+      if (text_[start] == '-') {
+        std::int64_t v = 0;
+        const auto res = std::from_chars(b, e, v);
+        if (res.ec == std::errc() && res.ptr == e) return Json(v);
+      } else {
+        std::uint64_t v = 0;
+        const auto res = std::from_chars(b, e, v);
+        if (res.ec == std::errc() && res.ptr == e) {
+          if (v <= static_cast<std::uint64_t>(
+                       std::numeric_limits<std::int64_t>::max())) {
+            return Json(static_cast<std::int64_t>(v));
+          }
+          return Json(v);
+        }
+      }
+      // Out-of-range integer: fall through to double.
+    }
+    double v = 0.0;
+    const auto res = std::from_chars(b, e, v);
+    if (res.ec != std::errc() || res.ptr != e) fail("bad number");
+    return Json(v);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace sga::obs

@@ -1,0 +1,109 @@
+// Minimal JSON value: enough to write (and read back) the repo's own
+// machine-readable artifacts — BENCH_*.json bench trajectories and
+// MetricsRegistry dumps — with zero external dependencies.
+//
+// Deliberately small: objects preserve insertion order (diffable output),
+// numbers are stored as int64/uint64/double without automatic narrowing,
+// and the parser accepts exactly the subset the writer produces (RFC 8259
+// minus \uXXXX escapes, which the writer never emits for our ASCII keys).
+// This is an observability format, not a general interchange layer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sga::obs {
+
+/// A JSON document node. Construct with the static factories (or the
+/// implicit conversions for leaves), compose with set()/push(), serialize
+/// with dump().
+class Json {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kInt,     // int64
+    kUint,    // uint64 (kept separate so counters never round-trip lossy)
+    kDouble,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Json() : kind_(Kind::kNull) {}
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}                   // NOLINT
+  Json(std::int64_t v) : kind_(Kind::kInt), int_(v) {}             // NOLINT
+  Json(int v) : Json(static_cast<std::int64_t>(v)) {}              // NOLINT
+  Json(std::uint64_t v) : kind_(Kind::kUint), uint_(v) {}          // NOLINT
+  Json(double v) : kind_(Kind::kDouble), double_(v) {}             // NOLINT
+  Json(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}  // NOLINT
+  Json(const char* s) : Json(std::string(s)) {}                    // NOLINT
+
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kUint ||
+           kind_ == Kind::kDouble;
+  }
+
+  // ---- leaves ----------------------------------------------------------
+  bool as_bool() const;
+  /// Any numeric kind, widened to double.
+  double as_double() const;
+  std::int64_t as_int() const;
+  std::uint64_t as_uint() const;
+  const std::string& as_string() const;
+
+  // ---- composition -----------------------------------------------------
+  /// Object: set `key` (inserting or overwriting), returns *this for
+  /// chaining. Requires is_object().
+  Json& set(const std::string& key, Json value);
+  /// Array: append. Requires is_array().
+  Json& push(Json value);
+
+  // ---- lookup ----------------------------------------------------------
+  /// Object member or nullptr (also nullptr when not an object).
+  const Json* find(const std::string& key) const;
+  bool contains(const std::string& key) const { return find(key) != nullptr; }
+  /// Ordered object members / array elements.
+  const std::vector<std::pair<std::string, Json>>& members() const;
+  const std::vector<Json>& elements() const;
+
+  // ---- serialization ---------------------------------------------------
+  /// Serialize; indent > 0 pretty-prints with that many spaces per level.
+  std::string dump(int indent = 2) const;
+
+  /// Parse a document. Throws sga::InvalidArgument with position info on
+  /// malformed input.
+  static Json parse(const std::string& text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+}  // namespace sga::obs

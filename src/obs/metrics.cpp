@@ -1,0 +1,83 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+
+namespace sga::obs {
+
+void MetricsRegistry::add(const std::string& name, std::uint64_t delta) {
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::gauge(const std::string& name, double value) {
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::record_time(const std::string& name, std::uint64_t ns) {
+  TimerStat& t = timers_[name];
+  ++t.count;
+  t.total_ns += ns;
+  t.max_ns = std::max(t.max_ns, ns);
+}
+
+std::uint64_t MetricsRegistry::counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, v] : other.counters_) counters_[name] += v;
+  for (const auto& [name, v] : other.gauges_) gauges_.emplace(name, v);
+  for (const auto& [name, t] : other.timers_) {
+    TimerStat& dst = timers_[name];
+    dst.count += t.count;
+    dst.total_ns += t.total_ns;
+    dst.max_ns = std::max(dst.max_ns, t.max_ns);
+  }
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  timers_.clear();
+}
+
+Json MetricsRegistry::to_json() const {
+  Json j = Json::object();
+  if (!counters_.empty()) {
+    Json c = Json::object();
+    for (const auto& [name, v] : counters_) c.set(name, v);
+    j.set("counters", std::move(c));
+  }
+  if (!gauges_.empty()) {
+    Json g = Json::object();
+    for (const auto& [name, v] : gauges_) g.set(name, v);
+    j.set("gauges", std::move(g));
+  }
+  if (!timers_.empty()) {
+    Json t = Json::object();
+    for (const auto& [name, stat] : timers_) {
+      t.set(name, Json::object()
+                      .set("count", stat.count)
+                      .set("total_ns", stat.total_ns)
+                      .set("max_ns", stat.max_ns));
+    }
+    j.set("timers", std::move(t));
+  }
+  return j;
+}
+
+namespace {
+thread_local MetricsRegistry* g_thread_metrics = nullptr;
+}  // namespace
+
+MetricsRegistry* thread_metrics() { return g_thread_metrics; }
+
+MetricsRegistry* set_thread_metrics(MetricsRegistry* reg) {
+  MetricsRegistry* prev = g_thread_metrics;
+  g_thread_metrics = reg;
+  return prev;
+}
+
+}  // namespace sga::obs

@@ -1,0 +1,122 @@
+// Structured runtime metrics: named counters, gauges, and monotonic-clock
+// timers that instrumented components (snn::Simulator, the batch driver,
+// the circuit harness) register into.
+//
+// Concurrency model (docs/OBSERVABILITY.md): a MetricsRegistry is NOT
+// thread-safe and is never shared across threads. Instrumented code reports
+// to the registry installed for the CURRENT thread via set_thread_metrics();
+// multi-threaded drivers (nga::spiking_sssp_batch) give each worker its own
+// registry and merge() them after join — aggregation without a single
+// contended atomic or lock on any hot path. When no registry is installed
+// (the default), every instrumentation site costs exactly one branch on the
+// thread-local pointer.
+//
+// Naming scheme: dot-separated `component.metric[.unit]`, e.g. `sim.spikes`,
+// `sim.run_ns`, `batch.sources`, `circuits.evals`. Units: `_ns` suffix for
+// monotonic nanoseconds; unsuffixed counters are event counts.
+#pragma once
+
+#include <cstdint>
+#include <chrono>
+#include <map>
+#include <string>
+
+#include "obs/json.h"
+
+namespace sga::obs {
+
+/// Aggregate of one named timer: number of timed sections, total and max
+/// duration in nanoseconds (steady_clock).
+struct TimerStat {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t max_ns = 0;
+};
+
+class MetricsRegistry {
+ public:
+  /// counter += delta (creating it at 0).
+  void add(const std::string& name, std::uint64_t delta = 1);
+  /// gauge = value (last write wins; merge keeps the other's on conflict
+  /// only if this registry lacks the key).
+  void gauge(const std::string& name, double value);
+  /// Record one timed section of `ns` nanoseconds (ScopedTimer calls this).
+  void record_time(const std::string& name, std::uint64_t ns);
+
+  std::uint64_t counter(const std::string& name) const;
+  bool has_counter(const std::string& name) const {
+    return counters_.count(name) != 0;
+  }
+  const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, double>& gauges() const { return gauges_; }
+  const std::map<std::string, TimerStat>& timers() const { return timers_; }
+
+  /// Fold another registry into this one: counters and timer counts/totals
+  /// add, timer max takes the max, gauges keep the first-seen value.
+  void merge(const MetricsRegistry& other);
+
+  void clear();
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && timers_.empty();
+  }
+
+  /// {"counters": {...}, "gauges": {...}, "timers": {name: {count,
+  /// total_ns, max_ns}}} — empty sections omitted.
+  Json to_json() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, TimerStat> timers_;
+};
+
+/// The current thread's registry, or nullptr when instrumentation is off
+/// (the default). Instrumented code MUST treat nullptr as "do nothing".
+MetricsRegistry* thread_metrics();
+
+/// Install `reg` (may be nullptr) as the current thread's registry and
+/// return the previous one — restore it when done (ScopedThreadMetrics
+/// does this automatically).
+MetricsRegistry* set_thread_metrics(MetricsRegistry* reg);
+
+/// RAII: install a registry for the current scope, restore on exit.
+class ScopedThreadMetrics {
+ public:
+  explicit ScopedThreadMetrics(MetricsRegistry* reg)
+      : prev_(set_thread_metrics(reg)) {}
+  ~ScopedThreadMetrics() { set_thread_metrics(prev_); }
+  ScopedThreadMetrics(const ScopedThreadMetrics&) = delete;
+  ScopedThreadMetrics& operator=(const ScopedThreadMetrics&) = delete;
+
+ private:
+  MetricsRegistry* prev_;
+};
+
+/// RAII timer: measures its own lifetime on the steady clock and records
+/// it into `reg` (no-op when reg is nullptr, cost = one branch + two clock
+/// reads when enabled, one branch when not).
+class ScopedTimer {
+ public:
+  ScopedTimer(MetricsRegistry* reg, std::string name)
+      : reg_(reg), name_(std::move(name)) {
+    if (reg_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (reg_ == nullptr) return;
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    reg_->record_time(name_, static_cast<std::uint64_t>(ns));
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  MetricsRegistry* reg_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace sga::obs

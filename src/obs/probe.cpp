@@ -1,0 +1,66 @@
+#include "obs/probe.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/error.h"
+
+namespace sga::obs {
+
+Probe::Probe(ProbeOptions options) : opt_(std::move(options)) {}
+
+void Probe::bind(std::size_t num_neurons) {
+  tracing_ = opt_.trace_spikes;
+  trace_all_ = opt_.trace_filter.empty();
+  count_fires_ = opt_.count_fires;
+  count_deliveries_ = opt_.count_deliveries;
+
+  if (count_fires_) fires_.assign(num_neurons, 0);
+  if (count_deliveries_) deliveries_.assign(num_neurons, 0);
+
+  traced_.assign(tracing_ && !trace_all_ ? num_neurons : 0, 0);
+  for (const NeuronId id : opt_.trace_filter) {
+    SGA_REQUIRE(id < num_neurons, "Probe: trace filter neuron " << id
+                                      << " out of range (n = " << num_neurons
+                                      << ")");
+    if (tracing_) traced_[id] = 1;
+  }
+
+  sampled_.assign(opt_.sample_potentials.empty() ? 0 : num_neurons, 0);
+  sampled_ids_.clear();
+  for (const NeuronId id : opt_.sample_potentials) {
+    SGA_REQUIRE(id < num_neurons, "Probe: sampled neuron " << id
+                                      << " out of range (n = " << num_neurons
+                                      << ")");
+    if (!sampled_[id]) {
+      sampled_[id] = 1;
+      sampled_ids_.push_back(id);
+    }
+  }
+  clear();
+  bound_ = true;
+}
+
+std::uint64_t Probe::fires(NeuronId id) const {
+  SGA_REQUIRE(count_fires_, "Probe: count_fires not enabled");
+  SGA_REQUIRE(id < fires_.size(), "Probe::fires: bad neuron " << id);
+  return fires_[id];
+}
+
+std::uint64_t Probe::deliveries(NeuronId id) const {
+  SGA_REQUIRE(count_deliveries_, "Probe: count_deliveries not enabled");
+  SGA_REQUIRE(id < deliveries_.size(),
+              "Probe::deliveries: bad neuron " << id);
+  return deliveries_[id];
+}
+
+void Probe::clear() {
+  trace_.clear();
+  samples_.clear();
+  std::fill(fires_.begin(), fires_.end(), 0);
+  std::fill(deliveries_.begin(), deliveries_.end(), 0);
+  total_fires_ = 0;
+  total_deliveries_ = 0;
+}
+
+}  // namespace sga::obs

@@ -1,0 +1,130 @@
+// Spike probe: opt-in, per-run instrumentation attached to snn::Simulator.
+//
+// Overhead contract (docs/OBSERVABILITY.md): the simulator keeps ONE cached
+// `obs::Probe*`; every hook site in the hot path is a single branch on that
+// pointer, placed OUTSIDE the per-delivery accumulation loop (per drained
+// bucket / per fired neuron), so a simulator with no probe attached runs
+// the exact pre-instrumentation loop plus a handful of predicted-not-taken
+// branches. Probes never change simulation semantics — an instrumented run
+// is event-for-event identical to an uninstrumented one (fuzzed in
+// test_fuzz_agreement.cpp).
+//
+// What a probe can record (each independently switchable):
+//   * spike trace   — every (time, neuron) fire event, optionally filtered
+//                     to a neuron-id subset (the simulator's own spike log
+//                     serves algorithm read-out; the probe trace serves
+//                     observability and can coexist with it);
+//   * fire counters — per-neuron spike counts;
+//   * delivery counters — per-neuron counts of synaptic deliveries
+//                     RECEIVED (the energy-relevant fan-in traffic);
+//   * membrane-potential samples — (time, neuron, v) whenever a REGISTERED
+//                     neuron's potential is updated by a delivery step
+//                     (post-leak, post-integration; the reset value when
+//                     the update made it fire).
+//
+// A probe accumulates across Simulator::reset() cycles (reset rewinds the
+// simulation, not the observer); call clear() between runs for per-run
+// data. One probe serves one simulator at a time (bind() sizes the
+// per-neuron arrays at attach).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+
+namespace sga::obs {
+
+struct ProbeOptions {
+  /// Record the (time, neuron) trace of every fire event.
+  bool trace_spikes = false;
+  /// If non-empty (and trace_spikes), only these neurons are traced.
+  std::vector<NeuronId> trace_filter;
+  /// Count spikes per neuron.
+  bool count_fires = false;
+  /// Count synaptic deliveries received per neuron.
+  bool count_deliveries = false;
+  /// Sample the membrane potential of these neurons at every update.
+  std::vector<NeuronId> sample_potentials;
+};
+
+class Probe {
+ public:
+  struct PotentialSample {
+    Time time;
+    NeuronId neuron;
+    Voltage v;
+    bool operator==(const PotentialSample&) const = default;
+  };
+
+  explicit Probe(ProbeOptions options = {});
+
+  /// Size the per-neuron arrays for a network of n neurons. Called by
+  /// Simulator::attach_probe; throws if a filter id is out of range.
+  void bind(std::size_t num_neurons);
+  bool bound() const { return bound_; }
+
+  const ProbeOptions& options() const { return opt_; }
+
+  // ---- recorded data ---------------------------------------------------
+  const std::vector<std::pair<Time, NeuronId>>& spike_trace() const {
+    return trace_;
+  }
+  std::uint64_t fires(NeuronId id) const;
+  const std::vector<std::uint64_t>& fire_counts() const { return fires_; }
+  std::uint64_t total_fires() const { return total_fires_; }
+  std::uint64_t deliveries(NeuronId id) const;
+  const std::vector<std::uint64_t>& delivery_counts() const {
+    return deliveries_;
+  }
+  std::uint64_t total_deliveries() const { return total_deliveries_; }
+  const std::vector<PotentialSample>& potential_samples() const {
+    return samples_;
+  }
+
+  /// Drop recorded data (bind()ing and options are kept).
+  void clear();
+
+  // ---- hot-path hooks (called by snn::Simulator; see overhead contract
+  // above — the simulator guards every call with its cached pointer) -----
+  void on_spike(Time t, NeuronId id) {
+    if (count_fires_) {
+      ++fires_[id];
+      ++total_fires_;
+    }
+    if (tracing_ && (trace_all_ || traced_[id])) trace_.emplace_back(t, id);
+  }
+  void on_delivery(NeuronId target) {
+    if (count_deliveries_) {
+      ++deliveries_[target];
+      ++total_deliveries_;
+    }
+  }
+  bool counts_deliveries() const { return count_deliveries_; }
+  /// Whether any neuron's potential is being sampled (the simulator skips
+  /// its sampling pass entirely when false).
+  bool samples_potentials() const { return !sampled_ids_.empty(); }
+  void on_potential(Time t, NeuronId id, Voltage v) {
+    if (sampled_[id]) samples_.push_back({t, id, v});
+  }
+
+ private:
+  ProbeOptions opt_;
+  bool bound_ = false;
+  bool tracing_ = false;
+  bool trace_all_ = false;
+  bool count_fires_ = false;
+  bool count_deliveries_ = false;
+
+  std::vector<char> traced_;
+  std::vector<char> sampled_;
+  std::vector<NeuronId> sampled_ids_;
+  std::vector<std::pair<Time, NeuronId>> trace_;
+  std::vector<std::uint64_t> fires_;
+  std::vector<std::uint64_t> deliveries_;
+  std::uint64_t total_fires_ = 0;
+  std::uint64_t total_deliveries_ = 0;
+  std::vector<PotentialSample> samples_;
+};
+
+}  // namespace sga::obs

@@ -1,0 +1,131 @@
+#include "obs/report.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <utility>
+
+#include "core/table.h"
+
+#ifndef SGA_GIT_SHA
+#define SGA_GIT_SHA "unknown"
+#endif
+#ifndef SGA_BUILD_TYPE
+#define SGA_BUILD_TYPE "unknown"
+#endif
+
+namespace sga::obs {
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {
+  doc_ = Json::object();
+  doc_.set("schema", "sga-bench-v1");
+  doc_.set("bench", name_);
+  // Baked in at configure time; an env override lets CI stamp the exact
+  // checkout when the build tree predates it.
+  const char* sha = std::getenv("SGA_GIT_SHA");
+  doc_.set("git_sha", sha != nullptr && *sha != '\0' ? sha : SGA_GIT_SHA);
+  doc_.set("build_type", SGA_BUILD_TYPE);
+}
+
+void BenchReport::context(const std::string& key, Json value) {
+  context_.set(key, std::move(value));
+}
+
+BenchRecord::BenchRecord(BenchReport& report, const std::string& name)
+    : report_(report) {
+  row_ = Json::object();
+  row_.set("name", name);
+}
+
+BenchRecord::~BenchRecord() { report_.commit_record(std::move(row_)); }
+
+void BenchReport::add_table(const std::string& id, const sga::Table& table) {
+  Json t = Json::object();
+  t.set("id", id);
+  if (!table.title().empty()) t.set("title", table.title());
+  Json cols = Json::array();
+  for (const auto& h : table.header()) cols.push(h);
+  t.set("columns", std::move(cols));
+  Json rows = Json::array();
+  for (const auto& row : table.cells()) {
+    Json r = Json::object();
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      r.set(table.header()[c], row[c]);
+    }
+    rows.push(std::move(r));
+  }
+  t.set("rows", std::move(rows));
+  tables_.push(std::move(t));
+}
+
+void BenchReport::metrics(const MetricsRegistry& registry) {
+  doc_.set("metrics", registry.to_json());
+}
+
+std::string BenchReport::write() {
+  written_ = true;
+  const char* toggle = std::getenv("SGA_BENCH_JSON");
+  if (toggle != nullptr && std::string(toggle) == "0") return "";
+
+  if (!context_.members().empty()) doc_.set("context", context_);
+  doc_.set("records", records_);
+  if (!tables_.elements().empty()) doc_.set("tables", tables_);
+
+  const char* dir = std::getenv("SGA_BENCH_JSON_DIR");
+  std::string path = dir != nullptr && *dir != '\0' ? std::string(dir) : ".";
+  if (path.back() != '/') path += '/';
+  path += "BENCH_" + name_ + ".json";
+
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "[obs] could not open " << path
+              << " for writing; JSON report skipped\n";
+    return "";
+  }
+  out << doc_.dump(2);
+  if (!out) {
+    std::cerr << "[obs] short write to " << path << "\n";
+    return "";
+  }
+  return path;
+}
+
+BenchReport::~BenchReport() {
+  if (!written_) write();
+}
+
+std::string validate_bench_json(const Json& doc) {
+  if (!doc.is_object()) return "document is not a JSON object";
+  const Json* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string()) return "missing key: schema";
+  if (schema->as_string() != "sga-bench-v1") {
+    return "unknown schema: " + schema->as_string();
+  }
+  for (const char* key : {"bench", "git_sha", "build_type"}) {
+    const Json* v = doc.find(key);
+    if (v == nullptr || !v->is_string()) {
+      return std::string("missing key: ") + key;
+    }
+  }
+  const Json* records = doc.find("records");
+  if (records == nullptr || !records->is_array()) {
+    return "missing key: records";
+  }
+  for (const Json& r : records->elements()) {
+    if (!r.is_object()) return "record is not an object";
+    const Json* name = r.find("name");
+    if (name == nullptr || !name->is_string()) {
+      return "record without a string name";
+    }
+    for (const char* key : {"T", "spikes", "wall_ns", "events"}) {
+      const Json* v = r.find(key);
+      if (v != nullptr && !v->is_number()) {
+        return "record '" + name->as_string() + "': " + key +
+               " is not numeric";
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace sga::obs

@@ -4,6 +4,9 @@
 #include <bit>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/probe.h"
+
 namespace sga::snn {
 
 namespace {
@@ -52,6 +55,11 @@ void Simulator::init_state() {
     ring_mask_ = static_cast<Time>(w - 1);
     stats_.ring_buckets = static_cast<std::uint32_t>(w);
   }
+}
+
+void Simulator::attach_probe(obs::Probe& probe) {
+  probe.bind(net_->num_neurons());
+  probe_ = &probe;
 }
 
 void Simulator::inject_spike(NeuronId id, Time t) {
@@ -154,6 +162,7 @@ void Simulator::fire(NeuronId id, Time t) {
   ++stats_.spikes;
   if (first_fire) first_spike_[id] = t;
   last_spike_[id] = t;
+  if (probe_ != nullptr) probe_->on_spike(t, id);
   if (record_log_ && (watch_all_ || is_watched_[id])) {
     spike_log_.emplace_back(t, id);
   }
@@ -187,6 +196,10 @@ void Simulator::fire(NeuronId id, Time t) {
 
 SimStats Simulator::run(const SimConfig& config) {
   SGA_REQUIRE(!ran_, "Simulator::run is one-shot (call reset() to reuse)");
+  // Per-run metrics go to the CURRENT THREAD's registry (nullptr = off,
+  // the default); multi-threaded drivers install one registry per worker
+  // and merge after join, so this line never contends.
+  obs::ScopedTimer run_timer(obs::thread_metrics(), "sim.run_ns");
   ran_ = true;
   record_causes_ = config.record_causes;
   record_log_ = config.record_spike_log;
@@ -240,6 +253,15 @@ SimStats Simulator::run(const SimConfig& config) {
     ++stats_.event_times;
     stats_.end_time = t;
 
+    // Probe hook, OUTSIDE the accumulation loop below: the per-delivery
+    // iteration is duplicated only when a probe is counting, so the
+    // uninstrumented hot loop stays untouched (overhead contract).
+    if (probe_ != nullptr && probe_->counts_deliveries()) {
+      for (const Delivery& d : bucket->deliveries) {
+        probe_->on_delivery(d.target);
+      }
+    }
+
     targets.clear();
     for (const Delivery& d : bucket->deliveries) {
       ++stats_.deliveries;
@@ -290,6 +312,12 @@ SimStats Simulator::run(const SimConfig& config) {
       }
     }
 
+    // Membrane sampling after the threshold pass: v_[id] now holds the
+    // post-integration potential (or the reset value if the neuron fired).
+    if (probe_ != nullptr && probe_->samples_potentials()) {
+      for (const NeuronId id : targets) probe_->on_potential(t, id, v_[id]);
+    }
+
     // Release the drained bucket (keeping its capacity for reuse).
     bucket->clear();
     if (queue_kind_ == QueueKind::kCalendar) {
@@ -300,6 +328,13 @@ SimStats Simulator::run(const SimConfig& config) {
     }
 
     if (terminal_fired_) break;
+  }
+  if (obs::MetricsRegistry* m = obs::thread_metrics()) {
+    m->add("sim.runs");
+    m->add("sim.spikes", stats_.spikes);
+    m->add("sim.deliveries", stats_.deliveries);
+    m->add("sim.event_times", stats_.event_times);
+    m->add("sim.overflow_spills", stats_.overflow_spills);
   }
   return stats_;
 }

@@ -43,6 +43,10 @@
 #include "snn/compiled_network.h"
 #include "snn/network.h"
 
+namespace sga::obs {
+class Probe;
+}  // namespace sga::obs
+
 namespace sga::snn {
 
 /// Pending-event queue implementation (DESIGN.md §4 ablation knob).
@@ -134,6 +138,17 @@ class Simulator {
 
   QueueKind queue_kind() const { return queue_kind_; }
 
+  // ---- Instrumentation (src/obs; see docs/OBSERVABILITY.md) -----------
+  /// Attach an observability probe (spike trace / fire + delivery counters
+  /// / potential sampling). The simulator BORROWS the probe; it must
+  /// outlive the simulator or be detached first. Binds the probe to this
+  /// network's size. Probes never alter simulation semantics; with no
+  /// probe attached each hook site costs one branch on the cached pointer
+  /// (the overhead contract of docs/OBSERVABILITY.md).
+  void attach_probe(obs::Probe& probe);
+  void detach_probe() { probe_ = nullptr; }
+  obs::Probe* probe() const { return probe_; }
+
   // ---- Post-run observability ----------------------------------------
   /// First spike time of `id`, kNever if it never fired.
   Time first_spike(NeuronId id) const;
@@ -205,6 +220,7 @@ class Simulator {
   std::optional<CompiledNetwork> owned_;  ///< set by the Network constructor
   const CompiledNetwork* net_;
   const QueueKind queue_kind_;
+  obs::Probe* probe_ = nullptr;  ///< cached flag for the disabled fast path
   bool ran_ = false;
 
   // Calendar ring: ring_.size() is a power of two; slot = time & ring_mask_.

@@ -19,6 +19,8 @@
 #include "nga/matvec.h"
 #include "nga/sssp_batch.h"
 #include "nga/sssp_event.h"
+#include "obs/metrics.h"
+#include "obs/probe.h"
 #include "snn/network.h"
 #include "snn/reference_sim.h"
 #include "snn/simulator.h"
@@ -238,6 +240,90 @@ TEST_P(QueueFuzz, BothQueuesAndReferenceInterpreterProduceIdenticalRuns) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, QueueFuzz, ::testing::Range(0, 30));
 
+class ProbeFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProbeFuzz, ProbesObserveWithoutPerturbing) {
+  // The obs::Probe overhead contract (docs/OBSERVABILITY.md): attaching a
+  // probe must not change ANY simulation observable, and what the probe
+  // records must agree with the simulator's own log — across both queue
+  // kinds and with the nested-vector reference interpreter.
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const snn::Network net = random_snn(seed);
+  const snn::CompiledNetwork compiled = net.compile();
+
+  auto inject_all = [&](auto& sim) {
+    Rng rng(0xD41E + seed);
+    for (int i = 0; i < 6; ++i) {
+      sim.inject_spike(
+          static_cast<NeuronId>(rng.uniform_int(
+              0, static_cast<std::int64_t>(net.num_neurons()) - 1)),
+          rng.uniform_int(0, 200));
+    }
+    sim.inject_spike(0, 450);
+  };
+  snn::SimConfig cfg;
+  cfg.max_time = 500;
+  cfg.record_spike_log = true;
+
+  obs::ProbeOptions po;
+  po.trace_spikes = true;
+  po.count_fires = true;
+  po.count_deliveries = true;
+  po.sample_potentials = {0, static_cast<NeuronId>(net.num_neurons() - 1)};
+
+  auto drive = [&](snn::QueueKind kind, obs::Probe* probe) {
+    snn::Simulator sim(compiled, kind);
+    if (probe != nullptr) sim.attach_probe(*probe);
+    inject_all(sim);
+    const snn::SimStats stats = sim.run(cfg);
+    return std::tuple(stats, sim.spike_log());
+  };
+
+  // Instrumented vs uninstrumented: identical run, event for event.
+  obs::Probe cal_probe(po);
+  const auto [bare_stats, bare_log] =
+      drive(snn::QueueKind::kCalendar, nullptr);
+  const auto [cal_stats, cal_log] =
+      drive(snn::QueueKind::kCalendar, &cal_probe);
+  EXPECT_EQ(cal_log, bare_log) << "seed " << seed;
+  EXPECT_EQ(cal_stats.spikes, bare_stats.spikes) << "seed " << seed;
+  EXPECT_EQ(cal_stats.deliveries, bare_stats.deliveries) << "seed " << seed;
+  EXPECT_EQ(cal_stats.event_times, bare_stats.event_times) << "seed " << seed;
+  EXPECT_EQ(cal_stats.end_time, bare_stats.end_time) << "seed " << seed;
+  EXPECT_EQ(cal_stats.execution_time, bare_stats.execution_time)
+      << "seed " << seed;
+
+  // The probe's trace is exactly the simulator's own (watch-all) log, and
+  // its totals are the SimStats totals.
+  EXPECT_EQ(cal_probe.spike_trace(), cal_log) << "seed " << seed;
+  EXPECT_EQ(cal_probe.total_fires(), cal_stats.spikes) << "seed " << seed;
+  EXPECT_EQ(cal_probe.total_deliveries(), cal_stats.deliveries)
+      << "seed " << seed;
+
+  // Same observations under the map queue.
+  obs::Probe map_probe(po);
+  drive(snn::QueueKind::kMap, &map_probe);
+  EXPECT_EQ(map_probe.spike_trace(), cal_probe.spike_trace())
+      << "seed " << seed;
+  EXPECT_EQ(map_probe.fire_counts(), cal_probe.fire_counts())
+      << "seed " << seed;
+  EXPECT_EQ(map_probe.delivery_counts(), cal_probe.delivery_counts())
+      << "seed " << seed;
+  EXPECT_EQ(map_probe.potential_samples(), cal_probe.potential_samples())
+      << "seed " << seed;
+
+  // Per-neuron fire counts equal the ReferenceSimulator's spike log counted
+  // by hand — the probe agrees with the pre-CSR execution model too.
+  snn::ReferenceSimulator ref(net);
+  inject_all(ref);
+  ref.run(cfg);
+  std::vector<std::uint64_t> ref_fires(net.num_neurons(), 0);
+  for (const auto& [t, id] : ref.spike_log()) ++ref_fires[id];
+  EXPECT_EQ(cal_probe.fire_counts(), ref_fires) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProbeFuzz, ::testing::Range(0, 12));
+
 class BatchFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(BatchFuzz, BatchDriverMatchesSingleSourceRuns) {
@@ -278,6 +364,77 @@ TEST_P(BatchFuzz, BatchDriverMatchesSingleSourceRuns) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BatchFuzz, ::testing::Range(0, 16));
+
+TEST(BatchRegression, MoreThreadsThanSourcesIsClampedAndCorrect) {
+  // Regression for the worker-pool clamp: with more requested threads than
+  // sources, surplus workers must neither crash (index races past the end)
+  // nor change results; threads_used reports the clamped pool size.
+  Rng rng(0xBA7C);
+  const Graph g = random_instance(3, 18);
+  const std::vector<VertexId> sources = {0, 1, 2};
+
+  nga::SsspBatchOptions bopt;
+  bopt.num_threads = 16;  // requested >> |sources|
+  const auto batch = nga::spiking_sssp_batch(g, sources, bopt);
+  ASSERT_EQ(batch.runs.size(), sources.size());
+  EXPECT_EQ(batch.threads_used, sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    EXPECT_EQ(batch.runs[i].dist, dijkstra(g, sources[i]).dist)
+        << "source " << i;
+  }
+}
+
+TEST(BatchRegression, SingleSourceManyThreads) {
+  // The degenerate 1-source sweep: exactly one worker may claim the index;
+  // the pool must still clamp to 1 and the others' lazy simulators must
+  // never be constructed (exercised by the std::optional deferral path).
+  Rng rng(0xBA7D);
+  const Graph g = random_instance(7, 18);
+  const std::vector<VertexId> sources = {0};
+
+  nga::SsspBatchOptions bopt;
+  bopt.num_threads = 8;
+  obs::MetricsRegistry reg;
+  bopt.metrics = &reg;
+  const auto batch = nga::spiking_sssp_batch(g, sources, bopt);
+  ASSERT_EQ(batch.runs.size(), 1u);
+  EXPECT_EQ(batch.threads_used, 1u);
+  EXPECT_EQ(batch.runs[0].dist, dijkstra(g, 0).dist);
+
+  // Merged metrics account for exactly the one source and one worker.
+  EXPECT_EQ(reg.counter("batch.sources_done"), 1u);
+  EXPECT_EQ(reg.counter("batch.sources"), 1u);
+  EXPECT_DOUBLE_EQ(reg.gauges().at("batch.workers"), 1.0);
+  EXPECT_EQ(reg.counter("sim.runs"), 1u);
+}
+
+TEST(BatchRegression, MergedMetricsMatchRunTotals) {
+  // The per-worker registries merged at join must add up to exactly the
+  // per-run SimStats sums — nothing lost or double-counted across threads.
+  Rng rng(0xBA7E);
+  const Graph g = random_instance(11, 18);
+  std::vector<VertexId> sources;
+  const auto want =
+      static_cast<VertexId>(std::min<std::size_t>(6, g.num_vertices()));
+  for (VertexId v = 0; v < want; ++v) sources.push_back(v);
+
+  nga::SsspBatchOptions bopt;
+  bopt.num_threads = 3;
+  obs::MetricsRegistry reg;
+  bopt.metrics = &reg;
+  const auto batch = nga::spiking_sssp_batch(g, sources, bopt);
+
+  std::uint64_t spikes = 0, deliveries = 0;
+  for (const auto& run : batch.runs) {
+    spikes += run.sim.spikes;
+    deliveries += run.sim.deliveries;
+  }
+  EXPECT_EQ(reg.counter("sim.spikes"), spikes);
+  EXPECT_EQ(reg.counter("sim.deliveries"), deliveries);
+  EXPECT_EQ(reg.counter("sim.runs"), sources.size());
+  EXPECT_EQ(reg.counter("batch.sources_done"), sources.size());
+  EXPECT_EQ(reg.timers().at("sim.run_ns").count, sources.size());
+}
 
 }  // namespace
 }  // namespace sga

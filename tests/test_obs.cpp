@@ -1,0 +1,421 @@
+// Unit tests for the src/obs observability layer: the JSON value type
+// (writer + parser round trips), the MetricsRegistry (counters, gauges,
+// timers, per-thread install, merge), the spike Probe against a network
+// with known dynamics, and the BenchReport writer + sga-bench-v1 schema
+// validator used by bench_compare and CI.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/error.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/probe.h"
+#include "obs/report.h"
+#include "snn/network.h"
+#include "snn/simulator.h"
+
+namespace sga::obs {
+namespace {
+
+// ---- Json ---------------------------------------------------------------
+
+TEST(Json, LeafKindsArePreserved) {
+  EXPECT_EQ(Json().kind(), Json::Kind::kNull);
+  EXPECT_EQ(Json(true).kind(), Json::Kind::kBool);
+  EXPECT_EQ(Json(std::int64_t{-3}).kind(), Json::Kind::kInt);
+  EXPECT_EQ(Json(std::uint64_t{3}).kind(), Json::Kind::kUint);
+  EXPECT_EQ(Json(1.5).kind(), Json::Kind::kDouble);
+  EXPECT_EQ(Json("s").kind(), Json::Kind::kString);
+  EXPECT_TRUE(Json(1.5).is_number());
+  EXPECT_FALSE(Json("s").is_number());
+}
+
+TEST(Json, Uint64RoundTripsWithoutLoss) {
+  // A counter value that double cannot represent exactly.
+  const std::uint64_t big = (1ULL << 63) + 1;
+  Json doc = Json::object();
+  doc.set("n", Json(big));
+  const Json back = Json::parse(doc.dump());
+  EXPECT_EQ(back.find("n")->as_uint(), big);
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  Json doc = Json::object();
+  doc.set("zebra", 1).set("alpha", 2).set("mid", 3);
+  ASSERT_EQ(doc.members().size(), 3u);
+  EXPECT_EQ(doc.members()[0].first, "zebra");
+  EXPECT_EQ(doc.members()[1].first, "alpha");
+  EXPECT_EQ(doc.members()[2].first, "mid");
+  // set() on an existing key overwrites in place, keeping the slot.
+  doc.set("alpha", 9);
+  ASSERT_EQ(doc.members().size(), 3u);
+  EXPECT_EQ(doc.members()[1].second.as_int(), 9);
+}
+
+TEST(Json, DumpParseRoundTripsNestedDocument) {
+  Json doc = Json::object();
+  doc.set("name", "bench \"quoted\"\n\ttabbed\\slash");
+  doc.set("ok", true);
+  doc.set("nothing", Json());
+  doc.set("pi", 3.25);
+  Json arr = Json::array();
+  arr.push(1).push(Json::object().set("k", std::uint64_t{7}));
+  doc.set("list", std::move(arr));
+
+  for (const int indent : {0, 2}) {
+    const Json back = Json::parse(doc.dump(indent));
+    EXPECT_EQ(back.find("name")->as_string(),
+              "bench \"quoted\"\n\ttabbed\\slash");
+    EXPECT_TRUE(back.find("ok")->as_bool());
+    EXPECT_EQ(back.find("nothing")->kind(), Json::Kind::kNull);
+    EXPECT_DOUBLE_EQ(back.find("pi")->as_double(), 3.25);
+    ASSERT_EQ(back.find("list")->elements().size(), 2u);
+    EXPECT_EQ(back.find("list")->elements()[1].find("k")->as_uint(), 7u);
+  }
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW(Json::parse(""), InvalidArgument);
+  EXPECT_THROW(Json::parse("{"), InvalidArgument);
+  EXPECT_THROW(Json::parse("{\"a\": 1,}"), InvalidArgument);
+  EXPECT_THROW(Json::parse("[1, 2] trailing"), InvalidArgument);
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), InvalidArgument);
+  EXPECT_THROW(Json::parse("\"unterminated"), InvalidArgument);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  EXPECT_THROW(Json("s").as_int(), InvalidArgument);
+  EXPECT_THROW(Json(1).as_string(), InvalidArgument);
+  EXPECT_THROW(Json(1).set("k", 2), InvalidArgument);
+  EXPECT_THROW(Json::object().push(1), InvalidArgument);
+  EXPECT_EQ(Json(1).find("k"), nullptr);
+}
+
+// ---- MetricsRegistry ----------------------------------------------------
+
+TEST(Metrics, CountersGaugesTimers) {
+  MetricsRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  EXPECT_EQ(reg.counter("absent"), 0u);
+
+  reg.add("sim.spikes", 10);
+  reg.add("sim.spikes", 5);
+  reg.gauge("batch.workers", 4.0);
+  reg.record_time("sim.run_ns", 100);
+  reg.record_time("sim.run_ns", 300);
+
+  EXPECT_EQ(reg.counter("sim.spikes"), 15u);
+  EXPECT_DOUBLE_EQ(reg.gauges().at("batch.workers"), 4.0);
+  const TimerStat& t = reg.timers().at("sim.run_ns");
+  EXPECT_EQ(t.count, 2u);
+  EXPECT_EQ(t.total_ns, 400u);
+  EXPECT_EQ(t.max_ns, 300u);
+
+  reg.clear();
+  EXPECT_TRUE(reg.empty());
+}
+
+TEST(Metrics, MergeAddsCountersAndTimersKeepsFirstGauge) {
+  MetricsRegistry a, b;
+  a.add("c", 1);
+  a.gauge("g", 1.0);
+  a.record_time("t", 10);
+  b.add("c", 2);
+  b.add("only_b");
+  b.gauge("g", 99.0);
+  b.gauge("g2", 7.0);
+  b.record_time("t", 50);
+
+  a.merge(b);
+  EXPECT_EQ(a.counter("c"), 3u);
+  EXPECT_EQ(a.counter("only_b"), 1u);
+  EXPECT_DOUBLE_EQ(a.gauges().at("g"), 1.0);  // first-seen wins
+  EXPECT_DOUBLE_EQ(a.gauges().at("g2"), 7.0);
+  EXPECT_EQ(a.timers().at("t").count, 2u);
+  EXPECT_EQ(a.timers().at("t").total_ns, 60u);
+  EXPECT_EQ(a.timers().at("t").max_ns, 50u);
+}
+
+TEST(Metrics, ToJsonOmitsEmptySections) {
+  MetricsRegistry reg;
+  reg.add("c", 2);
+  const Json j = reg.to_json();
+  ASSERT_NE(j.find("counters"), nullptr);
+  EXPECT_EQ(j.find("counters")->find("c")->as_uint(), 2u);
+  EXPECT_EQ(j.find("gauges"), nullptr);
+  EXPECT_EQ(j.find("timers"), nullptr);
+}
+
+TEST(Metrics, ThreadInstallAndRestore) {
+  EXPECT_EQ(thread_metrics(), nullptr);
+  MetricsRegistry outer, inner;
+  {
+    ScopedThreadMetrics a(&outer);
+    EXPECT_EQ(thread_metrics(), &outer);
+    {
+      ScopedThreadMetrics b(&inner);
+      EXPECT_EQ(thread_metrics(), &inner);
+    }
+    EXPECT_EQ(thread_metrics(), &outer);
+  }
+  EXPECT_EQ(thread_metrics(), nullptr);
+}
+
+TEST(Metrics, ScopedTimerRecordsAndNullRegistryIsNoOp) {
+  MetricsRegistry reg;
+  { ScopedTimer t(&reg, "x_ns"); }
+  ASSERT_EQ(reg.timers().count("x_ns"), 1u);
+  EXPECT_EQ(reg.timers().at("x_ns").count, 1u);
+  { ScopedTimer t(nullptr, "y_ns"); }  // must not crash or record anywhere
+  EXPECT_EQ(reg.timers().count("y_ns"), 0u);
+}
+
+// ---- Probe on a network with known dynamics -----------------------------
+
+// Chain a -> b -> c (unit weights/thresholds, delay 1 then 2): injecting a
+// at t=0 fires a@0, b@1, c@3; each non-source neuron receives exactly one
+// delivery.
+snn::Network make_chain() {
+  snn::Network net;
+  const NeuronId a = net.add_threshold_neuron(1);
+  const NeuronId b = net.add_threshold_neuron(1);
+  const NeuronId c = net.add_threshold_neuron(1);
+  net.add_synapse(a, b, 1, 1);
+  net.add_synapse(b, c, 1, 2);
+  return net;
+}
+
+TEST(Probe, TraceCountersAndSamplesOnKnownChain) {
+  ProbeOptions po;
+  po.trace_spikes = true;
+  po.count_fires = true;
+  po.count_deliveries = true;
+  po.sample_potentials = {1, 2};
+  Probe probe(po);
+  EXPECT_FALSE(probe.bound());
+
+  snn::Simulator sim(make_chain());
+  sim.attach_probe(probe);
+  EXPECT_TRUE(probe.bound());
+  EXPECT_EQ(sim.probe(), &probe);
+
+  sim.inject_spike(0, 0);
+  snn::SimConfig cfg;
+  cfg.record_spike_log = true;  // the simulator's own log, for comparison
+  const auto st = sim.run(cfg);
+
+  EXPECT_EQ(st.spikes, 3u);
+  // Trace == the simulator's full spike log, in order.
+  EXPECT_EQ(probe.spike_trace(), sim.spike_log());
+  const std::vector<std::pair<Time, NeuronId>> expected = {
+      {0, 0}, {1, 1}, {3, 2}};
+  EXPECT_EQ(probe.spike_trace(), expected);
+
+  EXPECT_EQ(probe.total_fires(), 3u);
+  EXPECT_EQ(probe.fires(0), 1u);
+  EXPECT_EQ(probe.fires(1), 1u);
+  EXPECT_EQ(probe.fires(2), 1u);
+
+  // Deliveries received: b and c one each, a none (its spike was injected).
+  EXPECT_EQ(probe.total_deliveries(), 2u);
+  EXPECT_EQ(probe.deliveries(0), 0u);
+  EXPECT_EQ(probe.deliveries(1), 1u);
+  EXPECT_EQ(probe.deliveries(2), 1u);
+
+  // Both registered neurons were updated exactly once; the update made each
+  // fire, so the sampled value is the post-reset potential.
+  ASSERT_EQ(probe.potential_samples().size(), 2u);
+  EXPECT_EQ(probe.potential_samples()[0].time, 1);
+  EXPECT_EQ(probe.potential_samples()[0].neuron, 1u);
+  EXPECT_EQ(probe.potential_samples()[1].time, 3);
+  EXPECT_EQ(probe.potential_samples()[1].neuron, 2u);
+}
+
+TEST(Probe, TraceFilterRestrictsTraceNotCounters) {
+  ProbeOptions po;
+  po.trace_spikes = true;
+  po.trace_filter = {2};
+  po.count_fires = true;
+  Probe probe(po);
+  snn::Simulator sim(make_chain());
+  sim.attach_probe(probe);
+  sim.inject_spike(0, 0);
+  sim.run();
+
+  const std::vector<std::pair<Time, NeuronId>> expected = {{3, 2}};
+  EXPECT_EQ(probe.spike_trace(), expected);
+  EXPECT_EQ(probe.total_fires(), 3u);  // counters still see every neuron
+}
+
+TEST(Probe, AccumulatesAcrossResetUntilCleared) {
+  ProbeOptions po;
+  po.count_fires = true;
+  Probe probe(po);
+  snn::Simulator sim(make_chain());
+  sim.attach_probe(probe);
+
+  sim.inject_spike(0, 0);
+  sim.run();
+  sim.reset();  // rewinds the simulation, NOT the probe
+  sim.inject_spike(0, 0);
+  sim.run();
+  EXPECT_EQ(probe.total_fires(), 6u);
+
+  probe.clear();
+  EXPECT_EQ(probe.total_fires(), 0u);
+  EXPECT_TRUE(probe.spike_trace().empty());
+  EXPECT_TRUE(probe.bound());  // clear() keeps the binding
+
+  sim.reset();
+  sim.inject_spike(0, 0);
+  sim.run();
+  EXPECT_EQ(probe.total_fires(), 3u);
+}
+
+TEST(Probe, DetachStopsRecording) {
+  ProbeOptions po;
+  po.count_fires = true;
+  Probe probe(po);
+  snn::Simulator sim(make_chain());
+  sim.attach_probe(probe);
+  sim.detach_probe();
+  EXPECT_EQ(sim.probe(), nullptr);
+  sim.inject_spike(0, 0);
+  sim.run();
+  EXPECT_EQ(probe.total_fires(), 0u);
+}
+
+TEST(Probe, BindRejectsOutOfRangeIds) {
+  {
+    ProbeOptions po;
+    po.trace_spikes = true;
+    po.trace_filter = {3};  // chain has neurons 0..2
+    Probe probe(po);
+    snn::Simulator sim(make_chain());
+    EXPECT_THROW(sim.attach_probe(probe), InvalidArgument);
+  }
+  {
+    ProbeOptions po;
+    po.sample_potentials = {7};
+    Probe probe(po);
+    snn::Simulator sim(make_chain());
+    EXPECT_THROW(sim.attach_probe(probe), InvalidArgument);
+  }
+}
+
+// ---- BenchReport + schema validator -------------------------------------
+
+class BenchReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Unique per test AND per process: ctest runs each TEST as its own
+    // process, possibly in parallel, so a shared name would race on
+    // create/remove_all.
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("sga_obs_test_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            "_" + std::to_string(static_cast<long>(::getpid())));
+    std::filesystem::create_directories(dir_);
+    ::setenv("SGA_BENCH_JSON_DIR", dir_.c_str(), 1);
+    ::unsetenv("SGA_BENCH_JSON");
+  }
+  void TearDown() override {
+    ::unsetenv("SGA_BENCH_JSON_DIR");
+    ::unsetenv("SGA_GIT_SHA");
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(BenchReportTest, WritesValidatableDocument) {
+  ::setenv("SGA_GIT_SHA", "deadbeef", 1);
+  std::string path;
+  {
+    BenchReport report("unit");
+    report.context("queue", "calendar");
+    report.record("w1").T(10).spikes(3).wall_ns(1234).events(7).set(
+        "neurons", std::uint64_t{42});
+    MetricsRegistry reg;
+    reg.add("sim.spikes", 3);
+    report.metrics(reg);
+    path = report.write();
+  }
+  ASSERT_EQ(path, (dir_ / "BENCH_unit.json").string());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const Json doc = Json::parse(buf.str());
+
+  EXPECT_EQ(validate_bench_json(doc), "");
+  EXPECT_EQ(doc.find("schema")->as_string(), "sga-bench-v1");
+  EXPECT_EQ(doc.find("bench")->as_string(), "unit");
+  EXPECT_EQ(doc.find("git_sha")->as_string(), "deadbeef");  // env override
+  EXPECT_EQ(doc.find("context")->find("queue")->as_string(), "calendar");
+  ASSERT_EQ(doc.find("records")->elements().size(), 1u);
+  const Json& rec = doc.find("records")->elements()[0];
+  EXPECT_EQ(rec.find("name")->as_string(), "w1");
+  EXPECT_EQ(rec.find("T")->as_int(), 10);
+  EXPECT_EQ(rec.find("spikes")->as_uint(), 3u);
+  EXPECT_EQ(rec.find("wall_ns")->as_uint(), 1234u);
+  EXPECT_EQ(rec.find("events")->as_uint(), 7u);
+  EXPECT_EQ(rec.find("neurons")->as_uint(), 42u);
+  EXPECT_EQ(doc.find("metrics")->find("counters")->find("sim.spikes")
+                ->as_uint(),
+            3u);
+}
+
+TEST_F(BenchReportTest, DestructorWritesAndEnvSuppresses) {
+  { BenchReport report("dtor"); }
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "BENCH_dtor.json"));
+
+  ::setenv("SGA_BENCH_JSON", "0", 1);
+  {
+    BenchReport report("suppressed");
+    EXPECT_EQ(report.write(), "");
+  }
+  EXPECT_FALSE(std::filesystem::exists(dir_ / "BENCH_suppressed.json"));
+  ::unsetenv("SGA_BENCH_JSON");
+}
+
+TEST(BenchSchema, ValidatorCatchesMalformedDocuments) {
+  Json ok = Json::object();
+  ok.set("schema", "sga-bench-v1");
+  ok.set("bench", "x");
+  ok.set("git_sha", "abc");
+  ok.set("build_type", "Release");
+  Json rec = Json::object();
+  rec.set("name", "r").set("T", 1).set("spikes", std::uint64_t{2});
+  ok.set("records", Json::array().push(std::move(rec)));
+  EXPECT_EQ(validate_bench_json(ok), "");
+
+  Json wrong_schema = ok;
+  wrong_schema.set("schema", "v999");
+  EXPECT_NE(validate_bench_json(wrong_schema), "");
+
+  Json no_records = ok;
+  no_records.set("records", Json());
+  EXPECT_NE(validate_bench_json(no_records), "");
+
+  Json nameless = ok;
+  nameless.set("records", Json::array().push(Json::object().set("T", 1)));
+  EXPECT_NE(validate_bench_json(nameless), "");
+
+  Json bad_T = ok;
+  bad_T.set("records", Json::array().push(
+                           Json::object().set("name", "r").set("T", "ten")));
+  EXPECT_NE(validate_bench_json(bad_T), "");
+
+  EXPECT_NE(validate_bench_json(Json(1)), "");
+}
+
+}  // namespace
+}  // namespace sga::obs
