@@ -1,0 +1,136 @@
+// Serial-vs-sharded simulator benchmark on a bench-scale SSSP instance
+// (ISSUE 4 acceptance workload). Edge lengths are drawn from [8, 64], so
+// every synapse delay — and therefore the conservative cross-shard
+// lookahead δ — is at least 8 steps: shards run 8+ steps between barriers,
+// which is the regime the windowed design targets.
+//
+// Two layers, as in bench_simulator:
+//   * google-benchmark microbenchmarks (BM_*) for interactive tuning runs;
+//   * a deterministic one-shot summary emitted to BENCH_parallel_sim.json
+//     for the bench_compare trajectory. Shard AND thread counts are pinned
+//     (never derived from std::thread::hardware_concurrency()), so the
+//     semantic observables — T, spikes, events, and the per-config
+//     lookahead/window counts — are machine-independent; only wall_ns is
+//     noise. The serial record and every parallel record must agree on
+//     T/spikes/events, which makes the trajectory file itself a standing
+//     drift check on the exactness contract.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/random.h"
+#include "core/timer.h"
+#include "graph/generators.h"
+#include "nga/sssp_event.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "snn/parallel_sim.h"
+#include "snn/simulator.h"
+
+using namespace sga;
+
+namespace {
+
+// Bench-scale SSSP instance: 20k vertices, 160k edges, lengths in [8, 64]
+// (δ_cross ≥ 8). Built once and compiled once; both engines share the
+// frozen network.
+constexpr std::size_t kVertices = 20'000;
+constexpr std::size_t kEdges = 160'000;
+
+const snn::CompiledNetwork& sssp_network() {
+  static const snn::CompiledNetwork net = [] {
+    Rng rng(0xBEEF08);
+    const Graph g = make_random_graph(kVertices, kEdges, {8, 64}, rng);
+    return nga::build_sssp_network(g).compile();
+  }();
+  return net;
+}
+
+snn::SimStats run_serial(snn::QueueKind kind) {
+  snn::Simulator sim(sssp_network(), kind);
+  sim.inject_spike(0, 0);
+  return sim.run();
+}
+
+snn::SimStats run_parallel(std::size_t shards, unsigned threads,
+                           obs::MetricsRegistry* metrics = nullptr) {
+  snn::ParallelConfig pcfg;
+  pcfg.num_shards = shards;
+  pcfg.num_threads = threads;
+  snn::ParallelSimulator sim(sssp_network(), pcfg);
+  sim.inject_spike(0, 0);
+  const obs::ScopedThreadMetrics install(metrics);
+  return sim.run();
+}
+
+void BM_SsspSerialCalendar(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_serial(snn::QueueKind::kCalendar).spikes);
+  }
+}
+BENCHMARK(BM_SsspSerialCalendar);
+
+void BM_SsspParallelShards(benchmark::State& state) {
+  // Arg = shard count; threads pinned equal to shards.
+  const auto s = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_parallel(s, static_cast<unsigned>(s)).spikes);
+  }
+}
+BENCHMARK(BM_SsspParallelShards)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// --- deterministic JSON summary (consumed by bench_compare) -------------
+
+void emit_summary(obs::BenchReport& report) {
+  report.context("workload.sssp",
+                 "n=20000 m=160000 lengths=[8,64] source=0 seed=0xBEEF08");
+  report.context("pinning",
+                 "threads = shards, pinned per record (never hardware)");
+
+  // Warm-up: force the lazy network build + one full run outside every
+  // timer, so the serial record does not pay construction and first-touch
+  // page faults that the later records skip.
+  (void)run_serial(snn::QueueKind::kCalendar);
+
+  {
+    WallTimer w;
+    const snn::SimStats st = run_serial(snn::QueueKind::kCalendar);
+    report.record("sssp/serial")
+        .T(st.end_time)
+        .spikes(st.spikes)
+        .events(st.deliveries)
+        .wall_ns(static_cast<std::uint64_t>(w.seconds() * 1e9))
+        .set("event_times", st.event_times);
+  }
+
+  for (const std::size_t s : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                              std::size_t{8}}) {
+    obs::MetricsRegistry reg;
+    WallTimer w;
+    const snn::SimStats st = run_parallel(s, static_cast<unsigned>(s), &reg);
+    report.record("sssp/parallel/s" + std::to_string(s))
+        .T(st.end_time)
+        .spikes(st.spikes)
+        .events(st.deliveries)
+        .wall_ns(static_cast<std::uint64_t>(w.seconds() * 1e9))
+        .set("event_times", st.event_times)
+        .set("windows", reg.counter("psim.windows"))
+        .set("threads", static_cast<std::uint64_t>(s));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  obs::BenchReport report("parallel_sim");
+  emit_summary(report);
+  const std::string path = report.write();
+  if (!path.empty()) std::cout << "wrote " << path << "\n";
+  return 0;
+}

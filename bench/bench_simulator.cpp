@@ -324,9 +324,13 @@ void emit_summary(obs::BenchReport& report) {
   }
 
   // Batched 64-source sweep with the driver's merged metrics attached.
+  // Thread count pinned: hardware_concurrency() would leak the runner's
+  // core count into threads_used / batch.workers, and bench_compare now
+  // fails on any semantic drift.
   {
     obs::MetricsRegistry reg;
     nga::SsspBatchOptions opt;
+    opt.num_threads = 2;
     opt.metrics = &reg;
     WallTimer w;
     const auto r = nga::spiking_sssp_batch(g, batch_bench_sources(), opt);

@@ -10,6 +10,7 @@
 
 #include "core/error.h"
 #include "nga/sssp_event.h"
+#include "snn/parallel_sim.h"
 
 namespace sga::nga {
 
@@ -29,6 +30,41 @@ SsspBatchResult spiking_sssp_batch(const Graph& g,
   out.synapses = net.num_synapses();
   if (sources.empty()) {
     out.threads_used = 0;
+    return out;
+  }
+
+  // Shard-parallelism mode: one sharded engine, sources in sequence. The
+  // differential harness (test_parallel_agreement / BatchShardedMode)
+  // pins this path to the serial path result-for-result.
+  if (opt.shards > 0) {
+    snn::ParallelConfig pcfg;
+    pcfg.num_shards = opt.shards;
+    pcfg.num_threads = opt.num_threads;
+    snn::ParallelSimulator sim(net, pcfg);
+    out.threads_used = sim.num_threads();
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      if (i > 0) sim.reset();
+      const VertexId s = sources[i];
+      sim.inject_spike(s, 0);
+      snn::SimConfig cfg;
+      cfg.max_time = opt.max_time;
+      cfg.record_causes = opt.record_parents;
+      SsspSourceRun& r = out.runs[i];
+      r.source = s;
+      const obs::ScopedThreadMetrics install_metrics(opt.metrics);
+      r.sim = sim.run(cfg);
+      r.execution_time = read_sssp_solution(sim, g, s, opt.record_parents,
+                                            r.dist, r.parent);
+      if (opt.metrics != nullptr) {
+        opt.metrics->add("batch.sources_done");
+        if (r.sim.hit_time_limit) opt.metrics->add("batch.horizon_hits");
+      }
+    }
+    if (opt.metrics != nullptr) {
+      opt.metrics->add("batch.sources", sources.size());
+      opt.metrics->gauge("batch.workers",
+                         static_cast<double>(out.threads_used));
+    }
     return out;
   }
 

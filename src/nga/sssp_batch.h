@@ -33,6 +33,14 @@ struct SsspBatchOptions {
   unsigned num_threads = 0;
   /// Event-queue implementation for the per-worker simulators.
   snn::QueueKind queue = snn::QueueKind::kCalendar;
+  /// Shard-parallelism mode (snn/parallel_sim.h): when > 0, the batch runs
+  /// each source SEQUENTIALLY on one reusable sharded ParallelSimulator
+  /// with this many shards and `num_threads` workers, instead of fanning
+  /// sources out over per-worker serial simulators. Parallelism then comes
+  /// from inside a single run — the right trade when sources are few but
+  /// the network is large (per-source fan-out saturates at |sources|).
+  /// `queue` is ignored in this mode (the sharded engine is calendar-only).
+  std::size_t shards = 0;
   /// Optional metrics sink. Each worker thread accumulates into its OWN
   /// registry (installed as that thread's obs::thread_metrics(), so the
   /// per-worker simulator's `sim.*` counters land there too); the workers'

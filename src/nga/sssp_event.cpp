@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/error.h"
+#include "snn/parallel_sim.h"
 
 namespace sga::nga {
 
@@ -67,9 +68,14 @@ SpikingSsspResult spiking_sssp(const Graph& g, const SpikingSsspOptions& opt) {
   return r;
 }
 
-Time read_sssp_solution(const snn::Simulator& sim, const Graph& g,
-                        VertexId source, bool record_parents,
-                        std::vector<Weight>& dist,
+namespace {
+
+// Shared read-out over any engine exposing first_spike / first_spike_cause
+// (the serial Simulator and the sharded ParallelSimulator agree
+// event-for-event, so so does this extraction).
+template <typename Sim>
+Time read_solution_impl(const Sim& sim, const Graph& g, VertexId source,
+                        bool record_parents, std::vector<Weight>& dist,
                         std::vector<VertexId>& parent) {
   dist.assign(g.num_vertices(), kInfiniteDistance);
   parent.assign(g.num_vertices(), kNoVertex);
@@ -84,6 +90,22 @@ Time read_sssp_solution(const snn::Simulator& sim, const Graph& g,
     }
   }
   return last;
+}
+
+}  // namespace
+
+Time read_sssp_solution(const snn::Simulator& sim, const Graph& g,
+                        VertexId source, bool record_parents,
+                        std::vector<Weight>& dist,
+                        std::vector<VertexId>& parent) {
+  return read_solution_impl(sim, g, source, record_parents, dist, parent);
+}
+
+Time read_sssp_solution(const snn::ParallelSimulator& sim, const Graph& g,
+                        VertexId source, bool record_parents,
+                        std::vector<Weight>& dist,
+                        std::vector<VertexId>& parent) {
+  return read_solution_impl(sim, g, source, record_parents, dist, parent);
 }
 
 }  // namespace sga::nga

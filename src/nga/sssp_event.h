@@ -18,6 +18,10 @@
 #include "snn/network.h"
 #include "snn/simulator.h"
 
+namespace sga::snn {
+class ParallelSimulator;
+}  // namespace sga::snn
+
 namespace sga::nga {
 
 struct SpikingSsspOptions {
@@ -68,6 +72,13 @@ SpikingSsspResult spiking_sssp(const Graph& g, const SpikingSsspOptions& opt);
 /// (sssp_batch.h). Returns the latest first-spike time among reached
 /// vertices (the all-destinations execution time).
 Time read_sssp_solution(const snn::Simulator& sim, const Graph& g,
+                        VertexId source, bool record_parents,
+                        std::vector<Weight>& dist,
+                        std::vector<VertexId>& parent);
+
+/// Same read-out against the sharded conservative-parallel engine
+/// (snn/parallel_sim.h) — the batch driver's shard-parallelism mode.
+Time read_sssp_solution(const snn::ParallelSimulator& sim, const Graph& g,
                         VertexId source, bool record_parents,
                         std::vector<Weight>& dist,
                         std::vector<VertexId>& parent);

@@ -54,6 +54,36 @@ std::uint64_t Probe::deliveries(NeuronId id) const {
   return deliveries_[id];
 }
 
+void Probe::absorb_shards(const std::vector<const Probe*>& shards) {
+  SGA_REQUIRE(bound_, "Probe::absorb_shards: probe is not bound");
+  const std::size_t trace_base = trace_.size();
+  const std::size_t samples_base = samples_.size();
+  for (const Probe* shard : shards) {
+    if (shard == nullptr) continue;
+    for (std::size_t i = 0; i < shard->fires_.size(); ++i) {
+      fires_[i] += shard->fires_[i];
+    }
+    total_fires_ += shard->total_fires_;
+    for (std::size_t i = 0; i < shard->deliveries_.size(); ++i) {
+      deliveries_[i] += shard->deliveries_[i];
+    }
+    total_deliveries_ += shard->total_deliveries_;
+    trace_.insert(trace_.end(), shard->trace_.begin(), shard->trace_.end());
+    samples_.insert(samples_.end(), shard->samples_.begin(),
+                    shard->samples_.end());
+  }
+  // Canonicalize only the newly absorbed run: a neuron fires (and is
+  // sampled) at most once per time step, so (time, neuron) totally orders
+  // each run's events.
+  std::sort(trace_.begin() + static_cast<std::ptrdiff_t>(trace_base),
+            trace_.end());
+  std::sort(samples_.begin() + static_cast<std::ptrdiff_t>(samples_base),
+            samples_.end(), [](const PotentialSample& a,
+                               const PotentialSample& b) {
+              return a.time != b.time ? a.time < b.time : a.neuron < b.neuron;
+            });
+}
+
 void Probe::clear() {
   trace_.clear();
   samples_.clear();

@@ -85,6 +85,14 @@ class Probe {
   /// Drop recorded data (bind()ing and options are kept).
   void clear();
 
+  /// Fold per-shard probes (same options, bound to the same network) into
+  /// this one — the merge step of snn::ParallelSimulator's per-shard
+  /// recording. Counters add; the shards' spike traces and potential
+  /// samples are merged into canonical (time, neuron id) order and
+  /// APPENDED to any data this probe already holds, so accumulation
+  /// across reset() cycles keeps working.
+  void absorb_shards(const std::vector<const Probe*>& shards);
+
   // ---- hot-path hooks (called by snn::Simulator; see overhead contract
   // above — the simulator guards every call with its cached pointer) -----
   void on_spike(Time t, NeuronId id) {

@@ -33,6 +33,8 @@
 namespace sga::snn {
 
 class Network;
+struct Partition;
+struct ShardSplit;
 
 class CompiledNetwork {
  public:
@@ -119,6 +121,13 @@ class CompiledNetwork {
     SGA_REQUIRE(id < num_neurons(), "positive_in_weight: bad id " << id);
     return pos_in_weight_[id];
   }
+
+  // ---- Sharding (snn/partition.h; ARCHITECTURE.md §1.5) ----------------
+  /// Re-pack the CSR under `partition` into per-shard intra/cross synapse
+  /// families for the conservative-parallel simulator. Pure derivation:
+  /// the CompiledNetwork itself stays untouched (and shareable), the split
+  /// owns its reordered copy of the synapse payload.
+  ShardSplit shard_split(Partition partition) const;
 
   // ---- Named groups (ports), carried over from the builder -------------
   bool has_group(const std::string& name) const {

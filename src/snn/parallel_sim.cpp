@@ -1,0 +1,850 @@
+#include "snn/parallel_sim.h"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "core/error.h"
+#include "obs/metrics.h"
+#include "obs/probe.h"
+#include "snn/network.h"
+
+namespace sga::snn {
+
+namespace {
+
+/// "no pending event" sentinel — strictly above every representable event
+/// time (events are clamped to ≤ kNever = max/4 on the fire side).
+constexpr Time kNoTime = std::numeric_limits<Time>::max();
+
+/// Calendar ring sizing, identical to the serial simulator's policy.
+std::size_t ring_size_for(Delay max_delay) {
+  const auto want = static_cast<std::uint64_t>(max_delay) + 1;
+  return static_cast<std::size_t>(
+      std::bit_ceil(std::clamp<std::uint64_t>(want, 64, 1u << 16)));
+}
+
+}  // namespace
+
+struct MailEntry {
+  Time t;                ///< delivery time
+  NeuronId local_target; ///< local index in the destination shard
+  NeuronId source;       ///< GLOBAL id of the firing neuron (for causes)
+  SynWeight weight;
+};
+
+// One shard: a self-contained mini-simulator over LOCAL neuron indices,
+// with the serial engine's exact per-step semantics (delivery aggregation,
+// forced-spike handling, closed-form leak, horizon rules) but bounded by
+// the coordinator's window. All cross-shard traffic goes through the
+// outbox pointers installed for the current window.
+struct ParallelSimulator::Shard {
+  const CompiledNetwork* net = nullptr;
+  const ShardCsr* csr = nullptr;
+  std::uint32_t index = 0;
+
+  struct Delivery {
+    NeuronId target;  ///< local index
+    NeuronId source;  ///< global id
+    SynWeight weight;
+  };
+  struct Bucket {
+    std::vector<Delivery> deliveries;
+    std::vector<NeuronId> forced;  ///< local indices
+
+    bool empty() const { return deliveries.empty() && forced.empty(); }
+    std::size_t size() const { return deliveries.size() + forced.size(); }
+    void clear() {
+      deliveries.clear();
+      forced.clear();
+    }
+  };
+
+  // Calendar ring + sorted spill, mirroring the serial kCalendar queue
+  // (same invariants: ring events in (cursor_, cursor_ + W), spill beyond).
+  std::vector<Bucket> ring_;
+  std::vector<std::uint64_t> ring_occupied_;
+  Time ring_mask_ = 0;
+  Time cursor_ = -1;
+  std::uint64_t ring_events_ = 0;
+  std::map<Time, Bucket> spill_;
+  std::uint64_t pending_events_ = 0;
+
+  // Per-neuron state, LOCAL indices.
+  std::vector<Voltage> v_;
+  std::vector<Time> last_update_;
+  std::vector<Time> first_spike_;
+  std::vector<Time> last_spike_;
+  std::vector<std::uint32_t> spike_count_;
+  std::vector<NeuronId> cause_;  ///< GLOBAL id of the first-spike cause
+
+  // O(events) reset support (epoch-stamped dirty list, as in Simulator).
+  std::vector<NeuronId> dirty_;
+  std::vector<std::uint64_t> state_stamp_;
+  std::uint64_t epoch_ = 1;
+
+  // Per-step aggregation scratch.
+  std::vector<SynWeight> accum_;
+  std::vector<NeuronId> accum_cause_;
+  std::vector<SynWeight> accum_cause_weight_;
+  std::vector<char> touched_;
+  std::vector<NeuronId> targets_scratch_;
+
+  std::vector<char> is_terminal_;
+  std::vector<char> is_watched_;
+  std::vector<NeuronId> active_terminals_;
+  std::vector<NeuronId> active_watched_;
+  bool watch_all_ = false;
+  bool record_causes_ = false;
+  bool record_log_ = false;
+  Time max_time_ = kNever;
+
+  /// Spike log with GLOBAL ids, in local time order.
+  std::vector<std::pair<Time, NeuronId>> spike_log_;
+
+  // ---- per-window summary, read by the coordinator at the barrier ------
+  std::vector<Time> touched_times_;    ///< distinct times processed
+  Time out_min_time_ = kNoTime;        ///< earliest mailbox arrival written
+  Time next_time_ = kNoTime;           ///< earliest pending local event
+  Time terminal_time_ = kNoTime;       ///< earliest terminal FIRST fire
+  std::uint64_t terminals_newly_fired_ = 0;
+  bool hit_time_limit_ = false;        ///< fire-side horizon drops
+
+  // ---- cumulative queue/engine counters --------------------------------
+  std::uint64_t spikes_ = 0;
+  std::uint64_t deliveries_ = 0;
+  std::uint64_t peak_queue_events_ = 0;
+  std::uint64_t max_bucket_occupancy_ = 0;
+  std::uint64_t overflow_spills_ = 0;
+  std::uint64_t empty_bucket_scans_ = 0;
+
+  obs::Probe* probe_ = nullptr;      ///< per-shard probe (owned by parent)
+  std::vector<MailEntry>* out_ = nullptr;  ///< S outboxes, current parity
+
+  void init(const CompiledNetwork& network, const ShardCsr& shard_csr,
+            std::uint32_t shard_index) {
+    net = &network;
+    csr = &shard_csr;
+    index = shard_index;
+    const std::size_t n = csr->num_neurons();
+    v_.resize(n);
+    last_update_.assign(n, 0);
+    first_spike_.assign(n, kNever);
+    last_spike_.assign(n, kNever);
+    spike_count_.assign(n, 0);
+    cause_.assign(n, kNoNeuron);
+    state_stamp_.assign(n, 0);
+    accum_.assign(n, 0);
+    accum_cause_.assign(n, kNoNeuron);
+    accum_cause_weight_.assign(n, 0);
+    touched_.assign(n, 0);
+    is_terminal_.assign(n, 0);
+    is_watched_.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      v_[i] = net->v_reset(csr->global_ids[i]);
+    }
+    const std::size_t w = ring_size_for(net->max_delay());
+    ring_.resize(w);
+    ring_occupied_.assign(w / 64, 0);
+    ring_mask_ = static_cast<Time>(w - 1);
+  }
+
+  void touch_state(NeuronId lid) {
+    if (state_stamp_[lid] != epoch_) {
+      state_stamp_[lid] = epoch_;
+      dirty_.push_back(lid);
+    }
+  }
+
+  Bucket& bucket_for(Time t) {
+    ++pending_events_;
+    if (pending_events_ > peak_queue_events_) {
+      peak_queue_events_ = pending_events_;
+    }
+    if (t - cursor_ < static_cast<Time>(ring_.size())) {
+      const auto slot = static_cast<std::size_t>(t & ring_mask_);
+      ring_occupied_[slot >> 6] |= 1ULL << (slot & 63);
+      ++ring_events_;
+      return ring_[slot];
+    }
+    ++overflow_spills_;
+    return spill_[t];
+  }
+
+  void migrate_spill() {
+    const auto w = static_cast<Time>(ring_.size());
+    while (!spill_.empty()) {
+      const auto it = spill_.begin();
+      if (it->first - cursor_ >= w) break;
+      const auto slot = static_cast<std::size_t>(it->first & ring_mask_);
+      Bucket& dst = ring_[slot];
+      ring_occupied_[slot >> 6] |= 1ULL << (slot & 63);
+      ring_events_ += it->second.size();
+      if (dst.empty()) {
+        dst = std::move(it->second);
+      } else {
+        dst.deliveries.insert(dst.deliveries.end(),
+                              it->second.deliveries.begin(),
+                              it->second.deliveries.end());
+        dst.forced.insert(dst.forced.end(), it->second.forced.begin(),
+                          it->second.forced.end());
+      }
+      spill_.erase(it);
+    }
+  }
+
+  /// Earliest pending local event, bounded by the coordinator's window.
+  ///
+  /// Unlike the serial queue, a shard's queue can RECEIVE events after it
+  /// drains — mailbox deliveries land at every barrier, always at times
+  /// >= the window end `wend` (that is the δ-lookahead guarantee). So the
+  /// serial cursor jump to `spill head - 1` is unsafe here: jumping past
+  /// `wend` would strand later-drained mail BEHIND the cursor, where
+  /// `bucket_for`'s ring test files it into a stale slot and the scan
+  /// silently loses it. The rule: never move cursor_ to or beyond wend.
+  /// When the ring is empty and the spill head lies at or past wend,
+  /// report that time WITHOUT jumping — the window cannot use it anyway,
+  /// and the next window re-asks with a larger wend.
+  bool next_pending_time(Time* t, Time wend) {
+    migrate_spill();
+    if (ring_events_ == 0) {
+      if (spill_.empty()) return false;
+      const Time spill_head = spill_.begin()->first;
+      if (spill_head >= wend) {
+        *t = spill_head;
+        return true;
+      }
+      cursor_ = spill_head - 1;
+      migrate_spill();
+    }
+    const auto start = static_cast<std::size_t>((cursor_ + 1) & ring_mask_);
+    const std::size_t word_mask = ring_occupied_.size() - 1;
+    std::size_t w = start >> 6;
+    std::uint64_t word = ring_occupied_[w] & (~0ULL << (start & 63));
+    while (word == 0) {
+      w = (w + 1) & word_mask;
+      word = ring_occupied_[w];
+    }
+    const std::size_t slot =
+        (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+    const std::size_t offset =
+        (slot - start) & static_cast<std::size_t>(ring_mask_);
+    empty_bucket_scans_ += offset;
+    *t = cursor_ + 1 + static_cast<Time>(offset);
+    return true;
+  }
+
+  Voltage decayed_potential(NeuronId lid, Time t) const {
+    const NeuronId gid = csr->global_ids[lid];
+    const double tau = net->tau(gid);
+    const Time dt = t - last_update_[lid];
+    SGA_CHECK(dt >= 0, "parallel: time went backwards for neuron " << gid);
+    if (dt == 0 || tau == 0.0) return v_[lid];
+    const Voltage vr = net->v_reset(gid);
+    if (tau == 1.0) return vr;
+    return vr + (v_[lid] - vr) * std::pow(1.0 - tau, static_cast<double>(dt));
+  }
+
+  void fire(NeuronId lid, Time t) {
+    const NeuronId gid = csr->global_ids[lid];
+    const bool first_fire = first_spike_[lid] == kNever;
+    touch_state(lid);
+    v_[lid] = net->v_reset(gid);
+    last_update_[lid] = t;
+    ++spike_count_[lid];
+    ++spikes_;
+    if (first_fire) first_spike_[lid] = t;
+    last_spike_[lid] = t;
+    if (probe_ != nullptr) probe_->on_spike(t, gid);
+    if (record_log_ && (watch_all_ || is_watched_[lid])) {
+      spike_log_.emplace_back(t, gid);
+    }
+    if (is_terminal_[lid] && first_fire) {
+      ++terminals_newly_fired_;
+      if (t < terminal_time_) terminal_time_ = t;
+    }
+    // Intra-shard fan-out: the shard's own queue, local targets. Same
+    // horizon rule as the serial engine (subtraction form avoids t + d
+    // overflow; dropped work reports hit_time_limit).
+    const std::size_t ib = csr->intra_offsets[lid];
+    const std::size_t ie = csr->intra_offsets[lid + 1];
+    for (std::size_t k = ib; k < ie; ++k) {
+      const Delay d = csr->intra_delay[k];
+      if (d > max_time_ - t) {
+        hit_time_limit_ = true;
+        continue;
+      }
+      bucket_for(t + d).deliveries.push_back(
+          Delivery{csr->intra_target[k], gid, csr->intra_weight[k]});
+    }
+    // Cross-shard fan-out: append to the destination's mailbox. Only this
+    // shard's worker writes these boxes during the window; the barrier
+    // hands them over.
+    const std::size_t cb = csr->cross_offsets[lid];
+    const std::size_t ce = csr->cross_offsets[lid + 1];
+    for (std::size_t k = cb; k < ce; ++k) {
+      const Delay d = csr->cross_delay[k];
+      if (d > max_time_ - t) {
+        hit_time_limit_ = true;
+        continue;
+      }
+      const Time at = t + d;
+      out_[csr->cross_shard[k]].push_back(
+          MailEntry{at, csr->cross_local[k], gid, csr->cross_weight[k]});
+      if (at < out_min_time_) out_min_time_ = at;
+    }
+  }
+
+  /// Fold the mail delivered at the previous barrier into the local queue.
+  /// Inboxes are drained in source-shard order, which fixes the bucket
+  /// order deterministically (the serial bucket order differs, but bucket
+  /// order is only observable through FP summation order — exact for the
+  /// integer weights of every paper construction — and cause tie-breaks,
+  /// which use the order-free (weight, source id) rule).
+  void drain_inboxes(std::vector<MailEntry>* in_boxes, std::size_t stride,
+                     std::size_t num_shards) {
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      std::vector<MailEntry>& box = in_boxes[s * stride];
+      for (const MailEntry& e : box) {
+        bucket_for(e.t).deliveries.push_back(
+            Delivery{e.local_target, e.source, e.weight});
+      }
+      box.clear();
+    }
+  }
+
+  /// Process every pending event with time < wend (exclusive), in time
+  /// order — the serial run() loop restricted to one window.
+  void advance_window(Time wend) {
+    touched_times_.clear();
+    out_min_time_ = kNoTime;
+    terminal_time_ = kNoTime;
+    terminals_newly_fired_ = 0;
+
+    std::vector<NeuronId>& targets = targets_scratch_;
+    while (true) {
+      Time t = 0;
+      if (!next_pending_time(&t, wend)) break;
+      if (t >= wend) break;
+      cursor_ = t;
+      Bucket* bucket = &ring_[static_cast<std::size_t>(t & ring_mask_)];
+      ring_events_ -= bucket->size();
+      pending_events_ -= bucket->size();
+      if (bucket->size() > max_bucket_occupancy_) {
+        max_bucket_occupancy_ = bucket->size();
+      }
+      touched_times_.push_back(t);
+
+      if (probe_ != nullptr && probe_->counts_deliveries()) {
+        for (const Delivery& d : bucket->deliveries) {
+          probe_->on_delivery(csr->global_ids[d.target]);
+        }
+      }
+
+      targets.clear();
+      for (const Delivery& d : bucket->deliveries) {
+        ++deliveries_;
+        if (!touched_[d.target]) {
+          touched_[d.target] = 1;
+          targets.push_back(d.target);
+          accum_[d.target] = 0;
+          accum_cause_[d.target] = kNoNeuron;
+          accum_cause_weight_[d.target] = 0;
+        }
+        accum_[d.target] += d.weight;
+        if (record_causes_) {
+          // Deterministic cause selection (matches the serial engine):
+          // largest weight, ties to the smallest source id — independent
+          // of delivery order, hence of the parallel schedule.
+          SynWeight& bw = accum_cause_weight_[d.target];
+          NeuronId& bs = accum_cause_[d.target];
+          if (d.weight > bw ||
+              (bs != kNoNeuron && d.weight == bw && d.source < bs)) {
+            bs = d.source;
+            bw = d.weight;
+          }
+        }
+      }
+
+      for (const NeuronId lid : bucket->forced) {
+        if (last_spike_[lid] == t) continue;
+        fire(lid, t);
+        if (touched_[lid]) {
+          accum_[lid] = 0;
+          touched_[lid] = 2;
+        }
+      }
+
+      for (const NeuronId lid : targets) {
+        if (touched_[lid] == 2) {
+          touched_[lid] = 0;
+          continue;
+        }
+        touched_[lid] = 0;
+        const Voltage v_hat = decayed_potential(lid, t) + accum_[lid];
+        const NeuronId gid = csr->global_ids[lid];
+        if (v_hat >= net->v_threshold(gid)) {
+          if (record_causes_ && first_spike_[lid] == kNever) {
+            cause_[lid] = accum_cause_[lid];
+          }
+          fire(lid, t);
+        } else {
+          touch_state(lid);
+          v_[lid] = v_hat;
+          last_update_[lid] = t;
+        }
+      }
+
+      if (probe_ != nullptr && probe_->samples_potentials()) {
+        for (const NeuronId lid : targets) {
+          probe_->on_potential(t, csr->global_ids[lid], v_[lid]);
+        }
+      }
+
+      bucket->clear();
+      const auto slot = static_cast<std::size_t>(t & ring_mask_);
+      ring_occupied_[slot >> 6] &= ~(1ULL << (slot & 63));
+    }
+
+    Time t = 0;
+    next_time_ = next_pending_time(&t, wend) ? t : kNoTime;
+  }
+
+  void reset() {
+    for (const NeuronId lid : dirty_) {
+      v_[lid] = net->v_reset(csr->global_ids[lid]);
+      last_update_[lid] = 0;
+      first_spike_[lid] = kNever;
+      last_spike_[lid] = kNever;
+      spike_count_[lid] = 0;
+      cause_[lid] = kNoNeuron;
+    }
+    dirty_.clear();
+    ++epoch_;
+    for (const NeuronId t : active_terminals_) is_terminal_[t] = 0;
+    active_terminals_.clear();
+    for (const NeuronId w : active_watched_) is_watched_[w] = 0;
+    active_watched_.clear();
+    watch_all_ = false;
+    if (ring_events_ > 0) {
+      for (std::size_t w = 0; w < ring_occupied_.size(); ++w) {
+        std::uint64_t word = ring_occupied_[w];
+        while (word != 0) {
+          const auto slot =
+              (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+          word &= word - 1;
+          ring_[slot].clear();
+        }
+        ring_occupied_[w] = 0;
+      }
+      ring_events_ = 0;
+    }
+    spill_.clear();
+    pending_events_ = 0;
+    cursor_ = -1;
+    spike_log_.clear();
+    touched_times_.clear();
+    out_min_time_ = kNoTime;
+    next_time_ = kNoTime;
+    terminal_time_ = kNoTime;
+    terminals_newly_fired_ = 0;
+    hit_time_limit_ = false;
+    spikes_ = 0;
+    deliveries_ = 0;
+    peak_queue_events_ = 0;
+    max_bucket_occupancy_ = 0;
+    overflow_spills_ = 0;
+    empty_bucket_scans_ = 0;
+    record_causes_ = false;
+    record_log_ = false;
+    max_time_ = kNever;
+    probe_ = nullptr;
+  }
+};
+
+ParallelSimulator::ParallelSimulator(const CompiledNetwork& net,
+                                     ParallelConfig config)
+    : net_(&net) {
+  configure(config);
+}
+
+ParallelSimulator::ParallelSimulator(const Network& net, ParallelConfig config)
+    : net_(nullptr), owned_(std::make_unique<CompiledNetwork>(net)) {
+  net_ = owned_.get();
+  configure(config);
+}
+
+ParallelSimulator::~ParallelSimulator() = default;
+
+void ParallelSimulator::configure(ParallelConfig config) {
+  SGA_REQUIRE(config.max_window >= 1,
+              "ParallelSimulator: max_window must be >= 1");
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned requested = config.num_threads != 0 ? config.num_threads : hw;
+  const std::size_t shards = config.num_shards != 0
+                                 ? config.num_shards
+                                 : static_cast<std::size_t>(requested);
+  threads_ = static_cast<unsigned>(std::min<std::size_t>(requested, shards));
+  max_window_ = config.max_window;
+  split_ = net_->shard_split(make_partition(*net_, shards));
+  lookahead_ = split_.min_cross_delay == 0
+                   ? max_window_
+                   : std::min<Time>(split_.min_cross_delay, max_window_);
+  // Keep wstart_ + window_len_ overflow-free for any config: event times
+  // never exceed kNever (= max/4), so this clamp cannot change results.
+  lookahead_ = std::min(lookahead_, kNever);
+  init();
+}
+
+void ParallelSimulator::init() {
+  const std::size_t s = split_.partition.num_shards;
+  shards_.clear();
+  for (std::size_t i = 0; i < s; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->init(*net_, split_.shards[i],
+                         static_cast<std::uint32_t>(i));
+  }
+  mail_[0].assign(s * s, {});
+  mail_[1].assign(s * s, {});
+}
+
+void ParallelSimulator::inject_spike(NeuronId id, Time t) {
+  SGA_REQUIRE(id < net_->num_neurons(),
+              "inject_spike: bad neuron " << id);
+  SGA_REQUIRE(t >= 0, "inject_spike: negative time " << t);
+  SGA_REQUIRE(t <= kNever, "inject_spike: time " << t << " beyond kNever");
+  SGA_REQUIRE(!ran_, "inject_spike after run() (call reset() first)");
+  Shard& sh = *shards_[split_.partition.shard_of[id]];
+  sh.bucket_for(t).forced.push_back(split_.partition.local_index[id]);
+}
+
+void ParallelSimulator::attach_probe(obs::Probe& probe) {
+  probe.bind(net_->num_neurons());
+  probe_ = &probe;
+}
+
+void ParallelSimulator::plan_next_window() try {
+  const std::size_t s = shards_.size();
+
+  if (!first_plan_) {
+    // Fold the finished window: distinct global event times and the last
+    // processed step. Shards report sorted per-window time lists; their
+    // merged distinct count is what the serial loop counts one bucket at
+    // a time.
+    merge_scratch_.clear();
+    for (const auto& sh : shards_) {
+      merge_scratch_.insert(merge_scratch_.end(), sh->touched_times_.begin(),
+                            sh->touched_times_.end());
+    }
+    if (!merge_scratch_.empty()) {
+      std::sort(merge_scratch_.begin(), merge_scratch_.end());
+      stats_.event_times += static_cast<std::uint64_t>(
+          std::unique(merge_scratch_.begin(), merge_scratch_.end()) -
+          merge_scratch_.begin());
+      stats_.end_time = merge_scratch_.back();
+    }
+    // Terminal resolution at the barrier. Window length is 1 whenever
+    // terminals are configured, so every terminal fire folded here
+    // happened at the single just-executed step wstart_ — the barrier
+    // decision is therefore exactly the serial loop's end-of-bucket
+    // decision.
+    if (terminals_remaining_ > 0 && !terminal_fired_) {
+      std::uint64_t newly = 0;
+      for (const auto& sh : shards_) newly += sh->terminals_newly_fired_;
+      if (newly >= terminals_remaining_) {
+        terminal_fired_ = true;
+        stats_.hit_terminal = true;
+        stats_.execution_time = wstart_;
+        terminals_remaining_ = 0;
+      } else {
+        terminals_remaining_ -= newly;
+      }
+    }
+  }
+  first_plan_ = false;
+
+  if (error_) {
+    done_ = true;
+    return;
+  }
+  if (terminal_fired_) {
+    done_ = true;
+    return;
+  }
+
+  // Global earliest pending event: shard queues plus mail written in the
+  // window just finished (it is not in any queue until drained).
+  Time next = kNoTime;
+  for (const auto& sh : shards_) {
+    next = std::min(next, sh->next_time_);
+    next = std::min(next, sh->out_min_time_);
+  }
+  if (next == kNoTime) {
+    done_ = true;  // quiescence
+    return;
+  }
+  if (next > max_time_) {
+    stats_.hit_time_limit = true;  // pending work beyond the horizon
+    done_ = true;
+    return;
+  }
+  wstart_ = next;
+  wend_ = std::min(wstart_ + window_len_, max_time_ + 1);
+  parity_ ^= 1;
+  const int p = parity_;
+  for (std::size_t i = 0; i < s; ++i) {
+    shards_[i]->out_ = mail_[p].data() + i * s;
+  }
+} catch (...) {
+  if (!error_) error_ = std::current_exception();
+  done_ = true;
+}
+
+void ParallelSimulator::advance_owned_shards(unsigned worker,
+                                             unsigned stride) {
+  const std::size_t s = shards_.size();
+  for (std::size_t i = worker; i < s; i += stride) {
+    // Inboxes for shard i under read parity: mail_[1 - parity_][src*s + i].
+    shards_[i]->drain_inboxes(mail_[1 - parity_].data() + i, s, s);
+    shards_[i]->advance_window(wend_);
+  }
+}
+
+SimStats ParallelSimulator::run(const SimConfig& config) {
+  SGA_REQUIRE(!ran_,
+              "ParallelSimulator::run is one-shot (call reset() to reuse)");
+  obs::MetricsRegistry* caller_metrics = obs::thread_metrics();
+  obs::ScopedTimer run_timer(caller_metrics, "psim.run_ns");
+  ran_ = true;
+  // Clamped so max_time_ + 1 cannot overflow; events never pass kNever
+  // (injections are checked, and the fire-side horizon test drops the
+  // rest), so the clamp is unobservable.
+  max_time_ = std::min(config.max_time, kNever);
+
+  const Partition& part = split_.partition;
+  std::uint64_t distinct_terminals = 0;
+  for (const NeuronId t : config.terminal_neurons) {
+    SGA_REQUIRE(t < net_->num_neurons(), "bad terminal neuron " << t);
+    Shard& sh = *shards_[part.shard_of[t]];
+    const NeuronId lid = part.local_index[t];
+    if (!sh.is_terminal_[lid]) {
+      sh.is_terminal_[lid] = 1;
+      sh.active_terminals_.push_back(lid);
+      ++distinct_terminals;
+    }
+  }
+  terminals_remaining_ =
+      config.terminate_on_all ? distinct_terminals
+                              : std::min<std::uint64_t>(1, distinct_terminals);
+  terminal_fired_ = false;
+  const bool watch_all = config.watched_neurons.empty();
+  for (const NeuronId w : config.watched_neurons) {
+    SGA_REQUIRE(w < net_->num_neurons(), "bad watched neuron " << w);
+    Shard& sh = *shards_[part.shard_of[w]];
+    const NeuronId lid = part.local_index[w];
+    if (!sh.is_watched_[lid]) {
+      sh.is_watched_[lid] = 1;
+      sh.active_watched_.push_back(lid);
+    }
+  }
+
+  // Per-shard probes: same options as the attached probe, bound to the
+  // full network (hooks use global ids). Merged into the user's probe in
+  // finalize_run().
+  shard_probes_.clear();
+  if (probe_ != nullptr) {
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      shard_probes_.push_back(std::make_unique<obs::Probe>(probe_->options()));
+      shard_probes_.back()->bind(net_->num_neurons());
+    }
+  }
+
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& sh = *shards_[i];
+    sh.record_causes_ = config.record_causes;
+    sh.record_log_ = config.record_spike_log;
+    sh.watch_all_ = watch_all;
+    sh.max_time_ = max_time_;
+    sh.probe_ = probe_ != nullptr ? shard_probes_[i].get() : nullptr;
+    sh.next_time_ = kNoTime;
+    Time t = 0;
+    // wend = 0: the pre-run peek must never move the cursor — the first
+    // window has not been planned, so every jump would be speculative.
+    if (sh.next_pending_time(&t, 0)) sh.next_time_ = t;
+    sh.out_min_time_ = kNoTime;
+  }
+
+  // Terminal detection must stop the run at the end of the terminal's own
+  // time step, exactly like the serial loop — so terminal mode degrades
+  // the lookahead window to a single step (see header comment).
+  window_len_ = terminals_remaining_ > 0 ? 1 : lookahead_;
+  done_ = false;
+  first_plan_ = true;
+  parity_ = 0;
+  error_ = nullptr;
+
+  const unsigned workers = std::max(
+      1u, std::min<unsigned>(threads_,
+                             static_cast<unsigned>(shards_.size())));
+  if (workers == 1) {
+    while (true) {
+      plan_next_window();
+      if (done_) break;
+      try {
+        advance_owned_shards(0, 1);
+        if (caller_metrics != nullptr) caller_metrics->add("psim.windows");
+      } catch (...) {
+        if (!error_) error_ = std::current_exception();
+        break;
+      }
+    }
+  } else {
+    std::vector<obs::MetricsRegistry> worker_metrics(
+        caller_metrics != nullptr ? workers : 0);
+    std::atomic<bool> error_flag{false};
+    std::mutex error_mutex;
+    std::barrier bar(static_cast<std::ptrdiff_t>(workers),
+                     [this]() noexcept { plan_next_window(); });
+    auto work = [&](unsigned tid) {
+      const obs::ScopedThreadMetrics install(
+          caller_metrics != nullptr ? &worker_metrics[tid] : nullptr);
+      obs::ScopedTimer t(obs::thread_metrics(), "psim.worker_ns");
+      while (true) {
+        bar.arrive_and_wait();  // completion == plan_next_window
+        if (done_) break;
+        if (error_flag.load(std::memory_order_relaxed)) continue;
+        try {
+          advance_owned_shards(tid, workers);
+          if (obs::MetricsRegistry* m = obs::thread_metrics()) {
+            m->add("psim.windows");
+          }
+        } catch (...) {
+          {
+            const std::lock_guard<std::mutex> lock(error_mutex);
+            if (!error_) error_ = std::current_exception();
+          }
+          error_flag.store(true, std::memory_order_relaxed);
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) pool.emplace_back(work, i);
+    for (std::thread& th : pool) th.join();
+    if (caller_metrics != nullptr) {
+      for (const obs::MetricsRegistry& m : worker_metrics) {
+        caller_metrics->merge(m);
+      }
+    }
+  }
+  if (error_) std::rethrow_exception(error_);
+
+  finalize_run();
+  if (caller_metrics != nullptr) {
+    caller_metrics->add("psim.runs");
+    caller_metrics->add("sim.spikes", stats_.spikes);
+    caller_metrics->add("sim.deliveries", stats_.deliveries);
+    caller_metrics->add("sim.event_times", stats_.event_times);
+    caller_metrics->gauge("psim.shards", static_cast<double>(shards_.size()));
+    caller_metrics->gauge("psim.threads", static_cast<double>(workers));
+  }
+  return stats_;
+}
+
+void ParallelSimulator::finalize_run() {
+  // Engine totals: semantic counters sum exactly; queue counters combine
+  // as documented in the header (they are per-queue properties).
+  for (const auto& sh : shards_) {
+    stats_.spikes += sh->spikes_;
+    stats_.deliveries += sh->deliveries_;
+    stats_.hit_time_limit = stats_.hit_time_limit || sh->hit_time_limit_;
+    stats_.peak_queue_events += sh->peak_queue_events_;
+    stats_.max_bucket_occupancy =
+        std::max(stats_.max_bucket_occupancy, sh->max_bucket_occupancy_);
+    stats_.overflow_spills += sh->overflow_spills_;
+    stats_.empty_bucket_scans += sh->empty_bucket_scans_;
+  }
+  if (!shards_.empty()) {
+    stats_.ring_buckets =
+        static_cast<std::uint32_t>(shards_[0]->ring_.size());
+  }
+
+  // Canonical (time, id) spike log: shard logs are time-ordered already;
+  // one global sort yields the canonical order (a neuron fires at most
+  // once per step, so (time, id) is a total order on log entries).
+  log_.clear();
+  for (const auto& sh : shards_) {
+    log_.insert(log_.end(), sh->spike_log_.begin(), sh->spike_log_.end());
+  }
+  std::sort(log_.begin(), log_.end());
+
+  if (probe_ != nullptr) {
+    std::vector<const obs::Probe*> parts;
+    parts.reserve(shard_probes_.size());
+    for (const auto& p : shard_probes_) parts.push_back(p.get());
+    probe_->absorb_shards(parts);
+  }
+}
+
+void ParallelSimulator::reset() {
+  for (const auto& sh : shards_) sh->reset();
+  for (int p = 0; p < 2; ++p) {
+    for (auto& box : mail_[p]) box.clear();
+  }
+  shard_probes_.clear();
+  log_.clear();
+  stats_ = SimStats{};
+  terminals_remaining_ = 0;
+  terminal_fired_ = false;
+  done_ = false;
+  first_plan_ = true;
+  parity_ = 0;
+  max_time_ = kNever;
+  error_ = nullptr;
+  ran_ = false;
+}
+
+Time ParallelSimulator::first_spike(NeuronId id) const {
+  SGA_REQUIRE(id < net_->num_neurons(), "first_spike: bad neuron " << id);
+  const Partition& p = split_.partition;
+  return shards_[p.shard_of[id]]->first_spike_[p.local_index[id]];
+}
+
+std::vector<Time> ParallelSimulator::first_spikes() const {
+  std::vector<Time> out(net_->num_neurons(), kNever);
+  for (NeuronId id = 0; id < out.size(); ++id) out[id] = first_spike(id);
+  return out;
+}
+
+Time ParallelSimulator::last_spike(NeuronId id) const {
+  SGA_REQUIRE(id < net_->num_neurons(), "last_spike: bad neuron " << id);
+  const Partition& p = split_.partition;
+  return shards_[p.shard_of[id]]->last_spike_[p.local_index[id]];
+}
+
+std::uint32_t ParallelSimulator::spike_count(NeuronId id) const {
+  SGA_REQUIRE(id < net_->num_neurons(), "spike_count: bad neuron " << id);
+  const Partition& p = split_.partition;
+  return shards_[p.shard_of[id]]->spike_count_[p.local_index[id]];
+}
+
+NeuronId ParallelSimulator::first_spike_cause(NeuronId id) const {
+  SGA_REQUIRE(id < net_->num_neurons(),
+              "first_spike_cause: bad neuron " << id);
+  const Partition& p = split_.partition;
+  return shards_[p.shard_of[id]]->cause_[p.local_index[id]];
+}
+
+Voltage ParallelSimulator::potential(NeuronId id) const {
+  SGA_REQUIRE(id < net_->num_neurons(), "potential: bad neuron " << id);
+  const Partition& p = split_.partition;
+  return shards_[p.shard_of[id]]->v_[p.local_index[id]];
+}
+
+}  // namespace sga::snn

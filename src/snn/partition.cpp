@@ -1,0 +1,120 @@
+#include "snn/partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/error.h"
+#include "snn/compiled_network.h"
+
+namespace sga::snn {
+
+Partition make_partition(const CompiledNetwork& net, std::size_t num_shards) {
+  SGA_REQUIRE(num_shards >= 1, "make_partition: need at least one shard");
+  const std::size_t n = net.num_neurons();
+
+  Partition p;
+  p.num_shards = num_shards;
+  p.shard_of.assign(n, 0);
+  p.local_index.assign(n, 0);
+  p.shard_neurons.resize(num_shards);
+  p.shard_load.assign(num_shards, 0);
+
+  // LPT greedy: heaviest neuron first onto the lightest shard. Weight is
+  // 1 + out_degree (state update + fan-out per fire). All ties are broken
+  // by id (ordering) and by shard index (placement), so the result is a
+  // pure function of (network, num_shards).
+  std::vector<NeuronId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](NeuronId a, NeuronId b) {
+    return net.out_degree(a) > net.out_degree(b);
+  });
+  for (const NeuronId id : order) {
+    std::size_t best = 0;
+    for (std::size_t s = 1; s < num_shards; ++s) {
+      if (p.shard_load[s] < p.shard_load[best]) best = s;
+    }
+    p.shard_of[id] = static_cast<std::uint32_t>(best);
+    p.shard_load[best] += 1 + net.out_degree(id);
+  }
+
+  // Local indices follow ascending neuron id within a shard: partitioning
+  // over S = 1 is then exactly the identity layout.
+  for (NeuronId id = 0; id < n; ++id) {
+    auto& members = p.shard_neurons[p.shard_of[id]];
+    p.local_index[id] = static_cast<NeuronId>(members.size());
+    members.push_back(id);
+  }
+  return p;
+}
+
+ShardSplit CompiledNetwork::shard_split(Partition partition) const {
+  const std::size_t n = num_neurons();
+  SGA_REQUIRE(partition.shard_of.size() == n,
+              "shard_split: partition covers " << partition.shard_of.size()
+                                               << " neurons, network has "
+                                               << n);
+
+  ShardSplit split;
+  split.shards.resize(partition.num_shards);
+  Delay min_cross = 0;
+
+  for (std::size_t s = 0; s < partition.num_shards; ++s) {
+    const std::vector<NeuronId>& members = partition.shard_neurons[s];
+    ShardCsr& shard = split.shards[s];
+    shard.global_ids = members;
+    shard.intra_offsets.resize(members.size() + 1);
+    shard.cross_offsets.resize(members.size() + 1);
+    shard.intra_offsets[0] = 0;
+    shard.cross_offsets[0] = 0;
+
+    // Two passes: count, then fill — keeps each family contiguous while
+    // preserving the original per-source synapse order inside it.
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      const NeuronId id = members[k];
+      std::size_t intra = 0;
+      for (std::size_t j = out_begin(id); j < out_end(id); ++j) {
+        if (partition.shard_of[syn_target(j)] == s) ++intra;
+      }
+      shard.intra_offsets[k + 1] = shard.intra_offsets[k] + intra;
+      shard.cross_offsets[k + 1] =
+          shard.cross_offsets[k] + (out_degree(id) - intra);
+    }
+    shard.intra_target.resize(shard.intra_offsets[members.size()]);
+    shard.intra_weight.resize(shard.intra_offsets[members.size()]);
+    shard.intra_delay.resize(shard.intra_offsets[members.size()]);
+    shard.cross_shard.resize(shard.cross_offsets[members.size()]);
+    shard.cross_local.resize(shard.cross_offsets[members.size()]);
+    shard.cross_weight.resize(shard.cross_offsets[members.size()]);
+    shard.cross_delay.resize(shard.cross_offsets[members.size()]);
+
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      const NeuronId id = members[k];
+      std::size_t wi = shard.intra_offsets[k];
+      std::size_t wc = shard.cross_offsets[k];
+      for (std::size_t j = out_begin(id); j < out_end(id); ++j) {
+        const NeuronId tgt = syn_target(j);
+        const std::uint32_t ts = partition.shard_of[tgt];
+        if (ts == s) {
+          shard.intra_target[wi] = partition.local_index[tgt];
+          shard.intra_weight[wi] = syn_weight(j);
+          shard.intra_delay[wi] = syn_delay(j);
+          ++wi;
+        } else {
+          shard.cross_shard[wc] = ts;
+          shard.cross_local[wc] = partition.local_index[tgt];
+          shard.cross_weight[wc] = syn_weight(j);
+          shard.cross_delay[wc] = syn_delay(j);
+          const Delay d = syn_delay(j);
+          min_cross = min_cross == 0 ? d : std::min(min_cross, d);
+          ++wc;
+          ++split.num_cross_synapses;
+        }
+      }
+    }
+  }
+  split.min_cross_delay = min_cross;
+  split.partition = std::move(partition);
+  return split;
+}
+
+}  // namespace sga::snn

@@ -1,0 +1,91 @@
+// Neuron partitioning for the sharded conservative-parallel simulator
+// (ARCHITECTURE.md §1.5).
+//
+// A Partition assigns every neuron of a CompiledNetwork to exactly one of S
+// shards. The partitioner is a degree-balanced greedy (LPT): neurons are
+// taken in order of decreasing work weight (1 + out-degree, the per-fire
+// cost model) and each is placed on the currently lightest shard, ties
+// broken by lowest shard index. Every tie in the ordering is broken by
+// neuron id, so the result is a pure function of (network, S) — two
+// processes that compile the same network partition it identically, which
+// is what makes the parallel engine's event order reproducible.
+//
+// Balance bound (property-tested in tests/test_partition.cpp): when a
+// neuron is placed, the lightest shard carries at most total/S, so every
+// shard load is ≤ total/S + w_max where w_max is the largest single neuron
+// weight. partition over S = 1 is the identity assignment.
+//
+// ShardSplit is the shard-aware CSR split the parallel simulator runs on:
+// for each shard, every member neuron's out-synapses are re-packed into two
+// contiguous CSR families —
+//   * intra-shard: target expressed as a LOCAL index into the same shard
+//     (delivered through the shard's own calendar queue, no communication),
+//   * cross-shard: target expressed as (destination shard, local index)
+//     (delivered through the window-barrier mailboxes).
+// The split also computes min_cross_delay, the conservative lookahead δ:
+// no spike fired at time t can arrive at another shard before t + δ, so
+// all shards may advance δ time steps between barriers without ever
+// receiving a message from the past (Definition 1 guarantees δ ≥ 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+
+namespace sga::snn {
+
+class CompiledNetwork;
+
+struct Partition {
+  std::size_t num_shards = 0;
+  /// neuron id -> owning shard.
+  std::vector<std::uint32_t> shard_of;
+  /// neuron id -> index within its shard's local arrays.
+  std::vector<NeuronId> local_index;
+  /// shard -> member neuron ids, ascending (local_index order).
+  std::vector<std::vector<NeuronId>> shard_neurons;
+  /// shard -> Σ (1 + out_degree) over members (the balance metric).
+  std::vector<std::uint64_t> shard_load;
+
+  std::size_t num_neurons() const { return shard_of.size(); }
+};
+
+/// Deterministic degree-balanced greedy partition of `net` into
+/// `num_shards` ≥ 1 shards (shards may be empty when S > n).
+Partition make_partition(const CompiledNetwork& net, std::size_t num_shards);
+
+/// One shard's re-packed out-synapses (see file comment). All arrays are
+/// indexed per-shard: neuron k of the shard is global id `global_ids[k]`,
+/// its intra-shard synapses are intra_* [intra_offsets[k], intra_offsets[k+1])
+/// and its cross-shard synapses cross_* [cross_offsets[k], cross_offsets[k+1]).
+struct ShardCsr {
+  std::vector<NeuronId> global_ids;
+
+  std::vector<std::size_t> intra_offsets;  ///< local_n + 1 entries
+  std::vector<NeuronId> intra_target;      ///< LOCAL index in this shard
+  std::vector<SynWeight> intra_weight;
+  std::vector<Delay> intra_delay;
+
+  std::vector<std::size_t> cross_offsets;  ///< local_n + 1 entries
+  std::vector<std::uint32_t> cross_shard;  ///< destination shard
+  std::vector<NeuronId> cross_local;       ///< local index in that shard
+  std::vector<SynWeight> cross_weight;
+  std::vector<Delay> cross_delay;
+
+  std::size_t num_neurons() const { return global_ids.size(); }
+};
+
+/// The full shard-aware CSR split of one CompiledNetwork under one
+/// Partition. Produced by CompiledNetwork::shard_split().
+struct ShardSplit {
+  Partition partition;
+  std::vector<ShardCsr> shards;
+  /// Smallest delay of any cross-shard synapse — the conservative
+  /// lookahead window δ. 0 when there are no cross-shard synapses
+  /// (shards are then fully independent).
+  Delay min_cross_delay = 0;
+  std::size_t num_cross_synapses = 0;
+};
+
+}  // namespace sga::snn

@@ -273,9 +273,17 @@ SimStats Simulator::run(const SimConfig& config) {
         accum_cause_weight_[d.target] = 0;
       }
       accum_[d.target] += d.weight;
-      if (record_causes_ && d.weight > accum_cause_weight_[d.target]) {
-        accum_cause_[d.target] = d.source;
-        accum_cause_weight_[d.target] = d.weight;
+      if (record_causes_) {
+        // Deterministic selection: largest weight, ties broken by smallest
+        // source id. Independent of delivery order, so every engine
+        // (serial, map-queue, sharded-parallel) reports the same cause.
+        SynWeight& bw = accum_cause_weight_[d.target];
+        NeuronId& bs = accum_cause_[d.target];
+        if (d.weight > bw ||
+            (bs != kNoNeuron && d.weight == bw && d.source < bs)) {
+          bs = d.source;
+          bw = d.weight;
+        }
       }
     }
 

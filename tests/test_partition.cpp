@@ -1,0 +1,214 @@
+// Property tests for the deterministic degree-balanced partitioner and the
+// shard-aware CSR split (snn/partition.h) the parallel simulator runs on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/random.h"
+#include "snn/compiled_network.h"
+#include "snn/network.h"
+#include "snn/partition.h"
+
+namespace sga {
+namespace {
+
+snn::Network random_net(std::uint64_t seed) {
+  Rng rng(0xBEEF + seed * 0x9E3779B97F4A7C15ULL);
+  snn::Network net;
+  const auto n = static_cast<std::size_t>(rng.uniform_int(1, 50));
+  for (std::size_t i = 0; i < n; ++i) {
+    net.add_neuron(snn::NeuronParams{0, 1, 0.0});
+  }
+  const auto syn = static_cast<std::size_t>(rng.uniform_int(0, 6 * n));
+  for (std::size_t s = 0; s < syn; ++s) {
+    net.add_synapse(static_cast<NeuronId>(
+                        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1)),
+                    static_cast<NeuronId>(
+                        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1)),
+                    1, rng.uniform_int(1, 20));
+  }
+  return net;
+}
+
+class PartitionFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionFuzz, EveryNeuronAssignedExactlyOnceWithConsistentIndices) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const snn::CompiledNetwork net = random_net(seed).compile();
+  Rng rng(0x5EED + seed);
+  const auto s = static_cast<std::size_t>(rng.uniform_int(1, 12));
+
+  const snn::Partition p = make_partition(net, s);
+  ASSERT_EQ(p.num_shards, s);
+  ASSERT_EQ(p.shard_of.size(), net.num_neurons());
+  ASSERT_EQ(p.local_index.size(), net.num_neurons());
+  ASSERT_EQ(p.shard_neurons.size(), s);
+  ASSERT_EQ(p.shard_load.size(), s);
+
+  // Exactly-once: shard membership lists tile [0, n), and the inverse
+  // (shard_of, local_index) maps agree with them.
+  std::set<NeuronId> seen;
+  for (std::size_t sh = 0; sh < s; ++sh) {
+    ASSERT_TRUE(std::is_sorted(p.shard_neurons[sh].begin(),
+                               p.shard_neurons[sh].end()));
+    for (std::size_t k = 0; k < p.shard_neurons[sh].size(); ++k) {
+      const NeuronId id = p.shard_neurons[sh][k];
+      ASSERT_TRUE(seen.insert(id).second) << "neuron " << id << " twice";
+      ASSERT_EQ(p.shard_of[id], sh);
+      ASSERT_EQ(p.local_index[id], k);
+    }
+  }
+  ASSERT_EQ(seen.size(), net.num_neurons());
+
+  // Load bookkeeping matches the documented weight model.
+  for (std::size_t sh = 0; sh < s; ++sh) {
+    std::uint64_t load = 0;
+    for (const NeuronId id : p.shard_neurons[sh]) {
+      load += 1 + net.out_degree(id);
+    }
+    EXPECT_EQ(p.shard_load[sh], load) << "shard " << sh;
+  }
+}
+
+TEST_P(PartitionFuzz, LoadStaysWithinTheDocumentedBalanceBound) {
+  // LPT guarantee stated in partition.h: when a neuron lands on the
+  // lightest shard, that shard held ≤ total/S, so every final load is
+  // ≤ total/S + w_max.
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const snn::CompiledNetwork net = random_net(seed).compile();
+  Rng rng(0x10AD + seed);
+  const auto s = static_cast<std::size_t>(rng.uniform_int(1, 12));
+  const snn::Partition p = make_partition(net, s);
+
+  std::uint64_t total = 0;
+  std::uint64_t w_max = 0;
+  for (NeuronId id = 0; id < net.num_neurons(); ++id) {
+    const std::uint64_t w = 1 + net.out_degree(id);
+    total += w;
+    w_max = std::max(w_max, w);
+  }
+  for (std::size_t sh = 0; sh < s; ++sh) {
+    EXPECT_LE(p.shard_load[sh], total / s + w_max)
+        << "seed " << seed << " shard " << sh << "/" << s;
+  }
+}
+
+TEST_P(PartitionFuzz, DeterministicForANetworkAndShardCount) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const snn::CompiledNetwork net = random_net(seed).compile();
+  Rng rng(0xDE7E + seed);
+  const auto s = static_cast<std::size_t>(rng.uniform_int(1, 12));
+
+  const snn::Partition a = make_partition(net, s);
+  const snn::Partition b = make_partition(net, s);
+  EXPECT_EQ(a.shard_of, b.shard_of);
+  EXPECT_EQ(a.local_index, b.local_index);
+  EXPECT_EQ(a.shard_neurons, b.shard_neurons);
+  EXPECT_EQ(a.shard_load, b.shard_load);
+}
+
+TEST_P(PartitionFuzz, ShardSplitPreservesEverySynapseExactlyOnce) {
+  // Round-trip: reconstruct (source, target, weight, delay) tuples from
+  // the intra + cross families and compare against the CSR — same
+  // multiset, and per-source insertion order preserved within families.
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const snn::CompiledNetwork net = random_net(seed).compile();
+  Rng rng(0x59117 + seed);
+  const auto s = static_cast<std::size_t>(rng.uniform_int(1, 12));
+  const snn::ShardSplit split = net.shard_split(make_partition(net, s));
+
+  using Syn = std::tuple<NeuronId, NeuronId, SynWeight, Delay>;
+  std::vector<Syn> expect;
+  for (NeuronId id = 0; id < net.num_neurons(); ++id) {
+    for (std::size_t k = net.out_begin(id); k < net.out_end(id); ++k) {
+      expect.emplace_back(id, net.syn_target(k), net.syn_weight(k),
+                          net.syn_delay(k));
+    }
+  }
+  std::vector<Syn> got;
+  std::size_t cross_count = 0;
+  Delay min_cross = 0;
+  for (std::size_t sh = 0; sh < split.shards.size(); ++sh) {
+    const snn::ShardCsr& c = split.shards[sh];
+    for (std::size_t k = 0; k < c.num_neurons(); ++k) {
+      const NeuronId src = c.global_ids[k];
+      for (std::size_t j = c.intra_offsets[k]; j < c.intra_offsets[k + 1];
+           ++j) {
+        const NeuronId tgt =
+            split.partition.shard_neurons[sh][c.intra_target[j]];
+        got.emplace_back(src, tgt, c.intra_weight[j], c.intra_delay[j]);
+      }
+      for (std::size_t j = c.cross_offsets[k]; j < c.cross_offsets[k + 1];
+           ++j) {
+        ASSERT_NE(c.cross_shard[j], sh) << "cross synapse stayed home";
+        const NeuronId tgt =
+            split.partition.shard_neurons[c.cross_shard[j]][c.cross_local[j]];
+        got.emplace_back(src, tgt, c.cross_weight[j], c.cross_delay[j]);
+        ++cross_count;
+        min_cross = min_cross == 0 ? c.cross_delay[j]
+                                   : std::min(min_cross, c.cross_delay[j]);
+      }
+    }
+  }
+  std::sort(expect.begin(), expect.end());
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expect) << "seed " << seed << " S " << s;
+  EXPECT_EQ(split.num_cross_synapses, cross_count);
+  EXPECT_EQ(split.min_cross_delay, min_cross);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionFuzz, ::testing::Range(0, 20));
+
+TEST(Partition, SingleShardIsTheIdentityLayout) {
+  const snn::CompiledNetwork net = random_net(3).compile();
+  const snn::Partition p = make_partition(net, 1);
+  ASSERT_EQ(p.shard_neurons.size(), 1u);
+  for (NeuronId id = 0; id < net.num_neurons(); ++id) {
+    EXPECT_EQ(p.shard_of[id], 0u);
+    EXPECT_EQ(p.local_index[id], id);
+    EXPECT_EQ(p.shard_neurons[0][id], id);
+  }
+  // With one shard nothing crosses: the split is the whole CSR, local.
+  const snn::ShardSplit split = net.shard_split(p);
+  EXPECT_EQ(split.num_cross_synapses, 0u);
+  EXPECT_EQ(split.min_cross_delay, 0u);
+  EXPECT_EQ(split.shards[0].intra_target.size(), net.num_synapses());
+}
+
+TEST(Partition, EmptyNetwork) {
+  snn::Network net;
+  const snn::CompiledNetwork compiled = net.compile();
+  const snn::Partition p = make_partition(compiled, 4);
+  EXPECT_EQ(p.num_shards, 4u);
+  EXPECT_TRUE(p.shard_of.empty());
+  for (const auto& members : p.shard_neurons) EXPECT_TRUE(members.empty());
+  const snn::ShardSplit split = compiled.shard_split(p);
+  EXPECT_EQ(split.shards.size(), 4u);
+  EXPECT_EQ(split.num_cross_synapses, 0u);
+}
+
+TEST(Partition, SingleNeuronWithSelfLoop) {
+  snn::Network net;
+  net.add_neuron(snn::NeuronParams{0, 1, 0.0});
+  net.add_synapse(0, 0, 1, 5);
+  const snn::CompiledNetwork compiled = net.compile();
+  const snn::Partition p = make_partition(compiled, 3);
+  EXPECT_EQ(p.shard_of[0], 0u);  // lightest-shard tie breaks low
+  const snn::ShardSplit split = compiled.shard_split(p);
+  // The self-loop is intra-shard wherever the neuron lands.
+  EXPECT_EQ(split.num_cross_synapses, 0u);
+  EXPECT_EQ(split.shards[0].intra_target.size(), 1u);
+  EXPECT_EQ(split.shards[0].intra_target[0], 0u);
+}
+
+TEST(Partition, RejectsMismatchedPartition) {
+  const snn::CompiledNetwork a = random_net(1).compile();
+  const snn::CompiledNetwork b = random_net(2).compile();
+  if (a.num_neurons() == b.num_neurons()) GTEST_SKIP();
+  EXPECT_THROW(b.shard_split(make_partition(a, 2)), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sga
