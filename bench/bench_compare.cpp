@@ -4,19 +4,24 @@
 //
 //   bench_compare --validate FILE.json
 //       Schema-check one file (CI runs this on every emitted artifact).
-//   bench_compare BASELINE.json CURRENT.json [--threshold FRAC] [--fail]
+//   bench_compare BASELINE.json CURRENT.json [--wall-tol PCT] [--fail]
 //       Join records by name and compare:
 //         * wall-clock keys (`wall_ns`, any `*_ns`): flagged as REGRESSION
-//           when current > baseline * (1 + threshold); threshold defaults
-//           to 0.10 (wall time is noisy — tune per CI runner).
+//           when current > baseline * (1 + tol), where tol comes from
+//           --wall-tol (percent; default 10 — wall time is noisy, tune per
+//           CI runner; --threshold FRAC is the legacy spelling).
+//         * throughput keys (any `*_per_sec`): wall-derived, so noisy with
+//           the opposite sign — REGRESSION when current <
+//           baseline * (1 - tol), "improved" above the band.
 //         * semantic keys (T, spikes, events, everything else numeric):
 //           these are deterministic observables, so ANY change is flagged
 //           as DRIFT — a semantics change that must be explainable by the
 //           commit under test.
 //       Exit code: schema-validation failures, DRIFT, and records missing
 //       from the current file always exit 1 — they are deterministic, so
-//       there is no noise excuse. Wall-clock REGRESSIONs exit 0 by default
-//       (runners are noisy) and are promoted to exit 1 by --fail.
+//       there is no noise excuse. Wall-clock/throughput REGRESSIONs exit 0
+//       by default (runners are noisy) and are promoted to exit 1 by
+//       --fail.
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -44,9 +49,18 @@ Json load(const std::string& path) {
   return Json::parse(buf.str());
 }
 
-bool is_wall_clock_key(const std::string& key) {
-  return key.size() >= 3 && key.compare(key.size() - 3, 3, "_ns") == 0;
+bool ends_with(const std::string& key, const std::string& suffix) {
+  return key.size() >= suffix.size() &&
+         key.compare(key.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
+
+bool is_wall_clock_key(const std::string& key) {
+  return ends_with(key, "_ns");
+}
+
+/// Throughput keys are derived from wall time (events / seconds), so they
+/// carry the same run-to-run noise but regress DOWNWARD.
+bool is_rate_key(const std::string& key) { return ends_with(key, "_per_sec"); }
 
 const Json* find_record(const Json& doc, const std::string& name) {
   for (const Json& r : doc.find("records")->elements()) {
@@ -59,7 +73,7 @@ const Json* find_record(const Json& doc, const std::string& name) {
 int usage() {
   std::cerr << "usage: bench_compare --validate FILE.json\n"
                "       bench_compare BASELINE.json CURRENT.json"
-               " [--threshold FRAC] [--fail]\n";
+               " [--wall-tol PCT] [--fail]\n";
   return 2;
 }
 
@@ -75,8 +89,10 @@ int main(int argc, char** argv) try {
       validate_only = true;
     } else if (std::strcmp(argv[i], "--fail") == 0) {
       fail_on_regress = true;
+    } else if (std::strcmp(argv[i], "--wall-tol") == 0 && i + 1 < argc) {
+      threshold = std::stod(argv[++i]) / 100.0;  // percent → fraction
     } else if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
-      threshold = std::stod(argv[++i]);
+      threshold = std::stod(argv[++i]);  // legacy fractional spelling
     } else if (argv[i][0] == '-') {
       return usage();
     } else {
@@ -149,6 +165,13 @@ int main(int argc, char** argv) try {
         } else if (rel < -threshold) {
           verdict = "improved";
         }
+      } else if (is_rate_key(key)) {
+        if (rel < -threshold) {
+          verdict = "REGRESSION";
+          ++regressions;
+        } else if (rel > threshold) {
+          verdict = "improved";
+        }
       } else if (b != c) {
         verdict = "DRIFT";
         ++drifts;
@@ -157,8 +180,8 @@ int main(int argc, char** argv) try {
                  Table::fixed(100.0 * rel, 1) + "%", verdict});
     }
   }
-  t.set_title("bench_compare: threshold " +
-              Table::fixed(100.0 * threshold, 0) + "% on *_ns keys");
+  t.set_title("bench_compare: wall tolerance " +
+              Table::fixed(100.0 * threshold, 0) + "% on *_ns/*_per_sec keys");
   t.print(std::cout);
   std::cout << compared << " values compared: " << regressions
             << " wall-clock regression(s), " << drifts

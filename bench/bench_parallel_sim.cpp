@@ -82,6 +82,14 @@ BENCHMARK(BM_SsspParallelShards)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 // --- deterministic JSON summary (consumed by bench_compare) -------------
 
+/// Derived throughput: deliveries per wall second. bench_compare treats
+/// *_per_sec keys as noisy with the regression direction inverted.
+double rate_per_sec(std::uint64_t events, std::uint64_t wall_ns) {
+  return wall_ns == 0
+             ? 0.0
+             : static_cast<double>(events) * 1e9 / static_cast<double>(wall_ns);
+}
+
 void emit_summary(obs::BenchReport& report) {
   report.context("workload.sssp",
                  "n=20000 m=160000 lengths=[8,64] source=0 seed=0xBEEF08");
@@ -96,11 +104,13 @@ void emit_summary(obs::BenchReport& report) {
   {
     WallTimer w;
     const snn::SimStats st = run_serial(snn::QueueKind::kCalendar);
+    const auto wall = static_cast<std::uint64_t>(w.seconds() * 1e9);
     report.record("sssp/serial")
         .T(st.end_time)
         .spikes(st.spikes)
         .events(st.deliveries)
-        .wall_ns(static_cast<std::uint64_t>(w.seconds() * 1e9))
+        .wall_ns(wall)
+        .set("deliveries_per_sec", rate_per_sec(st.deliveries, wall))
         .set("event_times", st.event_times);
   }
 
@@ -109,11 +119,13 @@ void emit_summary(obs::BenchReport& report) {
     obs::MetricsRegistry reg;
     WallTimer w;
     const snn::SimStats st = run_parallel(s, static_cast<unsigned>(s), &reg);
+    const auto wall = static_cast<std::uint64_t>(w.seconds() * 1e9);
     report.record("sssp/parallel/s" + std::to_string(s))
         .T(st.end_time)
         .spikes(st.spikes)
         .events(st.deliveries)
-        .wall_ns(static_cast<std::uint64_t>(w.seconds() * 1e9))
+        .wall_ns(wall)
+        .set("deliveries_per_sec", rate_per_sec(st.deliveries, wall))
         .set("event_times", st.event_times)
         .set("windows", reg.counter("psim.windows"))
         .set("threads", static_cast<std::uint64_t>(s));

@@ -3,8 +3,10 @@
 // evaluation latency, the spiking-SSSP end-to-end rate, and the
 // event-queue ablation called out in DESIGN.md §4 — the REAL simulator run
 // with QueueKind::kCalendar (ring-bucket calendar queue, the default hot
-// path) vs QueueKind::kMap (the legacy std::map bucket queue), plus the
-// batched multi-source SSSP driver vs 64 fresh single-source runs.
+// path) vs QueueKind::kMap (the legacy std::map bucket queue), the
+// fire-kernel ablation (FanoutKind::kSegmented delay-run bulk appends vs
+// the legacy kPerSynapse loop, ARCHITECTURE.md §1.6), plus the batched
+// multi-source SSSP driver vs 64 fresh single-source runs.
 #include <benchmark/benchmark.h>
 
 #include <iostream>
@@ -232,6 +234,44 @@ void BM_SimLayoutCsrCalendar(benchmark::State& state) {
 }
 BENCHMARK(BM_SimLayoutCsrCalendar)->Arg(16)->Arg(64)->Arg(512);
 
+// --- fire-kernel ablation (segmented vs per-synapse fan-out) ------------
+// ARCHITECTURE.md §1.6: the segmented kernel does one bucket_for() + one
+// bulk SoA append per delay RUN; the retained per-synapse kernel (the
+// pre-segmentation fire loop) pays the full queue lookup per synapse. Arg
+// = max synapse delay at fixed fan-out 64, so Arg is the expected number
+// of runs per row and 64/Arg their length: small Arg = long runs (where
+// segmentation collapses almost all queue traffic), Arg ≥ 512 degenerates
+// toward one-synapse runs (the ablation's worst case). items/sec =
+// deliveries, so per-item time is ns/delivery.
+
+void run_fanout_ablation(benchmark::State& state, snn::FanoutKind fanout) {
+  const auto max_delay = static_cast<Delay>(state.range(0));
+  const snn::CompiledNetwork net =
+      make_dense_delay_net(512, 64, max_delay).compile();
+  std::uint64_t deliveries = 0;
+  snn::Simulator sim(net, snn::QueueKind::kCalendar, fanout);
+  for (auto _ : state) {
+    sim.reset();
+    for (NeuronId i = 0; i < 8; ++i) sim.inject_spike(i, 0);
+    snn::SimConfig cfg;
+    cfg.max_time = 50 + 4 * max_delay;
+    const auto st = sim.run(cfg);
+    deliveries += st.deliveries;
+    benchmark::DoNotOptimize(st.spikes);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(deliveries));
+}
+
+void BM_SimFanoutSegmented(benchmark::State& state) {
+  run_fanout_ablation(state, snn::FanoutKind::kSegmented);
+}
+BENCHMARK(BM_SimFanoutSegmented)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_SimFanoutPerSynapse(benchmark::State& state) {
+  run_fanout_ablation(state, snn::FanoutKind::kPerSynapse);
+}
+BENCHMARK(BM_SimFanoutPerSynapse)->Arg(8)->Arg(64)->Arg(512);
+
 // --- batched multi-source SSSP vs 64 fresh runs -------------------------
 // The batch driver builds the network once and reuses epoch-reset
 // simulators; the fresh loop pays network construction + simulator
@@ -284,9 +324,19 @@ BENCHMARK(BM_SsspFresh64Sources);
 // reproducible across commits and only wall_ns subject to noise. That is
 // what bench_compare's drift-vs-regression split keys on.
 
+/// The derived throughput field: deliveries per wall-clock second.
+/// bench_compare treats *_per_sec keys as noisy (wall-derived) with the
+/// regression direction inverted.
+double rate_per_sec(std::uint64_t events, std::uint64_t wall_ns) {
+  return wall_ns == 0
+             ? 0.0
+             : static_cast<double>(events) * 1e9 / static_cast<double>(wall_ns);
+}
+
 void emit_summary(obs::BenchReport& report) {
   report.context("workload.dense_delay", "n=512 fan=8 seeds=8 horizon=456");
   report.context("workload.sssp", "n=256 m=2048 U=32 sources=64");
+  report.context("workload.sssp_high_fanout", "n=512 m=32768 U=8 sources=64");
 
   // Queue ablation, one deterministic run per queue kind.
   const snn::CompiledNetwork dense = make_dense_delay_net(512, 8, 64).compile();
@@ -297,13 +347,15 @@ void emit_summary(obs::BenchReport& report) {
     cfg.max_time = 200 + 4 * 64;
     WallTimer w;
     const auto st = sim.run(cfg);
+    const auto wall = static_cast<std::uint64_t>(w.seconds() * 1e9);
     report
         .record(std::string("dense_delay/") +
                 (kind == snn::QueueKind::kCalendar ? "calendar" : "map"))
         .T(st.end_time)
         .spikes(st.spikes)
         .events(st.deliveries)
-        .wall_ns(static_cast<std::uint64_t>(w.seconds() * 1e9))
+        .wall_ns(wall)
+        .set("deliveries_per_sec", rate_per_sec(st.deliveries, wall))
         .set("event_times", st.event_times)
         .set("peak_queue_events", st.peak_queue_events);
   }
@@ -316,11 +368,61 @@ void emit_summary(obs::BenchReport& report) {
     opt.record_parents = false;
     WallTimer w;
     const auto r = nga::spiking_sssp(g, opt);
+    const auto wall = static_cast<std::uint64_t>(w.seconds() * 1e9);
     report.record("sssp/single")
         .T(r.execution_time)
         .spikes(r.sim.spikes)
         .events(r.sim.deliveries)
-        .wall_ns(static_cast<std::uint64_t>(w.seconds() * 1e9));
+        .wall_ns(wall)
+        .set("deliveries_per_sec", rate_per_sec(r.sim.deliveries, wall));
+  }
+
+  // High-fan-out SSSP with the fire-kernel ablation: 32 out-edges per
+  // vertex over only 8 distinct lengths, so each relay's fan-out is a few
+  // long delay runs — the workload the segmented kernel exists for. The
+  // network is compiled OUTSIDE the timer and a 64-source sweep reuses one
+  // simulator through reset(), so wall_ns measures the simulation hot path
+  // (and the steady-state bucket pool), not graph loading. Both kernels run
+  // the identical instance; the per_synapse record IS the pre-segmentation
+  // fire loop, so segmented/per_synapse deliveries_per_sec is the kernel
+  // speedup, tracked commit over commit.
+  {
+    Rng rng(0xBEEF08);
+    const Graph hg = make_random_graph(512, 32768, {1, 8}, rng);
+    const snn::CompiledNetwork hnet = nga::build_sssp_network(hg).compile();
+    for (const auto fanout :
+         {snn::FanoutKind::kSegmented, snn::FanoutKind::kPerSynapse}) {
+      snn::Simulator sim(hnet, snn::QueueKind::kCalendar, fanout);
+      std::uint64_t spikes = 0, deliveries = 0;
+      Time t_sum = 0;
+      snn::SimStats last;
+      // One throwaway source outside the timer: fills the bucket pool so
+      // the timed sweep runs allocation-free, like the batch driver.
+      sim.inject_spike(0, 0);
+      sim.run();
+      WallTimer w;
+      for (VertexId s = 0; s < 64; ++s) {
+        sim.reset();
+        sim.inject_spike(s, 0);
+        last = sim.run();
+        spikes += last.spikes;
+        deliveries += last.deliveries;
+        t_sum += last.end_time;
+      }
+      const auto wall = static_cast<std::uint64_t>(w.seconds() * 1e9);
+      report
+          .record(std::string("sssp/high_fanout/") +
+                  (fanout == snn::FanoutKind::kSegmented ? "segmented"
+                                                         : "per_synapse"))
+          .T(t_sum)
+          .spikes(spikes)
+          .events(deliveries)
+          .wall_ns(wall)
+          .set("deliveries_per_sec", rate_per_sec(deliveries, wall))
+          .set("fanout_segments", last.fanout_segments)
+          .set("bulk_appends", last.bulk_appends)
+          .set("pool_misses", last.pool_misses);
+    }
   }
 
   // Batched 64-source sweep with the driver's merged metrics attached.
@@ -341,11 +443,13 @@ void emit_summary(obs::BenchReport& report) {
       deliveries += run.sim.deliveries;
       t_sum += run.execution_time;
     }
+    const auto wall = static_cast<std::uint64_t>(w.seconds() * 1e9);
     report.record("sssp/batch64")
         .T(t_sum)  // summed Definition-3 times: deterministic per commit
         .spikes(spikes)
         .events(deliveries)
-        .wall_ns(static_cast<std::uint64_t>(w.seconds() * 1e9))
+        .wall_ns(wall)
+        .set("deliveries_per_sec", rate_per_sec(deliveries, wall))
         .set("threads_used", static_cast<std::uint64_t>(r.threads_used));
     report.metrics(reg);
   }

@@ -41,7 +41,7 @@ SpikingSsspResult spiking_sssp(const Graph& g, const SpikingSsspOptions& opt) {
 
   // build → freeze → simulate: mutation ends here.
   const snn::CompiledNetwork net = build_sssp_network(g).compile();
-  snn::Simulator sim(net, opt.queue);
+  snn::Simulator sim(net, opt.queue, opt.fanout);
   sim.inject_spike(opt.source, 0);
 
   snn::SimConfig cfg;

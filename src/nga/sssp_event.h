@@ -42,6 +42,9 @@ struct SpikingSsspOptions {
   Time max_time = kNever;
   /// Event-queue implementation (DESIGN.md §4 ablation knob).
   snn::QueueKind queue = snn::QueueKind::kCalendar;
+  /// Fan-out kernel (DESIGN.md §4 ablation knob): delay-segmented bulk
+  /// appends vs the legacy per-synapse loop.
+  snn::FanoutKind fanout = snn::FanoutKind::kSegmented;
 };
 
 struct SpikingSsspResult {

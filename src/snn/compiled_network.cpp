@@ -1,6 +1,7 @@
 #include "snn/compiled_network.h"
 
 #include <algorithm>
+#include <span>
 
 #include "snn/network.h"
 
@@ -21,7 +22,12 @@ CompiledNetwork::CompiledNetwork(const Network& net) {
     tau_[i] = p.tau;
   }
 
-  // CSR pack in source-id order, preserving per-source insertion order.
+  // CSR pack in source-id order. Each row is stably sorted by delay so the
+  // fan-out kernel can walk one contiguous delay run per queue lookup;
+  // stability keeps equal-delay synapses in builder insertion order, which
+  // the cause tie-break relies on being order-free anyway but which keeps
+  // per-bucket delivery order (and hence FP summation order) bit-identical
+  // to the unsorted layout.
   offsets_.resize(n + 1);
   offsets_[0] = 0;
   for (NeuronId i = 0; i < n; ++i) {
@@ -34,9 +40,18 @@ CompiledNetwork::CompiledNetwork(const Network& net) {
   pos_in_weight_.assign(n, 0);
 
   Delay max_delay = 0;
-  std::size_t k = 0;
+  std::vector<std::size_t> order;  // per-row stable sort permutation
   for (NeuronId i = 0; i < n; ++i) {
-    for (const Synapse& s : net.out_synapses(i)) {
+    const std::span<const Synapse> row = net.out_synapses(i);
+    order.resize(row.size());
+    for (std::size_t j = 0; j < row.size(); ++j) order[j] = j;
+    std::stable_sort(order.begin(), order.end(),
+                     [&row](std::size_t a, std::size_t b) {
+                       return row[a].delay < row[b].delay;
+                     });
+    std::size_t k = offsets_[i];
+    for (const std::size_t j : order) {
+      const Synapse& s = row[j];
       SGA_REQUIRE(s.target < n, "compile: synapse "
                                     << k << " (from neuron " << i
                                     << ") targets out-of-range neuron "
@@ -54,6 +69,23 @@ CompiledNetwork::CompiledNetwork(const Network& net) {
     }
   }
   max_delay_ = max_delay;
+
+  // Segment CSR: one (delay, begin, end) triple per delay run of each row.
+  seg_offsets_.resize(n + 1);
+  seg_offsets_[0] = 0;
+  for (NeuronId i = 0; i < n; ++i) {
+    std::size_t k = offsets_[i];
+    const std::size_t row_end = offsets_[i + 1];
+    while (k < row_end) {
+      const Delay d = delays_[k];
+      const std::size_t run_begin = k;
+      while (k < row_end && delays_[k] == d) ++k;
+      seg_delays_.push_back(d);
+      seg_syn_begin_.push_back(run_begin);
+      seg_syn_end_.push_back(k);
+    }
+    seg_offsets_[i + 1] = seg_delays_.size();
+  }
 
   // The builder maintains these incrementally; the packed arrays are the
   // ground truth. A mismatch means builder state was corrupted.

@@ -8,7 +8,13 @@
 //   * out-synapses CSR-packed: one offsets array (n+1 entries) plus flat,
 //     contiguous targets / weights / delays arrays in source-id order —
 //     the fan-out of a fired neuron is one contiguous slice, no per-neuron
-//     heap pointer to chase,
+//     heap pointer to chase. Each row is stably sorted by delay at freeze
+//     time, so equal-delay synapses form contiguous *delay runs* in builder
+//     insertion order; a second CSR (seg_offsets_ + flat segment arrays)
+//     records one (delay, begin, end) segment per run. The simulator's
+//     fan-out kernel walks segments — one queue lookup per distinct delay,
+//     then a bulk append of the run — instead of doing per-synapse lookups
+//     (ARCHITECTURE.md §1.6),
 //   * per-neuron aggregates computed once at freeze time (the positive
 //     in-weight table that previously cost a full-graph scan per query).
 // compile() also runs the validation pass that used to be scattered across
@@ -62,7 +68,8 @@ class CompiledNetwork {
 
   // ---- CSR out-synapses (unchecked hot-path accessors) -----------------
   // The out-synapses of neuron `id` are the index range
-  // [out_begin(id), out_end(id)) into the flat arrays, in insertion order.
+  // [out_begin(id), out_end(id)) into the flat arrays, sorted by delay
+  // (stably: insertion order within each delay run).
   std::size_t out_begin(NeuronId id) const { return offsets_[id]; }
   std::size_t out_end(NeuronId id) const { return offsets_[id + 1]; }
   std::size_t out_degree(NeuronId id) const {
@@ -71,6 +78,23 @@ class CompiledNetwork {
   NeuronId syn_target(std::size_t k) const { return targets_[k]; }
   SynWeight syn_weight(std::size_t k) const { return weights_[k]; }
   Delay syn_delay(std::size_t k) const { return delays_[k]; }
+
+  /// Raw array views for the segmented fan-out kernel's bulk appends.
+  const NeuronId* syn_targets_data() const { return targets_.data(); }
+  const SynWeight* syn_weights_data() const { return weights_.data(); }
+
+  // ---- Delay segments (CSR-of-segments over the rows above) ------------
+  // The delay runs of neuron `id` are the segment-index range
+  // [seg_begin(id), seg_end(id)). Segment s covers the synapse-index range
+  // [seg_syn_begin(s), seg_syn_end(s)), all of whose synapses share delay
+  // seg_delay(s); within a row, segment delays are strictly increasing and
+  // the synapse ranges exactly partition [out_begin(id), out_end(id)).
+  std::size_t seg_begin(NeuronId id) const { return seg_offsets_[id]; }
+  std::size_t seg_end(NeuronId id) const { return seg_offsets_[id + 1]; }
+  Delay seg_delay(std::size_t s) const { return seg_delays_[s]; }
+  std::size_t seg_syn_begin(std::size_t s) const { return seg_syn_begin_[s]; }
+  std::size_t seg_syn_end(std::size_t s) const { return seg_syn_end_[s]; }
+  std::size_t num_delay_segments() const { return seg_delays_.size(); }
 
   /// Range view over a neuron's out-synapses yielding Synapse values, for
   /// construction-side consumers (io, unroll, congest) that want the old
@@ -145,6 +169,11 @@ class CompiledNetwork {
   std::vector<NeuronId> targets_;
   std::vector<SynWeight> weights_;
   std::vector<Delay> delays_;
+
+  std::vector<std::size_t> seg_offsets_;  ///< n+1 entries; segment row ptrs
+  std::vector<Delay> seg_delays_;         ///< one entry per delay run
+  std::vector<std::size_t> seg_syn_begin_;
+  std::vector<std::size_t> seg_syn_end_;
 
   std::vector<SynWeight> pos_in_weight_;
   Delay max_delay_ = 0;

@@ -9,6 +9,7 @@
 // the target's firing decision at time s + d, and the threshold test is ≥.
 #pragma once
 
+#include <cmath>
 #include <string>
 
 #include "core/types.h"
@@ -21,6 +22,28 @@ struct NeuronParams {
   double tau = 0.0;         ///< decay τ ∈ [0, 1]; 0 = perfect integrator,
                             ///< 1 = memoryless threshold gate
 };
+
+/// Potential of a neuron that last had value `v`, `dt` steps ago, after
+/// applying the per-step leak v ← v − (v − v_reset)·τ closed-form. The two
+/// boundary settings dominate the circuit library, so they bypass `pow`:
+/// τ = 0 is the perfect integrator (no leak at all) and τ = 1 the memoryless
+/// gate (everything leaks to v_reset after one step). Exactly equal to
+/// `decay_potential_general` for all τ ∈ [0, 1] — pinned by the
+/// DecayFastPathsMatchGeneralFormula property test.
+inline Voltage decay_potential(Voltage v, Voltage v_reset, double tau,
+                               Time dt) {
+  if (dt == 0 || tau == 0.0) return v;
+  if (tau == 1.0) return v_reset;
+  return v_reset + (v - v_reset) * std::pow(1.0 - tau, static_cast<double>(dt));
+}
+
+/// The unconditional closed form, kept as the property-test oracle for the
+/// fast paths above (pow(1,dt) = 1 and pow(0,dt) = 0 for dt ≥ 1 make the
+/// special cases exact, not approximate).
+inline Voltage decay_potential_general(Voltage v, Voltage v_reset, double tau,
+                                       Time dt) {
+  return v_reset + (v - v_reset) * std::pow(1.0 - tau, static_cast<double>(dt));
+}
 
 /// A directed synaptic connection out of some neuron (Definition 1).
 struct Synapse {

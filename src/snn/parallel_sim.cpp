@@ -4,7 +4,6 @@
 #include <atomic>
 #include <barrier>
 #include <bit>
-#include <cmath>
 #include <limits>
 #include <map>
 #include <mutex>
@@ -32,11 +31,27 @@ std::size_t ring_size_for(Delay max_delay) {
 
 }  // namespace
 
-struct MailEntry {
-  Time t;                ///< delivery time
-  NeuronId local_target; ///< local index in the destination shard
-  NeuronId source;       ///< GLOBAL id of the firing neuron (for causes)
-  SynWeight weight;
+struct MailBox {
+  /// One contiguous run of deliveries sharing an arrival time: indices
+  /// [begin, end) into the SoA arrays below. Written by one fire() call
+  /// (a (dst-shard, delay) segment run), drained with one bulk append.
+  struct Slab {
+    Time t;  ///< delivery time
+    std::size_t begin;
+    std::size_t end;
+  };
+  std::vector<Slab> slabs;
+  std::vector<NeuronId> targets;   ///< local index in the destination shard
+  std::vector<SynWeight> weights;
+  std::vector<NeuronId> sources;   ///< GLOBAL firing ids; iff record_causes
+
+  bool empty() const { return slabs.empty(); }
+  void clear() {  // keeps capacity — boxes are reused every window
+    slabs.clear();
+    targets.clear();
+    weights.clear();
+    sources.clear();
+  }
 };
 
 // One shard: a self-contained mini-simulator over LOCAL neuron indices,
@@ -49,19 +64,21 @@ struct ParallelSimulator::Shard {
   const ShardCsr* csr = nullptr;
   std::uint32_t index = 0;
 
-  struct Delivery {
-    NeuronId target;  ///< local index
-    NeuronId source;  ///< global id
-    SynWeight weight;
-  };
+  /// SoA delivery bucket, mirroring the serial Simulator::Bucket: targets
+  /// (local indices) and weights in lock-step, sources (global ids) only
+  /// when the run records causes.
   struct Bucket {
-    std::vector<Delivery> deliveries;
+    std::vector<NeuronId> targets;
+    std::vector<SynWeight> weights;
+    std::vector<NeuronId> sources;
     std::vector<NeuronId> forced;  ///< local indices
 
-    bool empty() const { return deliveries.empty() && forced.empty(); }
-    std::size_t size() const { return deliveries.size() + forced.size(); }
+    bool empty() const { return targets.empty() && forced.empty(); }
+    std::size_t size() const { return targets.size() + forced.size(); }
     void clear() {
-      deliveries.clear();
+      targets.clear();
+      weights.clear();
+      sources.clear();
       forced.clear();
     }
   };
@@ -75,6 +92,7 @@ struct ParallelSimulator::Shard {
   std::uint64_t ring_events_ = 0;
   std::map<Time, Bucket> spill_;
   std::uint64_t pending_events_ = 0;
+  std::vector<Bucket> pool_;  ///< drained bucket storage, LIFO
 
   // Per-neuron state, LOCAL indices.
   std::vector<Voltage> v_;
@@ -123,9 +141,13 @@ struct ParallelSimulator::Shard {
   std::uint64_t max_bucket_occupancy_ = 0;
   std::uint64_t overflow_spills_ = 0;
   std::uint64_t empty_bucket_scans_ = 0;
+  std::uint64_t fanout_segments_ = 0;
+  std::uint64_t bulk_appends_ = 0;
+  std::uint64_t pool_hits_ = 0;
+  std::uint64_t pool_misses_ = 0;
 
-  obs::Probe* probe_ = nullptr;      ///< per-shard probe (owned by parent)
-  std::vector<MailEntry>* out_ = nullptr;  ///< S outboxes, current parity
+  obs::Probe* probe_ = nullptr;  ///< per-shard probe (owned by parent)
+  MailBox* out_ = nullptr;       ///< S outboxes, current parity
 
   void init(const CompiledNetwork& network, const ShardCsr& shard_csr,
             std::uint32_t shard_index) {
@@ -162,19 +184,42 @@ struct ParallelSimulator::Shard {
     }
   }
 
-  Bucket& bucket_for(Time t) {
-    ++pending_events_;
+  /// Bucket-storage pool, as in the serial engine (ARCHITECTURE.md §1.6):
+  /// drained buckets donate their vectors; activations take them back.
+  void activate(Bucket& b) {
+    if (!pool_.empty()) {
+      ++pool_hits_;
+      b = std::move(pool_.back());
+      pool_.pop_back();
+    } else {
+      ++pool_misses_;
+    }
+  }
+  void recycle(Bucket& b) {
+    b.clear();
+    pool_.push_back(std::move(b));
+  }
+
+  Bucket& bucket_for(Time t, std::uint64_t count) {
+    pending_events_ += count;
     if (pending_events_ > peak_queue_events_) {
       peak_queue_events_ = pending_events_;
     }
     if (t - cursor_ < static_cast<Time>(ring_.size())) {
       const auto slot = static_cast<std::size_t>(t & ring_mask_);
-      ring_occupied_[slot >> 6] |= 1ULL << (slot & 63);
-      ++ring_events_;
+      std::uint64_t& word = ring_occupied_[slot >> 6];
+      const std::uint64_t bit = 1ULL << (slot & 63);
+      if ((word & bit) == 0) {
+        word |= bit;
+        activate(ring_[slot]);
+      }
+      ring_events_ += count;
       return ring_[slot];
     }
-    ++overflow_spills_;
-    return spill_[t];
+    overflow_spills_ += count;
+    const auto [it, inserted] = spill_.try_emplace(t);
+    if (inserted) activate(it->second);
+    return it->second;
   }
 
   void migrate_spill() {
@@ -187,13 +232,19 @@ struct ParallelSimulator::Shard {
       ring_occupied_[slot >> 6] |= 1ULL << (slot & 63);
       ring_events_ += it->second.size();
       if (dst.empty()) {
+        // Unoccupied slots hold no storage (drains donate it to the pool).
         dst = std::move(it->second);
       } else {
-        dst.deliveries.insert(dst.deliveries.end(),
-                              it->second.deliveries.begin(),
-                              it->second.deliveries.end());
-        dst.forced.insert(dst.forced.end(), it->second.forced.begin(),
-                          it->second.forced.end());
+        Bucket& src = it->second;
+        dst.targets.insert(dst.targets.end(), src.targets.begin(),
+                           src.targets.end());
+        dst.weights.insert(dst.weights.end(), src.weights.begin(),
+                           src.weights.end());
+        dst.sources.insert(dst.sources.end(), src.sources.begin(),
+                           src.sources.end());
+        dst.forced.insert(dst.forced.end(), src.forced.begin(),
+                          src.forced.end());
+        recycle(src);
       }
       spill_.erase(it);
     }
@@ -242,13 +293,9 @@ struct ParallelSimulator::Shard {
 
   Voltage decayed_potential(NeuronId lid, Time t) const {
     const NeuronId gid = csr->global_ids[lid];
-    const double tau = net->tau(gid);
     const Time dt = t - last_update_[lid];
     SGA_CHECK(dt >= 0, "parallel: time went backwards for neuron " << gid);
-    if (dt == 0 || tau == 0.0) return v_[lid];
-    const Voltage vr = net->v_reset(gid);
-    if (tau == 1.0) return vr;
-    return vr + (v_[lid] - vr) * std::pow(1.0 - tau, static_cast<double>(dt));
+    return decay_potential(v_[lid], net->v_reset(gid), net->tau(gid), dt);
   }
 
   void fire(NeuronId lid, Time t) {
@@ -269,34 +316,58 @@ struct ParallelSimulator::Shard {
       ++terminals_newly_fired_;
       if (t < terminal_time_) terminal_time_ = t;
     }
-    // Intra-shard fan-out: the shard's own queue, local targets. Same
-    // horizon rule as the serial engine (subtraction form avoids t + d
-    // overflow; dropped work reports hit_time_limit).
-    const std::size_t ib = csr->intra_offsets[lid];
-    const std::size_t ie = csr->intra_offsets[lid + 1];
-    for (std::size_t k = ib; k < ie; ++k) {
-      const Delay d = csr->intra_delay[k];
+    // Intra-shard fan-out, segmented: the intra family inherits the
+    // delay-sorted row order, so each delay run is one queue lookup plus a
+    // bulk append. Same horizon rule as the serial engine (subtraction
+    // form avoids t + d overflow; dropped work reports hit_time_limit);
+    // ascending run delays let a horizon hit stop the whole row.
+    const NeuronId* itgt = csr->intra_target.data();
+    const SynWeight* iwgt = csr->intra_weight.data();
+    const std::size_t ise = csr->intra_seg_offsets[lid + 1];
+    for (std::size_t s = csr->intra_seg_offsets[lid]; s < ise; ++s) {
+      ++fanout_segments_;
+      const Delay d = csr->intra_seg_delay[s];
       if (d > max_time_ - t) {
         hit_time_limit_ = true;
-        continue;
+        break;
       }
-      bucket_for(t + d).deliveries.push_back(
-          Delivery{csr->intra_target[k], gid, csr->intra_weight[k]});
+      const std::size_t b = csr->intra_seg_begin[s];
+      const std::size_t e = csr->intra_seg_end[s];
+      Bucket& bucket = bucket_for(t + d, e - b);
+      bucket.targets.insert(bucket.targets.end(), itgt + b, itgt + e);
+      bucket.weights.insert(bucket.weights.end(), iwgt + b, iwgt + e);
+      if (record_causes_) {
+        bucket.sources.insert(bucket.sources.end(), e - b, gid);
+      }
+      ++bulk_appends_;
     }
-    // Cross-shard fan-out: append to the destination's mailbox. Only this
-    // shard's worker writes these boxes during the window; the barrier
-    // hands them over.
-    const std::size_t cb = csr->cross_offsets[lid];
-    const std::size_t ce = csr->cross_offsets[lid + 1];
-    for (std::size_t k = cb; k < ce; ++k) {
-      const Delay d = csr->cross_delay[k];
+    // Cross-shard fan-out, segmented: one SoA slab per (dst-shard, delay)
+    // run, appended to the destination's mailbox. Only this shard's worker
+    // writes these boxes during the window; the barrier hands them over.
+    // Runs are (shard, delay)-ordered, NOT globally delay-ascending, so a
+    // horizon hit skips the run but keeps scanning.
+    const NeuronId* clocal = csr->cross_local.data();
+    const SynWeight* cwgt = csr->cross_weight.data();
+    const std::size_t cse = csr->cross_seg_offsets[lid + 1];
+    for (std::size_t s = csr->cross_seg_offsets[lid]; s < cse; ++s) {
+      ++fanout_segments_;
+      const Delay d = csr->cross_seg_delay[s];
       if (d > max_time_ - t) {
         hit_time_limit_ = true;
         continue;
       }
       const Time at = t + d;
-      out_[csr->cross_shard[k]].push_back(
-          MailEntry{at, csr->cross_local[k], gid, csr->cross_weight[k]});
+      const std::size_t b = csr->cross_seg_begin[s];
+      const std::size_t e = csr->cross_seg_end[s];
+      MailBox& box = out_[csr->cross_seg_shard[s]];
+      const std::size_t base = box.targets.size();
+      box.targets.insert(box.targets.end(), clocal + b, clocal + e);
+      box.weights.insert(box.weights.end(), cwgt + b, cwgt + e);
+      if (record_causes_) {
+        box.sources.insert(box.sources.end(), e - b, gid);
+      }
+      box.slabs.push_back(MailBox::Slab{at, base, base + (e - b)});
+      ++bulk_appends_;
       if (at < out_min_time_) out_min_time_ = at;
     }
   }
@@ -307,13 +378,23 @@ struct ParallelSimulator::Shard {
   /// order is only observable through FP summation order — exact for the
   /// integer weights of every paper construction — and cause tie-breaks,
   /// which use the order-free (weight, source id) rule).
-  void drain_inboxes(std::vector<MailEntry>* in_boxes, std::size_t stride,
+  void drain_inboxes(MailBox* in_boxes, std::size_t stride,
                      std::size_t num_shards) {
     for (std::size_t s = 0; s < num_shards; ++s) {
-      std::vector<MailEntry>& box = in_boxes[s * stride];
-      for (const MailEntry& e : box) {
-        bucket_for(e.t).deliveries.push_back(
-            Delivery{e.local_target, e.source, e.weight});
+      MailBox& box = in_boxes[s * stride];
+      for (const MailBox::Slab& slab : box.slabs) {
+        Bucket& bucket = bucket_for(slab.t, slab.end - slab.begin);
+        bucket.targets.insert(bucket.targets.end(),
+                              box.targets.begin() + slab.begin,
+                              box.targets.begin() + slab.end);
+        bucket.weights.insert(bucket.weights.end(),
+                              box.weights.begin() + slab.begin,
+                              box.weights.begin() + slab.end);
+        if (record_causes_) {
+          bucket.sources.insert(bucket.sources.end(),
+                                box.sources.begin() + slab.begin,
+                                box.sources.begin() + slab.end);
+        }
       }
       box.clear();
     }
@@ -342,32 +423,37 @@ struct ParallelSimulator::Shard {
       touched_times_.push_back(t);
 
       if (probe_ != nullptr && probe_->counts_deliveries()) {
-        for (const Delivery& d : bucket->deliveries) {
-          probe_->on_delivery(csr->global_ids[d.target]);
+        for (const NeuronId target : bucket->targets) {
+          probe_->on_delivery(csr->global_ids[target]);
         }
       }
 
       targets.clear();
-      for (const Delivery& d : bucket->deliveries) {
-        ++deliveries_;
-        if (!touched_[d.target]) {
-          touched_[d.target] = 1;
-          targets.push_back(d.target);
-          accum_[d.target] = 0;
-          accum_cause_[d.target] = kNoNeuron;
-          accum_cause_weight_[d.target] = 0;
+      const std::size_t nd = bucket->targets.size();
+      deliveries_ += nd;
+      for (std::size_t i = 0; i < nd; ++i) {
+        const NeuronId target = bucket->targets[i];
+        const SynWeight weight = bucket->weights[i];
+        if (!touched_[target]) {
+          touched_[target] = 1;
+          targets.push_back(target);
+          accum_[target] = 0;
+          accum_cause_[target] = kNoNeuron;
+          accum_cause_weight_[target] = 0;
         }
-        accum_[d.target] += d.weight;
+        accum_[target] += weight;
         if (record_causes_) {
           // Deterministic cause selection (matches the serial engine):
           // largest weight, ties to the smallest source id — independent
-          // of delivery order, hence of the parallel schedule.
-          SynWeight& bw = accum_cause_weight_[d.target];
-          NeuronId& bs = accum_cause_[d.target];
-          if (d.weight > bw ||
-              (bs != kNoNeuron && d.weight == bw && d.source < bs)) {
-            bs = d.source;
-            bw = d.weight;
+          // of delivery order, hence of the parallel schedule. sources is
+          // populated exactly when record_causes_ is set.
+          const NeuronId source = bucket->sources[i];
+          SynWeight& bw = accum_cause_weight_[target];
+          NeuronId& bs = accum_cause_[target];
+          if (weight > bw ||
+              (bs != kNoNeuron && weight == bw && source < bs)) {
+            bs = source;
+            bw = weight;
           }
         }
       }
@@ -407,7 +493,7 @@ struct ParallelSimulator::Shard {
         }
       }
 
-      bucket->clear();
+      recycle(*bucket);  // storage (capacity intact) goes to the pool
       const auto slot = static_cast<std::size_t>(t & ring_mask_);
       ring_occupied_[slot >> 6] &= ~(1ULL << (slot & 63));
     }
@@ -439,12 +525,13 @@ struct ParallelSimulator::Shard {
           const auto slot =
               (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
           word &= word - 1;
-          ring_[slot].clear();
+          recycle(ring_[slot]);
         }
         ring_occupied_[w] = 0;
       }
       ring_events_ = 0;
     }
+    for (auto& [t, bucket] : spill_) recycle(bucket);
     spill_.clear();
     pending_events_ = 0;
     cursor_ = -1;
@@ -461,6 +548,10 @@ struct ParallelSimulator::Shard {
     max_bucket_occupancy_ = 0;
     overflow_spills_ = 0;
     empty_bucket_scans_ = 0;
+    fanout_segments_ = 0;
+    bulk_appends_ = 0;
+    pool_hits_ = 0;
+    pool_misses_ = 0;
     record_causes_ = false;
     record_log_ = false;
     max_time_ = kNever;
@@ -521,7 +612,7 @@ void ParallelSimulator::inject_spike(NeuronId id, Time t) {
   SGA_REQUIRE(t <= kNever, "inject_spike: time " << t << " beyond kNever");
   SGA_REQUIRE(!ran_, "inject_spike after run() (call reset() first)");
   Shard& sh = *shards_[split_.partition.shard_of[id]];
-  sh.bucket_for(t).forced.push_back(split_.partition.local_index[id]);
+  sh.bucket_for(t, 1).forced.push_back(split_.partition.local_index[id]);
 }
 
 void ParallelSimulator::attach_probe(obs::Probe& probe) {
@@ -769,6 +860,10 @@ void ParallelSimulator::finalize_run() {
         std::max(stats_.max_bucket_occupancy, sh->max_bucket_occupancy_);
     stats_.overflow_spills += sh->overflow_spills_;
     stats_.empty_bucket_scans += sh->empty_bucket_scans_;
+    stats_.fanout_segments += sh->fanout_segments_;
+    stats_.bulk_appends += sh->bulk_appends_;
+    stats_.pool_hits += sh->pool_hits_;
+    stats_.pool_misses += sh->pool_misses_;
   }
   if (!shards_.empty()) {
     stats_.ring_buckets =

@@ -61,8 +61,10 @@ class Probe;
 
 namespace sga::snn {
 
-/// One cross-shard spike in flight: defined in parallel_sim.cpp.
-struct MailEntry;
+/// One (src shard, dst shard) mailbox: contiguous SoA slabs of cross-shard
+/// deliveries, batched per (destination, delay) run. Defined in
+/// parallel_sim.cpp.
+struct MailBox;
 
 struct ParallelConfig {
   /// Number of shards S; 0 = the resolved thread count. S may exceed the
@@ -160,8 +162,10 @@ class ParallelSimulator {
   /// Double-buffered mailboxes, flattened [parity][src * S + dst]. During
   /// a window with parity p, source shards append to mail_[p] and
   /// destination shards drain mail_[1 - p]; the barrier flips p, so no box
-  /// is ever read and written concurrently.
-  std::vector<std::vector<MailEntry>> mail_[2];
+  /// is ever read and written concurrently. Each box carries contiguous
+  /// SoA slabs — one per (fire, delay) run — so the barrier exchange moves
+  /// bulk-appendable blocks, not per-synapse entries.
+  std::vector<MailBox> mail_[2];
 
   obs::Probe* probe_ = nullptr;
   std::vector<std::unique_ptr<obs::Probe>> shard_probes_;

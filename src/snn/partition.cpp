@@ -68,7 +68,8 @@ ShardSplit CompiledNetwork::shard_split(Partition partition) const {
     shard.cross_offsets[0] = 0;
 
     // Two passes: count, then fill — keeps each family contiguous while
-    // preserving the original per-source synapse order inside it.
+    // preserving the delay-sorted per-source synapse order inside it (the
+    // cross family is then stably re-sorted by destination shard below).
     for (std::size_t k = 0; k < members.size(); ++k) {
       const NeuronId id = members[k];
       std::size_t intra = 0;
@@ -110,6 +111,77 @@ ShardSplit CompiledNetwork::shard_split(Partition partition) const {
           ++split.num_cross_synapses;
         }
       }
+    }
+
+    // Cross family: stably re-sort each neuron's slice by destination
+    // shard. The slice is already delay-ascending (inherited from the
+    // delay-sorted CSR row), so stability leaves it sorted by
+    // (shard, delay) with builder insertion order within each run.
+    struct CrossEntry {
+      std::uint32_t shard;
+      NeuronId local;
+      SynWeight weight;
+      Delay delay;
+    };
+    std::vector<CrossEntry> entries;
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      const std::size_t cb = shard.cross_offsets[k];
+      const std::size_t ce = shard.cross_offsets[k + 1];
+      entries.clear();
+      for (std::size_t j = cb; j < ce; ++j) {
+        entries.push_back(CrossEntry{shard.cross_shard[j],
+                                     shard.cross_local[j],
+                                     shard.cross_weight[j],
+                                     shard.cross_delay[j]});
+      }
+      std::stable_sort(entries.begin(), entries.end(),
+                       [](const CrossEntry& a, const CrossEntry& b) {
+                         return a.shard < b.shard;
+                       });
+      for (std::size_t j = cb; j < ce; ++j) {
+        const CrossEntry& e = entries[j - cb];
+        shard.cross_shard[j] = e.shard;
+        shard.cross_local[j] = e.local;
+        shard.cross_weight[j] = e.weight;
+        shard.cross_delay[j] = e.delay;
+      }
+    }
+
+    // Segment CSRs over both families: intra runs share a delay, cross
+    // runs share a (shard, delay) pair.
+    shard.intra_seg_offsets.resize(members.size() + 1);
+    shard.cross_seg_offsets.resize(members.size() + 1);
+    shard.intra_seg_offsets[0] = 0;
+    shard.cross_seg_offsets[0] = 0;
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      std::size_t j = shard.intra_offsets[k];
+      const std::size_t ie = shard.intra_offsets[k + 1];
+      while (j < ie) {
+        const Delay d = shard.intra_delay[j];
+        const std::size_t run_begin = j;
+        while (j < ie && shard.intra_delay[j] == d) ++j;
+        shard.intra_seg_delay.push_back(d);
+        shard.intra_seg_begin.push_back(run_begin);
+        shard.intra_seg_end.push_back(j);
+      }
+      shard.intra_seg_offsets[k + 1] = shard.intra_seg_delay.size();
+
+      j = shard.cross_offsets[k];
+      const std::size_t ce = shard.cross_offsets[k + 1];
+      while (j < ce) {
+        const std::uint32_t ds = shard.cross_shard[j];
+        const Delay d = shard.cross_delay[j];
+        const std::size_t run_begin = j;
+        while (j < ce && shard.cross_shard[j] == ds &&
+               shard.cross_delay[j] == d) {
+          ++j;
+        }
+        shard.cross_seg_shard.push_back(ds);
+        shard.cross_seg_delay.push_back(d);
+        shard.cross_seg_begin.push_back(run_begin);
+        shard.cross_seg_end.push_back(j);
+      }
+      shard.cross_seg_offsets[k + 1] = shard.cross_seg_delay.size();
     }
   }
   split.min_cross_delay = min_cross;

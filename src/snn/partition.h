@@ -59,6 +59,15 @@ Partition make_partition(const CompiledNetwork& net, std::size_t num_shards);
 /// indexed per-shard: neuron k of the shard is global id `global_ids[k]`,
 /// its intra-shard synapses are intra_* [intra_offsets[k], intra_offsets[k+1])
 /// and its cross-shard synapses cross_* [cross_offsets[k], cross_offsets[k+1]).
+///
+/// Segmented layout (ARCHITECTURE.md §1.6): both families inherit the
+/// CompiledNetwork's delay-sorted row order, the cross family additionally
+/// stably re-sorted by destination shard — so a neuron's intra row is one
+/// ascending sequence of delay runs and its cross row one sequence of
+/// (shard, delay) runs. The *_seg_* arrays record those runs CSR-style
+/// (offsets indexed by local neuron), letting the shard's fire() do one
+/// queue lookup — or one mailbox-slab append — per run instead of per
+/// synapse.
 struct ShardCsr {
   std::vector<NeuronId> global_ids;
 
@@ -72,6 +81,24 @@ struct ShardCsr {
   std::vector<NeuronId> cross_local;       ///< local index in that shard
   std::vector<SynWeight> cross_weight;
   std::vector<Delay> cross_delay;
+
+  // Intra delay runs: segment s covers intra synapses
+  // [intra_seg_begin[s], intra_seg_end[s]), all with delay
+  // intra_seg_delay[s]; per neuron the delays are strictly increasing.
+  std::vector<std::size_t> intra_seg_offsets;  ///< local_n + 1 entries
+  std::vector<Delay> intra_seg_delay;
+  std::vector<std::size_t> intra_seg_begin;
+  std::vector<std::size_t> intra_seg_end;
+
+  // Cross (shard, delay) runs: segment s covers cross synapses
+  // [cross_seg_begin[s], cross_seg_end[s]), all bound for shard
+  // cross_seg_shard[s] with delay cross_seg_delay[s]; per neuron the
+  // (shard, delay) pairs are strictly increasing lexicographically.
+  std::vector<std::size_t> cross_seg_offsets;  ///< local_n + 1 entries
+  std::vector<std::uint32_t> cross_seg_shard;
+  std::vector<Delay> cross_seg_delay;
+  std::vector<std::size_t> cross_seg_begin;
+  std::vector<std::size_t> cross_seg_end;
 
   std::size_t num_neurons() const { return global_ids.size(); }
 };

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <bit>
-#include <cmath>
 
 #include "obs/metrics.h"
 #include "obs/probe.h"
@@ -22,13 +21,17 @@ std::size_t ring_size_for(Delay max_delay) {
 
 }  // namespace
 
-Simulator::Simulator(const CompiledNetwork& net, QueueKind queue)
-    : net_(&net), queue_kind_(queue) {
+Simulator::Simulator(const CompiledNetwork& net, QueueKind queue,
+                     FanoutKind fanout)
+    : net_(&net), queue_kind_(queue), fanout_kind_(fanout) {
   init_state();
 }
 
-Simulator::Simulator(const Network& net, QueueKind queue)
-    : owned_(net.compile()), net_(&*owned_), queue_kind_(queue) {
+Simulator::Simulator(const Network& net, QueueKind queue, FanoutKind fanout)
+    : owned_(net.compile()),
+      net_(&*owned_),
+      queue_kind_(queue),
+      fanout_kind_(fanout) {
   init_state();
 }
 
@@ -67,11 +70,11 @@ void Simulator::inject_spike(NeuronId id, Time t) {
   SGA_REQUIRE(t >= 0, "inject_spike: negative time " << t);
   SGA_REQUIRE(t <= kNever, "inject_spike: time " << t << " beyond kNever");
   SGA_REQUIRE(!ran_, "inject_spike after run() (call reset() first)");
-  bucket_for(t).forced.push_back(id);
+  bucket_for(t, 1).forced.push_back(id);
 }
 
-Simulator::Bucket& Simulator::bucket_for(Time t) {
-  ++pending_events_;
+Simulator::Bucket& Simulator::bucket_for(Time t, std::uint64_t count) {
+  pending_events_ += count;
   if (pending_events_ > stats_.peak_queue_events) {
     stats_.peak_queue_events = pending_events_;
   }
@@ -81,13 +84,23 @@ Simulator::Bucket& Simulator::bucket_for(Time t) {
     // draining a bucket in place is safe.
     if (t - cursor_ < static_cast<Time>(ring_.size())) {
       const auto slot = static_cast<std::size_t>(t & ring_mask_);
-      ring_occupied_[slot >> 6] |= 1ULL << (slot & 63);
-      ++ring_events_;
+      std::uint64_t& word = ring_occupied_[slot >> 6];
+      const std::uint64_t bit = 1ULL << (slot & 63);
+      if ((word & bit) == 0) {
+        // First event in this slot since it was last drained: hand it
+        // pooled storage (drained buckets donate theirs, so only a
+        // cold-start activation allocates).
+        word |= bit;
+        activate(ring_[slot]);
+      }
+      ring_events_ += count;
       return ring_[slot];
     }
-    ++stats_.overflow_spills;
+    stats_.overflow_spills += count;
   }
-  return spill_[t];
+  const auto [it, inserted] = spill_.try_emplace(t);
+  if (inserted) activate(it->second);
+  return it->second;
 }
 
 void Simulator::migrate_spill() {
@@ -100,14 +113,22 @@ void Simulator::migrate_spill() {
     ring_occupied_[slot >> 6] |= 1ULL << (slot & 63);
     ring_events_ += it->second.size();
     if (dst.empty()) {
+      // An unoccupied slot holds no storage (drains donate it to the pool),
+      // so adopting the spill node's vectors wholesale loses nothing.
       dst = std::move(it->second);
     } else {
-      // Same residue inside one window ⇒ same time: merge.
-      dst.deliveries.insert(dst.deliveries.end(),
-                            it->second.deliveries.begin(),
-                            it->second.deliveries.end());
-      dst.forced.insert(dst.forced.end(), it->second.forced.begin(),
-                        it->second.forced.end());
+      // Same residue inside one window ⇒ same time: merge, then return the
+      // spill node's storage to the pool instead of freeing it.
+      Bucket& src = it->second;
+      dst.targets.insert(dst.targets.end(), src.targets.begin(),
+                         src.targets.end());
+      dst.weights.insert(dst.weights.end(), src.weights.begin(),
+                         src.weights.end());
+      dst.sources.insert(dst.sources.end(), src.sources.begin(),
+                         src.sources.end());
+      dst.forced.insert(dst.forced.end(), src.forced.begin(),
+                        src.forced.end());
+      recycle(src);
     }
     spill_.erase(it);
   }
@@ -144,13 +165,9 @@ bool Simulator::next_pending_time(Time* t) {
 }
 
 Voltage Simulator::decayed_potential(NeuronId id, Time t) const {
-  const double tau = net_->tau(id);
   const Time dt = t - last_update_[id];
   SGA_CHECK(dt >= 0, "time went backwards for neuron " << id);
-  if (dt == 0 || tau == 0.0) return v_[id];
-  const Voltage vr = net_->v_reset(id);
-  if (tau == 1.0) return vr;
-  return vr + (v_[id] - vr) * std::pow(1.0 - tau, static_cast<double>(dt));
+  return decay_potential(v_[id], net_->v_reset(id), net_->tau(id), dt);
 }
 
 void Simulator::fire(NeuronId id, Time t) {
@@ -174,23 +191,61 @@ void Simulator::fire(NeuronId id, Time t) {
       stats_.execution_time = t;
     }
   }
-  // CSR fan-out: the fired neuron's synapses are one contiguous slice of
-  // the flat delay/target/weight arrays.
-  const std::size_t kb = net_->out_begin(id);
-  const std::size_t ke = net_->out_end(id);
-  for (std::size_t k = kb; k < ke; ++k) {
-    // Horizon check in subtraction form: t ≤ max_time_ always holds here,
-    // so max_time_ - t cannot overflow, while t + delay could (kNever
-    // horizon × pseudopolynomial delay). Dropping work past the horizon
-    // reports hit_time_limit, consistently with the pop-side check that
-    // catches post-horizon injected spikes.
-    const Delay d = net_->syn_delay(k);
-    if (d > max_time_ - t) {
-      stats_.hit_time_limit = true;
-      continue;
+  // CSR fan-out: the fired neuron's synapses are one contiguous, delay-
+  // sorted slice of the flat delay/target/weight arrays. The horizon check
+  // is in subtraction form: t ≤ max_time_ always holds here, so
+  // max_time_ - t cannot overflow, while t + delay could (kNever horizon ×
+  // pseudopolynomial delay). Dropping work past the horizon reports
+  // hit_time_limit, consistently with the pop-side check that catches
+  // post-horizon injected spikes.
+  if (fanout_kind_ == FanoutKind::kSegmented) {
+    // One queue lookup per delay run, then a bulk append of the run's
+    // (target, weight) pairs; sources only when a cause is being recorded.
+    const NeuronId* tgt = net_->syn_targets_data();
+    const SynWeight* wgt = net_->syn_weights_data();
+    const std::size_t se = net_->seg_end(id);
+    for (std::size_t s = net_->seg_begin(id); s < se; ++s) {
+      ++stats_.fanout_segments;
+      const Delay d = net_->seg_delay(s);
+      if (d > max_time_ - t) {
+        // Segment delays increase along the row, so every remaining run is
+        // past the horizon too.
+        stats_.hit_time_limit = true;
+        break;
+      }
+      const std::size_t b = net_->seg_syn_begin(s);
+      const std::size_t e = net_->seg_syn_end(s);
+      Bucket& bucket = bucket_for(t + d, e - b);
+      if (e - b == 1) {
+        // Singleton run (every delay in the row distinct): push_back beats
+        // the range-insert machinery, and rows like this are common in
+        // SSSP instances with wide length ranges.
+        bucket.targets.push_back(tgt[b]);
+        bucket.weights.push_back(wgt[b]);
+        if (record_causes_) bucket.sources.push_back(id);
+      } else {
+        bucket.targets.insert(bucket.targets.end(), tgt + b, tgt + e);
+        bucket.weights.insert(bucket.weights.end(), wgt + b, wgt + e);
+        if (record_causes_) {
+          bucket.sources.insert(bucket.sources.end(), e - b, id);
+        }
+      }
+      ++stats_.bulk_appends;
     }
-    bucket_for(t + d).deliveries.push_back(
-        Delivery{net_->syn_target(k), id, net_->syn_weight(k)});
+  } else {
+    // Legacy per-synapse kernel (bench ablation + fuzzing oracle).
+    const std::size_t ke = net_->out_end(id);
+    for (std::size_t k = net_->out_begin(id); k < ke; ++k) {
+      const Delay d = net_->syn_delay(k);
+      if (d > max_time_ - t) {
+        stats_.hit_time_limit = true;
+        continue;
+      }
+      Bucket& bucket = bucket_for(t + d, 1);
+      bucket.targets.push_back(net_->syn_target(k));
+      bucket.weights.push_back(net_->syn_weight(k));
+      if (record_causes_) bucket.sources.push_back(id);
+    }
   }
 }
 
@@ -257,32 +312,37 @@ SimStats Simulator::run(const SimConfig& config) {
     // iteration is duplicated only when a probe is counting, so the
     // uninstrumented hot loop stays untouched (overhead contract).
     if (probe_ != nullptr && probe_->counts_deliveries()) {
-      for (const Delivery& d : bucket->deliveries) {
-        probe_->on_delivery(d.target);
+      for (const NeuronId target : bucket->targets) {
+        probe_->on_delivery(target);
       }
     }
 
     targets.clear();
-    for (const Delivery& d : bucket->deliveries) {
-      ++stats_.deliveries;
-      if (!touched_[d.target]) {
-        touched_[d.target] = 1;
-        targets.push_back(d.target);
-        accum_[d.target] = 0;
-        accum_cause_[d.target] = kNoNeuron;
-        accum_cause_weight_[d.target] = 0;
+    const std::size_t nd = bucket->targets.size();
+    stats_.deliveries += nd;
+    for (std::size_t i = 0; i < nd; ++i) {
+      const NeuronId target = bucket->targets[i];
+      const SynWeight weight = bucket->weights[i];
+      if (!touched_[target]) {
+        touched_[target] = 1;
+        targets.push_back(target);
+        accum_[target] = 0;
+        accum_cause_[target] = kNoNeuron;
+        accum_cause_weight_[target] = 0;
       }
-      accum_[d.target] += d.weight;
+      accum_[target] += weight;
       if (record_causes_) {
         // Deterministic selection: largest weight, ties broken by smallest
         // source id. Independent of delivery order, so every engine
         // (serial, map-queue, sharded-parallel) reports the same cause.
-        SynWeight& bw = accum_cause_weight_[d.target];
-        NeuronId& bs = accum_cause_[d.target];
-        if (d.weight > bw ||
-            (bs != kNoNeuron && d.weight == bw && d.source < bs)) {
-          bs = d.source;
-          bw = d.weight;
+        // sources is populated exactly when record_causes_ is set.
+        const NeuronId source = bucket->sources[i];
+        SynWeight& bw = accum_cause_weight_[target];
+        NeuronId& bs = accum_cause_[target];
+        if (weight > bw ||
+            (bs != kNoNeuron && weight == bw && source < bs)) {
+          bs = source;
+          bw = weight;
         }
       }
     }
@@ -326,8 +386,9 @@ SimStats Simulator::run(const SimConfig& config) {
       for (const NeuronId id : targets) probe_->on_potential(t, id, v_[id]);
     }
 
-    // Release the drained bucket (keeping its capacity for reuse).
-    bucket->clear();
+    // Release the drained bucket: its storage (capacity intact) goes to the
+    // pool for the next activation, keeping the steady state allocation-free.
+    recycle(*bucket);
     if (queue_kind_ == QueueKind::kCalendar) {
       const auto slot = static_cast<std::size_t>(t & ring_mask_);
       ring_occupied_[slot >> 6] &= ~(1ULL << (slot & 63));
@@ -364,8 +425,9 @@ void Simulator::reset() {
   for (const NeuronId w : active_watched_) is_watched_[w] = 0;
   active_watched_.clear();
   watch_all_ = false;
-  // Queue: drained buckets are already empty; sweep the occupancy bitmap
-  // only when a terminal/horizon stop left events behind.
+  // Queue: drained buckets already donated their storage; sweep the
+  // occupancy bitmap only when a terminal/horizon stop left events behind,
+  // recycling the leftovers so the pool survives reset() intact.
   if (ring_events_ > 0) {
     for (std::size_t w = 0; w < ring_occupied_.size(); ++w) {
       std::uint64_t word = ring_occupied_[w];
@@ -373,12 +435,13 @@ void Simulator::reset() {
         const auto slot = (w << 6) + static_cast<std::size_t>(
                                          std::countr_zero(word));
         word &= word - 1;
-        ring_[slot].clear();
+        recycle(ring_[slot]);
       }
       ring_occupied_[w] = 0;
     }
     ring_events_ = 0;
   }
+  for (auto& [t, bucket] : spill_) recycle(bucket);
   spill_.clear();
   pending_events_ = 0;
   cursor_ = -1;
@@ -422,10 +485,15 @@ bool Simulator::fired_in(NeuronId id, Time t0, Time t1) const {
                                   << "; deciding the window needs "
                                      "record_spike_log with this neuron "
                                      "watched");
-  const auto it = std::lower_bound(
+  // The log is time-ordered, so both window edges resolve by binary search;
+  // only entries strictly inside [t0, t1] are scanned.
+  const auto lo = std::lower_bound(
       spike_log_.begin(), spike_log_.end(), t0,
       [](const std::pair<Time, NeuronId>& e, Time t) { return e.first < t; });
-  for (auto i = it; i != spike_log_.end() && i->first <= t1; ++i) {
+  const auto hi = std::upper_bound(
+      lo, spike_log_.end(), t1,
+      [](Time t, const std::pair<Time, NeuronId>& e) { return t < e.first; });
+  for (auto i = lo; i != hi; ++i) {
     if (i->second == id) return true;
   }
   return false;

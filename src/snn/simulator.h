@@ -29,9 +29,13 @@
 // Input (ARCHITECTURE.md §1.3): the simulator runs exclusively against a
 // frozen snn::CompiledNetwork — flat CSR synapse arrays and SoA neuron
 // parameters, validated once at Network::compile() time. The fan-out of a
-// fired neuron is a contiguous slice of three flat arrays; no per-neuron
-// nested vector is chased on the hot path. An immutable CompiledNetwork can
-// back many Simulators concurrently (one per worker in the batch driver).
+// fired neuron is a contiguous slice of three flat arrays, delay-sorted at
+// freeze time; fire() walks the per-neuron delay segments — one queue lookup
+// per distinct delay, then a bulk append of the run's (target, weight) pairs
+// into SoA bucket arrays (ARCHITECTURE.md §1.6). Drained bucket storage is
+// pooled across ring slots and resets, so the steady state allocates
+// nothing. An immutable CompiledNetwork can back many Simulators
+// concurrently (one per worker in the batch driver).
 #pragma once
 
 #include <cstdint>
@@ -53,6 +57,14 @@ namespace sga::snn {
 enum class QueueKind : std::uint8_t {
   kCalendar,  ///< ring-bucket calendar queue + sorted overflow spill (default)
   kMap,       ///< legacy std::map<Time, Bucket>; kept as the agreement oracle
+};
+
+/// Fan-out kernel implementation (DESIGN.md §4 ablation knob). Both run on
+/// the same delay-sorted CSR and produce event-for-event identical runs;
+/// kPerSynapse is kept for the bench ablation and as a fuzzing oracle.
+enum class FanoutKind : std::uint8_t {
+  kSegmented,   ///< one queue lookup per delay run, bulk SoA append (default)
+  kPerSynapse,  ///< legacy per-synapse queue lookup + single-element append
 };
 
 struct SimConfig {
@@ -99,6 +111,21 @@ struct SimStats {
   std::uint64_t empty_bucket_scans = 0;
   /// Calendar ring size in buckets (0 for QueueKind::kMap).
   std::uint32_t ring_buckets = 0;
+
+  // ---- Fan-out kernel counters (ARCHITECTURE.md §1.6) ------------------
+  /// Delay segments walked by the segmented fire() kernel (0 under
+  /// FanoutKind::kPerSynapse). Engine-specific, like the queue counters:
+  /// the sharded engine walks intra and cross runs separately.
+  std::uint64_t fanout_segments = 0;
+  /// Bulk delivery appends issued (fanout_segments minus horizon-dropped
+  /// runs; 0 under FanoutKind::kPerSynapse).
+  std::uint64_t bulk_appends = 0;
+  /// Bucket activations whose delivery storage came from the drained-bucket
+  /// pool (hit) vs. had to start from an empty vector (miss). After the
+  /// first reset(), a steady-state rerun of the same workload reports
+  /// pool_misses == 0 — the allocation-free contract.
+  std::uint64_t pool_hits = 0;
+  std::uint64_t pool_misses = 0;
 };
 
 class Simulator {
@@ -108,13 +135,15 @@ class Simulator {
   /// algorithm compilers and the batch driver use — one CompiledNetwork,
   /// many (possibly concurrent) simulators.
   explicit Simulator(const CompiledNetwork& net,
-                     QueueKind queue = QueueKind::kCalendar);
+                     QueueKind queue = QueueKind::kCalendar,
+                     FanoutKind fanout = FanoutKind::kSegmented);
 
   /// Convenience for one-shot runs (tests, examples): compiles `net` and
   /// owns the frozen copy. Equivalent to compiling first and keeping the
   /// CompiledNetwork next to the simulator.
   explicit Simulator(const Network& net,
-                     QueueKind queue = QueueKind::kCalendar);
+                     QueueKind queue = QueueKind::kCalendar,
+                     FanoutKind fanout = FanoutKind::kSegmented);
 
   /// The frozen network this simulator executes.
   const CompiledNetwork& network() const { return *net_; }
@@ -137,6 +166,7 @@ class Simulator {
   void reset();
 
   QueueKind queue_kind() const { return queue_kind_; }
+  FanoutKind fanout_kind() const { return fanout_kind_; }
 
   // ---- Instrumentation (src/obs; see docs/OBSERVABILITY.md) -----------
   /// Attach an observability probe (spike trace / fire + delivery counters
@@ -179,19 +209,22 @@ class Simulator {
   Voltage potential(NeuronId id) const;
 
  private:
-  struct Delivery {
-    NeuronId target;
-    NeuronId source;
-    SynWeight weight;
-  };
+  /// One time step's pending work, deliveries in structure-of-arrays form:
+  /// targets/weights always populated in lock-step; sources only when the
+  /// run records causes (the only consumer), cutting delivery memory
+  /// traffic by a third on the default path.
   struct Bucket {
-    std::vector<Delivery> deliveries;
-    std::vector<NeuronId> forced;
+    std::vector<NeuronId> targets;
+    std::vector<SynWeight> weights;
+    std::vector<NeuronId> sources;  ///< parallel to targets iff record_causes
+    std::vector<NeuronId> forced;   ///< injected spikes
 
-    bool empty() const { return deliveries.empty() && forced.empty(); }
-    std::size_t size() const { return deliveries.size() + forced.size(); }
-    void clear() {  // keeps capacity — buckets are recycled across resets
-      deliveries.clear();
+    bool empty() const { return targets.empty() && forced.empty(); }
+    std::size_t size() const { return targets.size() + forced.size(); }
+    void clear() {  // keeps capacity — cleared buckets are pooled
+      targets.clear();
+      weights.clear();
+      sources.clear();
       forced.clear();
     }
   };
@@ -207,19 +240,40 @@ class Simulator {
     }
   }
 
-  /// Queue ops — each branches once on queue_kind_.
-  Bucket& bucket_for(Time t);
+  /// Queue ops — each branches once on queue_kind_. `count` is the number
+  /// of events about to be appended to the returned bucket (bulk segment
+  /// appends update the occupancy stats once per run, not per synapse).
+  Bucket& bucket_for(Time t, std::uint64_t count);
   /// Earliest pending event time into *t; false when the queue is empty.
   bool next_pending_time(Time* t);
   /// Move far-future spill entries whose time now falls inside the ring
   /// window into the ring.
   void migrate_spill();
 
+  /// Bucket-storage pool (ARCHITECTURE.md §1.6). `activate` hands a newly
+  /// live bucket the vectors of a previously drained one; `recycle` returns
+  /// a drained bucket's storage. Steady state is allocation-free: after one
+  /// run + reset() the pool holds enough storage for every activation.
+  void activate(Bucket& b) {
+    if (!pool_.empty()) {
+      ++stats_.pool_hits;
+      b = std::move(pool_.back());
+      pool_.pop_back();
+    } else {
+      ++stats_.pool_misses;
+    }
+  }
+  void recycle(Bucket& b) {
+    b.clear();
+    pool_.push_back(std::move(b));
+  }
+
   void init_state();
 
   std::optional<CompiledNetwork> owned_;  ///< set by the Network constructor
   const CompiledNetwork* net_;
   const QueueKind queue_kind_;
+  const FanoutKind fanout_kind_;
   obs::Probe* probe_ = nullptr;  ///< cached flag for the disabled fast path
   bool ran_ = false;
 
@@ -235,6 +289,7 @@ class Simulator {
   std::uint64_t ring_events_ = 0;     ///< events currently in the ring
   std::map<Time, Bucket> spill_;      ///< overflow; the whole queue for kMap
   std::uint64_t pending_events_ = 0;  ///< ring + spill, for the peak stat
+  std::vector<Bucket> pool_;          ///< drained bucket storage, LIFO
 
   // Per-neuron state.
   std::vector<Voltage> v_;

@@ -240,6 +240,119 @@ TEST_P(QueueFuzz, BothQueuesAndReferenceInterpreterProduceIdenticalRuns) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, QueueFuzz, ::testing::Range(0, 30));
 
+class FanoutFuzz : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(FanoutFuzz, SegmentedKernelMatchesOraclesWithAndWithoutCauses) {
+  // The delay-segmented fan-out kernel (ARCHITECTURE.md §1.6) bulk-appends
+  // one SoA block per delay run instead of pushing per synapse. This fuzz
+  // certifies the rewrite is event-for-event invisible: on random networks
+  // the segmented kernel must agree with the kMap oracle, with the retained
+  // per-synapse kernel (FanoutKind::kPerSynapse), and with the nested-vector
+  // ReferenceSimulator — with record_causes both on and off, since the
+  // optional SoA `sources` array only exists in the on case and the cause
+  // tie-break reads it entry-by-entry.
+  const auto seed = static_cast<std::uint64_t>(std::get<0>(GetParam()));
+  const bool causes = std::get<1>(GetParam());
+  const snn::Network net = random_snn(seed);
+  const snn::CompiledNetwork compiled = net.compile();
+  const auto n = static_cast<NeuronId>(net.num_neurons());
+
+  auto inject_all = [&](auto& sim) {
+    Rng rng(0xD41E + seed);
+    for (int i = 0; i < 6; ++i) {
+      sim.inject_spike(
+          static_cast<NeuronId>(rng.uniform_int(
+              0, static_cast<std::int64_t>(net.num_neurons()) - 1)),
+          rng.uniform_int(0, 200));
+    }
+    sim.inject_spike(0, 450);
+  };
+  snn::SimConfig cfg;
+  cfg.max_time = 500;
+  cfg.record_spike_log = true;
+  cfg.record_causes = causes;
+
+  struct Run {
+    snn::SimStats stats;
+    std::vector<std::pair<Time, NeuronId>> log;
+    std::vector<Time> first;
+    std::vector<NeuronId> cause;
+    std::vector<Voltage> potential;
+  };
+  auto drive = [&](snn::QueueKind kind, snn::FanoutKind fanout) {
+    snn::Simulator sim(compiled, kind, fanout);
+    inject_all(sim);
+    Run r;
+    r.stats = sim.run(cfg);
+    r.log = sim.spike_log();
+    r.first = sim.first_spikes();
+    for (NeuronId id = 0; id < n; ++id) {
+      if (causes) r.cause.push_back(sim.first_spike_cause(id));
+      r.potential.push_back(sim.potential(id));
+    }
+    return r;
+  };
+  auto expect_same = [&](const Run& a, const Run& b, const char* what) {
+    EXPECT_EQ(a.log, b.log) << what << " seed " << seed;
+    EXPECT_EQ(a.first, b.first) << what << " seed " << seed;
+    EXPECT_EQ(a.cause, b.cause) << what << " seed " << seed;
+    EXPECT_EQ(a.potential, b.potential) << what << " seed " << seed;
+    EXPECT_EQ(a.stats.spikes, b.stats.spikes) << what << " seed " << seed;
+    EXPECT_EQ(a.stats.deliveries, b.stats.deliveries)
+        << what << " seed " << seed;
+    EXPECT_EQ(a.stats.event_times, b.stats.event_times)
+        << what << " seed " << seed;
+    EXPECT_EQ(a.stats.end_time, b.stats.end_time) << what << " seed " << seed;
+    EXPECT_EQ(a.stats.execution_time, b.stats.execution_time)
+        << what << " seed " << seed;
+    EXPECT_EQ(a.stats.hit_time_limit, b.stats.hit_time_limit)
+        << what << " seed " << seed;
+  };
+
+  const Run seg = drive(snn::QueueKind::kCalendar, snn::FanoutKind::kSegmented);
+  const Run seg_map = drive(snn::QueueKind::kMap, snn::FanoutKind::kSegmented);
+  const Run per_syn =
+      drive(snn::QueueKind::kCalendar, snn::FanoutKind::kPerSynapse);
+  expect_same(seg, seg_map, "segmented calendar vs map");
+  expect_same(seg, per_syn, "segmented vs per-synapse");
+
+  // Kernel counters: both segmented runs walk the same segments and issue
+  // the same bulk appends regardless of queue kind; the per-synapse kernel
+  // never touches them. Queue-level peaks must also survive bulk appends.
+  EXPECT_EQ(seg.stats.fanout_segments, seg_map.stats.fanout_segments)
+      << "seed " << seed;
+  EXPECT_EQ(seg.stats.bulk_appends, seg_map.stats.bulk_appends)
+      << "seed " << seed;
+  EXPECT_EQ(per_syn.stats.fanout_segments, 0u) << "seed " << seed;
+  EXPECT_EQ(per_syn.stats.bulk_appends, 0u) << "seed " << seed;
+  EXPECT_EQ(seg.stats.peak_queue_events, per_syn.stats.peak_queue_events)
+      << "seed " << seed;
+  EXPECT_EQ(seg.stats.max_bucket_occupancy,
+            per_syn.stats.max_bucket_occupancy)
+      << "seed " << seed;
+
+  // The reference interpreter refuses record_causes (it never grew the
+  // feature); cause recording must not perturb the run, so its causes-off
+  // trace is still the right oracle for both cause modes.
+  snn::SimConfig ref_cfg = cfg;
+  ref_cfg.record_causes = false;
+  snn::ReferenceSimulator ref(net);
+  inject_all(ref);
+  const snn::SimStats rs = ref.run(ref_cfg);
+  EXPECT_EQ(ref.spike_log(), seg.log) << "seed " << seed;
+  EXPECT_EQ(ref.first_spikes(), seg.first) << "seed " << seed;
+  EXPECT_EQ(rs.spikes, seg.stats.spikes) << "seed " << seed;
+  EXPECT_EQ(rs.deliveries, seg.stats.deliveries) << "seed " << seed;
+  EXPECT_EQ(rs.event_times, seg.stats.event_times) << "seed " << seed;
+  EXPECT_EQ(rs.end_time, seg.stats.end_time) << "seed " << seed;
+  EXPECT_EQ(rs.execution_time, seg.stats.execution_time) << "seed " << seed;
+  EXPECT_EQ(rs.hit_time_limit, seg.stats.hit_time_limit) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedsXCauses, FanoutFuzz,
+                         ::testing::Combine(::testing::Range(0, 20),
+                                            ::testing::Bool()));
+
 class ProbeFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(ProbeFuzz, ProbesObserveWithoutPerturbing) {

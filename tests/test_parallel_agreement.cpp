@@ -329,6 +329,42 @@ TEST_P(ParallelResetFuzz, ResetReusesAcrossRunsLikeAFreshEngine) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParallelResetFuzz, ::testing::Range(0, 8));
 
+TEST(ParallelRegression, SteadyStateRunsAreAllocationFreeAfterReset) {
+  // Same pool contract as the serial simulator, summed over shards: a
+  // second identical run after reset() must re-use donated bucket storage
+  // exclusively (pool_misses == 0), with per-run segment/bulk counters
+  // reproduced exactly.
+  const snn::Network net = random_snn(7);
+  const snn::CompiledNetwork compiled = net.compile();
+  const std::size_t n = compiled.num_neurons();
+
+  snn::SimConfig cfg;
+  cfg.max_time = 500;
+  cfg.record_spike_log = true;
+
+  snn::ParallelConfig pcfg;
+  pcfg.num_shards = 3;
+  pcfg.num_threads = 2;
+  snn::ParallelSimulator psim(compiled, pcfg);
+
+  inject_all(psim, 7, n);
+  const snn::SimStats first = psim.run(cfg);
+  ASSERT_GT(first.spikes, 0u);
+  EXPECT_GT(first.fanout_segments, 0u);
+  EXPECT_GT(first.bulk_appends, 0u);
+  EXPECT_GT(first.pool_misses, 0u);  // cold start: every pool is empty
+
+  psim.reset();
+  inject_all(psim, 7, n);
+  const snn::SimStats second = psim.run(cfg);
+  EXPECT_EQ(second.spikes, first.spikes);
+  EXPECT_EQ(second.fanout_segments, first.fanout_segments);
+  EXPECT_EQ(second.bulk_appends, first.bulk_appends);
+  EXPECT_EQ(second.pool_misses, 0u) << "steady-state run allocated buckets";
+  EXPECT_GT(second.pool_hits, 0u);
+  EXPECT_EQ(second.pool_hits, first.pool_hits + first.pool_misses);
+}
+
 TEST(ParallelRegression, WatchedNeuronSubsetFiltersTheLog) {
   const snn::Network net = random_snn(5);
   const snn::CompiledNetwork compiled = net.compile();

@@ -159,6 +159,69 @@ TEST_P(PartitionFuzz, ShardSplitPreservesEverySynapseExactlyOnce) {
   EXPECT_EQ(split.min_cross_delay, min_cross);
 }
 
+TEST_P(PartitionFuzz, SegmentCsrsTileBothFamiliesWithSortedRuns) {
+  // The segmented layout (ARCHITECTURE.md §1.6): every member neuron's
+  // intra family must be tiled by delay runs with strictly increasing
+  // delays, and its cross family by (shard, delay) runs in strictly
+  // increasing lexicographic order — non-empty, contiguous, gap-free, and
+  // every covered synapse carrying its segment's key. That exact structure
+  // is what lets the shard fire() do one queue lookup (or one mailbox slab)
+  // per run.
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const snn::CompiledNetwork net = random_net(seed).compile();
+  Rng rng(0x59117 + seed);
+  const auto s = static_cast<std::size_t>(rng.uniform_int(1, 12));
+  const snn::ShardSplit split = net.shard_split(make_partition(net, s));
+
+  for (std::size_t sh = 0; sh < split.shards.size(); ++sh) {
+    const snn::ShardCsr& c = split.shards[sh];
+    ASSERT_EQ(c.intra_seg_offsets.size(), c.num_neurons() + 1);
+    ASSERT_EQ(c.cross_seg_offsets.size(), c.num_neurons() + 1);
+    for (std::size_t k = 0; k < c.num_neurons(); ++k) {
+      std::size_t expect_next = c.intra_offsets[k];
+      for (std::size_t g = c.intra_seg_offsets[k];
+           g < c.intra_seg_offsets[k + 1]; ++g) {
+        EXPECT_EQ(c.intra_seg_begin[g], expect_next) << "gap or overlap";
+        EXPECT_LT(c.intra_seg_begin[g], c.intra_seg_end[g]) << "empty run";
+        if (g > c.intra_seg_offsets[k]) {
+          EXPECT_LT(c.intra_seg_delay[g - 1], c.intra_seg_delay[g])
+              << "intra delays not strictly increasing";
+        }
+        for (std::size_t j = c.intra_seg_begin[g]; j < c.intra_seg_end[g];
+             ++j) {
+          EXPECT_EQ(c.intra_delay[j], c.intra_seg_delay[g]);
+        }
+        expect_next = c.intra_seg_end[g];
+      }
+      EXPECT_EQ(expect_next, c.intra_offsets[k + 1])
+          << "intra segments do not cover the row";
+
+      expect_next = c.cross_offsets[k];
+      for (std::size_t g = c.cross_seg_offsets[k];
+           g < c.cross_seg_offsets[k + 1]; ++g) {
+        EXPECT_EQ(c.cross_seg_begin[g], expect_next) << "gap or overlap";
+        EXPECT_LT(c.cross_seg_begin[g], c.cross_seg_end[g]) << "empty run";
+        if (g > c.cross_seg_offsets[k]) {
+          const bool increasing =
+              c.cross_seg_shard[g - 1] < c.cross_seg_shard[g] ||
+              (c.cross_seg_shard[g - 1] == c.cross_seg_shard[g] &&
+               c.cross_seg_delay[g - 1] < c.cross_seg_delay[g]);
+          EXPECT_TRUE(increasing)
+              << "cross (shard, delay) keys not strictly increasing";
+        }
+        for (std::size_t j = c.cross_seg_begin[g]; j < c.cross_seg_end[g];
+             ++j) {
+          EXPECT_EQ(c.cross_shard[j], c.cross_seg_shard[g]);
+          EXPECT_EQ(c.cross_delay[j], c.cross_seg_delay[g]);
+        }
+        expect_next = c.cross_seg_end[g];
+      }
+      EXPECT_EQ(expect_next, c.cross_offsets[k + 1])
+          << "cross segments do not cover the row";
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, PartitionFuzz, ::testing::Range(0, 20));
 
 TEST(Partition, SingleShardIsTheIdentityLayout) {

@@ -6,8 +6,10 @@
 
 #include <algorithm>
 
+#include "core/error.h"
 #include "core/random.h"
 #include "snn/network.h"
+#include "snn/neuron.h"
 #include "snn/probe.h"
 #include "snn/simulator.h"
 
@@ -293,6 +295,97 @@ TEST(SimInvariants, WatchedNeuronsFilterTheLog) {
   ASSERT_EQ(sim.spike_log().size(), 1u);
   EXPECT_EQ(sim.spike_log()[0], (std::pair<Time, NeuronId>{2, c}));
   EXPECT_EQ(sim.spike_count(a), 1u);  // counters still track everything
+}
+
+TEST(SimInvariants, DecayFastPathsMatchGeneralFormula) {
+  // decay_potential short-circuits dt == 0, τ = 0, and τ = 1 before paying
+  // for std::pow; every fast path must be EXACTLY the general closed form
+  // (pow(1, dt) = 1 and pow(0, dt>0) = 0 are exact in IEEE double, so the
+  // equality is bitwise, not approximate).
+  Rng rng(0x0DECA1);
+  const double taus[] = {0.0, 1.0, 0.5, 0.25, 0.875};
+  for (int trial = 0; trial < 2000; ++trial) {
+    const double tau = taus[rng.uniform_int(0, 4)];
+    const auto v = static_cast<Voltage>(rng.uniform_int(-8, 8)) * 0.5;
+    const auto v_reset = static_cast<Voltage>(rng.uniform_int(-4, 4)) * 0.5;
+    const Time dt = rng.uniform_int(0, 64);
+    EXPECT_EQ(decay_potential(v, v_reset, tau, dt),
+              decay_potential_general(v, v_reset, tau, dt))
+        << "v " << v << " v_reset " << v_reset << " tau " << tau << " dt "
+        << dt;
+  }
+}
+
+TEST(SimInvariants, FiredInBinarySearchesLargeSpikeLogs) {
+  // Regression for the fired_in() log consult: two self-oscillating neurons
+  // interleave a multi-thousand-entry spike log (a fires at even times, b at
+  // odd times), and every mid-run query lands on the "fired both before t0
+  // and after t1" path that must binary-search the log instead of scanning
+  // it from the front.
+  Network net;
+  const NeuronId a = net.add_threshold_neuron(1);
+  const NeuronId b = net.add_threshold_neuron(1);
+  net.add_synapse(a, a, 1, 2);
+  net.add_synapse(b, b, 1, 2);
+  Simulator sim(net);
+  sim.inject_spike(a, 0);
+  sim.inject_spike(b, 1);
+  SimConfig cfg;
+  cfg.max_time = 6000;
+  cfg.record_spike_log = true;
+  const SimStats stats = sim.run(cfg);
+  ASSERT_GE(stats.spikes, 6000u);
+  ASSERT_GE(sim.spike_log().size(), 6000u);
+
+  for (Time t = 500; t < 5500; ++t) {
+    EXPECT_EQ(sim.fired_in(a, t, t), t % 2 == 0) << "t " << t;
+    EXPECT_EQ(sim.fired_in(b, t, t), t % 2 == 1) << "t " << t;
+  }
+  // Width-1 windows cover one even and one odd time, so both always fired;
+  // inverted windows are a precondition violation.
+  EXPECT_TRUE(sim.fired_in(a, 1001, 1002));
+  EXPECT_TRUE(sim.fired_in(b, 1001, 1002));
+  EXPECT_THROW(sim.fired_in(a, 1002, 1001), InvalidArgument);
+}
+
+TEST(SimInvariants, SteadyStateRunsAreAllocationFreeAfterReset) {
+  // The bucket-storage pool contract (ARCHITECTURE.md §1.6): every bucket
+  // drained or reset donates its SoA vectors back to the pool, so a second
+  // identical run never allocates bucket storage — pool_misses stays 0 and
+  // every activation is a pool hit. The far-future injection drives the
+  // spill map, whose nodes must participate in the same recycling.
+  const Network net = random_network(0x600D, 30, 150);
+  Simulator sim(net);
+  auto inject = [&](Simulator& s) {
+    Rng rng(0x600D ^ 0x5EED);
+    for (int i = 0; i < 5; ++i) {
+      s.inject_spike(
+          static_cast<NeuronId>(rng.uniform_int(
+              0, static_cast<std::int64_t>(net.num_neurons()) - 1)),
+          rng.uniform_int(0, 3));
+    }
+    s.inject_spike(0, 450);
+  };
+  SimConfig cfg;
+  cfg.max_time = 500;
+  cfg.record_spike_log = true;
+
+  inject(sim);
+  const SimStats first = sim.run(cfg);
+  ASSERT_GT(first.spikes, 0u);
+  EXPECT_GT(first.fanout_segments, 0u);
+  EXPECT_GT(first.bulk_appends, 0u);
+  EXPECT_GT(first.pool_misses, 0u);  // cold start: pool is empty
+
+  sim.reset();
+  inject(sim);
+  const SimStats second = sim.run(cfg);
+  EXPECT_EQ(second.spikes, first.spikes);
+  EXPECT_EQ(second.fanout_segments, first.fanout_segments);
+  EXPECT_EQ(second.bulk_appends, first.bulk_appends);
+  EXPECT_EQ(second.pool_misses, 0u) << "steady-state run allocated buckets";
+  EXPECT_GT(second.pool_hits, 0u);
+  EXPECT_EQ(second.pool_hits, first.pool_hits + first.pool_misses);
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <limits>
+#include <random>
+#include <vector>
 
 #include "snn/network.h"
 #include "snn/probe.h"
@@ -74,9 +76,9 @@ TEST(Network, Groups) {
   EXPECT_THROW(net.define_group("bad", {99}), InvalidArgument);
 }
 
-TEST(CompiledNetwork, PacksCsrInSourceOrder) {
-  // CSR packing groups each neuron's synapses contiguously, preserving the
-  // per-source insertion order even when sources were interleaved.
+TEST(CompiledNetwork, PacksCsrInSourceOrderSortedByDelay) {
+  // CSR packing groups each neuron's synapses contiguously and sorts each
+  // row by delay (stably), even when sources were interleaved at build time.
   Network net;
   const NeuronId a = net.add_threshold_neuron(1);
   const NeuronId b = net.add_threshold_neuron(2);
@@ -97,13 +99,15 @@ TEST(CompiledNetwork, PacksCsrInSourceOrder) {
   EXPECT_EQ(cn.out_degree(b), 2u);
   EXPECT_EQ(cn.out_degree(c), 0u);
 
-  // a's row in insertion order: a→b (w2 d3) then a→c (w4 d1).
-  EXPECT_EQ(cn.syn_target(cn.out_begin(a)), b);
-  EXPECT_EQ(cn.syn_delay(cn.out_begin(a)), 3);
-  EXPECT_EQ(cn.syn_target(cn.out_begin(a) + 1), c);
-  EXPECT_DOUBLE_EQ(cn.syn_weight(cn.out_begin(a) + 1), 4);
+  // a's row sorted by delay: a→c (w4 d1) before a→b (w2 d3), regardless of
+  // the insertion order above.
+  EXPECT_EQ(cn.syn_target(cn.out_begin(a)), c);
+  EXPECT_EQ(cn.syn_delay(cn.out_begin(a)), 1);
+  EXPECT_DOUBLE_EQ(cn.syn_weight(cn.out_begin(a)), 4);
+  EXPECT_EQ(cn.syn_target(cn.out_begin(a) + 1), b);
+  EXPECT_EQ(cn.syn_delay(cn.out_begin(a) + 1), 3);
 
-  // The range view yields the same synapses.
+  // The range view yields the same synapses (b's row was already sorted).
   const auto row = cn.out_synapses(b);
   ASSERT_EQ(row.size(), 2u);
   EXPECT_EQ(row[0].target, a);
@@ -115,6 +119,62 @@ TEST(CompiledNetwork, PacksCsrInSourceOrder) {
   EXPECT_DOUBLE_EQ(cn.v_threshold(c), 3);
   EXPECT_DOUBLE_EQ(cn.tau(c), 0.5);
   EXPECT_DOUBLE_EQ(cn.params(c).tau, net.params(c).tau);
+}
+
+TEST(CompiledNetwork, DelaySegmentsPartitionEachRow) {
+  // Freeze-time contract of the segment CSR: per row, segment synapse
+  // ranges exactly tile [out_begin, out_end), segment delays are strictly
+  // increasing, every synapse in a segment carries the segment's delay, and
+  // equal-delay synapses keep their builder insertion order (stable sort).
+  std::mt19937 rng(20260807);
+  Network net;
+  const std::size_t n = 37;
+  for (std::size_t i = 0; i < n; ++i) net.add_threshold_neuron(1);
+  // Interleaved insertion with heavy delay collisions to create real runs.
+  std::vector<std::vector<Synapse>> inserted(n);
+  for (int e = 0; e < 600; ++e) {
+    const auto src = static_cast<NeuronId>(rng() % n);
+    const auto dst = static_cast<NeuronId>(rng() % n);
+    const auto d = static_cast<Delay>(1 + rng() % 5);
+    const auto w = static_cast<SynWeight>(1 + e % 7);
+    net.add_synapse(src, dst, w, d);
+    inserted[src].push_back(Synapse{dst, w, d});
+  }
+
+  const CompiledNetwork cn = net.compile();
+  std::size_t total_segments = 0;
+  for (NeuronId i = 0; i < n; ++i) {
+    std::size_t expect_next = cn.out_begin(i);
+    Delay prev_delay = 0;
+    for (std::size_t s = cn.seg_begin(i); s < cn.seg_end(i); ++s) {
+      EXPECT_EQ(cn.seg_syn_begin(s), expect_next);
+      EXPECT_LT(cn.seg_syn_begin(s), cn.seg_syn_end(s));  // runs are non-empty
+      EXPECT_GT(cn.seg_delay(s), prev_delay);  // strictly increasing delays
+      prev_delay = cn.seg_delay(s);
+      for (std::size_t k = cn.seg_syn_begin(s); k < cn.seg_syn_end(s); ++k) {
+        EXPECT_EQ(cn.syn_delay(k), cn.seg_delay(s));
+      }
+      expect_next = cn.seg_syn_end(s);
+      ++total_segments;
+    }
+    EXPECT_EQ(expect_next, cn.out_end(i));  // segments tile the row exactly
+
+    // Stability: the row equals the insertion sequence stably sorted by
+    // delay — filtering the insertion sequence by one delay must reproduce
+    // the corresponding run element-for-element.
+    std::size_t k = cn.out_begin(i);
+    for (Delay d = 1; d <= 5; ++d) {
+      for (const Synapse& s : inserted[i]) {
+        if (s.delay != d) continue;
+        ASSERT_LT(k, cn.out_end(i));
+        EXPECT_EQ(cn.syn_target(k), s.target);
+        EXPECT_DOUBLE_EQ(cn.syn_weight(k), s.weight);
+        ++k;
+      }
+    }
+    EXPECT_EQ(k, cn.out_end(i));
+  }
+  EXPECT_EQ(total_segments, cn.num_delay_segments());
 }
 
 TEST(CompiledNetwork, PositiveInWeightIsMaintainedIncrementally) {
