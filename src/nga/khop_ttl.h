@@ -42,6 +42,44 @@ struct KHopTtlOptions {
   snn::QueueKind queue = snn::QueueKind::kCalendar;
 };
 
+/// Per-vertex wiring of a compiled k-hop fabric: the neuron ids a serve
+/// path needs to launch from (out_bits / out_valid at the source), stop at
+/// (enable is the arrival relay, Definition 3's terminal), and read out of
+/// (max_outputs carry the arrival TTL, max_depth steps after enable).
+struct KHopNodePorts {
+  NeuronId enable = kNoNeuron;
+  NeuronId out_valid = kNoNeuron;
+  std::vector<NeuronId> out_bits;
+  std::vector<NeuronId> max_outputs;
+  int max_depth = 0;
+};
+
+/// The compile-once artifact of the k-hop TTL pipeline: the frozen fabric
+/// plus everything run_khop_ttl needs to serve queries against it. The
+/// fabric depends on the graph, the TTL width λ = bits_for(k−1), and the
+/// max-circuit kind — NOT on the source or the exact k — so one artifact
+/// serves every source and every hop budget with the same λ (the
+/// compile-once, serve-many contract of docs/SERVICE.md).
+struct KHopTtlCompiled {
+  snn::CompiledNetwork network;
+  std::vector<KHopNodePorts> ports;  ///< one per input-graph vertex
+  int lambda = 0;                    ///< TTL message width ⌈log k⌉
+  Weight scale = 1;                  ///< edge-length scaling factor S
+  int node_depth = 0;                ///< D: node input → node output steps
+  Weight max_edge_length = 1;        ///< U of the source graph (horizon)
+
+  std::size_t num_vertices() const { return ports.size(); }
+  /// Whether this artifact can serve hop budget k (same TTL width).
+  bool serves(std::uint32_t k) const;
+};
+
+/// Per-query parameters of a serve-many run over a KHopTtlCompiled.
+struct KHopTtlRunOptions {
+  VertexId source = 0;
+  std::uint32_t k = 1;  ///< hop budget; must satisfy compiled.serves(k)
+  std::optional<VertexId> target;
+};
+
 struct KHopTtlResult {
   /// dist[v] = dist_k(v), in ORIGINAL (unscaled) edge lengths.
   std::vector<Weight> dist;
@@ -61,9 +99,23 @@ struct KHopTtlResult {
   bool reachable(VertexId v) const { return dist[v] < kInfiniteDistance; }
 };
 
+/// Compile the k-hop TTL fabric for `g` once (node circuits, graph wiring,
+/// freeze). Requires at least one edge and k ≥ 1. The artifact is immutable
+/// and can back any number of concurrent simulators.
+KHopTtlCompiled compile_khop_ttl(const Graph& g, std::uint32_t k,
+                                 circuits::MaxKind max_kind);
+
+/// Serve one query from a compiled fabric on a caller-provided simulator.
+/// `sim` must be constructed over `compiled.network` and be in its
+/// just-constructed (or freshly reset()) state — the service worker pool
+/// epoch-resets one simulator per artifact across requests.
+KHopTtlResult run_khop_ttl(const KHopTtlCompiled& compiled,
+                           snn::Simulator& sim, const KHopTtlRunOptions& opt);
+
 /// Run the gate-level k-hop TTL algorithm. Requires at least one edge and a
 /// valid source; self-loops are permitted (a TTL message over a self-loop
-/// just decrements and returns).
+/// just decrements and returns). One-shot convenience over
+/// compile_khop_ttl + run_khop_ttl.
 KHopTtlResult khop_sssp_ttl(const Graph& g, const KHopTtlOptions& opt);
 
 }  // namespace sga::nga

@@ -46,6 +46,10 @@ struct ProbeOptions {
   bool count_deliveries = false;
   /// Sample the membrane potential of these neurons at every update.
   std::vector<NeuronId> sample_potentials;
+
+  /// Memberwise equality — the service worker pool reuses a pooled Probe
+  /// only when the request asks for the exact same recording configuration.
+  bool operator==(const ProbeOptions&) const = default;
 };
 
 class Probe {

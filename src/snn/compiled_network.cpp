@@ -1,6 +1,7 @@
 #include "snn/compiled_network.h"
 
 #include <algorithm>
+#include <cmath>
 #include <span>
 
 #include "snn/network.h"
@@ -106,6 +107,104 @@ CompiledNetwork::CompiledNetwork(const Network& net) {
                                              << id);
     }
     groups_.emplace(name, ids);
+  }
+}
+
+void CompiledNetwork::verify_invariants() const {
+  const std::size_t n = num_neurons();
+  const std::size_t m = targets_.size();
+  SGA_REQUIRE(v_threshold_.size() == n && tau_.size() == n &&
+                  pos_in_weight_.size() == n,
+              "verify: neuron SoA arrays disagree on the neuron count");
+  for (NeuronId i = 0; i < n; ++i) {
+    SGA_REQUIRE(std::isfinite(v_reset_[i]) && std::isfinite(v_threshold_[i]),
+                "verify: neuron " << i << " has non-finite parameters");
+    SGA_REQUIRE(tau_[i] >= 0.0 && tau_[i] <= 1.0,
+                "verify: neuron " << i << " has decay τ = " << tau_[i]
+                                  << " outside [0, 1]");
+  }
+
+  SGA_REQUIRE(offsets_.size() == n + 1 && offsets_[0] == 0,
+              "verify: malformed CSR row pointers");
+  SGA_REQUIRE(weights_.size() == m && delays_.size() == m,
+              "verify: synapse SoA arrays disagree on the synapse count");
+  SGA_REQUIRE(offsets_[n] == m,
+              "verify: row pointers cover " << offsets_[n]
+                                            << " synapses, arrays hold " << m);
+  Delay max_delay = 0;
+  std::vector<SynWeight> pos_in(n, 0);
+  for (NeuronId i = 0; i < n; ++i) {
+    SGA_REQUIRE(offsets_[i] <= offsets_[i + 1],
+                "verify: CSR row pointers not monotone at neuron " << i);
+    for (std::size_t k = offsets_[i]; k < offsets_[i + 1]; ++k) {
+      SGA_REQUIRE(targets_[k] < n, "verify: synapse " << k
+                                                      << " targets out-of-"
+                                                         "range neuron "
+                                                      << targets_[k]);
+      SGA_REQUIRE(delays_[k] >= kMinDelay,
+                  "verify: synapse " << k << " has delay " << delays_[k]
+                                     << " below minimum δ = " << kMinDelay);
+      SGA_REQUIRE(std::isfinite(weights_[k]),
+                  "verify: synapse " << k << " has non-finite weight");
+      if (weights_[k] > 0) pos_in[targets_[k]] += weights_[k];
+      max_delay = std::max(max_delay, delays_[k]);
+    }
+  }
+  SGA_REQUIRE(max_delay_ == max_delay,
+              "verify: stored max delay " << max_delay_
+                                          << " != payload max delay "
+                                          << max_delay);
+  for (NeuronId i = 0; i < n; ++i) {
+    SGA_REQUIRE(pos_in_weight_[i] == pos_in[i],
+                "verify: positive in-weight table stale at neuron " << i);
+  }
+
+  // Segment CSR (ARCHITECTURE.md §1.6): the fan-out kernel indexes these
+  // arrays unchecked, so every bound and the delay-run monotonicity the
+  // horizon break relies on must hold.
+  const std::size_t s_total = seg_delays_.size();
+  SGA_REQUIRE(seg_offsets_.size() == n + 1 && seg_offsets_[0] == 0 &&
+                  seg_offsets_[n] == s_total &&
+                  seg_syn_begin_.size() == s_total &&
+                  seg_syn_end_.size() == s_total,
+              "verify: malformed segment CSR");
+  for (NeuronId i = 0; i < n; ++i) {
+    SGA_REQUIRE(seg_offsets_[i] <= seg_offsets_[i + 1],
+                "verify: segment row pointers not monotone at neuron " << i);
+    std::size_t expect = offsets_[i];
+    Delay prev = 0;  // below kMinDelay, so the strict check covers run 0
+    for (std::size_t s = seg_offsets_[i]; s < seg_offsets_[i + 1]; ++s) {
+      SGA_REQUIRE(seg_syn_begin_[s] == expect,
+                  "verify: segment " << s << " does not tile neuron " << i
+                                     << "'s row");
+      SGA_REQUIRE(seg_syn_end_[s] > seg_syn_begin_[s] &&
+                      seg_syn_end_[s] <= offsets_[i + 1],
+                  "verify: segment " << s << " has bad synapse range");
+      SGA_REQUIRE(seg_delays_[s] > prev,
+                  "verify: delay runs not strictly increasing at segment "
+                      << s << " of neuron " << i);
+      for (std::size_t k = seg_syn_begin_[s]; k < seg_syn_end_[s]; ++k) {
+        SGA_REQUIRE(delays_[k] == seg_delays_[s],
+                    "verify: synapse " << k << " disagrees with its segment "
+                                       << s << " on delay");
+      }
+      prev = seg_delays_[s];
+      expect = seg_syn_end_[s];
+    }
+    SGA_REQUIRE(expect == offsets_[i + 1],
+                "verify: segments leave a tail of neuron " << i
+                                                           << "'s row "
+                                                              "uncovered");
+  }
+
+  for (const auto& [name, ids] : groups_) {
+    SGA_REQUIRE(!name.empty(), "verify: empty group name");
+    for (const NeuronId id : ids) {
+      SGA_REQUIRE(id < n, "verify: group '" << name
+                                            << "' contains out-of-range "
+                                               "neuron id "
+                                            << id);
+    }
   }
 }
 

@@ -44,6 +44,11 @@ struct ShardSplit;
 
 class CompiledNetwork {
  public:
+  /// The empty network (0 neurons, 0 synapses) — a valid placeholder so
+  /// compile-once artifacts (nga::KHopTtlCompiled, the service cache) can
+  /// be built in stages before the real freeze is moved in.
+  CompiledNetwork() : offsets_(1, 0), seg_offsets_(1, 0) {}
+
   /// Freeze `net`. Equivalent to net.compile(); see that method for the
   /// validation contract.
   explicit CompiledNetwork(const Network& net);
@@ -145,6 +150,20 @@ class CompiledNetwork {
     SGA_REQUIRE(id < num_neurons(), "positive_in_weight: bad id " << id);
     return pos_in_weight_[id];
   }
+
+  // ---- Untrusted-input defense (snn/io.cpp; docs/SERVICE.md) -----------
+  /// Re-check every structural invariant of the compiled form: CSR row
+  /// pointers monotone and consistent with the flat arrays, delay segments
+  /// exactly partitioning each row with strictly increasing delays, every
+  /// delay ≥ δ and every target in range, τ ∈ [0, 1] and all neuron
+  /// parameters / weights finite, the positive-in-weight table and
+  /// max_delay consistent with the synapse payload, and group members in
+  /// range. compile() establishes all of this by construction; this method
+  /// exists for consumers that receive a CompiledNetwork from an untrusted
+  /// source (deserialized caches, future binary snapshot loaders) and must
+  /// not hand the simulator's unchecked hot-path accessors corrupt indices.
+  /// Throws InvalidArgument on the first violation.
+  void verify_invariants() const;
 
   // ---- Sharding (snn/partition.h; ARCHITECTURE.md §1.5) ----------------
   /// Re-pack the CSR under `partition` into per-shard intra/cross synapse

@@ -1,10 +1,12 @@
 #include "snn/io.h"
 
+#include <cmath>
 #include <iomanip>
 #include <istream>
 #include <limits>
 #include <ostream>
 #include <string>
+#include <unordered_set>
 
 #include "core/error.h"
 
@@ -49,6 +51,25 @@ void expect_token(std::istream& is, const char* want) {
               "read_network: expected '" << want << "', got '" << tok << "'");
 }
 
+/// Hard ceiling on any count field of an untrusted file. A hostile header
+/// like "neurons 9999999999999999999" (or "-1", which operator>> into an
+/// unsigned silently wraps to 2^64−1) must be rejected BEFORE the parse
+/// loop turns it into a multi-gigabyte allocation. 2^30 is far above any
+/// network this library builds while still bounding a single vector below
+/// the container limits.
+constexpr long long kMaxCount = 1LL << 30;
+
+/// Read a count field defensively: parse as SIGNED so "-1" fails the range
+/// check instead of wrapping, then bound it.
+std::size_t read_count(std::istream& is, const char* what) {
+  long long v = 0;
+  is >> v;
+  SGA_REQUIRE(static_cast<bool>(is), "read_network: missing " << what);
+  SGA_REQUIRE(v >= 0 && v <= kMaxCount,
+              "read_network: implausible " << what << " " << v);
+  return static_cast<std::size_t>(v);
+}
+
 }  // namespace
 
 Network read_network(std::istream& is) {
@@ -60,21 +81,23 @@ Network read_network(std::istream& is) {
 
   Network net;
   expect_token(is, "neurons");
-  std::size_t n = 0;
-  is >> n;
-  SGA_REQUIRE(static_cast<bool>(is), "read_network: missing neuron count");
+  const std::size_t n = read_count(is, "neuron count");
   for (std::size_t i = 0; i < n; ++i) {
     expect_token(is, "n");
     NeuronParams p;
     is >> p.v_reset >> p.v_threshold >> p.tau;
     SGA_REQUIRE(static_cast<bool>(is), "read_network: bad neuron " << i);
+    // operator>> accepts "nan" and "inf" since C++11; a NaN threshold would
+    // make every threshold comparison silently false, so reject them here
+    // (τ's domain is checked by add_neuron).
+    SGA_REQUIRE(std::isfinite(p.v_reset) && std::isfinite(p.v_threshold) &&
+                    std::isfinite(p.tau),
+                "read_network: neuron " << i << " has non-finite parameters");
     net.add_neuron(p);
   }
 
   expect_token(is, "synapses");
-  std::size_t m = 0;
-  is >> m;
-  SGA_REQUIRE(static_cast<bool>(is), "read_network: missing synapse count");
+  const std::size_t m = read_count(is, "synapse count");
   for (std::size_t i = 0; i < m; ++i) {
     expect_token(is, "s");
     NeuronId from = 0, to = 0;
@@ -84,23 +107,36 @@ Network read_network(std::istream& is) {
     SGA_REQUIRE(static_cast<bool>(is), "read_network: bad synapse " << i);
     SGA_REQUIRE(from < n && to < n,
                 "read_network: synapse " << i << " endpoint out of range");
+    SGA_REQUIRE(std::isfinite(w),
+                "read_network: synapse " << i << " has non-finite weight");
+    // add_synapse rejects delay < δ (which covers negative delays).
     net.add_synapse(from, to, w, d);
   }
 
   expect_token(is, "groups");
-  std::size_t g = 0;
-  is >> g;
-  SGA_REQUIRE(static_cast<bool>(is), "read_network: missing group count");
+  const std::size_t g = read_count(is, "group count");
+  std::unordered_set<std::string> seen_groups;
   for (std::size_t i = 0; i < g; ++i) {
     expect_token(is, "g");
     std::string name;
-    std::size_t k = 0;
-    is >> name >> k;
-    SGA_REQUIRE(static_cast<bool>(is), "read_network: bad group header " << i);
+    is >> name;
+    SGA_REQUIRE(static_cast<bool>(is) && !name.empty(),
+                "read_network: bad group header " << i);
+    // define_group would silently overwrite; in a file a repeated name is
+    // always corruption (or an attempt to smuggle a second definition past
+    // a reader that validated the first), so reject it.
+    SGA_REQUIRE(seen_groups.insert(name).second,
+                "read_network: duplicate group '" << name << "'");
+    const std::size_t k = read_count(is, "group member count");
+    SGA_REQUIRE(k <= n, "read_network: group '"
+                            << name << "' claims " << k << " members in a "
+                            << n << "-neuron network");
     std::vector<NeuronId> ids(k);
     for (auto& id : ids) {
       is >> id;
       SGA_REQUIRE(static_cast<bool>(is), "read_network: bad group member");
+      SGA_REQUIRE(id < n,
+                  "read_network: group '" << name << "' member out of range");
     }
     net.define_group(name, std::move(ids));
   }
@@ -108,7 +144,13 @@ Network read_network(std::istream& is) {
 }
 
 CompiledNetwork read_compiled_network(std::istream& is) {
-  return read_network(is).compile();
+  CompiledNetwork net = read_network(is).compile();
+  // Defense in depth for untrusted cache inputs (docs/SERVICE.md): compile()
+  // validates what it packs, but the simulator's hot path trusts every
+  // derived index (segment CSR bounds, delay-run monotonicity, aggregate
+  // tables) unchecked — re-verify the frozen form before handing it out.
+  net.verify_invariants();
+  return net;
 }
 
 }  // namespace sga::snn

@@ -445,6 +445,24 @@ void Simulator::reset() {
   spill_.clear();
   pending_events_ = 0;
   cursor_ = -1;
+  // Pool high-watermark trim (reuse-lifecycle fix; docs/SERVICE.md): with
+  // every bucket recycled, the pool holds the ALL-TIME peak concurrent
+  // bucket demand — a pooled worker that once served a large request would
+  // otherwise pin that footprint forever. Keep the larger of the last two
+  // runs' peaks: enough for a same-shaped rerun to stay allocation-free
+  // (pool_misses == 0) and for an alternating big/small workload not to
+  // thrash, while bounding resident storage by recent rather than all-time
+  // demand. Drop from the front — the LIFO back is the warmest storage.
+  SGA_CHECK(live_buckets_ == 0,
+            "reset: " << live_buckets_ << " buckets still hold storage");
+  const std::size_t keep = std::max(peak_live_buckets_, prev_peak_live_);
+  if (pool_.size() > keep) {
+    pool_.erase(pool_.begin(),
+                pool_.begin() +
+                    static_cast<std::ptrdiff_t>(pool_.size() - keep));
+  }
+  prev_peak_live_ = peak_live_buckets_;
+  peak_live_buckets_ = 0;
   spike_log_.clear();
   stats_ = SimStats{};
   stats_.ring_buckets = queue_kind_ == QueueKind::kCalendar

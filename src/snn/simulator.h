@@ -168,6 +168,14 @@ class Simulator {
   QueueKind queue_kind() const { return queue_kind_; }
   FanoutKind fanout_kind() const { return fanout_kind_; }
 
+  /// Buckets currently resident in the drained-storage pool. Bounded across
+  /// serve-many reuse: reset() trims the pool to the peak concurrent bucket
+  /// demand of the last two runs, so one oversized request does not pin its
+  /// peak footprint for the rest of a pooled worker's life (while the
+  /// steady-state pool_misses == 0 contract still holds for a same-shaped
+  /// rerun). Exposed for the reuse-lifecycle regression tests.
+  std::size_t pool_resident_buckets() const { return pool_.size(); }
+
   // ---- Instrumentation (src/obs; see docs/OBSERVABILITY.md) -----------
   /// Attach an observability probe (spike trace / fire + delivery counters
   /// / potential sampling). The simulator BORROWS the probe; it must
@@ -262,10 +270,14 @@ class Simulator {
     } else {
       ++stats_.pool_misses;
     }
+    if (++live_buckets_ > peak_live_buckets_) {
+      peak_live_buckets_ = live_buckets_;
+    }
   }
   void recycle(Bucket& b) {
     b.clear();
     pool_.push_back(std::move(b));
+    --live_buckets_;
   }
 
   void init_state();
@@ -290,6 +302,12 @@ class Simulator {
   std::map<Time, Bucket> spill_;      ///< overflow; the whole queue for kMap
   std::uint64_t pending_events_ = 0;  ///< ring + spill, for the peak stat
   std::vector<Bucket> pool_;          ///< drained bucket storage, LIFO
+  // Pool high-watermark trim support: buckets currently holding delivery
+  // storage (activated, not yet recycled) and the per-run peak; reset()
+  // keeps max(this run's peak, previous run's peak) pooled buckets.
+  std::size_t live_buckets_ = 0;
+  std::size_t peak_live_buckets_ = 0;
+  std::size_t prev_peak_live_ = 0;
 
   // Per-neuron state.
   std::vector<Voltage> v_;

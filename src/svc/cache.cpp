@@ -1,0 +1,110 @@
+#include "svc/cache.h"
+
+#include <chrono>
+
+#include "core/error.h"
+
+namespace sga::svc {
+
+NetworkCache::NetworkCache(std::size_t capacity) : capacity_(capacity) {
+  SGA_REQUIRE(capacity >= 1, "NetworkCache: capacity must be >= 1");
+}
+
+void NetworkCache::touch(Entry& e, const ArtifactKey& key) {
+  lru_.erase(e.lru);
+  e.lru = lru_.insert(lru_.end(), key);
+}
+
+void NetworkCache::evict_excess() {
+  while (map_.size() > capacity_ && !lru_.empty()) {
+    const ArtifactKey cold = lru_.front();
+    const auto it = map_.find(cold);
+    SGA_CHECK(it != map_.end(), "NetworkCache: LRU list out of sync");
+    // Never evict an in-flight build: its waiters hold the future, and the
+    // builder will complete it regardless. Rotate it to the hot end instead
+    // (it is about to be the most recent completion anyway).
+    if (it->second.future.wait_for(std::chrono::seconds(0)) !=
+        std::future_status::ready) {
+      touch(it->second, cold);
+      if (lru_.front() == cold) break;  // everything resident is in flight
+      continue;
+    }
+    lru_.pop_front();
+    map_.erase(it);
+    ++evictions_;
+  }
+}
+
+NetworkCache::ArtifactPtr NetworkCache::get_or_build(const ArtifactKey& key,
+                                                     const Builder& build) {
+  std::shared_future<ArtifactPtr> fut;
+  std::shared_ptr<std::promise<ArtifactPtr>> mine;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      ++hits_;
+      touch(it->second, key);
+      fut = it->second.future;
+    } else {
+      ++misses_;
+      mine = std::make_shared<std::promise<ArtifactPtr>>();
+      fut = mine->get_future().share();
+      Entry e;
+      e.future = fut;
+      e.lru = lru_.insert(lru_.end(), key);
+      map_.emplace(key, std::move(e));
+      evict_excess();
+    }
+  }
+  if (mine) {
+    // We own the build. Outside the lock: a slow freeze must not block
+    // lookups of other keys (or stats()).
+    try {
+      ArtifactPtr built = build();
+      SGA_CHECK(built != nullptr, "NetworkCache: builder returned null");
+      mine->set_value(std::move(built));
+    } catch (...) {
+      mine->set_exception(std::current_exception());
+      const std::lock_guard<std::mutex> lock(mu_);
+      const auto it = map_.find(key);
+      // Only erase OUR failed entry — a concurrent eviction + rebuild may
+      // have replaced it with a healthy one.
+      if (it != map_.end() && it->second.future.wait_for(
+                                  std::chrono::seconds(0)) ==
+                                  std::future_status::ready) {
+        bool failed = false;
+        try {
+          it->second.future.get();
+        } catch (...) {
+          failed = true;
+        }
+        if (failed) {
+          lru_.erase(it->second.lru);
+          map_.erase(it);
+        }
+      }
+    }
+  }
+  return fut.get();  // rethrows a failed build to every waiter
+}
+
+bool NetworkCache::contains(const ArtifactKey& key) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  return it != map_.end() &&
+         it->second.future.wait_for(std::chrono::seconds(0)) ==
+             std::future_status::ready;
+}
+
+CacheStats NetworkCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  CacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.resident = map_.size();
+  return s;
+}
+
+}  // namespace sga::svc

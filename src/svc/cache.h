@@ -1,0 +1,130 @@
+// NetworkCache: the compile-once half of the query service's compile-once,
+// serve-many contract (docs/SERVICE.md).
+//
+// Freezing a network (Network::compile()) is the expensive step of every
+// spiking graph query — O(n + m) circuit construction plus the CSR pack —
+// while serving one query against the frozen form costs only its own event
+// traffic. The cache keys each frozen artifact by WHAT it computes:
+// (graph content hash, query kind, structural parameter, circuit variant).
+// The k-hop TTL fabric, for example, depends on the graph, the TTL width
+// λ = ⌈log k⌉, and the max-circuit kind — not on the source or the exact
+// hop budget — so one cached artifact serves every (source, k) pair with
+// the same λ.
+//
+// Concurrency: lookups memoize a shared_future per key. The first requester
+// of a missing key builds OUTSIDE the cache lock (a multi-second compile
+// never blocks unrelated lookups); concurrent requesters of the same key
+// wait on the future instead of duplicating the freeze. A build that throws
+// is erased, not cached, so a later request can retry. Artifacts are handed
+// out as shared_ptr<const CompiledArtifact>: LRU eviction drops the cache's
+// reference, while workers still serving against the artifact keep it alive
+// (borrow-safety for the Simulator's non-owning constructor).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "graph/graph.h"
+#include "nga/khop_ttl.h"
+#include "snn/compiled_network.h"
+
+namespace sga::svc {
+
+/// The graph problems the service answers (src/nga algorithm families).
+enum class QueryKind : std::uint8_t {
+  kSssp,     ///< Section-3 spiking SSSP (delay = edge length)
+  kKHop,     ///< Section-4.1 k-hop TTL SSSP (gate-level max/decrement nodes)
+  kMaxFlow,  ///< Edmonds–Karp with spiking BFS searches (Section-8 hybrid)
+};
+
+/// What a compiled artifact computes. Two requests with equal keys are
+/// served by the same frozen network.
+struct ArtifactKey {
+  std::uint64_t graph_hash = 0;
+  QueryKind kind = QueryKind::kSssp;
+  std::uint32_t param = 0;    ///< structural parameter (λ for k-hop)
+  std::uint32_t variant = 0;  ///< circuit variant (MaxKind for k-hop)
+
+  bool operator==(const ArtifactKey&) const = default;
+};
+
+struct ArtifactKeyHash {
+  std::size_t operator()(const ArtifactKey& k) const {
+    std::uint64_t h = k.graph_hash;
+    h ^= (static_cast<std::uint64_t>(k.kind) << 48) ^
+         (static_cast<std::uint64_t>(k.param) << 16) ^ k.variant;
+    h *= 0x9e3779b97f4a7c15ULL;  // Fibonacci mix
+    return static_cast<std::size_t>(h ^ (h >> 32));
+  }
+};
+
+/// One frozen compile-once artifact. Immutable after construction; any
+/// number of simulators (across worker threads) borrow `net()` read-only.
+struct CompiledArtifact {
+  ArtifactKey key;
+  std::shared_ptr<const Graph> graph;  ///< source graph, kept alive with us
+
+  /// The frozen fabric for kind == kSssp (khop carries its own).
+  snn::CompiledNetwork network;
+  /// Set iff key.kind == kKHop: fabric plus per-vertex ports.
+  std::optional<nga::KHopTtlCompiled> khop;
+
+  const snn::CompiledNetwork& net() const {
+    return khop ? khop->network : network;
+  }
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;       ///< lookups answered by a resident artifact
+  std::uint64_t misses = 0;     ///< lookups that triggered a freeze
+  std::uint64_t evictions = 0;  ///< artifacts dropped by the LRU bound
+  std::size_t resident = 0;     ///< artifacts currently cached
+};
+
+class NetworkCache {
+ public:
+  using ArtifactPtr = std::shared_ptr<const CompiledArtifact>;
+  /// Produces the artifact for a missing key. Runs outside the cache lock,
+  /// at most once per key at a time; exceptions propagate to every waiter
+  /// and the key is forgotten (retryable).
+  using Builder = std::function<ArtifactPtr()>;
+
+  /// `capacity` ≥ 1 bounds the resident artifact count (LRU eviction).
+  explicit NetworkCache(std::size_t capacity = 8);
+
+  /// The serve path's single entry point: return the artifact for `key`,
+  /// building it with `build` on a miss. A lookup that finds an in-flight
+  /// build counts as a hit (the freeze is not duplicated) and waits.
+  ArtifactPtr get_or_build(const ArtifactKey& key, const Builder& build);
+
+  /// Whether `key` is resident (completed build), without touching LRU
+  /// order or counters. Test/introspection hook.
+  bool contains(const ArtifactKey& key) const;
+
+  CacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_future<ArtifactPtr> future;
+    std::list<ArtifactKey>::iterator lru;  ///< position in lru_ (back = hot)
+  };
+
+  void touch(Entry& e, const ArtifactKey& key);  // move to hot end; mu_ held
+  void evict_excess();                           // mu_ held
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::unordered_map<ArtifactKey, Entry, ArtifactKeyHash> map_;
+  std::list<ArtifactKey> lru_;  ///< front = coldest
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace sga::svc

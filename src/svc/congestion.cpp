@@ -1,0 +1,24 @@
+#include "svc/congestion.h"
+
+#include "core/error.h"
+
+namespace sga::svc {
+
+DutyCycleCongestor::DutyCycleCongestor(std::uint32_t admit_phase,
+                                       std::uint32_t shed_phase)
+    : admit_phase_(admit_phase), shed_phase_(shed_phase) {
+  SGA_REQUIRE(admit_phase >= 1, "DutyCycleCongestor: admit phase must be >= 1");
+}
+
+bool DutyCycleCongestor::shed(std::size_t /*queue_depth*/) {
+  const bool reject = pos_ >= admit_phase_;
+  pos_ = (pos_ + 1) % (admit_phase_ + shed_phase_);
+  if (reject) {
+    ++rejected_;
+  } else {
+    ++admitted_;
+  }
+  return reject;
+}
+
+}  // namespace sga::svc

@@ -1,0 +1,66 @@
+// Admission control for the query service (docs/SERVICE.md §admission).
+//
+// A long-lived service cannot let its request queue grow without bound: a
+// burst that outruns the workers would stretch every later request's
+// latency and pin delivery-buffer memory across the whole backlog. The
+// service therefore consults a LoadShedder at submit() time — BEFORE the
+// request is enqueued — and rejects (QueryStatus::kRejected) instead of
+// queueing when the shedder says so. Rejection is cheap and explicit; the
+// caller can retry, back off, or fail over.
+//
+// The policy is injectable so tests and benches can drive the admission
+// path deterministically (the duty-cycle congestor below), and so
+// deployments can plug in smarter policies without touching the service.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sga::svc {
+
+/// Admission policy. The service calls shed() once per submitted request,
+/// under its queue lock — implementations may keep unsynchronized state but
+/// must not block.
+class LoadShedder {
+ public:
+  virtual ~LoadShedder() = default;
+  /// `queue_depth` = requests already waiting (not counting this one).
+  /// Return true to REJECT the request, false to admit it.
+  virtual bool shed(std::size_t queue_depth) = 0;
+};
+
+/// Default policy: admit until the queue holds `max_depth` requests.
+class QueueDepthShedder final : public LoadShedder {
+ public:
+  explicit QueueDepthShedder(std::size_t max_depth) : max_depth_(max_depth) {}
+  bool shed(std::size_t queue_depth) override {
+    return queue_depth >= max_depth_;
+  }
+
+ private:
+  std::size_t max_depth_;
+};
+
+/// Deterministic duty-cycle congestor for tests and benches: admits
+/// `admit_phase` consecutive requests, sheds the next `shed_phase`, and
+/// repeats — ignoring queue depth entirely. The decision depends only on
+/// the submission SEQUENCE, so a bench that submits a fixed request list
+/// rejects the exact same requests on every run regardless of worker
+/// timing (the determinism contract of BENCH_service.json).
+class DutyCycleCongestor final : public LoadShedder {
+ public:
+  DutyCycleCongestor(std::uint32_t admit_phase, std::uint32_t shed_phase);
+  bool shed(std::size_t queue_depth) override;
+
+  std::uint64_t admitted() const { return admitted_; }
+  std::uint64_t rejected() const { return rejected_; }
+
+ private:
+  std::uint32_t admit_phase_;
+  std::uint32_t shed_phase_;
+  std::uint32_t pos_ = 0;  ///< position within the current cycle
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace sga::svc

@@ -1,0 +1,31 @@
+#include "svc/hash.h"
+
+namespace sga::svc {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+std::uint64_t graph_content_hash(const Graph& g) {
+  std::uint64_t h = kFnvOffset;
+  mix(h, g.num_vertices());
+  mix(h, g.num_edges());
+  for (const Edge& e : g.edges()) {
+    mix(h, e.from);
+    mix(h, e.to);
+    mix(h, static_cast<std::uint64_t>(e.length));
+  }
+  return h;
+}
+
+}  // namespace sga::svc

@@ -1,0 +1,20 @@
+// Content hashing for the query service's compile-once cache (docs/
+// SERVICE.md). A graph is identified by what it IS — vertex count plus the
+// exact edge list — not by where it lives, so two structurally identical
+// graphs registered separately share every compiled artifact.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace sga::svc {
+
+/// 64-bit FNV-1a over (num_vertices, num_edges, then each edge's
+/// from/to/length in id order). Edge ORDER is hashed deliberately: edge ids
+/// are part of the service's contract (max-flow reports per-edge flow by
+/// input index), so permuted edge lists are different graphs to the service
+/// even when they are isomorphic.
+std::uint64_t graph_content_hash(const Graph& g);
+
+}  // namespace sga::svc

@@ -1,0 +1,474 @@
+// Tests for the persistent query service (src/svc): the compile-once cache,
+// worker-pool serve path, admission control, and the reuse-lifecycle
+// contracts (per-request metrics scoping, per-request probe clearing,
+// borrow safety across cache eviction).
+//
+// The differential tests are the load-bearing ones: service-path answers
+// must be EVENT-FOR-EVENT identical to fresh one-shot/batch runs for all
+// three workloads — a pooled, epoch-reset simulator serving request N must
+// be indistinguishable from a freshly built one.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "core/error.h"
+#include "core/random.h"
+#include "graph/generators.h"
+#include "nga/khop_ttl.h"
+#include "nga/maxflow.h"
+#include "nga/sssp_batch.h"
+#include "nga/sssp_event.h"
+#include "obs/metrics.h"
+#include "svc/congestion.h"
+#include "svc/hash.h"
+#include "svc/service.h"
+#include "svc/worker_pool.h"
+
+namespace sga::svc {
+namespace {
+
+Graph test_graph(std::uint64_t seed, std::size_t n, std::size_t m,
+                 Weight max_len = 9) {
+  Rng rng(seed);
+  return make_random_graph(n, m, {1, max_len}, rng);
+}
+
+// ---- Differential: service == batch/one-shot, event for event ----------
+
+TEST(QueryService, SsspMatchesBatchEventForEvent) {
+  const Graph g = test_graph(0x51, 40, 160);
+  std::vector<VertexId> sources;
+  for (VertexId s = 0; s < 10; ++s) sources.push_back(s);
+
+  nga::SsspBatchOptions bopt;
+  bopt.record_parents = true;
+  bopt.num_threads = 2;
+  const nga::SsspBatchResult batch = nga::spiking_sssp_batch(g, sources, bopt);
+
+  QueryService service;
+  const std::uint64_t handle = service.add_graph(g);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    QueryRequest req;
+    req.kind = QueryKind::kSssp;
+    req.graph = handle;
+    req.source = sources[i];
+    req.record_parents = true;
+    const QueryResult res = service.query(std::move(req));
+    ASSERT_TRUE(res.ok()) << res.error;
+    const nga::SsspSourceRun& ref = batch.runs[i];
+    EXPECT_EQ(res.dist, ref.dist) << "source " << sources[i];
+    EXPECT_EQ(res.parent, ref.parent) << "source " << sources[i];
+    EXPECT_EQ(res.execution_time, ref.execution_time);
+    // Event-for-event: same spikes, same deliveries, same touched steps.
+    EXPECT_EQ(res.sim.spikes, ref.sim.spikes) << "source " << sources[i];
+    EXPECT_EQ(res.sim.deliveries, ref.sim.deliveries);
+    EXPECT_EQ(res.sim.event_times, ref.sim.event_times);
+  }
+
+  // Compile-once: ten requests against one graph froze exactly one fabric.
+  const QueryService::Stats s = service.stats();
+  EXPECT_EQ(s.cache.misses, 1u);
+  EXPECT_EQ(s.cache.hits, sources.size() - 1);
+  EXPECT_EQ(s.served, sources.size());
+  EXPECT_EQ(s.rejected, 0u);
+  EXPECT_EQ(s.failed, 0u);
+}
+
+TEST(QueryService, KHopMatchesOneShotAndSharesFabricAcrossK) {
+  const Graph g = test_graph(0x52, 16, 48, 4);
+  QueryService service;
+  const std::uint64_t handle = service.add_graph(g);
+
+  // k = 5 and k = 8 share λ = bits_for(k-1) = 3, so they must share one
+  // compiled fabric — the second k is a cache hit, not a re-freeze.
+  for (const std::uint32_t k : {5u, 8u, 5u}) {
+    for (const VertexId source : {VertexId{0}, VertexId{3}}) {
+      nga::KHopTtlOptions ref_opt;
+      ref_opt.source = source;
+      ref_opt.k = k;
+      const nga::KHopTtlResult ref = nga::khop_sssp_ttl(g, ref_opt);
+
+      QueryRequest req;
+      req.kind = QueryKind::kKHop;
+      req.graph = handle;
+      req.source = source;
+      req.k = k;
+      const QueryResult res = service.query(std::move(req));
+      ASSERT_TRUE(res.ok()) << res.error;
+      EXPECT_EQ(res.dist, ref.dist) << "k=" << k << " source=" << source;
+      EXPECT_EQ(res.hops, ref.hops) << "k=" << k << " source=" << source;
+      EXPECT_EQ(res.execution_time, ref.execution_time);
+      EXPECT_EQ(res.sim.spikes, ref.sim.spikes);
+      EXPECT_EQ(res.sim.deliveries, ref.sim.deliveries);
+    }
+  }
+  EXPECT_EQ(service.stats().cache.misses, 1u);
+  EXPECT_EQ(service.stats().cache.hits, 5u);
+}
+
+TEST(QueryService, MaxFlowMatchesDirectAndReference) {
+  const Graph g = test_graph(0x53, 12, 40, 6);
+  const VertexId source = 0, sink = 11;
+  nga::MaxFlowOptions mopt;
+  mopt.source = source;
+  mopt.sink = sink;
+  const nga::MaxFlowResult direct = nga::spiking_max_flow(g, mopt);
+
+  QueryService service;
+  const std::uint64_t handle = service.add_graph(g);
+  QueryRequest req;
+  req.kind = QueryKind::kMaxFlow;
+  req.graph = handle;
+  req.source = source;
+  req.target = sink;
+  const QueryResult res = service.query(std::move(req));
+  ASSERT_TRUE(res.ok()) << res.error;
+  EXPECT_EQ(res.flow_value, direct.value);
+  EXPECT_EQ(res.flow_value, nga::reference_max_flow(g, source, sink));
+  EXPECT_EQ(res.phases, direct.phases);
+  EXPECT_EQ(res.total_spikes, direct.total_spikes);
+  EXPECT_EQ(res.execution_time, direct.total_snn_steps);
+  EXPECT_EQ(res.flow, direct.flow);
+}
+
+TEST(QueryService, ServeManyOnOneWorkerStaysIdenticalToFresh) {
+  // The pooled-worker core claim: request N on a reused, epoch-reset
+  // simulator equals a fresh one-shot run — repeated for a serve-many
+  // stream against a single worker so every request after the first rides
+  // the reset() path.
+  const Graph g = test_graph(0x54, 30, 120);
+  ServiceOptions opt;
+  opt.num_workers = 1;
+  QueryService service(opt);
+  const std::uint64_t handle = service.add_graph(g);
+  for (int round = 0; round < 3; ++round) {
+    for (VertexId s = 0; s < 6; ++s) {
+      nga::SpikingSsspOptions ref_opt;
+      ref_opt.source = s;
+      const nga::SpikingSsspResult ref = nga::spiking_sssp(g, ref_opt);
+      QueryRequest req;
+      req.kind = QueryKind::kSssp;
+      req.graph = handle;
+      req.source = s;
+      const QueryResult res = service.query(std::move(req));
+      ASSERT_TRUE(res.ok()) << res.error;
+      EXPECT_EQ(res.dist, ref.dist) << "round " << round << " source " << s;
+      EXPECT_EQ(res.parent, ref.parent);
+      EXPECT_EQ(res.sim.spikes, ref.sim.spikes);
+      EXPECT_EQ(res.sim.deliveries, ref.sim.deliveries);
+    }
+  }
+  EXPECT_EQ(service.stats().cache.misses, 1u);
+}
+
+// ---- Reuse-lifecycle regressions ---------------------------------------
+
+TEST(QueryService, PerRequestMetricsAreStrictlyScoped) {
+  // Two back-to-back requests on ONE worker: each result's registry must
+  // hold exactly its own request's counters (the RAII install/restore
+  // regression — before the fix, a leaked thread registry let request B's
+  // sim.* counters accumulate into request A's sink).
+  const Graph g = test_graph(0x55, 30, 120);
+  ServiceOptions opt;
+  opt.num_workers = 1;
+  QueryService service(opt);
+  const std::uint64_t handle = service.add_graph(g);
+
+  QueryRequest a;
+  a.kind = QueryKind::kSssp;
+  a.graph = handle;
+  a.source = 0;
+  QueryRequest b = a;
+  b.source = 7;
+  // Submit both BEFORE either completes: they interleave on the worker as
+  // consecutive serves with no idle gap.
+  std::future<QueryResult> fa = service.submit(std::move(a));
+  std::future<QueryResult> fb = service.submit(std::move(b));
+  const QueryResult ra = fa.get();
+  const QueryResult rb = fb.get();
+  ASSERT_TRUE(ra.ok() && rb.ok());
+
+  EXPECT_EQ(ra.metrics.counter("sim.runs"), 1u);
+  EXPECT_EQ(rb.metrics.counter("sim.runs"), 1u);
+  EXPECT_EQ(ra.metrics.counter("sim.spikes"), ra.sim.spikes);
+  EXPECT_EQ(rb.metrics.counter("sim.spikes"), rb.sim.spikes);
+  EXPECT_EQ(ra.metrics.counter("svc.requests"), 1u);
+  // The worker thread's registry install is scoped to the serve: nothing
+  // leaks into this (the caller's) thread either.
+  EXPECT_EQ(obs::thread_metrics(), nullptr);
+
+  // Service-level registry holds the merged totals of both requests.
+  const obs::MetricsRegistry total = service.metrics();
+  EXPECT_EQ(total.counter("svc.requests"), 2u);
+  EXPECT_EQ(total.counter("sim.spikes"), ra.sim.spikes + rb.sim.spikes);
+}
+
+TEST(QueryService, PooledProbeIsClearedBetweenRequests) {
+  // obs::Probe accumulates across Simulator::reset() BY DESIGN; the service
+  // must clear the pooled probe per request. Before the fix, back-to-back
+  // probed requests on one worker returned doubled fire counts and a
+  // concatenated two-request spike trace.
+  const Graph g = test_graph(0x56, 30, 120);
+  ServiceOptions opt;
+  opt.num_workers = 1;
+  QueryService service(opt);
+  const std::uint64_t handle = service.add_graph(g);
+
+  QueryRequest req;
+  req.kind = QueryKind::kSssp;
+  req.graph = handle;
+  req.source = 2;
+  req.want_probe = true;
+  req.probe.count_fires = true;
+  req.probe.count_deliveries = true;
+  req.probe.trace_spikes = true;
+
+  const QueryResult first = service.query(QueryRequest{req});
+  const QueryResult second = service.query(QueryRequest{req});
+  ASSERT_TRUE(first.ok() && second.ok());
+  ASSERT_TRUE(first.probe_data.has_value());
+  ASSERT_TRUE(second.probe_data.has_value());
+
+  // Identical request ⇒ identical recordings — NOT accumulated ones.
+  EXPECT_EQ(first.probe_data->total_fires(), first.sim.spikes);
+  EXPECT_EQ(second.probe_data->total_fires(), second.sim.spikes);
+  EXPECT_EQ(second.probe_data->total_fires(), first.probe_data->total_fires());
+  EXPECT_EQ(second.probe_data->total_deliveries(),
+            first.probe_data->total_deliveries());
+  EXPECT_EQ(second.probe_data->spike_trace(), first.probe_data->spike_trace());
+
+  // An UNprobed request in between must not be recorded by the pooled
+  // probe either (the slot detaches it on acquire).
+  QueryRequest plain;
+  plain.kind = QueryKind::kSssp;
+  plain.graph = handle;
+  plain.source = 2;
+  ASSERT_TRUE(service.query(std::move(plain)).ok());
+  const QueryResult third = service.query(QueryRequest{req});
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third.probe_data->total_fires(), first.probe_data->total_fires());
+}
+
+TEST(QueryService, ArtifactSurvivesCacheEvictionWhileWorkerHoldsIt) {
+  // Borrow safety: with a capacity-1 cache, alternating workloads evict
+  // each other's artifacts while worker slots still hold them. Every
+  // request must keep answering correctly (shared_ptr keeps the frozen
+  // network alive past eviction).
+  const Graph g = test_graph(0x57, 20, 80, 4);
+  ServiceOptions opt;
+  opt.num_workers = 1;
+  opt.cache_capacity = 1;
+  QueryService service(opt);
+  const std::uint64_t handle = service.add_graph(g);
+
+  nga::SpikingSsspOptions ref_opt;
+  ref_opt.source = 1;
+  const nga::SpikingSsspResult sssp_ref = nga::spiking_sssp(g, ref_opt);
+  nga::KHopTtlOptions kref_opt;
+  kref_opt.source = 1;
+  kref_opt.k = 4;
+  const nga::KHopTtlResult khop_ref = nga::khop_sssp_ttl(g, kref_opt);
+
+  for (int round = 0; round < 3; ++round) {
+    QueryRequest sreq;
+    sreq.kind = QueryKind::kSssp;
+    sreq.graph = handle;
+    sreq.source = 1;
+    const QueryResult sres = service.query(std::move(sreq));
+    ASSERT_TRUE(sres.ok()) << sres.error;
+    EXPECT_EQ(sres.dist, sssp_ref.dist) << "round " << round;
+
+    QueryRequest kreq;
+    kreq.kind = QueryKind::kKHop;
+    kreq.graph = handle;
+    kreq.source = 1;
+    kreq.k = 4;
+    const QueryResult kres = service.query(std::move(kreq));
+    ASSERT_TRUE(kres.ok()) << kres.error;
+    EXPECT_EQ(kres.dist, khop_ref.dist) << "round " << round;
+  }
+  // The capacity-1 cache really did thrash...
+  EXPECT_GE(service.stats().cache.evictions, 4u);
+  // ...but the worker's slots kept both artifacts alive and reused their
+  // simulators: freezes happened only on (re-)misses, never mid-serve.
+  EXPECT_EQ(service.stats().failed, 0u);
+}
+
+// ---- Admission control --------------------------------------------------
+
+TEST(QueryService, DutyCycleShedderRejectsDeterministically) {
+  const Graph g = test_graph(0x58, 20, 80);
+  DutyCycleCongestor congestor(2, 1);  // admit 2, shed 1, repeat
+  ServiceOptions opt;
+  opt.num_workers = 1;
+  opt.shedder = &congestor;
+  QueryService service(opt);
+  const std::uint64_t handle = service.add_graph(g);
+
+  std::vector<std::future<QueryResult>> futs;
+  for (int i = 0; i < 9; ++i) {
+    QueryRequest req;
+    req.kind = QueryKind::kSssp;
+    req.graph = handle;
+    req.source = static_cast<VertexId>(i % 5);
+    futs.push_back(service.submit(std::move(req)));
+  }
+  int rejected = 0;
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    const QueryResult res = futs[i].get();
+    const bool should_shed = (i % 3) == 2;  // every third submission
+    EXPECT_EQ(res.status == QueryStatus::kRejected, should_shed)
+        << "submission " << i;
+    if (res.status == QueryStatus::kRejected) {
+      ++rejected;
+      EXPECT_FALSE(res.error.empty());
+    }
+  }
+  EXPECT_EQ(rejected, 3);
+  const QueryService::Stats s = service.stats();
+  EXPECT_EQ(s.submitted, 9u);
+  EXPECT_EQ(s.rejected, 3u);
+  EXPECT_EQ(s.served, 6u);
+  EXPECT_EQ(congestor.admitted(), 6u);
+  EXPECT_EQ(congestor.rejected(), 3u);
+}
+
+TEST(QueueDepthShedder, RejectsAtThreshold) {
+  QueueDepthShedder shedder(2);
+  EXPECT_FALSE(shedder.shed(0));
+  EXPECT_FALSE(shedder.shed(1));
+  EXPECT_TRUE(shedder.shed(2));
+  EXPECT_TRUE(shedder.shed(100));
+}
+
+// ---- Worker slots -------------------------------------------------------
+
+TEST(WorkerSlots, ReusesSimulatorsAndBoundsResidency) {
+  const Graph g = test_graph(0x59, 10, 30);
+  NetworkCache cache(4);
+  auto artifact_for = [&](std::uint64_t fake_hash) {
+    const ArtifactKey key{fake_hash, QueryKind::kSssp, 0, 0};
+    return cache.get_or_build(key, [&] {
+      auto a = std::make_shared<CompiledArtifact>();
+      a->key = key;
+      a->network = nga::build_sssp_network(g).compile();
+      return a;
+    });
+  };
+
+  WorkerSlots slots(2);
+  const auto a1 = artifact_for(1);
+  slots.acquire(a1);
+  EXPECT_FALSE(slots.last_acquire_reused());
+  slots.acquire(a1);
+  EXPECT_TRUE(slots.last_acquire_reused());
+  EXPECT_EQ(slots.resident(), 1u);
+
+  const auto a2 = artifact_for(2);
+  const auto a3 = artifact_for(3);
+  slots.acquire(a2);
+  slots.acquire(a3);  // evicts a1 (LRU)
+  EXPECT_EQ(slots.resident(), 2u);
+  slots.acquire(a2);
+  EXPECT_TRUE(slots.last_acquire_reused());
+  slots.acquire(a1);  // back: must rebuild, not reuse
+  EXPECT_FALSE(slots.last_acquire_reused());
+}
+
+// ---- Cache + service plumbing ------------------------------------------
+
+TEST(QueryService, GraphRegistrationIsContentAddressed) {
+  const Graph g = test_graph(0x5A, 15, 40);
+  QueryService service;
+  const std::uint64_t h1 = service.add_graph(g);
+  const std::uint64_t h2 = service.add_graph(g);  // identical content
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h1, graph_content_hash(g));
+  ASSERT_NE(service.graph(h1), nullptr);
+
+  Graph g2 = g;
+  g2.add_edge(0, 1, 3);
+  EXPECT_NE(service.add_graph(g2), h1);
+}
+
+TEST(QueryService, UnknownGraphAndBadRequestsFailCleanly) {
+  const Graph g = test_graph(0x5B, 10, 30);
+  QueryService service;
+  const std::uint64_t handle = service.add_graph(g);
+
+  QueryRequest req;
+  req.kind = QueryKind::kSssp;
+  req.graph = 0xDEAD;  // never registered
+  QueryResult res = service.query(std::move(req));
+  EXPECT_EQ(res.status, QueryStatus::kFailed);
+  EXPECT_FALSE(res.error.empty());
+
+  QueryRequest bad_source;
+  bad_source.kind = QueryKind::kSssp;
+  bad_source.graph = handle;
+  bad_source.source = 999;
+  res = service.query(std::move(bad_source));
+  EXPECT_EQ(res.status, QueryStatus::kFailed);
+
+  QueryRequest no_sink;
+  no_sink.kind = QueryKind::kMaxFlow;
+  no_sink.graph = handle;
+  no_sink.source = 0;  // target (sink) missing
+  res = service.query(std::move(no_sink));
+  EXPECT_EQ(res.status, QueryStatus::kFailed);
+
+  // Failures are contained: the service keeps serving afterwards.
+  QueryRequest ok;
+  ok.kind = QueryKind::kSssp;
+  ok.graph = handle;
+  ok.source = 0;
+  EXPECT_TRUE(service.query(std::move(ok)).ok());
+  const QueryService::Stats s = service.stats();
+  EXPECT_EQ(s.failed, 3u);
+  EXPECT_EQ(s.served, 1u);
+}
+
+TEST(QueryService, ConcurrentMixedWorkloadDrainsClean) {
+  const Graph g = test_graph(0x5C, 25, 100, 4);
+  ServiceOptions opt;
+  opt.num_workers = 3;
+  QueryService service(opt);
+  const std::uint64_t handle = service.add_graph(g);
+
+  std::vector<std::future<QueryResult>> futs;
+  for (int i = 0; i < 30; ++i) {
+    QueryRequest req;
+    req.graph = handle;
+    req.source = static_cast<VertexId>(i % 10);
+    switch (i % 3) {
+      case 0:
+        req.kind = QueryKind::kSssp;
+        break;
+      case 1:
+        req.kind = QueryKind::kKHop;
+        req.k = 4;
+        break;
+      default:
+        req.kind = QueryKind::kMaxFlow;
+        req.target = static_cast<VertexId>((i % 10 + 12) % 25);
+        break;
+    }
+    futs.push_back(service.submit(std::move(req)));
+  }
+  service.drain();
+  for (auto& f : futs) {
+    const QueryResult res = f.get();
+    EXPECT_TRUE(res.ok()) << res.error;
+  }
+  const QueryService::Stats s = service.stats();
+  EXPECT_EQ(s.submitted, 30u);
+  EXPECT_EQ(s.served, 30u);
+  EXPECT_EQ(s.failed, 0u);
+  // Two fabrics total (SSSP + one shared k-hop λ); max-flow compiles
+  // internally and never touches the cache.
+  EXPECT_EQ(s.cache.misses, 2u);
+}
+
+}  // namespace
+}  // namespace sga::svc

@@ -388,5 +388,82 @@ TEST(SimInvariants, SteadyStateRunsAreAllocationFreeAfterReset) {
   EXPECT_EQ(second.pool_hits, first.pool_hits + first.pool_misses);
 }
 
+TEST(SimInvariants, MixedSizeReuseBoundsPoolStorage) {
+  // Reuse-lifecycle regression (docs/SERVICE.md): before the high-watermark
+  // trim, the bucket pool grew to the ALL-TIME peak concurrent bucket
+  // demand and never shrank — one oversized request pinned its footprint
+  // for the rest of a pooled worker's life. reset() now keeps only the
+  // larger of the last two runs' peaks, so (a) a same-shaped rerun stays
+  // allocation-free, (b) alternating big/small serve-many cycles stay
+  // allocation-free too, and (c) once the big workload stops arriving the
+  // pool shrinks to the small workload's demand within two resets.
+  const Network net = random_network(0xB16, 40, 200);
+  Simulator sim(net);
+
+  // "Big" request: many injections spread over time -> many live buckets.
+  auto inject_big = [&] {
+    Rng rng(0xB16 ^ 0x5EED);
+    for (int i = 0; i < 40; ++i) {
+      sim.inject_spike(
+          static_cast<NeuronId>(rng.uniform_int(
+              0, static_cast<std::int64_t>(net.num_neurons()) - 1)),
+          rng.uniform_int(0, 60));
+    }
+  };
+  // "Small" request: one source, short horizon -> few live buckets.
+  SimConfig small_cfg;
+  small_cfg.max_time = 8;
+  // Recurrent random networks need a horizon; the big one still drives far
+  // more concurrent buckets than the small one.
+  SimConfig big_cfg;
+  big_cfg.max_time = 150;
+
+  inject_big();
+  sim.run(big_cfg);
+  sim.reset();
+  const std::size_t big_resident = sim.pool_resident_buckets();
+  ASSERT_GT(big_resident, 0u);
+
+  // Mixed steady state: alternating big/small requests never allocate
+  // after their own first occurrence (the pool keeps the bigger of the
+  // last two peaks, which covers both shapes).
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    sim.inject_spike(0, 0);
+    const SimStats small = sim.run(small_cfg);
+    sim.reset();
+    EXPECT_EQ(small.pool_misses, 0u) << "cycle " << cycle;
+    inject_big();
+    const SimStats big = sim.run(big_cfg);
+    sim.reset();
+    EXPECT_EQ(big.pool_misses, 0u) << "cycle " << cycle;
+    EXPECT_LE(sim.pool_resident_buckets(), big_resident) << "cycle " << cycle;
+  }
+
+  // What the small workload needs on its own: run it on a fresh simulator
+  // (same network, same deterministic event stream).
+  Simulator fresh(net);
+  fresh.inject_spike(0, 0);
+  fresh.run(small_cfg);
+  fresh.reset();
+  const std::size_t small_resident = fresh.pool_resident_buckets();
+  ASSERT_LT(small_resident, big_resident);
+
+  // Big workload stops: two small-only cycles later the resident storage
+  // has dropped to the small workload's own demand (the big peak has aged
+  // out of the two-run window).
+  for (int i = 0; i < 2; ++i) {
+    sim.inject_spike(0, 0);
+    sim.run(small_cfg);
+    sim.reset();
+  }
+  EXPECT_EQ(sim.pool_resident_buckets(), small_resident)
+      << "pool retained the big workload's footprint after it stopped";
+
+  // And the small steady state is still allocation-free after the shrink.
+  sim.inject_spike(0, 0);
+  const SimStats after = sim.run(small_cfg);
+  EXPECT_EQ(after.pool_misses, 0u);
+}
+
 }  // namespace
 }  // namespace sga::snn

@@ -138,6 +138,76 @@ TEST(SnnIo, RejectsMalformedInput) {
   }
 }
 
+TEST(SnnIo, RejectsHostileCacheInput) {
+  // Untrusted-cache hardening (docs/SERVICE.md): a hostile or corrupt file
+  // must be rejected at parse time, BEFORE any implausible allocation and
+  // before the simulator's unchecked hot-path accessors can see it.
+  {
+    // Negative count: parsing into an unsigned would wrap to 2^64 - 1 and
+    // attempt a galactic vector resize.
+    std::stringstream ss("snn 1\nneurons -1\n");
+    EXPECT_THROW(read_network(ss), InvalidArgument);
+  }
+  {
+    // Implausibly huge count (beyond the 2^30 ceiling).
+    std::stringstream ss("snn 1\nneurons 999999999999999999\n");
+    EXPECT_THROW(read_network(ss), InvalidArgument);
+  }
+  {
+    std::stringstream ss("snn 1\nneurons 0\nsynapses 99999999999\n");
+    EXPECT_THROW(read_network(ss), InvalidArgument);
+  }
+  {
+    // NaN decay: operator>> accepts "nan" since C++11, and a NaN τ would
+    // make every threshold comparison silently false.
+    std::stringstream ss("snn 1\nneurons 1\nn 0 1 nan\nsynapses 0\n");
+    EXPECT_THROW(read_network(ss), InvalidArgument);
+  }
+  {
+    // Infinite threshold.
+    std::stringstream ss("snn 1\nneurons 1\nn 0 inf 0\nsynapses 0\n");
+    EXPECT_THROW(read_network(ss), InvalidArgument);
+  }
+  {
+    // Non-finite synapse weight.
+    std::stringstream ss(
+        "snn 1\nneurons 2\nn 0 1 0\nn 0 1 0\nsynapses 1\ns 0 1 inf 1\n");
+    EXPECT_THROW(read_compiled_network(ss), InvalidArgument);
+  }
+  {
+    // Duplicate group name: define_group would silently overwrite the
+    // first (validated) definition with the second.
+    std::stringstream ss(
+        "snn 1\nneurons 2\nn 0 1 0\nn 0 1 0\nsynapses 0\n"
+        "groups 2\ng out 1 0\ng out 1 1\n");
+    EXPECT_THROW(read_network(ss), InvalidArgument);
+  }
+  {
+    // Group claiming more members than the network has neurons.
+    std::stringstream ss(
+        "snn 1\nneurons 1\nn 0 1 0\nsynapses 0\ngroups 1\ng out 7 0\n");
+    EXPECT_THROW(read_network(ss), InvalidArgument);
+  }
+}
+
+TEST(SnnIo, VerifyInvariantsAcceptsHealthyNetworks) {
+  // verify_invariants() is the read_compiled_network defense-in-depth pass;
+  // it must accept everything compile() produces — including the empty
+  // placeholder network — or the service cache could never load a valid
+  // artifact.
+  CompiledNetwork{}.verify_invariants();
+
+  Rng rng(0x10C);
+  const Graph g = make_random_graph(20, 80, {1, 9}, rng);
+  const CompiledNetwork net = nga::build_sssp_network(g).compile();
+  net.verify_invariants();
+
+  std::stringstream ss;
+  write_network(ss, net);
+  const CompiledNetwork reloaded = read_compiled_network(ss);  // verifies too
+  EXPECT_EQ(reloaded.num_synapses(), net.num_synapses());
+}
+
 TEST(Encoder, EncodesSingleHotLines) {
   for (int d : {1, 2, 5, 8, 11}) {
     for (int hot = 0; hot < d; ++hot) {
