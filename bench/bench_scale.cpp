@@ -1,0 +1,163 @@
+// Million-neuron streamed-build scale lane (ARCHITECTURE.md §1.8; ISSUE 7
+// acceptance workload): a relay chain with n = 10^6 vertices and m ≥ 8·10^6
+// edges is frozen straight from its generator — no Graph, no nested-vector
+// Network — into both the narrow (kAuto) and wide (kWide) CSR layouts, then
+// SSSP runs to completion on each.
+//
+// Emitted to BENCH_scale.json for the bench_compare trajectory. Semantic
+// keys — n, m, csr_bytes, bytes_per_synapse, peak_resident_bytes, T,
+// spikes, events — are machine-independent (the stream replays from a fixed
+// seed and narrowing is value-preserving), so any change is DRIFT and
+// blocks. Freeze/run wall time and the derived deliveries_per_sec use the
+// *_ns / *_per_sec suffixes bench_compare treats as noise-tolerant.
+//
+// Hard gates (exit 1): the narrow freeze must be ≥ 30% smaller than the
+// wide one, every relay must fire exactly once (SSSP completed), and the
+// narrow and wide runs must agree event-for-event.
+#include <cstdint>
+#include <iostream>
+
+#include "core/timer.h"
+#include "graph/generators.h"
+#include "nga/sssp_event.h"
+#include "obs/report.h"
+#include "snn/simulator.h"
+
+using namespace sga;
+
+namespace {
+
+constexpr std::size_t kN = 1000000;
+constexpr std::size_t kExtraPerVertex = 8;
+constexpr std::size_t kMaxSkip = 1000;
+constexpr std::uint64_t kSeed = 0x5CA1E;
+constexpr WeightRange kWeights{1, 16};
+
+void relay_edges(const EdgeStream& emit) {
+  stream_relay_chain(kN, kExtraPerVertex, kMaxSkip, kWeights, kSeed, emit);
+}
+
+struct Frozen {
+  snn::CompiledNetwork net;
+  snn::StreamBuildStats build;
+  std::uint64_t freeze_ns = 0;
+};
+
+Frozen freeze(snn::StoragePolicy policy) {
+  WallTimer w;
+  snn::StreamBuildStats bs;
+  snn::CompiledNetwork net =
+      nga::compile_sssp_streamed(kN, relay_edges, policy, &bs);
+  return Frozen{std::move(net), bs,
+                static_cast<std::uint64_t>(w.seconds() * 1e9)};
+}
+
+struct Solved {
+  snn::SimStats stats;
+  std::uint64_t run_ns = 0;
+};
+
+Solved solve(const snn::CompiledNetwork& net) {
+  snn::Simulator sim(net);
+  sim.inject_spike(0, 0);
+  WallTimer w;
+  Solved s;
+  s.stats = sim.run();
+  s.run_ns = static_cast<std::uint64_t>(w.seconds() * 1e9);
+  return s;
+}
+
+double rate_per_sec(std::uint64_t count, std::uint64_t wall_ns) {
+  return wall_ns == 0
+             ? 0.0
+             : static_cast<double>(count) * 1e9 / static_cast<double>(wall_ns);
+}
+
+void record_freeze(obs::BenchReport& report, const char* name,
+                   const Frozen& f) {
+  report.record(name)
+      .set("n", static_cast<std::uint64_t>(f.build.num_neurons))
+      .set("m", static_cast<std::uint64_t>(f.build.num_synapses))
+      .set("csr_bytes", static_cast<std::uint64_t>(f.build.csr_bytes))
+      .set("peak_resident_bytes",
+           static_cast<std::uint64_t>(f.build.peak_resident_bytes))
+      .set("bytes_per_synapse", f.net.bytes_per_synapse())
+      .set("freeze_ns", f.freeze_ns);
+}
+
+void record_run(obs::BenchReport& report, const char* name, const Solved& s) {
+  report.record(name)
+      .T(s.stats.end_time)
+      .spikes(s.stats.spikes)
+      .events(s.stats.deliveries)
+      .set("run_ns", s.run_ns)
+      .set("deliveries_per_sec", rate_per_sec(s.stats.deliveries, s.run_ns));
+}
+
+}  // namespace
+
+int main() {
+  obs::BenchReport report("scale");
+  report.context("workload",
+                 "streamed relay chain n=1e6 extra_per_vertex=8 "
+                 "max_skip=1000 lengths=[1,16] seed=0x5CA1E");
+  report.context("paths", "generator -> compile_streamed; no Graph, no "
+                          "nested-vector Network ever materialized");
+
+  const Frozen narrow = freeze(snn::StoragePolicy::kAuto);
+  const Frozen wide = freeze(snn::StoragePolicy::kWide);
+
+  if (!narrow.net.storage_widths().narrow ||
+      wide.net.storage_widths().narrow) {
+    std::cerr << "bench_scale: policy dispatch broken (kAuto narrow="
+              << narrow.net.storage_widths().narrow << ")\n";
+    return 1;
+  }
+  if (narrow.build.num_synapses < 8000000 + kN) {
+    std::cerr << "bench_scale: only " << narrow.build.num_synapses
+              << " synapses — below the m >= 8e6 acceptance floor\n";
+    return 1;
+  }
+  const auto nb = static_cast<double>(narrow.build.csr_bytes);
+  const auto wb = static_cast<double>(wide.build.csr_bytes);
+  if (nb > 0.7 * wb) {
+    std::cerr << "bench_scale: narrow freeze " << narrow.build.csr_bytes
+              << " B is not >= 30% smaller than wide "
+              << wide.build.csr_bytes << " B\n";
+    return 1;
+  }
+  record_freeze(report, "scale/freeze/narrow", narrow);
+  record_freeze(report, "scale/freeze/wide", wide);
+
+  const Solved sn = solve(narrow.net);
+  const Solved sw = solve(wide.net);
+  if (sn.stats.spikes != kN) {
+    std::cerr << "bench_scale: " << sn.stats.spikes << " spikes, expected "
+              << kN << " (SSSP did not complete)\n";
+    return 1;
+  }
+  if (sn.stats.spikes != sw.stats.spikes ||
+      sn.stats.deliveries != sw.stats.deliveries ||
+      sn.stats.event_times != sw.stats.event_times ||
+      sn.stats.end_time != sw.stats.end_time) {
+    std::cerr << "bench_scale: narrow and wide runs disagree\n";
+    return 1;
+  }
+  record_run(report, "scale/sssp/narrow", sn);
+  record_run(report, "scale/sssp/wide", sw);
+
+  std::cout << "scale: n=" << kN << " m=" << narrow.build.num_synapses
+            << "\n  narrow " << narrow.build.csr_bytes << " B ("
+            << narrow.net.bytes_per_synapse() << " B/syn), wide "
+            << wide.build.csr_bytes << " B (" << wide.net.bytes_per_synapse()
+            << " B/syn) — " << (100.0 - 100.0 * nb / wb) << "% smaller\n"
+            << "  sssp T=" << sn.stats.end_time << " spikes="
+            << sn.stats.spikes << " deliveries=" << sn.stats.deliveries
+            << "\n  narrow " << rate_per_sec(sn.stats.deliveries, sn.run_ns)
+            << " deliveries/sec, wide "
+            << rate_per_sec(sw.stats.deliveries, sw.run_ns)
+            << " deliveries/sec\n";
+  const std::string path = report.write();
+  if (!path.empty()) std::cout << "wrote " << path << "\n";
+  return 0;
+}

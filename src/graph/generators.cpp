@@ -191,4 +191,72 @@ Graph make_geometric_graph(std::size_t n, double radius, Weight scale,
   return g;
 }
 
+void stream_relay_chain(std::size_t n, std::size_t extra_per_vertex,
+                        std::size_t max_skip, WeightRange w,
+                        std::uint64_t seed, const EdgeStream& emit) {
+  SGA_REQUIRE(n >= 2, "stream_relay_chain: need n >= 2");
+  SGA_REQUIRE(max_skip >= 2 || extra_per_vertex == 0,
+              "stream_relay_chain: max_skip must be >= 2 for skip edges");
+  Rng rng(seed);
+  for (VertexId v = 0; v + 1 < n; ++v) {
+    emit(v, v + 1, draw_weight(w, rng));
+    for (std::size_t e = 0; e < extra_per_vertex; ++e) {
+      // Draw unconditionally so the random sequence — and therefore the
+      // replayed edge stream — does not depend on which skips were kept.
+      const auto s = static_cast<std::size_t>(
+          rng.uniform_int(2, static_cast<std::int64_t>(max_skip)));
+      const Weight len = draw_weight(w, rng);
+      if (v + s < n) emit(v, static_cast<VertexId>(v + s), len);
+    }
+  }
+}
+
+void stream_grid(std::size_t rows, std::size_t cols, WeightRange w,
+                 std::uint64_t seed, const EdgeStream& emit) {
+  SGA_REQUIRE(rows >= 1 && cols >= 1, "stream_grid: empty grid");
+  Rng rng(seed);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<VertexId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (cols > 1) emit(id(r, c), id(r, (c + 1) % cols), draw_weight(w, rng));
+      if (rows > 1) emit(id(r, c), id((r + 1) % rows, c), draw_weight(w, rng));
+    }
+  }
+}
+
+void stream_rmat(std::size_t scale, std::size_t m, double a, double b,
+                 double c, WeightRange w, std::uint64_t seed,
+                 const EdgeStream& emit) {
+  SGA_REQUIRE(scale >= 1 && scale <= 31, "stream_rmat: scale must be in [1, 31]");
+  SGA_REQUIRE(a > 0 && b >= 0 && c >= 0 && a + b + c < 1,
+              "stream_rmat: quadrant probabilities must satisfy a > 0, "
+              "b, c >= 0, a + b + c < 1");
+  Rng rng(seed);
+  const auto n = static_cast<VertexId>(1u << scale);
+  for (std::size_t k = 0; k < m; ++k) {
+    VertexId u = 0, v = 0;
+    for (std::size_t level = 0; level < scale; ++level) {
+      const double p = rng.uniform01();
+      u <<= 1;
+      v <<= 1;
+      if (p < a) {
+        // top-left: both bits 0
+      } else if (p < a + b) {
+        v |= 1;
+      } else if (p < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    // Deflect self-loops deterministically instead of re-drawing, so the
+    // number of random draws per edge is fixed.
+    if (u == v) v = (v + 1) & (n - 1);
+    emit(u, v, draw_weight(w, rng));
+  }
+}
+
 }  // namespace sga

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "core/random.h"
 #include "graph/graph.h"
@@ -66,5 +67,47 @@ Graph make_preferential_attachment(std::size_t n, std::size_t attach,
 /// Hamiltonian-ish chain is added so the graph is connected.
 Graph make_geometric_graph(std::size_t n, double radius, Weight scale,
                            Rng& rng);
+
+// ---- Streaming generators (ARCHITECTURE.md §1.8) ------------------------
+//
+// The make_* builders above materialize a Graph (adjacency vectors) and top
+// out around the available RAM well before the paper's asymptotic regime is
+// visible. The stream_* variants below emit edges through a callback and
+// hold O(1) state, so snn::CompiledNetwork::compile_streamed can freeze a
+// million-vertex instance directly into its narrow CSR with the nested
+// structures never existing.
+//
+// Contract: each call constructs its generator state (a fresh Rng) from the
+// seed argument, so invoking the same stream twice replays the IDENTICAL
+// edge sequence — which is exactly what compile_streamed's two-pass
+// counting sort requires of its emitter.
+
+/// Edge callback: (from, to, length).
+using EdgeStream = std::function<void(VertexId, VertexId, Weight)>;
+
+/// Relay chain: backbone v -> v+1 for all v, plus `extra_per_vertex`
+/// forward skip edges v -> v + s with s uniform in [2, max_skip] (skips
+/// landing past vertex n-1 are dropped). Every vertex is reachable from 0
+/// via the backbone, so SSSP touches all n vertices; the skip edges give
+/// rows real fan-out and distinct-delay segments. m ≈ n · (1 +
+/// extra_per_vertex · E[in-range]).
+void stream_relay_chain(std::size_t n, std::size_t extra_per_vertex,
+                        std::size_t max_skip, WeightRange w,
+                        std::uint64_t seed, const EdgeStream& emit);
+
+/// Streaming counterpart of make_grid_graph: directed rows × cols torus,
+/// right and down neighbours (wrapping), m = 2 · rows · cols for grids with
+/// both dimensions > 1.
+void stream_grid(std::size_t rows, std::size_t cols, WeightRange w,
+                 std::uint64_t seed, const EdgeStream& emit);
+
+/// R-MAT (recursive-matrix) generator over n = 2^scale vertices: each of
+/// the m edges picks its endpoints one bit level at a time with quadrant
+/// probabilities (a, b, c, 1-a-b-c), yielding the skewed degree
+/// distribution of the Graph500 workloads. Parallel edges are kept (they
+/// become parallel synapses); self-loops are deflected to the next vertex.
+void stream_rmat(std::size_t scale, std::size_t m, double a, double b,
+                 double c, WeightRange w, std::uint64_t seed,
+                 const EdgeStream& emit);
 
 }  // namespace sga

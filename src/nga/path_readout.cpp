@@ -50,7 +50,10 @@ SpikingSsspPathResult spiking_sssp_with_paths(
     }
   }
 
-  const snn::CompiledNetwork compiled = net.compile();
+  // Wide freeze: this instrumented fabric is rebuilt per phase by the
+  // max-flow driver (gate_level_paths mode), so skip the narrowing scan for
+  // the same reason spiking_sssp's max-flow call path does — see DESIGN.md.
+  const snn::CompiledNetwork compiled = net.compile(snn::StoragePolicy::kWide);
   snn::Simulator sim(compiled);
   sim.inject_spike(opt.source, 0);
   snn::SimConfig cfg;

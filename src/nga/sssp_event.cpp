@@ -29,6 +29,43 @@ snn::Network build_sssp_network(const Graph& g) {
   return net;
 }
 
+snn::CompiledNetwork compile_sssp_streamed(
+    std::size_t num_vertices,
+    const std::function<void(const EdgeStream&)>& edges,
+    snn::StoragePolicy policy, snn::StreamBuildStats* build_stats) {
+  SGA_REQUIRE(num_vertices >= 1, "compile_sssp_streamed: need n >= 1");
+  const std::size_t n = num_vertices;
+  // In-degree prepass: the fire-once inhibition weight must exceed the
+  // total excitation a relay can ever receive, which is its in-degree
+  // (each in-neighbour fires at most once).
+  std::vector<std::uint32_t> indeg(n, 0);
+  edges([&](VertexId from, VertexId to, Weight length) {
+    SGA_REQUIRE(from < n && to < n, "compile_sssp_streamed: edge ("
+                                        << from << " -> " << to
+                                        << ") endpoint out of range for n = "
+                                        << n);
+    SGA_REQUIRE(length >= kMinDelay, "compile_sssp_streamed: edge ("
+                                         << from << " -> " << to
+                                         << ") has length " << length
+                                         << " below minimum δ = " << kMinDelay);
+    ++indeg[to];
+  });
+  // Relay parameters and synapse order match build_sssp_network exactly
+  // (edge synapses in stream order, then the per-vertex self-inhibition),
+  // so the streamed freeze is event-for-event identical to the builder.
+  return snn::CompiledNetwork::compile_streamed(
+      n, [](NeuronId) { return snn::NeuronParams{0, 1, 0.0}; },
+      [&](const snn::SynapseSink& sink) {
+        edges([&](VertexId from, VertexId to, Weight length) {
+          sink(from, to, 1, length);
+        });
+        for (NeuronId v = 0; v < n; ++v) {
+          sink(v, v, -static_cast<SynWeight>(indeg[v] + 1), 1);
+        }
+      },
+      policy, build_stats);
+}
+
 SpikingSsspResult spiking_sssp(const Graph& g, const SpikingSsspOptions& opt) {
   SGA_REQUIRE(opt.source < g.num_vertices(), "spiking_sssp: bad source");
   SGA_REQUIRE(!opt.target || *opt.target < g.num_vertices(),
@@ -40,7 +77,7 @@ SpikingSsspResult spiking_sssp(const Graph& g, const SpikingSsspOptions& opt) {
   }
 
   // build → freeze → simulate: mutation ends here.
-  const snn::CompiledNetwork net = build_sssp_network(g).compile();
+  const snn::CompiledNetwork net = build_sssp_network(g).compile(opt.storage);
   snn::Simulator sim(net, opt.queue, opt.fanout);
   sim.inject_spike(opt.source, 0);
 

@@ -10,10 +10,13 @@
 // distance of interest, m = graph loading), and O(nL + m) on the crossbar.
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <optional>
 #include <vector>
 
 #include "core/types.h"
+#include "graph/generators.h"
 #include "graph/graph.h"
 #include "snn/network.h"
 #include "snn/simulator.h"
@@ -45,6 +48,11 @@ struct SpikingSsspOptions {
   /// Fan-out kernel (DESIGN.md §4 ablation knob): delay-segmented bulk
   /// appends vs the legacy per-synapse loop.
   snn::FanoutKind fanout = snn::FanoutKind::kSegmented;
+  /// Freeze-time storage policy (ARCHITECTURE.md §1.8): kAuto narrows the
+  /// CSR to the observed ranges; kWide keeps the full-width oracle layout.
+  /// Drivers that re-freeze per phase on small graphs (max-flow) pin kWide
+  /// — see DESIGN.md.
+  snn::StoragePolicy storage = snn::StoragePolicy::kAuto;
 };
 
 struct SpikingSsspResult {
@@ -65,6 +73,22 @@ struct SpikingSsspResult {
 /// embedding, and the approximation algorithm (which re-runs it with scaled
 /// lengths and an early deadline). Neuron ids equal vertex ids.
 snn::Network build_sssp_network(const Graph& g);
+
+/// Streamed counterpart of build_sssp_network(g).compile(): freeze the
+/// Section-3 SSSP fabric for an n-vertex graph delivered as an edge stream
+/// (graph/generators.h stream_* emitters, or any deterministic callback),
+/// without materializing either the Graph or the nested-vector Network.
+/// `edges` is invoked three times — an in-degree prepass that sizes the
+/// fire-once inhibition, then compile_streamed's two counting-sort passes —
+/// and must replay the identical edge sequence each time. Synapse layout
+/// matches the builder path exactly (edge synapses in stream order, then
+/// one self-inhibition per vertex), so the frozen network is
+/// event-for-event identical to build_sssp_network on the same edges.
+snn::CompiledNetwork compile_sssp_streamed(
+    std::size_t num_vertices,
+    const std::function<void(const EdgeStream&)>& edges,
+    snn::StoragePolicy policy = snn::StoragePolicy::kAuto,
+    snn::StreamBuildStats* build_stats = nullptr);
 
 /// Run the spiking SSSP algorithm.
 SpikingSsspResult spiking_sssp(const Graph& g, const SpikingSsspOptions& opt);

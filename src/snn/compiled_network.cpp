@@ -3,12 +3,56 @@
 #include <algorithm>
 #include <cmath>
 #include <span>
+#include <tuple>
+#include <utility>
 
 #include "snn/network.h"
 
 namespace sga::snn {
 
-CompiledNetwork::CompiledNetwork(const Network& net) {
+namespace {
+
+/// Move `src` into `dst` when the element types match, otherwise narrow
+/// element-wise. The caller has already validated every value against the
+/// chosen width's range.
+template <typename T, typename U>
+void narrow_into(std::vector<T>& dst, std::vector<U>&& src) {
+  if constexpr (std::is_same_v<T, U>) {
+    dst = std::move(src);
+  } else {
+    dst.reserve(src.size());
+    for (const U v : src) dst.push_back(static_cast<T>(v));
+    src.clear();
+    src.shrink_to_fit();  // the wide temporary dies here, not at scope end
+  }
+}
+
+}  // namespace
+
+void CompiledNetwork::adopt_payload(StoragePolicy policy, WideSynStore&& wide) {
+  const std::size_t m = wide.targets.size();
+  bool f32 = true;
+  for (const SynWeight w : wide.weights) {
+    if (!round_trips_f32(w)) {
+      f32 = false;
+      break;
+    }
+  }
+  widths_ = choose_widths(policy, num_neurons(), m, max_delay_, f32);
+  store_ = make_synapse_store(widths_);
+  std::visit(
+      [&wide](auto& st) {
+        narrow_into(st.targets, std::move(wide.targets));
+        narrow_into(st.weights, std::move(wide.weights));
+        narrow_into(st.delays, std::move(wide.delays));
+        narrow_into(st.seg_delays, std::move(wide.seg_delays));
+        narrow_into(st.seg_syn_begin, std::move(wide.seg_syn_begin));
+        narrow_into(st.seg_syn_end, std::move(wide.seg_syn_end));
+      },
+      store_);
+}
+
+CompiledNetwork::CompiledNetwork(const Network& net, StoragePolicy policy) {
   const std::size_t n = net.num_neurons();
   v_reset_.resize(n);
   v_threshold_.resize(n);
@@ -18,6 +62,11 @@ CompiledNetwork::CompiledNetwork(const Network& net) {
     SGA_REQUIRE(p.tau >= 0.0 && p.tau <= 1.0,
                 "compile: neuron " << i << " has decay τ = " << p.tau
                                    << " outside [0, 1]");
+    SGA_REQUIRE(std::isfinite(p.v_reset) && std::isfinite(p.v_threshold),
+                "compile: neuron " << i << " has non-finite parameters "
+                                   << "(v_reset = " << p.v_reset
+                                   << ", v_threshold = " << p.v_threshold
+                                   << ")");
     v_reset_[i] = p.v_reset;
     v_threshold_[i] = p.v_threshold;
     tau_[i] = p.tau;
@@ -35,9 +84,10 @@ CompiledNetwork::CompiledNetwork(const Network& net) {
     offsets_[i + 1] = offsets_[i] + net.out_synapses(i).size();
   }
   const std::size_t m = offsets_[n];
-  targets_.resize(m);
-  weights_.resize(m);
-  delays_.resize(m);
+  WideSynStore wide;
+  wide.targets.resize(m);
+  wide.weights.resize(m);
+  wide.delays.resize(m);
   pos_in_weight_.assign(n, 0);
 
   Delay max_delay = 0;
@@ -61,9 +111,13 @@ CompiledNetwork::CompiledNetwork(const Network& net) {
                   "compile: synapse " << k << " (from neuron " << i
                                       << ") has delay " << s.delay
                                       << " below minimum δ = " << kMinDelay);
-      targets_[k] = s.target;
-      weights_[k] = s.weight;
-      delays_[k] = s.delay;
+      SGA_REQUIRE(std::isfinite(s.weight),
+                  "compile: synapse " << k << " (from neuron " << i
+                                      << ") has non-finite weight "
+                                      << s.weight);
+      wide.targets[k] = s.target;
+      wide.weights[k] = s.weight;
+      wide.delays[k] = s.delay;
       if (s.weight > 0) pos_in_weight_[s.target] += s.weight;
       max_delay = std::max(max_delay, s.delay);
       ++k;
@@ -78,14 +132,14 @@ CompiledNetwork::CompiledNetwork(const Network& net) {
     std::size_t k = offsets_[i];
     const std::size_t row_end = offsets_[i + 1];
     while (k < row_end) {
-      const Delay d = delays_[k];
+      const Delay d = wide.delays[k];
       const std::size_t run_begin = k;
-      while (k < row_end && delays_[k] == d) ++k;
-      seg_delays_.push_back(d);
-      seg_syn_begin_.push_back(run_begin);
-      seg_syn_end_.push_back(k);
+      while (k < row_end && wide.delays[k] == d) ++k;
+      wide.seg_delays.push_back(d);
+      wide.seg_syn_begin.push_back(run_begin);
+      wide.seg_syn_end.push_back(k);
     }
-    seg_offsets_[i + 1] = seg_delays_.size();
+    seg_offsets_[i + 1] = wide.seg_delays.size();
   }
 
   // The builder maintains these incrementally; the packed arrays are the
@@ -97,6 +151,8 @@ CompiledNetwork::CompiledNetwork(const Network& net) {
             "compile: packed max delay " << max_delay_
                                          << " != builder max delay "
                                          << net.max_delay());
+
+  adopt_payload(policy, std::move(wide));
 
   for (const std::string& name : net.group_names()) {
     const std::vector<NeuronId>& ids = net.group(name);
@@ -112,42 +168,80 @@ CompiledNetwork::CompiledNetwork(const Network& net) {
 
 void CompiledNetwork::verify_invariants() const {
   const std::size_t n = num_neurons();
-  const std::size_t m = targets_.size();
   SGA_REQUIRE(v_threshold_.size() == n && tau_.size() == n &&
                   pos_in_weight_.size() == n,
-              "verify: neuron SoA arrays disagree on the neuron count");
+              "verify: neuron SoA arrays disagree on the neuron count ("
+                  << n << " resets, " << v_threshold_.size()
+                  << " thresholds, " << tau_.size() << " taus, "
+                  << pos_in_weight_.size() << " in-weight entries)");
   for (NeuronId i = 0; i < n; ++i) {
     SGA_REQUIRE(std::isfinite(v_reset_[i]) && std::isfinite(v_threshold_[i]),
-                "verify: neuron " << i << " has non-finite parameters");
+                "verify: neuron " << i << " has non-finite parameters "
+                                  << "(v_reset = " << v_reset_[i]
+                                  << ", v_threshold = " << v_threshold_[i]
+                                  << ")");
     SGA_REQUIRE(tau_[i] >= 0.0 && tau_[i] <= 1.0,
                 "verify: neuron " << i << " has decay τ = " << tau_[i]
                                   << " outside [0, 1]");
   }
 
-  SGA_REQUIRE(offsets_.size() == n + 1 && offsets_[0] == 0,
-              "verify: malformed CSR row pointers");
-  SGA_REQUIRE(weights_.size() == m && delays_.size() == m,
-              "verify: synapse SoA arrays disagree on the synapse count");
-  SGA_REQUIRE(offsets_[n] == m,
-              "verify: row pointers cover " << offsets_[n]
-                                            << " synapses, arrays hold " << m);
+  SGA_REQUIRE(offsets_.size() == n + 1 && !offsets_.empty() &&
+                  offsets_[0] == 0,
+              "verify: malformed CSR row pointers (" << offsets_.size()
+                                                     << " entries for " << n
+                                                     << " neurons)");
+  const std::size_t m = offsets_[n];
+  const auto [tgt_n, wgt_n, dly_n] = std::visit(
+      [](const auto& st) {
+        return std::make_tuple(st.targets.size(), st.weights.size(),
+                               st.delays.size());
+      },
+      store_);
+  SGA_REQUIRE(tgt_n == m && wgt_n == m && dly_n == m,
+              "verify: synapse SoA arrays disagree on the synapse count ("
+                  << m << " per row pointers vs " << tgt_n << " targets, "
+                  << wgt_n << " weights, " << dly_n << " delays)");
+
+  // Storage-width consistency: a narrow payload must be able to represent
+  // every value the structural checks below will read out of it (a width
+  // tag that lies about its ranges would have silently truncated).
+  if (widths_.narrow) {
+    SGA_REQUIRE(widths_.target_bytes != 2 || n <= (1ULL << 16),
+                "verify: u16 target storage cannot address " << n
+                                                             << " neurons");
+    const Delay delay_cap = widths_.delay_bytes == 1 ? 255 : 65535;
+    SGA_REQUIRE(max_delay_ <= delay_cap,
+                "verify: stored max delay " << max_delay_
+                                            << " exceeds the "
+                                            << int{widths_.delay_bytes}
+                                            << "-byte delay storage cap "
+                                            << delay_cap);
+    SGA_REQUIRE(m < (1ULL << 32),
+                "verify: u32 segment bounds cannot index " << m
+                                                           << " synapses");
+  }
+
   Delay max_delay = 0;
   std::vector<SynWeight> pos_in(n, 0);
   for (NeuronId i = 0; i < n; ++i) {
     SGA_REQUIRE(offsets_[i] <= offsets_[i + 1],
-                "verify: CSR row pointers not monotone at neuron " << i);
+                "verify: CSR row pointers not monotone at neuron "
+                    << i << " (" << offsets_[i] << " > " << offsets_[i + 1]
+                    << ")");
     for (std::size_t k = offsets_[i]; k < offsets_[i + 1]; ++k) {
-      SGA_REQUIRE(targets_[k] < n, "verify: synapse " << k
-                                                      << " targets out-of-"
-                                                         "range neuron "
-                                                      << targets_[k]);
-      SGA_REQUIRE(delays_[k] >= kMinDelay,
-                  "verify: synapse " << k << " has delay " << delays_[k]
+      SGA_REQUIRE(syn_target(k) < n, "verify: synapse "
+                                         << k
+                                         << " targets out-of-"
+                                            "range neuron "
+                                         << syn_target(k));
+      SGA_REQUIRE(syn_delay(k) >= kMinDelay,
+                  "verify: synapse " << k << " has delay " << syn_delay(k)
                                      << " below minimum δ = " << kMinDelay);
-      SGA_REQUIRE(std::isfinite(weights_[k]),
-                  "verify: synapse " << k << " has non-finite weight");
-      if (weights_[k] > 0) pos_in[targets_[k]] += weights_[k];
-      max_delay = std::max(max_delay, delays_[k]);
+      SGA_REQUIRE(std::isfinite(syn_weight(k)),
+                  "verify: synapse " << k << " has non-finite weight "
+                                     << syn_weight(k));
+      if (syn_weight(k) > 0) pos_in[syn_target(k)] += syn_weight(k);
+      max_delay = std::max(max_delay, syn_delay(k));
     }
   }
   SGA_REQUIRE(max_delay_ == max_delay,
@@ -156,45 +250,62 @@ void CompiledNetwork::verify_invariants() const {
                                           << max_delay);
   for (NeuronId i = 0; i < n; ++i) {
     SGA_REQUIRE(pos_in_weight_[i] == pos_in[i],
-                "verify: positive in-weight table stale at neuron " << i);
+                "verify: positive in-weight table stale at neuron "
+                    << i << " (stored " << pos_in_weight_[i]
+                    << ", payload sums to " << pos_in[i] << ")");
   }
 
   // Segment CSR (ARCHITECTURE.md §1.6): the fan-out kernel indexes these
   // arrays unchecked, so every bound and the delay-run monotonicity the
   // horizon break relies on must hold.
-  const std::size_t s_total = seg_delays_.size();
+  const auto [sd_n, sb_n, se_n] = std::visit(
+      [](const auto& st) {
+        return std::make_tuple(st.seg_delays.size(), st.seg_syn_begin.size(),
+                               st.seg_syn_end.size());
+      },
+      store_);
   SGA_REQUIRE(seg_offsets_.size() == n + 1 && seg_offsets_[0] == 0 &&
-                  seg_offsets_[n] == s_total &&
-                  seg_syn_begin_.size() == s_total &&
-                  seg_syn_end_.size() == s_total,
-              "verify: malformed segment CSR");
+                  seg_offsets_[n] == sd_n && sb_n == sd_n && se_n == sd_n,
+              "verify: malformed segment CSR ("
+                  << seg_offsets_.size() << " row pointers covering "
+                  << seg_offsets_[n] << " segments vs " << sd_n
+                  << " delays, " << sb_n << " begins, " << se_n << " ends)");
   for (NeuronId i = 0; i < n; ++i) {
     SGA_REQUIRE(seg_offsets_[i] <= seg_offsets_[i + 1],
-                "verify: segment row pointers not monotone at neuron " << i);
+                "verify: segment row pointers not monotone at neuron "
+                    << i << " (" << seg_offsets_[i] << " > "
+                    << seg_offsets_[i + 1] << ")");
     std::size_t expect = offsets_[i];
     Delay prev = 0;  // below kMinDelay, so the strict check covers run 0
     for (std::size_t s = seg_offsets_[i]; s < seg_offsets_[i + 1]; ++s) {
-      SGA_REQUIRE(seg_syn_begin_[s] == expect,
+      SGA_REQUIRE(seg_syn_begin(s) == expect,
                   "verify: segment " << s << " does not tile neuron " << i
-                                     << "'s row");
-      SGA_REQUIRE(seg_syn_end_[s] > seg_syn_begin_[s] &&
-                      seg_syn_end_[s] <= offsets_[i + 1],
-                  "verify: segment " << s << " has bad synapse range");
-      SGA_REQUIRE(seg_delays_[s] > prev,
+                                     << "'s row (begins at "
+                                     << seg_syn_begin(s) << ", expected "
+                                     << expect << ")");
+      SGA_REQUIRE(seg_syn_end(s) > seg_syn_begin(s) &&
+                      seg_syn_end(s) <= offsets_[i + 1],
+                  "verify: segment " << s << " has bad synapse range ["
+                                     << seg_syn_begin(s) << ", "
+                                     << seg_syn_end(s) << ") in a row ending "
+                                     << "at " << offsets_[i + 1]);
+      SGA_REQUIRE(seg_delay(s) > prev,
                   "verify: delay runs not strictly increasing at segment "
-                      << s << " of neuron " << i);
-      for (std::size_t k = seg_syn_begin_[s]; k < seg_syn_end_[s]; ++k) {
-        SGA_REQUIRE(delays_[k] == seg_delays_[s],
-                    "verify: synapse " << k << " disagrees with its segment "
-                                       << s << " on delay");
+                      << s << " of neuron " << i << " (" << seg_delay(s)
+                      << " after " << prev << ")");
+      for (std::size_t k = seg_syn_begin(s); k < seg_syn_end(s); ++k) {
+        SGA_REQUIRE(syn_delay(k) == seg_delay(s),
+                    "verify: synapse " << k << " (delay " << syn_delay(k)
+                                       << ") disagrees with its segment " << s
+                                       << " on delay " << seg_delay(s));
       }
-      prev = seg_delays_[s];
-      expect = seg_syn_end_[s];
+      prev = seg_delay(s);
+      expect = seg_syn_end(s);
     }
     SGA_REQUIRE(expect == offsets_[i + 1],
-                "verify: segments leave a tail of neuron " << i
-                                                           << "'s row "
-                                                              "uncovered");
+                "verify: segments leave a tail of neuron "
+                    << i << "'s row uncovered (tiled to " << expect
+                    << " of " << offsets_[i + 1] << ")");
   }
 
   for (const auto& [name, ids] : groups_) {

@@ -15,12 +15,25 @@
 //     fan-out kernel walks segments — one queue lookup per distinct delay,
 //     then a bulk append of the run — instead of doing per-synapse lookups
 //     (ARCHITECTURE.md §1.6),
+//   * the flat synapse payload WIDTH-NARROWED to the observed ranges
+//     (ARCHITECTURE.md §1.8): compile() scans n / max delay / the weight
+//     domain and freezes u16 or u32 targets, u8/u16 delays, float32 weights
+//     when exact — behind a SynStoreVariant dispatch, with the full-width
+//     layout kept as the oracle (snn/storage.h),
 //   * per-neuron aggregates computed once at freeze time (the positive
 //     in-weight table that previously cost a full-graph scan per query).
 // compile() also runs the validation pass that used to be scattered across
 // accessors or skipped entirely: every delay ≥ δ, every target in range,
-// every τ ∈ [0, 1], every group member a real neuron, and the builder's
-// max_delay / num_synapses counters consistent with the packed arrays.
+// every weight finite, every τ ∈ [0, 1], every group member a real neuron,
+// and the builder's max_delay / num_synapses counters consistent with the
+// packed arrays.
+//
+// Million-edge generated families skip the nested-vector builder entirely:
+// compile_streamed() freezes an edge STREAM via a two-pass counting sort —
+// pass 1 counts per-source degrees and scans the ranges that pick the
+// widths, pass 2 fills the (already narrow) CSR through a cursor array —
+// so peak resident memory is the final CSR plus O(n) scratch, never a
+// nested-vector copy of the graph.
 //
 // CompiledNetwork is deep-value (a handful of vectors): copy to snapshot,
 // move for ownership transfer. It is immutable after construction, so one
@@ -28,19 +41,41 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <unordered_map>
+#include <variant>
 #include <vector>
 
 #include "core/error.h"
 #include "core/types.h"
 #include "snn/neuron.h"
+#include "snn/storage.h"
 
 namespace sga::snn {
 
 class Network;
 struct Partition;
 struct ShardSplit;
+
+/// Edge consumer handed to a compile_streamed() emitter: one call per
+/// synapse (from, to, weight, delay).
+using SynapseSink =
+    std::function<void(NeuronId from, NeuronId to, SynWeight weight,
+                       Delay delay)>;
+
+/// Memory-footprint record of a streaming freeze (the obs counters of
+/// ARCHITECTURE.md §1.8; surfaced by bench_scale and the scale tests).
+struct StreamBuildStats {
+  std::size_t num_neurons = 0;
+  std::size_t num_synapses = 0;
+  /// Resident bytes of the finished CSR (row pointers + segment CSR +
+  /// narrow payload) — csr_storage_bytes() of the result.
+  std::size_t csr_bytes = 0;
+  /// High-water resident bytes during the freeze: the final CSR plus the
+  /// O(n) counting-sort scratch (degree counts reused as the fill cursor).
+  std::size_t peak_resident_bytes = 0;
+};
 
 class CompiledNetwork {
  public:
@@ -49,12 +84,30 @@ class CompiledNetwork {
   /// be built in stages before the real freeze is moved in.
   CompiledNetwork() : offsets_(1, 0), seg_offsets_(1, 0) {}
 
-  /// Freeze `net`. Equivalent to net.compile(); see that method for the
-  /// validation contract.
-  explicit CompiledNetwork(const Network& net);
+  /// Freeze `net`. Equivalent to net.compile(policy); see that method for
+  /// the validation contract.
+  explicit CompiledNetwork(const Network& net,
+                           StoragePolicy policy = StoragePolicy::kAuto);
+
+  /// Freeze an edge STREAM without materializing the nested-vector builder
+  /// (ARCHITECTURE.md §1.8). `emit` is invoked EXACTLY TWICE with a sink —
+  /// once to count per-source degrees and scan the width-choosing ranges,
+  /// once to fill the narrow CSR — and must produce the identical synapse
+  /// sequence both times (re-run a deterministic generator from its seed;
+  /// a mismatch between the passes throws). `params` is consulted once per
+  /// neuron. Validation matches the builder freeze: every target < n,
+  /// delay ≥ δ, weight finite, τ ∈ [0, 1], with the offending index and
+  /// value in each message. Groups are not representable in a stream;
+  /// define them on a builder if you need ports.
+  static CompiledNetwork compile_streamed(
+      std::size_t num_neurons,
+      const std::function<NeuronParams(NeuronId)>& params,
+      const std::function<void(const SynapseSink&)>& emit,
+      StoragePolicy policy = StoragePolicy::kAuto,
+      StreamBuildStats* build_stats = nullptr);
 
   std::size_t num_neurons() const { return v_reset_.size(); }
-  std::size_t num_synapses() const { return targets_.size(); }
+  std::size_t num_synapses() const { return offsets_.back(); }
 
   /// Largest synapse delay (0 when there are no synapses); the simulator
   /// sizes its calendar-queue ring window from this.
@@ -71,22 +124,58 @@ class CompiledNetwork {
     return NeuronParams{v_reset_[id], v_threshold_[id], tau_[id]};
   }
 
-  // ---- CSR out-synapses (unchecked hot-path accessors) -----------------
+  // ---- CSR out-synapses ------------------------------------------------
   // The out-synapses of neuron `id` are the index range
   // [out_begin(id), out_end(id)) into the flat arrays, sorted by delay
-  // (stably: insertion order within each delay run).
+  // (stably: insertion order within each delay run). The syn_* accessors
+  // widen through the storage variant (one visit per call) — fine for
+  // construction-side consumers (io, congest, shard_split, tests); the
+  // simulator instead binds a kernel to the concrete store type once, via
+  // synapse_store().
   std::size_t out_begin(NeuronId id) const { return offsets_[id]; }
   std::size_t out_end(NeuronId id) const { return offsets_[id + 1]; }
   std::size_t out_degree(NeuronId id) const {
     return offsets_[id + 1] - offsets_[id];
   }
-  NeuronId syn_target(std::size_t k) const { return targets_[k]; }
-  SynWeight syn_weight(std::size_t k) const { return weights_[k]; }
-  Delay syn_delay(std::size_t k) const { return delays_[k]; }
+  NeuronId syn_target(std::size_t k) const {
+    return std::visit(
+        [k](const auto& st) { return static_cast<NeuronId>(st.targets[k]); },
+        store_);
+  }
+  SynWeight syn_weight(std::size_t k) const {
+    return std::visit(
+        [k](const auto& st) { return static_cast<SynWeight>(st.weights[k]); },
+        store_);
+  }
+  Delay syn_delay(std::size_t k) const {
+    return std::visit(
+        [k](const auto& st) { return static_cast<Delay>(st.delays[k]); },
+        store_);
+  }
 
-  /// Raw array views for the segmented fan-out kernel's bulk appends.
-  const NeuronId* syn_targets_data() const { return targets_.data(); }
-  const SynWeight* syn_weights_data() const { return weights_.data(); }
+  /// The width-dispatched payload itself, for kernels that resolve the
+  /// concrete store type once (Simulator's templated fan-out) instead of
+  /// paying a visit per access.
+  const SynStoreVariant& synapse_store() const { return store_; }
+
+  /// The widths this freeze chose (io v2 tags, bench records, tests).
+  const StorageWidths& storage_widths() const { return widths_; }
+
+  /// Resident bytes of the CSR: row pointers, segment row pointers, and
+  /// the six payload arrays at their frozen widths (SimStats::csr_bytes).
+  std::size_t csr_storage_bytes() const {
+    return (offsets_.size() + seg_offsets_.size()) * sizeof(std::size_t) +
+           std::visit([](const auto& st) { return st.payload_bytes(); },
+                      store_);
+  }
+  /// csr_storage_bytes() normalized per synapse — the scale lane's
+  /// machine-independent memory metric (0 for edgeless networks).
+  double bytes_per_synapse() const {
+    const std::size_t m = num_synapses();
+    return m == 0 ? 0.0
+                  : static_cast<double>(csr_storage_bytes()) /
+                        static_cast<double>(m);
+  }
 
   // ---- Delay segments (CSR-of-segments over the rows above) ------------
   // The delay runs of neuron `id` are the segment-index range
@@ -96,10 +185,26 @@ class CompiledNetwork {
   // the synapse ranges exactly partition [out_begin(id), out_end(id)).
   std::size_t seg_begin(NeuronId id) const { return seg_offsets_[id]; }
   std::size_t seg_end(NeuronId id) const { return seg_offsets_[id + 1]; }
-  Delay seg_delay(std::size_t s) const { return seg_delays_[s]; }
-  std::size_t seg_syn_begin(std::size_t s) const { return seg_syn_begin_[s]; }
-  std::size_t seg_syn_end(std::size_t s) const { return seg_syn_end_[s]; }
-  std::size_t num_delay_segments() const { return seg_delays_.size(); }
+  Delay seg_delay(std::size_t s) const {
+    return std::visit(
+        [s](const auto& st) { return static_cast<Delay>(st.seg_delays[s]); },
+        store_);
+  }
+  std::size_t seg_syn_begin(std::size_t s) const {
+    return std::visit(
+        [s](const auto& st) {
+          return static_cast<std::size_t>(st.seg_syn_begin[s]);
+        },
+        store_);
+  }
+  std::size_t seg_syn_end(std::size_t s) const {
+    return std::visit(
+        [s](const auto& st) {
+          return static_cast<std::size_t>(st.seg_syn_end[s]);
+        },
+        store_);
+  }
+  std::size_t num_delay_segments() const { return seg_offsets_.back(); }
 
   /// Range view over a neuron's out-synapses yielding Synapse values, for
   /// construction-side consumers (io, unroll, congest) that want the old
@@ -109,7 +214,8 @@ class CompiledNetwork {
     OutSynapseIter(const CompiledNetwork* net, std::size_t k)
         : net_(net), k_(k) {}
     Synapse operator*() const {
-      return Synapse{net_->targets_[k_], net_->weights_[k_], net_->delays_[k_]};
+      return Synapse{net_->syn_target(k_), net_->syn_weight(k_),
+                     net_->syn_delay(k_)};
     }
     OutSynapseIter& operator++() {
       ++k_;
@@ -157,7 +263,8 @@ class CompiledNetwork {
   /// exactly partitioning each row with strictly increasing delays, every
   /// delay ≥ δ and every target in range, τ ∈ [0, 1] and all neuron
   /// parameters / weights finite, the positive-in-weight table and
-  /// max_delay consistent with the synapse payload, and group members in
+  /// max_delay consistent with the synapse payload, the storage widths
+  /// consistent with the ranges they must represent, and group members in
   /// range. compile() establishes all of this by construction; this method
   /// exists for consumers that receive a CompiledNetwork from an untrusted
   /// source (deserialized caches, future binary snapshot loaders) and must
@@ -169,7 +276,8 @@ class CompiledNetwork {
   /// Re-pack the CSR under `partition` into per-shard intra/cross synapse
   /// families for the conservative-parallel simulator. Pure derivation:
   /// the CompiledNetwork itself stays untouched (and shareable), the split
-  /// owns its reordered copy of the synapse payload.
+  /// owns its reordered copy of the synapse payload (at full width: shard
+  /// CSRs are per-run transients, see DESIGN.md).
   ShardSplit shard_split(Partition partition) const;
 
   // ---- Named groups (ports), carried over from the builder -------------
@@ -180,19 +288,18 @@ class CompiledNetwork {
   std::vector<std::string> group_names() const;
 
  private:
+  /// Choose widths for the already-validated wide payload and move it into
+  /// the variant (narrowing element-wise when a narrow layout was chosen).
+  void adopt_payload(StoragePolicy policy, WideSynStore&& wide);
+
   std::vector<Voltage> v_reset_;
   std::vector<Voltage> v_threshold_;
   std::vector<double> tau_;
 
-  std::vector<std::size_t> offsets_;  ///< n+1 entries; CSR row pointers
-  std::vector<NeuronId> targets_;
-  std::vector<SynWeight> weights_;
-  std::vector<Delay> delays_;
-
+  std::vector<std::size_t> offsets_;      ///< n+1 entries; CSR row pointers
   std::vector<std::size_t> seg_offsets_;  ///< n+1 entries; segment row ptrs
-  std::vector<Delay> seg_delays_;         ///< one entry per delay run
-  std::vector<std::size_t> seg_syn_begin_;
-  std::vector<std::size_t> seg_syn_end_;
+  SynStoreVariant store_;                 ///< width-dispatched flat payload
+  StorageWidths widths_;
 
   std::vector<SynWeight> pos_in_weight_;
   Delay max_delay_ = 0;

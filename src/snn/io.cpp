@@ -1,6 +1,7 @@
 #include "snn/io.h"
 
 #include <cmath>
+#include <initializer_list>
 #include <iomanip>
 #include <istream>
 #include <limits>
@@ -12,10 +13,37 @@
 
 namespace sga::snn {
 
+CountLimitError::CountLimitError(const std::string& field, long long value,
+                                 long long limit)
+    : InvalidArgument("read_network: " + field + " " + std::to_string(value) +
+                      " exceeds the count ceiling " + std::to_string(limit) +
+                      " implied by the declared storage width"),
+      field_(field),
+      value_(value),
+      limit_(limit) {}
+
+namespace {
+
+const char* target_tag(const StorageWidths& w) {
+  return w.target_bytes == 2 ? "u16" : "u32";
+}
+const char* delay_tag(const StorageWidths& w) {
+  return w.delay_bytes == 1 ? "u8" : w.delay_bytes == 2 ? "u16" : "i64";
+}
+const char* weight_tag(const StorageWidths& w) {
+  return w.weight_bytes == 4 ? "f32" : "f64";
+}
+
+}  // namespace
+
 void write_network(std::ostream& os, const CompiledNetwork& net) {
   // max_digits10 keeps doubles bit-exact across a round trip.
   os << std::setprecision(std::numeric_limits<double>::max_digits10);
-  os << "snn 1\n";
+  os << "snn 2\n";
+  const StorageWidths& w = net.storage_widths();
+  os << "storage " << (w.narrow ? "narrow" : "wide") << " target "
+     << target_tag(w) << " delay " << delay_tag(w) << " weight "
+     << weight_tag(w) << '\n';
   os << "neurons " << net.num_neurons() << '\n';
   for (NeuronId i = 0; i < net.num_neurons(); ++i) {
     os << "n " << net.v_reset(i) << ' ' << net.v_threshold(i) << ' '
@@ -51,37 +79,82 @@ void expect_token(std::istream& is, const char* want) {
               "read_network: expected '" << want << "', got '" << tok << "'");
 }
 
-/// Hard ceiling on any count field of an untrusted file. A hostile header
-/// like "neurons 9999999999999999999" (or "-1", which operator>> into an
-/// unsigned silently wraps to 2^64−1) must be rejected BEFORE the parse
-/// loop turns it into a multi-gigabyte allocation. 2^30 is far above any
-/// network this library builds while still bounding a single vector below
-/// the container limits.
-constexpr long long kMaxCount = 1LL << 30;
+/// Legacy (version 1) ceiling on any count field of an untrusted file. A
+/// hostile header like "neurons 9999999999999999999" (or "-1", which
+/// operator>> into an unsigned silently wraps to 2^64−1) must be rejected
+/// BEFORE the parse loop turns it into a multi-gigabyte allocation. 2^30 is
+/// far above any network this library builds while still bounding a single
+/// vector below the container limits. Version-2 files replace this with the
+/// tighter ceilings their own storage line declares.
+constexpr long long kMaxCountV1 = 1LL << 30;
+
+/// Count ceilings a file's header implies. Version 1 has no storage line,
+/// so both fall back to the legacy plausibility bound; version 2 derives
+/// them from the declared target width (u16 targets cannot address more
+/// than 2^16 neurons; u32 segment bounds cannot index 2^32 synapses).
+struct CountCeilings {
+  long long neurons = kMaxCountV1;
+  long long synapses = kMaxCountV1;
+};
 
 /// Read a count field defensively: parse as SIGNED so "-1" fails the range
-/// check instead of wrapping, then bound it.
-std::size_t read_count(std::istream& is, const char* what) {
+/// check instead of wrapping, then bound it by the header-derived ceiling.
+std::size_t read_count(std::istream& is, const char* what,
+                       long long limit = kMaxCountV1) {
   long long v = 0;
   is >> v;
   SGA_REQUIRE(static_cast<bool>(is), "read_network: missing " << what);
-  SGA_REQUIRE(v >= 0 && v <= kMaxCount,
-              "read_network: implausible " << what << " " << v);
+  SGA_REQUIRE(v >= 0, "read_network: implausible " << what << " " << v);
+  if (v > limit) throw CountLimitError(what, v, limit);
   return static_cast<std::size_t>(v);
 }
 
-}  // namespace
+std::string read_tag(std::istream& is, const char* field,
+                     std::initializer_list<const char*> allowed) {
+  expect_token(is, field);
+  std::string tag;
+  is >> tag;
+  bool ok = static_cast<bool>(is);
+  if (ok) {
+    ok = false;
+    for (const char* a : allowed) ok = ok || tag == a;
+  }
+  SGA_REQUIRE(ok, "read_network: bad storage " << field << " tag '" << tag
+                                               << "'");
+  return tag;
+}
 
-Network read_network(std::istream& is) {
+/// Shared parser. Returns the builder plus the storage policy the file
+/// declares, so read_compiled_network can re-freeze a wide artifact wide.
+Network read_network_impl(std::istream& is, StoragePolicy* policy) {
   expect_token(is, "snn");
   int version = 0;
   is >> version;
-  SGA_REQUIRE(static_cast<bool>(is) && version == 1,
+  SGA_REQUIRE(static_cast<bool>(is) && (version == 1 || version == 2),
               "read_network: unsupported version " << version);
+
+  CountCeilings ceilings;
+  *policy = StoragePolicy::kAuto;
+  if (version == 2) {
+    expect_token(is, "storage");
+    std::string kind;
+    is >> kind;
+    SGA_REQUIRE(static_cast<bool>(is) && (kind == "narrow" || kind == "wide"),
+                "read_network: bad storage kind '" << kind << "'");
+    if (kind == "wide") *policy = StoragePolicy::kWide;
+    const std::string tgt = read_tag(is, "target", {"u16", "u32"});
+    read_tag(is, "delay", {"u8", "u16", "i64"});
+    read_tag(is, "weight", {"f32", "f64"});
+    // The declared target width bounds what the rest of the header may
+    // claim: counts above these are rejected as CountLimitError before the
+    // parse loops run.
+    ceilings.neurons = tgt == "u16" ? (1LL << 16) : (1LL << 32);
+    ceilings.synapses = (1LL << 32) - 1;  // u32 segment bounds
+  }
 
   Network net;
   expect_token(is, "neurons");
-  const std::size_t n = read_count(is, "neuron count");
+  const std::size_t n = read_count(is, "neuron count", ceilings.neurons);
   for (std::size_t i = 0; i < n; ++i) {
     expect_token(is, "n");
     NeuronParams p;
@@ -97,7 +170,7 @@ Network read_network(std::istream& is) {
   }
 
   expect_token(is, "synapses");
-  const std::size_t m = read_count(is, "synapse count");
+  const std::size_t m = read_count(is, "synapse count", ceilings.synapses);
   for (std::size_t i = 0; i < m; ++i) {
     expect_token(is, "s");
     NeuronId from = 0, to = 0;
@@ -143,8 +216,16 @@ Network read_network(std::istream& is) {
   return net;
 }
 
+}  // namespace
+
+Network read_network(std::istream& is) {
+  StoragePolicy policy = StoragePolicy::kAuto;
+  return read_network_impl(is, &policy);
+}
+
 CompiledNetwork read_compiled_network(std::istream& is) {
-  CompiledNetwork net = read_network(is).compile();
+  StoragePolicy policy = StoragePolicy::kAuto;
+  CompiledNetwork net = read_network_impl(is, &policy).compile(policy);
   // Defense in depth for untrusted cache inputs (docs/SERVICE.md): compile()
   // validates what it packs, but the simulator's hot path trusts every
   // derived index (segment CSR bounds, delay-run monotonicity, aggregate

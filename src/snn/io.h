@@ -4,21 +4,52 @@
 // without re-compiling the graph.
 //
 // Format (whitespace-separated, '#' comments):
-//   snn 1                      header + version
+//   snn 2                      header + version
+//   storage <narrow|wide> target <u16|u32> delay <u8|u16|i64> weight <f32|f64>
 //   neurons N
 //   n <reset> <threshold> <tau>          × N, in id order
 //   synapses M
 //   s <from> <to> <weight> <delay>       × M
 //   groups G
 //   g <name> <k> <id...>                 × G
+//
+// The storage line (new in version 2) records the frozen widths of the
+// source network (ARCHITECTURE.md §1.8). Readers use it two ways: the
+// declared target width bounds the plausible neuron/synapse counts of an
+// untrusted file (a "target u16" file claiming 10^6 neurons is rejected as
+// a CountLimitError before any parse loop runs), and read_compiled_network
+// re-freezes under the declared policy, so a wide artifact stays wide.
+// Version-1 files (no storage line) remain readable under the legacy 2^30
+// count ceiling and freeze under the default kAuto policy.
 #pragma once
 
 #include <iosfwd>
+#include <string>
 
+#include "core/error.h"
 #include "snn/compiled_network.h"
 #include "snn/network.h"
 
 namespace sga::snn {
+
+/// Thrown when a count field of a serialized network exceeds the ceiling
+/// implied by its declared storage widths (version 2) or the legacy
+/// plausibility ceiling (version 1). A subtype of InvalidArgument, so
+/// callers that already reject malformed files keep working; carries the
+/// offending field, the parsed value, and the ceiling it broke for callers
+/// that want to report or log the specific count.
+class CountLimitError : public InvalidArgument {
+ public:
+  CountLimitError(const std::string& field, long long value, long long limit);
+  const std::string& field() const { return field_; }
+  long long value() const { return value_; }
+  long long limit() const { return limit_; }
+
+ private:
+  std::string field_;
+  long long value_;
+  long long limit_;
+};
 
 /// Serialize a frozen network. The compiled form is the canonical source:
 /// it has already passed the freeze validator, so what is written is a

@@ -8,7 +8,8 @@ namespace sga::snn {
 
 NeuronId Network::add_neuron(NeuronParams p) {
   SGA_REQUIRE(p.tau >= 0.0 && p.tau <= 1.0,
-              "decay τ must be in [0, 1], got " << p.tau);
+              "add_neuron: neuron " << params_.size() << " has decay τ = "
+                                    << p.tau << " outside [0, 1]");
   params_.push_back(p);
   out_.emplace_back();
   pos_in_weight_.push_back(0);
@@ -28,7 +29,9 @@ void Network::add_synapse(NeuronId from, NeuronId to, SynWeight weight,
   if (weight > 0) pos_in_weight_[to] += weight;
 }
 
-CompiledNetwork Network::compile() const { return CompiledNetwork(*this); }
+CompiledNetwork Network::compile(StoragePolicy policy) const {
+  return CompiledNetwork(*this, policy);
+}
 
 void Network::define_group(const std::string& name, std::vector<NeuronId> ids) {
   SGA_REQUIRE(!name.empty(), "define_group: empty name");

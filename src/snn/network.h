@@ -19,6 +19,7 @@
 #include "core/error.h"
 #include "core/types.h"
 #include "snn/neuron.h"
+#include "snn/storage.h"
 
 namespace sga::snn {
 
@@ -69,11 +70,14 @@ class Network {
     return pos_in_weight_[id];
   }
 
-  /// Freeze: validate the construction (delay ≥ δ, in-range targets, group
-  /// ids valid, τ ∈ [0, 1], counter consistency) and pack it into the
-  /// immutable CSR form the simulator consumes. The Network remains usable
-  /// afterwards — compile again after further mutation for a new snapshot.
-  CompiledNetwork compile() const;
+  /// Freeze: validate the construction (delay ≥ δ, in-range targets, finite
+  /// weights, τ ∈ [0, 1], group ids valid, counter consistency) and pack it
+  /// into the immutable CSR form the simulator consumes — width-narrowed to
+  /// the observed ranges under the default StoragePolicy::kAuto, or at full
+  /// width under kWide (snn/storage.h; ARCHITECTURE.md §1.8). The Network
+  /// remains usable afterwards — compile again after further mutation for a
+  /// new snapshot.
+  CompiledNetwork compile(StoragePolicy policy = StoragePolicy::kAuto) const;
 
   // ---- Named groups (ports) -------------------------------------------
   // Circuits and algorithm builders register the neuron vectors that encode

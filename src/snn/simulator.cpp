@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <variant>
 
 #include "obs/metrics.h"
 #include "obs/probe.h"
@@ -17,6 +18,19 @@ std::size_t ring_size_for(Delay max_delay) {
   const auto want = static_cast<std::uint64_t>(max_delay) + 1;
   return static_cast<std::size_t>(
       std::bit_ceil(std::clamp<std::uint64_t>(want, 64, 1u << 16)));
+}
+
+/// Append [b, e) to `dst`, widening element-wise when the storage type is
+/// narrower than the bucket's. Matching types keep the memcpy-grade range
+/// insert of the wide layout.
+template <typename T, typename U>
+void append_widened(std::vector<T>& dst, const U* b, const U* e) {
+  if constexpr (std::is_same_v<T, U>) {
+    dst.insert(dst.end(), b, e);
+  } else {
+    dst.reserve(dst.size() + static_cast<std::size_t>(e - b));
+    for (const U* p = b; p != e; ++p) dst.push_back(static_cast<T>(*p));
+  }
 }
 
 }  // namespace
@@ -57,6 +71,74 @@ void Simulator::init_state() {
     ring_occupied_.assign(w / 64, 0);
     ring_mask_ = static_cast<Time>(w - 1);
     stats_.ring_buckets = static_cast<std::uint32_t>(w);
+  }
+  stats_.csr_bytes = net_->csr_storage_bytes();
+  // Resolve the storage layout ONCE: fire() calls through fanout_fn_, so
+  // the inner loop is a fully-typed instantiation with no per-event
+  // branching on either the width or the kernel kind.
+  fanout_fn_ = std::visit(
+      [this](const auto& st) -> FanoutFn {
+        using Store = std::decay_t<decltype(st)>;
+        return fanout_kind_ == FanoutKind::kSegmented
+                   ? &Simulator::fanout_segmented<Store>
+                   : &Simulator::fanout_per_synapse<Store>;
+      },
+      net_->synapse_store());
+}
+
+template <typename Store>
+void Simulator::fanout_segmented(NeuronId id, Time t) {
+  // One queue lookup per delay run, then a bulk append of the run's
+  // (target, weight) pairs; sources only when a cause is being recorded.
+  const Store& st = *std::get_if<Store>(&net_->synapse_store());
+  const auto* tgt = st.targets.data();
+  const auto* wgt = st.weights.data();
+  const std::size_t se = net_->seg_end(id);
+  for (std::size_t s = net_->seg_begin(id); s < se; ++s) {
+    ++stats_.fanout_segments;
+    const auto d = static_cast<Delay>(st.seg_delays[s]);
+    if (d > max_time_ - t) {
+      // Segment delays increase along the row, so every remaining run is
+      // past the horizon too.
+      stats_.hit_time_limit = true;
+      break;
+    }
+    const auto b = static_cast<std::size_t>(st.seg_syn_begin[s]);
+    const auto e = static_cast<std::size_t>(st.seg_syn_end[s]);
+    Bucket& bucket = bucket_for(t + d, e - b);
+    if (e - b == 1) {
+      // Singleton run (every delay in the row distinct): push_back beats
+      // the range-insert machinery, and rows like this are common in
+      // SSSP instances with wide length ranges.
+      bucket.targets.push_back(static_cast<NeuronId>(tgt[b]));
+      bucket.weights.push_back(static_cast<SynWeight>(wgt[b]));
+      if (record_causes_) bucket.sources.push_back(id);
+    } else {
+      append_widened(bucket.targets, tgt + b, tgt + e);
+      append_widened(bucket.weights, wgt + b, wgt + e);
+      if (record_causes_) {
+        bucket.sources.insert(bucket.sources.end(), e - b, id);
+      }
+    }
+    ++stats_.bulk_appends;
+  }
+}
+
+template <typename Store>
+void Simulator::fanout_per_synapse(NeuronId id, Time t) {
+  // Legacy per-synapse kernel (bench ablation + fuzzing oracle).
+  const Store& st = *std::get_if<Store>(&net_->synapse_store());
+  const std::size_t ke = net_->out_end(id);
+  for (std::size_t k = net_->out_begin(id); k < ke; ++k) {
+    const auto d = static_cast<Delay>(st.delays[k]);
+    if (d > max_time_ - t) {
+      stats_.hit_time_limit = true;
+      continue;
+    }
+    Bucket& bucket = bucket_for(t + d, 1);
+    bucket.targets.push_back(static_cast<NeuronId>(st.targets[k]));
+    bucket.weights.push_back(static_cast<SynWeight>(st.weights[k]));
+    if (record_causes_) bucket.sources.push_back(id);
   }
 }
 
@@ -193,60 +275,13 @@ void Simulator::fire(NeuronId id, Time t) {
   }
   // CSR fan-out: the fired neuron's synapses are one contiguous, delay-
   // sorted slice of the flat delay/target/weight arrays. The horizon check
-  // is in subtraction form: t ≤ max_time_ always holds here, so
-  // max_time_ - t cannot overflow, while t + delay could (kNever horizon ×
-  // pseudopolynomial delay). Dropping work past the horizon reports
-  // hit_time_limit, consistently with the pop-side check that catches
-  // post-horizon injected spikes.
-  if (fanout_kind_ == FanoutKind::kSegmented) {
-    // One queue lookup per delay run, then a bulk append of the run's
-    // (target, weight) pairs; sources only when a cause is being recorded.
-    const NeuronId* tgt = net_->syn_targets_data();
-    const SynWeight* wgt = net_->syn_weights_data();
-    const std::size_t se = net_->seg_end(id);
-    for (std::size_t s = net_->seg_begin(id); s < se; ++s) {
-      ++stats_.fanout_segments;
-      const Delay d = net_->seg_delay(s);
-      if (d > max_time_ - t) {
-        // Segment delays increase along the row, so every remaining run is
-        // past the horizon too.
-        stats_.hit_time_limit = true;
-        break;
-      }
-      const std::size_t b = net_->seg_syn_begin(s);
-      const std::size_t e = net_->seg_syn_end(s);
-      Bucket& bucket = bucket_for(t + d, e - b);
-      if (e - b == 1) {
-        // Singleton run (every delay in the row distinct): push_back beats
-        // the range-insert machinery, and rows like this are common in
-        // SSSP instances with wide length ranges.
-        bucket.targets.push_back(tgt[b]);
-        bucket.weights.push_back(wgt[b]);
-        if (record_causes_) bucket.sources.push_back(id);
-      } else {
-        bucket.targets.insert(bucket.targets.end(), tgt + b, tgt + e);
-        bucket.weights.insert(bucket.weights.end(), wgt + b, wgt + e);
-        if (record_causes_) {
-          bucket.sources.insert(bucket.sources.end(), e - b, id);
-        }
-      }
-      ++stats_.bulk_appends;
-    }
-  } else {
-    // Legacy per-synapse kernel (bench ablation + fuzzing oracle).
-    const std::size_t ke = net_->out_end(id);
-    for (std::size_t k = net_->out_begin(id); k < ke; ++k) {
-      const Delay d = net_->syn_delay(k);
-      if (d > max_time_ - t) {
-        stats_.hit_time_limit = true;
-        continue;
-      }
-      Bucket& bucket = bucket_for(t + d, 1);
-      bucket.targets.push_back(net_->syn_target(k));
-      bucket.weights.push_back(net_->syn_weight(k));
-      if (record_causes_) bucket.sources.push_back(id);
-    }
-  }
+  // inside the kernels is in subtraction form: t ≤ max_time_ always holds
+  // here, so max_time_ - t cannot overflow, while t + delay could (kNever
+  // horizon × pseudopolynomial delay). Dropping work past the horizon
+  // reports hit_time_limit, consistently with the pop-side check that
+  // catches post-horizon injected spikes. fanout_fn_ was bound once in
+  // init_state() to the kernel instantiated for the frozen storage widths.
+  (this->*fanout_fn_)(id, t);
 }
 
 SimStats Simulator::run(const SimConfig& config) {
@@ -404,6 +439,7 @@ SimStats Simulator::run(const SimConfig& config) {
     m->add("sim.deliveries", stats_.deliveries);
     m->add("sim.event_times", stats_.event_times);
     m->add("sim.overflow_spills", stats_.overflow_spills);
+    m->gauge("sim.csr_bytes", static_cast<double>(stats_.csr_bytes));
   }
   return stats_;
 }
@@ -468,6 +504,7 @@ void Simulator::reset() {
   stats_.ring_buckets = queue_kind_ == QueueKind::kCalendar
                             ? static_cast<std::uint32_t>(ring_.size())
                             : 0;
+  stats_.csr_bytes = net_->csr_storage_bytes();
   record_causes_ = false;
   record_log_ = false;
   max_time_ = kNever;

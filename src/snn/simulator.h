@@ -126,6 +126,13 @@ struct SimStats {
   /// pool_misses == 0 — the allocation-free contract.
   std::uint64_t pool_hits = 0;
   std::uint64_t pool_misses = 0;
+
+  // ---- Memory footprint (ARCHITECTURE.md §1.8) -------------------------
+  /// Resident bytes of the frozen CSR backing this run (row pointers +
+  /// segment CSR + the width-narrowed synapse payload). A property of the
+  /// CompiledNetwork, surfaced here so the bench trajectory tracks memory
+  /// alongside wall clock.
+  std::uint64_t csr_bytes = 0;
 };
 
 class Simulator {
@@ -240,6 +247,17 @@ class Simulator {
   void fire(NeuronId id, Time t);
   Voltage decayed_potential(NeuronId id, Time t) const;
 
+  /// Fan-out kernels, one instantiation per storage layout (snn/storage.h):
+  /// init_state() resolves the network's SynStoreVariant ONCE into
+  /// fanout_fn_, so fire()'s inner loop runs fully typed — no per-event
+  /// width or kind branching. Defined in simulator.cpp (the only TU that
+  /// instantiates them).
+  template <typename Store>
+  void fanout_segmented(NeuronId id, Time t);
+  template <typename Store>
+  void fanout_per_synapse(NeuronId id, Time t);
+  using FanoutFn = void (Simulator::*)(NeuronId, Time);
+
   /// Mark `id`'s per-neuron state dirty for the O(events) reset().
   void touch_state(NeuronId id) {
     if (state_stamp_[id] != epoch_) {
@@ -286,6 +304,7 @@ class Simulator {
   const CompiledNetwork* net_;
   const QueueKind queue_kind_;
   const FanoutKind fanout_kind_;
+  FanoutFn fanout_fn_ = nullptr;  ///< typed kernel, bound in init_state()
   obs::Probe* probe_ = nullptr;  ///< cached flag for the disabled fast path
   bool ran_ = false;
 

@@ -5,6 +5,7 @@
 #include "core/bitops.h"
 #include "core/error.h"
 #include "nga/maxflow.h"
+#include "obs/metrics.h"
 #include "nga/sssp_event.h"
 #include "svc/hash.h"
 
@@ -171,6 +172,12 @@ void QueryService::serve_sssp(WorkerSlots& slots, const QueryRequest& req,
         a->network = nga::build_sssp_network(*g).compile();
         return a;
       });
+  if (obs::MetricsRegistry* mr = obs::thread_metrics()) {
+    // Resident footprint of the (possibly cached) frozen artifact this
+    // request runs on — the service-side view of SimStats::csr_bytes.
+    mr->gauge("svc.artifact_csr_bytes",
+              static_cast<double>(artifact->network.csr_storage_bytes()));
+  }
 
   snn::Simulator& sim = slots.acquire(artifact);
   obs::Probe* probe =

@@ -353,6 +353,117 @@ INSTANTIATE_TEST_SUITE_P(SeedsXCauses, FanoutFuzz,
                          ::testing::Combine(::testing::Range(0, 20),
                                             ::testing::Bool()));
 
+class StorageFuzz
+    : public ::testing::TestWithParam<std::tuple<int, snn::FanoutKind>> {};
+
+TEST_P(StorageFuzz, NarrowStorageIsEventForEventInvisible) {
+  // Freeze-time width narrowing (ARCHITECTURE.md §1.8) must be a pure
+  // storage transformation: the same network frozen wide (the oracle
+  // layout) and narrow (kAuto) must produce identical runs under both
+  // queue kinds and the given fan-out kernel, and both must agree with the
+  // nested-vector ReferenceSimulator that never saw a CSR at all.
+  const auto seed = static_cast<std::uint64_t>(std::get<0>(GetParam()));
+  const snn::FanoutKind fanout = std::get<1>(GetParam());
+  const snn::Network net = random_snn(seed);
+  const snn::CompiledNetwork wide = net.compile(snn::StoragePolicy::kWide);
+  const snn::CompiledNetwork narrow = net.compile(snn::StoragePolicy::kAuto);
+
+  // random_snn stays within every narrow envelope (n ≤ 40, delays ≤ 300,
+  // integer weights), so kAuto must actually have narrowed — otherwise
+  // this fuzz silently degenerates into wide-vs-wide.
+  ASSERT_FALSE(wide.storage_widths().narrow);
+  ASSERT_TRUE(narrow.storage_widths().narrow) << "seed " << seed;
+  EXPECT_LT(narrow.csr_storage_bytes(), wide.csr_storage_bytes())
+      << "seed " << seed;
+
+  // The generic accessors must read back identical synapse data.
+  ASSERT_EQ(narrow.num_synapses(), wide.num_synapses());
+  for (std::size_t k = 0; k < wide.num_synapses(); ++k) {
+    ASSERT_EQ(narrow.syn_target(k), wide.syn_target(k)) << "syn " << k;
+    ASSERT_EQ(narrow.syn_weight(k), wide.syn_weight(k)) << "syn " << k;
+    ASSERT_EQ(narrow.syn_delay(k), wide.syn_delay(k)) << "syn " << k;
+  }
+
+  auto inject_all = [&](auto& sim) {
+    Rng rng(0xD41E + seed);
+    for (int i = 0; i < 6; ++i) {
+      sim.inject_spike(
+          static_cast<NeuronId>(rng.uniform_int(
+              0, static_cast<std::int64_t>(net.num_neurons()) - 1)),
+          rng.uniform_int(0, 200));
+    }
+    sim.inject_spike(0, 450);
+  };
+  snn::SimConfig cfg;
+  cfg.max_time = 500;
+  cfg.record_spike_log = true;
+  cfg.record_causes = true;
+
+  auto drive = [&](const snn::CompiledNetwork& compiled,
+                   snn::QueueKind kind) {
+    snn::Simulator sim(compiled, kind, fanout);
+    inject_all(sim);
+    const snn::SimStats stats = sim.run(cfg);
+    std::vector<NeuronId> causes;
+    for (NeuronId id = 0; id < net.num_neurons(); ++id) {
+      causes.push_back(sim.first_spike_cause(id));
+    }
+    return std::tuple(stats, sim.spike_log(), sim.first_spikes(), causes);
+  };
+
+  for (const auto queue : {snn::QueueKind::kCalendar, snn::QueueKind::kMap}) {
+    const auto [ws, wlog, wfirst, wcause] = drive(wide, queue);
+    const auto [ns, nlog, nfirst, ncause] = drive(narrow, queue);
+    EXPECT_EQ(nlog, wlog) << "seed " << seed;
+    EXPECT_EQ(nfirst, wfirst) << "seed " << seed;
+    EXPECT_EQ(ncause, wcause) << "seed " << seed;
+    EXPECT_EQ(ns.spikes, ws.spikes) << "seed " << seed;
+    EXPECT_EQ(ns.deliveries, ws.deliveries) << "seed " << seed;
+    EXPECT_EQ(ns.event_times, ws.event_times) << "seed " << seed;
+    EXPECT_EQ(ns.end_time, ws.end_time) << "seed " << seed;
+    EXPECT_EQ(ns.execution_time, ws.execution_time) << "seed " << seed;
+    EXPECT_EQ(ns.hit_time_limit, ws.hit_time_limit) << "seed " << seed;
+    EXPECT_EQ(ns.fanout_segments, ws.fanout_segments) << "seed " << seed;
+    EXPECT_EQ(ns.bulk_appends, ws.bulk_appends) << "seed " << seed;
+    EXPECT_EQ(ns.peak_queue_events, ws.peak_queue_events) << "seed " << seed;
+
+    // Cross-check against the pre-CSR execution model as well.
+    snn::SimConfig ref_cfg = cfg;
+    ref_cfg.record_causes = false;
+    snn::ReferenceSimulator ref(net);
+    inject_all(ref);
+    ref.run(ref_cfg);
+    EXPECT_EQ(ref.spike_log(), nlog) << "seed " << seed;
+    EXPECT_EQ(ref.first_spikes(), nfirst) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsXFanout, StorageFuzz,
+    ::testing::Combine(::testing::Range(0, 14),
+                       ::testing::Values(snn::FanoutKind::kSegmented,
+                                         snn::FanoutKind::kPerSynapse)));
+
+TEST(StorageFuzzRegression, InexactWeightKeepsDoublePayload) {
+  // One weight that does not survive a double→float round trip must keep
+  // the whole weight column at f64 — narrowing may never perturb a single
+  // accumulated potential — while targets and delays still narrow.
+  snn::Network net;
+  for (int i = 0; i < 4; ++i) net.add_neuron(snn::NeuronParams{0, 1, 0.0});
+  net.add_synapse(0, 1, 0.1, 1);  // 0.1 is inexact in binary32
+  net.add_synapse(1, 2, 1.0, 2);
+  net.add_synapse(2, 3, 0.1, 3);
+  const snn::CompiledNetwork narrow = net.compile();
+  ASSERT_TRUE(narrow.storage_widths().narrow);
+  EXPECT_EQ(narrow.storage_widths().weight_bytes, 8u);
+  EXPECT_EQ(narrow.storage_widths().target_bytes, 2u);
+  EXPECT_EQ(narrow.storage_widths().delay_bytes, 1u);
+  for (std::size_t k = 0; k < narrow.num_synapses(); ++k) {
+    EXPECT_EQ(narrow.syn_weight(k), net.compile(snn::StoragePolicy::kWide)
+                                        .syn_weight(k));
+  }
+}
+
 class ProbeFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(ProbeFuzz, ProbesObserveWithoutPerturbing) {

@@ -1,0 +1,338 @@
+// Freeze-time width-narrowed CSR storage (ARCHITECTURE.md §1.8): width
+// selection rules, the kWide escape hatch, streamed generator-to-CSR
+// builds matching the builder freeze bit-for-bit, and the freeze-time
+// validation messages that name the offending neuron/synapse.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <limits>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/random.h"
+#include "graph/dijkstra.h"
+#include "graph/generators.h"
+#include "nga/sssp_event.h"
+#include "snn/network.h"
+#include "snn/simulator.h"
+#include "snn/storage.h"
+
+namespace sga {
+namespace {
+
+using snn::CompiledNetwork;
+using snn::Network;
+using snn::StoragePolicy;
+using snn::StorageWidths;
+
+Network tiny_net(Delay max_delay, SynWeight w = 1.0) {
+  Network net;
+  for (int i = 0; i < 3; ++i) net.add_neuron(snn::NeuronParams{0, 1, 0.0});
+  net.add_synapse(0, 1, w, 1);
+  net.add_synapse(1, 2, w, max_delay);
+  return net;
+}
+
+TEST(StorageWidthsTest, SmallNetworkNarrowsToTheFloor) {
+  const CompiledNetwork c = tiny_net(5).compile();
+  const StorageWidths& w = c.storage_widths();
+  EXPECT_TRUE(w.narrow);
+  EXPECT_EQ(w.target_bytes, 2u);   // n = 3 fits u16
+  EXPECT_EQ(w.delay_bytes, 1u);    // max delay 5 fits u8
+  EXPECT_EQ(w.weight_bytes, 4u);   // 1.0 round-trips f32
+  EXPECT_EQ(w.seg_index_bytes, 4u);
+}
+
+TEST(StorageWidthsTest, DelayPastU8WidensTheDelayColumnOnly) {
+  const CompiledNetwork c = tiny_net(300).compile();
+  EXPECT_TRUE(c.storage_widths().narrow);
+  EXPECT_EQ(c.storage_widths().delay_bytes, 2u);
+  EXPECT_EQ(c.storage_widths().target_bytes, 2u);
+}
+
+TEST(StorageWidthsTest, DelayPastU16ForcesWide) {
+  const CompiledNetwork c = tiny_net(70000).compile();
+  EXPECT_FALSE(c.storage_widths().narrow);
+  EXPECT_EQ(c.storage_widths().delay_bytes, sizeof(Delay));
+}
+
+TEST(StorageWidthsTest, ManyNeuronsWidenTargetsToU32) {
+  Network net;
+  const std::size_t n = (1u << 16) + 5;
+  for (std::size_t i = 0; i < n; ++i) net.add_threshold_neuron(1);
+  net.add_synapse(0, static_cast<NeuronId>(n - 1), 1, 2);
+  const CompiledNetwork c = net.compile();
+  EXPECT_TRUE(c.storage_widths().narrow);
+  EXPECT_EQ(c.storage_widths().target_bytes, 4u);
+  EXPECT_EQ(c.storage_widths().delay_bytes, 1u);
+}
+
+TEST(StorageWidthsTest, WidePolicyIsAnEscapeHatch) {
+  const CompiledNetwork c = tiny_net(5).compile(StoragePolicy::kWide);
+  EXPECT_FALSE(c.storage_widths().narrow);
+  EXPECT_EQ(c.storage_widths().target_bytes, sizeof(NeuronId));
+  EXPECT_EQ(c.storage_widths().weight_bytes, sizeof(SynWeight));
+  c.verify_invariants();
+}
+
+TEST(StorageWidthsTest, NarrowFreezeIsSubstantiallySmaller) {
+  // The acceptance bar: on a real SSSP fabric the narrow freeze must be at
+  // least 30% smaller than the wide oracle layout.
+  Rng rng(0x51AE);
+  const Graph g = make_random_graph(500, 4000, {1, 12}, rng);
+  const Network net = nga::build_sssp_network(g);
+  const CompiledNetwork narrow = net.compile();
+  const CompiledNetwork wide = net.compile(StoragePolicy::kWide);
+  ASSERT_TRUE(narrow.storage_widths().narrow);
+  ASSERT_FALSE(wide.storage_widths().narrow);
+  EXPECT_LE(static_cast<double>(narrow.csr_storage_bytes()),
+            0.7 * static_cast<double>(wide.csr_storage_bytes()))
+      << "narrow " << narrow.csr_storage_bytes() << " wide "
+      << wide.csr_storage_bytes();
+  EXPECT_GT(narrow.bytes_per_synapse(), 0.0);
+  EXPECT_LT(narrow.bytes_per_synapse(), wide.bytes_per_synapse());
+}
+
+TEST(StorageWidthsTest, SimStatsReportTheFrozenFootprint) {
+  const CompiledNetwork c = tiny_net(5).compile();
+  snn::Simulator sim(c);
+  sim.inject_spike(0, 0);
+  const snn::SimStats stats = sim.run();
+  EXPECT_EQ(stats.csr_bytes, c.csr_storage_bytes());
+  sim.reset();
+  sim.inject_spike(0, 0);
+  EXPECT_EQ(sim.run().csr_bytes, c.csr_storage_bytes());
+}
+
+// ---- Streamed builds ----------------------------------------------------
+
+TEST(StreamCompileTest, StreamedFreezeMatchesBuilderFreezeExactly) {
+  // The same relay-chain edges through both paths: compile_sssp_streamed
+  // must reproduce the builder freeze synapse-for-synapse (same CSR
+  // packing) and event-for-event (same SSSP run).
+  const std::size_t n = 200;
+  const std::uint64_t seed = 0xBEE5;
+  auto edges = [&](const EdgeStream& emit) {
+    stream_relay_chain(n, 3, 20, {1, 9}, seed, emit);
+  };
+
+  // Builder path: materialize the same edges into a Graph.
+  Graph g(n);
+  edges([&](VertexId u, VertexId v, Weight w) { g.add_edge(u, v, w); });
+  const CompiledNetwork built = nga::build_sssp_network(g).compile();
+
+  snn::StreamBuildStats bs;
+  const CompiledNetwork streamed =
+      nga::compile_sssp_streamed(n, edges, StoragePolicy::kAuto, &bs);
+  streamed.verify_invariants();
+
+  EXPECT_EQ(bs.num_neurons, n);
+  EXPECT_EQ(bs.num_synapses, streamed.num_synapses());
+  EXPECT_EQ(bs.csr_bytes, streamed.csr_storage_bytes());
+  EXPECT_GE(bs.peak_resident_bytes, bs.csr_bytes);
+
+  ASSERT_EQ(streamed.num_neurons(), built.num_neurons());
+  ASSERT_EQ(streamed.num_synapses(), built.num_synapses());
+  EXPECT_EQ(streamed.max_delay(), built.max_delay());
+  EXPECT_EQ(streamed.storage_widths(), built.storage_widths());
+  for (NeuronId i = 0; i < n; ++i) {
+    ASSERT_EQ(streamed.out_begin(i), built.out_begin(i)) << "neuron " << i;
+    ASSERT_EQ(streamed.seg_begin(i), built.seg_begin(i)) << "neuron " << i;
+    EXPECT_DOUBLE_EQ(streamed.positive_in_weight(i),
+                     built.positive_in_weight(i))
+        << "neuron " << i;
+  }
+  for (std::size_t k = 0; k < built.num_synapses(); ++k) {
+    ASSERT_EQ(streamed.syn_target(k), built.syn_target(k)) << "syn " << k;
+    ASSERT_EQ(streamed.syn_weight(k), built.syn_weight(k)) << "syn " << k;
+    ASSERT_EQ(streamed.syn_delay(k), built.syn_delay(k)) << "syn " << k;
+  }
+
+  auto run = [](const CompiledNetwork& net) {
+    snn::Simulator sim(net);
+    sim.inject_spike(0, 0);
+    snn::SimConfig cfg;
+    cfg.record_spike_log = true;
+    sim.run(cfg);
+    return sim.spike_log();
+  };
+  EXPECT_EQ(run(streamed), run(built));
+
+  // And the run solves SSSP: first-spike times equal Dijkstra distances.
+  const auto ref = dijkstra(g, 0);
+  snn::Simulator sim(streamed);
+  sim.inject_spike(0, 0);
+  sim.run();
+  for (VertexId v = 0; v < n; ++v) {
+    ASSERT_EQ(sim.first_spike(v), static_cast<Time>(ref.dist[v]))
+        << "vertex " << v;
+  }
+}
+
+TEST(StreamCompileTest, GridAndRmatStreamsFreezeAndVerify) {
+  {
+    snn::StreamBuildStats bs;
+    auto edges = [](const EdgeStream& emit) {
+      stream_grid(12, 17, {1, 4}, 0x60D, emit);
+    };
+    const CompiledNetwork c =
+        nga::compile_sssp_streamed(12 * 17, edges, StoragePolicy::kAuto, &bs);
+    c.verify_invariants();
+    EXPECT_EQ(bs.num_synapses, 2u * 12 * 17 + 12 * 17);  // edges + guards
+    EXPECT_TRUE(c.storage_widths().narrow);
+  }
+  {
+    auto edges = [](const EdgeStream& emit) {
+      stream_rmat(8, 1500, 0.57, 0.19, 0.19, {1, 7}, 0x42A7, emit);
+    };
+    const CompiledNetwork c = nga::compile_sssp_streamed(1u << 8, edges);
+    c.verify_invariants();
+    EXPECT_EQ(c.num_synapses(), 1500u + (1u << 8));
+    EXPECT_TRUE(c.storage_widths().narrow);
+  }
+}
+
+TEST(StreamCompileTest, StreamedGeneratorsReplayDeterministically) {
+  // The two-pass freeze hinges on the stream_* contract: same seed, same
+  // edge sequence, every invocation.
+  auto collect = [](auto&& gen) {
+    std::vector<std::tuple<VertexId, VertexId, Weight>> out;
+    gen([&](VertexId u, VertexId v, Weight w) { out.emplace_back(u, v, w); });
+    return out;
+  };
+  auto relay = [](const EdgeStream& e) {
+    stream_relay_chain(100, 2, 10, {1, 5}, 7, e);
+  };
+  auto rmat = [](const EdgeStream& e) {
+    stream_rmat(6, 300, 0.5, 0.2, 0.2, {1, 3}, 9, e);
+  };
+  EXPECT_EQ(collect(relay), collect(relay));
+  EXPECT_EQ(collect(rmat), collect(rmat));
+}
+
+// ---- Freeze-time validation messages (what failed, and where) -----------
+
+std::string message_of(const std::function<void()>& f) {
+  try {
+    f();
+  } catch (const InvalidArgument& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected InvalidArgument";
+  return {};
+}
+
+TEST(FreezeValidationTest, MessagesNameTheOffendingNeuronAndValue) {
+  {
+    // τ out of range: names the neuron ordinal and the bad value.
+    Network net;
+    net.add_neuron();
+    const std::string msg = message_of(
+        [&] { net.add_neuron(snn::NeuronParams{0, 1, 1.5}); });
+    EXPECT_NE(msg.find("neuron 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("1.5"), std::string::npos) << msg;
+  }
+  {
+    // Non-finite threshold caught at freeze time, with the neuron id and
+    // both parameter values in the message.
+    Network net;
+    net.add_neuron();
+    net.add_neuron(
+        snn::NeuronParams{0, std::numeric_limits<Voltage>::infinity(), 0.0});
+    const std::string msg = message_of([&] { net.compile(); });
+    EXPECT_NE(msg.find("neuron 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("non-finite"), std::string::npos) << msg;
+  }
+  {
+    // Non-finite weight: names the synapse ordinal and its source neuron.
+    Network net;
+    net.add_neuron();
+    net.add_neuron();
+    net.add_synapse(0, 1, 1, 1);
+    net.add_synapse(1, 0, std::numeric_limits<SynWeight>::quiet_NaN(), 1);
+    const std::string msg = message_of([&] { net.compile(); });
+    EXPECT_NE(msg.find("synapse 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("from neuron 1"), std::string::npos) << msg;
+  }
+}
+
+TEST(FreezeValidationTest, StreamedMessagesNameTheOffendingSynapse) {
+  auto params = [](NeuronId) { return snn::NeuronParams{0, 1, 0.0}; };
+  {
+    // Out-of-range target, with the synapse ordinal and both endpoints.
+    const std::string msg = message_of([&] {
+      snn::CompiledNetwork::compile_streamed(
+          3, params, [](const snn::SynapseSink& sink) {
+            sink(0, 1, 1, 1);
+            sink(1, 9, 1, 1);
+          });
+    });
+    EXPECT_NE(msg.find("synapse 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("neuron 9"), std::string::npos) << msg;
+  }
+  {
+    // Sub-δ delay names the ordinal, the source, and the bad delay.
+    const std::string msg = message_of([&] {
+      snn::CompiledNetwork::compile_streamed(
+          3, params, [](const snn::SynapseSink& sink) {
+            sink(2, 1, 1, 0);
+          });
+    });
+    EXPECT_NE(msg.find("synapse 0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("from neuron 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("delay 0"), std::string::npos) << msg;
+  }
+  {
+    // Bad τ from the params callback names the neuron and the value.
+    const std::string msg = message_of([&] {
+      snn::CompiledNetwork::compile_streamed(
+          2, [](NeuronId id) { return snn::NeuronParams{0, 1, id * 2.0}; },
+          [](const snn::SynapseSink&) {});
+    });
+    EXPECT_NE(msg.find("neuron 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("τ = 2"), std::string::npos) << msg;
+  }
+}
+
+TEST(FreezeValidationTest, NonDeterministicEmitterFailsLoudly) {
+  auto params = [](NeuronId) { return snn::NeuronParams{0, 1, 0.0}; };
+  {
+    // Extra synapse in pass 2.
+    int calls = 0;
+    const std::string msg = message_of([&] {
+      snn::CompiledNetwork::compile_streamed(
+          3, params, [&](const snn::SynapseSink& sink) {
+            sink(0, 1, 1, 1);
+            if (++calls > 1) sink(1, 2, 1, 1);
+          });
+    });
+    EXPECT_NE(msg.find("must be deterministic"), std::string::npos) << msg;
+  }
+  {
+    // Missing synapse in pass 2.
+    int calls = 0;
+    const std::string msg = message_of([&] {
+      snn::CompiledNetwork::compile_streamed(
+          3, params, [&](const snn::SynapseSink& sink) {
+            if (++calls == 1) sink(0, 1, 1, 1);
+          });
+    });
+    EXPECT_NE(msg.find("must be deterministic"), std::string::npos) << msg;
+  }
+  {
+    // Same count, different source: overflows that row's degree.
+    int calls = 0;
+    const std::string msg = message_of([&] {
+      snn::CompiledNetwork::compile_streamed(
+          3, params, [&](const snn::SynapseSink& sink) {
+            sink(++calls == 1 ? 0 : 1, 2, 1, 1);
+            sink(1, 2, 1, 1);
+          });
+    });
+    EXPECT_NE(msg.find("must be deterministic"), std::string::npos) << msg;
+  }
+}
+
+}  // namespace
+}  // namespace sga
