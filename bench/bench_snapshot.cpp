@@ -1,0 +1,198 @@
+// Snapshot / restore / checkpoint-overhead bench (docs/PERSISTENCE.md;
+// EXPERIMENTS.md checkpoint lane). Emitted to BENCH_snapshot.json for the
+// bench_compare trajectory.
+//
+// Three records on one deterministic SSSP-like workload:
+//   snapshot/size     — serialized image and journal bytes (EXACT: the
+//                       format is versioned and the workload is seeded, so
+//                       a byte drift means the format or the simulator's
+//                       event trajectory changed),
+//   snapshot/ops      — snapshot + restore wall cost (wall-tolerant),
+//   snapshot/overhead — the same run straight-through vs paused and
+//                       checkpointed every N steps; checkpoint count,
+//                       spikes, and T are exact and must MATCH the
+//                       uninterrupted run (the bench aborts otherwise —
+//                       it doubles as a cheap end-to-end differential).
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "core/random.h"
+#include "core/timer.h"
+#include "obs/report.h"
+#include "snn/compiled_network.h"
+#include "snn/network.h"
+#include "snn/simulator.h"
+#include "snn/snapshot.h"
+
+using namespace sga;
+using namespace sga::snn;
+
+namespace {
+
+// The workload: a seeded random integer-weight LIF network, large enough
+// that a snapshot carries real queue + neuron state, small enough to keep
+// the bench under a second. Mirrors the test harness generator.
+CompiledNetwork build_net(Network& net) {
+  Rng rng(0x5AAB5);
+  const std::size_t n = 2000, m = 12000;
+  for (std::size_t i = 0; i < n; ++i) {
+    NeuronParams p;
+    p.v_threshold = static_cast<Voltage>(rng.uniform_int(1, 3));
+    p.tau = rng.bernoulli(0.3) ? 1.0 : 0.0;
+    net.add_neuron(p);
+  }
+  const auto last = static_cast<std::int64_t>(n) - 1;
+  for (std::size_t e = 0; e < m; ++e) {
+    SynWeight w = static_cast<SynWeight>(rng.uniform_int(1, 3));
+    if (rng.bernoulli(0.1)) w = -w;
+    net.add_synapse(static_cast<NeuronId>(rng.uniform_int(0, last)),
+                    static_cast<NeuronId>(rng.uniform_int(0, last)), w,
+                    rng.uniform_int(1, 8));
+  }
+  return CompiledNetwork(net);
+}
+
+std::vector<std::pair<NeuronId, Time>> injections() {
+  Rng rng(0x5AAB6);
+  std::vector<std::pair<NeuronId, Time>> inj;
+  for (int i = 0; i < 40; ++i) {
+    inj.emplace_back(static_cast<NeuronId>(rng.uniform_int(0, 1999)),
+                     rng.uniform_int(0, 4));
+  }
+  return inj;
+}
+
+SimConfig run_config() {
+  SimConfig cfg;
+  cfg.record_spike_log = true;
+  cfg.max_time = 200;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  obs::BenchReport report("snapshot");
+  report.context("workload", "n=2000 m=12000 delays=[1,8] seeded, T<=200");
+  report.context("engine", "serial, calendar queue, segmented fan-out");
+  report.context("checkpoint_interval", "20 steps");
+
+  Network net_builder;
+  const CompiledNetwork net = build_net(net_builder);
+  const auto inj = injections();
+  const SimConfig cfg = run_config();
+
+  // ---- straight-through reference --------------------------------------
+  Simulator ref(net);
+  for (const auto& [id, t] : inj) ref.inject_spike(id, t);
+  std::uint64_t run_plain_ns = 0;
+  SimStats sref;
+  {
+    WallTimer w;
+    sref = ref.run(cfg);
+    run_plain_ns = static_cast<std::uint64_t>(w.seconds() * 1e9);
+  }
+
+  // ---- snapshot size + op cost at the run's midpoint -------------------
+  Simulator mid(net);
+  SpikeJournal journal;
+  for (const auto& [id, t] : inj) {
+    mid.inject_spike(id, t);
+    journal.record(id, t);
+  }
+  SimConfig pause_cfg = cfg;
+  pause_cfg.pause_time = sref.end_time / 2;
+  mid.run(pause_cfg);
+  if (!mid.paused()) {
+    std::cerr << "bench_snapshot: workload ended before the midpoint pause\n";
+    return 1;
+  }
+
+  constexpr int kOps = 50;
+  std::uint64_t snapshot_ns = 0, restore_ns = 0;
+  std::vector<std::uint8_t> image;
+  {
+    WallTimer w;
+    for (int i = 0; i < kOps; ++i) image = mid.snapshot();
+    snapshot_ns = static_cast<std::uint64_t>(w.seconds() * 1e9) / kOps;
+  }
+  {
+    WallTimer w;
+    for (int i = 0; i < kOps; ++i) {
+      Simulator back(net);
+      back.restore(image);
+    }
+    restore_ns = static_cast<std::uint64_t>(w.seconds() * 1e9) / kOps;
+  }
+  const std::vector<std::uint8_t> journal_bytes = journal.serialize();
+  const SnapshotImage parsed = parse_snapshot(image);
+  std::uint64_t queued_deliveries = 0;
+  for (const auto& b : parsed.queue) queued_deliveries += b.deliveries.size();
+  report.record("snapshot/size")
+      .set("snapshot_bytes", static_cast<std::uint64_t>(image.size()))
+      .set("journal_bytes",
+           static_cast<std::uint64_t>(journal_bytes.size()))
+      .set("journal_entries", static_cast<std::uint64_t>(journal.size()))
+      .set("queued_deliveries", queued_deliveries);
+  report.record("snapshot/ops")
+      .set("snapshot_ns", snapshot_ns)
+      .set("restore_ns", restore_ns)
+      .set("ops_averaged", std::uint64_t{kOps});
+
+  // The restored run must finish exactly like the reference (cheap
+  // end-to-end differential inside the bench itself).
+  Simulator resumed(net);
+  resumed.restore(image);
+  const SimStats sres = resumed.run(cfg);
+  if (sres.spikes != sref.spikes || sres.end_time != sref.end_time) {
+    std::cerr << "bench_snapshot: restored run diverged from reference\n";
+    return 1;
+  }
+
+  // ---- checkpoint-every-N overhead -------------------------------------
+  constexpr Time kInterval = 20;
+  Simulator ck(net);
+  for (const auto& [id, t] : inj) ck.inject_spike(id, t);
+  std::uint64_t run_ck_ns = 0;
+  std::uint64_t checkpoints = 0, checkpoint_bytes = 0;
+  SimStats sck;
+  {
+    WallTimer w;
+    Time pause_at = kInterval;
+    while (true) {
+      SimConfig c = cfg;
+      c.pause_time = pause_at;
+      sck = ck.run(c);
+      if (!ck.paused()) break;
+      const std::vector<std::uint8_t> cp = ck.snapshot();
+      ++checkpoints;
+      checkpoint_bytes += cp.size();
+      pause_at += kInterval;
+    }
+    run_ck_ns = static_cast<std::uint64_t>(w.seconds() * 1e9);
+  }
+  if (sck.spikes != sref.spikes || sck.end_time != sref.end_time ||
+      sck.deliveries != sref.deliveries) {
+    std::cerr << "bench_snapshot: checkpointed run diverged from reference\n";
+    return 1;
+  }
+  report.record("snapshot/overhead")
+      .T(sref.end_time)
+      .spikes(sref.spikes)
+      .events(sref.deliveries)
+      .set("checkpoints", checkpoints)
+      .set("checkpoint_bytes_total", checkpoint_bytes)
+      .set("run_no_checkpoint_ns", run_plain_ns)
+      .set("run_checkpoint_ns", run_ck_ns);
+
+  std::cout << "snapshot: " << image.size() << " bytes at T="
+            << pause_cfg.pause_time << ", snapshot " << snapshot_ns / 1000
+            << " us, restore " << restore_ns / 1000 << " us\n"
+            << "  checkpoint every " << kInterval << " steps: " << checkpoints
+            << " checkpoints, run " << run_plain_ns / 1000 << " us plain vs "
+            << run_ck_ns / 1000 << " us checkpointed\n";
+  const std::string path = report.write();
+  if (!path.empty()) std::cout << "wrote " << path << "\n";
+  return 0;
+}

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <numeric>
 #include <span>
 #include <tuple>
 #include <utility>
@@ -317,6 +319,178 @@ void CompiledNetwork::verify_invariants() const {
                                             << id);
     }
   }
+}
+
+void CompiledNetwork::recompute_pos_in_weight() {
+  pos_in_weight_.assign(num_neurons(), 0);
+  std::visit(
+      [this](const auto& st) {
+        for (std::size_t k = 0; k < st.targets.size(); ++k) {
+          const auto w = static_cast<SynWeight>(st.weights[k]);
+          if (w > 0) {
+            pos_in_weight_[static_cast<NeuronId>(st.targets[k])] += w;
+          }
+        }
+      },
+      store_);
+}
+
+void CompiledNetwork::patch_weights(
+    const std::vector<std::pair<std::size_t, SynWeight>>& edits) {
+  const std::size_t m = num_synapses();
+  const bool f32 = widths_.narrow && widths_.weight_bytes == 4;
+  // All-or-nothing: every edit validated before the first store write.
+  for (const auto& [k, w] : edits) {
+    SGA_REQUIRE(k < m, "patch_weights: synapse index "
+                           << k << " out of range (" << m << " synapses)");
+    SGA_REQUIRE(std::isfinite(w), "patch_weights: synapse "
+                                      << k << " assigned non-finite weight "
+                                      << w);
+    SGA_REQUIRE(!f32 || round_trips_f32(w),
+                "patch_weights: weight "
+                    << w << " for synapse " << k
+                    << " does not round-trip the frozen float32 storage; "
+                       "re-freeze the network to widen");
+  }
+  std::visit(
+      [&edits](auto& st) {
+        using WgtT = typename std::decay_t<decltype(st)>::WeightT;
+        for (const auto& [k, w] : edits) {
+          st.weights[k] = static_cast<WgtT>(w);
+        }
+      },
+      store_);
+  recompute_pos_in_weight();
+  verify_invariants();
+}
+
+void CompiledNetwork::patch_delays(
+    const std::vector<std::pair<std::size_t, Delay>>& edits) {
+  const std::size_t m = num_synapses();
+  const std::size_t n = num_neurons();
+  const Delay cap = !widths_.narrow
+                        ? std::numeric_limits<Delay>::max()
+                        : (widths_.delay_bytes == 1 ? 255 : 65535);
+  for (const auto& [k, d] : edits) {
+    SGA_REQUIRE(k < m, "patch_delays: synapse index "
+                           << k << " out of range (" << m << " synapses)");
+    SGA_REQUIRE(d >= kMinDelay, "patch_delays: synapse "
+                                    << k << " assigned delay " << d
+                                    << " below minimum δ = " << kMinDelay);
+    SGA_REQUIRE(d <= cap, "patch_delays: delay "
+                              << d << " for synapse " << k
+                              << " exceeds the frozen "
+                              << int{widths_.delay_bytes}
+                              << "-byte delay storage cap " << cap
+                              << "; re-freeze the network to widen");
+  }
+
+  // Rows whose delay order (and hence segments) the edits may disturb.
+  std::vector<NeuronId> rows;
+  rows.reserve(edits.size());
+  for (const auto& [k, d] : edits) {
+    const auto it = std::upper_bound(offsets_.begin(), offsets_.end(), k);
+    rows.push_back(static_cast<NeuronId>(it - offsets_.begin() - 1));
+  }
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+
+  std::visit(
+      [&](auto& st) {
+        using Store = std::decay_t<decltype(st)>;
+        using TgtT = typename Store::Target;
+        using DlyT = typename Store::DelayT;
+        using WgtT = typename Store::WeightT;
+        using SegT = typename Store::SegIndex;
+        for (const auto& [k, d] : edits) {
+          st.delays[k] = static_cast<DlyT>(d);
+        }
+
+        // Stably re-sort each touched row by its (new) delays, carrying
+        // targets and weights along — the same per-row order a fresh
+        // freeze of the patched graph would pack.
+        std::vector<std::size_t> order;
+        std::vector<TgtT> tgt_tmp;
+        std::vector<WgtT> wgt_tmp;
+        std::vector<DlyT> dly_tmp;
+        for (const NeuronId i : rows) {
+          const std::size_t b = offsets_[i];
+          const std::size_t len = offsets_[i + 1] - b;
+          if (len < 2) continue;  // a one-synapse row is trivially sorted
+          order.resize(len);
+          std::iota(order.begin(), order.end(), std::size_t{0});
+          std::stable_sort(order.begin(), order.end(),
+                           [&st, b](std::size_t a, std::size_t c) {
+                             return st.delays[b + a] < st.delays[b + c];
+                           });
+          tgt_tmp.resize(len);
+          wgt_tmp.resize(len);
+          dly_tmp.resize(len);
+          for (std::size_t j = 0; j < len; ++j) {
+            tgt_tmp[j] = st.targets[b + order[j]];
+            wgt_tmp[j] = st.weights[b + order[j]];
+            dly_tmp[j] = st.delays[b + order[j]];
+          }
+          std::copy(tgt_tmp.begin(), tgt_tmp.end(), st.targets.begin() + b);
+          std::copy(wgt_tmp.begin(), wgt_tmp.end(), st.weights.begin() + b);
+          std::copy(dly_tmp.begin(), dly_tmp.end(), st.delays.begin() + b);
+        }
+
+        // Rebuild the segment CSR: touched rows are re-scanned for delay
+        // runs, untouched rows keep their segment triples verbatim (run
+        // counts can change, so the flat arrays are re-spliced).
+        std::vector<char> touched(n, 0);
+        for (const NeuronId i : rows) touched[i] = 1;
+        std::vector<DlyT> nsd;
+        std::vector<SegT> nsb;
+        std::vector<SegT> nse;
+        nsd.reserve(st.seg_delays.size());
+        nsb.reserve(st.seg_syn_begin.size());
+        nse.reserve(st.seg_syn_end.size());
+        std::vector<std::size_t> nso(n + 1, 0);
+        for (NeuronId i = 0; i < n; ++i) {
+          if (!touched[i]) {
+            for (std::size_t s = seg_offsets_[i]; s < seg_offsets_[i + 1];
+                 ++s) {
+              nsd.push_back(st.seg_delays[s]);
+              nsb.push_back(st.seg_syn_begin[s]);
+              nse.push_back(st.seg_syn_end[s]);
+            }
+          } else {
+            std::size_t k = offsets_[i];
+            const std::size_t row_end = offsets_[i + 1];
+            while (k < row_end) {
+              const DlyT d = st.delays[k];
+              const std::size_t run_begin = k;
+              while (k < row_end && st.delays[k] == d) ++k;
+              nsd.push_back(d);
+              nsb.push_back(static_cast<SegT>(run_begin));
+              nse.push_back(static_cast<SegT>(k));
+            }
+          }
+          nso[i + 1] = nsd.size();
+        }
+        st.seg_delays = std::move(nsd);
+        st.seg_syn_begin = std::move(nsb);
+        st.seg_syn_end = std::move(nse);
+        seg_offsets_ = std::move(nso);
+      },
+      store_);
+
+  // max_delay may have grown or shrunk; each row's last segment is its
+  // maximum (segment delays are strictly increasing within a row).
+  Delay max_delay = 0;
+  for (NeuronId i = 0; i < n; ++i) {
+    if (seg_offsets_[i + 1] > seg_offsets_[i]) {
+      max_delay = std::max(max_delay, seg_delay(seg_offsets_[i + 1] - 1));
+    }
+  }
+  max_delay_ = max_delay;
+
+  // The row permutation can reorder same-target additions within a row, so
+  // the in-weight table is retabulated in the new synapse order.
+  recompute_pos_in_weight();
+  verify_invariants();
 }
 
 const std::vector<NeuronId>& CompiledNetwork::group(

@@ -44,6 +44,7 @@
 #include <functional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -272,6 +273,32 @@ class CompiledNetwork {
   /// Throws InvalidArgument on the first violation.
   void verify_invariants() const;
 
+  // ---- Incremental recompile (docs/PERSISTENCE.md) ---------------------
+  // The ONE sanctioned exception to "immutable after construction": patch
+  // the frozen payload in place instead of re-running the full freeze.
+  // Both methods are all-or-nothing (every edit is validated against the
+  // frozen widths BEFORE the first store mutation) and re-run
+  // verify_invariants() on the patched artifact before returning, so a
+  // patched network is exactly as trustworthy as a fresh freeze. They are
+  // NOT thread-safe: no Simulator may be mid-run on this network while a
+  // patch executes (between runs is fine — engines re-read the store each
+  // run; a ring sized for the old max_delay stays correct via spill).
+  /// Reassign weights by flat synapse index (see out_begin/out_end for the
+  /// row ranges). Later duplicates win. Each weight must be finite and,
+  /// when the freeze chose float32 storage, round-trip it bit-exactly —
+  /// otherwise the patch throws untouched (re-freeze to widen). The
+  /// positive-in-weight table is recomputed wholesale in synapse order, so
+  /// it stays bit-identical to what a fresh freeze of the patched graph
+  /// would tabulate.
+  void patch_weights(
+      const std::vector<std::pair<std::size_t, SynWeight>>& edits);
+  /// Reassign delays by flat synapse index. Each delay must be ≥ δ and fit
+  /// the frozen delay width (u8/u16 when narrow — re-freeze to widen).
+  /// Touched rows are stably re-sorted by delay and re-segmented (untouched
+  /// rows keep their segments verbatim); max_delay() is refreshed, which
+  /// may grow or shrink it.
+  void patch_delays(const std::vector<std::pair<std::size_t, Delay>>& edits);
+
   // ---- Sharding (snn/partition.h; ARCHITECTURE.md §1.5) ----------------
   /// Re-pack the CSR under `partition` into per-shard intra/cross synapse
   /// families for the conservative-parallel simulator. Pure derivation:
@@ -291,6 +318,9 @@ class CompiledNetwork {
   /// Choose widths for the already-validated wide payload and move it into
   /// the variant (narrowing element-wise when a narrow layout was chosen).
   void adopt_payload(StoragePolicy policy, WideSynStore&& wide);
+  /// Retabulate pos_in_weight_ from the payload in flat synapse order (the
+  /// same accumulation order compile() and verify_invariants() use).
+  void recompute_pos_in_weight();
 
   std::vector<Voltage> v_reset_;
   std::vector<Voltage> v_threshold_;

@@ -13,6 +13,7 @@
 #include "obs/metrics.h"
 #include "obs/probe.h"
 #include "snn/network.h"
+#include "snn/snapshot.h"
 
 namespace sga::snn {
 
@@ -610,7 +611,12 @@ void ParallelSimulator::inject_spike(NeuronId id, Time t) {
               "inject_spike: bad neuron " << id);
   SGA_REQUIRE(t >= 0, "inject_spike: negative time " << t);
   SGA_REQUIRE(t <= kNever, "inject_spike: time " << t << " beyond kNever");
-  SGA_REQUIRE(!ran_, "inject_spike after run() (call reset() first)");
+  SGA_REQUIRE(!ran_ || paused_,
+              "inject_spike after run() (call reset() first, or pause the "
+              "run to inject mid-flight)");
+  SGA_REQUIRE(!paused_ || t >= pause_floor_,
+              "inject_spike at t=" << t << " into a paused run whose resume "
+                                   << "floor is " << pause_floor_);
   Shard& sh = *shards_[split_.partition.shard_of[id]];
   sh.bucket_for(t, 1).forced.push_back(split_.partition.local_index[id]);
 }
@@ -685,6 +691,24 @@ void ParallelSimulator::plan_next_window() try {
     done_ = true;
     return;
   }
+  if (next > pause_time_) {
+    // Cooperative pause at the barrier. The window just finished wrote its
+    // cross-shard mail into mail_[parity_] (undrained — destinations fold
+    // at the START of the next window, which will not run): fold it into
+    // the destination shards' queues now, single-threaded, so the COMPLETE
+    // pending-event set lives in shard queues — that is the state
+    // snapshot() enumerates and run() resumes from. Nothing is dropped.
+    const std::size_t nshards = shards_.size();
+    for (std::size_t i = 0; i < nshards; ++i) {
+      shards_[i]->drain_inboxes(mail_[parity_].data() + i, nshards, nshards);
+      shards_[i]->out_min_time_ = kNoTime;
+    }
+    paused_ = true;
+    stats_.paused = true;
+    pause_floor_ = next;
+    done_ = true;
+    return;
+  }
   wstart_ = next;
   wend_ = std::min(wstart_ + window_len_, max_time_ + 1);
   parity_ ^= 1;
@@ -708,15 +732,38 @@ void ParallelSimulator::advance_owned_shards(unsigned worker,
 }
 
 SimStats ParallelSimulator::run(const SimConfig& config) {
-  SGA_REQUIRE(!ran_,
-              "ParallelSimulator::run is one-shot (call reset() to reuse)");
+  SGA_REQUIRE(!ran_ || paused_,
+              "ParallelSimulator::run is one-shot (call reset() to reuse, "
+              "or pause via SimConfig::pause_time to resume later)");
   obs::MetricsRegistry* caller_metrics = obs::thread_metrics();
   obs::ScopedTimer run_timer(caller_metrics, "psim.run_ns");
+  const bool resuming = ran_;
+  // Metrics report per-call deltas, so a pause/resume cycle does not
+  // double-count the pre-pause portion of the cumulative stats.
+  const std::uint64_t spikes0 = stats_.spikes;
+  const std::uint64_t deliveries0 = stats_.deliveries;
+  const std::uint64_t event_times0 = stats_.event_times;
   ran_ = true;
-  // Clamped so max_time_ + 1 cannot overflow; events never pass kNever
-  // (injections are checked, and the fire-side horizon test drops the
-  // rest), so the clamp is unobservable.
-  max_time_ = std::min(config.max_time, kNever);
+  if (resuming) {
+    // Same resume contract as the serial engine: the recording flags and
+    // horizon shaped the pre-pause event stream and cannot change.
+    SGA_REQUIRE(shards_.empty() ||
+                    (config.record_causes == shards_[0]->record_causes_ &&
+                     config.record_spike_log == shards_[0]->record_log_),
+                "resume: record_causes/record_spike_log must match the "
+                "paused run");
+    SGA_REQUIRE(std::min(config.max_time, kNever) == max_time_,
+                "resume: max_time must match the paused run ("
+                    << max_time_ << ")");
+  } else {
+    // Clamped so max_time_ + 1 cannot overflow; events never pass kNever
+    // (injections are checked, and the fire-side horizon test drops the
+    // rest), so the clamp is unobservable.
+    max_time_ = std::min(config.max_time, kNever);
+  }
+  pause_time_ = config.pause_time;
+  paused_ = false;
+  stats_.paused = false;
 
   const Partition& part = split_.partition;
   std::uint64_t distinct_terminals = 0;
@@ -730,11 +777,22 @@ SimStats ParallelSimulator::run(const SimConfig& config) {
       ++distinct_terminals;
     }
   }
-  terminals_remaining_ =
-      config.terminate_on_all ? distinct_terminals
-                              : std::min<std::uint64_t>(1, distinct_terminals);
-  terminal_fired_ = false;
-  const bool watch_all = config.watched_neurons.empty();
+  if (!resuming) {
+    terminals_remaining_ = config.terminate_on_all
+                               ? distinct_terminals
+                               : std::min<std::uint64_t>(1, distinct_terminals);
+    terminal_fired_ = false;
+  } else if (distinct_terminals > 0) {
+    // Terminals registered before the pause were counted then (the loop
+    // above is idempotent); only genuinely new ids adjust the count.
+    terminals_remaining_ +=
+        config.terminate_on_all
+            ? distinct_terminals
+            : ((terminals_remaining_ == 0 && !terminal_fired_) ? 1 : 0);
+  }
+  const bool watch_all = resuming && !shards_.empty()
+                             ? shards_[0]->watch_all_
+                             : config.watched_neurons.empty();
   for (const NeuronId w : config.watched_neurons) {
     SGA_REQUIRE(w < net_->num_neurons(), "bad watched neuron " << w);
     Shard& sh = *shards_[part.shard_of[w]];
@@ -747,9 +805,10 @@ SimStats ParallelSimulator::run(const SimConfig& config) {
 
   // Per-shard probes: same options as the attached probe, bound to the
   // full network (hooks use global ids). Merged into the user's probe in
-  // finalize_run().
-  shard_probes_.clear();
-  if (probe_ != nullptr) {
+  // finalize_run() — only at COMPLETION, so a resume keeps accumulating
+  // into the same shard probes rather than recreating (and losing) them.
+  if (!resuming) shard_probes_.clear();
+  if (probe_ != nullptr && shard_probes_.empty()) {
     for (std::size_t i = 0; i < shards_.size(); ++i) {
       shard_probes_.push_back(std::make_unique<obs::Probe>(probe_->options()));
       shard_probes_.back()->bind(net_->num_neurons());
@@ -836,21 +895,35 @@ SimStats ParallelSimulator::run(const SimConfig& config) {
   }
   if (error_) std::rethrow_exception(error_);
 
-  finalize_run();
+  finalize_run(/*absorb_probes=*/!paused_);
   if (caller_metrics != nullptr) {
     caller_metrics->add("psim.runs");
-    caller_metrics->add("sim.spikes", stats_.spikes);
-    caller_metrics->add("sim.deliveries", stats_.deliveries);
-    caller_metrics->add("sim.event_times", stats_.event_times);
+    caller_metrics->add("sim.spikes", stats_.spikes - spikes0);
+    caller_metrics->add("sim.deliveries", stats_.deliveries - deliveries0);
+    caller_metrics->add("sim.event_times", stats_.event_times - event_times0);
     caller_metrics->gauge("psim.shards", static_cast<double>(shards_.size()));
     caller_metrics->gauge("psim.threads", static_cast<double>(workers));
   }
   return stats_;
 }
 
-void ParallelSimulator::finalize_run() {
+void ParallelSimulator::finalize_run(bool absorb_probes) {
   // Engine totals: semantic counters sum exactly; queue counters combine
-  // as documented in the header (they are per-queue properties).
+  // as documented in the header (they are per-queue properties). Counters
+  // are ASSIGNED (base_ + per-shard sums), never accumulated into stats_,
+  // so finalizing at a pause and again at completion is safe: shard
+  // counters persist across the pause, and base_ carries what a restore
+  // brought in (shard counters restart from zero there).
+  stats_.spikes = base_.spikes;
+  stats_.deliveries = base_.deliveries;
+  stats_.peak_queue_events = base_.peak_queue_events;
+  stats_.max_bucket_occupancy = base_.max_bucket_occupancy;
+  stats_.overflow_spills = base_.overflow_spills;
+  stats_.empty_bucket_scans = base_.empty_bucket_scans;
+  stats_.fanout_segments = base_.fanout_segments;
+  stats_.bulk_appends = base_.bulk_appends;
+  stats_.pool_hits = base_.pool_hits;
+  stats_.pool_misses = base_.pool_misses;
   for (const auto& sh : shards_) {
     stats_.spikes += sh->spikes_;
     stats_.deliveries += sh->deliveries_;
@@ -872,14 +945,16 @@ void ParallelSimulator::finalize_run() {
 
   // Canonical (time, id) spike log: shard logs are time-ordered already;
   // one global sort yields the canonical order (a neuron fires at most
-  // once per step, so (time, id) is a total order on log entries).
+  // once per step, so (time, id) is a total order on log entries). A
+  // restore scattered the image's log back into the shard logs, so the
+  // rebuild covers pre-restore history too.
   log_.clear();
   for (const auto& sh : shards_) {
     log_.insert(log_.end(), sh->spike_log_.begin(), sh->spike_log_.end());
   }
   std::sort(log_.begin(), log_.end());
 
-  if (probe_ != nullptr) {
+  if (absorb_probes && probe_ != nullptr) {
     std::vector<const obs::Probe*> parts;
     parts.reserve(shard_probes_.size());
     for (const auto& p : shard_probes_) parts.push_back(p.get());
@@ -895,6 +970,7 @@ void ParallelSimulator::reset() {
   shard_probes_.clear();
   log_.clear();
   stats_ = SimStats{};
+  base_ = SimStats{};
   terminals_remaining_ = 0;
   terminal_fired_ = false;
   done_ = false;
@@ -903,6 +979,211 @@ void ParallelSimulator::reset() {
   max_time_ = kNever;
   error_ = nullptr;
   ran_ = false;
+  paused_ = false;
+  pause_time_ = kNever;
+  pause_floor_ = 0;
+}
+
+std::vector<std::uint8_t> ParallelSimulator::snapshot() const {
+  obs::ScopedTimer timer(obs::thread_metrics(), "snap.snapshot_ns");
+  SnapshotImage img;
+  build_image(&img);
+  std::vector<std::uint8_t> bytes = serialize_snapshot(img);
+  if (obs::MetricsRegistry* m = obs::thread_metrics()) {
+    m->add("snap.snapshots");
+    m->add("snap.bytes", bytes.size());
+  }
+  return bytes;
+}
+
+void ParallelSimulator::build_image(SnapshotImage* img) const {
+  img->num_neurons = net_->num_neurons();
+  img->num_synapses = net_->num_synapses();
+  img->max_delay = net_->max_delay();
+  img->widths = net_->storage_widths();
+  img->mid_run = ran_;
+  // Recording flags live in the shards (uniform across them by
+  // construction); a never-run simulator has the defaults, exactly like a
+  // fresh serial engine.
+  const Shard* s0 = shards_.empty() ? nullptr : shards_[0].get();
+  img->record_causes = s0 != nullptr && s0->record_causes_;
+  img->record_log = s0 != nullptr && s0->record_log_;
+  img->watch_all = s0 != nullptr && s0->watch_all_;
+  img->terminal_fired = terminal_fired_;
+  img->max_time = max_time_;
+  img->resume_floor =
+      paused_ ? pause_floor_ : (ran_ ? stats_.end_time + 1 : 0);
+  img->terminals_remaining = terminals_remaining_;
+  for (const auto& sh : shards_) {
+    for (const NeuronId lid : sh->active_terminals_) {
+      img->terminals.push_back(sh->csr->global_ids[lid]);
+    }
+    for (const NeuronId lid : sh->active_watched_) {
+      img->watched.push_back(sh->csr->global_ids[lid]);
+    }
+  }
+  std::sort(img->terminals.begin(), img->terminals.end());
+  std::sort(img->watched.begin(), img->watched.end());
+
+  // Per-neuron state: each shard's dirty list, mapped to global ids and
+  // merged into the id-sorted order the format requires.
+  for (const auto& sh : shards_) {
+    for (const NeuronId lid : sh->dirty_) {
+      SnapshotNeuron e;
+      e.id = sh->csr->global_ids[lid];
+      e.v = sh->v_[lid];
+      e.last_update = sh->last_update_[lid];
+      e.first_spike = sh->first_spike_[lid];
+      e.last_spike = sh->last_spike_[lid];
+      e.spike_count = sh->spike_count_[lid];
+      e.cause = sh->cause_[lid];
+      img->neurons.push_back(e);
+    }
+  }
+  std::sort(img->neurons.begin(), img->neurons.end(),
+            [](const SnapshotNeuron& a, const SnapshotNeuron& b) {
+              return a.id < b.id;
+            });
+
+  // Pending events: merge every shard's ring + spill into one global
+  // time-ascending sequence. At a pause the mailboxes are already folded
+  // into the shard queues (plan_next_window's pause path), so this IS the
+  // complete pending set. In-bucket order is shard-index order, which is
+  // deterministic for a given partition; delivery order inside a bucket is
+  // semantically order-free (docs/PERSISTENCE.md).
+  std::map<Time, SnapshotBucket> pending;
+  const bool causes = img->record_causes;
+  for (const auto& sh : shards_) {
+    const auto add_bucket = [&](Time t, const Shard::Bucket& bucket) {
+      SnapshotBucket& b = pending[t];
+      b.time = t;
+      for (const NeuronId lid : bucket.forced) {
+        b.forced.push_back(sh->csr->global_ids[lid]);
+      }
+      for (std::size_t i = 0; i < bucket.targets.size(); ++i) {
+        SnapshotDelivery d;
+        d.target = sh->csr->global_ids[bucket.targets[i]];
+        d.weight = bucket.weights[i];
+        if (causes) d.source = bucket.sources[i];  // already global
+        b.deliveries.push_back(d);
+      }
+    };
+    for (std::size_t w = 0; w < sh->ring_occupied_.size(); ++w) {
+      std::uint64_t word = sh->ring_occupied_[w];
+      while (word != 0) {
+        const std::size_t slot =
+            (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+        word &= word - 1;
+        const std::size_t start =
+            static_cast<std::size_t>((sh->cursor_ + 1) & sh->ring_mask_);
+        const std::size_t offset =
+            (slot - start) & static_cast<std::size_t>(sh->ring_mask_);
+        add_bucket(sh->cursor_ + 1 + static_cast<Time>(offset),
+                   sh->ring_[slot]);
+      }
+    }
+    for (const auto& [t, bucket] : sh->spill_) add_bucket(t, bucket);
+  }
+  img->queue.reserve(pending.size());
+  for (auto& [t, bucket] : pending) img->queue.push_back(std::move(bucket));
+
+  img->log = log_;
+  img->stats = stats_;
+}
+
+void ParallelSimulator::restore(const std::uint8_t* data, std::size_t size) {
+  obs::ScopedTimer timer(obs::thread_metrics(), "snap.restore_ns");
+  // ALL-OR-NOTHING, as in Simulator::restore: parse + validate throw
+  // before the first mutation.
+  const SnapshotImage img = parse_snapshot(data, size);
+  validate_snapshot_for(img, *net_);
+  apply_image(img);
+  if (obs::MetricsRegistry* m = obs::thread_metrics()) {
+    m->add("snap.restores");
+  }
+}
+
+void ParallelSimulator::apply_image(const SnapshotImage& img) {
+  reset();
+  const Partition& part = split_.partition;
+  for (const auto& sh : shards_) {
+    sh->record_causes_ = img.record_causes;
+    sh->record_log_ = img.record_log;
+    sh->watch_all_ = img.watch_all;
+  }
+  max_time_ = img.max_time;
+  for (const NeuronId t : img.terminals) {
+    Shard& sh = *shards_[part.shard_of[t]];
+    const NeuronId lid = part.local_index[t];
+    sh.is_terminal_[lid] = 1;
+    sh.active_terminals_.push_back(lid);
+  }
+  for (const NeuronId w : img.watched) {
+    Shard& sh = *shards_[part.shard_of[w]];
+    const NeuronId lid = part.local_index[w];
+    sh.is_watched_[lid] = 1;
+    sh.active_watched_.push_back(lid);
+  }
+  terminals_remaining_ = img.terminals_remaining;
+  terminal_fired_ = img.terminal_fired;
+
+  // Scatter pending events to their owning shards through the normal
+  // queue path (ring vs spill follows each shard's own geometry).
+  for (const SnapshotBucket& b : img.queue) {
+    for (const NeuronId f : b.forced) {
+      Shard& sh = *shards_[part.shard_of[f]];
+      sh.bucket_for(b.time, 1).forced.push_back(part.local_index[f]);
+    }
+    for (const SnapshotDelivery& d : b.deliveries) {
+      Shard& sh = *shards_[part.shard_of[d.target]];
+      Shard::Bucket& bk = sh.bucket_for(b.time, 1);
+      bk.targets.push_back(part.local_index[d.target]);
+      bk.weights.push_back(d.weight);
+      if (img.record_causes) bk.sources.push_back(d.source);
+    }
+  }
+  // The re-enqueue above ran through bucket_for/activate, which bump
+  // per-shard artifact counters; zero them so the post-restore deltas the
+  // shards accumulate start clean (base_ carries the image's cumulative
+  // totals — see finalize_run).
+  for (const auto& sh : shards_) {
+    sh->peak_queue_events_ = 0;
+    sh->overflow_spills_ = 0;
+    sh->pool_hits_ = 0;
+    sh->pool_misses_ = 0;
+  }
+
+  for (const SnapshotNeuron& e : img.neurons) {
+    Shard& sh = *shards_[part.shard_of[e.id]];
+    const NeuronId lid = part.local_index[e.id];
+    sh.touch_state(lid);
+    sh.v_[lid] = e.v;
+    sh.last_update_[lid] = e.last_update;
+    sh.first_spike_[lid] = e.first_spike;
+    sh.last_spike_[lid] = e.last_spike;
+    sh.spike_count_[lid] = e.spike_count;
+    sh.cause_[lid] = e.cause;  // global id, stored as-is
+  }
+
+  // The merged log lives here; shard logs stay empty (finalize_run
+  // concatenates shard logs onto an empty log_, so seed the restored
+  // history into ONE shard to keep the rebuild correct).
+  log_ = img.log;
+  if (!shards_.empty()) shards_[0]->spike_log_ = img.log;
+
+  base_ = img.stats;
+  stats_ = img.stats;
+  // Engine-specific fields reflect the LIVE engine, not the source's.
+  stats_.ring_buckets =
+      shards_.empty() ? 0
+                      : static_cast<std::uint32_t>(shards_[0]->ring_.size());
+  stats_.csr_bytes = 0;  // the parallel engine does not report CSR bytes
+  base_.ring_buckets = stats_.ring_buckets;
+  base_.csr_bytes = 0;
+  ran_ = img.mid_run;
+  paused_ = img.mid_run && img.stats.paused;
+  pause_floor_ = img.resume_floor;
+  pause_time_ = kNever;
 }
 
 Time ParallelSimulator::first_spike(NeuronId id) const {

@@ -111,6 +111,26 @@ class ParallelSimulator {
   /// mirroring Simulator::reset(). The partition is kept.
   void reset();
 
+  // ---- Snapshot / restore (snn/snapshot.h; docs/PERSISTENCE.md) --------
+  /// Serialize the complete simulation state into the SAME engine-agnostic
+  /// versioned format as Simulator::snapshot() (global neuron ids; shard
+  /// structure is not part of the image). A parallel snapshot restores
+  /// into a serial Simulator, either queue kind, or a ParallelSimulator
+  /// with a DIFFERENT shard count — and vice versa.
+  std::vector<std::uint8_t> snapshot() const;
+  /// All-or-nothing restore; see Simulator::restore. Probe data is not
+  /// part of the image (probes are observers, not simulation state).
+  void restore(const std::uint8_t* data, std::size_t size);
+  void restore(const std::vector<std::uint8_t>& bytes) {
+    restore(bytes.data(), bytes.size());
+  }
+  /// True when the last run() stopped at config.pause_time (resumable).
+  /// A paused run's probe data is merged into the attached probe only when
+  /// the run finally COMPLETES (so a pause/resume cycle absorbs it once).
+  bool paused() const { return paused_; }
+  /// Earliest pending event time while paused; see Simulator::resume_floor.
+  Time resume_floor() const { return pause_floor_; }
+
   /// Attach an observability probe (BORROWED; bind()s it to this network).
   /// Recording happens in per-shard probes merged into this one after
   /// each run — see the header comment for ordering guarantees.
@@ -149,7 +169,16 @@ class ParallelSimulator {
   /// done_. Never throws (errors latch error_ and stop the run).
   void plan_next_window();
   void advance_owned_shards(unsigned worker, unsigned stride);
-  void finalize_run();
+  /// Fold shard counters/logs into stats_/log_. Idempotent: counters are
+  /// ASSIGNED as base_ (restored/pre-pause cumulative) + per-shard sums, so
+  /// it runs once per pause AND once at completion without double-counting.
+  /// Shard probes merge into the attached probe only when absorb_probes is
+  /// set (completion, not pause — absorbing is not idempotent).
+  void finalize_run(bool absorb_probes);
+  /// Snapshot plumbing (snn/snapshot.h): merge shard state into the
+  /// engine-agnostic image / scatter a validated image across shards.
+  void build_image(SnapshotImage* img) const;
+  void apply_image(const SnapshotImage& img);
 
   const CompiledNetwork* net_;
   std::unique_ptr<CompiledNetwork> owned_;  ///< Network-ctor form only
@@ -186,6 +215,15 @@ class ParallelSimulator {
   bool terminal_fired_ = false;
   std::vector<Time> merge_scratch_;
   std::exception_ptr error_;
+
+  // Pause/resume state (docs/PERSISTENCE.md), mirroring the serial engine.
+  bool paused_ = false;
+  Time pause_time_ = kNever;
+  Time pause_floor_ = 0;
+  /// Counter baseline for finalize_run()'s idempotent assignment: zero for
+  /// a fresh run, the image's cumulative stats after a restore (shard
+  /// counters restart from zero there, so the baseline carries the past).
+  SimStats base_;
 };
 
 }  // namespace sga::snn

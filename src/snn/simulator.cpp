@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "obs/probe.h"
+#include "snn/snapshot.h"
 
 namespace sga::snn {
 
@@ -151,7 +152,15 @@ void Simulator::inject_spike(NeuronId id, Time t) {
   SGA_REQUIRE(id < net_->num_neurons(), "inject_spike: bad neuron " << id);
   SGA_REQUIRE(t >= 0, "inject_spike: negative time " << t);
   SGA_REQUIRE(t <= kNever, "inject_spike: time " << t << " beyond kNever");
-  SGA_REQUIRE(!ran_, "inject_spike after run() (call reset() first)");
+  SGA_REQUIRE(!ran_ || paused_,
+              "inject_spike after run() (call reset() first, or pause the "
+              "run to inject mid-flight)");
+  // Mid-run injection (paused only): everything below the resume floor has
+  // already been processed — an earlier event would land behind the queue
+  // cursor and silently never fire, so refuse it.
+  SGA_REQUIRE(!paused_ || t >= pause_floor_,
+              "inject_spike at t=" << t << " into a paused run whose resume "
+                                   << "floor is " << pause_floor_);
   bucket_for(t, 1).forced.push_back(id);
 }
 
@@ -285,15 +294,41 @@ void Simulator::fire(NeuronId id, Time t) {
 }
 
 SimStats Simulator::run(const SimConfig& config) {
-  SGA_REQUIRE(!ran_, "Simulator::run is one-shot (call reset() to reuse)");
+  SGA_REQUIRE(!ran_ || paused_,
+              "Simulator::run is one-shot (call reset() to reuse, or pause "
+              "via SimConfig::pause_time to resume later)");
   // Per-run metrics go to the CURRENT THREAD's registry (nullptr = off,
   // the default); multi-threaded drivers install one registry per worker
   // and merge after join, so this line never contends.
   obs::ScopedTimer run_timer(obs::thread_metrics(), "sim.run_ns");
+  const bool resuming = ran_;
+  // Metrics report per-call deltas: a paused-and-resumed run must not
+  // double-count the pre-pause portion of the cumulative stats.
+  const std::uint64_t spikes0 = stats_.spikes;
+  const std::uint64_t deliveries0 = stats_.deliveries;
+  const std::uint64_t event_times0 = stats_.event_times;
+  const std::uint64_t spills0 = stats_.overflow_spills;
   ran_ = true;
-  record_causes_ = config.record_causes;
-  record_log_ = config.record_spike_log;
-  max_time_ = config.max_time;
+  if (resuming) {
+    // Resume continues the SAME logical run: the recording flags and the
+    // horizon shape the event stream itself, so they cannot change
+    // mid-flight (deliveries enqueued before the pause already reflect
+    // them). The pause point may move; everything else must match.
+    SGA_REQUIRE(config.record_causes == record_causes_ &&
+                    config.record_spike_log == record_log_,
+                "resume: record_causes/record_spike_log must match the "
+                "paused run");
+    SGA_REQUIRE(config.max_time == max_time_,
+                "resume: max_time must match the paused run ("
+                    << max_time_ << ")");
+  } else {
+    record_causes_ = config.record_causes;
+    record_log_ = config.record_spike_log;
+    max_time_ = config.max_time;
+  }
+  pause_time_ = config.pause_time;
+  paused_ = false;
+  stats_.paused = false;
   std::uint64_t distinct_terminals = 0;
   for (const NeuronId t : config.terminal_neurons) {
     SGA_REQUIRE(t < net_->num_neurons(), "bad terminal neuron " << t);
@@ -303,10 +338,20 @@ SimStats Simulator::run(const SimConfig& config) {
       ++distinct_terminals;
     }
   }
-  terminals_remaining_ =
-      config.terminate_on_all ? distinct_terminals
-                              : std::min<std::uint64_t>(1, distinct_terminals);
-  watch_all_ = config.watched_neurons.empty();
+  if (!resuming) {
+    terminals_remaining_ = config.terminate_on_all
+                               ? distinct_terminals
+                               : std::min<std::uint64_t>(1, distinct_terminals);
+  } else if (distinct_terminals > 0) {
+    // A resume may add terminals; ones already registered before the pause
+    // were counted then (registration is idempotent, so only genuinely new
+    // ids reach this adjustment).
+    terminals_remaining_ +=
+        config.terminate_on_all
+            ? distinct_terminals
+            : ((terminals_remaining_ == 0 && !terminal_fired_) ? 1 : 0);
+  }
+  if (!resuming) watch_all_ = config.watched_neurons.empty();
   for (const NeuronId w : config.watched_neurons) {
     SGA_REQUIRE(w < net_->num_neurons(), "bad watched neuron " << w);
     if (!is_watched_[w]) {
@@ -321,6 +366,16 @@ SimStats Simulator::run(const SimConfig& config) {
     if (!next_pending_time(&t)) break;
     if (t > max_time_) {
       stats_.hit_time_limit = true;
+      break;
+    }
+    if (t > pause_time_) {
+      // Cooperative pause BETWEEN steps: unlike the horizon break above,
+      // the bucket at t (and everything after it) stays queued — nothing
+      // is dropped, so a later run() call or a restore-elsewhere continues
+      // event-for-event exactly.
+      paused_ = true;
+      stats_.paused = true;
+      pause_floor_ = t;
       break;
     }
     // Drain the bucket in place: with delay ≥ 1 and the ring's strict
@@ -435,10 +490,10 @@ SimStats Simulator::run(const SimConfig& config) {
   }
   if (obs::MetricsRegistry* m = obs::thread_metrics()) {
     m->add("sim.runs");
-    m->add("sim.spikes", stats_.spikes);
-    m->add("sim.deliveries", stats_.deliveries);
-    m->add("sim.event_times", stats_.event_times);
-    m->add("sim.overflow_spills", stats_.overflow_spills);
+    m->add("sim.spikes", stats_.spikes - spikes0);
+    m->add("sim.deliveries", stats_.deliveries - deliveries0);
+    m->add("sim.event_times", stats_.event_times - event_times0);
+    m->add("sim.overflow_spills", stats_.overflow_spills - spills0);
     m->gauge("sim.csr_bytes", static_cast<double>(stats_.csr_bytes));
   }
   return stats_;
@@ -510,7 +565,164 @@ void Simulator::reset() {
   max_time_ = kNever;
   terminals_remaining_ = 0;
   terminal_fired_ = false;
+  paused_ = false;
+  pause_time_ = kNever;
+  pause_floor_ = 0;
   ran_ = false;
+}
+
+std::vector<std::uint8_t> Simulator::snapshot() const {
+  obs::ScopedTimer timer(obs::thread_metrics(), "snap.snapshot_ns");
+  SnapshotImage img;
+  build_image(&img);
+  std::vector<std::uint8_t> bytes = serialize_snapshot(img);
+  if (obs::MetricsRegistry* m = obs::thread_metrics()) {
+    m->add("snap.snapshots");
+    m->add("snap.bytes", bytes.size());
+  }
+  return bytes;
+}
+
+void Simulator::build_image(SnapshotImage* img) const {
+  img->num_neurons = net_->num_neurons();
+  img->num_synapses = net_->num_synapses();
+  img->max_delay = net_->max_delay();
+  img->widths = net_->storage_widths();
+  img->mid_run = ran_;
+  img->record_causes = record_causes_;
+  img->record_log = record_log_;
+  img->watch_all = watch_all_;
+  img->terminal_fired = terminal_fired_;
+  img->max_time = max_time_;
+  img->resume_floor =
+      paused_ ? pause_floor_ : (ran_ ? stats_.end_time + 1 : 0);
+  img->terminals_remaining = terminals_remaining_;
+  img->terminals = active_terminals_;
+  std::sort(img->terminals.begin(), img->terminals.end());
+  img->watched = active_watched_;
+  std::sort(img->watched.begin(), img->watched.end());
+
+  // Per-neuron state, sparse: exactly the entries reset() would rewind.
+  std::vector<NeuronId> ids = dirty_;
+  std::sort(ids.begin(), ids.end());
+  img->neurons.reserve(ids.size());
+  for (const NeuronId id : ids) {
+    SnapshotNeuron e;
+    e.id = id;
+    e.v = v_[id];
+    e.last_update = last_update_[id];
+    e.first_spike = first_spike_[id];
+    e.last_spike = last_spike_[id];
+    e.spike_count = spike_count_[id];
+    e.cause = cause_[id];
+    img->neurons.push_back(e);
+  }
+
+  // Pending events, ascending by time, VERBATIM in-bucket order (delivery
+  // order is observable through FP summation and serial log order, so a
+  // same-engine restore must reproduce it exactly).
+  std::map<Time, const Bucket*> pending;
+  if (queue_kind_ == QueueKind::kCalendar) {
+    for (std::size_t w = 0; w < ring_occupied_.size(); ++w) {
+      std::uint64_t word = ring_occupied_[w];
+      while (word != 0) {
+        const std::size_t slot =
+            (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+        word &= word - 1;
+        // Slot residue → absolute time: ring events live in
+        // (cursor_, cursor_ + W), so the offset from the slot after the
+        // cursor is unique.
+        const std::size_t start =
+            static_cast<std::size_t>((cursor_ + 1) & ring_mask_);
+        const std::size_t offset =
+            (slot - start) & static_cast<std::size_t>(ring_mask_);
+        pending.emplace(cursor_ + 1 + static_cast<Time>(offset), &ring_[slot]);
+      }
+    }
+  }
+  for (const auto& [t, bucket] : spill_) pending.emplace(t, &bucket);
+  img->queue.reserve(pending.size());
+  for (const auto& [t, bucket] : pending) {
+    SnapshotBucket b;
+    b.time = t;
+    b.forced = bucket->forced;
+    b.deliveries.resize(bucket->targets.size());
+    for (std::size_t i = 0; i < bucket->targets.size(); ++i) {
+      b.deliveries[i].target = bucket->targets[i];
+      b.deliveries[i].weight = bucket->weights[i];
+      if (record_causes_) b.deliveries[i].source = bucket->sources[i];
+    }
+    img->queue.push_back(std::move(b));
+  }
+
+  img->log = spike_log_;
+  img->stats = stats_;
+}
+
+void Simulator::restore(const std::uint8_t* data, std::size_t size) {
+  obs::ScopedTimer timer(obs::thread_metrics(), "snap.restore_ns");
+  // ALL-OR-NOTHING: parse (structure, CRC) then validate (fingerprint,
+  // every id and time) BEFORE the first mutation — a SnapshotError from
+  // either leaves this simulator exactly as it was.
+  const SnapshotImage img = parse_snapshot(data, size);
+  validate_snapshot_for(img, *net_);
+  apply_image(img);
+  if (obs::MetricsRegistry* m = obs::thread_metrics()) {
+    m->add("snap.restores");
+  }
+}
+
+void Simulator::apply_image(const SnapshotImage& img) {
+  reset();
+  record_causes_ = img.record_causes;
+  record_log_ = img.record_log;
+  watch_all_ = img.watch_all;
+  max_time_ = img.max_time;
+  for (const NeuronId t : img.terminals) {
+    is_terminal_[t] = 1;
+    active_terminals_.push_back(t);
+  }
+  for (const NeuronId w : img.watched) {
+    is_watched_[w] = 1;
+    active_watched_.push_back(w);
+  }
+  terminals_remaining_ = img.terminals_remaining;
+  terminal_fired_ = img.terminal_fired;
+
+  // Re-enqueue pending events through the normal queue path (so ring vs
+  // spill placement follows THIS engine's geometry), then overwrite the
+  // counters it perturbed with the image's cumulative values below.
+  for (const SnapshotBucket& b : img.queue) {
+    Bucket& bk = bucket_for(b.time, b.forced.size() + b.deliveries.size());
+    bk.forced.insert(bk.forced.end(), b.forced.begin(), b.forced.end());
+    for (const SnapshotDelivery& d : b.deliveries) {
+      bk.targets.push_back(d.target);
+      bk.weights.push_back(d.weight);
+      if (record_causes_) bk.sources.push_back(d.source);
+    }
+  }
+
+  for (const SnapshotNeuron& e : img.neurons) {
+    touch_state(e.id);
+    v_[e.id] = e.v;
+    last_update_[e.id] = e.last_update;
+    first_spike_[e.id] = e.first_spike;
+    last_spike_[e.id] = e.last_spike;
+    spike_count_[e.id] = e.spike_count;
+    cause_[e.id] = e.cause;
+  }
+
+  spike_log_ = img.log;
+  stats_ = img.stats;
+  // Engine-specific fields reflect the LIVE engine, not the source's.
+  stats_.ring_buckets = queue_kind_ == QueueKind::kCalendar
+                            ? static_cast<std::uint32_t>(ring_.size())
+                            : 0;
+  stats_.csr_bytes = net_->csr_storage_bytes();
+  ran_ = img.mid_run;
+  paused_ = img.mid_run && img.stats.paused;
+  pause_floor_ = img.resume_floor;
+  pause_time_ = kNever;
 }
 
 Time Simulator::first_spike(NeuronId id) const {

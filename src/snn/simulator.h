@@ -53,6 +53,8 @@ class Probe;
 
 namespace sga::snn {
 
+struct SnapshotImage;  // snn/snapshot.h
+
 /// Pending-event queue implementation (DESIGN.md §4 ablation knob).
 enum class QueueKind : std::uint8_t {
   kCalendar,  ///< ring-bucket calendar queue + sorted overflow spill (default)
@@ -84,6 +86,15 @@ struct SimConfig {
   /// Record, for each neuron's FIRST spike, a presynaptic neuron whose spike
   /// arrived at that step (used for shortest-path predecessor extraction).
   bool record_causes = false;
+  /// Cooperative pause point (docs/PERSISTENCE.md): run() returns with
+  /// stats.paused set once the NEXT pending event time exceeds this,
+  /// leaving every pending event queued. Unlike max_time — which
+  /// permanently drops post-horizon work on the fan-out side — a paused
+  /// run loses nothing: calling run() again (same recording flags and
+  /// max_time, possibly a later pause_time) continues exactly where it
+  /// stopped, and snapshot() captures the paused state for restore in
+  /// another simulator. This is the service's checkpoint hook.
+  Time pause_time = kNever;
 };
 
 struct SimStats {
@@ -93,6 +104,8 @@ struct SimStats {
   Time end_time = 0;                   ///< last processed time step
   bool hit_terminal = false;           ///< stopped because a terminal fired
   bool hit_time_limit = false;         ///< work was left beyond max_time
+  bool paused = false;                 ///< stopped at config.pause_time; the
+                                       ///< run is resumable (nothing dropped)
   /// Execution time T per Definition 3 (first terminal spike), kNever if no
   /// terminal fired.
   Time execution_time = kNever;
@@ -171,6 +184,35 @@ class Simulator {
   /// applies. Repeated runs over the same Network therefore cost
   /// O(events), not O(neurons) per run.
   void reset();
+
+  // ---- Snapshot / restore (snn/snapshot.h; docs/PERSISTENCE.md) --------
+  /// Serialize the complete simulation state — membrane potentials, every
+  /// pending delivery bucket, the spike log, run configuration, cumulative
+  /// counters — into the versioned binary snapshot format. Callable at any
+  /// point outside run(): before a run, while paused (the checkpoint case),
+  /// or after completion. The image uses global neuron ids and is engine-
+  /// agnostic: it restores into either queue kind, either fan-out kind, or
+  /// a ParallelSimulator over the same CompiledNetwork.
+  std::vector<std::uint8_t> snapshot() const;
+
+  /// Replace this simulator's state with a snapshot taken on the SAME
+  /// frozen network (shape + storage widths are fingerprinted). ALL-OR-
+  /// NOTHING: the stream is fully parsed and validated before any state is
+  /// touched; on SnapshotError the simulator is exactly as it was. After
+  /// restoring a paused snapshot, run() (with the original recording flags
+  /// and max_time) resumes event-for-event identically to the run the
+  /// snapshot was taken from.
+  void restore(const std::uint8_t* data, std::size_t size);
+  void restore(const std::vector<std::uint8_t>& bytes) {
+    restore(bytes.data(), bytes.size());
+  }
+
+  /// True when the last run() stopped at config.pause_time (resumable).
+  bool paused() const { return paused_; }
+  /// While paused (or after restoring a paused snapshot): the earliest
+  /// pending event time. Everything strictly below it has been processed;
+  /// inject_spike() during a pause must target t ≥ resume_floor().
+  Time resume_floor() const { return pause_floor_; }
 
   QueueKind queue_kind() const { return queue_kind_; }
   FanoutKind fanout_kind() const { return fanout_kind_; }
@@ -300,6 +342,11 @@ class Simulator {
 
   void init_state();
 
+  /// Snapshot plumbing (simulator.cpp + snn/snapshot.h): build the engine-
+  /// agnostic image of the current state / adopt a validated image.
+  void build_image(SnapshotImage* img) const;
+  void apply_image(const SnapshotImage& img);
+
   std::optional<CompiledNetwork> owned_;  ///< set by the Network constructor
   const CompiledNetwork* net_;
   const QueueKind queue_kind_;
@@ -361,6 +408,13 @@ class Simulator {
   Time max_time_ = kNever;
   std::uint64_t terminals_remaining_ = 0;
   bool terminal_fired_ = false;
+
+  // Pause/resume state (docs/PERSISTENCE.md). pause_floor_ is the next
+  // pending event time at the moment of the pause: the boundary between
+  // processed and pending work, carried into snapshots as the resume floor.
+  bool paused_ = false;
+  Time pause_time_ = kNever;
+  Time pause_floor_ = 0;
 };
 
 }  // namespace sga::snn

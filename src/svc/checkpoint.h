@@ -1,0 +1,91 @@
+// Checkpoint store for the query service's crash-recovery loop
+// (docs/PERSISTENCE.md; docs/SERVICE.md).
+//
+// A checkpointed request periodically pauses its simulator (SimConfig::
+// pause_time), snapshots the complete simulation state (snn/snapshot.h),
+// and files the (snapshot, journal) pair here under the request's ticket.
+// If the worker dies mid-query — process crash, serve exception, machine
+// loss in a deployment that backs this store with durable storage — the
+// request is resubmitted with `resume = true` and continues from the last
+// checkpoint on ANY worker, answering event-for-event identically to an
+// uninterrupted run (the snapshot differential tests pin this).
+//
+// The store is deliberately dumb: a mutexed map from ticket to the latest
+// checkpoint. Durability is the embedder's concern — the Checkpoint's two
+// byte vectors are self-contained versioned streams (magic + CRC), safe to
+// write to disk or ship over the wire as-is. The on_checkpoint hook runs
+// on the serving worker after each put; tests use it to inject crashes at
+// an exact checkpoint boundary, operators can use it to fsync.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/types.h"
+
+namespace sga::svc {
+
+/// One recovery point of a checkpointed query: everything needed to
+/// re-serve the request from the pause it was taken at.
+struct Checkpoint {
+  /// Simulator state at the pause — snn::Simulator/ParallelSimulator::
+  /// snapshot() bytes (engine-agnostic; restores into either).
+  std::vector<std::uint8_t> snapshot;
+  /// Serialized snn::SpikeJournal of every spike injected so far, so the
+  /// run is ALSO replayable from scratch without the snapshot.
+  std::vector<std::uint8_t> journal;
+  /// Monotone per-ticket checkpoint counter (1 = first pause).
+  std::uint64_t sequence = 0;
+  /// The pause_time the resumed run should aim for next.
+  Time next_pause = 0;
+};
+
+/// Latest-checkpoint-per-ticket store shared by the service's workers.
+/// Thread-safe; BORROWED by the service (ServiceOptions::checkpoints).
+class CheckpointStore {
+ public:
+  /// Replace the ticket's checkpoint (latest wins).
+  void put(std::uint64_t ticket, Checkpoint cp) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    map_[ticket] = std::move(cp);
+  }
+
+  /// Copy of the ticket's latest checkpoint, if any.
+  std::optional<Checkpoint> get(std::uint64_t ticket) const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = map_.find(ticket);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Drop the ticket's checkpoint (a completed query no longer needs its
+  /// recovery point). Returns whether one existed.
+  bool erase(std::uint64_t ticket) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return map_.erase(ticket) > 0;
+  }
+
+  std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+  }
+
+  /// Invoked on the serving worker after each put(ticket, …), OUTSIDE the
+  /// store lock. A throw propagates out of the serve (the request fails
+  /// kFailed with the checkpoint already durable) — which is exactly how
+  /// the crash-recovery tests kill a worker at a checkpoint boundary.
+  std::function<void(std::uint64_t ticket, std::uint64_t sequence)>
+      on_checkpoint;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, Checkpoint> map_;
+};
+
+}  // namespace sga::svc

@@ -7,6 +7,7 @@
 #include "nga/maxflow.h"
 #include "obs/metrics.h"
 #include "nga/sssp_event.h"
+#include "snn/snapshot.h"
 #include "svc/hash.h"
 
 namespace sga::svc {
@@ -182,11 +183,66 @@ void QueryService::serve_sssp(WorkerSlots& slots, const QueryRequest& req,
   snn::Simulator& sim = slots.acquire(artifact);
   obs::Probe* probe =
       req.want_probe ? &slots.attach_probe(req.probe) : nullptr;
-  sim.inject_spike(req.source, 0);
   snn::SimConfig cfg;
   cfg.record_causes = req.record_parents;
   if (req.target) cfg.terminal_neurons = {*req.target};
-  res.sim = sim.run(cfg);
+
+  // Periodic checkpointing + crash recovery (docs/PERSISTENCE.md). Opt-in
+  // per request (ticket != 0) on an opted-in service; unticketed requests
+  // take the plain single-run path below.
+  const bool checkpointing = opt_.checkpoint_interval > 0 &&
+                             opt_.checkpoints != nullptr && req.ticket != 0;
+  snn::SpikeJournal journal;
+  std::uint64_t seq = 0;
+  Time pause_at = opt_.checkpoint_interval;
+  if (checkpointing && req.resume) {
+    // Resume: the snapshot carries the injected history (processed state +
+    // pending queue), so the source spike is NOT re-injected; the journal
+    // rides along for snapshot-free replay.
+    const std::optional<Checkpoint> cp = opt_.checkpoints->get(req.ticket);
+    SGA_REQUIRE(cp.has_value(), "sssp: resume requested but ticket "
+                                    << req.ticket << " has no checkpoint");
+    sim.restore(cp->snapshot);
+    journal = snn::SpikeJournal::deserialize(cp->journal);
+    seq = cp->sequence;
+    pause_at = cp->next_pause;
+    if (obs::MetricsRegistry* mr = obs::thread_metrics()) {
+      mr->add("svc.recoveries");
+    }
+  } else {
+    SGA_REQUIRE(!req.resume,
+                "sssp: resume requires a ticketed request on a service "
+                "built with a CheckpointStore and a checkpoint_interval");
+    sim.inject_spike(req.source, 0);
+    if (checkpointing) journal.record(req.source, 0);
+  }
+
+  if (checkpointing) {
+    while (true) {
+      cfg.pause_time = pause_at;
+      res.sim = sim.run(cfg);
+      if (!sim.paused()) break;
+      pause_at += opt_.checkpoint_interval;
+      Checkpoint cp;
+      cp.snapshot = sim.snapshot();
+      cp.journal = journal.serialize();
+      cp.sequence = ++seq;
+      cp.next_pause = pause_at;
+      opt_.checkpoints->put(req.ticket, std::move(cp));
+      if (obs::MetricsRegistry* mr = obs::thread_metrics()) {
+        mr->add("svc.checkpoints");
+      }
+      if (opt_.checkpoints->on_checkpoint) {
+        // May throw: the serve fails with the checkpoint already stored —
+        // the crash-recovery tests kill the request exactly here.
+        opt_.checkpoints->on_checkpoint(req.ticket, seq);
+      }
+    }
+    // Completed: the recovery point is obsolete.
+    opt_.checkpoints->erase(req.ticket);
+  } else {
+    res.sim = sim.run(cfg);
+  }
   const Time last = nga::read_sssp_solution(sim, *g, req.source,
                                             req.record_parents, res.dist,
                                             res.parent);

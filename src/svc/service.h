@@ -41,6 +41,7 @@
 #include "obs/metrics.h"
 #include "obs/probe.h"
 #include "svc/cache.h"
+#include "svc/checkpoint.h"
 #include "svc/congestion.h"
 #include "svc/worker_pool.h"
 
@@ -61,6 +62,14 @@ struct ServiceOptions {
   LoadShedder* shedder = nullptr;
   /// Event-queue implementation for every worker simulator.
   snn::QueueKind queue = snn::QueueKind::kCalendar;
+  /// Periodic checkpointing for SSSP queries (docs/PERSISTENCE.md): when
+  /// > 0 AND `checkpoints` is set AND the request carries a non-zero
+  /// ticket, the worker pauses the run every this-many time steps and
+  /// files a (snapshot, journal) checkpoint under the ticket.
+  Time checkpoint_interval = 0;
+  /// Checkpoint store (BORROWED; must outlive the service). nullptr
+  /// disables checkpointing.
+  CheckpointStore* checkpoints = nullptr;
 };
 
 /// One query. `graph` is a handle returned by add_graph(). Fields beyond
@@ -84,6 +93,15 @@ struct QueryRequest {
   /// and ignores probes).
   bool want_probe = false;
   obs::ProbeOptions probe;
+  /// Crash-recovery identity (SSSP only): a non-zero ticket opts this
+  /// request into periodic checkpointing when the service was built with a
+  /// CheckpointStore and a checkpoint_interval. Tickets are caller-chosen;
+  /// reusing one overwrites its checkpoints.
+  std::uint64_t ticket = 0;
+  /// Re-serve from the ticket's stored checkpoint instead of starting
+  /// fresh (the answer is event-for-event identical to an uninterrupted
+  /// run). Fails kFailed when the ticket has no checkpoint.
+  bool resume = false;
 };
 
 enum class QueryStatus : std::uint8_t {
