@@ -62,6 +62,16 @@ bool is_wall_clock_key(const std::string& key) {
 /// carry the same run-to-run noise but regress DOWNWARD.
 bool is_rate_key(const std::string& key) { return ends_with(key, "_per_sec"); }
 
+/// context.hardware_concurrency when present and numeric, else -1.
+/// Benches that run threaded code record it; wall numbers taken on
+/// machines with different core counts are not comparable.
+double context_cores(const Json& doc) {
+  const Json* ctx = doc.find("context");
+  if (ctx == nullptr) return -1.0;
+  const Json* v = ctx->find("hardware_concurrency");
+  return v != nullptr && v->is_number() ? v->as_double() : -1.0;
+}
+
 const Json* find_record(const Json& doc, const std::string& name) {
   for (const Json& r : doc.find("records")->elements()) {
     const Json* n = r.find("name");
@@ -132,7 +142,24 @@ int main(int argc, char** argv) try {
             << base.find("build_type")->as_string() << ")\n"
             << "current:  " << files[1] << " (git "
             << cur.find("git_sha")->as_string() << ", "
-            << cur.find("build_type")->as_string() << ")\n\n";
+            << cur.find("build_type")->as_string() << ")\n";
+
+  // When either file declares a hardware_concurrency and they disagree,
+  // wall-clock and throughput comparisons are between different machines —
+  // informational only, never REGRESSION. Semantic keys stay binding:
+  // they are machine-independent by design.
+  const double base_cores = context_cores(base);
+  const double cur_cores = context_cores(cur);
+  const bool cores_declared = base_cores > 0.0 || cur_cores > 0.0;
+  const bool wall_comparable = !cores_declared || base_cores == cur_cores;
+  if (!wall_comparable) {
+    std::cout << "note: hardware_concurrency differs (baseline "
+              << (base_cores > 0.0 ? Table::fixed(base_cores, 0) : "unknown")
+              << ", current "
+              << (cur_cores > 0.0 ? Table::fixed(cur_cores, 0) : "unknown")
+              << ") — *_ns/*_per_sec checks are informational\n";
+  }
+  std::cout << "\n";
 
   Table t({"record", "key", "baseline", "current", "change", "verdict"});
   std::size_t regressions = 0, drifts = 0, compared = 0, missing = 0;
@@ -159,14 +186,18 @@ int main(int argc, char** argv) try {
       const double rel = b != 0.0 ? (c - b) / b : (c != 0.0 ? 1.0 : 0.0);
       std::string verdict = "ok";
       if (is_wall_clock_key(key)) {
-        if (rel > threshold) {
+        if (!wall_comparable) {
+          verdict = "n/a (cores differ)";
+        } else if (rel > threshold) {
           verdict = "REGRESSION";
           ++regressions;
         } else if (rel < -threshold) {
           verdict = "improved";
         }
       } else if (is_rate_key(key)) {
-        if (rel < -threshold) {
+        if (!wall_comparable) {
+          verdict = "n/a (cores differ)";
+        } else if (rel < -threshold) {
           verdict = "REGRESSION";
           ++regressions;
         } else if (rel > threshold) {

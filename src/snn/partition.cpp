@@ -1,19 +1,202 @@
 #include "snn/partition.h"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
+#include <utility>
 
 #include "core/error.h"
 #include "snn/compiled_network.h"
 
 namespace sga::snn {
 
-Partition make_partition(const CompiledNetwork& net, std::size_t num_shards) {
+namespace {
+
+/// Refinement passes are bounded: greedy label propagation converges fast
+/// and each pass is O(m + n·S), so a hard cap keeps partitioning cheap on
+/// the million-neuron instances while letting small graphs converge fully.
+constexpr std::size_t kMaxRefinePasses = 8;
+
+/// Order min-cross-delay with 0 ("no cross synapses") as +infinity: a
+/// partition with no cross edges has an unbounded lookahead window and
+/// must never be degraded.
+std::int64_t encode_min_cross(Delay d) {
+  return d == 0 ? std::numeric_limits<std::int64_t>::max() : d;
+}
+
+/// Cut-minimizing refinement over an LPT seed (see partition.h file
+/// comment). Deterministic: neurons are visited in id order, candidate
+/// shards in (affinity desc, index asc) order, and the first candidate
+/// passing the balance cap and the min-cross-delay filter wins.
+void refine_partition(const CompiledNetwork& net, Partition& p) {
+  const std::size_t n = net.num_neurons();
+  const std::size_t S = p.num_shards;
+  const Delay max_delay = net.max_delay();
+
+  // Cross-delay histogram + cut weight of the seed. The histogram is what
+  // makes the lexicographic filter cheap: a move's delta touches only the
+  // delays of edges incident to the moved neuron, and the partition's
+  // min-cross-delay is the smallest delay with a nonzero count.
+  std::vector<std::int64_t> hist(static_cast<std::size_t>(max_delay) + 1, 0);
+  double cut = 0.0;
+  for (NeuronId id = 0; id < n; ++id) {
+    for (std::size_t j = net.out_begin(id); j < net.out_end(id); ++j) {
+      const NeuronId tgt = net.syn_target(j);
+      if (p.shard_of[tgt] != p.shard_of[id]) {
+        const Delay d = net.syn_delay(j);
+        ++hist[static_cast<std::size_t>(d)];
+        cut += 1.0 / static_cast<double>(d);
+      }
+    }
+  }
+  Delay cur_min = 0;
+  for (std::size_t d = 1; d < hist.size(); ++d) {
+    if (hist[d] > 0) {
+      cur_min = static_cast<Delay>(d);
+      break;
+    }
+  }
+  p.pass_min_cross_delay.push_back(cur_min);
+  p.pass_cut_weight.push_back(cut);
+  if (S < 2 || n == 0) return;
+
+  // Transpose adjacency (counting sort): refinement needs a neuron's IN
+  // edges too — moving `id` changes the cut status of both edge
+  // directions, and the CompiledNetwork CSR only stores out-rows.
+  std::vector<std::size_t> in_off(n + 1, 0);
+  for (NeuronId id = 0; id < n; ++id) {
+    for (std::size_t j = net.out_begin(id); j < net.out_end(id); ++j) {
+      ++in_off[net.syn_target(j) + 1];
+    }
+  }
+  for (std::size_t i = 1; i <= n; ++i) in_off[i] += in_off[i - 1];
+  std::vector<NeuronId> in_src(net.num_synapses());
+  std::vector<Delay> in_delay(net.num_synapses());
+  {
+    std::vector<std::size_t> cursor(in_off.begin(), in_off.end() - 1);
+    for (NeuronId id = 0; id < n; ++id) {
+      for (std::size_t j = net.out_begin(id); j < net.out_end(id); ++j) {
+        const std::size_t w = cursor[net.syn_target(j)]++;
+        in_src[w] = id;
+        in_delay[w] = net.syn_delay(j);
+      }
+    }
+  }
+
+  // Same balance cap the LPT bound guarantees (integer arithmetic matches
+  // the property test), so refinement preserves the documented bound.
+  std::uint64_t total = 0;
+  std::uint64_t w_max = 0;
+  for (NeuronId id = 0; id < n; ++id) {
+    const std::uint64_t w = 1 + net.out_degree(id);
+    total += w;
+    w_max = std::max(w_max, w);
+  }
+  const std::uint64_t cap = total / S + w_max;
+
+  std::vector<double> affinity(S, 0.0);
+  std::vector<std::uint32_t> touched;
+  std::vector<std::uint32_t> candidates;
+  // (delay, delta) pairs of the move under evaluation, for revert.
+  std::vector<std::pair<std::size_t, std::int64_t>> deltas;
+
+  for (std::size_t pass = 0; pass < kMaxRefinePasses; ++pass) {
+    std::size_t moved = 0;
+    for (NeuronId id = 0; id < n; ++id) {
+      const std::uint32_t s0 = p.shard_of[id];
+      // Affinity of `id` to each neighboring shard: Σ 1/delay over both
+      // edge directions. Self-loops move with the neuron and never change
+      // cut status, so they are excluded.
+      touched.clear();
+      for (std::size_t j = net.out_begin(id); j < net.out_end(id); ++j) {
+        const NeuronId tgt = net.syn_target(j);
+        if (tgt == id) continue;
+        const std::uint32_t ts = p.shard_of[tgt];
+        if (affinity[ts] == 0.0) touched.push_back(ts);
+        affinity[ts] += 1.0 / static_cast<double>(net.syn_delay(j));
+      }
+      for (std::size_t j = in_off[id]; j < in_off[id + 1]; ++j) {
+        const NeuronId src = in_src[j];
+        if (src == id) continue;
+        const std::uint32_t ss = p.shard_of[src];
+        if (affinity[ss] == 0.0) touched.push_back(ss);
+        affinity[ss] += 1.0 / static_cast<double>(in_delay[j]);
+      }
+
+      // Candidates: shards with strictly more affinity than home (the cut
+      // gain of moving there), best-first, ties to the lowest index.
+      candidates.clear();
+      for (const std::uint32_t s : touched) {
+        if (s != s0 && affinity[s] > affinity[s0]) candidates.push_back(s);
+      }
+      std::sort(candidates.begin(), candidates.end(),
+                [&](std::uint32_t a, std::uint32_t b) {
+                  if (affinity[a] != affinity[b]) {
+                    return affinity[a] > affinity[b];
+                  }
+                  return a < b;
+                });
+
+      const std::uint64_t w_id = 1 + net.out_degree(id);
+      for (const std::uint32_t s1 : candidates) {
+        if (p.shard_load[s1] + w_id > cap) continue;
+        // Lexicographic filter: apply the move's cross-delay histogram
+        // delta and reject (revert) if the minimum cross delay shrinks.
+        deltas.clear();
+        const auto add_delta = [&](std::uint32_t other_shard, Delay d) {
+          if (other_shard == s0) {
+            deltas.emplace_back(static_cast<std::size_t>(d), +1);
+          } else if (other_shard == s1) {
+            deltas.emplace_back(static_cast<std::size_t>(d), -1);
+          }
+        };
+        for (std::size_t j = net.out_begin(id); j < net.out_end(id); ++j) {
+          const NeuronId tgt = net.syn_target(j);
+          if (tgt != id) add_delta(p.shard_of[tgt], net.syn_delay(j));
+        }
+        for (std::size_t j = in_off[id]; j < in_off[id + 1]; ++j) {
+          if (in_src[j] != id) add_delta(p.shard_of[in_src[j]], in_delay[j]);
+        }
+        for (const auto& [d, delta] : deltas) hist[d] += delta;
+        Delay new_min = 0;
+        for (std::size_t d = 1; d < hist.size(); ++d) {
+          if (hist[d] > 0) {
+            new_min = static_cast<Delay>(d);
+            break;
+          }
+        }
+        if (encode_min_cross(new_min) < encode_min_cross(cur_min)) {
+          for (const auto& [d, delta] : deltas) hist[d] -= delta;
+          continue;
+        }
+        // Accept. The cut decreases by the (strictly positive) gain, so
+        // pass_cut_weight is non-increasing even under FP rounding.
+        cut += affinity[s0] - affinity[s1];
+        cur_min = new_min;
+        p.shard_of[id] = s1;
+        p.shard_load[s0] -= w_id;
+        p.shard_load[s1] += w_id;
+        ++moved;
+        break;
+      }
+      for (const std::uint32_t s : touched) affinity[s] = 0.0;
+    }
+    p.pass_min_cross_delay.push_back(cur_min);
+    p.pass_cut_weight.push_back(cut);
+    if (moved == 0) break;
+  }
+}
+
+}  // namespace
+
+Partition make_partition(const CompiledNetwork& net, std::size_t num_shards,
+                         PartitionKind kind) {
   SGA_REQUIRE(num_shards >= 1, "make_partition: need at least one shard");
   const std::size_t n = net.num_neurons();
 
   Partition p;
   p.num_shards = num_shards;
+  p.kind = kind;
   p.shard_of.assign(n, 0);
   p.local_index.assign(n, 0);
   p.shard_neurons.resize(num_shards);
@@ -37,6 +220,8 @@ Partition make_partition(const CompiledNetwork& net, std::size_t num_shards) {
     p.shard_load[best] += 1 + net.out_degree(id);
   }
 
+  if (kind == PartitionKind::kCutRefined) refine_partition(net, p);
+
   // Local indices follow ascending neuron id within a shard: partitioning
   // over S = 1 is then exactly the identity layout.
   for (NeuronId id = 0; id < n; ++id) {
@@ -45,6 +230,32 @@ Partition make_partition(const CompiledNetwork& net, std::size_t num_shards) {
     members.push_back(id);
   }
   return p;
+}
+
+double partition_cut_weight(const CompiledNetwork& net, const Partition& p) {
+  double cut = 0.0;
+  for (NeuronId id = 0; id < net.num_neurons(); ++id) {
+    for (std::size_t j = net.out_begin(id); j < net.out_end(id); ++j) {
+      if (p.shard_of[net.syn_target(j)] != p.shard_of[id]) {
+        cut += 1.0 / static_cast<double>(net.syn_delay(j));
+      }
+    }
+  }
+  return cut;
+}
+
+Delay partition_min_cross_delay(const CompiledNetwork& net,
+                                const Partition& p) {
+  Delay min_cross = 0;
+  for (NeuronId id = 0; id < net.num_neurons(); ++id) {
+    for (std::size_t j = net.out_begin(id); j < net.out_end(id); ++j) {
+      if (p.shard_of[net.syn_target(j)] != p.shard_of[id]) {
+        const Delay d = net.syn_delay(j);
+        min_cross = min_cross == 0 ? d : std::min(min_cross, d);
+      }
+    }
+  }
+  return min_cross;
 }
 
 ShardSplit CompiledNetwork::shard_split(Partition partition) const {

@@ -1,19 +1,37 @@
 // Neuron partitioning for the sharded conservative-parallel simulator
-// (ARCHITECTURE.md §1.5).
+// (ARCHITECTURE.md §1.5, §1.10).
 //
 // A Partition assigns every neuron of a CompiledNetwork to exactly one of S
-// shards. The partitioner is a degree-balanced greedy (LPT): neurons are
-// taken in order of decreasing work weight (1 + out-degree, the per-fire
-// cost model) and each is placed on the currently lightest shard, ties
-// broken by lowest shard index. Every tie in the ordering is broken by
-// neuron id, so the result is a pure function of (network, S) — two
-// processes that compile the same network partition it identically, which
-// is what makes the parallel engine's event order reproducible.
+// shards. Two partitioners are available (PartitionKind):
+//
+//   * kLpt — degree-balanced greedy: neurons are taken in order of
+//     decreasing work weight (1 + out-degree, the per-fire cost model) and
+//     each is placed on the currently lightest shard, ties broken by lowest
+//     shard index. Balances load but is blind to edges, so it maximizes
+//     cross-shard traffic on anything with locality. Kept as the oracle.
+//
+//   * kCutRefined — the LPT result refined by deterministic greedy label
+//     propagation (KL-style single-neuron moves, bounded passes in neuron
+//     id order). The objective is lexicographic: never decrease the
+//     partition's minimum cross-shard delay (that delay IS the conservative
+//     lookahead window δ, so shrinking it would slow every shard), and
+//     subject to that, minimize the cut weight Σ 1/delay over cross-shard
+//     synapses — small-delay cross edges are the δ killers and mailbox hot
+//     spots, so they are weighed heaviest. Moves must also respect the LPT
+//     balance cap (below), so the refined partition keeps the same balance
+//     bound. A move is accepted only with strictly positive cut gain, so
+//     refinement terminates and the refined cut never exceeds the seed's.
+//
+// Every tie anywhere is broken by neuron id / shard index, so both kinds
+// are pure functions of (network, S) — two processes that compile the same
+// network partition it identically, which is what makes the parallel
+// engine's event order reproducible.
 //
 // Balance bound (property-tested in tests/test_partition.cpp): when a
-// neuron is placed, the lightest shard carries at most total/S, so every
-// shard load is ≤ total/S + w_max where w_max is the largest single neuron
-// weight. partition over S = 1 is the identity assignment.
+// neuron is placed by LPT, the lightest shard carries at most total/S, so
+// every shard load is ≤ total/S + w_max where w_max is the largest single
+// neuron weight. kCutRefined moves are capped by the same bound, so it
+// holds for both kinds. Partition over S = 1 is the identity assignment.
 //
 // ShardSplit is the shard-aware CSR split the parallel simulator runs on:
 // for each shard, every member neuron's out-synapses are re-packed into two
@@ -37,8 +55,14 @@ namespace sga::snn {
 
 class CompiledNetwork;
 
+enum class PartitionKind : std::uint8_t {
+  kLpt,         ///< degree-balanced greedy, edge-blind (the oracle)
+  kCutRefined,  ///< LPT seed + deterministic cut-minimizing refinement
+};
+
 struct Partition {
   std::size_t num_shards = 0;
+  PartitionKind kind = PartitionKind::kLpt;
   /// neuron id -> owning shard.
   std::vector<std::uint32_t> shard_of;
   /// neuron id -> index within its shard's local arrays.
@@ -48,12 +72,30 @@ struct Partition {
   /// shard -> Σ (1 + out_degree) over members (the balance metric).
   std::vector<std::uint64_t> shard_load;
 
+  /// Refinement telemetry (kCutRefined only; empty for kLpt): entry 0
+  /// describes the LPT seed, entry i the partition after refinement pass i.
+  /// min-cross-delay uses 0 for "no cross synapses" (infinite lookahead).
+  /// Property-tested: pass_cut_weight is non-increasing and
+  /// pass_min_cross_delay non-decreasing (0 ordered above every delay).
+  std::vector<Delay> pass_min_cross_delay;
+  std::vector<double> pass_cut_weight;
+
   std::size_t num_neurons() const { return shard_of.size(); }
 };
 
-/// Deterministic degree-balanced greedy partition of `net` into
-/// `num_shards` ≥ 1 shards (shards may be empty when S > n).
-Partition make_partition(const CompiledNetwork& net, std::size_t num_shards);
+/// Deterministic partition of `net` into `num_shards` ≥ 1 shards (shards
+/// may be empty when S > n). See the file comment for the two kinds.
+Partition make_partition(const CompiledNetwork& net, std::size_t num_shards,
+                         PartitionKind kind = PartitionKind::kLpt);
+
+/// The refinement objective: Σ 1/delay over cross-shard synapses of `p`
+/// (self-loops can never be cross). Lower is better; 0 when none exist.
+double partition_cut_weight(const CompiledNetwork& net, const Partition& p);
+
+/// Smallest delay on any cross-shard synapse of `p` — the conservative
+/// lookahead δ the parallel engine gets. 0 when no cross synapse exists.
+Delay partition_min_cross_delay(const CompiledNetwork& net,
+                                const Partition& p);
 
 /// One shard's re-packed out-synapses (see file comment). All arrays are
 /// indexed per-shard: neuron k of the shard is global id `global_ids[k]`,

@@ -161,5 +161,130 @@ TEST(GoldenTrace, ParallelResetReproducesTheTrace) {
   }
 }
 
+/// Skewed 4-neuron instance for the work-stealing golden test: neuron i
+/// lives on shard i under kLpt at S = 4 (equal out-degrees round-robin),
+/// each neuron carries a self-inhibition loop (delay 1) and a long-delay
+/// ring edge i → (i+1) mod 4 (delay 100, so δ = 100 windows). Injection
+/// bursts land on shards 0 and 2 — both statically owned by worker 0 of 2
+/// — so the first window sees static estimates {15, 1, 15, 1}: worker 0
+/// holds 30 against an LPT re-deal max of 16, exceeding the 1.5× skew
+/// threshold and provably triggering a steal.
+snn::Network skewed_network() {
+  snn::Network net;
+  for (int i = 0; i < 4; ++i) net.add_neuron({0, 1, 0.0});
+  for (NeuronId i = 0; i < 4; ++i) {
+    net.add_synapse(i, i, -3, 1);                // self-inhibition
+    net.add_synapse(i, (i + 1) % 4, 1, 100);     // slow ring
+  }
+  return net;
+}
+
+template <typename Sim>
+snn::SimStats drive_skewed(Sim& sim) {
+  for (Time t = 0; t < 15; ++t) {
+    sim.inject_spike(0, t);
+    sim.inject_spike(2, t);
+  }
+  sim.inject_spike(1, 0);
+  sim.inject_spike(3, 0);
+  snn::SimConfig cfg;
+  cfg.max_time = 250;
+  cfg.record_spike_log = true;
+  return sim.run(cfg);
+}
+
+/// The exact canonical trace of skewed_network() under drive_skewed().
+/// CHECKED-IN CONTRACT, like golden_trace(): the injection bursts fire 0
+/// and 2 every tick through t = 14, the slow ring then wakes 1 and 3 at
+/// 103/107/111 (three +1 arrivals against one −3 self-inhibition) and
+/// finally re-fires 0 and 2 at 211.
+const std::vector<std::pair<Time, NeuronId>>& skewed_trace() {
+  static const std::vector<std::pair<Time, NeuronId>> kTrace = [] {
+    std::vector<std::pair<Time, NeuronId>> t;
+    for (Time tick = 0; tick < 15; ++tick) {
+      t.push_back({tick, 0});
+      t.push_back({tick, 2});
+    }
+    t.insert(t.begin() + 2, {{0, 1}, {0, 3}});
+    for (const Time tick : {103, 107, 111}) {
+      t.push_back({tick, 1});
+      t.push_back({tick, 3});
+    }
+    t.push_back({211, 0});
+    t.push_back({211, 2});
+    std::sort(t.begin(), t.end());
+    return t;
+  }();
+  return kTrace;
+}
+
+void expect_skewed(const std::vector<std::pair<Time, NeuronId>>& log,
+                   const snn::SimStats& stats) {
+  EXPECT_EQ(log, skewed_trace());
+  EXPECT_EQ(stats.spikes, 40u);
+  EXPECT_EQ(stats.deliveries, 78u);
+  EXPECT_EQ(stats.event_times, 35u);
+  EXPECT_EQ(stats.end_time, 212);
+}
+
+TEST(GoldenTrace, SerialReproducesTheSkewedTrace) {
+  snn::Simulator sim(skewed_network());
+  const snn::SimStats stats = drive_skewed(sim);
+  auto log = sim.spike_log();
+  std::sort(log.begin(), log.end());
+  expect_skewed(log, stats);
+}
+
+TEST(GoldenTrace, WorkStealingFiresAndPreservesTheSkewedTrace) {
+  // The determinism contract for stealing (ISSUE 9): on this instance the
+  // re-deal provably triggers (worker 0's static shards {0, 2} hold 30 of
+  // 32 first-window events, LPT re-deal max is 16, 30 > 1.5 × 16), the
+  // steal count is a pure function of the run, and the trace is untouched
+  // — run after run, engine after engine, with and across reset() reuse.
+  for (const snn::EngineKind engine :
+       {snn::EngineKind::kMailbox, snn::EngineKind::kSharedAtomic}) {
+    SCOPED_TRACE(::testing::Message()
+                 << "engine "
+                 << (engine == snn::EngineKind::kMailbox ? "mailbox"
+                                                         : "atomic"));
+    snn::ParallelConfig pcfg;
+    pcfg.num_shards = 4;
+    pcfg.num_threads = 2;
+    pcfg.partition = snn::PartitionKind::kLpt;  // pins neuron i → shard i
+    pcfg.engine = engine;
+    ASSERT_TRUE(pcfg.work_stealing);  // stealing is the default
+    snn::ParallelSimulator sim(skewed_network(), pcfg);
+
+    std::uint64_t first_steals = 0;
+    for (int round = 0; round < 3; ++round) {
+      if (round > 0) sim.reset();
+      const std::uint64_t before = sim.steals();
+      const snn::SimStats stats = drive_skewed(sim);
+      expect_skewed(sim.spike_log(), stats);
+      const std::uint64_t got = sim.steals() - before;
+      EXPECT_GT(got, 0u) << "skewed instance failed to trigger a steal";
+      EXPECT_GE(sim.max_skew(), 1.5);
+      if (round == 0) {
+        first_steals = got;
+      } else {
+        EXPECT_EQ(got, first_steals) << "steal count drifted on round "
+                                     << round;
+      }
+    }
+  }
+}
+
+TEST(GoldenTrace, StealingOffMatchesStealingOnEventForEvent) {
+  snn::ParallelConfig pcfg;
+  pcfg.num_shards = 4;
+  pcfg.num_threads = 2;
+  pcfg.partition = snn::PartitionKind::kLpt;
+  pcfg.work_stealing = false;
+  snn::ParallelSimulator sim(skewed_network(), pcfg);
+  const snn::SimStats stats = drive_skewed(sim);
+  expect_skewed(sim.spike_log(), stats);
+  EXPECT_EQ(sim.steals(), 0u);
+}
+
 }  // namespace
 }  // namespace sga

@@ -192,6 +192,101 @@ TEST_P(ParallelFuzz, MatchesSerialAndReferenceAtEveryShardCount) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParallelFuzz, ::testing::Range(0, 24));
 
+class EngineMatrixFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineMatrixFuzz, EveryEnginePartitionStealComboMatchesSerial) {
+  // The full ablation matrix of ISSUE 9: {kLpt, kCutRefined} ×
+  // {kMailbox, kSharedAtomic} × stealing {off, on} × S ∈ {1, 2, 3, 8},
+  // every cell event-for-event identical to the serial engine. Even seeds
+  // run causeless — there the shared-atomic ring IS the cross-delivery
+  // path; odd seeds record causes, exercising kSharedAtomic's documented
+  // fallback to the mailbox channel.
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const snn::Network net = random_snn(seed);
+  const snn::CompiledNetwork compiled = net.compile();
+  const std::size_t n = compiled.num_neurons();
+
+  snn::SimConfig cfg;
+  cfg.max_time = 500;
+  cfg.record_spike_log = true;
+  cfg.record_causes = (seed % 2) == 1;
+
+  const SerialRun cal = drive_serial(compiled, seed, cfg,
+                                     snn::QueueKind::kCalendar);
+
+  for (const std::size_t shards : {1u, 2u, 3u, 8u}) {
+    for (const snn::PartitionKind part :
+         {snn::PartitionKind::kLpt, snn::PartitionKind::kCutRefined}) {
+      for (const snn::EngineKind engine :
+           {snn::EngineKind::kMailbox, snn::EngineKind::kSharedAtomic}) {
+        for (const bool steal : {false, true}) {
+          SCOPED_TRACE(::testing::Message()
+                       << "partition "
+                       << (part == snn::PartitionKind::kLpt ? "lpt" : "cut")
+                       << " engine "
+                       << (engine == snn::EngineKind::kMailbox ? "mailbox"
+                                                               : "atomic")
+                       << " steal " << steal);
+          snn::ParallelConfig pcfg;
+          pcfg.num_shards = shards;
+          // 3 workers < 8 shards keeps the stealing path reachable; the
+          // TSan CI job runs this same matrix with real threads.
+          pcfg.num_threads = 3;
+          pcfg.partition = part;
+          pcfg.engine = engine;
+          pcfg.work_stealing = steal;
+          snn::ParallelSimulator psim(compiled, pcfg);
+          EXPECT_EQ(psim.engine(), engine);
+          EXPECT_EQ(psim.partition_kind(), part);
+          inject_all(psim, seed, n);
+          const snn::SimStats stats = psim.run(cfg);
+          expect_agrees(cal, psim, stats, "matrix", seed, shards);
+          if (!steal) {
+            EXPECT_EQ(psim.steals(), 0u);
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineMatrixFuzz, ::testing::Range(0, 12));
+
+TEST(ParallelRegression, SharedAtomicRingClearsAcrossResetAndTerminalStop) {
+  // A terminal stop leaves undelivered arrivals parked in the shared ring
+  // (exactly as the mailbox engine leaves undrained mail); reset() must
+  // discard them, or the next run would see ghost deliveries.
+  const snn::Network net = random_snn(11);
+  const snn::CompiledNetwork compiled = net.compile();
+  const std::size_t n = compiled.num_neurons();
+
+  snn::SimConfig cfg;
+  cfg.max_time = 500;
+  cfg.record_spike_log = true;
+  const SerialRun quiescent = drive_serial(compiled, 11, cfg,
+                                           snn::QueueKind::kCalendar);
+  ASSERT_FALSE(quiescent.log.empty());
+
+  snn::SimConfig term_cfg = cfg;
+  term_cfg.terminal_neurons.push_back(quiescent.log.back().second);
+  const SerialRun terminal = drive_serial(compiled, 11, term_cfg,
+                                          snn::QueueKind::kCalendar);
+
+  snn::ParallelConfig pcfg;
+  pcfg.num_shards = 4;
+  pcfg.num_threads = 2;
+  pcfg.engine = snn::EngineKind::kSharedAtomic;
+  snn::ParallelSimulator psim(compiled, pcfg);
+  inject_all(psim, 11, n);
+  const snn::SimStats ts = psim.run(term_cfg);
+  expect_agrees(terminal, psim, ts, "atomic-terminal", 11, 4);
+
+  psim.reset();
+  inject_all(psim, 11, n);
+  const snn::SimStats qs = psim.run(cfg);
+  expect_agrees(quiescent, psim, qs, "atomic-after-reset", 11, 4);
+}
+
 class ParallelTerminalFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(ParallelTerminalFuzz, TerminalTerminationMatchesSerialExactly) {

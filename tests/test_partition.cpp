@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <set>
+#include <tuple>
 #include <vector>
 
 #include "core/random.h"
@@ -223,6 +225,207 @@ TEST_P(PartitionFuzz, SegmentCsrsTileBothFamiliesWithSortedRuns) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PartitionFuzz, ::testing::Range(0, 20));
+
+// --- kCutRefined property suite (ISSUE 9) ------------------------------
+//
+// The refinement contract from partition.h: lexicographic objective that
+// never decreases min cross delay (0 = "no cross" orders above every real
+// delay), only accepts strictly-improving cut moves, respects the LPT
+// balance cap, and is a pure function of (network, S).
+
+// Orders min-cross-delay values with the 0 = +∞ ("no cross") convention.
+std::uint64_t min_cross_rank(Delay d) {
+  return d == 0 ? std::numeric_limits<std::uint64_t>::max()
+                : static_cast<std::uint64_t>(d);
+}
+
+class CutRefinedFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CutRefinedFuzz, NeverWorseThanTheLptSeedOnEitherObjective) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const snn::CompiledNetwork net = random_net(seed).compile();
+  Rng rng(0xC07 + seed);
+  const auto s = static_cast<std::size_t>(rng.uniform_int(1, 12));
+
+  const snn::Partition lpt =
+      make_partition(net, s, snn::PartitionKind::kLpt);
+  const snn::Partition ref =
+      make_partition(net, s, snn::PartitionKind::kCutRefined);
+  ASSERT_EQ(lpt.kind, snn::PartitionKind::kLpt);
+  ASSERT_EQ(ref.kind, snn::PartitionKind::kCutRefined);
+  EXPECT_TRUE(lpt.pass_cut_weight.empty());
+
+  EXPECT_LE(partition_cut_weight(net, ref),
+            partition_cut_weight(net, lpt) + 1e-9)
+      << "seed " << seed << " S " << s;
+  EXPECT_GE(min_cross_rank(partition_min_cross_delay(net, ref)),
+            min_cross_rank(partition_min_cross_delay(net, lpt)))
+      << "refinement shrank the lookahead window, seed " << seed;
+}
+
+TEST_P(CutRefinedFuzz, TelemetryIsMonotoneAndMatchesTheHelpers) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const snn::CompiledNetwork net = random_net(seed).compile();
+  Rng rng(0x7E1E + seed);
+  const auto s = static_cast<std::size_t>(rng.uniform_int(2, 12));
+
+  const snn::Partition lpt =
+      make_partition(net, s, snn::PartitionKind::kLpt);
+  const snn::Partition ref =
+      make_partition(net, s, snn::PartitionKind::kCutRefined);
+  ASSERT_FALSE(ref.pass_cut_weight.empty());
+  ASSERT_EQ(ref.pass_cut_weight.size(), ref.pass_min_cross_delay.size());
+
+  // Entry 0 describes the LPT seed; the last entry the final partition.
+  EXPECT_NEAR(ref.pass_cut_weight.front(), partition_cut_weight(net, lpt),
+              1e-9);
+  EXPECT_EQ(ref.pass_min_cross_delay.front(),
+            partition_min_cross_delay(net, lpt));
+  EXPECT_NEAR(ref.pass_cut_weight.back(), partition_cut_weight(net, ref),
+              1e-9);
+  EXPECT_EQ(ref.pass_min_cross_delay.back(),
+            partition_min_cross_delay(net, ref));
+
+  for (std::size_t i = 1; i < ref.pass_cut_weight.size(); ++i) {
+    EXPECT_LE(ref.pass_cut_weight[i], ref.pass_cut_weight[i - 1])
+        << "cut weight rose in pass " << i << ", seed " << seed;
+    EXPECT_GE(min_cross_rank(ref.pass_min_cross_delay[i]),
+              min_cross_rank(ref.pass_min_cross_delay[i - 1]))
+        << "min cross delay fell in pass " << i << ", seed " << seed;
+  }
+}
+
+TEST_P(CutRefinedFuzz, KeepsEveryStructuralInvariantOfThePartition) {
+  // Refinement moves neurons around, so re-check exactly-once, load
+  // bookkeeping, the balance cap, and determinism on the refined result.
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const snn::CompiledNetwork net = random_net(seed).compile();
+  Rng rng(0x17BA + seed);
+  const auto s = static_cast<std::size_t>(rng.uniform_int(1, 12));
+
+  const snn::Partition p =
+      make_partition(net, s, snn::PartitionKind::kCutRefined);
+  std::set<NeuronId> seen;
+  for (std::size_t sh = 0; sh < s; ++sh) {
+    ASSERT_TRUE(std::is_sorted(p.shard_neurons[sh].begin(),
+                               p.shard_neurons[sh].end()));
+    std::uint64_t load = 0;
+    for (std::size_t k = 0; k < p.shard_neurons[sh].size(); ++k) {
+      const NeuronId id = p.shard_neurons[sh][k];
+      ASSERT_TRUE(seen.insert(id).second) << "neuron " << id << " twice";
+      ASSERT_EQ(p.shard_of[id], sh);
+      ASSERT_EQ(p.local_index[id], k);
+      load += 1 + net.out_degree(id);
+    }
+    EXPECT_EQ(p.shard_load[sh], load) << "shard " << sh;
+  }
+  ASSERT_EQ(seen.size(), net.num_neurons());
+
+  std::uint64_t total = 0;
+  std::uint64_t w_max = 0;
+  for (NeuronId id = 0; id < net.num_neurons(); ++id) {
+    const std::uint64_t w = 1 + net.out_degree(id);
+    total += w;
+    w_max = std::max(w_max, w);
+  }
+  for (std::size_t sh = 0; sh < s; ++sh) {
+    EXPECT_LE(p.shard_load[sh], total / s + w_max)
+        << "refined move broke the balance cap, seed " << seed;
+  }
+
+  const snn::Partition q =
+      make_partition(net, s, snn::PartitionKind::kCutRefined);
+  EXPECT_EQ(p.shard_of, q.shard_of);
+  EXPECT_EQ(p.shard_neurons, q.shard_neurons);
+  EXPECT_EQ(p.pass_cut_weight, q.pass_cut_weight);
+  EXPECT_EQ(p.pass_min_cross_delay, q.pass_min_cross_delay);
+}
+
+TEST_P(CutRefinedFuzz, ShardSplitRoundTripsTheRefinedPartition) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const snn::CompiledNetwork net = random_net(seed).compile();
+  Rng rng(0x5B117 + seed);
+  const auto s = static_cast<std::size_t>(rng.uniform_int(1, 12));
+  const snn::ShardSplit split =
+      net.shard_split(make_partition(net, s, snn::PartitionKind::kCutRefined));
+
+  using Syn = std::tuple<NeuronId, NeuronId, SynWeight, Delay>;
+  std::vector<Syn> expect;
+  for (NeuronId id = 0; id < net.num_neurons(); ++id) {
+    for (std::size_t k = net.out_begin(id); k < net.out_end(id); ++k) {
+      expect.emplace_back(id, net.syn_target(k), net.syn_weight(k),
+                          net.syn_delay(k));
+    }
+  }
+  std::vector<Syn> got;
+  for (std::size_t sh = 0; sh < split.shards.size(); ++sh) {
+    const snn::ShardCsr& c = split.shards[sh];
+    for (std::size_t k = 0; k < c.num_neurons(); ++k) {
+      const NeuronId src = c.global_ids[k];
+      for (std::size_t j = c.intra_offsets[k]; j < c.intra_offsets[k + 1];
+           ++j) {
+        got.emplace_back(src,
+                         split.partition.shard_neurons[sh][c.intra_target[j]],
+                         c.intra_weight[j], c.intra_delay[j]);
+      }
+      for (std::size_t j = c.cross_offsets[k]; j < c.cross_offsets[k + 1];
+           ++j) {
+        got.emplace_back(
+            src,
+            split.partition.shard_neurons[c.cross_shard[j]][c.cross_local[j]],
+            c.cross_weight[j], c.cross_delay[j]);
+      }
+    }
+  }
+  std::sort(expect.begin(), expect.end());
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expect) << "seed " << seed << " S " << s;
+  EXPECT_EQ(split.min_cross_delay,
+            partition_min_cross_delay(net, split.partition));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CutRefinedFuzz, ::testing::Range(0, 20));
+
+TEST(CutRefined, LocalChainBeatsLptOnCutAndKeepsIsolatedNeurons) {
+  // A chain 0→1→…→9 (delay 1) plus two isolated neurons: LPT scatters by
+  // degree and cuts the chain many times; refinement must strictly reduce
+  // the cut, and the isolated neurons must stay assigned exactly once.
+  snn::Network net;
+  for (int i = 0; i < 12; ++i) net.add_neuron(snn::NeuronParams{0, 1, 0.0});
+  for (NeuronId i = 0; i + 1 < 10; ++i) net.add_synapse(i, i + 1, 1, 1);
+  const snn::CompiledNetwork compiled = net.compile();
+
+  const snn::Partition lpt =
+      make_partition(compiled, 2, snn::PartitionKind::kLpt);
+  const snn::Partition ref =
+      make_partition(compiled, 2, snn::PartitionKind::kCutRefined);
+  EXPECT_LT(partition_cut_weight(compiled, ref),
+            partition_cut_weight(compiled, lpt))
+      << "refinement found no improvement on a cut-heavy chain";
+
+  std::set<NeuronId> seen;
+  for (const auto& members : ref.shard_neurons) {
+    for (const NeuronId id : members) EXPECT_TRUE(seen.insert(id).second);
+  }
+  EXPECT_EQ(seen.size(), compiled.num_neurons());
+}
+
+TEST(CutRefined, SingleShardAndEmptyNetworkAreNoOps) {
+  const snn::CompiledNetwork one = random_net(3).compile();
+  const snn::Partition p1 =
+      make_partition(one, 1, snn::PartitionKind::kCutRefined);
+  for (NeuronId id = 0; id < one.num_neurons(); ++id) {
+    EXPECT_EQ(p1.shard_of[id], 0u);
+    EXPECT_EQ(p1.local_index[id], id);
+  }
+
+  snn::Network empty;
+  const snn::CompiledNetwork compiled = empty.compile();
+  const snn::Partition p0 =
+      make_partition(compiled, 4, snn::PartitionKind::kCutRefined);
+  EXPECT_TRUE(p0.shard_of.empty());
+  EXPECT_EQ(p0.num_shards, 4u);
+}
 
 TEST(Partition, SingleShardIsTheIdentityLayout) {
   const snn::CompiledNetwork net = random_net(3).compile();

@@ -439,6 +439,114 @@ TEST(Snapshot, ParallelSnapshotRestoresIntoSerialAndOtherShardCounts) {
   EXPECT_EQ(sorted_log(ref.spike_log()), a.spike_log());
 }
 
+TEST(Snapshot, RestoreIntoEveryEngineConfigReplaysBitIdentically) {
+  // ISSUE 9: the snapshot image is engine-agnostic, so a paused serial
+  // image must resume bit-identically under every cell of the parallel
+  // ablation matrix — {kLpt, kCutRefined} × {kMailbox, kSharedAtomic} ×
+  // stealing {off, on}. Causes stay off so kSharedAtomic really runs its
+  // atomic ring rather than the documented mailbox fallback.
+  Workload w = make_workload(0xE9, 48, 260, 6);
+  const CompiledNetwork net(w.net);
+  SimConfig cfg = recording_config();
+  cfg.record_causes = false;
+  Simulator ref(net);
+  for (const auto& [id, t] : w.injections) ref.inject_spike(id, t);
+  const SimStats sref = ref.run(cfg);
+  ASSERT_GE(sref.end_time, 2);
+
+  Simulator a(net);
+  for (const auto& [id, t] : w.injections) a.inject_spike(id, t);
+  SimConfig pc = cfg;
+  pc.pause_time = sref.end_time / 2;
+  a.run(pc);
+  ASSERT_TRUE(a.paused());
+  const std::vector<std::uint8_t> bytes = a.snapshot();
+
+  for (const PartitionKind part :
+       {PartitionKind::kLpt, PartitionKind::kCutRefined}) {
+    for (const EngineKind engine :
+         {EngineKind::kMailbox, EngineKind::kSharedAtomic}) {
+      for (const bool steal : {false, true}) {
+        SCOPED_TRACE(::testing::Message()
+                     << "partition "
+                     << (part == PartitionKind::kLpt ? "lpt" : "cut")
+                     << " engine "
+                     << (engine == EngineKind::kMailbox ? "mailbox" : "atomic")
+                     << " steal " << steal);
+        ParallelConfig pcfg;
+        pcfg.num_shards = 3;
+        pcfg.num_threads = 2;
+        pcfg.partition = part;
+        pcfg.engine = engine;
+        pcfg.work_stealing = steal;
+        ParallelSimulator par(net, pcfg);
+        par.restore(bytes);
+        ASSERT_TRUE(par.paused());
+        const SimStats sp = par.run(cfg);
+        expect_core_stats_eq(sref, sp);
+        EXPECT_EQ(sorted_log(ref.spike_log()), par.spike_log());
+        expect_state_eq(ref, par, net.num_neurons());
+      }
+    }
+  }
+}
+
+TEST(Snapshot, SharedAtomicPauseSnapshotRoundTrips) {
+  // Pausing the shared-atomic engine folds the whole in-flight ring back
+  // into the shard queues before the image is taken; the image must then
+  // restore into the serial engine, a differently-sharded atomic engine,
+  // and the mailbox engine, all replaying the straight-through run.
+  Workload w = make_workload(0xEA, 48, 260, 6);
+  const CompiledNetwork net(w.net);
+  SimConfig cfg = recording_config();
+  cfg.record_causes = false;
+  Simulator ref(net);
+  for (const auto& [id, t] : w.injections) ref.inject_spike(id, t);
+  const SimStats sref = ref.run(cfg);
+  ASSERT_GE(sref.end_time, 2);
+
+  ParallelConfig pcfg;
+  pcfg.num_shards = 3;
+  pcfg.num_threads = 2;
+  pcfg.engine = EngineKind::kSharedAtomic;
+  ParallelSimulator a(net, pcfg);
+  for (const auto& [id, t] : w.injections) a.inject_spike(id, t);
+  SimConfig pc = cfg;
+  pc.pause_time = sref.end_time / 2;
+  a.run(pc);
+  ASSERT_TRUE(a.paused());
+  const std::vector<std::uint8_t> bytes = a.snapshot();
+
+  Simulator b(net);
+  b.restore(bytes);
+  const SimStats sb = b.run(cfg);
+  expect_core_stats_eq(sref, sb);
+  EXPECT_EQ(sorted_log(ref.spike_log()), sorted_log(b.spike_log()));
+  expect_state_eq(ref, b, net.num_neurons());
+
+  ParallelConfig pcfg2 = pcfg;
+  pcfg2.num_shards = 2;
+  ParallelSimulator c(net, pcfg2);
+  c.restore(bytes);
+  const SimStats sc = c.run(cfg);
+  expect_core_stats_eq(sref, sc);
+  EXPECT_EQ(sorted_log(ref.spike_log()), c.spike_log());
+  expect_state_eq(ref, c, net.num_neurons());
+
+  ParallelConfig pcfg3 = pcfg;
+  pcfg3.engine = EngineKind::kMailbox;
+  ParallelSimulator d(net, pcfg3);
+  d.restore(bytes);
+  const SimStats sd = d.run(cfg);
+  expect_core_stats_eq(sref, sd);
+  EXPECT_EQ(sorted_log(ref.spike_log()), d.spike_log());
+
+  // In-place resume of the paused atomic run still works afterwards.
+  const SimStats sa = a.run(cfg);
+  expect_core_stats_eq(sref, sa);
+  EXPECT_EQ(sorted_log(ref.spike_log()), a.spike_log());
+}
+
 // ---- Journal -------------------------------------------------------------
 
 TEST(SpikeJournal, RoundTripAndReplay) {
