@@ -1,21 +1,31 @@
-// Million-neuron streamed-build scale lane (ARCHITECTURE.md §1.8; ISSUE 7
-// acceptance workload): a relay chain with n = 10^6 vertices and m ≥ 8·10^6
-// edges is frozen straight from its generator — no Graph, no nested-vector
-// Network — into both the narrow (kAuto) and wide (kWide) CSR layouts, then
-// SSSP runs to completion on each.
+// Million-neuron streamed-build scale lane (ARCHITECTURE.md §1.8, §1.11;
+// ISSUE 7 + ISSUE 10 acceptance workloads): two n ≈ 10^6, m ≈ 10^7
+// instances — a relay chain and an R-MAT (Graph500-style skewed) graph —
+// are frozen straight from their generators into the narrow (kNarrow),
+// wide (kWide), and delta-packed (kAuto, which selects packed at this
+// scale) CSR layouts, then SSSP runs to completion on each.
 //
 // Emitted to BENCH_scale.json for the bench_compare trajectory. Semantic
-// keys — n, m, csr_bytes, bytes_per_synapse, peak_resident_bytes, T,
-// spikes, events — are machine-independent (the stream replays from a fixed
-// seed and narrowing is value-preserving), so any change is DRIFT and
-// blocks. Freeze/run wall time and the derived deliveries_per_sec use the
-// *_ns / *_per_sec suffixes bench_compare treats as noise-tolerant.
+// keys — n, m, csr_bytes, bytes_per_synapse, peak_resident_bytes,
+// storage_encoding, decode_blocks, T, spikes, events — are
+// machine-independent (the streams replay from fixed seeds, narrowing is
+// value-preserving, and block decode counts are a function of the event
+// sequence), so any change is DRIFT and blocks. Freeze/run wall time and
+// the derived deliveries_per_sec use the *_ns / *_per_sec suffixes
+// bench_compare treats as noise-tolerant.
 //
-// Hard gates (exit 1): the narrow freeze must be ≥ 30% smaller than the
-// wide one, every relay must fire exactly once (SSSP completed), and the
-// narrow and wide runs must agree event-for-event.
+// Hard gates (exit 1):
+//   * kAuto must select the packed encoding at this scale; kNarrow / kWide
+//     must stay what they claim (the oracles stay oracles);
+//   * the narrow freeze must be ≥ 30% smaller than the wide one;
+//   * the packed freeze must be ≥ 25% smaller than the NARROW one, on BOTH
+//     instances (the ISSUE 10 compression floor);
+//   * every relay vertex fires exactly once (SSSP completed);
+//   * packed, narrow, and wide runs agree event-for-event on both
+//     instances.
 #include <cstdint>
 #include <iostream>
+#include <string>
 
 #include "core/timer.h"
 #include "graph/generators.h"
@@ -33,8 +43,17 @@ constexpr std::size_t kMaxSkip = 1000;
 constexpr std::uint64_t kSeed = 0x5CA1E;
 constexpr WeightRange kWeights{1, 16};
 
+constexpr std::size_t kRmatScale = 20;  // n = 2^20 = 1048576
+constexpr std::size_t kRmatEdges = 10000000;
+constexpr std::uint64_t kRmatSeed = 0x5CA1E2;
+
 void relay_edges(const EdgeStream& emit) {
   stream_relay_chain(kN, kExtraPerVertex, kMaxSkip, kWeights, kSeed, emit);
+}
+
+void rmat_edges(const EdgeStream& emit) {
+  stream_rmat(kRmatScale, kRmatEdges, 0.57, 0.19, 0.19, kWeights, kRmatSeed,
+              emit);
 }
 
 struct Frozen {
@@ -43,11 +62,11 @@ struct Frozen {
   std::uint64_t freeze_ns = 0;
 };
 
-Frozen freeze(snn::StoragePolicy policy) {
+Frozen freeze(std::size_t n, void (*edges)(const EdgeStream&),
+              snn::StoragePolicy policy) {
   WallTimer w;
   snn::StreamBuildStats bs;
-  snn::CompiledNetwork net =
-      nga::compile_sssp_streamed(kN, relay_edges, policy, &bs);
+  snn::CompiledNetwork net = nga::compile_sssp_streamed(n, edges, policy, &bs);
   return Frozen{std::move(net), bs,
                 static_cast<std::uint64_t>(w.seconds() * 1e9)};
 }
@@ -73,7 +92,7 @@ double rate_per_sec(std::uint64_t count, std::uint64_t wall_ns) {
              : static_cast<double>(count) * 1e9 / static_cast<double>(wall_ns);
 }
 
-void record_freeze(obs::BenchReport& report, const char* name,
+void record_freeze(obs::BenchReport& report, const std::string& name,
                    const Frozen& f) {
   report.record(name)
       .set("n", static_cast<std::uint64_t>(f.build.num_neurons))
@@ -82,17 +101,52 @@ void record_freeze(obs::BenchReport& report, const char* name,
       .set("peak_resident_bytes",
            static_cast<std::uint64_t>(f.build.peak_resident_bytes))
       .set("bytes_per_synapse", f.net.bytes_per_synapse())
+      .set("storage_encoding", static_cast<std::uint64_t>(snn::encoding_code(
+                                   f.net.storage_widths())))
       .set("freeze_ns", f.freeze_ns);
 }
 
-void record_run(obs::BenchReport& report, const char* name, const Solved& s) {
+void record_run(obs::BenchReport& report, const std::string& name,
+                const Solved& s) {
   report.record(name)
       .T(s.stats.end_time)
       .spikes(s.stats.spikes)
       .events(s.stats.deliveries)
+      .set("decode_blocks", s.stats.decode_blocks)
       .set("run_ns", s.run_ns)
       .set("deliveries_per_sec", rate_per_sec(s.stats.deliveries, s.run_ns));
 }
+
+/// True when encoding matches; complains and fails otherwise.
+bool expect_encoding(const char* lane, const Frozen& f,
+                     std::uint8_t want_code) {
+  const std::uint8_t got = snn::encoding_code(f.net.storage_widths());
+  if (got == want_code) return true;
+  std::cerr << "bench_scale: " << lane << " froze as "
+            << snn::encoding_name(f.net.storage_widths())
+            << " (code " << static_cast<int>(got) << "), expected code "
+            << static_cast<int>(want_code) << "\n";
+  return false;
+}
+
+bool runs_agree(const char* what, const Solved& a, const Solved& b) {
+  if (a.stats.spikes == b.stats.spikes &&
+      a.stats.deliveries == b.stats.deliveries &&
+      a.stats.event_times == b.stats.event_times &&
+      a.stats.end_time == b.stats.end_time) {
+    return true;
+  }
+  std::cerr << "bench_scale: " << what << " runs disagree\n";
+  return false;
+}
+
+struct Instance {
+  const char* tag;           ///< record-name segment ("" for relay)
+  std::size_t n;
+  void (*edges)(const EdgeStream&);
+  Frozen narrow, wide, packed;
+  Solved sn, sw, sp;
+};
 
 }  // namespace
 
@@ -100,63 +154,99 @@ int main() {
   obs::BenchReport report("scale");
   report.context("workload",
                  "streamed relay chain n=1e6 extra_per_vertex=8 "
-                 "max_skip=1000 lengths=[1,16] seed=0x5CA1E");
+                 "max_skip=1000 lengths=[1,16] seed=0x5CA1E; rmat scale=20 "
+                 "m=1e7 (a,b,c)=(0.57,0.19,0.19) lengths=[1,16] "
+                 "seed=0x5CA1E2");
   report.context("paths", "generator -> compile_streamed; no Graph, no "
-                          "nested-vector Network ever materialized");
+                          "nested-vector Network ever materialized; packed "
+                          "lane freezes under kAuto (selects delta-packed "
+                          "blocks at this scale)");
 
-  const Frozen narrow = freeze(snn::StoragePolicy::kAuto);
-  const Frozen wide = freeze(snn::StoragePolicy::kWide);
+  Instance relay{"", kN, relay_edges, {}, {}, {}, {}, {}, {}};
+  Instance rmat{"rmat/", std::size_t{1} << kRmatScale, rmat_edges,
+                {},       {}, {}, {}, {}, {}};
 
-  if (!narrow.net.storage_widths().narrow ||
-      wide.net.storage_widths().narrow) {
-    std::cerr << "bench_scale: policy dispatch broken (kAuto narrow="
-              << narrow.net.storage_widths().narrow << ")\n";
-    return 1;
+  bool ok = true;
+  for (Instance* inst : {&relay, &rmat}) {
+    inst->narrow = freeze(inst->n, inst->edges, snn::StoragePolicy::kNarrow);
+    inst->wide = freeze(inst->n, inst->edges, snn::StoragePolicy::kWide);
+    inst->packed = freeze(inst->n, inst->edges, snn::StoragePolicy::kAuto);
+    ok = expect_encoding("kNarrow", inst->narrow, 1) && ok;
+    ok = expect_encoding("kWide", inst->wide, 0) && ok;
+    ok = expect_encoding("kAuto-at-scale", inst->packed, 2) && ok;
   }
-  if (narrow.build.num_synapses < 8000000 + kN) {
-    std::cerr << "bench_scale: only " << narrow.build.num_synapses
+  if (!ok) return 1;
+
+  if (relay.narrow.build.num_synapses < 8000000 + kN) {
+    std::cerr << "bench_scale: only " << relay.narrow.build.num_synapses
               << " synapses — below the m >= 8e6 acceptance floor\n";
     return 1;
   }
-  const auto nb = static_cast<double>(narrow.build.csr_bytes);
-  const auto wb = static_cast<double>(wide.build.csr_bytes);
+  const auto nb = static_cast<double>(relay.narrow.build.csr_bytes);
+  const auto wb = static_cast<double>(relay.wide.build.csr_bytes);
   if (nb > 0.7 * wb) {
-    std::cerr << "bench_scale: narrow freeze " << narrow.build.csr_bytes
+    std::cerr << "bench_scale: narrow freeze " << relay.narrow.build.csr_bytes
               << " B is not >= 30% smaller than wide "
-              << wide.build.csr_bytes << " B\n";
+              << relay.wide.build.csr_bytes << " B\n";
     return 1;
   }
-  record_freeze(report, "scale/freeze/narrow", narrow);
-  record_freeze(report, "scale/freeze/wide", wide);
+  // ISSUE 10 compression floor: packed >= 25% under NARROW, per instance.
+  for (const Instance* inst : {&relay, &rmat}) {
+    const auto pn = static_cast<double>(inst->packed.build.csr_bytes);
+    const auto nn = static_cast<double>(inst->narrow.build.csr_bytes);
+    if (pn > 0.75 * nn) {
+      std::cerr << "bench_scale: " << (inst->tag[0] ? inst->tag : "relay/")
+                << "packed freeze " << inst->packed.build.csr_bytes
+                << " B is not >= 25% smaller than narrow "
+                << inst->narrow.build.csr_bytes << " B\n";
+      return 1;
+    }
+  }
 
-  const Solved sn = solve(narrow.net);
-  const Solved sw = solve(wide.net);
-  if (sn.stats.spikes != kN) {
-    std::cerr << "bench_scale: " << sn.stats.spikes << " spikes, expected "
-              << kN << " (SSSP did not complete)\n";
-    return 1;
-  }
-  if (sn.stats.spikes != sw.stats.spikes ||
-      sn.stats.deliveries != sw.stats.deliveries ||
-      sn.stats.event_times != sw.stats.event_times ||
-      sn.stats.end_time != sw.stats.end_time) {
-    std::cerr << "bench_scale: narrow and wide runs disagree\n";
-    return 1;
-  }
-  record_run(report, "scale/sssp/narrow", sn);
-  record_run(report, "scale/sssp/wide", sw);
+  for (Instance* inst : {&relay, &rmat}) {
+    const std::string base = std::string("scale/") + inst->tag;
+    record_freeze(report, base + "freeze/narrow", inst->narrow);
+    record_freeze(report, base + "freeze/wide", inst->wide);
+    record_freeze(report, base + "freeze/packed", inst->packed);
 
-  std::cout << "scale: n=" << kN << " m=" << narrow.build.num_synapses
-            << "\n  narrow " << narrow.build.csr_bytes << " B ("
-            << narrow.net.bytes_per_synapse() << " B/syn), wide "
-            << wide.build.csr_bytes << " B (" << wide.net.bytes_per_synapse()
-            << " B/syn) — " << (100.0 - 100.0 * nb / wb) << "% smaller\n"
-            << "  sssp T=" << sn.stats.end_time << " spikes="
-            << sn.stats.spikes << " deliveries=" << sn.stats.deliveries
-            << "\n  narrow " << rate_per_sec(sn.stats.deliveries, sn.run_ns)
-            << " deliveries/sec, wide "
-            << rate_per_sec(sw.stats.deliveries, sw.run_ns)
-            << " deliveries/sec\n";
+    inst->sn = solve(inst->narrow.net);
+    inst->sw = solve(inst->wide.net);
+    inst->sp = solve(inst->packed.net);
+    if (!runs_agree((base + "narrow-vs-wide").c_str(), inst->sn, inst->sw) ||
+        !runs_agree((base + "packed-vs-narrow").c_str(), inst->sp, inst->sn)) {
+      return 1;
+    }
+    record_run(report, base + "sssp/narrow", inst->sn);
+    record_run(report, base + "sssp/wide", inst->sw);
+    record_run(report, base + "sssp/packed", inst->sp);
+  }
+  if (relay.sn.stats.spikes != kN) {
+    std::cerr << "bench_scale: " << relay.sn.stats.spikes
+              << " spikes, expected " << kN << " (SSSP did not complete)\n";
+    return 1;
+  }
+
+  for (const Instance* inst : {&relay, &rmat}) {
+    const char* tag = inst->tag[0] ? "rmat" : "relay";
+    const auto nbi = static_cast<double>(inst->narrow.build.csr_bytes);
+    const auto pbi = static_cast<double>(inst->packed.build.csr_bytes);
+    std::cout << tag << ": n=" << inst->n
+              << " m=" << inst->narrow.build.num_synapses << "\n  narrow "
+              << inst->narrow.build.csr_bytes << " B ("
+              << inst->narrow.net.bytes_per_synapse() << " B/syn), wide "
+              << inst->wide.build.csr_bytes << " B, packed "
+              << inst->packed.build.csr_bytes << " B ("
+              << inst->packed.net.bytes_per_synapse() << " B/syn) — packed "
+              << (100.0 - 100.0 * pbi / nbi) << "% under narrow\n"
+              << "  sssp T=" << inst->sn.stats.end_time
+              << " spikes=" << inst->sn.stats.spikes
+              << " deliveries=" << inst->sn.stats.deliveries << "\n  narrow "
+              << rate_per_sec(inst->sn.stats.deliveries, inst->sn.run_ns)
+              << " deliveries/sec, packed "
+              << rate_per_sec(inst->sp.stats.deliveries, inst->sp.run_ns)
+              << " deliveries/sec (decode_blocks="
+              << inst->sp.stats.decode_blocks << ")\n";
+  }
   const std::string path = report.write();
   if (!path.empty()) std::cout << "wrote " << path << "\n";
   return 0;

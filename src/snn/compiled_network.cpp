@@ -43,13 +43,32 @@ void CompiledNetwork::adopt_payload(StoragePolicy policy, WideSynStore&& wide) {
   widths_ = choose_widths(policy, num_neurons(), m, max_delay_, f32);
   store_ = make_synapse_store(widths_);
   std::visit(
-      [&wide](auto& st) {
-        narrow_into(st.targets, std::move(wide.targets));
-        narrow_into(st.weights, std::move(wide.weights));
-        narrow_into(st.delays, std::move(wide.delays));
-        narrow_into(st.seg_delays, std::move(wide.seg_delays));
-        narrow_into(st.seg_syn_begin, std::move(wide.seg_syn_begin));
-        narrow_into(st.seg_syn_end, std::move(wide.seg_syn_end));
+      [&wide, m](auto& st) {
+        using Store = std::decay_t<decltype(st)>;
+        if constexpr (Store::kPackedLayout) {
+          st.pack_targets(wide.targets);
+          wide.targets.clear();
+          wide.targets.shrink_to_fit();
+          // The per-synapse delay column is dropped: the segment CSR IS its
+          // run-length encoding. The begin column gains the m sentinel so
+          // seg_syn_end_at(s) reads seg_syn_begin[s + 1].
+          wide.delays.clear();
+          wide.delays.shrink_to_fit();
+          narrow_into(st.weights, std::move(wide.weights));
+          narrow_into(st.seg_delays, std::move(wide.seg_delays));
+          st.seg_syn_begin.reserve(wide.seg_syn_begin.size() + 1);
+          for (const std::size_t b : wide.seg_syn_begin) {
+            st.seg_syn_begin.push_back(static_cast<std::uint32_t>(b));
+          }
+          st.seg_syn_begin.push_back(static_cast<std::uint32_t>(m));
+        } else {
+          narrow_into(st.targets, std::move(wide.targets));
+          narrow_into(st.weights, std::move(wide.weights));
+          narrow_into(st.delays, std::move(wide.delays));
+          narrow_into(st.seg_delays, std::move(wide.seg_delays));
+          narrow_into(st.seg_syn_begin, std::move(wide.seg_syn_begin));
+          narrow_into(st.seg_syn_end, std::move(wide.seg_syn_end));
+        }
       },
       store_);
 }
@@ -195,14 +214,86 @@ void CompiledNetwork::verify_invariants() const {
   const std::size_t m = offsets_[n];
   const auto [tgt_n, wgt_n, dly_n] = std::visit(
       [](const auto& st) {
-        return std::make_tuple(st.targets.size(), st.weights.size(),
-                               st.delays.size());
+        using Store = std::decay_t<decltype(st)>;
+        if constexpr (Store::kPackedLayout) {
+          // The packed layout has no per-synapse delay column; the target
+          // and (implied) delay counts are both num_targets.
+          return std::make_tuple(st.num_targets, st.weights.size(),
+                                 st.num_targets);
+        } else {
+          return std::make_tuple(st.targets.size(), st.weights.size(),
+                                 st.delays.size());
+        }
       },
       store_);
   SGA_REQUIRE(tgt_n == m && wgt_n == m && dly_n == m,
               "verify: synapse SoA arrays disagree on the synapse count ("
                   << m << " per row pointers vs " << tgt_n << " targets, "
                   << wgt_n << " weights, " << dly_n << " delays)");
+
+  // The width tag and the live variant alternative must agree — a tag that
+  // lies about the encoding would desynchronize snapshots, io headers, and
+  // the stats the trajectory keys on.
+  const StorageWidths store_w =
+      std::visit([](const auto& st) { return st.widths(); }, store_);
+  SGA_REQUIRE(store_w == widths_,
+              "verify: storage width tag claims the "
+                  << encoding_name(widths_) << " encoding but the payload is "
+                  << encoding_name(store_w));
+
+  // Packed structural pre-checks (ARCHITECTURE.md §1.11): every index the
+  // block decoder and the segment accessors will follow must be proven
+  // in-bounds BEFORE the generic per-synapse loops below decode anything.
+  std::visit(
+      [m](const auto& st) {
+        using Store = std::decay_t<decltype(st)>;
+        if constexpr (Store::kPackedLayout) {
+          const std::size_t nb =
+              (m + kPackedBlockSize - 1) / kPackedBlockSize;
+          SGA_REQUIRE(st.block_base.size() == nb &&
+                          st.block_bits.size() == nb &&
+                          st.block_word.size() == nb,
+                      "verify: packed block tables disagree on the block "
+                      "count (" << nb << " blocks for " << m
+                                << " synapses vs " << st.block_base.size()
+                                << " bases, " << st.block_bits.size()
+                                << " bit-widths, " << st.block_word.size()
+                                << " word offsets)");
+          std::size_t words = 0;
+          for (std::size_t j = 0; j < nb; ++j) {
+            const unsigned bits = st.block_bits[j];
+            SGA_REQUIRE(bits <= 32, "verify: packed block "
+                                        << j << " declares " << bits
+                                        << "-bit deltas (max 32)");
+            SGA_REQUIRE(st.block_word[j] == words,
+                        "verify: packed block "
+                            << j << " claims word offset " << st.block_word[j]
+                            << " but the preceding blocks occupy " << words
+                            << " words");
+            const std::size_t count =
+                std::min(kPackedBlockSize, m - j * kPackedBlockSize);
+            words += packed_block_words(count, bits);
+          }
+          SGA_REQUIRE(st.pack_words.size() == words,
+                      "verify: packed delta array has "
+                          << st.pack_words.size()
+                          << " words but the block headers account for "
+                          << words);
+          const std::size_t segs = st.seg_delays.size();
+          SGA_REQUIRE(st.seg_syn_begin.size() == segs + 1 &&
+                          st.seg_syn_begin.front() == 0 &&
+                          st.seg_syn_begin.back() == m,
+                      "verify: packed segment begin column must hold "
+                          << segs + 1
+                          << " entries from 0 to the synapse sentinel " << m);
+          for (std::size_t s = 0; s < segs; ++s) {
+            SGA_REQUIRE(st.seg_syn_begin[s] < st.seg_syn_begin[s + 1],
+                        "verify: packed segment begin column not strictly "
+                        "increasing at run " << s);
+          }
+        }
+      },
+      store_);
 
   // Storage-width consistency: a narrow payload must be able to represent
   // every value the structural checks below will read out of it (a width
@@ -262,8 +353,17 @@ void CompiledNetwork::verify_invariants() const {
   // horizon break relies on must hold.
   const auto [sd_n, sb_n, se_n] = std::visit(
       [](const auto& st) {
-        return std::make_tuple(st.seg_delays.size(), st.seg_syn_begin.size(),
-                               st.seg_syn_end.size());
+        using Store = std::decay_t<decltype(st)>;
+        if constexpr (Store::kPackedLayout) {
+          // Sentinel-terminated begin column (size checked above) doubles
+          // as the end column: both bounds count seg_delays entries.
+          return std::make_tuple(st.seg_delays.size(), st.seg_delays.size(),
+                                 st.seg_delays.size());
+        } else {
+          return std::make_tuple(st.seg_delays.size(),
+                                 st.seg_syn_begin.size(),
+                                 st.seg_syn_end.size());
+        }
       },
       store_);
   SGA_REQUIRE(seg_offsets_.size() == n + 1 && seg_offsets_[0] == 0 &&
@@ -325,10 +425,26 @@ void CompiledNetwork::recompute_pos_in_weight() {
   pos_in_weight_.assign(num_neurons(), 0);
   std::visit(
       [this](const auto& st) {
-        for (std::size_t k = 0; k < st.targets.size(); ++k) {
-          const auto w = static_cast<SynWeight>(st.weights[k]);
-          if (w > 0) {
-            pos_in_weight_[static_cast<NeuronId>(st.targets[k])] += w;
+        using Store = std::decay_t<decltype(st)>;
+        if constexpr (Store::kPackedLayout) {
+          // One sequential decode sweep — same flat-index accumulation
+          // order as the non-packed branch, so the table stays bit-exact
+          // across encodings.
+          std::uint32_t tmp[kPackedBlockSize];
+          std::size_t k = 0;
+          for (std::size_t j = 0; j < st.num_blocks(); ++j) {
+            const std::size_t count = st.decode_block(j, tmp);
+            for (std::size_t i = 0; i < count; ++i, ++k) {
+              const auto w = static_cast<SynWeight>(st.weights[k]);
+              if (w > 0) pos_in_weight_[tmp[i]] += w;
+            }
+          }
+        } else {
+          for (std::size_t k = 0; k < st.targets.size(); ++k) {
+            const auto w = static_cast<SynWeight>(st.weights[k]);
+            if (w > 0) {
+              pos_in_weight_[static_cast<NeuronId>(st.targets[k])] += w;
+            }
           }
         }
       },
@@ -366,6 +482,13 @@ void CompiledNetwork::patch_weights(
 
 void CompiledNetwork::patch_delays(
     const std::vector<std::pair<std::size_t, Delay>>& edits) {
+  // A delay edit re-sorts its row, which permutes the delta-packed target
+  // column — that is a re-encode, not an in-place patch. Refuse before
+  // touching anything (kNarrow freezes keep delay patching available).
+  SGA_REQUIRE(!widths_.packed,
+              "patch_delays: the packed encoding cannot be patched in "
+              "place; re-freeze the network to re-encode "
+              "(StoragePolicy::kNarrow keeps delay patching available)");
   const std::size_t m = num_synapses();
   const std::size_t n = num_neurons();
   const Delay cap = !widths_.narrow
@@ -398,6 +521,11 @@ void CompiledNetwork::patch_delays(
   std::visit(
       [&](auto& st) {
         using Store = std::decay_t<decltype(st)>;
+        if constexpr (Store::kPackedLayout) {
+          SGA_CHECK(false, "patch_delays: packed store behind a non-packed "
+                           "width tag");
+          return;
+        } else {
         using TgtT = typename Store::Target;
         using DlyT = typename Store::DelayT;
         using WgtT = typename Store::WeightT;
@@ -474,6 +602,7 @@ void CompiledNetwork::patch_delays(
         st.seg_syn_begin = std::move(nsb);
         st.seg_syn_end = std::move(nse);
         seg_offsets_ = std::move(nso);
+        }
       },
       store_);
 
@@ -491,6 +620,147 @@ void CompiledNetwork::patch_delays(
   // the in-weight table is retabulated in the new synapse order.
   recompute_pos_in_weight();
   verify_invariants();
+}
+
+CompiledNetwork CompiledNetwork::from_packed_parts(
+    PackedNetworkParts&& parts) {
+  const std::size_t n = parts.neurons.size();
+  SGA_REQUIRE(parts.widths.narrow && parts.widths.packed &&
+                  parts.widths.target_bytes == 4 &&
+                  parts.widths.seg_index_bytes == 4 &&
+                  (parts.widths.delay_bytes == 1 ||
+                   parts.widths.delay_bytes == 2) &&
+                  (parts.widths.weight_bytes == 4 ||
+                   parts.widths.weight_bytes == 8),
+              "packed parts: width tag does not describe a packed encoding");
+  SGA_REQUIRE(parts.offsets.size() == n + 1 && parts.offsets[0] == 0 &&
+                  parts.seg_offsets.size() == n + 1 &&
+                  parts.seg_offsets[0] == 0,
+              "packed parts: malformed row pointers for " << n << " neurons");
+  const std::size_t m = parts.offsets[n];
+  const std::size_t segs = parts.seg_offsets[n];
+  SGA_REQUIRE(m < (1ULL << 32),
+              "packed parts: u32 segment bounds cannot index " << m
+                                                               << " synapses");
+  SGA_REQUIRE(parts.weights.size() == m,
+              "packed parts: " << parts.weights.size() << " weights for "
+                               << m << " synapses");
+  SGA_REQUIRE(parts.seg_delays.size() == segs,
+              "packed parts: " << parts.seg_delays.size() << " run delays for "
+                               << segs << " segments");
+  SGA_REQUIRE(parts.seg_syn_begin.size() == segs + 1 &&
+                  parts.seg_syn_begin.front() == 0 &&
+                  parts.seg_syn_begin.back() == m,
+              "packed parts: segment begin column must hold "
+                  << segs + 1 << " entries from 0 to the synapse sentinel "
+                  << m);
+  for (std::size_t s = 0; s < segs; ++s) {
+    SGA_REQUIRE(parts.seg_syn_begin[s] < parts.seg_syn_begin[s + 1],
+                "packed parts: segment begin column not strictly increasing "
+                "at run " << s);
+  }
+
+  // Block-table structure: exactly the checks that make decode_block()
+  // memory-safe. A truncated delta array, a bit-width edited to 0, or any
+  // extra/missing word breaks the exact word sum.
+  const std::size_t nb = (m + kPackedBlockSize - 1) / kPackedBlockSize;
+  SGA_REQUIRE(parts.block_base.size() == nb && parts.block_bits.size() == nb,
+              "packed parts: " << nb << " blocks expected for " << m
+                               << " synapses, got " << parts.block_base.size()
+                               << " bases and " << parts.block_bits.size()
+                               << " bit-widths");
+  std::vector<std::uint32_t> block_word(nb);
+  std::size_t words = 0;
+  for (std::size_t j = 0; j < nb; ++j) {
+    const unsigned bits = parts.block_bits[j];
+    SGA_REQUIRE(bits <= 32, "packed parts: block " << j << " declares "
+                                                   << bits
+                                                   << "-bit deltas (max 32)");
+    block_word[j] = static_cast<std::uint32_t>(words);
+    const std::size_t count = std::min(kPackedBlockSize,
+                                       m - j * kPackedBlockSize);
+    words += packed_block_words(count, bits);
+  }
+  SGA_REQUIRE(parts.pack_words.size() == words,
+              "packed parts: delta array has " << parts.pack_words.size()
+                                               << " words but the block "
+                                                  "headers account for "
+                                               << words);
+
+  // Value-range checks the claimed widths imply (a lying tag would
+  // silently truncate during the narrowing move below).
+  const Delay delay_cap = parts.widths.delay_bytes == 1 ? 255 : 65535;
+  Delay max_delay = 0;
+  for (std::size_t s = 0; s < segs; ++s) {
+    const Delay d = parts.seg_delays[s];
+    SGA_REQUIRE(d >= 0 && d <= delay_cap,
+                "packed parts: run " << s << " delay " << d
+                                     << " does not fit the declared "
+                                     << int{parts.widths.delay_bytes}
+                                     << "-byte delay storage");
+    max_delay = std::max(max_delay, d);
+  }
+  if (parts.widths.weight_bytes == 4) {
+    for (std::size_t k = 0; k < m; ++k) {
+      SGA_REQUIRE(round_trips_f32(parts.weights[k]),
+                  "packed parts: weight " << parts.weights[k]
+                                          << " at synapse " << k
+                                          << " does not round-trip the "
+                                             "declared float32 storage");
+    }
+  }
+
+  CompiledNetwork net;
+  net.v_reset_.resize(n);
+  net.v_threshold_.resize(n);
+  net.tau_.resize(n);
+  for (NeuronId i = 0; i < n; ++i) {
+    net.v_reset_[i] = parts.neurons[i].v_reset;
+    net.v_threshold_[i] = parts.neurons[i].v_threshold;
+    net.tau_[i] = parts.neurons[i].tau;
+  }
+  net.offsets_ = std::move(parts.offsets);
+  net.seg_offsets_ = std::move(parts.seg_offsets);
+  net.widths_ = parts.widths;
+  net.max_delay_ = max_delay;
+  net.store_ = make_synapse_store(net.widths_);
+  std::visit(
+      [&parts, &block_word, m, n](auto& st) {
+        using Store = std::decay_t<decltype(st)>;
+        if constexpr (Store::kPackedLayout) {
+          st.num_targets = m;
+          st.block_base = std::move(parts.block_base);
+          st.block_bits = std::move(parts.block_bits);
+          st.block_word = std::move(block_word);
+          st.pack_words = std::move(parts.pack_words);
+          narrow_into(st.weights, std::move(parts.weights));
+          narrow_into(st.seg_delays, std::move(parts.seg_delays));
+          st.seg_syn_begin = std::move(parts.seg_syn_begin);
+          // Targets are untrusted until decoded: bound every one BEFORE
+          // the in-weight tabulation (or any other consumer) indexes by
+          // them. Structure is already proven, so the decode cannot read
+          // out of bounds — only produce out-of-range ids.
+          std::uint32_t tmp[kPackedBlockSize];
+          std::size_t k = 0;
+          for (std::size_t j = 0; j < st.num_blocks(); ++j) {
+            const std::size_t count = st.decode_block(j, tmp);
+            for (std::size_t i = 0; i < count; ++i, ++k) {
+              SGA_REQUIRE(tmp[i] < n,
+                          "packed parts: synapse " << k
+                                                   << " decodes to out-of-"
+                                                      "range neuron "
+                                                   << tmp[i]);
+            }
+          }
+        }
+      },
+      net.store_);
+  net.recompute_pos_in_weight();
+  for (auto& [name, ids] : parts.groups) {
+    SGA_REQUIRE(net.groups_.emplace(name, std::move(ids)).second,
+                "packed parts: duplicate group '" << name << "'");
+  }
+  return net;
 }
 
 const std::vector<NeuronId>& CompiledNetwork::group(

@@ -19,7 +19,11 @@
 //     (ARCHITECTURE.md §1.8): compile() scans n / max delay / the weight
 //     domain and freezes u16 or u32 targets, u8/u16 delays, float32 weights
 //     when exact — behind a SynStoreVariant dispatch, with the full-width
-//     layout kept as the oracle (snn/storage.h),
+//     layout kept as the oracle (snn/storage.h). At scale kAuto upgrades
+//     the narrow layout to the delta-PACKED encoding (ARCHITECTURE.md
+//     §1.11): the delay-sorted target column becomes base + bit-packed
+//     deltas in 64-entry blocks and the per-synapse delay column is dropped
+//     in favor of the segment CSR's run-length form,
 //   * per-neuron aggregates computed once at freeze time (the positive
 //     in-weight table that previously cost a full-graph scan per query).
 // compile() also runs the validation pass that used to be scattered across
@@ -78,6 +82,23 @@ struct StreamBuildStats {
   std::size_t peak_resident_bytes = 0;
 };
 
+/// Raw material of a packed freeze as an untrusted loader (io text v3)
+/// hands it over: wide-typed columns plus the block tables, widths still
+/// only CLAIMED. CompiledNetwork::from_packed_parts() validates the claim.
+struct PackedNetworkParts {
+  std::vector<NeuronParams> neurons;
+  std::vector<std::size_t> offsets;  ///< n+1 CSR row pointers
+  std::vector<std::size_t> seg_offsets;  ///< n+1 segment row pointers
+  StorageWidths widths;  ///< must claim packed=true (delay/weight widths)
+  std::vector<SynWeight> weights;  ///< one per synapse
+  std::vector<Delay> seg_delays;   ///< one per delay run
+  std::vector<std::uint32_t> seg_syn_begin;  ///< runs + 1 (sentinel = m)
+  std::vector<std::uint32_t> block_base;
+  std::vector<std::uint8_t> block_bits;
+  std::vector<std::uint32_t> pack_words;
+  std::vector<std::pair<std::string, std::vector<NeuronId>>> groups;
+};
+
 class CompiledNetwork {
  public:
   /// The empty network (0 neurons, 0 synapses) — a valid placeholder so
@@ -106,6 +127,16 @@ class CompiledNetwork {
       const std::function<void(const SynapseSink&)>& emit,
       StoragePolicy policy = StoragePolicy::kAuto,
       StreamBuildStats* build_stats = nullptr);
+
+  /// Reassemble a PACKED compiled form from untrusted parts (the io text v3
+  /// reader). Performs the structural block-table checks that make decoding
+  /// memory-safe (bits ≤ 32, word offsets exactly the running sum of
+  /// per-block word counts, sentinel-terminated begin column) and bounds
+  /// every decoded target BEFORE any table is indexed — then derives
+  /// block_word / max_delay / pos_in_weight. Throws InvalidArgument on the
+  /// first violation. Callers still run verify_invariants() for the full
+  /// semantic contract (tiling, delay monotonicity, finiteness).
+  static CompiledNetwork from_packed_parts(PackedNetworkParts&& parts);
 
   std::size_t num_neurons() const { return v_reset_.size(); }
   std::size_t num_synapses() const { return offsets_.back(); }
@@ -139,19 +170,15 @@ class CompiledNetwork {
     return offsets_[id + 1] - offsets_[id];
   }
   NeuronId syn_target(std::size_t k) const {
-    return std::visit(
-        [k](const auto& st) { return static_cast<NeuronId>(st.targets[k]); },
-        store_);
+    return std::visit([k](const auto& st) { return st.target_at(k); },
+                      store_);
   }
   SynWeight syn_weight(std::size_t k) const {
-    return std::visit(
-        [k](const auto& st) { return static_cast<SynWeight>(st.weights[k]); },
-        store_);
+    return std::visit([k](const auto& st) { return st.weight_at(k); },
+                      store_);
   }
   Delay syn_delay(std::size_t k) const {
-    return std::visit(
-        [k](const auto& st) { return static_cast<Delay>(st.delays[k]); },
-        store_);
+    return std::visit([k](const auto& st) { return st.delay_at(k); }, store_);
   }
 
   /// The width-dispatched payload itself, for kernels that resolve the
@@ -187,23 +214,16 @@ class CompiledNetwork {
   std::size_t seg_begin(NeuronId id) const { return seg_offsets_[id]; }
   std::size_t seg_end(NeuronId id) const { return seg_offsets_[id + 1]; }
   Delay seg_delay(std::size_t s) const {
-    return std::visit(
-        [s](const auto& st) { return static_cast<Delay>(st.seg_delays[s]); },
-        store_);
+    return std::visit([s](const auto& st) { return st.seg_delay_at(s); },
+                      store_);
   }
   std::size_t seg_syn_begin(std::size_t s) const {
-    return std::visit(
-        [s](const auto& st) {
-          return static_cast<std::size_t>(st.seg_syn_begin[s]);
-        },
-        store_);
+    return std::visit([s](const auto& st) { return st.seg_syn_begin_at(s); },
+                      store_);
   }
   std::size_t seg_syn_end(std::size_t s) const {
-    return std::visit(
-        [s](const auto& st) {
-          return static_cast<std::size_t>(st.seg_syn_end[s]);
-        },
-        store_);
+    return std::visit([s](const auto& st) { return st.seg_syn_end_at(s); },
+                      store_);
   }
   std::size_t num_delay_segments() const { return seg_offsets_.back(); }
 
@@ -296,7 +316,9 @@ class CompiledNetwork {
   /// the frozen delay width (u8/u16 when narrow — re-freeze to widen).
   /// Touched rows are stably re-sorted by delay and re-segmented (untouched
   /// rows keep their segments verbatim); max_delay() is refreshed, which
-  /// may grow or shrink it.
+  /// may grow or shrink it. Packed freezes reject delay patches outright:
+  /// re-sorting a row re-orders the delta-packed target column, which is a
+  /// re-encode, not a patch — re-freeze (kNarrow keeps patching available).
   void patch_delays(const std::vector<std::pair<std::size_t, Delay>>& edits);
 
   // ---- Sharding (snn/partition.h; ARCHITECTURE.md §1.5) ----------------

@@ -21,6 +21,28 @@
 // re-freezes under the declared policy, so a wide artifact stays wide.
 // Version-1 files (no storage line) remain readable under the legacy 2^30
 // count ceiling and freeze under the default kAuto policy.
+//
+// Version 3 (new with the packed encoding, ARCHITECTURE.md §1.11) is
+// emitted ONLY for packed artifacts and carries the encoded columns as
+// encoded — no per-synapse lines, so a scale network round trips without
+// a wide intermediate:
+//   snn 3
+//   storage packed target u32 delay <u8|u16> weight <f32|f64>
+//   neurons N  /  n <reset> <threshold> <tau>  × N
+//   synapses M
+//   segments S
+//   rows  /  r <degree> <segment-count>        × N
+//   t <delay> <syn-begin>                      × S   (delay runs, flat order)
+//   blocks B  /  b <base> <bits>               × B   (B = ceil(M / 64))
+//   words W  /  <u32>                          × W   (packed delta words)
+//   weights  /  <weight>                       × M
+//   groups G  /  g <name> <k> <id...>          × G
+// Readers reassemble through CompiledNetwork::from_packed_parts, which
+// validates every claimed table (bit widths <= 32, exact per-block word
+// sums, sentinel begin column, every decoded target < N) before anything
+// is indexed; read_compiled_network then re-runs verify_invariants on the
+// result like it does for every other version. Non-packed networks keep
+// writing version 2 byte-for-byte.
 #pragma once
 
 #include <iosfwd>

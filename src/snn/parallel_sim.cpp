@@ -1192,6 +1192,10 @@ void ParallelSimulator::finalize_run(bool absorb_probes) {
     stats_.ring_buckets =
         static_cast<std::uint32_t>(shards_[0]->ring_.size());
   }
+  // The shard CSRs are full-width transients (DESIGN.md), so csr_bytes
+  // stays unreported here — but the encoding of the SOURCE artifact is
+  // still what the trajectory keys on.
+  stats_.storage_encoding = encoding_code(net_->storage_widths());
 
   // Canonical (time, id) spike log: shard logs are time-ordered already;
   // one global sort yields the canonical order (a neuron fires at most
@@ -1470,8 +1474,10 @@ void ParallelSimulator::apply_image(const SnapshotImage& img) {
       shards_.empty() ? 0
                       : static_cast<std::uint32_t>(shards_[0]->ring_.size());
   stats_.csr_bytes = 0;  // the parallel engine does not report CSR bytes
+  stats_.storage_encoding = encoding_code(net_->storage_widths());
   base_.ring_buckets = stats_.ring_buckets;
   base_.csr_bytes = 0;
+  base_.storage_encoding = stats_.storage_encoding;
   ran_ = img.mid_run;
   paused_ = img.mid_run && img.stats.paused;
   pause_floor_ = img.resume_floor;

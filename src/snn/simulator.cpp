@@ -74,6 +74,7 @@ void Simulator::init_state() {
     stats_.ring_buckets = static_cast<std::uint32_t>(w);
   }
   stats_.csr_bytes = net_->csr_storage_bytes();
+  stats_.storage_encoding = encoding_code(net_->storage_widths());
   // Resolve the storage layout ONCE: fire() calls through fanout_fn_, so
   // the inner loop is a fully-typed instantiation with no per-event
   // branching on either the width or the kernel kind.
@@ -88,40 +89,103 @@ void Simulator::init_state() {
 }
 
 template <typename Store>
+void Simulator::decode_row(const Store& st, std::size_t b, std::size_t e) {
+  const std::size_t len = e - b;
+  if (decode_scratch_.size() < len) decode_scratch_.resize(len);
+  std::uint32_t tmp[kPackedBlockSize];
+  std::size_t out = 0;
+  for (std::size_t j = b / kPackedBlockSize; j * kPackedBlockSize < e; ++j) {
+    const std::size_t blk_begin = j * kPackedBlockSize;
+    const std::size_t count = st.decode_block(j, tmp);
+    ++stats_.decode_blocks;
+    const std::size_t lo = b > blk_begin ? b - blk_begin : 0;
+    const std::size_t hi = std::min(e - blk_begin, count);
+    for (std::size_t i = lo; i < hi; ++i) {
+      decode_scratch_[out++] = static_cast<NeuronId>(tmp[i]);
+    }
+  }
+}
+
+template <typename Store>
 void Simulator::fanout_segmented(NeuronId id, Time t) {
   // One queue lookup per delay run, then a bulk append of the run's
   // (target, weight) pairs; sources only when a cause is being recorded.
   const Store& st = *std::get_if<Store>(&net_->synapse_store());
-  const auto* tgt = st.targets.data();
-  const auto* wgt = st.weights.data();
-  const std::size_t se = net_->seg_end(id);
-  for (std::size_t s = net_->seg_begin(id); s < se; ++s) {
-    ++stats_.fanout_segments;
-    const auto d = static_cast<Delay>(st.seg_delays[s]);
-    if (d > max_time_ - t) {
-      // Segment delays increase along the row, so every remaining run is
-      // past the horizon too.
-      stats_.hit_time_limit = true;
-      break;
-    }
-    const auto b = static_cast<std::size_t>(st.seg_syn_begin[s]);
-    const auto e = static_cast<std::size_t>(st.seg_syn_end[s]);
-    Bucket& bucket = bucket_for(t + d, e - b);
-    if (e - b == 1) {
-      // Singleton run (every delay in the row distinct): push_back beats
-      // the range-insert machinery, and rows like this are common in
-      // SSSP instances with wide length ranges.
-      bucket.targets.push_back(static_cast<NeuronId>(tgt[b]));
-      bucket.weights.push_back(static_cast<SynWeight>(wgt[b]));
-      if (record_causes_) bucket.sources.push_back(id);
-    } else {
-      append_widened(bucket.targets, tgt + b, tgt + e);
-      append_widened(bucket.weights, wgt + b, wgt + e);
-      if (record_causes_) {
-        bucket.sources.insert(bucket.sources.end(), e - b, id);
+  if constexpr (Store::kPackedLayout) {
+    // Block-decode path (ARCHITECTURE.md §1.11): the whole row's targets
+    // are decoded ONCE into the persistent scratch buffer — lazily, so a
+    // row entirely past the horizon decodes nothing — then each delay run
+    // bulk-appends its slice exactly like the flat branch below. Weights
+    // stay a flat column; delays come from the segment CSR, which is their
+    // run-length encoding.
+    const std::size_t rb = net_->out_begin(id);
+    const auto* wgt = st.weights.data();
+    const std::size_t se = net_->seg_end(id);
+    bool decoded = false;
+    for (std::size_t s = net_->seg_begin(id); s < se; ++s) {
+      ++stats_.fanout_segments;
+      const auto d = static_cast<Delay>(st.seg_delays[s]);
+      if (d > max_time_ - t) {
+        // Segment delays increase along the row, so every remaining run
+        // is past the horizon too.
+        stats_.hit_time_limit = true;
+        break;
       }
+      if (!decoded) {
+        decode_row(st, rb, net_->out_end(id));
+        decoded = true;
+      }
+      const auto b = static_cast<std::size_t>(st.seg_syn_begin[s]);
+      const auto e = static_cast<std::size_t>(st.seg_syn_begin[s + 1]);
+      Bucket& bucket = bucket_for(t + d, e - b);
+      if (e - b == 1) {
+        bucket.targets.push_back(decode_scratch_[b - rb]);
+        bucket.weights.push_back(static_cast<SynWeight>(wgt[b]));
+        if (record_causes_) bucket.sources.push_back(id);
+      } else {
+        bucket.targets.insert(bucket.targets.end(),
+                              decode_scratch_.data() + (b - rb),
+                              decode_scratch_.data() + (e - rb));
+        append_widened(bucket.weights, wgt + b, wgt + e);
+        if (record_causes_) {
+          bucket.sources.insert(bucket.sources.end(), e - b, id);
+        }
+      }
+      ++stats_.bulk_appends;
     }
-    ++stats_.bulk_appends;
+    return;
+  } else {
+    const auto* tgt = st.targets.data();
+    const auto* wgt = st.weights.data();
+    const std::size_t se = net_->seg_end(id);
+    for (std::size_t s = net_->seg_begin(id); s < se; ++s) {
+      ++stats_.fanout_segments;
+      const auto d = static_cast<Delay>(st.seg_delays[s]);
+      if (d > max_time_ - t) {
+        // Segment delays increase along the row, so every remaining run is
+        // past the horizon too.
+        stats_.hit_time_limit = true;
+        break;
+      }
+      const auto b = static_cast<std::size_t>(st.seg_syn_begin[s]);
+      const auto e = static_cast<std::size_t>(st.seg_syn_end[s]);
+      Bucket& bucket = bucket_for(t + d, e - b);
+      if (e - b == 1) {
+        // Singleton run (every delay in the row distinct): push_back beats
+        // the range-insert machinery, and rows like this are common in
+        // SSSP instances with wide length ranges.
+        bucket.targets.push_back(static_cast<NeuronId>(tgt[b]));
+        bucket.weights.push_back(static_cast<SynWeight>(wgt[b]));
+        if (record_causes_) bucket.sources.push_back(id);
+      } else {
+        append_widened(bucket.targets, tgt + b, tgt + e);
+        append_widened(bucket.weights, wgt + b, wgt + e);
+        if (record_causes_) {
+          bucket.sources.insert(bucket.sources.end(), e - b, id);
+        }
+      }
+      ++stats_.bulk_appends;
+    }
   }
 }
 
@@ -129,17 +193,45 @@ template <typename Store>
 void Simulator::fanout_per_synapse(NeuronId id, Time t) {
   // Legacy per-synapse kernel (bench ablation + fuzzing oracle).
   const Store& st = *std::get_if<Store>(&net_->synapse_store());
-  const std::size_t ke = net_->out_end(id);
-  for (std::size_t k = net_->out_begin(id); k < ke; ++k) {
-    const auto d = static_cast<Delay>(st.delays[k]);
-    if (d > max_time_ - t) {
-      stats_.hit_time_limit = true;
-      continue;
+  if constexpr (Store::kPackedLayout) {
+    // Per-synapse oracle over the packed layout: one whole-row decode,
+    // then single-element appends in flat order with the delay taken from
+    // the enclosing run — event-for-event identical to the flat oracle,
+    // including its per-synapse horizon `continue`.
+    const std::size_t rb = net_->out_begin(id);
+    if (net_->out_end(id) == rb) return;
+    decode_row(st, rb, net_->out_end(id));
+    const auto* wgt = st.weights.data();
+    const std::size_t se = net_->seg_end(id);
+    for (std::size_t s = net_->seg_begin(id); s < se; ++s) {
+      const auto d = static_cast<Delay>(st.seg_delays[s]);
+      const auto e = static_cast<std::size_t>(st.seg_syn_begin[s + 1]);
+      if (d > max_time_ - t) {
+        stats_.hit_time_limit = true;
+        continue;
+      }
+      for (auto k = static_cast<std::size_t>(st.seg_syn_begin[s]); k < e;
+           ++k) {
+        Bucket& bucket = bucket_for(t + d, 1);
+        bucket.targets.push_back(decode_scratch_[k - rb]);
+        bucket.weights.push_back(static_cast<SynWeight>(wgt[k]));
+        if (record_causes_) bucket.sources.push_back(id);
+      }
     }
-    Bucket& bucket = bucket_for(t + d, 1);
-    bucket.targets.push_back(static_cast<NeuronId>(st.targets[k]));
-    bucket.weights.push_back(static_cast<SynWeight>(st.weights[k]));
-    if (record_causes_) bucket.sources.push_back(id);
+    return;
+  } else {
+    const std::size_t ke = net_->out_end(id);
+    for (std::size_t k = net_->out_begin(id); k < ke; ++k) {
+      const auto d = static_cast<Delay>(st.delays[k]);
+      if (d > max_time_ - t) {
+        stats_.hit_time_limit = true;
+        continue;
+      }
+      Bucket& bucket = bucket_for(t + d, 1);
+      bucket.targets.push_back(static_cast<NeuronId>(st.targets[k]));
+      bucket.weights.push_back(static_cast<SynWeight>(st.weights[k]));
+      if (record_causes_) bucket.sources.push_back(id);
+    }
   }
 }
 
@@ -495,6 +587,8 @@ SimStats Simulator::run(const SimConfig& config) {
     m->add("sim.event_times", stats_.event_times - event_times0);
     m->add("sim.overflow_spills", stats_.overflow_spills - spills0);
     m->gauge("sim.csr_bytes", static_cast<double>(stats_.csr_bytes));
+    m->gauge("sim.storage_encoding",
+             static_cast<double>(stats_.storage_encoding));
   }
   return stats_;
 }
@@ -560,6 +654,7 @@ void Simulator::reset() {
                             ? static_cast<std::uint32_t>(ring_.size())
                             : 0;
   stats_.csr_bytes = net_->csr_storage_bytes();
+  stats_.storage_encoding = encoding_code(net_->storage_widths());
   record_causes_ = false;
   record_log_ = false;
   max_time_ = kNever;
@@ -719,6 +814,7 @@ void Simulator::apply_image(const SnapshotImage& img) {
                             ? static_cast<std::uint32_t>(ring_.size())
                             : 0;
   stats_.csr_bytes = net_->csr_storage_bytes();
+  stats_.storage_encoding = encoding_code(net_->storage_widths());
   ran_ = img.mid_run;
   paused_ = img.mid_run && img.stats.paused;
   pause_floor_ = img.resume_floor;

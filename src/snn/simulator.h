@@ -136,16 +136,28 @@ struct SimStats {
   /// Bucket activations whose delivery storage came from the drained-bucket
   /// pool (hit) vs. had to start from an empty vector (miss). After the
   /// first reset(), a steady-state rerun of the same workload reports
-  /// pool_misses == 0 — the allocation-free contract.
+  /// pool_misses == 0 — the allocation-free contract. The packed kernels'
+  /// row-decode scratch rides the same contract: it is a persistent
+  /// per-simulator buffer, so packed steady-state reruns also report
+  /// pool_misses == 0.
   std::uint64_t pool_hits = 0;
   std::uint64_t pool_misses = 0;
+  /// Packed-target blocks decoded by the fan-out kernels (0 for the flat
+  /// encodings) — the packed ablation's work counter (ARCHITECTURE.md
+  /// §1.11).
+  std::uint64_t decode_blocks = 0;
 
-  // ---- Memory footprint (ARCHITECTURE.md §1.8) -------------------------
+  // ---- Memory footprint (ARCHITECTURE.md §1.8, §1.11) ------------------
   /// Resident bytes of the frozen CSR backing this run (row pointers +
-  /// segment CSR + the width-narrowed synapse payload). A property of the
-  /// CompiledNetwork, surfaced here so the bench trajectory tracks memory
-  /// alongside wall clock.
+  /// segment CSR + the width-narrowed or delta-packed synapse payload —
+  /// always the ENCODED footprint). A property of the CompiledNetwork,
+  /// surfaced here so the bench trajectory tracks memory alongside wall
+  /// clock.
   std::uint64_t csr_bytes = 0;
+  /// Which encoding backs this run: 0 = wide, 1 = narrow, 2 = packed
+  /// (snn::encoding_code). Lets the trajectory distinguish packed vs
+  /// narrow vs wide artifacts without re-deriving it from the widths.
+  std::uint8_t storage_encoding = 0;
 };
 
 class Simulator {
@@ -300,6 +312,14 @@ class Simulator {
   void fanout_per_synapse(NeuronId id, Time t);
   using FanoutFn = void (Simulator::*)(NeuronId, Time);
 
+  /// Packed-layout helper: decode the target ids of flat range [b, e) (one
+  /// neuron's row) into decode_scratch_, block by block. The scratch is a
+  /// persistent per-simulator buffer grown once to the largest row — the
+  /// steady state decodes allocation-free, matching the bucket pool's
+  /// contract.
+  template <typename Store>
+  void decode_row(const Store& st, std::size_t b, std::size_t e);
+
   /// Mark `id`'s per-neuron state dirty for the O(events) reset().
   void touch_state(NeuronId id) {
     if (state_stamp_[id] != epoch_) {
@@ -395,6 +415,9 @@ class Simulator {
   std::vector<SynWeight> accum_cause_weight_;
   std::vector<char> touched_;
   std::vector<NeuronId> targets_scratch_;
+  /// Packed-kernel row-decode buffer (see decode_row); unused (and empty)
+  /// for flat encodings.
+  std::vector<NeuronId> decode_scratch_;
 
   std::vector<char> is_terminal_;
   std::vector<char> is_watched_;

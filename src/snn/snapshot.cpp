@@ -231,7 +231,10 @@ std::vector<std::uint8_t> serialize_snapshot(const SnapshotImage& img) {
   w.u8(img.widths.delay_bytes);
   w.u8(img.widths.weight_bytes);
   w.u8(img.widths.seg_index_bytes);
-  w.u8(0);
+  // Storage encoding flag (0 = flat, 1 = packed). Occupies the first of
+  // the three pad bytes version 1 always carried, so pre-packed streams —
+  // which wrote 0 here — parse as flat with no version bump.
+  w.u8(img.widths.packed ? 1 : 0);
   w.u8(0);
   w.u8(0);  // pad to 32 bytes
   w.end_section(at);
@@ -368,7 +371,7 @@ SnapshotImage parse_snapshot(const std::uint8_t* data, std::size_t size) {
         img.widths.delay_bytes = body.u8();
         img.widths.weight_bytes = body.u8();
         img.widths.seg_index_bytes = body.u8();
-        body.u8();
+        img.widths.packed = body.u8() != 0;  // pad byte pre-§1.11, so 0
         body.u8();
         body.u8();
         break;
@@ -464,22 +467,27 @@ SnapshotImage parse_snapshot(const std::uint8_t* data, std::size_t size) {
 void validate_snapshot_for(const SnapshotImage& img,
                            const CompiledNetwork& net) {
   // Fingerprint: the image must have been taken on THIS frozen artifact —
-  // same shape and same storage widths (a kWide vs kAuto freeze of the
-  // same network is a different artifact; its simulators observe different
-  // counter baselines, so we refuse rather than half-match).
+  // same shape, same storage widths, and same storage encoding (a kWide vs
+  // kAuto freeze of the same network is a different artifact; so is a
+  // packed vs narrow one — its simulators observe different counter
+  // baselines, so we refuse rather than half-match). Typed ctor so callers
+  // can catch SnapshotError::kFingerprint without string-matching.
   if (img.num_neurons != net.num_neurons() ||
       img.num_synapses != net.num_synapses() ||
       img.max_delay != net.max_delay() ||
       !(img.widths == net.storage_widths())) {
     throw SnapshotError(
-        "fingerprint",
+        SnapshotError::kFingerprint,
         "snapshot was taken on a different network (snapshot: n=" +
             std::to_string(img.num_neurons) + " m=" +
             std::to_string(img.num_synapses) + " max_delay=" +
-            std::to_string(img.max_delay) + ", live: n=" +
+            std::to_string(img.max_delay) + " encoding=" +
+            std::string(encoding_name(img.widths)) + ", live: n=" +
             std::to_string(net.num_neurons()) + " m=" +
             std::to_string(net.num_synapses()) + " max_delay=" +
-            std::to_string(net.max_delay()) + "; storage widths must match)");
+            std::to_string(net.max_delay()) + " encoding=" +
+            std::string(encoding_name(net.storage_widths())) +
+            "; storage widths and encoding must match)");
   }
   const std::uint64_t n = img.num_neurons;
 

@@ -71,17 +71,69 @@ inline constexpr std::uint16_t kFlagTerminalFired = 1u << 4;
 /// Thrown on any malformed, corrupt, or incompatible snapshot/journal
 /// stream. `section()` names the part of the format that failed ("header",
 /// "crc", "fingerprint", "config", "neuron", "queue", "log", "stats",
-/// "journal") — the all-or-nothing restore contract guarantees the target
-/// simulator is untouched when this escapes.
+/// "journal") and `typed_section()` carries the same tag as an enum — so
+/// callers can dispatch on e.g. SnapshotError::kFingerprint (a packed
+/// snapshot refusing to restore into a narrow-frozen network) without
+/// string-matching. The all-or-nothing restore contract guarantees the
+/// target simulator is untouched when this escapes.
 class SnapshotError : public Error {
  public:
+  /// Section tags, in stream order (kJournal is the SpikeJournal's own
+  /// stream). Unscoped on purpose: SnapshotError::kFingerprint reads as
+  /// the error class it tags.
+  enum Section : std::uint8_t {
+    kHeader,
+    kCrc,
+    kFingerprint,
+    kConfig,
+    kNeuron,
+    kQueue,
+    kLog,
+    kStats,
+    kJournal,
+  };
+
+  static const char* section_name(Section s) {
+    switch (s) {
+      case kHeader: return "header";
+      case kCrc: return "crc";
+      case kFingerprint: return "fingerprint";
+      case kConfig: return "config";
+      case kNeuron: return "neuron";
+      case kQueue: return "queue";
+      case kLog: return "log";
+      case kStats: return "stats";
+      case kJournal: return "journal";
+    }
+    return "header";
+  }
+
+  SnapshotError(Section section, const std::string& what)
+      : Error(std::string("snapshot [") + section_name(section) +
+              "]: " + what),
+        section_(section_name(section)),
+        typed_(section) {}
+
+  /// Legacy string spelling; known names map back onto the typed tag.
   SnapshotError(std::string section, const std::string& what)
       : Error("snapshot [" + section + "]: " + what),
-        section_(std::move(section)) {}
+        section_(std::move(section)),
+        typed_(parse_section(section_)) {}
+
   const std::string& section() const { return section_; }
+  Section typed_section() const { return typed_; }
 
  private:
+  static Section parse_section(const std::string& name) {
+    for (const Section s : {kHeader, kCrc, kFingerprint, kConfig, kNeuron,
+                            kQueue, kLog, kStats, kJournal}) {
+      if (name == section_name(s)) return s;
+    }
+    return kHeader;
+  }
+
   std::string section_;
+  Section typed_;
 };
 
 /// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) over `size` bytes — the
@@ -128,7 +180,9 @@ struct SnapshotBucket {
 struct SnapshotImage {
   // -- network fingerprint: the frozen CompiledNetwork this state belongs
   //    to. restore() refuses a mismatch (wrong network, or same network
-  //    frozen at different storage widths).
+  //    frozen at different storage widths OR a different encoding — the
+  //    packed flag rides in `widths`, so a packed-network snapshot cannot
+  //    silently restore into a narrow/wide re-freeze).
   std::uint64_t num_neurons = 0;
   std::uint64_t num_synapses = 0;
   Delay max_delay = 0;

@@ -1,4 +1,5 @@
-// Width-narrowed synapse storage for the frozen CSR (ARCHITECTURE.md §1.8).
+// Width-narrowed and delta-packed synapse storage for the frozen CSR
+// (ARCHITECTURE.md §1.8, §1.11).
 //
 // Network::compile() scans the observed ranges of the construction — neuron
 // count, maximum delay, the weight domain — and freezes the synapse payload
@@ -14,33 +15,59 @@
 // the full-width layout, which is kept unconditionally as the oracle the
 // fuzz harness diffs the narrow kernels against.
 //
-// The dispatch is a std::variant over SynStore instantiations: consumers off
-// the hot path go through CompiledNetwork's generic accessors (one visit per
-// call), while Simulator resolves the variant ONCE at construction into a
-// member-function-pointer to a fully-typed kernel instantiation — no
-// per-event branching in the inner loop.
+// On top of the narrow widths sits a third encoding, PACKED (§1.11): the
+// delay-sorted target column is re-encoded as base + bit-packed zigzag
+// deltas in fixed 64-entry blocks (one u32 base + u8 bit-width + u32 word
+// offset per block), the per-synapse delay column is dropped entirely (the
+// delay-segment CSR of §1.6 is already a run-length encoding of it), and
+// the segment end column is dropped too (segments tile each row, so a
+// sentinel-terminated begin column carries both bounds). Weights stay a
+// flat narrow column — they are the values the hot loop actually sums, so
+// they are never entropy-coded. kAuto picks the packed encoding for any
+// narrow-eligible freeze with at least kPackedAutoMinSynapses synapses;
+// kNarrow and kWide keep the flat layouts available as oracles.
+//
+// The dispatch is a std::variant over SynStore/PackedSynStore
+// instantiations: consumers off the hot path go through CompiledNetwork's
+// generic accessors (one visit per call), while Simulator resolves the
+// variant ONCE at construction into a member-function-pointer to a
+// fully-typed kernel instantiation — no per-event branching in the inner
+// loop.
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <type_traits>
 #include <variant>
 #include <vector>
 
+#include "core/error.h"
 #include "core/types.h"
 
 namespace sga::snn {
 
 /// Freeze-time storage selection (Network::compile's knob).
 enum class StoragePolicy : std::uint8_t {
-  kAuto,  ///< narrow to the observed ranges when they fit (the default)
-  kWide,  ///< always the full-width oracle layout (fuzz oracle; transient
-          ///< single-use freezes like max-flow's per-phase residuals)
+  kAuto,    ///< packed at scale, narrow below the auto threshold, wide when
+            ///< the observed ranges do not fit the narrow widths (default)
+  kWide,    ///< always the full-width oracle layout (fuzz oracle; transient
+            ///< single-use freezes like max-flow's per-phase residuals)
+  kNarrow,  ///< flat narrow columns, never packed (the packed ablation's
+            ///< baseline; exactly kAuto's pre-§1.11 behavior)
+  kPacked,  ///< delta-packed targets + RLE delays whenever the ranges are
+            ///< narrow-eligible (falls back to wide when they are not)
 };
 
 /// The widths a freeze actually chose, for io tags / bench records / tests.
+/// `packed` refines `narrow`: a packed freeze is narrow-eligible by
+/// construction, so packed ⇒ narrow. The struct doubles as the snapshot
+/// fingerprint's storage identity (snn/snapshot.h): two freezes of the same
+/// network interoperate iff every field — including the encoding — matches.
 struct StorageWidths {
   bool narrow = false;  ///< false = the wide oracle layout
+  bool packed = false;  ///< delta-packed targets + RLE delays (§1.11)
   std::uint8_t target_bytes = sizeof(NeuronId);
   std::uint8_t delay_bytes = sizeof(Delay);
   std::uint8_t weight_bytes = sizeof(SynWeight);
@@ -48,6 +75,19 @@ struct StorageWidths {
 
   friend bool operator==(const StorageWidths&, const StorageWidths&) = default;
 };
+
+/// Human-readable encoding tag ("wide" / "narrow" / "packed") for io
+/// headers, bench context lines, and error messages.
+inline const char* encoding_name(const StorageWidths& w) {
+  return w.packed ? "packed" : w.narrow ? "narrow" : "wide";
+}
+
+/// Numeric encoding tag for stats / gauges / bench records (0 = wide,
+/// 1 = narrow, 2 = packed) — SimStats::storage_encoding and the
+/// svc.artifact_storage_encoding gauge use this.
+inline std::uint8_t encoding_code(const StorageWidths& w) {
+  return w.packed ? 2 : w.narrow ? 1 : 0;
+}
 
 /// One width-combination of the flat synapse payload. The row pointer
 /// arrays (offsets / seg_offsets) stay size_t and live outside the variant:
@@ -60,6 +100,9 @@ struct SynStore {
   using WeightT = WgtT;
   using SegIndex = SegT;
 
+  /// Flat-column layout: the packed kernels and accessors are compiled out.
+  static constexpr bool kPackedLayout = false;
+
   std::vector<TgtT> targets;
   std::vector<WgtT> weights;
   std::vector<DlyT> delays;
@@ -67,6 +110,26 @@ struct SynStore {
   std::vector<DlyT> seg_delays;  ///< one entry per delay run
   std::vector<SegT> seg_syn_begin;
   std::vector<SegT> seg_syn_end;
+
+  // Uniform per-element accessors shared with PackedSynStore, so generic
+  // consumers (CompiledNetwork's visit accessors, verify_invariants,
+  // shard_split) are encoding-agnostic. Hot kernels bypass these.
+  NeuronId target_at(std::size_t k) const {
+    return static_cast<NeuronId>(targets[k]);
+  }
+  SynWeight weight_at(std::size_t k) const {
+    return static_cast<SynWeight>(weights[k]);
+  }
+  Delay delay_at(std::size_t k) const { return static_cast<Delay>(delays[k]); }
+  Delay seg_delay_at(std::size_t s) const {
+    return static_cast<Delay>(seg_delays[s]);
+  }
+  std::size_t seg_syn_begin_at(std::size_t s) const {
+    return static_cast<std::size_t>(seg_syn_begin[s]);
+  }
+  std::size_t seg_syn_end_at(std::size_t s) const {
+    return static_cast<std::size_t>(seg_syn_end[s]);
+  }
 
   /// Resident bytes of the six payload arrays (sizes, not capacities).
   std::size_t payload_bytes() const {
@@ -80,7 +143,7 @@ struct SynStore {
                              !std::is_same_v<DlyT, Delay> ||
                              !std::is_same_v<WgtT, SynWeight> ||
                              !std::is_same_v<SegT, std::size_t>,
-                         sizeof(TgtT), sizeof(DlyT), sizeof(WgtT),
+                         false, sizeof(TgtT), sizeof(DlyT), sizeof(WgtT),
                          sizeof(SegT)};
   }
 };
@@ -88,9 +151,196 @@ struct SynStore {
 /// The full-width oracle layout (exactly the pre-§1.8 storage).
 using WideSynStore = SynStore<NeuronId, Delay, SynWeight, std::size_t>;
 
+// ---- Packed encoding primitives (ARCHITECTURE.md §1.11) ------------------
+
+/// Targets per packed block. Fixed so k → block is a shift, and small
+/// enough that a block decodes into a stack buffer.
+inline constexpr std::size_t kPackedBlockSize = 64;
+
+/// Auto-selection floor: kAuto freezes with fewer synapses stay flat
+/// narrow. Below this the per-block headers and the decode scratch are not
+/// worth the bytes saved, and the small-network test/bench corpus keeps its
+/// established narrow layouts.
+inline constexpr std::size_t kPackedAutoMinSynapses = 16384;
+
+/// Zigzag of the WRAPPING u32 difference cur − prev. The wrap keeps every
+/// delta representable in 32 bits (a plain signed difference of two u32s
+/// needs 33), and the decoder's wrapping add inverts it exactly mod 2^32.
+inline std::uint32_t packed_zigzag_delta(std::uint32_t prev,
+                                         std::uint32_t cur) {
+  const auto d = static_cast<std::int32_t>(cur - prev);
+  return (static_cast<std::uint32_t>(d) << 1) ^
+         static_cast<std::uint32_t>(d >> 31);
+}
+
+/// Words the deltas of one `count`-target block occupy at `bits` per delta
+/// (the first target is the block base and stores no delta).
+inline std::size_t packed_block_words(std::size_t count, unsigned bits) {
+  return count <= 1 ? 0 : ((count - 1) * bits + 31) / 32;
+}
+
+/// The delta-packed target column + RLE delay layout (§1.11). Weights stay
+/// a flat narrow column; per-synapse delays exist only as the delay-run
+/// segments (begin column sentinel-terminated with m, so
+/// seg_syn_end(s) == seg_syn_begin[s + 1] — segments tile each row, which
+/// verify_invariants() re-checks on every untrusted load).
+template <typename DlyT, typename WgtT>
+struct PackedSynStore {
+  using Target = NeuronId;  ///< decode width (bases are full NeuronId range)
+  using DelayT = DlyT;
+  using WeightT = WgtT;
+  using SegIndex = std::uint32_t;
+
+  static constexpr bool kPackedLayout = true;
+
+  std::vector<WgtT> weights;  ///< flat, one entry per synapse
+
+  // Target column, base + bit-packed zigzag deltas in kPackedBlockSize
+  // blocks. block_word is the word *offset* of each block's deltas in
+  // pack_words (blocks are word-aligned, so decode never straddles blocks).
+  std::size_t num_targets = 0;
+  std::vector<std::uint32_t> block_base;
+  std::vector<std::uint8_t> block_bits;  ///< 0..32 bits per zigzag delta
+  std::vector<std::uint32_t> block_word;
+  std::vector<std::uint32_t> pack_words;
+
+  // Delay runs (the RLE delay column): one delay per run plus the
+  // sentinel-terminated begin column (seg_delays.size() + 1 entries, last
+  // entry == num_targets).
+  std::vector<DlyT> seg_delays;
+  std::vector<std::uint32_t> seg_syn_begin;
+
+  std::size_t num_blocks() const { return block_base.size(); }
+  std::size_t num_segments() const { return seg_delays.size(); }
+
+  /// Decode block `j` into out[0..count); returns count (≤ kPackedBlockSize;
+  /// short only for the final block). Callers guarantee j < num_blocks()
+  /// and a structurally valid table (verify_invariants' packed pre-checks).
+  std::size_t decode_block(std::size_t j, std::uint32_t* out) const {
+    const std::size_t begin = j * kPackedBlockSize;
+    const std::size_t count = std::min(kPackedBlockSize, num_targets - begin);
+    std::uint32_t prev = block_base[j];
+    out[0] = prev;
+    const unsigned bits = block_bits[j];
+    if (bits == 0) {
+      for (std::size_t i = 1; i < count; ++i) out[i] = prev;
+      return count;
+    }
+    const std::uint32_t* words = pack_words.data() + block_word[j];
+    const std::uint64_t mask = (std::uint64_t{1} << bits) - 1;
+    std::size_t bitpos = 0;
+    for (std::size_t i = 1; i < count; ++i) {
+      const std::size_t w = bitpos >> 5;
+      const unsigned off = bitpos & 31;
+      std::uint64_t chunk = words[w];
+      if (off + bits > 32) chunk |= std::uint64_t{words[w + 1]} << 32;
+      const auto z = static_cast<std::uint32_t>((chunk >> off) & mask);
+      // Un-zigzag, then wrapping add (inverts packed_zigzag_delta mod 2^32).
+      prev += (z >> 1) ^ (0u - (z & 1u));
+      out[i] = prev;
+      bitpos += bits;
+    }
+    return count;
+  }
+
+  /// Build the block tables from a flat (already delay-sorted) target
+  /// column. The only encoder — compile(), compile_streamed(), and the io
+  /// reader's re-pack all funnel through here.
+  template <typename SrcT>
+  void pack_targets(const std::vector<SrcT>& flat) {
+    num_targets = flat.size();
+    const std::size_t nb =
+        (num_targets + kPackedBlockSize - 1) / kPackedBlockSize;
+    block_base.resize(nb);
+    block_bits.resize(nb);
+    block_word.resize(nb);
+    pack_words.clear();
+    for (std::size_t j = 0; j < nb; ++j) {
+      const std::size_t begin = j * kPackedBlockSize;
+      const std::size_t count =
+          std::min(kPackedBlockSize, num_targets - begin);
+      const auto base = static_cast<std::uint32_t>(flat[begin]);
+      std::uint32_t prev = base;
+      std::uint32_t max_z = 0;
+      for (std::size_t i = 1; i < count; ++i) {
+        const auto cur = static_cast<std::uint32_t>(flat[begin + i]);
+        max_z |= packed_zigzag_delta(prev, cur);
+        prev = cur;
+      }
+      const unsigned bits = max_z == 0 ? 0u : std::bit_width(max_z);
+      block_base[j] = base;
+      block_bits[j] = static_cast<std::uint8_t>(bits);
+      block_word[j] = static_cast<std::uint32_t>(pack_words.size());
+      if (bits == 0) continue;
+      pack_words.resize(pack_words.size() + packed_block_words(count, bits),
+                        0);
+      std::uint32_t* words = pack_words.data() + block_word[j];
+      prev = base;
+      std::size_t bitpos = 0;
+      for (std::size_t i = 1; i < count; ++i) {
+        const auto cur = static_cast<std::uint32_t>(flat[begin + i]);
+        const std::uint64_t v =
+            std::uint64_t{packed_zigzag_delta(prev, cur)} << (bitpos & 31);
+        words[bitpos >> 5] |= static_cast<std::uint32_t>(v);
+        if ((v >> 32) != 0) {
+          words[(bitpos >> 5) + 1] |= static_cast<std::uint32_t>(v >> 32);
+        }
+        bitpos += bits;
+        prev = cur;
+      }
+    }
+  }
+
+  // Uniform accessors (see SynStore). target_at/delay_at are O(block) /
+  // O(log segments) — oracle and construction-side pricing; the simulator's
+  // packed kernels decode whole rows instead.
+  NeuronId target_at(std::size_t k) const {
+    std::uint32_t tmp[kPackedBlockSize];
+    decode_block(k / kPackedBlockSize, tmp);
+    return static_cast<NeuronId>(tmp[k % kPackedBlockSize]);
+  }
+  SynWeight weight_at(std::size_t k) const {
+    return static_cast<SynWeight>(weights[k]);
+  }
+  Delay delay_at(std::size_t k) const {
+    // The run containing k: begins are globally strictly increasing (runs
+    // tile rows, rows tile the column), so one binary search resolves it.
+    const auto it = std::upper_bound(seg_syn_begin.begin(),
+                                     seg_syn_begin.end(),
+                                     static_cast<std::uint32_t>(k));
+    return static_cast<Delay>(
+        seg_delays[static_cast<std::size_t>(it - seg_syn_begin.begin()) - 1]);
+  }
+  Delay seg_delay_at(std::size_t s) const {
+    return static_cast<Delay>(seg_delays[s]);
+  }
+  std::size_t seg_syn_begin_at(std::size_t s) const {
+    return seg_syn_begin[s];
+  }
+  std::size_t seg_syn_end_at(std::size_t s) const {
+    return seg_syn_begin[s + 1];
+  }
+
+  /// Resident bytes of the packed payload (sizes, not capacities).
+  std::size_t payload_bytes() const {
+    return weights.size() * sizeof(WgtT) +
+           block_base.size() * sizeof(std::uint32_t) + block_bits.size() +
+           block_word.size() * sizeof(std::uint32_t) +
+           pack_words.size() * sizeof(std::uint32_t) +
+           seg_delays.size() * sizeof(DlyT) +
+           seg_syn_begin.size() * sizeof(std::uint32_t);
+  }
+
+  static constexpr StorageWidths widths() {
+    return StorageWidths{true, true, sizeof(std::uint32_t), sizeof(DlyT),
+                         sizeof(WgtT), sizeof(std::uint32_t)};
+  }
+};
+
 /// Every layout a freeze can choose. Wide first: a default-constructed
 /// variant is the wide empty store, so the empty CompiledNetwork stays a
-/// valid placeholder.
+/// valid placeholder. The packed alternatives close the list (targets
+/// always decode to full NeuronId width, so only delay × weight vary).
 using SynStoreVariant =
     std::variant<WideSynStore,
                  SynStore<std::uint16_t, std::uint8_t, float, std::uint32_t>,
@@ -100,11 +350,18 @@ using SynStoreVariant =
                  SynStore<std::uint32_t, std::uint8_t, float, std::uint32_t>,
                  SynStore<std::uint32_t, std::uint8_t, double, std::uint32_t>,
                  SynStore<std::uint32_t, std::uint16_t, float, std::uint32_t>,
-                 SynStore<std::uint32_t, std::uint16_t, double, std::uint32_t>>;
+                 SynStore<std::uint32_t, std::uint16_t, double, std::uint32_t>,
+                 PackedSynStore<std::uint8_t, float>,
+                 PackedSynStore<std::uint8_t, double>,
+                 PackedSynStore<std::uint16_t, float>,
+                 PackedSynStore<std::uint16_t, double>>;
 
-/// Pick the narrowest layout for the observed ranges (kWide always yields
-/// the oracle). `weights_fit_f32` must hold iff every weight round-trips
-/// double→float→double exactly.
+/// Pick the layout for the observed ranges (kWide always yields the
+/// oracle). `weights_fit_f32` must hold iff every weight round-trips
+/// double→float→double exactly. kAuto narrows when the ranges fit and
+/// upgrades to the packed encoding at kPackedAutoMinSynapses; kPacked packs
+/// any narrow-eligible freeze regardless of size. Ranges outside the narrow
+/// envelope fall back to wide under every policy but kWide itself.
 inline StorageWidths choose_widths(StoragePolicy policy, std::size_t n,
                                    std::size_t m, Delay max_delay,
                                    bool weights_fit_f32) {
@@ -115,19 +372,29 @@ inline StorageWidths choose_widths(StoragePolicy policy, std::size_t n,
   // variant with rarely-hit mixed-width combinations.
   if (max_delay > 65535 || m >= (1ULL << 32)) return w;
   w.narrow = true;
-  w.target_bytes = n <= (1ULL << 16) ? 2 : 4;
   w.delay_bytes = max_delay <= 255 ? 1 : 2;
   w.weight_bytes = weights_fit_f32 ? 4 : 8;
   w.seg_index_bytes = 4;
+  w.packed = policy == StoragePolicy::kPacked ||
+             (policy == StoragePolicy::kAuto && m >= kPackedAutoMinSynapses);
+  // Packed blocks always decode to full-width ids; the flat layouts narrow
+  // the target column to u16 when the id range allows.
+  w.target_bytes = !w.packed && n <= (1ULL << 16) ? 2 : 4;
   return w;
 }
 
 /// Instantiate the (empty) variant alternative matching `w`.
 inline SynStoreVariant make_synapse_store(const StorageWidths& w) {
   if (!w.narrow) return WideSynStore{};
-  const bool t16 = w.target_bytes == 2;
   const bool d8 = w.delay_bytes == 1;
   const bool f32 = w.weight_bytes == 4;
+  if (w.packed) {
+    if (d8 && f32) return PackedSynStore<std::uint8_t, float>{};
+    if (d8) return PackedSynStore<std::uint8_t, double>{};
+    if (f32) return PackedSynStore<std::uint16_t, float>{};
+    return PackedSynStore<std::uint16_t, double>{};
+  }
+  const bool t16 = w.target_bytes == 2;
   if (t16 && d8 && f32)
     return SynStore<std::uint16_t, std::uint8_t, float, std::uint32_t>{};
   if (t16 && d8)

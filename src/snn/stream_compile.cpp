@@ -216,10 +216,35 @@ CompiledNetwork CompiledNetwork::compile_streamed(
   net.widths_ = choose_widths(policy, n, scan.count, scan.max_delay,
                               scan.weights_fit_f32);
   net.store_ = make_synapse_store(net.widths_);
+  std::size_t transient_bytes = 0;
   std::visit(
       [&](auto& st) {
-        fill_streamed(st, net.offsets_, cursor, net.seg_offsets_,
-                      net.pos_in_weight_, emit, scan, n);
+        using Store = std::decay_t<decltype(st)>;
+        if constexpr (Store::kPackedLayout) {
+          // Packed freeze: scatter into a FLAT transient at the packed
+          // store's delay/weight widths (u32 targets — packed blocks decode
+          // to full width anyway), then re-encode. The transient is narrow,
+          // never wide, so packing at n=10⁶/m=10⁷ scale costs one narrow
+          // CSR of headroom instead of the builder's wide copy.
+          SynStore<std::uint32_t, typename Store::DelayT,
+                   typename Store::WeightT, std::uint32_t>
+              flat;
+          fill_streamed(flat, net.offsets_, cursor, net.seg_offsets_,
+                        net.pos_in_weight_, emit, scan, n);
+          transient_bytes = flat.payload_bytes();
+          st.pack_targets(flat.targets);
+          flat.targets.clear();
+          flat.targets.shrink_to_fit();
+          flat.delays.clear();
+          flat.delays.shrink_to_fit();
+          st.weights = std::move(flat.weights);
+          st.seg_delays = std::move(flat.seg_delays);
+          st.seg_syn_begin = std::move(flat.seg_syn_begin);
+          st.seg_syn_begin.push_back(static_cast<std::uint32_t>(scan.count));
+        } else {
+          fill_streamed(st, net.offsets_, cursor, net.seg_offsets_,
+                        net.pos_in_weight_, emit, scan, n);
+        }
       },
       net.store_);
 
@@ -228,9 +253,11 @@ CompiledNetwork CompiledNetwork::compile_streamed(
     build_stats->num_synapses = scan.count;
     build_stats->csr_bytes = net.csr_storage_bytes();
     // High-water mark: the finished CSR coexists with the O(n) cursor
-    // array and the positive in-weight table during pass 2.
+    // array and the positive in-weight table during pass 2 — plus, for a
+    // packed freeze, the flat transient it re-encodes from.
     build_stats->peak_resident_bytes =
-        build_stats->csr_bytes + cursor.size() * sizeof(std::size_t) +
+        build_stats->csr_bytes + transient_bytes +
+        cursor.size() * sizeof(std::size_t) +
         net.pos_in_weight_.size() * sizeof(SynWeight) +
         3 * n * sizeof(Voltage);
   }

@@ -178,6 +178,13 @@ void QueryService::serve_sssp(WorkerSlots& slots, const QueryRequest& req,
     // request runs on — the service-side view of SimStats::csr_bytes.
     mr->gauge("svc.artifact_csr_bytes",
               static_cast<double>(artifact->network.csr_storage_bytes()));
+    // Which encoding that footprint was measured under (0 = wide,
+    // 1 = narrow, 2 = packed) — without it a csr_bytes shift between two
+    // service runs is ambiguous between a graph change and a re-freeze
+    // under a different StoragePolicy.
+    mr->gauge("svc.artifact_storage_encoding",
+              static_cast<double>(snn::encoding_code(
+                  artifact->network.storage_widths())));
   }
 
   snn::Simulator& sim = slots.acquire(artifact);
